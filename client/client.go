@@ -1,0 +1,229 @@
+// Package client is the Go client for a PLP server (cmd/plpd).
+//
+// A Client holds one TCP connection and issues framed wire-protocol
+// transactions synchronously; it is safe for concurrent use (calls are
+// serialized on the connection).  For parallel load, open one Client per
+// worker goroutine — mirroring how the engine expects one Session per
+// client thread.
+//
+//	c, err := client.Dial("localhost:7070")
+//	defer c.Close()
+//
+//	err = c.Insert("accounts", client.Uint64Key(42), []byte("hello"))
+//	val, found, err := c.Get("accounts", client.Uint64Key(42))
+//
+//	// Multi-statement transaction:
+//	txn := client.NewTxn().
+//		Upsert("accounts", client.Uint64Key(1), []byte("a")).
+//		Upsert("accounts", client.Uint64Key(2), []byte("b"))
+//	resp, err := c.Do(txn)
+package client
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"plp/wire"
+)
+
+// Errors returned by the client.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("client: closed")
+	// ErrAborted is returned when the server aborted the transaction.
+	ErrAborted = errors.New("client: transaction aborted")
+	// ErrNotFound is returned by Get-style helpers when the key is missing.
+	ErrNotFound = errors.New("client: key not found")
+)
+
+// Uint64Key encodes a uint64 as the order-preserving big-endian key format
+// used by the engine's key encoder, so client keys sort and partition the
+// same way server-side keys do.
+func Uint64Key(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// Txn is a transaction builder.
+type Txn struct {
+	statements []wire.Statement
+}
+
+// NewTxn returns an empty transaction builder.
+func NewTxn() *Txn { return &Txn{} }
+
+// Get appends a read of key.
+func (t *Txn) Get(table string, key []byte) *Txn {
+	t.statements = append(t.statements, wire.Statement{Op: wire.OpGet, Table: table, Key: key})
+	return t
+}
+
+// Insert appends an insert.
+func (t *Txn) Insert(table string, key, value []byte) *Txn {
+	t.statements = append(t.statements, wire.Statement{Op: wire.OpInsert, Table: table, Key: key, Value: value})
+	return t
+}
+
+// Update appends an update of an existing record.
+func (t *Txn) Update(table string, key, value []byte) *Txn {
+	t.statements = append(t.statements, wire.Statement{Op: wire.OpUpdate, Table: table, Key: key, Value: value})
+	return t
+}
+
+// Upsert appends an insert-or-update.
+func (t *Txn) Upsert(table string, key, value []byte) *Txn {
+	t.statements = append(t.statements, wire.Statement{Op: wire.OpUpsert, Table: table, Key: key, Value: value})
+	return t
+}
+
+// Delete appends a delete.
+func (t *Txn) Delete(table string, key []byte) *Txn {
+	t.statements = append(t.statements, wire.Statement{Op: wire.OpDelete, Table: table, Key: key})
+	return t
+}
+
+// GetBySecondary appends a read through the named secondary index.
+func (t *Txn) GetBySecondary(table, index string, secKey []byte) *Txn {
+	t.statements = append(t.statements, wire.Statement{Op: wire.OpGetBySecondary, Table: table, Index: index, Key: secKey})
+	return t
+}
+
+// InsertSecondary appends a secondary-index entry insert.
+func (t *Txn) InsertSecondary(table, index string, secKey, primaryKey []byte) *Txn {
+	t.statements = append(t.statements, wire.Statement{Op: wire.OpInsertSecondary, Table: table, Index: index, Key: secKey, Value: primaryKey})
+	return t
+}
+
+// Len returns the number of statements added so far.
+func (t *Txn) Len() int { return len(t.statements) }
+
+// Client is a connection to a PLP server.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+	closed bool
+}
+
+// Dial connects to a PLP server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with an explicit dial timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close terminates the connection.  It is safe to call more than once.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// Do executes the transaction and returns the server's response.  The
+// returned error is non-nil for transport failures and for aborted
+// transactions (ErrAborted, with the server's message appended).
+func (c *Client) Do(t *Txn) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.nextID++
+	req := &wire.Request{ID: c.nextID, Statements: t.statements}
+	if err := wire.WriteFrame(c.conn, wire.EncodeRequest(req)); err != nil {
+		return nil, err
+	}
+	payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("client: response id %d does not match request id %d", resp.ID, req.ID)
+	}
+	if !resp.Committed {
+		return resp, fmt.Errorf("%w: %s", ErrAborted, resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping checks connectivity; the server echoes the payload.
+func (c *Client) Ping(payload []byte) error {
+	resp, err := c.Do(&Txn{statements: []wire.Statement{{Op: wire.OpPing, Value: payload}}})
+	if err != nil {
+		return err
+	}
+	if len(resp.Results) != 1 || string(resp.Results[0].Value) != string(payload) {
+		return fmt.Errorf("client: ping echo mismatch")
+	}
+	return nil
+}
+
+// Get reads one record.  A missing key returns ErrNotFound.
+func (c *Client) Get(table string, key []byte) ([]byte, error) {
+	resp, err := c.Do(NewTxn().Get(table, key))
+	if err != nil {
+		return nil, err
+	}
+	res := resp.Results[0]
+	if !res.Found {
+		return nil, fmt.Errorf("%w: %s/%x", ErrNotFound, table, key)
+	}
+	return res.Value, nil
+}
+
+// GetBySecondary reads one record through a secondary index.
+func (c *Client) GetBySecondary(table, index string, secKey []byte) ([]byte, error) {
+	resp, err := c.Do(NewTxn().GetBySecondary(table, index, secKey))
+	if err != nil {
+		return nil, err
+	}
+	res := resp.Results[0]
+	if !res.Found {
+		return nil, fmt.Errorf("%w: %s.%s/%x", ErrNotFound, table, index, secKey)
+	}
+	return res.Value, nil
+}
+
+// Insert adds one record.
+func (c *Client) Insert(table string, key, value []byte) error {
+	_, err := c.Do(NewTxn().Insert(table, key, value))
+	return err
+}
+
+// Update overwrites one record.
+func (c *Client) Update(table string, key, value []byte) error {
+	_, err := c.Do(NewTxn().Update(table, key, value))
+	return err
+}
+
+// Upsert inserts or overwrites one record.
+func (c *Client) Upsert(table string, key, value []byte) error {
+	_, err := c.Do(NewTxn().Upsert(table, key, value))
+	return err
+}
+
+// Delete removes one record.
+func (c *Client) Delete(table string, key []byte) error {
+	_, err := c.Do(NewTxn().Delete(table, key))
+	return err
+}

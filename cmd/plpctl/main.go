@@ -1,0 +1,189 @@
+// Command plpctl is a command-line client for a PLP server (cmd/plpd).
+//
+// Usage:
+//
+//	plpctl -addr localhost:7070 ping
+//	plpctl -addr localhost:7070 put   <table> <key> <value>
+//	plpctl -addr localhost:7070 get   <table> <key>
+//	plpctl -addr localhost:7070 del   <table> <key>
+//	plpctl -addr localhost:7070 getsec <table> <index> <secondary-key>
+//	plpctl -addr localhost:7070 bench <table> [-clients N] [-ops M]
+//
+// Keys are uint64 by default (encoded exactly as the engine's key encoder
+// does); pass -raw to use the key bytes verbatim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plp/client"
+)
+
+// usage prints the command summary and exits.
+func usage() {
+	fmt.Fprintf(os.Stderr, `plpctl — command-line client for plpd
+
+usage: plpctl [-addr host:port] [-raw] <command> [args]
+
+commands:
+  ping                               check connectivity
+  get    <table> <key>               read a record
+  put    <table> <key> <value>       insert or overwrite a record
+  insert <table> <key> <value>       insert (fails on duplicate)
+  update <table> <key> <value>       overwrite (fails if missing)
+  del    <table> <key>               delete a record
+  getsec <table> <index> <seckey>    read through a secondary index
+  bench  <table>                     run a small upsert/get load (-clients, -ops)
+`)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:7070", "server address")
+		raw     = flag.Bool("raw", false, "treat keys as raw bytes instead of uint64")
+		clients = flag.Int("clients", 4, "bench: concurrent connections")
+		ops     = flag.Int("ops", 10000, "bench: operations per connection")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	key := func(s string) []byte {
+		if *raw {
+			return []byte(s)
+		}
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			fatalf("key %q is not a uint64 (use -raw for byte keys): %v", s, err)
+		}
+		return client.Uint64Key(v)
+	}
+
+	c, err := client.Dial(*addr)
+	if err != nil {
+		fatalf("dial %s: %v", *addr, err)
+	}
+	defer c.Close()
+
+	cmd := args[0]
+	args = args[1:]
+	switch cmd {
+	case "ping":
+		start := time.Now()
+		if err := c.Ping([]byte("plpctl")); err != nil {
+			fatalf("ping: %v", err)
+		}
+		fmt.Printf("pong (%s)\n", time.Since(start).Round(time.Microsecond))
+	case "get":
+		need(args, 2)
+		val, err := c.Get(args[0], key(args[1]))
+		if err != nil {
+			fatalf("get: %v", err)
+		}
+		fmt.Printf("%s\n", val)
+	case "getsec":
+		need(args, 3)
+		val, err := c.GetBySecondary(args[0], args[1], []byte(args[2]))
+		if err != nil {
+			fatalf("getsec: %v", err)
+		}
+		fmt.Printf("%s\n", val)
+	case "put":
+		need(args, 3)
+		if err := c.Upsert(args[0], key(args[1]), []byte(args[2])); err != nil {
+			fatalf("put: %v", err)
+		}
+		fmt.Println("OK")
+	case "insert":
+		need(args, 3)
+		if err := c.Insert(args[0], key(args[1]), []byte(args[2])); err != nil {
+			fatalf("insert: %v", err)
+		}
+		fmt.Println("OK")
+	case "update":
+		need(args, 3)
+		if err := c.Update(args[0], key(args[1]), []byte(args[2])); err != nil {
+			fatalf("update: %v", err)
+		}
+		fmt.Println("OK")
+	case "del":
+		need(args, 2)
+		if err := c.Delete(args[0], key(args[1])); err != nil {
+			fatalf("del: %v", err)
+		}
+		fmt.Println("OK")
+	case "bench":
+		need(args, 1)
+		bench(*addr, args[0], *clients, *ops)
+	default:
+		usage()
+	}
+}
+
+// need checks the argument count.
+func need(args []string, n int) {
+	if len(args) != n {
+		usage()
+	}
+}
+
+// fatalf prints an error and exits non-zero.
+func fatalf(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "plpctl: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+// bench runs a simple upsert+get load against the server and reports
+// throughput and mean latency.
+func bench(addr, table string, clients, ops int) {
+	var committed, failed atomic.Uint64
+	var totalLatency atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				failed.Add(uint64(ops))
+				return
+			}
+			defer c.Close()
+			base := uint64(g) * uint64(ops)
+			for i := 0; i < ops; i++ {
+				k := client.Uint64Key(base + uint64(i) + 1)
+				opStart := time.Now()
+				var err error
+				if i%2 == 0 {
+					err = c.Upsert(table, k, []byte("plpctl-bench"))
+				} else {
+					_, err = c.Get(table, client.Uint64Key(base+uint64(i)))
+				}
+				totalLatency.Add(int64(time.Since(opStart)))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				committed.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	done := committed.Load()
+	fmt.Printf("bench: %d ops in %s (%.0f ops/s, %d failed)\n",
+		done, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds(), failed.Load())
+	if done > 0 {
+		fmt.Printf("mean latency: %s\n", (time.Duration(totalLatency.Load()) / time.Duration(done)).Round(time.Microsecond))
+	}
+}

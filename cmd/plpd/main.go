@@ -1,0 +1,158 @@
+// Command plpd serves a PLP engine over TCP using the wire protocol.
+//
+// It creates a fresh in-memory database with one or more key/value tables
+// partitioned over a uint64 key space, optionally starts the automatic
+// load-balance monitor and a background checkpointer, and serves client
+// transactions (see package client).
+//
+// Example:
+//
+//	plpd -addr :7070 -design plp-leaf -partitions 8 \
+//	     -tables accounts,orders -keyspace 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"plp/internal/balance"
+	"plp/internal/catalog"
+	"plp/internal/engine"
+	"plp/internal/keyenc"
+	"plp/internal/recovery"
+	"plp/internal/server"
+)
+
+// parseDesign maps a CLI name to an engine design.
+func parseDesign(name string) (engine.Design, error) {
+	switch strings.ToLower(name) {
+	case "conventional", "conv":
+		return engine.Conventional, nil
+	case "logical", "dora":
+		return engine.Logical, nil
+	case "plp", "plp-regular":
+		return engine.PLPRegular, nil
+	case "plp-partition":
+		return engine.PLPPartition, nil
+	case "plp-leaf":
+		return engine.PLPLeaf, nil
+	default:
+		return 0, fmt.Errorf("unknown design %q (want conventional, logical, plp-regular, plp-partition or plp-leaf)", name)
+	}
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7070", "listen address")
+		designName   = flag.String("design", "plp-leaf", "execution design: conventional, logical, plp-regular, plp-partition, plp-leaf")
+		partitions   = flag.Int("partitions", 8, "number of logical partitions / worker goroutines")
+		tables       = flag.String("tables", "kv", "comma-separated table names to create")
+		keyspace     = flag.Uint64("keyspace", 1_000_000, "uint64 key space upper bound used to compute partition boundaries")
+		autoBalance  = flag.Bool("autobalance", false, "enable the automatic load-balance monitor on every table")
+		checkpointMs = flag.Int("checkpoint-ms", 0, "background checkpoint interval in milliseconds (0 disables)")
+		truncateLog  = flag.Bool("checkpoint-truncate", false, "truncate the log prefix after each successful checkpoint")
+		statsEvery   = flag.Duration("stats", 10*time.Second, "how often to print server statistics (0 disables)")
+	)
+	flag.Parse()
+
+	design, err := parseDesign(*designName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	e := engine.New(engine.Options{Design: design, Partitions: *partitions, SLI: design == engine.Conventional})
+	defer e.Close()
+
+	boundaries := uniformBoundaries(*keyspace, *partitions)
+	var monitors []*balance.Monitor
+	for _, name := range strings.Split(*tables, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := e.CreateTable(catalog.TableDef{Name: name, Boundaries: boundaries}); err != nil {
+			fmt.Fprintf(os.Stderr, "create table %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *autoBalance && *partitions > 1 {
+			m, err := balance.NewMonitor(e, balance.Config{Table: name})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "balance monitor for %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			m.Start()
+			monitors = append(monitors, m)
+			defer m.Stop()
+		}
+	}
+
+	if *checkpointMs > 0 {
+		cp := recovery.NewCheckpointer(e, time.Duration(*checkpointMs)*time.Millisecond)
+		cp.SetTruncate(*truncateLog)
+		cp.Start()
+		defer cp.Stop()
+	}
+
+	srv := server.New(e)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("plpd: %s engine with %d partitions serving %q on %s\n", design, *partitions, *tables, bound)
+
+	// Periodic stats reporting and signal handling.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var ticker *time.Ticker
+		var tick <-chan time.Time
+		if *statsEvery > 0 {
+			ticker = time.NewTicker(*statsEvery)
+			defer ticker.Stop()
+			tick = ticker.C
+		}
+		for {
+			select {
+			case <-stop:
+				fmt.Println("plpd: shutting down")
+				_ = srv.Close()
+				return
+			case <-tick:
+				st := srv.Stats()
+				fmt.Printf("plpd: conns=%d txns=%d committed=%d aborted=%d\n",
+					st.Connections, st.Requests, st.Committed, st.Aborted)
+				for _, m := range monitors {
+					for _, d := range m.Decisions() {
+						fmt.Printf("plpd: rebalanced %s\n", d)
+					}
+				}
+			}
+		}
+	}()
+
+	if err := srv.Serve(); err != nil && err != server.ErrClosed {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+	}
+	<-done
+}
+
+// uniformBoundaries splits [1, max] into n equal key ranges.
+func uniformBoundaries(max uint64, n int) [][]byte {
+	if n <= 1 {
+		return nil
+	}
+	out := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, keyenc.Uint64Key(max*uint64(i)/uint64(n)+1))
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Advisor: analyze a workload's index usage and partitioning fitness.
+//
+// Appendix E of the paper explains that non-partition-aligned secondary
+// indexes are the main thing an application can do to hurt a PLP system,
+// and that the authors built tooling to detect such workloads.  This example
+// runs a small synthetic workload, feeds the advisor tracker, and prints the
+// report plus a data-driven boundary recommendation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"plp"
+)
+
+const (
+	table    = "orders"
+	keySpace = 50_000
+)
+
+func main() {
+	eng := plp.New(plp.Options{Design: plp.PLPLeaf, Partitions: 4})
+	defer eng.Close()
+	if _, err := eng.CreateTable(plp.TableDef{
+		Name:       table,
+		Boundaries: plp.UniformBoundaries(keySpace, 4),
+		Secondaries: []plp.SecondaryDef{
+			// by_customer embeds the partitioning key: aligned.
+			{Name: "by_customer", PartitionAligned: true},
+			// by_email does not: every probe goes through the conventional
+			// latched path and needs an extra hop.
+			{Name: "by_email", PartitionAligned: false},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	loader := eng.NewLoader()
+	for id := uint64(1); id <= keySpace; id += 5 {
+		if err := loader.Insert(table, plp.Uint64Key(id), []byte("order-record")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	tracker := plp.NewAdvisorTracker(eng)
+
+	// Simulate the access pattern of an order-status application: most
+	// lookups come in by email (the non-aligned index), and the order-id
+	// traffic itself is skewed towards recent (high) ids.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50_000; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			tracker.ObserveSecondary(table, "by_email")
+		case r < 0.55:
+			tracker.ObserveSecondary(table, "by_customer")
+		default:
+			// Primary-key traffic: 70% of it on the newest 10% of orders.
+			var id uint64
+			if rng.Float64() < 0.7 {
+				id = uint64(keySpace*9/10 + rng.Intn(keySpace/10))
+			} else {
+				id = uint64(rng.Intn(keySpace) + 1)
+			}
+			tracker.ObservePrimary(table, plp.Uint64Key(id))
+		}
+	}
+
+	report := tracker.Report()
+	fmt.Print(report.String())
+
+	// The tracker can also propose boundaries that equalize the observed
+	// load — useful when (re)creating the table.
+	bounds := tracker.RecommendBoundaries(table, 4)
+	if bounds == nil {
+		log.Fatal("not enough observations for a boundary recommendation")
+	}
+	fmt.Println("recommended equal-load boundaries for 4 partitions:")
+	for i, b := range bounds {
+		fmt.Printf("  boundary %d: order id %d\n", i+1, beUint64(b))
+	}
+	fmt.Println("(compare with the uniform boundaries 12501, 25001, 37501 the table was created with)")
+}
+
+// beUint64 decodes the big-endian key encoding used by plp.Uint64Key.
+func beUint64(b []byte) uint64 {
+	var v uint64
+	for _, c := range b[:8] {
+		v = v<<8 | uint64(c)
+	}
+	return v
+}

@@ -1,0 +1,94 @@
+// Loadbalance: a skewed workload is detected and repaired automatically by
+// the balance monitor.
+//
+// This demonstrates the property the paper highlights in Section 3.2.1 —
+// repartitioning a physiologically partitioned database is cheap enough to
+// do continuously — and its Appendix E future work: "techniques to rapidly
+// detect and efficiently handle problems due to load imbalance".
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"plp"
+)
+
+const (
+	table    = "subscriber"
+	keySpace = 100_000
+)
+
+func main() {
+	eng := plp.New(plp.Options{Design: plp.PLPLeaf, Partitions: 4})
+	defer eng.Close()
+	if _, err := eng.CreateTable(plp.TableDef{
+		Name:       table,
+		Boundaries: plp.UniformBoundaries(keySpace, 4),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	loader := eng.NewLoader()
+	for id := uint64(1); id <= keySpace; id += 7 {
+		if err := loader.Insert(table, plp.Uint64Key(id), []byte("subscriber-record")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	monitor, err := plp.NewBalanceMonitor(eng, plp.BalanceConfig{
+		Table:           table,
+		Threshold:       1.4,
+		MinObservations: 2_000,
+		CheckInterval:   20 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitor.Start()
+	defer monitor.Stop()
+
+	// A client that hammers the first 10% of the key space (think of the
+	// "slashdot effect" the paper mentions): 80% of the requests hit keys
+	// that all live in partition 0.
+	sess := eng.NewSession()
+	defer sess.Close()
+	rng := rand.New(rand.NewSource(1))
+	deadline := time.Now().Add(2 * time.Second)
+	requests := 0
+	for time.Now().Before(deadline) {
+		var id uint64
+		if rng.Float64() < 0.8 {
+			id = uint64(rng.Intn(keySpace/10) + 1)
+		} else {
+			id = uint64(rng.Intn(keySpace) + 1)
+		}
+		id = id - (id-1)%7 // align to a loaded key
+		key := plp.Uint64Key(id)
+		monitor.Observe(key)
+		req := plp.NewRequest(plp.Action{Table: table, Key: key, Exec: func(c *plp.Ctx) error {
+			_, err := c.Read(table, key)
+			return err
+		}})
+		if _, err := sess.Execute(req); err != nil {
+			log.Fatal(err)
+		}
+		requests++
+	}
+
+	fmt.Printf("executed %d read transactions with 80%% of the load on 10%% of the keys\n", requests)
+	decisions := monitor.Decisions()
+	if len(decisions) == 0 {
+		fmt.Println("the monitor made no rebalancing decision (try a longer run)")
+		return
+	}
+	fmt.Printf("the monitor rebalanced %d time(s):\n", len(decisions))
+	for i, d := range decisions {
+		fmt.Printf("  %d: %s\n", i+1, d)
+	}
+	fmt.Println("current observed partition shares (new observation window):")
+	for i, s := range monitor.Shares() {
+		fmt.Printf("  partition %d: %5.1f%%\n", i, 100*s)
+	}
+}

@@ -1,0 +1,88 @@
+// Quickstart: create an engine with the PLP-Leaf design, create a
+// partitioned table, and run a few transactions through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plp"
+)
+
+func main() {
+	// An engine with 4 logical partitions running the PLP-Leaf design:
+	// latch-free index and heap accesses, one worker goroutine per
+	// partition.
+	eng := plp.New(plp.Options{Design: plp.PLPLeaf, Partitions: 4})
+	defer eng.Close()
+
+	// A table over the key space [1, 1000000], split into 4 ranges that
+	// match the engine's partitions.
+	const keySpace = 1_000_000
+	if _, err := eng.CreateTable(plp.TableDef{
+		Name:       "accounts",
+		Boundaries: plp.UniformBoundaries(keySpace, 4),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	sess := eng.NewSession()
+	defer sess.Close()
+
+	// Insert a few records: each request is a transaction.
+	for id := uint64(1); id <= 10; id++ {
+		key := plp.Uint64Key(id)
+		value := []byte(fmt.Sprintf("balance=%d", id*100))
+		req := plp.NewRequest(plp.Action{
+			Table: "accounts",
+			Key:   key,
+			Exec: func(c *plp.Ctx) error {
+				return c.Insert("accounts", key, value)
+			},
+		})
+		if _, err := sess.Execute(req); err != nil {
+			log.Fatalf("insert %d: %v", id, err)
+		}
+	}
+
+	// A transaction that reads one record and updates another, expressed as
+	// two actions that the partition manager routes to their owners.
+	readKey := plp.Uint64Key(3)
+	writeKey := plp.Uint64Key(7)
+	req := plp.NewRequest(
+		plp.Action{Table: "accounts", Key: readKey, Exec: func(c *plp.Ctx) error {
+			v, err := c.Read("accounts", readKey)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("account 3 -> %s\n", v)
+			return nil
+		}},
+		plp.Action{Table: "accounts", Key: writeKey, Exec: func(c *plp.Ctx) error {
+			return c.Update("accounts", writeKey, []byte("balance=9999"))
+		}},
+	)
+	res, err := sess.Execute(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transaction committed in %s\n", res.Latency)
+
+	// Read the updated record back.
+	var got []byte
+	check := plp.NewRequest(plp.Action{Table: "accounts", Key: writeKey, Exec: func(c *plp.Ctx) error {
+		v, err := c.Read("accounts", writeKey)
+		got = v
+		return err
+	}})
+	if _, err := sess.Execute(check); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("account 7 -> %s\n", got)
+
+	// The engine exposes the measurements the paper's figures are built
+	// from: how many page latches were acquired, by page type.
+	snap := eng.LatchStats().Snapshot()
+	fmt.Printf("page latches acquired: %d (a PLP design should acquire almost none)\n", snap.Total())
+	fmt.Printf("committed transactions: %d\n", eng.TxnStats().Committed)
+}

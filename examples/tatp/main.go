@@ -1,0 +1,67 @@
+// TATP example: load the TATP telecom database and compare the conventional
+// design against PLP-Leaf on the standard transaction mix, printing the
+// throughput and the per-transaction critical-section and latch counts —
+// the same quantities behind Figures 1 and 3 of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"plp/internal/cs"
+	"plp/internal/engine"
+	"plp/internal/harness"
+	"plp/internal/workload/tatp"
+)
+
+func main() {
+	var (
+		subscribers = flag.Int("subscribers", 10000, "TATP scale factor")
+		partitions  = flag.Int("partitions", 4, "logical partitions")
+		clients     = flag.Int("clients", 4, "client goroutines")
+		txns        = flag.Int("txns", 2000, "transactions per client")
+	)
+	flag.Parse()
+
+	configs := []struct {
+		label string
+		opts  engine.Options
+	}{
+		{"Conventional (SLI)", engine.Options{Design: engine.Conventional, Partitions: *partitions, SLI: true}},
+		{"Logical (DORA)", engine.Options{Design: engine.Logical, Partitions: *partitions}},
+		{"PLP-Leaf", engine.Options{Design: engine.PLPLeaf, Partitions: *partitions}},
+	}
+
+	for _, cfg := range configs {
+		e := engine.New(cfg.opts)
+		w := tatp.New(tatp.Config{Subscribers: *subscribers, Partitions: *partitions, Mix: tatp.MixStandard})
+		if err := w.Setup(e); err != nil {
+			log.Fatalf("%s: setup: %v", cfg.label, err)
+		}
+		res, err := harness.Run(e, w, harness.RunConfig{
+			Clients:             *clients,
+			TxnsPerClient:       *txns,
+			WarmupTxnsPerClient: *txns / 10,
+		})
+		if err != nil {
+			log.Fatalf("%s: run: %v", cfg.label, err)
+		}
+		if err := w.Verify(e); err != nil {
+			log.Fatalf("%s: verify: %v", cfg.label, err)
+		}
+		fmt.Printf("%-20s  %8.0f tps  |  critical sections/txn: %6.1f (lock mgr %5.1f, latching %5.1f)  |  page latches/txn: %5.1f\n",
+			cfg.label, res.ThroughputTPS, res.CSPerTxn.Total,
+			res.CSPerTxn.Entered[cs.LockMgr], res.CSPerTxn.Entered[cs.Latching],
+			totalLatches(res))
+		_ = e.Close()
+	}
+}
+
+func totalLatches(r harness.Result) float64 {
+	t := 0.0
+	for _, v := range r.LatchesPerTxn {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,105 @@
+// Public facade for the subsystems that extend the core PLP engine:
+// checkpointing and restart recovery, automatic load balancing, the
+// partition-alignment advisor, and the network server.
+package plp
+
+import (
+	"plp/internal/advisor"
+	"plp/internal/balance"
+	"plp/internal/engine"
+	"plp/internal/recovery"
+	"plp/internal/server"
+	"plp/internal/wal"
+)
+
+// Loader is the unlocked, unlogged bulk-load path of an engine.  It is used
+// to populate a database before measurements start and as the target of
+// restart recovery.
+type Loader = engine.Loader
+
+// Log is the engine's write-ahead log handle.
+type Log = wal.Log
+
+//
+// Recovery (see internal/recovery).
+//
+
+// RecoveryAnalysis is the result of scanning a log: transaction outcomes,
+// the logical operations, and the most recent checkpoint.
+type RecoveryAnalysis = recovery.Analysis
+
+// ReplayStats reports what a recovery replay did.
+type ReplayStats = recovery.ReplayStats
+
+// CheckpointStats reports what one Checkpoint call captured.
+type CheckpointStats = recovery.CheckpointStats
+
+// Checkpointer periodically checkpoints an engine in the background.
+type Checkpointer = recovery.Checkpointer
+
+// Checkpoint captures a transactionally consistent snapshot of every table
+// into the engine's log, bounding the work restart recovery has to do.
+// chunkEntries controls the snapshot chunk size; zero selects the default.
+func Checkpoint(e *Engine, chunkEntries int) (CheckpointStats, error) {
+	return recovery.Checkpoint(e, chunkEntries)
+}
+
+// Recover rebuilds the database contents recorded in log onto the target
+// loader (normally a fresh engine with the same schema as the crashed one).
+func Recover(log Log, target *Loader) (*RecoveryAnalysis, ReplayStats, error) {
+	return recovery.Recover(log, target)
+}
+
+// NewCheckpointer returns a background checkpointer for the engine.
+var NewCheckpointer = recovery.NewCheckpointer
+
+//
+// Automatic load balancing (see internal/balance).
+//
+
+// BalanceConfig configures a BalanceMonitor.
+type BalanceConfig = balance.Config
+
+// BalanceMonitor observes access skew and repartitions automatically.
+type BalanceMonitor = balance.Monitor
+
+// BalanceDecision describes one automatic rebalancing action.
+type BalanceDecision = balance.Decision
+
+// NewBalanceMonitor returns a load-balance monitor for one table of the
+// engine.
+func NewBalanceMonitor(e *Engine, cfg BalanceConfig) (*BalanceMonitor, error) {
+	return balance.NewMonitor(e, cfg)
+}
+
+//
+// Partition-alignment advisor (see internal/advisor).
+//
+
+// AdvisorTracker observes which indexes a workload uses and produces
+// partitioning advice.
+type AdvisorTracker = advisor.Tracker
+
+// AdvisorReport is the advisor's analysis output.
+type AdvisorReport = advisor.Report
+
+// AdvisorFinding is one recommendation in an AdvisorReport.
+type AdvisorFinding = advisor.Finding
+
+// NewAdvisorTracker returns an advisor tracker bound to the engine.
+func NewAdvisorTracker(e *Engine) *AdvisorTracker { return advisor.NewTracker(e) }
+
+// RecommendBoundaries computes equal-weight partition boundaries from a key
+// sample, ready to be used as TableDef.Boundaries.
+var RecommendBoundaries = advisor.RecommendBoundaries
+
+//
+// Network server (see internal/server, package client and cmd/plpd).
+//
+
+// Server exposes an engine over TCP using the wire protocol.
+type Server = server.Server
+
+// NewServer returns a server for the engine.  Call Listen and Serve (or see
+// cmd/plpd for a ready-made daemon).
+func NewServer(e *Engine) *Server { return server.New(e) }

@@ -1,0 +1,365 @@
+package advisor
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"plp/internal/catalog"
+	"plp/internal/engine"
+	"plp/internal/keyenc"
+)
+
+const testTable = "subscriber"
+
+// newTestEngine builds a 4-partition engine with one aligned and one
+// non-aligned secondary index.
+func newTestEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(engine.Options{Design: engine.PLPLeaf, Partitions: 4})
+	boundaries := [][]byte{keyenc.Uint64Key(251), keyenc.Uint64Key(501), keyenc.Uint64Key(751)}
+	_, err := e.CreateTable(catalog.TableDef{
+		Name:       testTable,
+		Boundaries: boundaries,
+		Secondaries: []catalog.SecondaryDef{
+			{Name: "by_region", PartitionAligned: true},
+			{Name: "by_nbr", PartitionAligned: false},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestReportClassifiesIndexAlignment(t *testing.T) {
+	e := newTestEngine(t)
+	defer e.Close()
+	tr := NewTracker(e)
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		tr.ObservePrimary(testTable, keyenc.Uint64Key(uint64(rng.Intn(1000)+1)))
+	}
+	for i := 0; i < 300; i++ {
+		tr.ObserveSecondary(testTable, "by_region")
+	}
+	for i := 0; i < 700; i++ {
+		tr.ObserveSecondary(testTable, "by_nbr")
+	}
+
+	r := tr.Report()
+	if r.TotalAccesses != 2000 {
+		t.Fatalf("total accesses %d, want 2000", r.TotalAccesses)
+	}
+	if len(r.Tables) != 1 {
+		t.Fatalf("tables %d, want 1", len(r.Tables))
+	}
+	sum := r.Tables[0]
+	if sum.Primary != 1000 || sum.Aligned != 300 || sum.NonAligned != 700 {
+		t.Fatalf("unexpected summary: %+v", sum)
+	}
+
+	// 700/2000 = 35% non-aligned: must yield a Critical finding for by_nbr.
+	var found *Finding
+	for i := range r.Findings {
+		if r.Findings[i].Index == "by_nbr" {
+			found = &r.Findings[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no finding for the non-aligned index; findings: %v", r.Findings)
+	}
+	if found.Severity != Critical {
+		t.Fatalf("severity %v, want Critical", found.Severity)
+	}
+	// The aligned index must not be flagged.
+	for _, f := range r.Findings {
+		if f.Index == "by_region" {
+			t.Fatalf("aligned index flagged: %v", f)
+		}
+	}
+	if !strings.Contains(r.String(), "by_nbr") {
+		t.Fatal("report text does not mention the problematic index")
+	}
+}
+
+func TestReportGradesNonAlignedShare(t *testing.T) {
+	cases := []struct {
+		nonAligned int
+		want       Severity
+		wantNone   bool
+	}{
+		{nonAligned: 50, wantNone: true},   // 5% — below the warn threshold
+		{nonAligned: 150, want: Warning},   // ~13%
+		{nonAligned: 600, want: Critical},  // ~37%
+		{nonAligned: 1000, want: Critical}, // 50%
+	}
+	for _, c := range cases {
+		e := newTestEngine(t)
+		tr := NewTracker(e)
+		for i := 0; i < 1000; i++ {
+			tr.ObservePrimary(testTable, keyenc.Uint64Key(uint64(i%997)+1))
+		}
+		for i := 0; i < c.nonAligned; i++ {
+			tr.ObserveSecondary(testTable, "by_nbr")
+		}
+		r := tr.Report()
+		var got *Finding
+		for i := range r.Findings {
+			if r.Findings[i].Index == "by_nbr" {
+				got = &r.Findings[i]
+			}
+		}
+		if c.wantNone {
+			if got != nil {
+				t.Fatalf("nonAligned=%d: unexpected finding %v", c.nonAligned, got)
+			}
+		} else {
+			if got == nil {
+				t.Fatalf("nonAligned=%d: no finding", c.nonAligned)
+			}
+			if got.Severity != c.want {
+				t.Fatalf("nonAligned=%d: severity %v, want %v", c.nonAligned, got.Severity, c.want)
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestReportDetectsPartitionSkew(t *testing.T) {
+	e := newTestEngine(t)
+	defer e.Close()
+	tr := NewTracker(e)
+
+	// 90% of the primary accesses hit partition 0 (keys < 251).
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		var key uint64
+		if rng.Float64() < 0.9 {
+			key = uint64(rng.Intn(250) + 1)
+		} else {
+			key = uint64(rng.Intn(750) + 251)
+		}
+		tr.ObservePrimary(testTable, keyenc.Uint64Key(key))
+	}
+	r := tr.Report()
+	var skew *Finding
+	for i := range r.Findings {
+		if r.Findings[i].Index == "" && r.Findings[i].Table == testTable {
+			skew = &r.Findings[i]
+		}
+	}
+	if skew == nil {
+		t.Fatalf("no skew finding; findings: %v", r.Findings)
+	}
+	if skew.Severity != Critical {
+		t.Fatalf("severity %v, want Critical (3.6x fair share)", skew.Severity)
+	}
+	if skew.Share < 0.8 {
+		t.Fatalf("reported hot share %.2f, want about 0.9", skew.Share)
+	}
+}
+
+func TestReportNoFindingsForFriendlyWorkload(t *testing.T) {
+	e := newTestEngine(t)
+	defer e.Close()
+	tr := NewTracker(e)
+	for i := uint64(1); i <= 1000; i++ {
+		tr.ObservePrimary(testTable, keyenc.Uint64Key(i))
+	}
+	for i := 0; i < 50; i++ {
+		tr.ObserveSecondary(testTable, "by_region")
+	}
+	r := tr.Report()
+	if len(r.Findings) != 0 {
+		t.Fatalf("unexpected findings for a friendly workload: %v", r.Findings)
+	}
+	if !strings.Contains(r.String(), "partition-friendly") {
+		t.Fatal("report should state the workload is partition-friendly")
+	}
+}
+
+func TestFindingsSortedBySeverity(t *testing.T) {
+	e := newTestEngine(t)
+	defer e.Close()
+	tr := NewTracker(e)
+	// Skewed primary accesses (Critical) plus a mildly used non-aligned
+	// index (Warning).
+	for i := 0; i < 1000; i++ {
+		tr.ObservePrimary(testTable, keyenc.Uint64Key(uint64(i%100)+1))
+	}
+	for i := 0; i < 200; i++ {
+		tr.ObserveSecondary(testTable, "by_nbr")
+	}
+	r := tr.Report()
+	if len(r.Findings) < 2 {
+		t.Fatalf("expected at least 2 findings, got %v", r.Findings)
+	}
+	for i := 1; i < len(r.Findings); i++ {
+		if r.Findings[i].Severity > r.Findings[i-1].Severity {
+			t.Fatal("findings not sorted by severity")
+		}
+	}
+}
+
+func TestUnknownSecondaryCountsAsNonAligned(t *testing.T) {
+	e := newTestEngine(t)
+	defer e.Close()
+	tr := NewTracker(e)
+	for i := 0; i < 100; i++ {
+		tr.ObservePrimary(testTable, keyenc.Uint64Key(uint64(i)+1))
+	}
+	for i := 0; i < 100; i++ {
+		tr.ObserveSecondary(testTable, "mystery_index")
+	}
+	r := tr.Report()
+	if r.Tables[0].NonAligned != 100 {
+		t.Fatalf("unknown index not counted as non-aligned: %+v", r.Tables[0])
+	}
+}
+
+func TestTrackerRecommendBoundaries(t *testing.T) {
+	e := newTestEngine(t)
+	defer e.Close()
+	tr := NewTracker(e)
+	// 80% of accesses on keys 1..100, the rest uniform over 101..1000: the
+	// recommended boundaries should pack the hot range into small partitions.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		var key uint64
+		if rng.Float64() < 0.8 {
+			key = uint64(rng.Intn(100) + 1)
+		} else {
+			key = uint64(rng.Intn(900) + 101)
+		}
+		tr.ObservePrimary(testTable, keyenc.Uint64Key(key))
+	}
+	bounds := tr.RecommendBoundaries(testTable, 4)
+	if len(bounds) != 3 {
+		t.Fatalf("got %d boundaries, want 3", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bytes.Compare(bounds[i-1], bounds[i]) >= 0 {
+			t.Fatal("boundaries not strictly increasing")
+		}
+	}
+	// With 80% of the load below key 101, the first two boundaries must lie
+	// inside the hot range.
+	first, err := keyenc.DecodeUint64(bounds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := keyenc.DecodeUint64(bounds[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first > 101 || second > 110 {
+		t.Fatalf("boundaries %d, %d do not concentrate on the hot range", first, second)
+	}
+
+	// The recommended boundaries are valid TableDef boundaries.
+	e2 := engine.New(engine.Options{Design: engine.PLPLeaf, Partitions: 4})
+	defer e2.Close()
+	if _, err := e2.CreateTable(catalog.TableDef{Name: "t2", Boundaries: bounds}); err != nil {
+		t.Fatalf("recommended boundaries rejected: %v", err)
+	}
+}
+
+func TestTrackerRecommendBoundariesEdgeCases(t *testing.T) {
+	e := newTestEngine(t)
+	defer e.Close()
+	tr := NewTracker(e)
+	if b := tr.RecommendBoundaries("unknown", 4); b != nil {
+		t.Fatal("boundaries for unknown table")
+	}
+	tr.ObservePrimary(testTable, keyenc.Uint64Key(1))
+	tr.ObservePrimary(testTable, keyenc.Uint64Key(2))
+	if b := tr.RecommendBoundaries(testTable, 8); b != nil {
+		t.Fatal("boundaries from too few distinct keys")
+	}
+	if b := tr.RecommendBoundaries(testTable, 1); b != nil {
+		t.Fatal("boundaries for a single partition")
+	}
+}
+
+func TestStandaloneRecommendBoundaries(t *testing.T) {
+	var keys [][]byte
+	for i := uint64(1); i <= 100; i++ {
+		keys = append(keys, keyenc.Uint64Key(i))
+	}
+	// Shuffle to prove the function sorts.
+	rand.New(rand.NewSource(4)).Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+
+	bounds := RecommendBoundaries(keys, 4)
+	if len(bounds) != 3 {
+		t.Fatalf("got %d boundaries, want 3", len(bounds))
+	}
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bytes.Compare(bounds[i], bounds[j]) < 0 }) {
+		t.Fatal("boundaries not sorted")
+	}
+	for i, want := range []uint64{26, 51, 76} {
+		got, err := keyenc.DecodeUint64(bounds[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("boundary %d = %d, want %d", i, got, want)
+		}
+	}
+	if RecommendBoundaries(keys[:2], 4) != nil {
+		t.Fatal("too few keys should yield nil")
+	}
+	if RecommendBoundaries(keys, 1) != nil {
+		t.Fatal("single partition should yield nil")
+	}
+}
+
+func TestTrackerConcurrentObserve(t *testing.T) {
+	e := newTestEngine(t)
+	defer e.Close()
+	tr := NewTracker(e)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				tr.ObservePrimary(testTable, keyenc.Uint64Key(uint64(rng.Intn(1000)+1)))
+				if i%10 == 0 {
+					tr.ObserveSecondary(testTable, "by_nbr")
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	r := tr.Report()
+	if r.Tables[0].Primary != 8000 {
+		t.Fatalf("primary accesses %d, want 8000", r.Tables[0].Primary)
+	}
+	if r.Tables[0].NonAligned != 800 {
+		t.Fatalf("non-aligned accesses %d, want 800", r.Tables[0].NonAligned)
+	}
+}
+
+func TestSeverityAndFindingStrings(t *testing.T) {
+	if Info.String() != "INFO" || Warning.String() != "WARNING" || Critical.String() != "CRITICAL" {
+		t.Fatal("severity labels wrong")
+	}
+	if Severity(42).String() == "" {
+		t.Fatal("unknown severity should render")
+	}
+	f := Finding{Severity: Warning, Table: "t", Index: "i", Message: "m"}
+	if got := f.String(); got != "[WARNING] t.i: m" {
+		t.Fatalf("finding string %q", got)
+	}
+	f2 := Finding{Severity: Critical, Table: "t", Message: fmt.Sprintf("m")}
+	if got := f2.String(); got != "[CRITICAL] t: m" {
+		t.Fatalf("table-level finding string %q", got)
+	}
+}

@@ -1,0 +1,411 @@
+// Package balance implements automatic load-balance monitoring and
+// repartitioning for the partitioned designs.
+//
+// The paper argues (Section 3.2.1 and Appendix E) that the decisive
+// advantage of physiological partitioning over shared-nothing designs is
+// that repartitioning is cheap enough to be performed continuously: "agile
+// load-balancing gradually migrates hot records to small partitions", and
+// the authors state they are investigating "techniques to rapidly detect and
+// efficiently handle problems due to load imbalance".  This package is that
+// piece: a monitor that
+//
+//  1. observes the keys the workload touches (the client, the harness or a
+//     server front-end feeds it one Observe call per routed action),
+//  2. detects when one logical partition receives more than its fair share
+//     of the load, and
+//  3. moves a partition boundary through Engine.Rebalance — the same
+//     quiesce-and-update-metadata operation Figure 8 measures — so that the
+//     hot key range is split across two workers.
+//
+// The monitor never touches the engine's hot path: routing during normal
+// processing is unchanged, exactly as the partition manager of the paper
+// keeps the partition table off the workers' critical path.
+package balance
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"plp/internal/engine"
+)
+
+// Errors returned by the monitor.
+var (
+	// ErrNotPartitioned is returned when the engine has a single partition:
+	// there is nothing to balance.
+	ErrNotPartitioned = errors.New("balance: engine has fewer than two partitions")
+	// ErrNoTable is returned when the monitored table does not exist.
+	ErrNoTable = errors.New("balance: unknown table")
+)
+
+// Config configures a Monitor.
+type Config struct {
+	// Table is the table whose partitioning the monitor manages.
+	Table string
+	// Threshold is the ratio of the hottest partition's observed share to
+	// the fair share (1/partitions) above which the monitor rebalances.
+	// Values <= 1 are replaced by the default of 1.5.
+	Threshold float64
+	// MinObservations is the minimum number of observed accesses before the
+	// monitor will act; it prevents rebalancing on noise.  Default 1024.
+	MinObservations int
+	// MaxTrackedKeys caps the per-round key histogram.  Default 16384.
+	MaxTrackedKeys int
+	// MinTransferFraction is the smallest fraction of the total observed
+	// load worth moving; smaller prospective transfers are skipped so the
+	// monitor does not chase noise with repeated tiny boundary moves.
+	// Default 0.05 (5% of the observed load).
+	MinTransferFraction float64
+	// CheckInterval is the period of the background loop started by Start.
+	// Default 100ms.
+	CheckInterval time.Duration
+}
+
+// normalize fills in defaults.
+func (c *Config) normalize() {
+	if c.Threshold <= 1 {
+		c.Threshold = 1.5
+	}
+	if c.MinObservations <= 0 {
+		c.MinObservations = 1024
+	}
+	if c.MaxTrackedKeys <= 0 {
+		c.MaxTrackedKeys = 16384
+	}
+	if c.MinTransferFraction <= 0 {
+		c.MinTransferFraction = 0.05
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 100 * time.Millisecond
+	}
+}
+
+// Decision describes one rebalancing action taken by the monitor.
+type Decision struct {
+	// When the decision was made.
+	When time.Time
+	// HotPartition is the partition that exceeded its fair share.
+	HotPartition int
+	// TargetPartition is the neighbour that absorbed part of its key range.
+	TargetPartition int
+	// Boundary is the new partition boundary installed.
+	Boundary []byte
+	// SharesBefore are the observed per-partition load shares that triggered
+	// the decision.
+	SharesBefore []float64
+	// Observations is the number of accesses the shares are based on.
+	Observations uint64
+	// Rebalance reports the physical cost of the boundary move.
+	Rebalance engine.RebalanceStats
+}
+
+// String renders the decision for logs and reports.
+func (d Decision) String() string {
+	return fmt.Sprintf("partition %d → %d (%.0f%% of load, %d obs, %d entries moved, %v quiesced)",
+		d.HotPartition, d.TargetPartition,
+		100*d.SharesBefore[d.HotPartition], d.Observations,
+		d.Rebalance.EntriesMoved, d.Rebalance.Duration.Round(time.Microsecond))
+}
+
+// Monitor watches access patterns for one table and rebalances its
+// partitions when they become skewed.
+type Monitor struct {
+	e   *engine.Engine
+	cfg Config
+
+	mu     sync.Mutex
+	counts []uint64          // accesses per partition since the last decision
+	hist   map[string]uint64 // key → access count (bounded by MaxTrackedKeys)
+	total  uint64
+
+	decisions []Decision
+	checks    uint64
+	skipped   uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewMonitor returns a monitor for the engine.  The engine must have at
+// least two partitions and the table must exist.
+func NewMonitor(e *engine.Engine, cfg Config) (*Monitor, error) {
+	cfg.normalize()
+	if e.Options().Partitions < 2 {
+		return nil, ErrNotPartitioned
+	}
+	if _, err := e.Table(cfg.Table); err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, cfg.Table)
+	}
+	return &Monitor{
+		e:      e,
+		cfg:    cfg,
+		counts: make([]uint64, e.Options().Partitions),
+		hist:   make(map[string]uint64),
+	}, nil
+}
+
+// Observe records one access to key.  It is cheap (one map update under a
+// mutex) and is meant to be called by the request-submitting side — never by
+// the partition workers.
+func (m *Monitor) Observe(key []byte) {
+	p := m.e.PartitionFor(m.cfg.Table, key)
+	m.mu.Lock()
+	if p >= 0 && p < len(m.counts) {
+		m.counts[p]++
+	}
+	m.total++
+	if _, ok := m.hist[string(key)]; ok || len(m.hist) < m.cfg.MaxTrackedKeys {
+		m.hist[string(key)]++
+	}
+	m.mu.Unlock()
+}
+
+// Shares returns the current observed per-partition load shares.
+func (m *Monitor) Shares() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sharesLocked(m.counts, m.total)
+}
+
+func sharesLocked(counts []uint64, total uint64) []float64 {
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Observations returns the number of accesses observed since the last
+// decision.
+func (m *Monitor) Observations() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// Decisions returns every rebalancing decision taken so far.
+func (m *Monitor) Decisions() []Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Decision(nil), m.decisions...)
+}
+
+// Stats returns how many checks ran and how many were skipped (too few
+// observations or no imbalance).
+func (m *Monitor) Stats() (checks, skipped uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checks, m.skipped
+}
+
+// Check evaluates the observed load and rebalances at most one boundary.
+// It returns the decision taken, or nil when no action was needed.
+func (m *Monitor) Check() (*Decision, error) {
+	m.mu.Lock()
+	m.checks++
+	parts := len(m.counts)
+	total := m.total
+	if total < uint64(m.cfg.MinObservations) {
+		m.skipped++
+		m.mu.Unlock()
+		return nil, nil
+	}
+	shares := sharesLocked(m.counts, total)
+	hot := hottest(shares)
+	fair := 1.0 / float64(parts)
+	if shares[hot] < m.cfg.Threshold*fair {
+		m.skipped++
+		m.mu.Unlock()
+		return nil, nil
+	}
+	// Pick the cooler neighbour and shed enough load to equalize the pair
+	// (but never more than the hot partition's excess over its fair share).
+	// Pairwise averaging converges without oscillating: once the hot
+	// partition and its cooler neighbour carry the same load there is
+	// nothing left to move between them.
+	target := coolerNeighbour(shares, hot)
+	var boundary []byte
+	if target >= 0 {
+		excess := float64(m.counts[hot]) - fair*float64(total)
+		pairGap := (float64(m.counts[hot]) - float64(m.counts[target])) / 2
+		transfer := excess
+		if pairGap < transfer {
+			transfer = pairGap
+		}
+		if transfer >= m.cfg.MinTransferFraction*float64(total) {
+			boundary = m.splitKeyLocked(hot, target, uint64(transfer))
+		}
+	}
+	m.mu.Unlock()
+
+	if boundary == nil || target < 0 {
+		// Not enough per-key information (for example a single hot key), or
+		// no transfer that would improve balance: splitting would not help.
+		m.mu.Lock()
+		m.skipped++
+		m.mu.Unlock()
+		return nil, nil
+	}
+
+	// The boundary index passed to Rebalance is the partition whose lower
+	// bound moves.
+	var idx int
+	if target == hot-1 {
+		// The lower half of the hot range moves to the left neighbour:
+		// raise the hot partition's own lower bound.
+		idx = hot
+	} else {
+		// The upper half moves to the right neighbour: lower its bound.
+		idx = hot + 1
+	}
+	st, err := m.e.Rebalance(m.cfg.Table, idx, boundary)
+	if err != nil {
+		return nil, err
+	}
+
+	d := Decision{
+		When:            time.Now(),
+		HotPartition:    hot,
+		TargetPartition: target,
+		Boundary:        append([]byte(nil), boundary...),
+		SharesBefore:    shares,
+		Observations:    total,
+		Rebalance:       st,
+	}
+	m.mu.Lock()
+	m.decisions = append(m.decisions, d)
+	// Start a fresh observation window so the next decision reflects the new
+	// partitioning.
+	m.counts = make([]uint64, parts)
+	m.hist = make(map[string]uint64)
+	m.total = 0
+	m.mu.Unlock()
+	return &d, nil
+}
+
+// hottest returns the index of the largest share.
+func hottest(shares []float64) int {
+	hot := 0
+	for i, s := range shares {
+		if s > shares[hot] {
+			hot = i
+		}
+	}
+	return hot
+}
+
+// coolerNeighbour returns whichever adjacent partition has the smaller
+// share, or -1 when the hot partition has no neighbours.
+func coolerNeighbour(shares []float64, hot int) int {
+	left, right := hot-1, hot+1
+	switch {
+	case left < 0 && right >= len(shares):
+		return -1
+	case left < 0:
+		return right
+	case right >= len(shares):
+		return left
+	case shares[left] <= shares[right]:
+		return left
+	default:
+		return right
+	}
+}
+
+// splitKeyLocked returns the boundary key that sheds roughly `transfer`
+// observed accesses from the hot partition towards the target neighbour.
+// For a right-hand neighbour the hottest upper keys move (keys >= boundary);
+// for a left-hand neighbour the lower keys move (keys < boundary).  It
+// returns nil when there is not enough per-key information to split.
+// Caller holds m.mu.
+func (m *Monitor) splitKeyLocked(hot, target int, transfer uint64) []byte {
+	type kc struct {
+		key   []byte
+		count uint64
+	}
+	var keys []kc
+	var weight uint64
+	for k, c := range m.hist {
+		key := []byte(k)
+		if m.e.PartitionFor(m.cfg.Table, key) != hot {
+			continue
+		}
+		keys = append(keys, kc{key: key, count: c})
+		weight += c
+	}
+	if len(keys) < 2 || weight == 0 || transfer == 0 {
+		return nil
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i].key, keys[j].key) < 0 })
+
+	if target > hot {
+		// Shed from the top: walk downwards accumulating weight; the lowest
+		// shed key becomes the new lower bound of the right neighbour.
+		var cum uint64
+		for i := len(keys) - 1; i >= 1; i-- { // keep at least keys[0] in the hot partition
+			cum += keys[i].count
+			if cum >= transfer {
+				return append([]byte(nil), keys[i].key...)
+			}
+		}
+		// Everything except the lowest key would move.
+		return append([]byte(nil), keys[1].key...)
+	}
+	// Shed from the bottom: walk upwards; the first key that stays becomes
+	// the hot partition's new lower bound.
+	var cum uint64
+	for i := 0; i < len(keys)-1; i++ { // keep at least keys[len-1] in the hot partition
+		cum += keys[i].count
+		if cum >= transfer {
+			return append([]byte(nil), keys[i+1].key...)
+		}
+	}
+	return append([]byte(nil), keys[len(keys)-1].key...)
+}
+
+// Start launches a background goroutine that calls Check periodically.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.stop != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	stop, done := m.stop, m.done
+	m.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(m.cfg.CheckInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				_, _ = m.Check()
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop and waits for it to exit.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,338 @@
+package balance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"plp/internal/catalog"
+	"plp/internal/engine"
+	"plp/internal/keyenc"
+)
+
+const testTable = "acct"
+
+// newTestEngine creates an engine with nParts partitions over keys [1, max].
+func newTestEngine(t *testing.T, design engine.Design, nParts int, max uint64) *engine.Engine {
+	t.Helper()
+	e := engine.New(engine.Options{Design: design, Partitions: nParts})
+	var boundaries [][]byte
+	for i := 1; i < nParts; i++ {
+		boundaries = append(boundaries, keyenc.Uint64Key(max*uint64(i)/uint64(nParts)+1))
+	}
+	if _, err := e.CreateTable(catalog.TableDef{Name: testTable, Boundaries: boundaries}); err != nil {
+		t.Fatal(err)
+	}
+	loader := e.NewLoader()
+	for i := uint64(1); i <= max; i++ {
+		if err := loader.Insert(testTable, keyenc.Uint64Key(i), []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	single := engine.New(engine.Options{Design: engine.PLPRegular, Partitions: 1})
+	defer single.Close()
+	if _, err := single.CreateTable(catalog.TableDef{Name: testTable}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMonitor(single, Config{Table: testTable}); err == nil {
+		t.Fatal("single-partition engine accepted")
+	}
+
+	e := newTestEngine(t, engine.PLPRegular, 4, 100)
+	defer e.Close()
+	if _, err := NewMonitor(e, Config{Table: "nope"}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := NewMonitor(e, Config{Table: testTable}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoRebalanceWhenBalanced(t *testing.T) {
+	e := newTestEngine(t, engine.PLPRegular, 4, 1000)
+	defer e.Close()
+	m, err := NewMonitor(e, Config{Table: testTable, MinObservations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4000; i++ {
+		m.Observe(keyenc.Uint64Key(uint64(rng.Intn(1000) + 1)))
+	}
+	d, err := m.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Fatalf("uniform load triggered a rebalance: %v", d)
+	}
+	checks, skipped := m.Stats()
+	if checks != 1 || skipped != 1 {
+		t.Fatalf("checks=%d skipped=%d", checks, skipped)
+	}
+}
+
+func TestNoRebalanceBelowMinObservations(t *testing.T) {
+	e := newTestEngine(t, engine.PLPRegular, 4, 1000)
+	defer e.Close()
+	m, err := NewMonitor(e, Config{Table: testTable, MinObservations: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extremely skewed but too few observations to act on.
+	for i := 0; i < 100; i++ {
+		m.Observe(keyenc.Uint64Key(5))
+	}
+	d, err := m.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Fatal("monitor acted below MinObservations")
+	}
+}
+
+func TestRebalanceSplitsHotPartition(t *testing.T) {
+	for _, design := range []engine.Design{engine.Logical, engine.PLPRegular, engine.PLPLeaf} {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			e := newTestEngine(t, design, 4, 1000)
+			defer e.Close()
+			m, err := NewMonitor(e, Config{Table: testTable, MinObservations: 500, Threshold: 1.3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Partition 0 covers keys [1, 251); hammer it.
+			rng := rand.New(rand.NewSource(2))
+			for i := 0; i < 5000; i++ {
+				var key uint64
+				if rng.Float64() < 0.9 {
+					key = uint64(rng.Intn(250) + 1) // hot range, partition 0
+				} else {
+					key = uint64(rng.Intn(750) + 251)
+				}
+				m.Observe(keyenc.Uint64Key(key))
+			}
+			shares := m.Shares()
+			if shares[0] < 0.5 {
+				t.Fatalf("test setup broken: partition 0 share %.2f", shares[0])
+			}
+
+			d, err := m.Check()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d == nil {
+				t.Fatal("skewed load did not trigger a rebalance")
+			}
+			if d.HotPartition != 0 {
+				t.Fatalf("hot partition %d, want 0", d.HotPartition)
+			}
+			if d.TargetPartition != 1 {
+				t.Fatalf("target partition %d, want 1", d.TargetPartition)
+			}
+			// After the boundary move, the upper half of the old hot range
+			// must route to partition 1.
+			if p := e.PartitionFor(testTable, keyenc.Uint64Key(240)); p != 1 {
+				t.Fatalf("key 240 routes to partition %d after rebalance, want 1", p)
+			}
+			// The lowest keys stay with partition 0.
+			if p := e.PartitionFor(testTable, keyenc.Uint64Key(5)); p != 0 {
+				t.Fatalf("key 5 routes to partition %d after rebalance, want 0", p)
+			}
+			// Logical design only updates routing; PLP designs move index
+			// entries physically.
+			if design == engine.Logical {
+				if !d.Rebalance.RoutingOnly {
+					t.Fatal("Logical design should only update routing")
+				}
+			} else {
+				if d.Rebalance.RoutingOnly {
+					t.Fatal("PLP design should repartition the MRBTree")
+				}
+			}
+			// The observation window resets after a decision.
+			if m.Observations() != 0 {
+				t.Fatalf("observations not reset: %d", m.Observations())
+			}
+			if len(m.Decisions()) != 1 {
+				t.Fatalf("decisions=%d, want 1", len(m.Decisions()))
+			}
+			if d.String() == "" {
+				t.Fatal("decision string empty")
+			}
+
+			// Data must remain readable after the automatic repartitioning.
+			l := e.NewLoader()
+			for _, k := range []uint64{1, 100, 240, 260, 600, 1000} {
+				if _, err := l.Read(testTable, keyenc.Uint64Key(k)); err != nil {
+					t.Fatalf("key %d unreadable after rebalance: %v", k, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRebalanceHotMiddlePartitionPicksCoolerNeighbour(t *testing.T) {
+	e := newTestEngine(t, engine.PLPRegular, 4, 1000)
+	defer e.Close()
+	m, err := NewMonitor(e, Config{Table: testTable, MinObservations: 500, Threshold: 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition 2 covers [501, 751). Make it hot; give partition 1 some load
+	// and partition 3 almost none, so partition 3 is the cooler neighbour.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 6000; i++ {
+		r := rng.Float64()
+		var key uint64
+		switch {
+		case r < 0.7:
+			key = uint64(rng.Intn(250) + 501) // partition 2
+		case r < 0.95:
+			key = uint64(rng.Intn(250) + 251) // partition 1
+		default:
+			key = uint64(rng.Intn(250) + 1) // partition 0
+		}
+		m.Observe(keyenc.Uint64Key(key))
+	}
+	d, err := m.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("no decision for hot middle partition")
+	}
+	if d.HotPartition != 2 || d.TargetPartition != 3 {
+		t.Fatalf("hot=%d target=%d, want hot=2 target=3", d.HotPartition, d.TargetPartition)
+	}
+	// Upper half of partition 2's hot keys should now route to partition 3.
+	if p := e.PartitionFor(testTable, keyenc.Uint64Key(745)); p != 3 {
+		t.Fatalf("key 745 routes to %d, want 3", p)
+	}
+}
+
+func TestSingleHotKeyDoesNotTriggerUselessSplit(t *testing.T) {
+	e := newTestEngine(t, engine.PLPRegular, 4, 1000)
+	defer e.Close()
+	m, err := NewMonitor(e, Config{Table: testTable, MinObservations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		m.Observe(keyenc.Uint64Key(42))
+	}
+	d, err := m.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Fatalf("single hot key triggered a split: %v", d)
+	}
+}
+
+func TestSuccessiveRebalancesConverge(t *testing.T) {
+	e := newTestEngine(t, engine.PLPLeaf, 4, 1000)
+	defer e.Close()
+	m, err := NewMonitor(e, Config{Table: testTable, MinObservations: 500, Threshold: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	observe := func(n int) {
+		for i := 0; i < n; i++ {
+			var key uint64
+			if rng.Float64() < 0.8 {
+				key = uint64(rng.Intn(100) + 1) // 80% of load on keys 1..100
+			} else {
+				key = uint64(rng.Intn(900) + 101)
+			}
+			m.Observe(keyenc.Uint64Key(key))
+		}
+	}
+	rounds := 0
+	for ; rounds < 8; rounds++ {
+		observe(3000)
+		d, err := m.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == nil {
+			break
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("no rebalance ever happened")
+	}
+	if rounds >= 8 {
+		t.Fatal("rebalancing did not converge within 8 rounds")
+	}
+	// After convergence the hottest partition's share should be much closer
+	// to fair than the initial 80%.
+	observe(3000)
+	shares := m.Shares()
+	if shares[hottest(shares)] > 0.65 {
+		t.Fatalf("hot share still %.2f after convergence", shares[hottest(shares)])
+	}
+}
+
+func TestBackgroundMonitor(t *testing.T) {
+	e := newTestEngine(t, engine.PLPRegular, 4, 1000)
+	defer e.Close()
+	m, err := NewMonitor(e, Config{
+		Table:           testTable,
+		MinObservations: 200,
+		Threshold:       1.3,
+		CheckInterval:   5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	m.Start() // second Start is a no-op
+	defer m.Stop()
+
+	rng := rand.New(rand.NewSource(5))
+	deadline := time.Now().Add(2 * time.Second)
+	for len(m.Decisions()) == 0 {
+		for i := 0; i < 500; i++ {
+			key := uint64(rng.Intn(200) + 1)
+			m.Observe(keyenc.Uint64Key(key))
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background monitor never rebalanced")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	m.Stop()
+	m.Stop() // second Stop is a no-op
+	if checks, _ := func() (uint64, uint64) { return m.Stats() }(); checks == 0 {
+		t.Fatal("no checks recorded")
+	}
+}
+
+func TestHelperFunctions(t *testing.T) {
+	if hottest([]float64{0.1, 0.7, 0.2}) != 1 {
+		t.Fatal("hottest wrong")
+	}
+	if coolerNeighbour([]float64{0.7, 0.2, 0.1}, 0) != 1 {
+		t.Fatal("edge partition should pick its only neighbour")
+	}
+	if coolerNeighbour([]float64{0.1, 0.7, 0.2}, 1) != 0 {
+		t.Fatal("middle partition should pick the cooler side")
+	}
+	if coolerNeighbour([]float64{0.3, 0.1, 0.6}, 2) != 1 {
+		t.Fatal("last partition should pick its left neighbour")
+	}
+	if coolerNeighbour([]float64{1.0}, 0) != -1 {
+		t.Fatal("lone partition has no neighbour")
+	}
+	if s := sharesLocked([]uint64{0, 0}, 0); s[0] != 0 || s[1] != 0 {
+		t.Fatal("zero-total shares should be zero")
+	}
+}

@@ -1,0 +1,62 @@
+package balance
+
+import (
+	"testing"
+
+	"plp/internal/catalog"
+	"plp/internal/engine"
+	"plp/internal/keyenc"
+)
+
+// benchEngine builds an 8-partition engine for the monitor benchmarks.
+func benchEngine(b *testing.B) *engine.Engine {
+	b.Helper()
+	e := engine.New(engine.Options{Design: engine.PLPLeaf, Partitions: 8})
+	var boundaries [][]byte
+	for i := 1; i < 8; i++ {
+		boundaries = append(boundaries, keyenc.Uint64Key(uint64(i*100_000)))
+	}
+	if _, err := e.CreateTable(catalog.TableDef{Name: testTable, Boundaries: boundaries}); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+// BenchmarkObserve measures the per-request overhead a client pays to feed
+// the monitor (it must stay negligible next to a transaction).
+func BenchmarkObserve(b *testing.B) {
+	e := benchEngine(b)
+	m, err := NewMonitor(e, Config{Table: testTable})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = keyenc.Uint64Key(uint64(i*613 + 1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkCheckNoAction measures the cost of a monitoring round that finds
+// nothing to do (the common case for the background loop).
+func BenchmarkCheckNoAction(b *testing.B) {
+	e := benchEngine(b)
+	m, err := NewMonitor(e, Config{Table: testTable, MinObservations: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(1); i <= 800_000; i += 100 {
+		m.Observe(keyenc.Uint64Key(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d, err := m.Check(); err != nil || d != nil {
+			b.Fatalf("unexpected decision %v err %v", d, err)
+		}
+	}
+}

@@ -1,0 +1,886 @@
+// Package btree implements a B+Tree whose nodes are slotted database pages
+// fixed through the buffer pool, with the latching protocol of a
+// conventional shared-everything storage manager:
+//
+//   - probes latch-crab from the root with shared latches;
+//   - updates latch the leaf exclusively;
+//   - structure modification operations (SMOs: page splits) are serialized
+//     per tree by an SMO mutex, mirroring the ARIES/KVL behaviour the paper
+//     describes ("only one SMO is allowed for a B+tree index at a time");
+//   - a latch-free mode skips all latching and SMO serialization, which is
+//     how PLP accesses the sub-trees owned by a single partition worker.
+//
+// The same Tree type is used directly by the conventional design and as the
+// per-partition sub-tree of the MRBTree (package mrbtree).  Slice and Meld —
+// the sub-tree split/merge operations that make MRBTree repartitioning
+// cheap — are implemented in slice.go.
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"plp/internal/bufferpool"
+	"plp/internal/cs"
+	"plp/internal/latch"
+	"plp/internal/page"
+	"plp/internal/txn"
+	"plp/internal/wal"
+)
+
+// Errors returned by tree operations.
+var (
+	ErrDuplicateKey  = errors.New("btree: duplicate key")
+	ErrKeyNotFound   = errors.New("btree: key not found")
+	ErrKeyTooLarge   = errors.New("btree: key exceeds MaxKeySize")
+	ErrValueTooLarge = errors.New("btree: value exceeds MaxValueSize")
+)
+
+// Config configures a Tree.
+type Config struct {
+	// Latched selects the conventional latching protocol.  When false the
+	// tree performs no latching at all (PLP sub-trees owned by a single
+	// worker).
+	Latched bool
+	// MaxSlotsPerNode artificially limits node fan-out so tests can force
+	// deep trees and frequent SMOs with little data.  Zero means "page
+	// capacity only".  Values below 4 are rounded up to 4.
+	MaxSlotsPerNode int
+	// CSStats receives critical-section accounting (may be nil).
+	CSStats *cs.Stats
+	// Log, when non-nil, receives one SMO record per page split.
+	Log wal.Log
+}
+
+// Tree is a B+Tree over buffer-pool pages.
+type Tree struct {
+	bp   *bufferpool.Pool
+	cfg  Config
+	id   uint32
+	root page.ID
+
+	// smoMu serializes structure modifications (page splits) within this
+	// tree, as ARIES/KVL does.  MRBTrees give every sub-tree its own Tree
+	// and therefore its own SMO mutex, which is what enables parallel SMOs.
+	smoMu sync.Mutex
+
+	nSplits  uint64
+	splitsMu sync.Mutex
+}
+
+// Create allocates an empty tree (a single empty leaf that permanently
+// serves as the root page).
+func Create(bp *bufferpool.Pool, id uint32, cfg Config) (*Tree, error) {
+	if cfg.MaxSlotsPerNode > 0 && cfg.MaxSlotsPerNode < 4 {
+		cfg.MaxSlotsPerNode = 4
+	}
+	frame, err := bp.NewPage(page.KindIndexLeaf)
+	if err != nil {
+		return nil, err
+	}
+	p := frame.Page()
+	p.SetOwner(uint64(id))
+	setNodeLevel(p, 0)
+	root := p.ID()
+	bp.Unfix(frame, true)
+	return &Tree{bp: bp, cfg: cfg, id: id, root: root}, nil
+}
+
+// Open returns a Tree over an existing root page (used when the MRBTree
+// slices a sub-tree or re-opens one after a partition-table change).
+func Open(bp *bufferpool.Pool, id uint32, root page.ID, cfg Config) *Tree {
+	if cfg.MaxSlotsPerNode > 0 && cfg.MaxSlotsPerNode < 4 {
+		cfg.MaxSlotsPerNode = 4
+	}
+	return &Tree{bp: bp, cfg: cfg, id: id, root: root}
+}
+
+// RootPage returns the (immutable) root page ID of the tree.
+func (t *Tree) RootPage() page.ID { return t.root }
+
+// ID returns the index space id.
+func (t *Tree) ID() uint32 { return t.id }
+
+// Latched reports whether the tree uses the conventional latching protocol.
+func (t *Tree) Latched() bool { return t.cfg.Latched }
+
+// SetLatched switches the latching protocol (used when a loaded database is
+// handed from the loader to a PLP engine).
+func (t *Tree) SetLatched(v bool) { t.cfg.Latched = v }
+
+// NumSplits returns the number of page splits performed so far.
+func (t *Tree) NumSplits() uint64 {
+	t.splitsMu.Lock()
+	defer t.splitsMu.Unlock()
+	return t.nSplits
+}
+
+func (t *Tree) countSplit() {
+	t.splitsMu.Lock()
+	t.nSplits++
+	t.splitsMu.Unlock()
+}
+
+// latchNode acquires the node latch when latching is enabled, attributing
+// wait time to the transaction's index-latch bucket.
+func (t *Tree) latchNode(tx *txn.Txn, f *bufferpool.Frame, mode latch.Mode) {
+	if !t.cfg.Latched {
+		return
+	}
+	wait := f.Latch().Acquire(mode)
+	if tx != nil {
+		tx.Breakdown.AddLatch()
+		tx.Breakdown.AddWait(txn.WaitIndexLatch, wait)
+	}
+}
+
+// unlatchNode releases the node latch when latching is enabled.
+func (t *Tree) unlatchNode(f *bufferpool.Frame, mode latch.Mode) {
+	if !t.cfg.Latched {
+		return
+	}
+	f.Latch().Release(mode)
+}
+
+// releaseNode unlatches and unfixes a node frame.
+func (t *Tree) releaseNode(f *bufferpool.Frame, mode latch.Mode, dirty bool) {
+	t.unlatchNode(f, mode)
+	t.bp.Unfix(f, dirty)
+}
+
+// logSMO appends one SMO log record, if logging is configured.
+func (t *Tree) logSMO(tx *txn.Txn, pid page.ID) {
+	if t.cfg.Log == nil {
+		return
+	}
+	rec := &wal.Record{Type: wal.RecSMO, Page: pid}
+	if tx != nil {
+		rec.Txn = tx.ID()
+		rec.PrevLSN = tx.LastLSN()
+	}
+	lsn := t.cfg.Log.Append(rec)
+	if tx != nil {
+		tx.SetLastLSN(lsn)
+	}
+}
+
+// validateSizes rejects oversized keys/values up front.
+func validateSizes(key, value []byte) error {
+	if len(key) == 0 || len(key) > MaxKeySize {
+		return fmt.Errorf("%w: %d bytes", ErrKeyTooLarge, len(key))
+	}
+	if len(value) > MaxValueSize {
+		return fmt.Errorf("%w: %d bytes", ErrValueTooLarge, len(value))
+	}
+	return nil
+}
+
+// Search returns a copy of the value stored under key.
+func (t *Tree) Search(tx *txn.Txn, key []byte) ([]byte, bool, error) {
+	f, err := t.descendRead(tx, key)
+	if err != nil {
+		return nil, false, err
+	}
+	pos, found, err := leafSearch(f.Page(), key)
+	var out []byte
+	if err == nil && found {
+		_, v, verr := leafEntryAt(f.Page(), pos)
+		if verr == nil {
+			out = append([]byte(nil), v...)
+		} else {
+			err = verr
+		}
+	}
+	t.releaseNode(f, latch.Shared, false)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, found, nil
+}
+
+// descendRead walks from the root to the leaf covering key with shared
+// latch crabbing and returns the leaf frame latched in shared mode.
+func (t *Tree) descendRead(tx *txn.Txn, key []byte) (*bufferpool.Frame, error) {
+	f, err := t.bp.Fix(t.root)
+	if err != nil {
+		return nil, err
+	}
+	t.latchNode(tx, f, latch.Shared)
+	for !isLeaf(f.Page()) {
+		idx, serr := interiorSearch(f.Page(), key)
+		if serr != nil {
+			t.releaseNode(f, latch.Shared, false)
+			return nil, serr
+		}
+		_, child, eerr := interiorEntryAt(f.Page(), idx)
+		if eerr != nil {
+			t.releaseNode(f, latch.Shared, false)
+			return nil, eerr
+		}
+		cf, ferr := t.bp.Fix(child)
+		if ferr != nil {
+			t.releaseNode(f, latch.Shared, false)
+			return nil, ferr
+		}
+		t.latchNode(tx, cf, latch.Shared)
+		t.releaseNode(f, latch.Shared, false)
+		f = cf
+	}
+	return f, nil
+}
+
+// descendWriteLeaf walks to the leaf covering key, holding shared latches on
+// interior nodes and an exclusive latch on the leaf.  This is the optimistic
+// path used when no split is expected.
+func (t *Tree) descendWriteLeaf(tx *txn.Txn, key []byte) (*bufferpool.Frame, error) {
+	f, err := t.descendWriteRoot(tx)
+	if err != nil || f == nil {
+		return f, err
+	}
+	if isLeaf(f.Page()) {
+		// descendWriteRoot returned the root exclusively latched because it
+		// is (still) a leaf.
+		return f, nil
+	}
+	for {
+		idx, serr := interiorSearch(f.Page(), key)
+		if serr != nil {
+			t.releaseNode(f, latch.Shared, false)
+			return nil, serr
+		}
+		_, child, eerr := interiorEntryAt(f.Page(), idx)
+		if eerr != nil {
+			t.releaseNode(f, latch.Shared, false)
+			return nil, eerr
+		}
+		cf, ferr := t.bp.Fix(child)
+		if ferr != nil {
+			t.releaseNode(f, latch.Shared, false)
+			return nil, ferr
+		}
+		if isLeaf(cf.Page()) {
+			t.latchNode(tx, cf, latch.Exclusive)
+			t.releaseNode(f, latch.Shared, false)
+			return cf, nil
+		}
+		t.latchNode(tx, cf, latch.Shared)
+		t.releaseNode(f, latch.Shared, false)
+		f = cf
+	}
+}
+
+// descendWriteRoot latches the root for an optimistic write descent.  The
+// root's kind can change underneath us (raiseRoot turns a leaf root into an
+// interior root in place), so the kind must be re-checked after the latch is
+// held: the root is returned exclusively latched if it is a leaf and
+// share-latched if it is an interior node.
+func (t *Tree) descendWriteRoot(tx *txn.Txn) (*bufferpool.Frame, error) {
+	for {
+		f, err := t.bp.Fix(t.root)
+		if err != nil {
+			return nil, err
+		}
+		t.latchNode(tx, f, latch.Shared)
+		if !isLeaf(f.Page()) {
+			return f, nil
+		}
+		// The root looks like a leaf: we need it exclusively.  RWMutex has
+		// no upgrade, so release and re-acquire, then re-check.
+		t.unlatchNode(f, latch.Shared)
+		t.latchNode(tx, f, latch.Exclusive)
+		if isLeaf(f.Page()) {
+			return f, nil
+		}
+		// Lost the race with a root raise; retry as an interior descent.
+		t.releaseNode(f, latch.Exclusive, false)
+	}
+}
+
+// Insert adds key/value.  It returns ErrDuplicateKey if the key is already
+// present.
+func (t *Tree) Insert(tx *txn.Txn, key, value []byte) error {
+	return t.insert(tx, key, value, false)
+}
+
+// Put adds key/value, overwriting the existing value if the key is present.
+func (t *Tree) Put(tx *txn.Txn, key, value []byte) error {
+	return t.insert(tx, key, value, true)
+}
+
+func (t *Tree) insert(tx *txn.Txn, key, value []byte, upsert bool) error {
+	if err := validateSizes(key, value); err != nil {
+		return err
+	}
+	entry := encodeLeafEntry(key, value)
+
+	// Optimistic attempt: leaf-only exclusive latch.
+	f, err := t.descendWriteLeaf(tx, key)
+	if err != nil {
+		return err
+	}
+	p := f.Page()
+	pos, found, err := leafSearch(p, key)
+	if err != nil {
+		t.releaseNode(f, latch.Exclusive, false)
+		return err
+	}
+	if found {
+		if !upsert {
+			t.releaseNode(f, latch.Exclusive, false)
+			return fmt.Errorf("%w: %x", ErrDuplicateKey, key)
+		}
+		err = t.updateLeafEntry(tx, f, pos, key, value)
+		if err == nil {
+			t.releaseNode(f, latch.Exclusive, true)
+			return nil
+		}
+		if !errors.Is(err, page.ErrPageFull) {
+			t.releaseNode(f, latch.Exclusive, false)
+			return err
+		}
+		// Fall through to the pessimistic path: replacing needs a split.
+		t.releaseNode(f, latch.Exclusive, false)
+		return t.insertPessimistic(tx, key, value, upsert)
+	}
+	if !nodeFull(p, len(entry), t.cfg.MaxSlotsPerNode) {
+		if err := p.InsertAt(pos, entry); err == nil {
+			t.releaseNode(f, latch.Exclusive, true)
+			return nil
+		}
+	}
+	t.releaseNode(f, latch.Exclusive, false)
+	return t.insertPessimistic(tx, key, value, upsert)
+}
+
+// updateLeafEntry overwrites the value of an existing leaf entry in place.
+func (t *Tree) updateLeafEntry(tx *txn.Txn, f *bufferpool.Frame, pos int, key, value []byte) error {
+	return f.Page().SetAt(pos, encodeLeafEntry(key, value))
+}
+
+// Update overwrites the value of an existing key.  It returns
+// ErrKeyNotFound if the key is absent.
+func (t *Tree) Update(tx *txn.Txn, key, value []byte) error {
+	if err := validateSizes(key, value); err != nil {
+		return err
+	}
+	f, err := t.descendWriteLeaf(tx, key)
+	if err != nil {
+		return err
+	}
+	p := f.Page()
+	pos, found, err := leafSearch(p, key)
+	if err != nil || !found {
+		t.releaseNode(f, latch.Exclusive, false)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: %x", ErrKeyNotFound, key)
+	}
+	err = t.updateLeafEntry(tx, f, pos, key, value)
+	if err == nil {
+		t.releaseNode(f, latch.Exclusive, true)
+		return nil
+	}
+	t.releaseNode(f, latch.Exclusive, false)
+	if errors.Is(err, page.ErrPageFull) {
+		return t.insertPessimistic(tx, key, value, true)
+	}
+	return err
+}
+
+// Delete removes key.  It reports whether the key was present.  Underflowed
+// nodes are not merged (deletes are rare in the paper's workloads and
+// ARIES/KVL-style merges would not change which critical sections are
+// measured); empty leaves simply remain in place until their sibling splits
+// reuse the space.
+func (t *Tree) Delete(tx *txn.Txn, key []byte) (bool, error) {
+	if len(key) == 0 || len(key) > MaxKeySize {
+		return false, ErrKeyTooLarge
+	}
+	f, err := t.descendWriteLeaf(tx, key)
+	if err != nil {
+		return false, err
+	}
+	p := f.Page()
+	pos, found, err := leafSearch(p, key)
+	if err != nil || !found {
+		t.releaseNode(f, latch.Exclusive, false)
+		return false, err
+	}
+	err = p.RemoveAt(pos)
+	t.releaseNode(f, latch.Exclusive, err == nil)
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// insertPessimistic performs the insert while holding the SMO mutex and
+// exclusive latches on every node that may be modified by the split chain.
+func (t *Tree) insertPessimistic(tx *txn.Txn, key, value []byte, upsert bool) error {
+	if t.cfg.Latched {
+		if !t.smoMu.TryLock() {
+			start := time.Now()
+			t.smoMu.Lock()
+			if tx != nil {
+				tx.Breakdown.AddWait(txn.WaitSMO, time.Since(start))
+			}
+			t.cfg.CSStats.Record(cs.Latching, true)
+		} else {
+			t.cfg.CSStats.Record(cs.Latching, false)
+		}
+		defer t.smoMu.Unlock()
+	}
+
+	entry := encodeLeafEntry(key, value)
+	path, err := t.descendPessimistic(tx, key, len(entry))
+	if err != nil {
+		return err
+	}
+	leafFrame := path[len(path)-1]
+	p := leafFrame.Page()
+	pos, found, err := leafSearch(p, key)
+	if err != nil {
+		t.releasePath(path, false)
+		return err
+	}
+	if found {
+		if !upsert {
+			t.releasePath(path, false)
+			return fmt.Errorf("%w: %x", ErrDuplicateKey, key)
+		}
+		// Remove the old entry, then insert the new one (possibly splitting).
+		if err := p.RemoveAt(pos); err != nil {
+			t.releasePath(path, false)
+			return err
+		}
+	}
+	err = t.insertIntoLeafWithSplit(tx, path, key, value)
+	t.releasePath(path, true)
+	return err
+}
+
+// descendPessimistic walks to the leaf covering key holding exclusive
+// latches, releasing ancestors as soon as a child is "safe" (cannot be
+// affected by a split below it).  The returned path runs from the shallowest
+// retained node to the leaf; every frame is fixed and exclusively latched.
+func (t *Tree) descendPessimistic(tx *txn.Txn, key []byte, leafEntrySize int) ([]*bufferpool.Frame, error) {
+	var path []*bufferpool.Frame
+	f, err := t.bp.Fix(t.root)
+	if err != nil {
+		return nil, err
+	}
+	t.latchNode(tx, f, latch.Exclusive)
+	path = append(path, f)
+	for {
+		p := f.Page()
+		if isLeaf(p) {
+			return path, nil
+		}
+		idx, serr := interiorSearch(p, key)
+		if serr != nil {
+			t.releasePath(path, false)
+			return nil, serr
+		}
+		_, child, eerr := interiorEntryAt(p, idx)
+		if eerr != nil {
+			t.releasePath(path, false)
+			return nil, eerr
+		}
+		cf, ferr := t.bp.Fix(child)
+		if ferr != nil {
+			t.releasePath(path, false)
+			return nil, ferr
+		}
+		t.latchNode(tx, cf, latch.Exclusive)
+		var safe bool
+		if isLeaf(cf.Page()) {
+			safe = !nodeFull(cf.Page(), leafEntrySize, t.cfg.MaxSlotsPerNode)
+		} else {
+			safe = interiorSafe(cf.Page(), t.cfg.MaxSlotsPerNode)
+		}
+		if safe {
+			t.releasePath(path, false)
+			path = path[:0]
+		}
+		path = append(path, cf)
+		f = cf
+	}
+}
+
+// releasePath unlatches and unfixes every frame in the path.
+func (t *Tree) releasePath(path []*bufferpool.Frame, dirty bool) {
+	for i := len(path) - 1; i >= 0; i-- {
+		t.releaseNode(path[i], latch.Exclusive, dirty)
+	}
+}
+
+// insertIntoLeafWithSplit inserts key/value into the leaf at the end of
+// path, splitting the leaf (and cascading splits upward along path) as
+// needed.  All frames in path are exclusively latched.
+func (t *Tree) insertIntoLeafWithSplit(tx *txn.Txn, path []*bufferpool.Frame, key, value []byte) error {
+	leafFrame := path[len(path)-1]
+	p := leafFrame.Page()
+	entry := encodeLeafEntry(key, value)
+
+	if !nodeFull(p, len(entry), t.cfg.MaxSlotsPerNode) {
+		pos, _, err := leafSearch(p, key)
+		if err != nil {
+			return err
+		}
+		leafFrame.MarkDirty()
+		return p.InsertAt(pos, entry)
+	}
+
+	// The leaf must split.
+	if p.ID() == t.root {
+		return t.splitRoot(tx, leafFrame, key, value, page.InvalidID)
+	}
+	if len(path) < 2 {
+		return fmt.Errorf("btree: split of non-root leaf %v without latched parent", p.ID())
+	}
+	sepKey, rightPID, err := t.splitLeaf(tx, leafFrame, key, value)
+	if err != nil {
+		return err
+	}
+	return t.insertSeparator(tx, path, len(path)-2, sepKey, rightPID)
+}
+
+// splitLeaf splits the full leaf in leafFrame, moving the upper half of its
+// entries to a new right sibling, then inserts key/value into whichever half
+// now covers it.  It returns the separator key (the first key of the right
+// sibling) and the right sibling's page ID.
+func (t *Tree) splitLeaf(tx *txn.Txn, leafFrame *bufferpool.Frame, key, value []byte) ([]byte, page.ID, error) {
+	p := leafFrame.Page()
+	rightFrame, err := t.bp.NewPage(page.KindIndexLeaf)
+	if err != nil {
+		return nil, 0, err
+	}
+	right := rightFrame.Page()
+	right.SetOwner(p.Owner())
+	setNodeLevel(right, 0)
+
+	mid := p.NumSlots() / 2
+	if mid == 0 {
+		mid = 1
+	}
+	// Copy entries [mid, n) to the right node.
+	for i := mid; i < p.NumSlots(); i++ {
+		buf, gerr := p.GetAt(i)
+		if gerr != nil {
+			t.bp.Unfix(rightFrame, false)
+			return nil, 0, gerr
+		}
+		if ierr := right.InsertAt(right.NumSlots(), buf); ierr != nil {
+			t.bp.Unfix(rightFrame, false)
+			return nil, 0, ierr
+		}
+	}
+	if err := p.Truncate(mid); err != nil {
+		t.bp.Unfix(rightFrame, false)
+		return nil, 0, err
+	}
+
+	// Fix the leaf sibling chain: p <-> right <-> oldNext.
+	oldNext := p.Next()
+	right.SetNext(oldNext)
+	right.SetPrev(p.ID())
+	p.SetNext(right.ID())
+	if oldNext != page.InvalidID {
+		if nf, ferr := t.bp.Fix(oldNext); ferr == nil {
+			t.latchNode(tx, nf, latch.Exclusive)
+			nf.Page().SetPrev(right.ID())
+			t.releaseNode(nf, latch.Exclusive, true)
+		}
+	}
+
+	sepKey, err := leafKeyAt(right, 0)
+	if err != nil {
+		t.bp.Unfix(rightFrame, false)
+		return nil, 0, err
+	}
+	sepKey = append([]byte(nil), sepKey...)
+
+	// Insert the pending entry into the correct half.
+	target := p
+	targetFrame := leafFrame
+	if bytes.Compare(key, sepKey) >= 0 {
+		target = right
+		targetFrame = rightFrame
+	}
+	pos, _, err := leafSearch(target, key)
+	if err == nil {
+		err = target.InsertAt(pos, encodeLeafEntry(key, value))
+	}
+	targetFrame.MarkDirty()
+	leafFrame.MarkDirty()
+	rightPID := right.ID()
+	t.bp.Unfix(rightFrame, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.countSplit()
+	t.logSMO(tx, rightPID)
+	return sepKey, rightPID, nil
+}
+
+// insertSeparator inserts (sepKey -> child) into the interior node at
+// path[idx], splitting it (and recursing upward) if necessary.
+func (t *Tree) insertSeparator(tx *txn.Txn, path []*bufferpool.Frame, idx int, sepKey []byte, child page.ID) error {
+	f := path[idx]
+	p := f.Page()
+	entry := encodeInteriorEntry(sepKey, child)
+	if !nodeFull(p, len(entry), t.cfg.MaxSlotsPerNode) {
+		pos, err := interiorInsertPos(p, sepKey)
+		if err != nil {
+			return err
+		}
+		f.MarkDirty()
+		return p.InsertAt(pos, entry)
+	}
+	// The interior node must split.
+	if p.ID() == t.root {
+		return t.splitRootWithSeparator(tx, f, sepKey, child)
+	}
+	if idx == 0 {
+		return fmt.Errorf("btree: interior split of %v without latched parent", p.ID())
+	}
+	newSep, rightPID, err := t.splitInterior(tx, f, sepKey, child)
+	if err != nil {
+		return err
+	}
+	return t.insertSeparator(tx, path, idx-1, newSep, rightPID)
+}
+
+// splitInterior splits the full interior node in frame f, moving the upper
+// half of its entries to a new right sibling, then inserts the pending
+// separator into the correct half.  It returns the separator to push up and
+// the new right node's page ID.
+func (t *Tree) splitInterior(tx *txn.Txn, f *bufferpool.Frame, sepKey []byte, child page.ID) ([]byte, page.ID, error) {
+	p := f.Page()
+	rightFrame, err := t.bp.NewPage(page.KindIndexInterior)
+	if err != nil {
+		return nil, 0, err
+	}
+	right := rightFrame.Page()
+	right.SetOwner(p.Owner())
+	setNodeLevel(right, nodeLevel(p))
+
+	mid := p.NumSlots() / 2
+	if mid == 0 {
+		mid = 1
+	}
+	for i := mid; i < p.NumSlots(); i++ {
+		buf, gerr := p.GetAt(i)
+		if gerr != nil {
+			t.bp.Unfix(rightFrame, false)
+			return nil, 0, gerr
+		}
+		if ierr := right.InsertAt(right.NumSlots(), buf); ierr != nil {
+			t.bp.Unfix(rightFrame, false)
+			return nil, 0, ierr
+		}
+	}
+	if err := p.Truncate(mid); err != nil {
+		t.bp.Unfix(rightFrame, false)
+		return nil, 0, err
+	}
+
+	// The separator to push up is the first key of the right node (lower
+	// bound convention).
+	pushKey, _, err := interiorEntryAt(right, 0)
+	if err != nil {
+		t.bp.Unfix(rightFrame, false)
+		return nil, 0, err
+	}
+	pushKey = append([]byte(nil), pushKey...)
+
+	// Insert the pending separator into the correct half.
+	target := p
+	targetFrame := f
+	if bytes.Compare(sepKey, pushKey) >= 0 {
+		target = right
+		targetFrame = rightFrame
+	}
+	pos, err := interiorInsertPos(target, sepKey)
+	if err == nil {
+		err = target.InsertAt(pos, encodeInteriorEntry(sepKey, child))
+	}
+	targetFrame.MarkDirty()
+	f.MarkDirty()
+	rightPID := right.ID()
+	t.bp.Unfix(rightFrame, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.countSplit()
+	t.logSMO(tx, rightPID)
+	return pushKey, rightPID, nil
+}
+
+// splitRoot handles the split of a root page (leaf or interior) that is the
+// target of a pending leaf entry insert.  The root page ID never changes:
+// the root's contents move into two freshly allocated children and the root
+// becomes (or stays) an interior node one level higher.
+func (t *Tree) splitRoot(tx *txn.Txn, rootFrame *bufferpool.Frame, key, value []byte, _ page.ID) error {
+	if err := t.raiseRoot(tx, rootFrame); err != nil {
+		return err
+	}
+	// After raising, the root is an interior node with exactly two
+	// children, each at most half full; descend one level and insert.
+	p := rootFrame.Page()
+	idx, err := interiorSearch(p, key)
+	if err != nil {
+		return err
+	}
+	_, child, err := interiorEntryAt(p, idx)
+	if err != nil {
+		return err
+	}
+	cf, err := t.bp.Fix(child)
+	if err != nil {
+		return err
+	}
+	t.latchNode(tx, cf, latch.Exclusive)
+	defer t.releaseNode(cf, latch.Exclusive, true)
+	if isLeaf(cf.Page()) {
+		pos, _, serr := leafSearch(cf.Page(), key)
+		if serr != nil {
+			return serr
+		}
+		return cf.Page().InsertAt(pos, encodeLeafEntry(key, value))
+	}
+	return fmt.Errorf("btree: unexpected interior child right after root raise")
+}
+
+// splitRootWithSeparator handles the split of an interior root when a
+// separator must be inserted into it.
+func (t *Tree) splitRootWithSeparator(tx *txn.Txn, rootFrame *bufferpool.Frame, sepKey []byte, child page.ID) error {
+	if err := t.raiseRoot(tx, rootFrame); err != nil {
+		return err
+	}
+	p := rootFrame.Page()
+	idx, err := interiorSearch(p, sepKey)
+	if err != nil {
+		return err
+	}
+	_, target, err := interiorEntryAt(p, idx)
+	if err != nil {
+		return err
+	}
+	cf, err := t.bp.Fix(target)
+	if err != nil {
+		return err
+	}
+	t.latchNode(tx, cf, latch.Exclusive)
+	defer t.releaseNode(cf, latch.Exclusive, true)
+	pos, err := interiorInsertPos(cf.Page(), sepKey)
+	if err != nil {
+		return err
+	}
+	return cf.Page().InsertAt(pos, encodeInteriorEntry(sepKey, child))
+}
+
+// raiseRoot moves the contents of the (full) root into two new children and
+// turns the root into an interior node pointing at them.  The root page ID
+// is preserved so that concurrent descents through a stale root pointer stay
+// correct.
+func (t *Tree) raiseRoot(tx *txn.Txn, rootFrame *bufferpool.Frame) error {
+	p := rootFrame.Page()
+	level := nodeLevel(p)
+	childKind := page.KindIndexInterior
+	if isLeaf(p) {
+		childKind = page.KindIndexLeaf
+	}
+
+	leftFrame, err := t.bp.NewPage(childKind)
+	if err != nil {
+		return err
+	}
+	rightFrame, err := t.bp.NewPage(childKind)
+	if err != nil {
+		t.bp.Unfix(leftFrame, false)
+		return err
+	}
+	left, right := leftFrame.Page(), rightFrame.Page()
+	left.SetOwner(p.Owner())
+	right.SetOwner(p.Owner())
+	setNodeLevel(left, level)
+	setNodeLevel(right, level)
+
+	n := p.NumSlots()
+	mid := n / 2
+	if mid == 0 {
+		mid = 1
+	}
+	copyRange := func(dst *page.Page, from, to int) error {
+		for i := from; i < to; i++ {
+			buf, gerr := p.GetAt(i)
+			if gerr != nil {
+				return gerr
+			}
+			if ierr := dst.InsertAt(dst.NumSlots(), buf); ierr != nil {
+				return ierr
+			}
+		}
+		return nil
+	}
+	if err := copyRange(left, 0, mid); err != nil {
+		t.bp.Unfix(leftFrame, false)
+		t.bp.Unfix(rightFrame, false)
+		return err
+	}
+	if err := copyRange(right, mid, n); err != nil {
+		t.bp.Unfix(leftFrame, false)
+		t.bp.Unfix(rightFrame, false)
+		return err
+	}
+
+	// Separator between the two halves.
+	var sepKey []byte
+	if childKind == page.KindIndexLeaf {
+		k, kerr := leafKeyAt(right, 0)
+		if kerr != nil {
+			t.bp.Unfix(leftFrame, false)
+			t.bp.Unfix(rightFrame, false)
+			return kerr
+		}
+		sepKey = append([]byte(nil), k...)
+		left.SetNext(right.ID())
+		right.SetPrev(left.ID())
+	} else {
+		k, _, kerr := interiorEntryAt(right, 0)
+		if kerr != nil {
+			t.bp.Unfix(leftFrame, false)
+			t.bp.Unfix(rightFrame, false)
+			return kerr
+		}
+		sepKey = append([]byte(nil), k...)
+	}
+
+	// Rebuild the root as an interior node one level higher.
+	owner := p.Owner()
+	rootID := p.ID()
+	p.Reset(rootID, page.KindIndexInterior)
+	p.SetOwner(owner)
+	setNodeLevel(p, level+1)
+	if err := p.InsertAt(0, encodeInteriorEntry(nil, left.ID())); err != nil {
+		t.bp.Unfix(leftFrame, false)
+		t.bp.Unfix(rightFrame, false)
+		return err
+	}
+	if err := p.InsertAt(1, encodeInteriorEntry(sepKey, right.ID())); err != nil {
+		t.bp.Unfix(leftFrame, false)
+		t.bp.Unfix(rightFrame, false)
+		return err
+	}
+	rootFrame.MarkDirty()
+	t.bp.Unfix(leftFrame, true)
+	t.bp.Unfix(rightFrame, true)
+	t.countSplit()
+	t.logSMO(tx, rootID)
+	return nil
+}

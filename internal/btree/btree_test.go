@@ -1,0 +1,488 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"plp/internal/bufferpool"
+	"plp/internal/cs"
+	"plp/internal/keyenc"
+	"plp/internal/latch"
+)
+
+func newTestTree(t testing.TB, cfg Config) *Tree {
+	t.Helper()
+	bp := bufferpool.NewMemory(bufferpool.Config{LatchStats: &latch.Stats{}, CSStats: &cs.Stats{}})
+	tree, err := Create(bp, 1, cfg)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return tree
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tree := newTestTree(t, Config{Latched: true})
+	for i := 0; i < 100; i++ {
+		key := keyenc.Uint64Key(uint64(i))
+		val := []byte(fmt.Sprintf("value-%d", i))
+		if err := tree.Insert(nil, key, val); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		key := keyenc.Uint64Key(uint64(i))
+		val, found, err := tree.Search(nil, key)
+		if err != nil || !found {
+			t.Fatalf("Search %d: found=%v err=%v", i, found, err)
+		}
+		if want := fmt.Sprintf("value-%d", i); string(val) != want {
+			t.Fatalf("Search %d: got %q want %q", i, val, want)
+		}
+	}
+	if _, found, _ := tree.Search(nil, keyenc.Uint64Key(1000)); found {
+		t.Fatal("found a key that was never inserted")
+	}
+}
+
+func TestDuplicateKeyRejected(t *testing.T) {
+	tree := newTestTree(t, Config{Latched: true})
+	key := keyenc.Uint64Key(7)
+	if err := tree.Insert(nil, key, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(nil, key, []byte("b")); err == nil {
+		t.Fatal("expected ErrDuplicateKey")
+	}
+	if err := tree.Put(nil, key, []byte("b")); err != nil {
+		t.Fatalf("Put should overwrite: %v", err)
+	}
+	v, _, _ := tree.Search(nil, key)
+	if string(v) != "b" {
+		t.Fatalf("got %q want b", v)
+	}
+}
+
+func TestInsertWithSplits(t *testing.T) {
+	for _, maxSlots := range []int{4, 7, 16} {
+		maxSlots := maxSlots
+		t.Run(fmt.Sprintf("maxSlots=%d", maxSlots), func(t *testing.T) {
+			tree := newTestTree(t, Config{Latched: true, MaxSlotsPerNode: maxSlots})
+			const n = 2000
+			perm := rand.New(rand.NewSource(42)).Perm(n)
+			for _, i := range perm {
+				key := keyenc.Uint64Key(uint64(i))
+				if err := tree.Insert(nil, key, key); err != nil {
+					t.Fatalf("Insert %d: %v", i, err)
+				}
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+			count, err := tree.Count(nil)
+			if err != nil || count != n {
+				t.Fatalf("Count=%d err=%v want %d", count, err, n)
+			}
+			h, _ := tree.Height()
+			if h < 3 {
+				t.Fatalf("expected a deep tree with maxSlots=%d, got height %d", maxSlots, h)
+			}
+			for i := 0; i < n; i++ {
+				_, found, err := tree.Search(nil, keyenc.Uint64Key(uint64(i)))
+				if err != nil || !found {
+					t.Fatalf("Search %d after splits: found=%v err=%v", i, found, err)
+				}
+			}
+		})
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tree := newTestTree(t, Config{Latched: true, MaxSlotsPerNode: 8})
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(nil, keyenc.Uint64Key(uint64(i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		ok, err := tree.Delete(nil, keyenc.Uint64Key(uint64(i)))
+		if err != nil || !ok {
+			t.Fatalf("Delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, found, _ := tree.Search(nil, keyenc.Uint64Key(uint64(i)))
+		want := i%2 == 1
+		if found != want {
+			t.Fatalf("key %d: found=%v want %v", i, found, want)
+		}
+	}
+	ok, err := tree.Delete(nil, keyenc.Uint64Key(99999))
+	if err != nil || ok {
+		t.Fatalf("Delete missing key: ok=%v err=%v", ok, err)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after delete: %v", err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tree := newTestTree(t, Config{Latched: true})
+	key := keyenc.Uint64Key(1)
+	if err := tree.Update(nil, key, []byte("x")); err == nil {
+		t.Fatal("Update of missing key should fail")
+	}
+	if err := tree.Insert(nil, key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Update(nil, key, []byte("yyyy")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := tree.Search(nil, key)
+	if string(v) != "yyyy" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tree := newTestTree(t, Config{Latched: true, MaxSlotsPerNode: 6})
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(nil, keyenc.Uint64Key(uint64(i*2)), keyenc.Uint64Key(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	err := tree.AscendRange(nil, keyenc.Uint64Key(100), keyenc.Uint64Key(200), func(k, v []byte) bool {
+		kv, _ := keyenc.DecodeUint64(k)
+		got = append(got, kv)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("got %d entries, want 50", len(got))
+	}
+	for i, kv := range got {
+		if kv != uint64(100+2*i) {
+			t.Fatalf("entry %d: got %d want %d", i, kv, 100+2*i)
+		}
+	}
+	// Early stop.
+	cnt := 0
+	_ = tree.Ascend(nil, func(k, v []byte) bool {
+		cnt++
+		return cnt < 10
+	})
+	if cnt != 10 {
+		t.Fatalf("early stop visited %d", cnt)
+	}
+}
+
+func TestConcurrentInsertSearch(t *testing.T) {
+	tree := newTestTree(t, Config{Latched: true, MaxSlotsPerNode: 16})
+	const (
+		writers = 8
+		perW    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := keyenc.CompositeUint64(uint64(w), uint64(i))
+				if err := tree.Insert(nil, key, key); err != nil {
+					t.Errorf("writer %d insert %d: %v", w, i, err)
+					return
+				}
+				if _, found, err := tree.Search(nil, key); err != nil || !found {
+					t.Errorf("writer %d readback %d: found=%v err=%v", w, i, found, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	count, err := tree.Count(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != writers*perW {
+		t.Fatalf("count=%d want %d", count, writers*perW)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestLatchFreeMode(t *testing.T) {
+	ls := &latch.Stats{}
+	bp := bufferpool.NewMemory(bufferpool.Config{LatchStats: ls, CSStats: &cs.Stats{}})
+	tree, err := Create(bp, 1, Config{Latched: false, MaxSlotsPerNode: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tree.Insert(nil, keyenc.Uint64Key(uint64(i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := ls.Snapshot()
+	if snap.Acquired[latch.KindIndex] != 0 {
+		t.Fatalf("latch-free tree acquired %d index latches", snap.Acquired[latch.KindIndex])
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatchedModeCountsLatches(t *testing.T) {
+	ls := &latch.Stats{}
+	bp := bufferpool.NewMemory(bufferpool.Config{LatchStats: ls, CSStats: &cs.Stats{}})
+	tree, err := Create(bp, 1, Config{Latched: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tree.Insert(nil, keyenc.Uint64Key(uint64(i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap := ls.Snapshot(); snap.Acquired[latch.KindIndex] == 0 {
+		t.Fatal("latched tree acquired no index latches")
+	}
+}
+
+func TestSliceAt(t *testing.T) {
+	tree := newTestTree(t, Config{Latched: false, MaxSlotsPerNode: 8})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(nil, keyenc.Uint64Key(uint64(i)), keyenc.Uint64Key(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := keyenc.Uint64Key(1200)
+	right, st, err := tree.SliceAt(cut)
+	if err != nil {
+		t.Fatalf("SliceAt: %v", err)
+	}
+	if st.EntriesMoved <= 0 || st.EntriesMoved >= n/2 {
+		t.Fatalf("slice moved %d entries; expected a small positive number", st.EntriesMoved)
+	}
+	leftCount, _ := tree.Count(nil)
+	rightCount, _ := right.Count(nil)
+	if leftCount != 1200 || rightCount != n-1200 {
+		t.Fatalf("counts after slice: left=%d right=%d", leftCount, rightCount)
+	}
+	if ok, _ := tree.BoundaryCheck(nil, cut); !ok {
+		t.Fatal("left tree has keys >= cut")
+	}
+	if ok, _ := right.BoundaryCheck(cut, nil); !ok {
+		t.Fatal("right tree has keys < cut")
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("left invariants: %v", err)
+	}
+	if err := right.CheckInvariants(); err != nil {
+		t.Fatalf("right invariants: %v", err)
+	}
+	// Both halves remain fully usable.
+	if err := tree.Insert(nil, keyenc.Uint64Key(5000+0), []byte("x")); err == nil {
+		// key 5000 >= cut belongs to right; inserting into left would violate
+		// partitioning, but the tree itself cannot know that — it should
+		// still accept it mechanically.  Clean it up.
+		if _, err := tree.Delete(nil, keyenc.Uint64Key(5000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := right.Insert(nil, keyenc.Uint64Key(3000), []byte("y")); err != nil {
+		t.Fatalf("insert into sliced-off tree: %v", err)
+	}
+}
+
+func TestMeldEqualAndUnequalHeights(t *testing.T) {
+	cases := []struct {
+		name         string
+		leftN, right int
+	}{
+		{"similar", 1000, 1000},
+		{"leftTaller", 4000, 40},
+		{"rightTaller", 40, 4000},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			bp := bufferpool.NewMemory(bufferpool.Config{LatchStats: &latch.Stats{}, CSStats: &cs.Stats{}})
+			cfg := Config{Latched: false, MaxSlotsPerNode: 8}
+			left, err := Create(bp, 1, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			right, err := Create(bp, 1, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			boundary := uint64(100000)
+			for i := 0; i < tc.leftN; i++ {
+				if err := left.Insert(nil, keyenc.Uint64Key(uint64(i)), []byte("l")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < tc.right; i++ {
+				if err := right.Insert(nil, keyenc.Uint64Key(boundary+uint64(i)), []byte("r")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			merged, _, err := Meld(left, right, keyenc.Uint64Key(boundary))
+			if err != nil {
+				t.Fatalf("Meld: %v", err)
+			}
+			count, err := merged.Count(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count != tc.leftN+tc.right {
+				t.Fatalf("merged count=%d want %d", count, tc.leftN+tc.right)
+			}
+			if err := merged.CheckInvariants(); err != nil {
+				t.Fatalf("merged invariants: %v", err)
+			}
+			// Every key from both sides must be findable.
+			for i := 0; i < tc.leftN; i += 17 {
+				if _, found, _ := merged.Search(nil, keyenc.Uint64Key(uint64(i))); !found {
+					t.Fatalf("left key %d lost after meld", i)
+				}
+			}
+			for i := 0; i < tc.right; i += 7 {
+				if _, found, _ := merged.Search(nil, keyenc.Uint64Key(boundary+uint64(i))); !found {
+					t.Fatalf("right key %d lost after meld", i)
+				}
+			}
+			// The merged tree keeps working for inserts.
+			if err := merged.Insert(nil, keyenc.Uint64Key(boundary-1), []byte("mid")); err != nil {
+				t.Fatalf("insert into merged tree: %v", err)
+			}
+		})
+	}
+}
+
+func TestPropertyAgainstMapModel(t *testing.T) {
+	cfgs := []Config{
+		{Latched: true, MaxSlotsPerNode: 6},
+		{Latched: false, MaxSlotsPerNode: 10},
+		{Latched: true},
+	}
+	for ci, cfg := range cfgs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("cfg%d", ci), func(t *testing.T) {
+			f := func(ops []uint16, seed int64) bool {
+				tree := newTestTree(t, cfg)
+				model := make(map[uint64][]byte)
+				rng := rand.New(rand.NewSource(seed))
+				for _, op := range ops {
+					k := uint64(op % 256)
+					key := keyenc.Uint64Key(k)
+					switch rng.Intn(3) {
+					case 0:
+						v := []byte(fmt.Sprintf("v%d-%d", k, rng.Intn(1000)))
+						if err := tree.Put(nil, key, v); err != nil {
+							return false
+						}
+						model[k] = v
+					case 1:
+						ok, err := tree.Delete(nil, key)
+						if err != nil {
+							return false
+						}
+						_, inModel := model[k]
+						if ok != inModel {
+							return false
+						}
+						delete(model, k)
+					case 2:
+						v, found, err := tree.Search(nil, key)
+						if err != nil {
+							return false
+						}
+						mv, inModel := model[k]
+						if found != inModel {
+							return false
+						}
+						if found && !bytes.Equal(v, mv) {
+							return false
+						}
+					}
+				}
+				// Final full comparison via scan.
+				scanned := make(map[uint64][]byte)
+				if err := tree.Ascend(nil, func(k, v []byte) bool {
+					kv, _ := keyenc.DecodeUint64(k)
+					scanned[kv] = v
+					return true
+				}); err != nil {
+					return false
+				}
+				if len(scanned) != len(model) {
+					return false
+				}
+				for k, v := range model {
+					if !bytes.Equal(scanned[k], v) {
+						return false
+					}
+				}
+				return tree.CheckInvariants() == nil
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestKeyValueSizeLimits(t *testing.T) {
+	tree := newTestTree(t, Config{Latched: true})
+	bigKey := make([]byte, MaxKeySize+1)
+	if err := tree.Insert(nil, bigKey, []byte("v")); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	bigVal := make([]byte, MaxValueSize+1)
+	if err := tree.Insert(nil, keyenc.Uint64Key(1), bigVal); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+	if err := tree.Insert(nil, nil, []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tree := newTestTree(t, Config{Latched: true, MaxSlotsPerNode: 4})
+	h0, _ := tree.Height()
+	if h0 != 1 {
+		t.Fatalf("empty tree height=%d", h0)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tree.Insert(nil, keyenc.Uint64Key(uint64(i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, _ := tree.Height()
+	if h1 <= h0 {
+		t.Fatalf("height did not grow: %d", h1)
+	}
+	st, err := tree.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 100 || st.LeafPages == 0 || st.InteriorPages == 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}

@@ -1,0 +1,309 @@
+// Range scans, traversal utilities and structural statistics.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"plp/internal/bufferpool"
+	"plp/internal/latch"
+	"plp/internal/page"
+	"plp/internal/txn"
+)
+
+// ScanFunc is called for every key/value pair visited by a scan.  The slices
+// passed in are copies owned by the callback.  Returning false stops the
+// scan.
+type ScanFunc func(key, value []byte) bool
+
+// AscendRange visits, in key order, every entry with lo <= key < hi.  A nil
+// lo starts from the smallest key; a nil hi scans to the end.
+func (t *Tree) AscendRange(tx *txn.Txn, lo, hi []byte, fn ScanFunc) error {
+	var f *bufferpool.Frame
+	var err error
+	if lo == nil {
+		f, err = t.leftmostLeaf(tx)
+	} else {
+		f, err = t.descendRead(tx, lo)
+	}
+	if err != nil {
+		return err
+	}
+	for {
+		p := f.Page()
+		stop := false
+		start := 0
+		if lo != nil {
+			start, _, err = leafSearch(p, lo)
+			if err != nil {
+				t.releaseNode(f, latch.Shared, false)
+				return err
+			}
+		}
+		for i := start; i < p.NumSlots(); i++ {
+			k, v, eerr := leafEntryAt(p, i)
+			if eerr != nil {
+				t.releaseNode(f, latch.Shared, false)
+				return eerr
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				stop = true
+				break
+			}
+			kc := append([]byte(nil), k...)
+			vc := append([]byte(nil), v...)
+			if !fn(kc, vc) {
+				stop = true
+				break
+			}
+		}
+		if stop {
+			t.releaseNode(f, latch.Shared, false)
+			return nil
+		}
+		next := p.Next()
+		if next == page.InvalidID {
+			t.releaseNode(f, latch.Shared, false)
+			return nil
+		}
+		nf, ferr := t.bp.Fix(next)
+		if ferr != nil {
+			t.releaseNode(f, latch.Shared, false)
+			return ferr
+		}
+		t.latchNode(tx, nf, latch.Shared)
+		t.releaseNode(f, latch.Shared, false)
+		f = nf
+		lo = nil // subsequent leaves start from their first entry
+	}
+}
+
+// Ascend visits every entry in key order.
+func (t *Tree) Ascend(tx *txn.Txn, fn ScanFunc) error {
+	return t.AscendRange(tx, nil, nil, fn)
+}
+
+// leftmostLeaf descends the leftmost path with shared latches and returns
+// the first leaf latched in shared mode.
+func (t *Tree) leftmostLeaf(tx *txn.Txn) (*bufferpool.Frame, error) {
+	f, err := t.bp.Fix(t.root)
+	if err != nil {
+		return nil, err
+	}
+	t.latchNode(tx, f, latch.Shared)
+	for !isLeaf(f.Page()) {
+		if f.Page().NumSlots() == 0 {
+			t.releaseNode(f, latch.Shared, false)
+			return nil, fmt.Errorf("btree: interior node %v has no entries", f.Page().ID())
+		}
+		_, child, err := interiorEntryAt(f.Page(), 0)
+		if err != nil {
+			t.releaseNode(f, latch.Shared, false)
+			return nil, err
+		}
+		cf, ferr := t.bp.Fix(child)
+		if ferr != nil {
+			t.releaseNode(f, latch.Shared, false)
+			return nil, ferr
+		}
+		t.latchNode(tx, cf, latch.Shared)
+		t.releaseNode(f, latch.Shared, false)
+		f = cf
+	}
+	return f, nil
+}
+
+// LeafPageFor returns the page ID of the leaf that covers key.  PLP-Leaf
+// uses the leaf page as the owner tag of the heap pages its records live on.
+func (t *Tree) LeafPageFor(tx *txn.Txn, key []byte) (page.ID, error) {
+	f, err := t.descendRead(tx, key)
+	if err != nil {
+		return page.InvalidID, err
+	}
+	pid := f.Page().ID()
+	t.releaseNode(f, latch.Shared, false)
+	return pid, nil
+}
+
+// Height returns the number of levels in the tree (1 for a single leaf).
+func (t *Tree) Height() (int, error) {
+	f, err := t.bp.Fix(t.root)
+	if err != nil {
+		return 0, err
+	}
+	h := nodeLevel(f.Page()) + 1
+	t.bp.Unfix(f, false)
+	return h, nil
+}
+
+// Count returns the number of entries in the tree.
+func (t *Tree) Count(tx *txn.Txn) (int, error) {
+	n := 0
+	err := t.Ascend(tx, func(_, _ []byte) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// MinKey returns a copy of the smallest key in the tree, or nil if the tree
+// is empty.
+func (t *Tree) MinKey(tx *txn.Txn) ([]byte, error) {
+	var out []byte
+	err := t.Ascend(tx, func(k, _ []byte) bool {
+		out = k
+		return false
+	})
+	return out, err
+}
+
+// StructStats describes the physical shape of the tree.
+type StructStats struct {
+	Height        int
+	LeafPages     int
+	InteriorPages int
+	Entries       int
+}
+
+// Stats walks the whole tree and reports its shape.  It is intended for
+// reporting and tests, not the hot path.
+func (t *Tree) Stats() (StructStats, error) {
+	var st StructStats
+	h, err := t.Height()
+	if err != nil {
+		return st, err
+	}
+	st.Height = h
+	err = t.walk(t.root, &st)
+	return st, err
+}
+
+// walk recursively visits every node under pid.
+func (t *Tree) walk(pid page.ID, st *StructStats) error {
+	f, err := t.bp.Fix(pid)
+	if err != nil {
+		return err
+	}
+	p := f.Page()
+	if isLeaf(p) {
+		st.LeafPages++
+		st.Entries += p.NumSlots()
+		t.bp.Unfix(f, false)
+		return nil
+	}
+	st.InteriorPages++
+	children := make([]page.ID, 0, p.NumSlots())
+	for i := 0; i < p.NumSlots(); i++ {
+		_, child, eerr := interiorEntryAt(p, i)
+		if eerr != nil {
+			t.bp.Unfix(f, false)
+			return eerr
+		}
+		children = append(children, child)
+	}
+	t.bp.Unfix(f, false)
+	for _, c := range children {
+		if err := t.walk(c, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies structural invariants: keys are sorted within
+// and across leaves, interior entries route correctly, and levels decrease
+// monotonically from root to leaves.  It returns an error describing the
+// first violation found.
+func (t *Tree) CheckInvariants() error {
+	// Keys strictly increasing across a full scan.
+	var prev []byte
+	var orderErr error
+	err := t.Ascend(nil, func(k, _ []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			orderErr = fmt.Errorf("btree: keys out of order: %x then %x", prev, k)
+			return false
+		}
+		prev = k
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if orderErr != nil {
+		return orderErr
+	}
+	return t.checkNode(t.root, nil, nil, -1)
+}
+
+// checkNode verifies that every key under pid lies in [lo, hi) and that the
+// node's level is parentLevel-1 (or any level when parentLevel < 0).
+func (t *Tree) checkNode(pid page.ID, lo, hi []byte, parentLevel int) error {
+	f, err := t.bp.Fix(pid)
+	if err != nil {
+		return err
+	}
+	p := f.Page()
+	level := nodeLevel(p)
+	if parentLevel >= 0 && level != parentLevel-1 {
+		t.bp.Unfix(f, false)
+		return fmt.Errorf("btree: node %v at level %d under parent level %d", pid, level, parentLevel)
+	}
+	inRange := func(k []byte) bool {
+		if lo != nil && len(k) > 0 && bytes.Compare(k, lo) < 0 {
+			return false
+		}
+		if hi != nil && bytes.Compare(k, hi) >= 0 {
+			return false
+		}
+		return true
+	}
+	if isLeaf(p) {
+		for i := 0; i < p.NumSlots(); i++ {
+			k, kerr := leafKeyAt(p, i)
+			if kerr != nil {
+				t.bp.Unfix(f, false)
+				return kerr
+			}
+			if !inRange(k) {
+				t.bp.Unfix(f, false)
+				return fmt.Errorf("btree: leaf %v key %x outside [%x,%x)", pid, k, lo, hi)
+			}
+		}
+		t.bp.Unfix(f, false)
+		return nil
+	}
+	type childRange struct {
+		child  page.ID
+		lo, hi []byte
+	}
+	var children []childRange
+	for i := 0; i < p.NumSlots(); i++ {
+		k, child, eerr := interiorEntryAt(p, i)
+		if eerr != nil {
+			t.bp.Unfix(f, false)
+			return eerr
+		}
+		if !inRange(k) && i > 0 {
+			t.bp.Unfix(f, false)
+			return fmt.Errorf("btree: interior %v separator %x outside [%x,%x)", pid, k, lo, hi)
+		}
+		cr := childRange{child: child, lo: append([]byte(nil), k...)}
+		if i == 0 && len(k) == 0 {
+			cr.lo = lo
+		}
+		if len(children) > 0 {
+			children[len(children)-1].hi = cr.lo
+		}
+		children = append(children, cr)
+	}
+	if len(children) > 0 {
+		children[len(children)-1].hi = hi
+	}
+	t.bp.Unfix(f, false)
+	for _, cr := range children {
+		if err := t.checkNode(cr.child, cr.lo, cr.hi, level); err != nil {
+			return err
+		}
+	}
+	return nil
+}

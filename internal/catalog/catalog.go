@@ -1,0 +1,188 @@
+// Package catalog holds table metadata and the storage objects behind each
+// table: the primary MRBTree index, the heap file with the non-clustered
+// records, and any secondary indexes.
+//
+// The catalog is deliberately design-agnostic: the same loaded database can
+// be served by the conventional, logically-partitioned or PLP engines, which
+// differ only in how they route work and whether accesses latch (the storage
+// objects expose both behaviours).
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"plp/internal/bufferpool"
+	"plp/internal/cs"
+	"plp/internal/heap"
+	"plp/internal/mrbtree"
+	"plp/internal/wal"
+)
+
+// Errors returned by the catalog.
+var (
+	ErrTableExists  = errors.New("catalog: table already exists")
+	ErrNoSuchTable  = errors.New("catalog: no such table")
+	ErrNoSuchIndex  = errors.New("catalog: no such secondary index")
+	ErrNilResources = errors.New("catalog: missing storage resources")
+)
+
+// SecondaryDef describes a secondary index.
+type SecondaryDef struct {
+	// Name of the index, unique within the table.
+	Name string
+	// PartitionAligned reports whether the index key embeds the table's
+	// partitioning columns, in which case the index can itself be
+	// partitioned and managed by the partition-owning threads.
+	// Non-partition-aligned indexes are accessed as in a conventional
+	// system (latched, single-rooted) and their leaf entries carry the
+	// partitioning fields (Section 3.1 / Appendix E).
+	PartitionAligned bool
+}
+
+// TableDef describes a table to be created.
+type TableDef struct {
+	// Name of the table.
+	Name string
+	// Boundaries are the partition boundaries of the primary index.  An
+	// empty slice creates a single partition (conventional behaviour).
+	Boundaries [][]byte
+	// Clustered stores records directly in the primary index leaves; no
+	// heap file is allocated.
+	Clustered bool
+	// Secondaries lists the table's secondary indexes.
+	Secondaries []SecondaryDef
+}
+
+// Resources are the storage-manager services a table is built on.
+type Resources struct {
+	BufferPool *bufferpool.Pool
+	Log        wal.Log
+	CSStats    *cs.Stats
+	// IndexLatched selects the latching protocol of the primary index and
+	// of partition-aligned secondary indexes.
+	IndexLatched bool
+	// HeapMode selects heap-page latching.
+	HeapMode heap.AccessMode
+	// MaxSlotsPerNode artificially limits index fan-out (tests only).
+	MaxSlotsPerNode int
+}
+
+// Table is a created table together with its storage objects.
+type Table struct {
+	ID  uint32
+	Def TableDef
+
+	// Primary is the primary index.  Non-clustered tables store RIDs in it;
+	// clustered tables store the records themselves.
+	Primary *mrbtree.Tree
+	// Heap holds the records of non-clustered tables (nil when clustered).
+	Heap *heap.File
+	// Secondaries maps index name to the secondary index structure.
+	Secondaries map[string]*mrbtree.Tree
+}
+
+// Secondary returns the named secondary index.
+func (t *Table) Secondary(name string) (*mrbtree.Tree, error) {
+	idx, ok := t.Secondaries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchIndex, t.Def.Name, name)
+	}
+	return idx, nil
+}
+
+// Catalog is the table registry.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	nextID uint32
+	cst    *cs.Stats
+}
+
+// New returns an empty catalog.
+func New(cstats *cs.Stats) *Catalog {
+	return &Catalog{tables: make(map[string]*Table), cst: cstats}
+}
+
+// CreateTable creates the storage objects for def and registers the table.
+func (c *Catalog) CreateTable(def TableDef, res Resources) (*Table, error) {
+	if res.BufferPool == nil {
+		return nil, ErrNilResources
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cst.Record(cs.Metadata, false)
+	if _, ok := c.tables[def.Name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrTableExists, def.Name)
+	}
+	c.nextID++
+	id := c.nextID * 16 // leave space for per-table index ids
+
+	cfg := mrbtree.Config{
+		Latched:         res.IndexLatched,
+		MaxSlotsPerNode: res.MaxSlotsPerNode,
+		CSStats:         res.CSStats,
+		Log:             res.Log,
+	}
+	primary, err := mrbtree.Create(res.BufferPool, id, cfg, def.Boundaries...)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		ID:          id,
+		Def:         def,
+		Primary:     primary,
+		Secondaries: make(map[string]*mrbtree.Tree),
+	}
+	if !def.Clustered {
+		tbl.Heap = heap.New(id+1, res.BufferPool, res.HeapMode, res.CSStats)
+	}
+	for i, sec := range def.Secondaries {
+		secCfg := cfg
+		var bounds [][]byte
+		if sec.PartitionAligned {
+			bounds = def.Boundaries
+		} else {
+			// Non-partition-aligned indexes stay single-rooted and latched
+			// regardless of the engine design.
+			secCfg.Latched = true
+		}
+		idx, err := mrbtree.Create(res.BufferPool, id+2+uint32(i), secCfg, bounds...)
+		if err != nil {
+			return nil, err
+		}
+		tbl.Secondaries[sec.Name] = idx
+	}
+	c.tables[def.Name] = tbl
+	return tbl, nil
+}
+
+// Table returns the named table.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// Tables returns every registered table.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// NumTables returns the number of registered tables.
+func (c *Catalog) NumTables() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}

@@ -1,0 +1,114 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"plp/internal/bufferpool"
+	"plp/internal/cs"
+	"plp/internal/heap"
+	"plp/internal/keyenc"
+	"plp/internal/latch"
+	"plp/internal/wal"
+)
+
+func testResources() Resources {
+	cstats := &cs.Stats{}
+	return Resources{
+		BufferPool:   bufferpool.NewMemory(bufferpool.Config{LatchStats: &latch.Stats{}, CSStats: cstats}),
+		Log:          wal.NewConsolidated(cstats),
+		CSStats:      cstats,
+		IndexLatched: true,
+		HeapMode:     heap.Latched,
+	}
+}
+
+func TestCreateTableAndLookup(t *testing.T) {
+	c := New(&cs.Stats{})
+	res := testResources()
+	def := TableDef{
+		Name:       "accounts",
+		Boundaries: [][]byte{keyenc.Uint64Key(500)},
+		Secondaries: []SecondaryDef{
+			{Name: "by_name", PartitionAligned: false},
+			{Name: "by_region", PartitionAligned: true},
+		},
+	}
+	tbl, err := c.CreateTable(def, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Primary == nil || tbl.Heap == nil {
+		t.Fatal("storage objects missing")
+	}
+	if tbl.Primary.NumPartitions() != 2 {
+		t.Fatalf("primary partitions=%d", tbl.Primary.NumPartitions())
+	}
+	aligned, err := tbl.Secondary("by_region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligned.NumPartitions() != 2 {
+		t.Fatal("partition-aligned secondary should follow the table's boundaries")
+	}
+	unaligned, err := tbl.Secondary("by_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unaligned.NumPartitions() != 1 {
+		t.Fatal("non-aligned secondary should stay single-rooted")
+	}
+	if _, err := tbl.Secondary("missing"); !errors.Is(err, ErrNoSuchIndex) {
+		t.Fatalf("missing secondary: %v", err)
+	}
+
+	got, err := c.Table("accounts")
+	if err != nil || got != tbl {
+		t.Fatalf("lookup failed: %v", err)
+	}
+	if _, err := c.Table("nope"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatal("unknown table lookup should fail")
+	}
+	if c.NumTables() != 1 || len(c.Tables()) != 1 {
+		t.Fatal("table registry wrong")
+	}
+}
+
+func TestDuplicateTableRejected(t *testing.T) {
+	c := New(&cs.Stats{})
+	res := testResources()
+	if _, err := c.CreateTable(TableDef{Name: "t"}, res); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable(TableDef{Name: "t"}, res); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("duplicate accepted: %v", err)
+	}
+}
+
+func TestClusteredTableHasNoHeap(t *testing.T) {
+	c := New(&cs.Stats{})
+	tbl, err := c.CreateTable(TableDef{Name: "clustered", Clustered: true}, testResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Heap != nil {
+		t.Fatal("clustered table should not allocate a heap file")
+	}
+}
+
+func TestMissingResourcesRejected(t *testing.T) {
+	c := New(&cs.Stats{})
+	if _, err := c.CreateTable(TableDef{Name: "x"}, Resources{}); !errors.Is(err, ErrNilResources) {
+		t.Fatalf("expected ErrNilResources, got %v", err)
+	}
+}
+
+func TestTableIDsAreDistinct(t *testing.T) {
+	c := New(&cs.Stats{})
+	res := testResources()
+	a, _ := c.CreateTable(TableDef{Name: "a"}, res)
+	b, _ := c.CreateTable(TableDef{Name: "b"}, res)
+	if a.ID == b.ID {
+		t.Fatal("table IDs collide")
+	}
+}

@@ -1,0 +1,253 @@
+// Package costmodel implements the repartitioning cost model of the paper's
+// Appendix C (Table 2) and its instantiation for the example split of
+// Table 1 (a partition holding 466 MB of 100-byte records split in half,
+// with a non-clustered primary index of height 3 holding 170 32-byte
+// entries per page).
+//
+// The model counts, for each system, the number of records and index
+// entries that must be moved, the pages that must be read, the pointer
+// updates on index and routing pages, and the update/insert/delete
+// operations applied to the primary and secondary indexes.
+package costmodel
+
+import "fmt"
+
+// System identifies a row of Table 1 / Table 2.
+type System int
+
+// The systems compared by the cost model.
+const (
+	PLPRegular System = iota
+	PLPLeaf
+	PLPPartition
+	SharedNothing
+	PLPClustered
+	SharedNothingClustered
+)
+
+// String returns the row label used in Table 1.
+func (s System) String() string {
+	switch s {
+	case PLPRegular:
+		return "PLP-Regular"
+	case PLPLeaf:
+		return "PLP-Leaf"
+	case PLPPartition:
+		return "PLP-Partition"
+	case SharedNothing:
+		return "Shared-Nothing"
+	case PLPClustered:
+		return "PLP (Clustered)"
+	case SharedNothingClustered:
+		return "Shared-Nothing (Clustered)"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Systems lists the cost-model rows in Table 1 order.
+func Systems() []System {
+	return []System{PLPRegular, PLPLeaf, PLPPartition, SharedNothing, PLPClustered, SharedNothingClustered}
+}
+
+// Params are the cost-model inputs (Appendix C notation).
+type Params struct {
+	// Height is h, the number of levels of the sub-tree being split.
+	Height int
+	// EntriesPerNode is n, the number of entries per B+Tree node.
+	EntriesPerNode int
+	// EntriesMovedPerLevel is m_k for k = 1..h: the number of entries that
+	// must move at each level of the boundary path (index 0 is the leaf
+	// level, m_1 in the paper's notation).
+	EntriesMovedPerLevel []int
+	// RecordSize is the size of one data record in bytes.
+	RecordSize int
+	// EntrySize is the size of one index entry in bytes.
+	EntrySize int
+	// RecordsInPartition is the number of records that would belong to the
+	// new partition (the worst-case M for partition-granularity moves).
+	RecordsInPartition int
+	// HasSecondary reports whether a secondary index exists.
+	HasSecondary bool
+}
+
+// IndexChanges counts update/insert/delete operations applied to an index.
+type IndexChanges struct {
+	Updates int
+	Inserts int
+	Deletes int
+}
+
+// String formats the changes the way Table 1 does.
+func (c IndexChanges) String() string {
+	switch {
+	case c.Updates == 0 && c.Inserts == 0 && c.Deletes == 0:
+		return "-"
+	case c.Inserts == 0 && c.Deletes == 0:
+		return fmt.Sprintf("%d U", c.Updates)
+	default:
+		return fmt.Sprintf("%d I + %d D", c.Inserts, c.Deletes)
+	}
+}
+
+// Cost is one row of Table 1.
+type Cost struct {
+	System System
+	// RecordsMoved is the number of data records physically relocated.
+	RecordsMoved int
+	// RecordBytesMoved is the corresponding volume in bytes.
+	RecordBytesMoved int
+	// EntriesMoved is the number of primary-index entries copied.
+	EntriesMoved int
+	// EntryBytesMoved is the corresponding volume in bytes.
+	EntryBytesMoved int
+	// PagesRead is the number of heap pages read to find the records.
+	PagesRead int
+	// PointerUpdates is the number of index/routing pointer changes.
+	PointerUpdates int
+	// Primary and Secondary are the logical index maintenance operations.
+	Primary   IndexChanges
+	Secondary IndexChanges
+}
+
+// sumEntries returns Σ m_k for k = from..to (1-based levels, inclusive).
+func (p Params) sumEntries(from, to int) int {
+	total := 0
+	for k := from; k <= to && k-1 < len(p.EntriesMovedPerLevel); k++ {
+		total += p.EntriesMovedPerLevel[k-1]
+	}
+	return total
+}
+
+// m1 returns the number of leaf entries moved.
+func (p Params) m1() int {
+	if len(p.EntriesMovedPerLevel) == 0 {
+		return 0
+	}
+	return p.EntriesMovedPerLevel[0]
+}
+
+// partitionRecordsMoved is the worst-case number of records moved when the
+// whole new partition's records relocate:
+//
+//	m_1 + Σ_{l=0}^{h-2} ( n^{h-l-1} × (m_{h-l} − 1) )
+//
+// (Table 2, PLP-Partition / Shared-Nothing row).
+func (p Params) partitionRecordsMoved() int {
+	total := p.m1()
+	for l := 0; l <= p.Height-2; l++ {
+		level := p.Height - l // m_{h-l}
+		if level-1 >= len(p.EntriesMovedPerLevel) || level < 1 {
+			continue
+		}
+		m := p.EntriesMovedPerLevel[level-1]
+		if m < 1 {
+			continue
+		}
+		total += pow(p.EntriesPerNode, p.Height-l-1) * (m - 1)
+	}
+	if p.RecordsInPartition > 0 && total > p.RecordsInPartition {
+		total = p.RecordsInPartition
+	}
+	return total
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// CostOf evaluates the cost model for one system.
+func CostOf(s System, p Params) Cost {
+	c := Cost{System: s}
+	pointerUpdates := 2*p.Height + 1
+	switch s {
+	case PLPRegular:
+		c.EntriesMoved = p.sumEntries(1, p.Height)
+		c.PointerUpdates = pointerUpdates
+	case PLPLeaf:
+		c.RecordsMoved = p.m1()
+		c.EntriesMoved = p.sumEntries(1, p.Height)
+		c.PagesRead = 1
+		c.PointerUpdates = pointerUpdates
+		c.Primary = IndexChanges{Updates: c.RecordsMoved}
+		if p.HasSecondary {
+			c.Secondary = IndexChanges{Updates: c.RecordsMoved}
+		}
+	case PLPPartition:
+		c.RecordsMoved = p.partitionRecordsMoved()
+		c.EntriesMoved = p.sumEntries(1, p.Height)
+		c.PagesRead = 1
+		if p.EntriesPerNode > 0 {
+			c.PagesRead += (c.RecordsMoved - p.m1()) / p.EntriesPerNode
+		}
+		c.PointerUpdates = pointerUpdates
+		c.Primary = IndexChanges{Updates: c.RecordsMoved}
+		if p.HasSecondary {
+			c.Secondary = IndexChanges{Updates: c.RecordsMoved}
+		}
+	case SharedNothing:
+		c.RecordsMoved = p.partitionRecordsMoved()
+		c.PagesRead = 1
+		if p.EntriesPerNode > 0 {
+			c.PagesRead += (c.RecordsMoved - p.m1()) / p.EntriesPerNode
+		}
+		c.Primary = IndexChanges{Inserts: c.RecordsMoved, Deletes: c.RecordsMoved}
+		if p.HasSecondary {
+			c.Secondary = IndexChanges{Inserts: c.RecordsMoved, Deletes: c.RecordsMoved}
+		}
+	case PLPClustered:
+		// The leaf entries are the records, so moving m_1 leaf entries moves
+		// the records; only levels >= 2 contribute index-entry movement.
+		c.RecordsMoved = p.m1()
+		c.EntriesMoved = p.sumEntries(2, p.Height)
+		c.PointerUpdates = pointerUpdates
+		if p.HasSecondary {
+			c.Secondary = IndexChanges{Updates: c.RecordsMoved}
+		}
+	case SharedNothingClustered:
+		c.RecordsMoved = p.partitionRecordsMoved()
+		c.Primary = IndexChanges{Inserts: c.RecordsMoved, Deletes: c.RecordsMoved}
+		if p.HasSecondary {
+			c.Secondary = IndexChanges{Inserts: c.RecordsMoved, Deletes: c.RecordsMoved}
+		}
+	}
+	c.RecordBytesMoved = c.RecordsMoved * p.RecordSize
+	c.EntryBytesMoved = c.EntriesMoved * p.EntrySize
+	return c
+}
+
+// AllCosts evaluates the model for every system.
+func AllCosts(p Params) []Cost {
+	out := make([]Cost, 0, len(Systems()))
+	for _, s := range Systems() {
+		out = append(out, CostOf(s, p))
+	}
+	return out
+}
+
+// Table1Params returns the parameters of the paper's Table 1 example: a
+// partition holding 466 MB of 100-byte records is split in half; the
+// non-clustered primary index has height 3 with 170 32-byte entries per
+// node; the boundary path moves half a node's entries at each level.
+func Table1Params() Params {
+	const (
+		height         = 3
+		entriesPerNode = 170
+		recordSize     = 100
+		entrySize      = 32
+	)
+	records := 466 * 1024 * 1024 / recordSize / 2 // records destined to the new partition
+	return Params{
+		Height:               height,
+		EntriesPerNode:       entriesPerNode,
+		EntriesMovedPerLevel: []int{entriesPerNode / 2, entriesPerNode / 2, entriesPerNode / 2},
+		RecordSize:           recordSize,
+		EntrySize:            entrySize,
+		RecordsInPartition:   records,
+		HasSecondary:         true,
+	}
+}

@@ -1,0 +1,121 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1Shape(t *testing.T) {
+	costs := AllCosts(Table1Params())
+	byName := map[System]Cost{}
+	for _, c := range costs {
+		byName[c.System] = c
+	}
+
+	// PLP-Regular moves no records at all.
+	if byName[PLPRegular].RecordsMoved != 0 {
+		t.Fatalf("PLP-Regular moves records: %+v", byName[PLPRegular])
+	}
+	// PLP-Leaf moves only one leaf page's worth of records.
+	leaf := byName[PLPLeaf]
+	if leaf.RecordsMoved == 0 || leaf.RecordsMoved > 200 {
+		t.Fatalf("PLP-Leaf records moved = %d, expected a leaf's worth", leaf.RecordsMoved)
+	}
+	// PLP-Partition and Shared-Nothing move the whole new partition — orders
+	// of magnitude more than PLP-Leaf (Table 1 shows 233 MB vs 8.3 KB).
+	part := byName[PLPPartition]
+	sn := byName[SharedNothing]
+	if part.RecordsMoved < 1000*leaf.RecordsMoved {
+		t.Fatalf("PLP-Partition (%d) should move vastly more records than PLP-Leaf (%d)",
+			part.RecordsMoved, leaf.RecordsMoved)
+	}
+	if sn.RecordsMoved != part.RecordsMoved {
+		t.Fatalf("Shared-Nothing (%d) and PLP-Partition (%d) should move the same records",
+			sn.RecordsMoved, part.RecordsMoved)
+	}
+	// Shared-nothing pays inserts+deletes on both indexes; PLP pays updates.
+	if sn.Primary.Inserts == 0 || sn.Primary.Deletes == 0 || sn.Primary.Updates != 0 {
+		t.Fatalf("Shared-Nothing primary changes wrong: %+v", sn.Primary)
+	}
+	if part.Primary.Updates == 0 || part.Primary.Inserts != 0 {
+		t.Fatalf("PLP-Partition primary changes wrong: %+v", part.Primary)
+	}
+	// Clustered PLP beats clustered shared-nothing on record movement.
+	if byName[PLPClustered].RecordsMoved >= byName[SharedNothingClustered].RecordsMoved {
+		t.Fatal("clustered PLP should move fewer records than clustered shared-nothing")
+	}
+	// Pointer updates are 2h+1 for the PLP designs.
+	p := Table1Params()
+	want := 2*p.Height + 1
+	for _, s := range []System{PLPRegular, PLPLeaf, PLPPartition, PLPClustered} {
+		if byName[s].PointerUpdates != want {
+			t.Fatalf("%v pointer updates = %d want %d", s, byName[s].PointerUpdates, want)
+		}
+	}
+}
+
+func TestRecordBytesScale(t *testing.T) {
+	p := Table1Params()
+	costs := AllCosts(p)
+	for _, c := range costs {
+		if c.RecordBytesMoved != c.RecordsMoved*p.RecordSize {
+			t.Fatalf("%v byte accounting wrong", c.System)
+		}
+	}
+}
+
+func TestSystemsAndLabels(t *testing.T) {
+	if len(Systems()) != 6 {
+		t.Fatal("expected 6 cost-model rows")
+	}
+	for _, s := range Systems() {
+		if s.String() == "" {
+			t.Fatalf("missing label for %d", s)
+		}
+	}
+	if (IndexChanges{}).String() != "-" {
+		t.Fatal("empty changes should print as -")
+	}
+	if (IndexChanges{Updates: 5}).String() != "5 U" {
+		t.Fatal("update changes format wrong")
+	}
+}
+
+func TestPropertyMonotoneInBoundaryEntries(t *testing.T) {
+	// Moving more entries on the boundary path must never decrease any
+	// system's cost.
+	f := func(m1 uint8, m2 uint8) bool {
+		base := Params{
+			Height:               3,
+			EntriesPerNode:       100,
+			EntriesMovedPerLevel: []int{int(m1%100) + 1, int(m2%100) + 1, 1},
+			RecordSize:           100,
+			EntrySize:            32,
+			RecordsInPartition:   1 << 30,
+			HasSecondary:         true,
+		}
+		bigger := base
+		bigger.EntriesMovedPerLevel = []int{int(m1%100) + 2, int(m2%100) + 2, 2}
+		for _, s := range Systems() {
+			if CostOf(s, bigger).RecordsMoved < CostOf(s, base).RecordsMoved {
+				return false
+			}
+			if CostOf(s, bigger).EntriesMoved < CostOf(s, base).EntriesMoved {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionRecordsMovedCappedByPartitionSize(t *testing.T) {
+	p := Table1Params()
+	p.RecordsInPartition = 100
+	c := CostOf(PLPPartition, p)
+	if c.RecordsMoved > 100 {
+		t.Fatalf("records moved %d exceeds partition size", c.RecordsMoved)
+	}
+}

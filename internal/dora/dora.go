@@ -1,0 +1,265 @@
+// Package dora implements the data-oriented execution infrastructure shared
+// by the logically-partitioned (Logical/DORA) and PLP designs: partition
+// worker threads, their input and system queues, and the quiesce protocol
+// used during repartitioning.
+//
+// Each logical partition is owned by exactly one worker goroutine.  The
+// partition manager (package engine) decomposes transactions into actions
+// and submits each action to the worker that owns the data it touches; the
+// worker executes actions serially, which is what makes thread-local locking
+// and (for PLP) latch-free page access safe.  Queue operations are the
+// fixed-contention "message passing" critical sections of Figure 1.
+package dora
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plp/internal/cs"
+	"plp/internal/lock"
+)
+
+// ErrStopped is returned when work is submitted to a stopped worker pool.
+var ErrStopped = errors.New("dora: worker pool is stopped")
+
+// Task is a unit of work executed by a partition worker.
+type Task struct {
+	// Do is the work to perform; it runs on the worker goroutine and
+	// receives the worker so it can use the worker-local lock table.
+	Do func(w *Worker)
+	// enqueuedAt is stamped by Submit for queue-wait accounting.
+	enqueuedAt time.Time
+}
+
+// Worker is a partition worker goroutine and its queues.
+type Worker struct {
+	id      int
+	input   chan Task
+	system  chan Task
+	quit    chan struct{}
+	stopped atomic.Bool
+	done    sync.WaitGroup
+
+	locks *lock.Local
+	cst   *cs.Stats
+
+	executed  atomic.Uint64
+	sysTasks  atomic.Uint64
+	queueWait atomic.Int64 // nanoseconds spent by tasks waiting in the input queue
+	busy      atomic.Int64 // nanoseconds spent executing tasks
+}
+
+// newWorker creates a worker with the given queue depth.
+func newWorker(id, queueDepth int, cstats *cs.Stats) *Worker {
+	return &Worker{
+		id:     id,
+		input:  make(chan Task, queueDepth),
+		system: make(chan Task, 16),
+		quit:   make(chan struct{}),
+		locks:  lock.NewLocal(),
+		cst:    cstats,
+	}
+}
+
+// ID returns the worker's partition index.
+func (w *Worker) ID() int { return w.id }
+
+// Locks returns the worker-local lock table.  Only code running on the
+// worker goroutine may use it.
+func (w *Worker) Locks() *lock.Local { return w.locks }
+
+// Submit enqueues a task on the worker's input queue.  The channel operation
+// is the fixed-contention message-passing critical section of the paper's
+// communication taxonomy.
+func (w *Worker) Submit(t Task) error {
+	if w.stopped.Load() {
+		return ErrStopped
+	}
+	t.enqueuedAt = time.Now()
+	w.cst.RecordClass(cs.MessagePassing, cs.Fixed, false)
+	select {
+	case <-w.quit:
+		return ErrStopped
+	case w.input <- t:
+		return nil
+	}
+}
+
+// SubmitSystem enqueues a high-priority system task (page cleaning requests
+// and repartitioning barriers use this queue, as described in Appendix A.4).
+func (w *Worker) SubmitSystem(t Task) error {
+	if w.stopped.Load() {
+		return ErrStopped
+	}
+	t.enqueuedAt = time.Now()
+	w.cst.RecordClass(cs.MessagePassing, cs.Fixed, false)
+	select {
+	case <-w.quit:
+		return ErrStopped
+	case w.system <- t:
+		return nil
+	}
+}
+
+// loop is the worker goroutine body.
+func (w *Worker) loop() {
+	defer w.done.Done()
+	for {
+		// System tasks have priority over the input queue.
+		select {
+		case t := <-w.system:
+			w.runSystem(t)
+			continue
+		default:
+		}
+		select {
+		case t := <-w.system:
+			w.runSystem(t)
+		case t := <-w.input:
+			w.run(t)
+		case <-w.quit:
+			// Drain any remaining input so submitters are not stranded.
+			for {
+				select {
+				case t := <-w.input:
+					w.run(t)
+				case t := <-w.system:
+					w.runSystem(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (w *Worker) run(t Task) {
+	w.queueWait.Add(int64(time.Since(t.enqueuedAt)))
+	start := time.Now()
+	t.Do(w)
+	w.busy.Add(int64(time.Since(start)))
+	w.executed.Add(1)
+}
+
+func (w *Worker) runSystem(t Task) {
+	t.Do(w)
+	w.sysTasks.Add(1)
+}
+
+// Stats describes a worker's activity.
+type Stats struct {
+	Executed    uint64
+	SystemTasks uint64
+	QueueWait   time.Duration
+	Busy        time.Duration
+}
+
+// Stats returns the worker's activity counters.
+func (w *Worker) Stats() Stats {
+	return Stats{
+		Executed:    w.executed.Load(),
+		SystemTasks: w.sysTasks.Load(),
+		QueueWait:   time.Duration(w.queueWait.Load()),
+		Busy:        time.Duration(w.busy.Load()),
+	}
+}
+
+// Pool is a set of partition workers, one per logical partition.
+type Pool struct {
+	workers []*Worker
+	started atomic.Bool
+	stopped atomic.Bool
+}
+
+// NewPool creates n workers with the given input-queue depth.
+func NewPool(n, queueDepth int, cstats *cs.Stats) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 128
+	}
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		p.workers = append(p.workers, newWorker(i, queueDepth, cstats))
+	}
+	return p
+}
+
+// Start launches the worker goroutines.
+func (p *Pool) Start() {
+	if !p.started.CompareAndSwap(false, true) {
+		return
+	}
+	for _, w := range p.workers {
+		w.done.Add(1)
+		go w.loop()
+	}
+}
+
+// Stop terminates the workers after draining their queues.  Submissions
+// after Stop return ErrStopped.
+func (p *Pool) Stop() {
+	if !p.started.Load() || !p.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for _, w := range p.workers {
+		w.stopped.Store(true)
+	}
+	for _, w := range p.workers {
+		close(w.quit)
+	}
+	for _, w := range p.workers {
+		w.done.Wait()
+	}
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Worker returns worker i.
+func (p *Pool) Worker(i int) *Worker { return p.workers[i%len(p.workers)] }
+
+// Workers returns all workers.
+func (p *Pool) Workers() []*Worker { return p.workers }
+
+// Quiesce pauses every worker at a barrier, runs fn while all partitions are
+// idle, and then releases the workers.  The partition manager uses it around
+// repartitioning, which therefore needs no latching at all (Section 3.1:
+// "the partition manager simply quiesces affected threads until the process
+// completes").
+func (p *Pool) Quiesce(fn func()) error {
+	var reached, release sync.WaitGroup
+	reached.Add(len(p.workers))
+	release.Add(1)
+	for _, w := range p.workers {
+		err := w.SubmitSystem(Task{Do: func(_ *Worker) {
+			reached.Done()
+			release.Wait()
+		}})
+		if err != nil {
+			// Unblock any workers already parked at the barrier.
+			release.Done()
+			return err
+		}
+	}
+	reached.Wait()
+	fn()
+	release.Done()
+	return nil
+}
+
+// TotalStats sums the workers' activity counters.
+func (p *Pool) TotalStats() Stats {
+	var out Stats
+	for _, w := range p.workers {
+		s := w.Stats()
+		out.Executed += s.Executed
+		out.SystemTasks += s.SystemTasks
+		out.QueueWait += s.QueueWait
+		out.Busy += s.Busy
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package dora
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plp/internal/cs"
+	"plp/internal/lock"
+)
+
+func TestTasksExecuteOnOwningWorker(t *testing.T) {
+	p := NewPool(4, 16, &cs.Stats{})
+	p.Start()
+	defer p.Stop()
+
+	var wg sync.WaitGroup
+	var wrongWorker atomic.Int32
+	for i := 0; i < 100; i++ {
+		target := i % 4
+		wg.Add(1)
+		if err := p.Worker(target).Submit(Task{Do: func(w *Worker) {
+			if w.ID() != target {
+				wrongWorker.Add(1)
+			}
+			wg.Done()
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if wrongWorker.Load() != 0 {
+		t.Fatal("tasks executed on the wrong worker")
+	}
+	if p.TotalStats().Executed != 100 {
+		t.Fatalf("executed=%d", p.TotalStats().Executed)
+	}
+}
+
+func TestWorkerSerializesItsTasks(t *testing.T) {
+	p := NewPool(1, 64, &cs.Stats{})
+	p.Start()
+	defer p.Stop()
+	w := p.Worker(0)
+
+	counter := 0 // no synchronization: the worker must serialize access
+	var wg sync.WaitGroup
+	for i := 0; i < 1000; i++ {
+		wg.Add(1)
+		if err := w.Submit(Task{Do: func(_ *Worker) {
+			counter++
+			wg.Done()
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if counter != 1000 {
+		t.Fatalf("worker did not serialize its tasks: %d", counter)
+	}
+}
+
+func TestSystemQueueHasPriority(t *testing.T) {
+	p := NewPool(1, 1024, &cs.Stats{})
+	w := p.Worker(0)
+	// Before starting the worker, enqueue many input tasks and one system
+	// task; once started, the system task must run before most of the
+	// input backlog.
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		_ = w.Submit(Task{Do: func(_ *Worker) {
+			mu.Lock()
+			order = append(order, "input")
+			mu.Unlock()
+			wg.Done()
+		}})
+	}
+	wg.Add(1)
+	_ = w.SubmitSystem(Task{Do: func(_ *Worker) {
+		mu.Lock()
+		order = append(order, "system")
+		mu.Unlock()
+		wg.Done()
+	}})
+	p.Start()
+	defer p.Stop()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	pos := -1
+	for i, s := range order {
+		if s == "system" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > 1 {
+		t.Fatalf("system task ran at position %d, expected immediately", pos)
+	}
+}
+
+func TestQuiesceStopsAllWorkers(t *testing.T) {
+	p := NewPool(4, 64, &cs.Stats{})
+	p.Start()
+	defer p.Stop()
+
+	var running atomic.Int32
+	stop := make(chan struct{})
+	// Keep workers busy with a stream of tasks.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				done := make(chan struct{})
+				if err := p.Worker(i).Submit(Task{Do: func(_ *Worker) {
+					running.Add(1)
+					time.Sleep(100 * time.Microsecond)
+					running.Add(-1)
+					close(done)
+				}}); err != nil {
+					return
+				}
+				<-done
+			}
+		}(i)
+	}
+
+	quiesced := false
+	if err := p.Quiesce(func() {
+		if running.Load() != 0 {
+			t.Error("tasks still running during quiesce")
+		}
+		quiesced = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !quiesced {
+		t.Fatal("quiesce callback not run")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestStopDrainsQueues(t *testing.T) {
+	p := NewPool(2, 256, &cs.Stats{})
+	p.Start()
+	var executed atomic.Int32
+	for i := 0; i < 200; i++ {
+		if err := p.Worker(i).Submit(Task{Do: func(_ *Worker) { executed.Add(1) }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Stop()
+	if executed.Load() != 200 {
+		t.Fatalf("stop lost tasks: %d", executed.Load())
+	}
+	// Submitting after stop fails rather than hanging.
+	if err := p.Worker(0).Submit(Task{Do: func(_ *Worker) {}}); err == nil {
+		t.Fatal("submit after stop should fail")
+	}
+	p.Stop() // idempotent
+}
+
+func TestWorkerLocalLocks(t *testing.T) {
+	p := NewPool(1, 8, &cs.Stats{})
+	p.Start()
+	defer p.Stop()
+	var ok bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	_ = p.Worker(0).Submit(Task{Do: func(w *Worker) {
+		defer wg.Done()
+		n := lock.KeyName(1, 5)
+		ok = w.Locks().TryAcquire(1, n, lock.X)
+		w.Locks().ReleaseTxn(1)
+	}})
+	wg.Wait()
+	if !ok {
+		t.Fatal("worker-local lock acquisition failed")
+	}
+}
+
+func TestMessagePassingCSRecorded(t *testing.T) {
+	cstats := &cs.Stats{}
+	p := NewPool(2, 8, cstats)
+	p.Start()
+	defer p.Stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		_ = p.Worker(i).Submit(Task{Do: func(_ *Worker) { wg.Done() }})
+	}
+	wg.Wait()
+	snap := cstats.Snapshot()
+	if snap.Entered[cs.MessagePassing] != 10 {
+		t.Fatalf("message passing CS=%d", snap.Entered[cs.MessagePassing])
+	}
+	if snap.ByClass[cs.Fixed] < 10 {
+		t.Fatal("message passing should be fixed-contention")
+	}
+}
+
+func TestQueueWaitAccounted(t *testing.T) {
+	p := NewPool(1, 64, &cs.Stats{})
+	w := p.Worker(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	_ = w.Submit(Task{Do: func(_ *Worker) {
+		time.Sleep(5 * time.Millisecond)
+		wg.Done()
+	}})
+	wg.Add(1)
+	_ = w.Submit(Task{Do: func(_ *Worker) { wg.Done() }})
+	p.Start()
+	defer p.Stop()
+	wg.Wait()
+	if w.Stats().QueueWait <= 0 {
+		t.Fatal("queue wait not recorded")
+	}
+	if w.Stats().Busy <= 0 {
+		t.Fatal("busy time not recorded")
+	}
+}

@@ -1,0 +1,586 @@
+// Ctx: the design-aware data access layer handed to action bodies.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"plp/internal/btree"
+	"plp/internal/catalog"
+	"plp/internal/dora"
+	"plp/internal/heap"
+	"plp/internal/lock"
+	"plp/internal/logrec"
+	"plp/internal/mrbtree"
+	"plp/internal/page"
+	"plp/internal/txn"
+	"plp/internal/wal"
+)
+
+// Errors returned by Ctx operations.
+var (
+	ErrNotFound  = errors.New("engine: key not found")
+	ErrDuplicate = errors.New("engine: duplicate key")
+)
+
+// Ctx carries one action's execution context: the transaction, the worker
+// executing it (nil in the Conventional design), and the engine whose
+// storage it accesses.  All data access goes through Ctx so that locking,
+// latching, heap placement and logging follow the engine's design.
+type Ctx struct {
+	eng       *Engine
+	tx        *txn.Txn
+	sess      *Session
+	worker    *dora.Worker
+	partition int
+	loading   bool
+
+	// tableLocks are the table-level locks acquired through the central
+	// lock manager during this transaction (Conventional design); at commit
+	// they are inherited by the session's SLI cache instead of being
+	// released.
+	tableLocks map[lock.Name]lock.Mode
+}
+
+// Txn returns the transaction this context belongs to.
+func (c *Ctx) Txn() *txn.Txn { return c.tx }
+
+// Partition returns the logical partition executing the action, or -1 in
+// the Conventional design.
+func (c *Ctx) Partition() int { return c.partition }
+
+// Engine returns the engine.
+func (c *Ctx) Engine() *Engine { return c.eng }
+
+// keyHash hashes a key for key-level lock names.
+func keyHash(key []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(key)
+	v := h.Sum64()
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// lockTable acquires the table-level intention lock in the Conventional
+// design, going through the SLI cache when available.
+func (c *Ctx) lockTable(tbl *catalog.Table, mode lock.Mode) error {
+	if c.loading || c.eng.opts.Design != Conventional || c.eng.locks == nil {
+		return nil
+	}
+	name := lock.TableName(tbl.ID)
+	if held, ok := c.tableLocks[name]; ok && lock.Supremum(held, mode) == held {
+		return nil
+	}
+	var wait time.Duration
+	var err error
+	if c.sess != nil && c.sess.sli != nil {
+		var hit bool
+		wait, hit, err = c.sess.sli.Acquire(c.tx.ID(), name, mode)
+		if err == nil && hit {
+			// Inherited: no lock-manager interaction happened.
+			return nil
+		}
+	} else {
+		wait, err = c.eng.locks.Acquire(c.tx.ID(), name, mode)
+	}
+	c.tx.Breakdown.AddWait(txn.WaitLock, wait)
+	if err != nil {
+		return err
+	}
+	if c.tableLocks == nil {
+		c.tableLocks = make(map[lock.Name]lock.Mode)
+	}
+	c.tableLocks[name] = lock.Supremum(c.tableLocks[name], mode)
+	return nil
+}
+
+// lockKey acquires a record-level lock: via the centralized manager in the
+// Conventional design, via the worker-local lock table in the partitioned
+// designs.
+func (c *Ctx) lockKey(tbl *catalog.Table, key []byte, mode lock.Mode) error {
+	if c.loading {
+		return nil
+	}
+	name := lock.KeyName(tbl.ID, keyHash(key))
+	if c.eng.opts.Design == Conventional {
+		tableMode := lock.IS
+		if mode == lock.X {
+			tableMode = lock.IX
+		}
+		if err := c.lockTable(tbl, tableMode); err != nil {
+			return err
+		}
+		wait, err := c.eng.locks.Acquire(c.tx.ID(), name, mode)
+		c.tx.Breakdown.AddWait(txn.WaitLock, wait)
+		if err != nil {
+			return err
+		}
+		c.tx.RecordLock(name)
+		return nil
+	}
+	if c.worker != nil {
+		// Thread-local locking: the owning worker executes actions
+		// serially, so a conflicting holder can only be another in-flight
+		// transaction on this worker; actions are short, so we spin via
+		// re-check (in practice conflicts are resolved by the serial
+		// execution order).
+		c.worker.Locks().TryAcquire(c.tx.ID(), name, mode)
+	}
+	return nil
+}
+
+// logModification appends a logical log record for a data modification.  The
+// payload carries the table, key and before/after record images so that
+// logical restart recovery (package recovery) can rebuild the database from
+// the log alone.
+func (c *Ctx) logModification(t wal.RecordType, tbl *catalog.Table, key, before, after []byte) {
+	if c.loading || c.eng.log == nil {
+		return
+	}
+	rec := &wal.Record{
+		Txn:     c.tx.ID(),
+		Type:    t,
+		PrevLSN: c.tx.LastLSN(),
+		Payload: logrec.EncodeModification(logrec.Modification{
+			Table:  tbl.Def.Name,
+			Key:    key,
+			Before: before,
+			After:  after,
+		}),
+	}
+	start := time.Now()
+	lsn := c.eng.log.Append(rec)
+	c.tx.Breakdown.AddWait(txn.WaitLog, time.Since(start))
+	c.tx.SetLastLSN(lsn)
+}
+
+// logSecondary appends a logical log record for a secondary-index
+// modification so that recovery can rebuild secondary indexes as well.
+func (c *Ctx) logSecondary(t wal.RecordType, table, index string, secKey, before, after []byte) {
+	if c.loading || c.eng.log == nil {
+		return
+	}
+	rec := &wal.Record{
+		Txn:     c.tx.ID(),
+		Type:    t,
+		PrevLSN: c.tx.LastLSN(),
+		Payload: logrec.EncodeModification(logrec.Modification{
+			Table:  table,
+			Index:  index,
+			Key:    secKey,
+			Before: before,
+			After:  after,
+		}),
+	}
+	start := time.Now()
+	lsn := c.eng.log.Append(rec)
+	c.tx.Breakdown.AddWait(txn.WaitLog, time.Since(start))
+	c.tx.SetLastLSN(lsn)
+}
+
+// heapOwner computes the owner tag used when placing a new record in the
+// heap, implementing the three heap policies of Section 3.3.
+func (c *Ctx) heapOwner(tbl *catalog.Table, table string, key []byte) (uint64, error) {
+	switch c.eng.opts.Design {
+	case PLPPartition:
+		return uint64(c.eng.partitionFor(table, key)) + 1, nil
+	case PLPLeaf:
+		leaf, err := tbl.Primary.LeafFor(c.tx, key)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(leaf), nil
+	default:
+		return heap.SharedOwner, nil
+	}
+}
+
+// Read returns the record stored under key in table.
+func (c *Ctx) Read(table string, key []byte) ([]byte, error) {
+	tbl, err := c.eng.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.lockKey(tbl, key, lock.S); err != nil {
+		return nil, err
+	}
+	val, found, err := tbl.Primary.Search(c.tx, key)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %s/%x", ErrNotFound, table, key)
+	}
+	if tbl.Def.Clustered {
+		return val, nil
+	}
+	rid, err := page.DecodeRID(val)
+	if err != nil {
+		return nil, err
+	}
+	return tbl.Heap.Get(c.tx, rid)
+}
+
+// ReadForUpdate returns the record stored under key, acquiring the
+// exclusive lock up front (the SELECT ... FOR UPDATE pattern).  Read-then-
+// update sequences on hot records (the TPC-B branch row, the TPC-C district
+// counter) must use it in the Conventional design: acquiring S first and
+// upgrading to X later deadlocks as soon as two transactions hold the S
+// lock simultaneously.
+func (c *Ctx) ReadForUpdate(table string, key []byte) ([]byte, error) {
+	tbl, err := c.eng.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.lockKey(tbl, key, lock.X); err != nil {
+		return nil, err
+	}
+	val, found, err := tbl.Primary.Search(c.tx, key)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %s/%x", ErrNotFound, table, key)
+	}
+	if tbl.Def.Clustered {
+		return val, nil
+	}
+	rid, err := page.DecodeRID(val)
+	if err != nil {
+		return nil, err
+	}
+	return tbl.Heap.Get(c.tx, rid)
+}
+
+// Exists reports whether key is present in table.
+func (c *Ctx) Exists(table string, key []byte) (bool, error) {
+	tbl, err := c.eng.Table(table)
+	if err != nil {
+		return false, err
+	}
+	if err := c.lockKey(tbl, key, lock.S); err != nil {
+		return false, err
+	}
+	_, found, err := tbl.Primary.Search(c.tx, key)
+	return found, err
+}
+
+// Insert adds a record under key.
+func (c *Ctx) Insert(table string, key, rec []byte) error {
+	tbl, err := c.eng.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := c.lockKey(tbl, key, lock.X); err != nil {
+		return err
+	}
+	if tbl.Def.Clustered {
+		if err := tbl.Primary.Insert(c.tx, key, rec); err != nil {
+			return mapBtreeErr(err)
+		}
+		c.logModification(wal.RecInsert, tbl, key, nil, rec)
+		c.pushUndo(func() error {
+			_, derr := tbl.Primary.Delete(nil, key)
+			return derr
+		})
+		return nil
+	}
+	owner, err := c.heapOwner(tbl, table, key)
+	if err != nil {
+		return err
+	}
+	rid, err := tbl.Heap.Insert(c.tx, owner, rec)
+	if err != nil {
+		return err
+	}
+	if err := tbl.Primary.Insert(c.tx, key, page.EncodeRID(rid)); err != nil {
+		// Undo the orphan heap record immediately.
+		_ = tbl.Heap.Delete(c.tx, rid)
+		return mapBtreeErr(err)
+	}
+	c.logModification(wal.RecInsert, tbl, key, nil, rec)
+	c.pushUndo(func() error {
+		if _, derr := tbl.Primary.Delete(nil, key); derr != nil {
+			return derr
+		}
+		return tbl.Heap.Delete(nil, rid)
+	})
+	return nil
+}
+
+// Update replaces the record stored under key.
+func (c *Ctx) Update(table string, key, rec []byte) error {
+	tbl, err := c.eng.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := c.lockKey(tbl, key, lock.X); err != nil {
+		return err
+	}
+	if tbl.Def.Clustered {
+		old, found, serr := tbl.Primary.Search(c.tx, key)
+		if serr != nil {
+			return serr
+		}
+		if !found {
+			return fmt.Errorf("%w: %s/%x", ErrNotFound, table, key)
+		}
+		if err := tbl.Primary.Update(c.tx, key, rec); err != nil {
+			return mapBtreeErr(err)
+		}
+		c.logModification(wal.RecUpdate, tbl, key, old, rec)
+		c.pushUndo(func() error { return tbl.Primary.Update(nil, key, old) })
+		return nil
+	}
+	val, found, err := tbl.Primary.Search(c.tx, key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %s/%x", ErrNotFound, table, key)
+	}
+	rid, err := page.DecodeRID(val)
+	if err != nil {
+		return err
+	}
+	old, err := tbl.Heap.Get(c.tx, rid)
+	if err != nil {
+		return err
+	}
+	if err := tbl.Heap.Update(c.tx, rid, rec); err != nil {
+		if !errors.Is(err, page.ErrPageFull) {
+			return err
+		}
+		// The record grew and its page has no room: relocate it to another
+		// page of the same owner and repoint the primary index entry.
+		owner, oerr := c.heapOwner(tbl, table, key)
+		if oerr != nil {
+			return oerr
+		}
+		newRID, ierr := tbl.Heap.Insert(c.tx, owner, rec)
+		if ierr != nil {
+			return ierr
+		}
+		if derr := tbl.Heap.Delete(c.tx, rid); derr != nil {
+			return derr
+		}
+		if uerr := tbl.Primary.Update(c.tx, key, page.EncodeRID(newRID)); uerr != nil {
+			return uerr
+		}
+		c.logModification(wal.RecUpdate, tbl, key, old, rec)
+		c.pushUndo(func() error {
+			if derr := tbl.Heap.Delete(nil, newRID); derr != nil {
+				return derr
+			}
+			backRID, ierr := tbl.Heap.Insert(nil, owner, old)
+			if ierr != nil {
+				return ierr
+			}
+			return tbl.Primary.Update(nil, key, page.EncodeRID(backRID))
+		})
+		return nil
+	}
+	c.logModification(wal.RecUpdate, tbl, key, old, rec)
+	c.pushUndo(func() error { return tbl.Heap.Update(nil, rid, old) })
+	return nil
+}
+
+// Delete removes the record stored under key.
+func (c *Ctx) Delete(table string, key []byte) error {
+	tbl, err := c.eng.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := c.lockKey(tbl, key, lock.X); err != nil {
+		return err
+	}
+	if tbl.Def.Clustered {
+		old, found, serr := tbl.Primary.Search(c.tx, key)
+		if serr != nil {
+			return serr
+		}
+		if !found {
+			return fmt.Errorf("%w: %s/%x", ErrNotFound, table, key)
+		}
+		if _, err := tbl.Primary.Delete(c.tx, key); err != nil {
+			return err
+		}
+		c.logModification(wal.RecDelete, tbl, key, old, nil)
+		c.pushUndo(func() error { return tbl.Primary.Insert(nil, key, old) })
+		return nil
+	}
+	val, found, err := tbl.Primary.Search(c.tx, key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %s/%x", ErrNotFound, table, key)
+	}
+	rid, err := page.DecodeRID(val)
+	if err != nil {
+		return err
+	}
+	old, err := tbl.Heap.Get(c.tx, rid)
+	if err != nil {
+		return err
+	}
+	if _, err := tbl.Primary.Delete(c.tx, key); err != nil {
+		return err
+	}
+	if err := tbl.Heap.Delete(c.tx, rid); err != nil {
+		return err
+	}
+	c.logModification(wal.RecDelete, tbl, key, old, nil)
+	c.pushUndo(func() error {
+		owner, oerr := c.heapOwner(tbl, table, key)
+		if oerr != nil {
+			owner = heap.SharedOwner
+		}
+		newRID, ierr := tbl.Heap.Insert(nil, owner, old)
+		if ierr != nil {
+			return ierr
+		}
+		return tbl.Primary.Insert(nil, key, page.EncodeRID(newRID))
+	})
+	return nil
+}
+
+// ReadRange visits every record with lo <= key < hi in key order.
+func (c *Ctx) ReadRange(table string, lo, hi []byte, fn func(key, rec []byte) bool) error {
+	tbl, err := c.eng.Table(table)
+	if err != nil {
+		return err
+	}
+	// Range reads take the table-level intention-shared lock only: key-range
+	// (phantom) protection is not needed by the workloads reproduced here,
+	// and a full table S lock would conflict with the intention locks other
+	// transactions keep parked in their SLI caches.
+	if err := c.lockTable(tbl, lock.IS); err != nil {
+		return err
+	}
+	var innerErr error
+	err = tbl.Primary.AscendRange(c.tx, lo, hi, func(k, v []byte) bool {
+		rec := v
+		if !tbl.Def.Clustered {
+			rid, derr := page.DecodeRID(v)
+			if derr != nil {
+				innerErr = derr
+				return false
+			}
+			rec, derr = tbl.Heap.Get(c.tx, rid)
+			if derr != nil {
+				innerErr = derr
+				return false
+			}
+		}
+		return fn(k, rec)
+	})
+	if err != nil {
+		return err
+	}
+	return innerErr
+}
+
+// secondary returns the named secondary index of table.
+func (c *Ctx) secondary(table, index string) (*catalog.Table, *mrbtree.Tree, error) {
+	tbl, err := c.eng.Table(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx, err := tbl.Secondary(index)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tbl, idx, nil
+}
+
+// InsertSecondary adds an entry mapping secKey to the primary key in the
+// named secondary index.  For non-partition-aligned indexes the stored value
+// is exactly the paper's scheme: the leaf entry carries the fields needed to
+// identify the partition-owning thread (here, the full primary key).
+func (c *Ctx) InsertSecondary(table, index string, secKey, primaryKey []byte) error {
+	_, idx, err := c.secondary(table, index)
+	if err != nil {
+		return err
+	}
+	if err := idx.Put(c.tx, secKey, primaryKey); err != nil {
+		return mapBtreeErr(err)
+	}
+	c.logSecondary(wal.RecInsert, table, index, secKey, nil, primaryKey)
+	c.pushUndo(func() error {
+		_, derr := idx.Delete(nil, secKey)
+		return derr
+	})
+	return nil
+}
+
+// DeleteSecondary removes an entry from the named secondary index.
+func (c *Ctx) DeleteSecondary(table, index string, secKey []byte) error {
+	_, idx, err := c.secondary(table, index)
+	if err != nil {
+		return err
+	}
+	old, found, err := idx.Search(c.tx, secKey)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return nil
+	}
+	if _, err := idx.Delete(c.tx, secKey); err != nil {
+		return err
+	}
+	c.logSecondary(wal.RecDelete, table, index, secKey, old, nil)
+	c.pushUndo(func() error { return idx.Put(nil, secKey, old) })
+	return nil
+}
+
+// LookupSecondary returns the primary key stored under secKey in the named
+// secondary index.
+func (c *Ctx) LookupSecondary(table, index string, secKey []byte) ([]byte, error) {
+	_, idx, err := c.secondary(table, index)
+	if err != nil {
+		return nil, err
+	}
+	pk, found, err := idx.Search(c.tx, secKey)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %s.%s/%x", ErrNotFound, table, index, secKey)
+	}
+	return pk, nil
+}
+
+// ReadBySecondary resolves secKey through the named secondary index and
+// returns the referenced primary record.
+func (c *Ctx) ReadBySecondary(table, index string, secKey []byte) ([]byte, error) {
+	pk, err := c.LookupSecondary(table, index, secKey)
+	if err != nil {
+		return nil, err
+	}
+	return c.Read(table, pk)
+}
+
+// pushUndo registers an undo action when running inside a transaction.
+func (c *Ctx) pushUndo(f txn.UndoFunc) {
+	if c.loading || c.tx == nil {
+		return
+	}
+	c.tx.PushUndo(f)
+}
+
+// mapBtreeErr converts btree sentinel errors to engine sentinel errors.
+func mapBtreeErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, btree.ErrDuplicateKey) {
+		return fmt.Errorf("%w: %v", ErrDuplicate, err)
+	}
+	return err
+}

@@ -1,0 +1,424 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plp/internal/catalog"
+	"plp/internal/keyenc"
+	"plp/internal/latch"
+	"plp/internal/lock"
+)
+
+// newTestEngine builds an engine with a small test table partitioned into
+// opts.Partitions ranges over keys [1, 10000].
+func newTestEngine(t testing.TB, opts Options) *Engine {
+	t.Helper()
+	e := New(opts)
+	t.Cleanup(func() { _ = e.Close() })
+	var bounds [][]byte
+	for i := 1; i < opts.Partitions; i++ {
+		bounds = append(bounds, keyenc.Uint64Key(uint64(10000*i/opts.Partitions)))
+	}
+	if _, err := e.CreateTable(catalog.TableDef{
+		Name:       "t",
+		Boundaries: bounds,
+		Secondaries: []catalog.SecondaryDef{
+			{Name: "sec", PartitionAligned: false},
+		},
+	}); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	return e
+}
+
+func testOptions(design Design) Options {
+	return Options{Design: design, Partitions: 4, SLI: design == Conventional}
+}
+
+func loadRows(t testing.TB, e *Engine, n int) {
+	t.Helper()
+	l := e.NewLoader()
+	for i := 1; i <= n; i++ {
+		key := keyenc.Uint64Key(uint64(i))
+		if err := l.Insert("t", key, []byte(fmt.Sprintf("row-%d", i))); err != nil {
+			t.Fatalf("load row %d: %v", i, err)
+		}
+	}
+}
+
+func TestAllDesignsBasicCRUD(t *testing.T) {
+	for _, design := range AllDesigns() {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			e := newTestEngine(t, testOptions(design))
+			loadRows(t, e, 1000)
+			sess := e.NewSession()
+			defer sess.Close()
+
+			// Read.
+			readReq := NewRequest(Action{Table: "t", Key: keyenc.Uint64Key(42), Exec: func(c *Ctx) error {
+				v, err := c.Read("t", keyenc.Uint64Key(42))
+				if err != nil {
+					return err
+				}
+				if string(v) != "row-42" {
+					return fmt.Errorf("got %q", v)
+				}
+				return nil
+			}})
+			if _, err := sess.Execute(readReq); err != nil {
+				t.Fatalf("read: %v", err)
+			}
+
+			// Update then read back.
+			upReq := NewRequest(Action{Table: "t", Key: keyenc.Uint64Key(42), Exec: func(c *Ctx) error {
+				return c.Update("t", keyenc.Uint64Key(42), []byte("updated"))
+			}})
+			if _, err := sess.Execute(upReq); err != nil {
+				t.Fatalf("update: %v", err)
+			}
+			var got []byte
+			chk := NewRequest(Action{Table: "t", Key: keyenc.Uint64Key(42), Exec: func(c *Ctx) error {
+				v, err := c.Read("t", keyenc.Uint64Key(42))
+				got = v
+				return err
+			}})
+			if _, err := sess.Execute(chk); err != nil {
+				t.Fatalf("readback: %v", err)
+			}
+			if string(got) != "updated" {
+				t.Fatalf("readback got %q", got)
+			}
+
+			// Insert + delete.
+			key := keyenc.Uint64Key(5555)
+			insReq := NewRequest(Action{Table: "t", Key: key, Exec: func(c *Ctx) error {
+				return c.Insert("t", key, []byte("fresh"))
+			}})
+			if _, err := sess.Execute(insReq); err != nil {
+				// 5555 may collide with a loaded row only if n >= 5555; it is not.
+				t.Fatalf("insert: %v", err)
+			}
+			delReq := NewRequest(Action{Table: "t", Key: key, Exec: func(c *Ctx) error {
+				return c.Delete("t", key)
+			}})
+			if _, err := sess.Execute(delReq); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			missing := NewRequest(Action{Table: "t", Key: key, Exec: func(c *Ctx) error {
+				_, err := c.Read("t", key)
+				if err == nil {
+					return fmt.Errorf("deleted key still readable")
+				}
+				if !errors.Is(err, ErrNotFound) {
+					return err
+				}
+				return nil
+			}})
+			if _, err := sess.Execute(missing); err != nil {
+				t.Fatalf("missing read: %v", err)
+			}
+
+			// Secondary index.
+			secReq := NewRequest(Action{Table: "t", Key: keyenc.Uint64Key(7), Exec: func(c *Ctx) error {
+				if err := c.InsertSecondary("t", "sec", []byte("name-7"), keyenc.Uint64Key(7)); err != nil {
+					return err
+				}
+				rec, err := c.ReadBySecondary("t", "sec", []byte("name-7"))
+				if err != nil {
+					return err
+				}
+				if string(rec) != "row-7" {
+					return fmt.Errorf("secondary read got %q", rec)
+				}
+				return nil
+			}})
+			if _, err := sess.Execute(secReq); err != nil {
+				t.Fatalf("secondary: %v", err)
+			}
+		})
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	for _, design := range []Design{Conventional, Logical, PLPLeaf} {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			e := newTestEngine(t, testOptions(design))
+			loadRows(t, e, 100)
+			sess := e.NewSession()
+			defer sess.Close()
+
+			// A request whose second phase fails must roll back the first
+			// phase's update.
+			req := NewRequest(Action{Table: "t", Key: keyenc.Uint64Key(5), Exec: func(c *Ctx) error {
+				return c.Update("t", keyenc.Uint64Key(5), []byte("should-not-survive"))
+			}})
+			req.AddPhase(Action{Table: "t", Key: keyenc.Uint64Key(6), Exec: func(c *Ctx) error {
+				return fmt.Errorf("forced failure")
+			}})
+			_, err := sess.Execute(req)
+			if !errors.Is(err, ErrAborted) {
+				t.Fatalf("expected ErrAborted, got %v", err)
+			}
+			v, err := e.NewLoader().Read("t", keyenc.Uint64Key(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(v) != "row-5" {
+				t.Fatalf("update survived abort: %q", v)
+			}
+			if e.TxnStats().Aborted == 0 {
+				t.Fatal("abort not counted")
+			}
+		})
+	}
+}
+
+func TestConcurrentClientsAllDesigns(t *testing.T) {
+	for _, design := range AllDesigns() {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			e := newTestEngine(t, testOptions(design))
+			loadRows(t, e, 2000)
+			const clients = 8
+			const perClient = 200
+			var wg sync.WaitGroup
+			errCh := make(chan error, clients)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					sess := e.NewSession()
+					defer sess.Close()
+					for i := 0; i < perClient; i++ {
+						id := uint64(1 + (c*perClient+i)%2000)
+						key := keyenc.Uint64Key(id)
+						req := NewRequest(Action{Table: "t", Key: key, Exec: func(ctx *Ctx) error {
+							if i%4 == 0 {
+								return ctx.Update("t", key, []byte(fmt.Sprintf("c%d-%d", c, i)))
+							}
+							_, err := ctx.Read("t", key)
+							return err
+						}})
+						if _, err := sess.Execute(req); err != nil && !errors.Is(err, ErrAborted) {
+							errCh <- err
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatalf("client error: %v", err)
+			}
+			if got := e.TxnStats().Committed; got == 0 {
+				t.Fatal("no transactions committed")
+			}
+		})
+	}
+}
+
+func TestLatchFreedomOfPLP(t *testing.T) {
+	// The PLP designs must acquire (nearly) no index latches; PLP-Leaf must
+	// additionally acquire no heap latches.  This is the core claim of
+	// Figure 3.
+	run := func(design Design) (idx, heapL uint64) {
+		e := newTestEngine(t, testOptions(design))
+		loadRows(t, e, 2000)
+		before := e.LatchStats().Snapshot()
+		sess := e.NewSession()
+		defer sess.Close()
+		for i := 0; i < 500; i++ {
+			key := keyenc.Uint64Key(uint64(1 + i%2000))
+			req := NewRequest(Action{Table: "t", Key: key, Exec: func(c *Ctx) error {
+				if i%3 == 0 {
+					return c.Update("t", key, []byte("x"))
+				}
+				_, err := c.Read("t", key)
+				return err
+			}})
+			if _, err := sess.Execute(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d := e.LatchStats().Snapshot().Sub(before)
+		return d.Acquired[latch.KindIndex], d.Acquired[latch.KindHeap]
+	}
+
+	convIdx, convHeap := run(Conventional)
+	if convIdx == 0 || convHeap == 0 {
+		t.Fatalf("conventional should latch: idx=%d heap=%d", convIdx, convHeap)
+	}
+	plpIdx, plpHeap := run(PLPRegular)
+	if plpIdx != 0 {
+		t.Fatalf("PLP-Regular acquired %d index latches", plpIdx)
+	}
+	if plpHeap == 0 {
+		t.Fatalf("PLP-Regular should still latch heap pages")
+	}
+	leafIdx, leafHeap := run(PLPLeaf)
+	if leafIdx != 0 || leafHeap != 0 {
+		t.Fatalf("PLP-Leaf acquired latches: idx=%d heap=%d", leafIdx, leafHeap)
+	}
+}
+
+func TestSLIReducesLockManagerCS(t *testing.T) {
+	run := func(sli bool) float64 {
+		opts := Options{Design: Conventional, Partitions: 1, SLI: sli}
+		e := newTestEngine(t, opts)
+		loadRows(t, e, 500)
+		before := e.CSStats().Snapshot()
+		sess := e.NewSession()
+		defer sess.Close()
+		const n = 500
+		for i := 0; i < n; i++ {
+			key := keyenc.Uint64Key(uint64(1 + i%500))
+			req := NewRequest(Action{Table: "t", Key: key, Exec: func(c *Ctx) error {
+				_, err := c.Read("t", key)
+				return err
+			}})
+			if _, err := sess.Execute(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d := e.CSStats().Snapshot().Sub(before)
+		return d.PerTxn(n).Entered[0] // cs.LockMgr == 0
+	}
+	withSLI := run(true)
+	withoutSLI := run(false)
+	if withSLI >= withoutSLI {
+		t.Fatalf("SLI did not reduce lock-manager critical sections: with=%.2f without=%.2f", withSLI, withoutSLI)
+	}
+}
+
+func TestRebalanceMovesBoundary(t *testing.T) {
+	for _, design := range []Design{Logical, PLPRegular, PLPPartition, PLPLeaf} {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			e := newTestEngine(t, testOptions(design))
+			loadRows(t, e, 4000)
+			st, err := e.Rebalance("t", 1, keyenc.Uint64Key(1000))
+			if err != nil {
+				t.Fatalf("Rebalance: %v", err)
+			}
+			if design == Logical && !st.RoutingOnly {
+				t.Fatal("Logical rebalance should be routing-only")
+			}
+			if design != Logical && st.EntriesMoved == 0 {
+				t.Fatalf("PLP rebalance moved no index entries: %+v", st)
+			}
+			if design == PLPPartition && st.RecordsMoved == 0 {
+				t.Fatal("PLP-Partition rebalance should move heap records")
+			}
+			// The data must remain fully readable afterwards.
+			l := e.NewLoader()
+			for i := 1; i <= 4000; i += 37 {
+				if _, err := l.Read("t", keyenc.Uint64Key(uint64(i))); err != nil {
+					t.Fatalf("row %d unreadable after rebalance: %v", i, err)
+				}
+			}
+			sess := e.NewSession()
+			defer sess.Close()
+			key := keyenc.Uint64Key(999)
+			req := NewRequest(Action{Table: "t", Key: key, Exec: func(c *Ctx) error {
+				return c.Update("t", key, []byte("after-rebalance"))
+			}})
+			if _, err := sess.Execute(req); err != nil {
+				t.Fatalf("update after rebalance: %v", err)
+			}
+		})
+	}
+}
+
+func TestLockConflictSerializesConventional(t *testing.T) {
+	e := newTestEngine(t, Options{Design: Conventional, Partitions: 1})
+	loadRows(t, e, 10)
+	key := keyenc.Uint64Key(1)
+	const clients = 4
+	const per = 50
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := e.NewSession()
+			defer sess.Close()
+			for i := 0; i < per; i++ {
+				req := NewRequest(Action{Table: "t", Key: key, Exec: func(ctx *Ctx) error {
+					// Take the exclusive lock directly (read-then-upgrade
+					// under full contention would be a guaranteed deadlock).
+					return ctx.Update("t", key, []byte("v"))
+				}})
+				if _, err := sess.Execute(req); err != nil && !errors.Is(err, ErrAborted) {
+					t.Errorf("execute: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.TxnStats().Committed; got != clients*per {
+		t.Fatalf("committed %d, want %d", got, clients*per)
+	}
+	if e.lockManagerForTests() == nil {
+		t.Fatal("conventional engine must have a lock manager")
+	}
+}
+
+func TestUpgradeDeadlockAborts(t *testing.T) {
+	// Two transactions that both read-then-update the same key deadlock on
+	// the S->X upgrade; the lock manager's timeout must abort (at least)
+	// one of them rather than hanging.
+	e := newTestEngine(t, Options{Design: Conventional, Partitions: 1, LockTimeout: 50 * time.Millisecond})
+	loadRows(t, e, 10)
+	key := keyenc.Uint64Key(1)
+	var wg sync.WaitGroup
+	var aborts atomic.Uint64
+	var holdingS sync.WaitGroup
+	holdingS.Add(2)
+	barrier := make(chan struct{})
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := e.NewSession()
+			defer sess.Close()
+			req := NewRequest(Action{Table: "t", Key: key, Exec: func(ctx *Ctx) error {
+				if _, err := ctx.Read("t", key); err != nil {
+					return err
+				}
+				holdingS.Done()
+				<-barrier // make sure both hold the shared lock first
+				return ctx.Update("t", key, []byte("v"))
+			}})
+			if _, err := sess.Execute(req); err != nil {
+				if errors.Is(err, ErrAborted) {
+					aborts.Add(1)
+					return
+				}
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	// Release the upgrades only after both transactions hold the S lock, so
+	// the upgrade deadlock is guaranteed rather than timing dependent.
+	holdingS.Wait()
+	close(barrier)
+	wg.Wait()
+	if aborts.Load() == 0 {
+		t.Fatal("expected at least one deadlock abort")
+	}
+}
+
+func TestLockCompatibilitySanity(t *testing.T) {
+	if !lock.Compatible(lock.S, lock.S) || lock.Compatible(lock.X, lock.S) {
+		t.Fatal("lock compatibility matrix broken")
+	}
+}

@@ -1,0 +1,349 @@
+// Request execution for the five designs, bulk loading, and rebalancing.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"plp/internal/catalog"
+	"plp/internal/dora"
+	"plp/internal/lock"
+	"plp/internal/page"
+	"plp/internal/txn"
+)
+
+// ErrAborted is returned when a request's transaction had to be aborted.
+var ErrAborted = errors.New("engine: transaction aborted")
+
+// Result describes a completed request.
+type Result struct {
+	// Txn is the transaction that executed the request (already committed
+	// or aborted).
+	Txn *txn.Txn
+	// Breakdown is the transaction's blocked-time breakdown.
+	Breakdown txn.Totals
+	// Latency is the end-to-end request latency.
+	Latency time.Duration
+}
+
+// Execute runs one request as a transaction and returns its result.  The
+// session's goroutine blocks until the transaction commits or aborts.
+func (s *Session) Execute(req *Request) (Result, error) {
+	if s.e.opts.Design == Conventional {
+		return s.executeConventional(req)
+	}
+	return s.executePartitioned(req)
+}
+
+// executeConventional runs every action inline on the calling goroutine,
+// acquiring centralized locks and latching pages as a conventional
+// shared-everything system does.
+func (s *Session) executeConventional(req *Request) (Result, error) {
+	e := s.e
+	start := time.Now()
+	tx := e.tm.Begin()
+	ctx := &Ctx{eng: e, tx: tx, sess: s, partition: -1}
+
+	for _, phase := range req.Phases {
+		for i := range phase {
+			if err := phase[i].Exec(ctx); err != nil {
+				_ = e.tm.Abort(tx)
+				s.releaseTableLocks(ctx, tx, false)
+				return Result{Txn: tx, Breakdown: tx.Breakdown.Totals(), Latency: time.Since(start)},
+					fmt.Errorf("%w: %v", ErrAborted, err)
+			}
+		}
+	}
+	// Inherit or release table-level locks before the commit releases the
+	// record locks.
+	s.releaseTableLocks(ctx, tx, true)
+	if err := e.tm.Commit(tx); err != nil {
+		return Result{Txn: tx}, err
+	}
+	return Result{Txn: tx, Breakdown: tx.Breakdown.Totals(), Latency: time.Since(start)}, nil
+}
+
+// releaseTableLocks hands the transaction's table locks to the SLI cache
+// (on commit, when SLI is enabled) or releases them.
+func (s *Session) releaseTableLocks(ctx *Ctx, tx *txn.Txn, commit bool) {
+	if s.e.locks == nil {
+		return
+	}
+	for name, mode := range ctx.tableLocks {
+		if commit && s.sli != nil {
+			if err := s.sli.Inherit(tx.ID(), name, mode); err == nil {
+				continue
+			}
+		}
+		_ = s.e.locks.Release(tx.ID(), name)
+	}
+	ctx.tableLocks = nil
+}
+
+// executePartitioned routes every action to the partition worker that owns
+// its data (the Logical and PLP designs).
+func (s *Session) executePartitioned(req *Request) (Result, error) {
+	e := s.e
+	start := time.Now()
+	tx := e.tm.Begin()
+
+	var abortErr error
+	for _, phase := range req.Phases {
+		if abortErr != nil {
+			break
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(phase))
+		for i := range phase {
+			a := phase[i]
+			pidx := e.partitionFor(a.Table, a.routingKey())
+			w := e.pool.Worker(pidx)
+			wg.Add(1)
+			slot := i
+			enqueued := time.Now()
+			err := w.Submit(dora.Task{Do: func(w *dora.Worker) {
+				defer wg.Done()
+				tx.Breakdown.AddWait(txn.WaitQueue, time.Since(enqueued))
+				ctx := &Ctx{eng: e, tx: tx, worker: w, partition: w.ID()}
+				errs[slot] = a.Exec(ctx)
+				// Thread-local locks are released when the action finishes;
+				// isolation within the partition is guaranteed by the
+				// worker's serial execution.
+				w.Locks().ReleaseTxn(tx.ID())
+			}})
+			if err != nil {
+				wg.Done()
+				errs[slot] = err
+			}
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				abortErr = err
+				break
+			}
+		}
+	}
+	if abortErr != nil {
+		_ = e.tm.Abort(tx)
+		return Result{Txn: tx, Breakdown: tx.Breakdown.Totals(), Latency: time.Since(start)},
+			fmt.Errorf("%w: %v", ErrAborted, abortErr)
+	}
+	if err := e.tm.Commit(tx); err != nil {
+		return Result{Txn: tx}, err
+	}
+	return Result{Txn: tx, Breakdown: tx.Breakdown.Totals(), Latency: time.Since(start)}, nil
+}
+
+// Loader provides direct, unlocked, unlogged access for bulk-loading a
+// database before measurements start.  It must be used single-threaded.
+type Loader struct {
+	ctx *Ctx
+}
+
+// NewLoader returns a loader for the engine.
+func (e *Engine) NewLoader() *Loader {
+	return &Loader{ctx: &Ctx{eng: e, partition: -1, loading: true}}
+}
+
+// Insert loads one record.
+func (l *Loader) Insert(table string, key, rec []byte) error {
+	return l.ctx.Insert(table, key, rec)
+}
+
+// InsertSecondary loads one secondary-index entry.
+func (l *Loader) InsertSecondary(table, index string, secKey, primaryKey []byte) error {
+	return l.ctx.InsertSecondary(table, index, secKey, primaryKey)
+}
+
+// DeleteSecondary removes one secondary-index entry (used by recovery
+// replay).
+func (l *Loader) DeleteSecondary(table, index string, secKey []byte) error {
+	return l.ctx.DeleteSecondary(table, index, secKey)
+}
+
+// Update overwrites one record (used by recovery replay and consistency
+// repair tools; like Insert it bypasses locking and logging).
+func (l *Loader) Update(table string, key, rec []byte) error {
+	return l.ctx.Update(table, key, rec)
+}
+
+// Delete removes one record (used by recovery replay).
+func (l *Loader) Delete(table string, key []byte) error {
+	return l.ctx.Delete(table, key)
+}
+
+// Exists reports whether key is present in table.
+func (l *Loader) Exists(table string, key []byte) (bool, error) {
+	return l.ctx.Exists(table, key)
+}
+
+// Read fetches a record outside any transaction (consistency checks).
+func (l *Loader) Read(table string, key []byte) ([]byte, error) {
+	return l.ctx.Read(table, key)
+}
+
+// ReadRange scans outside any transaction (consistency checks).
+func (l *Loader) ReadRange(table string, lo, hi []byte, fn func(key, rec []byte) bool) error {
+	return l.ctx.ReadRange(table, lo, hi, fn)
+}
+
+// ScanHeap scans a table's heap file sequentially (Figure 12).  For the
+// partitioned designs the scan is distributed across the partition workers,
+// as Section 3.3 describes; the Conventional design scans inline.
+func (e *Engine) ScanHeap(table string, fn func(rid page.RID, rec []byte) bool) error {
+	tbl, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	if tbl.Heap == nil {
+		return fmt.Errorf("engine: table %s is clustered and has no heap", table)
+	}
+	return tbl.Heap.Scan(nil, fn)
+}
+
+// Quiesce pauses every partition worker at a barrier, runs fn while all
+// partitions are idle, and releases the workers.  The Conventional design has
+// no workers, so fn simply runs inline; callers that need a fully quiescent
+// system there must stop issuing requests first.  Checkpointing (package
+// recovery) and automatic rebalancing (package balance) use this, exactly as
+// the partition manager of Section 3.1 quiesces threads for repartitioning.
+func (e *Engine) Quiesce(fn func()) error {
+	if e.pool == nil {
+		fn()
+		return nil
+	}
+	return e.pool.Quiesce(fn)
+}
+
+// RebalanceStats reports the cost of one Rebalance call.
+type RebalanceStats struct {
+	// RoutingOnly reports whether only the routing table changed (the
+	// Logical design).
+	RoutingOnly bool
+	// EntriesMoved counts index entries copied between pages.
+	EntriesMoved int
+	// RecordsMoved counts heap records relocated (PLP-Partition only).
+	RecordsMoved int
+	// Duration is the wall-clock time the partitions were quiesced.
+	Duration time.Duration
+}
+
+// Rebalance moves the lower boundary of logical partition idx of the given
+// table to newBoundary, quiescing the partition workers while the partition
+// metadata (and, for the PLP designs, the MRBTree sub-trees and possibly the
+// heap pages) are updated.  This is the operation measured in Figure 8.
+func (e *Engine) Rebalance(table string, idx int, newBoundary []byte) (RebalanceStats, error) {
+	var st RebalanceStats
+	rt, ok := e.routing[table]
+	if !ok {
+		return st, fmt.Errorf("engine: unknown table %q", table)
+	}
+	if idx <= 0 || idx >= rt.numPartitions() {
+		return st, fmt.Errorf("engine: partition %d out of range", idx)
+	}
+	tbl, err := e.Table(table)
+	if err != nil {
+		return st, err
+	}
+	start := time.Now()
+
+	work := func() error {
+		// The routing table always moves: that is all the Logical design
+		// needs ("logical partitioning quickly adjusts its routing tables").
+		rt.setBoundary(idx-1, newBoundary)
+		if !e.opts.Design.LatchFreeIndex() && !e.opts.UseMRBTree {
+			st.RoutingOnly = true
+			return nil
+		}
+		// Physical repartitioning of the MRBTree.
+		rps, err := tbl.Primary.MoveBoundary(idx, newBoundary)
+		if err != nil {
+			return err
+		}
+		st.EntriesMoved += rps.EntriesMoved
+		// PLP-Partition additionally re-homes the heap records whose owner
+		// changed, which is why its repartitioning dip in Figure 8 is much
+		// larger.
+		if e.opts.Design == PLPPartition {
+			moved, merr := e.rehomeHeapRecords(tbl, table)
+			if merr != nil {
+				return merr
+			}
+			st.RecordsMoved += moved
+		}
+		return nil
+	}
+
+	if e.pool != nil {
+		var workErr error
+		if err := e.pool.Quiesce(func() { workErr = work() }); err != nil {
+			return st, err
+		}
+		if workErr != nil {
+			return st, workErr
+		}
+	} else if err := work(); err != nil {
+		return st, err
+	}
+	st.Duration = time.Since(start)
+	return st, nil
+}
+
+// rehomeHeapRecords moves every heap record whose owning partition no longer
+// matches the routing table onto pages owned by the correct partition, and
+// updates the primary index to the new RIDs (the storage-manager callback of
+// Section 3.3).
+func (e *Engine) rehomeHeapRecords(tbl *catalog.Table, table string) (int, error) {
+	moved := 0
+	type relocation struct {
+		key    []byte
+		oldRID page.RID
+		owner  uint64
+	}
+	var relocations []relocation
+	err := tbl.Primary.Ascend(nil, func(k, v []byte) bool {
+		rid, derr := page.DecodeRID(v)
+		if derr != nil {
+			return true
+		}
+		wantOwner := uint64(e.partitionFor(table, k)) + 1
+		frame, ferr := e.bp.Fix(rid.Page)
+		if ferr != nil {
+			return true
+		}
+		curOwner := frame.Page().Owner()
+		e.bp.Unfix(frame, false)
+		if curOwner != wantOwner {
+			relocations = append(relocations, relocation{key: append([]byte(nil), k...), oldRID: rid, owner: wantOwner})
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range relocations {
+		rec, gerr := tbl.Heap.Get(nil, r.oldRID)
+		if gerr != nil {
+			return moved, gerr
+		}
+		newRID, ierr := tbl.Heap.Insert(nil, r.owner, rec)
+		if ierr != nil {
+			return moved, ierr
+		}
+		if derr := tbl.Heap.Delete(nil, r.oldRID); derr != nil {
+			return moved, derr
+		}
+		if uerr := tbl.Primary.Update(nil, r.key, page.EncodeRID(newRID)); uerr != nil {
+			return moved, uerr
+		}
+		moved++
+	}
+	return moved, nil
+}
+
+// lockManagerForTests exposes the centralized lock manager to white-box
+// tests in this package.
+func (e *Engine) lockManagerForTests() *lock.Manager { return e.locks }

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"plp/internal/catalog"
+	"plp/internal/keyenc"
+)
+
+// loadScanTable creates a 4-partition table with n rows.
+func loadScanTable(t *testing.T, design Design, n int) *Engine {
+	t.Helper()
+	e := New(Options{Design: design, Partitions: 4})
+	boundaries := [][]byte{
+		keyenc.Uint64Key(uint64(n/4) + 1),
+		keyenc.Uint64Key(uint64(n/2) + 1),
+		keyenc.Uint64Key(uint64(3*n/4) + 1),
+	}
+	if _, err := e.CreateTable(catalog.TableDef{Name: "scan", Boundaries: boundaries}); err != nil {
+		t.Fatal(err)
+	}
+	l := e.NewLoader()
+	for i := 1; i <= n; i++ {
+		if err := l.Insert("scan", keyenc.Uint64Key(uint64(i)), []byte(fmt.Sprintf("row-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+func TestScanTableParallelVisitsEveryRecordOnce(t *testing.T) {
+	const rows = 2000
+	for _, design := range AllDesigns() {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			e := loadScanTable(t, design, rows)
+			var mu sync.Mutex
+			seen := make(map[string]int)
+			st, err := e.ScanTableParallel("scan", func(_ int, key, rec []byte) {
+				mu.Lock()
+				seen[string(key)]++
+				mu.Unlock()
+				if len(rec) == 0 {
+					t.Error("empty record visited")
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Records != rows {
+				t.Fatalf("visited %d records, want %d", st.Records, rows)
+			}
+			if len(seen) != rows {
+				t.Fatalf("saw %d distinct keys, want %d", len(seen), rows)
+			}
+			for k, c := range seen {
+				if c != 1 {
+					t.Fatalf("key %x visited %d times", k, c)
+				}
+			}
+			if design == Conventional {
+				if st.Distributed || st.Partitions != 1 {
+					t.Fatalf("conventional scan should be inline: %+v", st)
+				}
+			} else {
+				if !st.Distributed || st.Partitions != 4 {
+					t.Fatalf("partitioned scan should be distributed over 4 partitions: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+func TestScanTableParallelPartitionOwnership(t *testing.T) {
+	const rows = 1000
+	e := loadScanTable(t, PLPLeaf, rows)
+	var mu sync.Mutex
+	wrong := 0
+	_, err := e.ScanTableParallel("scan", func(partition int, key, _ []byte) {
+		owner := e.PartitionFor("scan", key)
+		if owner != partition {
+			mu.Lock()
+			wrong++
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrong != 0 {
+		t.Fatalf("%d records were visited by a worker that does not own them", wrong)
+	}
+}
+
+func TestScanTableParallelUnknownTable(t *testing.T) {
+	e := loadScanTable(t, Logical, 10)
+	if _, err := e.ScanTableParallel("missing", func(int, []byte, []byte) {}); err == nil {
+		t.Fatal("scan of a missing table should fail")
+	}
+}

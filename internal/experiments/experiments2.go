@@ -1,0 +1,748 @@
+// The remaining experiments: repartitioning costs (Table 1), time
+// breakdowns (Figures 6, 7 and 10), the repartitioning timeline (Figure 8),
+// MRBTrees inside conventional systems (Figure 9), heap fragmentation and
+// scan overhead (Figures 11 and 12), and the design-choice ablations called
+// out in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"plp/internal/costmodel"
+	"plp/internal/cs"
+	"plp/internal/engine"
+	"plp/internal/harness"
+	"plp/internal/keyenc"
+	"plp/internal/latch"
+	"plp/internal/page"
+	"plp/internal/txn"
+	"plp/internal/workload/micro"
+	"plp/internal/workload/tatp"
+)
+
+//
+// Table 1 — repartitioning costs.
+//
+
+// Table1Analytical evaluates the Appendix C cost model with the paper's
+// Table 1 parameters.
+func Table1Analytical() []costmodel.Cost {
+	return costmodel.AllCosts(costmodel.Table1Params())
+}
+
+// Table1MeasuredRow is one measured repartitioning of a loaded database.
+type Table1MeasuredRow struct {
+	System       string
+	EntriesMoved int
+	RecordsMoved int
+	Duration     time.Duration
+}
+
+// Table1Measured loads the same TATP subscriber table into the PLP designs
+// and measures the cost of splitting one partition in half with the MRBTree
+// slice machinery (via Engine.Rebalance).
+func Table1Measured(s Scale) ([]Table1MeasuredRow, error) {
+	designs := []engine.Design{engine.PLPRegular, engine.PLPLeaf, engine.PLPPartition}
+	var rows []Table1MeasuredRow
+	for _, d := range designs {
+		opts := engine.Options{Design: d, Partitions: s.Partitions}
+		e, _, err := setupTATP(opts, s, tatp.MixBalanceProbe)
+		if err != nil {
+			return nil, err
+		}
+		// Move the boundary of partition 1 to the middle of partition 0,
+		// i.e. split the first partition's data in half.
+		perPart := uint64(s.TATPSubscribers) / uint64(s.Partitions)
+		newBoundary := keyenc.Uint64Key(perPart / 2)
+		st, err := e.Rebalance(tatp.TableSubscriber, 1, newBoundary)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("table1 %s: %w", d, err)
+		}
+		rows = append(rows, Table1MeasuredRow{
+			System:       d.String(),
+			EntriesMoved: st.EntriesMoved,
+			RecordsMoved: st.RecordsMoved,
+			Duration:     st.Duration,
+		})
+		e.Close()
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the analytical and measured repartitioning costs.
+func FormatTable1(analytical []costmodel.Cost, measured []Table1MeasuredRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: repartitioning cost model (split a 466 MB partition in half)\n")
+	fmt.Fprintf(&b, "%-28s %16s %16s %12s %12s %14s %14s\n",
+		"system", "records moved", "entries moved", "pages read", "ptr updates", "primary", "secondary")
+	for _, c := range analytical {
+		fmt.Fprintf(&b, "%-28s %11d (%3s) %16d %12d %12d %14s %14s\n",
+			c.System.String(), c.RecordsMoved, byteSize(c.RecordBytesMoved),
+			c.EntriesMoved, c.PagesRead, c.PointerUpdates, c.Primary.String(), c.Secondary.String())
+	}
+	if len(measured) > 0 {
+		fmt.Fprintf(&b, "\nMeasured on this implementation (TATP subscriber table, split first partition in half):\n")
+		fmt.Fprintf(&b, "%-28s %16s %16s %14s\n", "system", "entries moved", "records moved", "duration")
+		for _, m := range measured {
+			fmt.Fprintf(&b, "%-28s %16d %16d %14s\n", m.System, m.EntriesMoved, m.RecordsMoved, m.Duration)
+		}
+	}
+	return b.String()
+}
+
+// byteSize formats a byte count compactly.
+func byteSize(n int) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.0fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Table2 returns the closed-form cost model formulas (Appendix C, Table 2)
+// as text, so the CLI can print them next to the evaluated costs.
+func Table2() string {
+	return strings.Join([]string{
+		"Table 2: repartitioning cost model (h = tree height, n = entries/node, m_k = entries moved at level k, M = records moved)",
+		"  PLP-Regular    : records 0                     entries Σ m_k        reads 0        pages 0            ptr 2h+1  primary -            secondary -",
+		"  PLP-Leaf       : records m_1                   entries Σ m_k        reads M        pages 1            ptr 2h+1  primary M updates    secondary M updates",
+		"  PLP-Partition  : records m_1+Σ n^(h-l-1)(m_..-1) entries Σ m_k      reads M        pages 1+(M-m_1)/n  ptr 2h+1  primary M updates    secondary M updates",
+		"  Shared-Nothing : records (as PLP-Partition)    entries -            reads M        pages 1+(M-m_1)/n  ptr -     primary M ins+M del  secondary M ins+M del",
+		"  PLP (Clustered): records m_1                   entries Σ_{k>=2} m_k reads -        pages -            ptr 2h+1  primary -            secondary M updates",
+		"  SN  (Clustered): records (as PLP-Partition)    entries -            reads -        pages -            ptr -     primary M ins+M del  secondary M ins+M del",
+	}, "\n") + "\n"
+}
+
+//
+// Figures 6, 7, 10 — per-transaction time breakdowns.
+//
+
+// BreakdownRow is one bar of a time-breakdown figure.
+type BreakdownRow struct {
+	System     string
+	Clients    int
+	TPS        float64
+	AvgLatency time.Duration
+	WaitPerTxn [txn.NumWaitKinds]time.Duration
+}
+
+// Other returns the non-blocked part of the average latency.
+func (r BreakdownRow) Other() time.Duration {
+	total := r.AvgLatency
+	for _, w := range r.WaitPerTxn {
+		total -= w
+	}
+	if total < 0 {
+		return 0
+	}
+	return total
+}
+
+// BreakdownResult is a full time-breakdown figure.
+type BreakdownResult struct {
+	Title string
+	Rows  []BreakdownRow
+}
+
+// String renders the figure.
+func (r *BreakdownResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-22s %8s %10s %12s %14s %14s %12s %12s\n",
+		"system", "clients", "tps", "latency", "idx latch", "heap latch", "smo wait", "other")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s %8d %10.0f %12s %14s %14s %12s %12s\n",
+			row.System, row.Clients, row.TPS, row.AvgLatency.Round(time.Microsecond),
+			row.WaitPerTxn[txn.WaitIndexLatch].Round(time.Microsecond),
+			row.WaitPerTxn[txn.WaitHeapLatch].Round(time.Microsecond),
+			row.WaitPerTxn[txn.WaitSMO].Round(time.Microsecond),
+			row.Other().Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Fig6 runs the insert/delete-heavy TATP stream (CallForwarding inserts and
+// deletes) and reports the per-transaction time breakdown, showing the index
+// latch contention that PLP eliminates.
+func Fig6(s Scale, clientCounts []int) (*BreakdownResult, error) {
+	if len(clientCounts) == 0 {
+		clientCounts = []int{s.Clients}
+	}
+	systems := []systemConfig{
+		{"Conv.", engine.Options{Design: engine.Conventional, Partitions: s.Partitions, SLI: true}},
+		{"Logical", engine.Options{Design: engine.Logical, Partitions: s.Partitions}},
+		{"PLP", engine.Options{Design: engine.PLPRegular, Partitions: s.Partitions}},
+	}
+	res := &BreakdownResult{Title: "Figure 6: time breakdown per transaction, insert/delete-heavy workload"}
+	for _, sys := range systems {
+		e, w, err := setupTATP(sys.opts, s, tatp.MixInsertDeleteCallFwd)
+		if err != nil {
+			return nil, err
+		}
+		for _, clients := range clientCounts {
+			cfg := s.runConfig()
+			cfg.Clients = clients
+			r, err := harness.Run(e, w, cfg)
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			res.Rows = append(res.Rows, BreakdownRow{
+				System: sys.label, Clients: clients, TPS: r.ThroughputTPS,
+				AvgLatency: r.AvgLatency, WaitPerTxn: r.WaitPerTxn,
+			})
+		}
+		e.Close()
+	}
+	return res, nil
+}
+
+// Fig7 runs TPC-B without record padding and reports the per-transaction
+// time breakdown, showing heap-page false sharing.
+func Fig7(s Scale, clientCounts []int) (*BreakdownResult, error) {
+	if len(clientCounts) == 0 {
+		clientCounts = []int{s.Clients}
+	}
+	systems := []systemConfig{
+		{"Conv.", engine.Options{Design: engine.Conventional, Partitions: s.Partitions, SLI: true}},
+		{"Logical", engine.Options{Design: engine.Logical, Partitions: s.Partitions}},
+		{"PLP-Reg", engine.Options{Design: engine.PLPRegular, Partitions: s.Partitions}},
+		{"PLP-Leaf", engine.Options{Design: engine.PLPLeaf, Partitions: s.Partitions}},
+	}
+	res := &BreakdownResult{Title: "Figure 7: time breakdown per transaction, TPC-B with heap false sharing"}
+	for _, sys := range systems {
+		e, w, err := setupTPCB(sys.opts, s)
+		if err != nil {
+			return nil, err
+		}
+		for _, clients := range clientCounts {
+			cfg := s.runConfig()
+			cfg.Clients = clients
+			r, err := harness.Run(e, w, cfg)
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			res.Rows = append(res.Rows, BreakdownRow{
+				System: sys.label, Clients: clients, TPS: r.ThroughputTPS,
+				AvgLatency: r.AvgLatency, WaitPerTxn: r.WaitPerTxn,
+			})
+		}
+		e.Close()
+	}
+	return res, nil
+}
+
+//
+// Figure 8 — throughput timeline during repartitioning.
+//
+
+// Fig8Series is the throughput timeline of one design.
+type Fig8Series struct {
+	System string
+	Points []harness.TimelinePoint
+	// Rebalance describes the repartitioning performed at the skew change.
+	Rebalance engine.RebalanceStats
+}
+
+// Fig8Result is the full figure.
+type Fig8Result struct {
+	Series  []Fig8Series
+	EventAt time.Duration
+}
+
+// Fig8 runs the balance-probe microbenchmark on every design.  Partway
+// through the run the request distribution changes from uniform to skewed
+// (50% of the requests target the first 10% of the subscribers) and the
+// partitioned designs rebalance by moving the first partition boundary.
+func Fig8(s Scale) (*Fig8Result, error) {
+	const (
+		interval = 100 * time.Millisecond
+	)
+	total := 3 * time.Second
+	eventAt := time.Second
+	if s.Duration > 0 && s.Duration < time.Second {
+		// Scaled-down runs (tests) shrink the timeline too.
+		total = 6 * s.Duration
+		eventAt = 2 * s.Duration
+	}
+	systems := []systemConfig{
+		{"Conv.", engine.Options{Design: engine.Conventional, Partitions: 2, SLI: true}},
+		{"Logical", engine.Options{Design: engine.Logical, Partitions: 2}},
+		{"PLP-Reg.", engine.Options{Design: engine.PLPRegular, Partitions: 2}},
+		{"PLP-Part", engine.Options{Design: engine.PLPPartition, Partitions: 2}},
+		{"PLP-Leaf", engine.Options{Design: engine.PLPLeaf, Partitions: 2}},
+	}
+	res := &Fig8Result{EventAt: eventAt}
+	for _, sys := range systems {
+		opts := sys.opts
+		e, w, err := setupTATP(opts, s, tatp.MixBalanceProbe)
+		if err != nil {
+			return nil, err
+		}
+		series := Fig8Series{System: sys.label}
+		hotBoundary := keyenc.Uint64Key(uint64(s.TATPSubscribers/10) + 1)
+		event := func() {
+			// The workload becomes skewed and the engine rebalances so that
+			// the hot 10% of the key space forms its own partition.
+			w.SetSkew(0.10, 0.50)
+			if opts.Design.Partitioned() || opts.UseMRBTree {
+				st, rerr := e.Rebalance(tatp.TableSubscriber, 1, hotBoundary)
+				if rerr == nil {
+					series.Rebalance = st
+				}
+			}
+		}
+		cfg := s.runConfig()
+		cfg.Clients = 2 // the paper's experiment uses 2 clients
+		points, err := harness.RunTimeline(e, w, cfg, total, interval, eventAt, event)
+		e.Close()
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", sys.label, err)
+		}
+		series.Points = points
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// String renders the timeline as a table of throughput samples.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: throughput (tps) during repartitioning (skew change at %s)\n", r.EventAt)
+	fmt.Fprintf(&b, "%-10s", "t")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%12s", s.System)
+	}
+	b.WriteByte('\n')
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	for i := range r.Series[0].Points {
+		fmt.Fprintf(&b, "%-10s", r.Series[0].Points[i].T.Round(time.Millisecond))
+		for _, s := range r.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, "%12.0f", s.Points[i].TPS)
+			} else {
+				fmt.Fprintf(&b, "%12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, s := range r.Series {
+		if s.Rebalance.EntriesMoved > 0 || s.Rebalance.RecordsMoved > 0 || s.Rebalance.RoutingOnly {
+			fmt.Fprintf(&b, "%s rebalance: routingOnly=%v entries=%d records=%d in %s\n",
+				s.System, s.Rebalance.RoutingOnly, s.Rebalance.EntriesMoved, s.Rebalance.RecordsMoved,
+				s.Rebalance.Duration.Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}
+
+//
+// Figure 9 — MRBTrees inside the conventional and logical designs.
+//
+
+// Fig9Row is one bar of Figure 9.
+type Fig9Row struct {
+	System  string
+	MRBTree bool
+	TPS     float64
+	Height  int
+}
+
+// Fig9Result is the full figure.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9 measures the TATP throughput of the conventional and logical systems
+// with single-rooted indexes and with MRBTrees.
+func Fig9(s Scale) (*Fig9Result, error) {
+	res := &Fig9Result{}
+	for _, d := range []engine.Design{engine.Conventional, engine.Logical} {
+		for _, useMRB := range []bool{false, true} {
+			opts := engine.Options{Design: d, Partitions: s.Partitions, SLI: d == engine.Conventional, UseMRBTree: useMRB}
+			e, w, err := setupTATP(opts, s, tatp.MixStandard)
+			if err != nil {
+				return nil, err
+			}
+			r, err := harness.Run(e, w, s.runConfig())
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			h := 0
+			if tbl, terr := e.Table(tatp.TableSubscriber); terr == nil {
+				h, _ = tbl.Primary.Height()
+			}
+			label := d.String()
+			res.Rows = append(res.Rows, Fig9Row{System: label, MRBTree: useMRB, TPS: r.ThroughputTPS, Height: h})
+			e.Close()
+		}
+	}
+	return res, nil
+}
+
+// String renders the figure.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: TATP throughput with and without MRBTree indexes\n")
+	fmt.Fprintf(&b, "%-16s %-8s %12s %8s\n", "system", "index", "tps", "height")
+	for _, row := range r.Rows {
+		idx := "Normal"
+		if row.MRBTree {
+			idx = "MRBT"
+		}
+		fmt.Fprintf(&b, "%-16s %-8s %12.0f %8d\n", row.System, idx, row.TPS, row.Height)
+	}
+	return b.String()
+}
+
+//
+// Figure 10 — parallel SMOs as the insert ratio grows.
+//
+
+// Fig10Row is one group of bars of Figure 10.
+type Fig10Row struct {
+	InsertPercent int
+	MRBTree       bool
+	TPS           float64
+	AvgLatency    time.Duration
+	SMOWait       time.Duration
+}
+
+// Fig10Result is the full figure.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// Fig10 runs the probe/insert microbenchmark on the conventional system
+// with and without MRBTrees as the fraction of inserts grows, measuring the
+// time spent waiting on structure modification operations.
+func Fig10(s Scale, insertPercents []int) (*Fig10Result, error) {
+	if len(insertPercents) == 0 {
+		insertPercents = []int{0, 20, 40, 60, 80, 100}
+	}
+	res := &Fig10Result{}
+	for _, pct := range insertPercents {
+		for _, useMRB := range []bool{false, true} {
+			opts := engine.Options{Design: engine.Conventional, Partitions: s.Partitions, SLI: true, UseMRBTree: useMRB}
+			e := engine.New(opts)
+			w := micro.NewProbeInsert(micro.ProbeInsertConfig{
+				InitialRows:   s.TATPSubscribers,
+				InsertPercent: pct,
+				RecordSize:    100,
+				Partitions:    s.Partitions,
+			})
+			if err := w.Setup(e); err != nil {
+				e.Close()
+				return nil, err
+			}
+			r, err := harness.Run(e, w, s.runConfig())
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig10Row{
+				InsertPercent: pct, MRBTree: useMRB, TPS: r.ThroughputTPS,
+				AvgLatency: r.AvgLatency, SMOWait: r.WaitPerTxn[txn.WaitSMO],
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the figure.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: conventional system with parallel SMOs (probe/insert microbenchmark)\n")
+	fmt.Fprintf(&b, "%-10s %-8s %12s %12s %14s\n", "inserts%", "index", "tps", "latency", "smo wait/txn")
+	for _, row := range r.Rows {
+		idx := "Normal"
+		if row.MRBTree {
+			idx = "MRBT"
+		}
+		fmt.Fprintf(&b, "%-10d %-8s %12.0f %12s %14s\n", row.InsertPercent, idx, row.TPS,
+			row.AvgLatency.Round(time.Microsecond), row.SMOWait.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+//
+// Figures 11 and 12 — heap fragmentation and scan overhead.
+//
+
+// Fig11Row is one bar of Figure 11.
+type Fig11Row struct {
+	System     string
+	RecordSize int
+	Records    int
+	HeapPages  int
+	Normalized float64 // heap pages relative to the conventional system
+}
+
+// Fig11Result is the full figure.
+type Fig11Result struct {
+	Rows []Fig11Row
+}
+
+// fragmentationSystems are the designs compared by Figures 11 and 12.
+func fragmentationSystems(parts int) []systemConfig {
+	return []systemConfig{
+		{"Conventional", engine.Options{Design: engine.Conventional, Partitions: parts, SLI: true}},
+		{"PLP-Regular", engine.Options{Design: engine.PLPRegular, Partitions: parts}},
+		{"PLP-Partition", engine.Options{Design: engine.PLPPartition, Partitions: parts}},
+		{"PLP-Leaf", engine.Options{Design: engine.PLPLeaf, Partitions: parts}},
+	}
+}
+
+// Fig11 loads the same record set into every design and compares the number
+// of heap pages used.
+func Fig11(s Scale, recordSizes []int) (*Fig11Result, error) {
+	if len(recordSizes) == 0 {
+		recordSizes = []int{100, 1000}
+	}
+	res := &Fig11Result{}
+	for _, rs := range recordSizes {
+		records := s.TATPSubscribers * 4
+		if rs >= 1000 {
+			records = s.TATPSubscribers
+		}
+		var basePages int
+		for _, sys := range fragmentationSystems(s.Partitions) {
+			e := engine.New(sys.opts)
+			pages, err := micro.LoadFragmentation(e, micro.FragmentationConfig{
+				Records:    records,
+				RecordSize: rs,
+				Partitions: s.Partitions,
+			})
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			if sys.label == "Conventional" {
+				basePages = pages
+			}
+			norm := 0.0
+			if basePages > 0 {
+				norm = float64(pages) / float64(basePages)
+			}
+			res.Rows = append(res.Rows, Fig11Row{
+				System: sys.label, RecordSize: rs, Records: records,
+				HeapPages: pages, Normalized: norm,
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the figure.
+func (r *Fig11Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: heap space overhead of the PLP variations (pages, normalized to Conventional)\n")
+	fmt.Fprintf(&b, "%-16s %12s %12s %12s %12s\n", "system", "record size", "records", "heap pages", "normalized")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %12d %12d %12d %12.2f\n", row.System, row.RecordSize, row.Records, row.HeapPages, row.Normalized)
+	}
+	return b.String()
+}
+
+// Fig12Row is one bar of Figure 12.
+type Fig12Row struct {
+	System     string
+	Records    int
+	ScanTime   time.Duration
+	Normalized float64
+}
+
+// Fig12Result is the full figure.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Fig12 loads the same record set into every design and measures the time
+// to scan the heap file.
+func Fig12(s Scale) (*Fig12Result, error) {
+	records := s.TATPSubscribers * 4
+	res := &Fig12Result{}
+	var baseTime time.Duration
+	for _, sys := range fragmentationSystems(s.Partitions) {
+		e := engine.New(sys.opts)
+		if _, err := micro.LoadFragmentation(e, micro.FragmentationConfig{
+			Records:    records,
+			RecordSize: 100,
+			Partitions: s.Partitions,
+		}); err != nil {
+			e.Close()
+			return nil, err
+		}
+		start := time.Now()
+		n := 0
+		if err := e.ScanHeap(micro.FragmentationTable, func(_ page.RID, _ []byte) bool {
+			n++
+			return true
+		}); err != nil {
+			e.Close()
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		e.Close()
+		if n != records {
+			return nil, fmt.Errorf("fig12 %s: scanned %d of %d records", sys.label, n, records)
+		}
+		if sys.label == "Conventional" {
+			baseTime = elapsed
+		}
+		norm := 0.0
+		if baseTime > 0 {
+			norm = float64(elapsed) / float64(baseTime)
+		}
+		res.Rows = append(res.Rows, Fig12Row{System: sys.label, Records: records, ScanTime: elapsed, Normalized: norm})
+	}
+	return res, nil
+}
+
+// String renders the figure.
+func (r *Fig12Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: heap file scan time (normalized to Conventional)\n")
+	fmt.Fprintf(&b, "%-16s %12s %14s %12s\n", "system", "records", "scan time", "normalized")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %12d %14s %12.2f\n", row.System, row.Records, row.ScanTime.Round(time.Microsecond), row.Normalized)
+	}
+	return b.String()
+}
+
+//
+// Ablations.
+//
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Label         string
+	TPS           float64
+	CSPerTxn      float64
+	LatchesPerTxn float64
+}
+
+// AblationResult is one ablation study.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// String renders the ablation table.
+func (r *AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-36s %12s %14s %16s\n", "configuration", "tps", "cs/txn", "latches/txn")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-36s %12.0f %14.1f %16.1f\n", row.Label, row.TPS, row.CSPerTxn, row.LatchesPerTxn)
+	}
+	return b.String()
+}
+
+// runAblation measures one configuration on the TATP standard mix.
+func runAblation(label string, opts engine.Options, s Scale, mix tatp.Mix) (AblationRow, error) {
+	e, w, err := setupTATP(opts, s, mix)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	defer e.Close()
+	r, err := harness.Run(e, w, s.runConfig())
+	if err != nil {
+		return AblationRow{}, err
+	}
+	latches := 0.0
+	for _, v := range r.LatchesPerTxn {
+		latches += v
+	}
+	return AblationRow{Label: label, TPS: r.ThroughputTPS, CSPerTxn: r.CSPerTxn.Total, LatchesPerTxn: latches}, nil
+}
+
+// AblationSLI compares the conventional system with and without speculative
+// lock inheritance.
+func AblationSLI(s Scale) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation: Speculative Lock Inheritance (conventional, TATP)"}
+	for _, sli := range []bool{false, true} {
+		label := "Conventional, SLI off"
+		if sli {
+			label = "Conventional, SLI on"
+		}
+		row, err := runAblation(label, engine.Options{Design: engine.Conventional, Partitions: s.Partitions, SLI: sli}, s, tatp.MixStandard)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationLatchFreeIndex compares PLP-Regular with latch-free sub-trees
+// against the same design with latching forced back on.
+func AblationLatchFreeIndex(s Scale) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation: latch-free index access inside PLP (TATP)"}
+	for _, forced := range []bool{true, false} {
+		label := "PLP-Regular, latched sub-trees"
+		if !forced {
+			label = "PLP-Regular, latch-free sub-trees"
+		}
+		row, err := runAblation(label, engine.Options{Design: engine.PLPRegular, Partitions: s.Partitions, ForceLatchedIndex: forced}, s, tatp.MixStandard)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationLogBuffer compares the Aether-style consolidated log buffer with a
+// single-mutex buffer on an update-heavy stream.
+func AblationLogBuffer(s Scale) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation: consolidated vs naive log buffer (PLP-Regular, update-heavy TATP)"}
+	for _, naive := range []bool{true, false} {
+		label := "Naive single-mutex log buffer"
+		if !naive {
+			label = "Consolidated (Aether-style) log buffer"
+		}
+		row, err := runAblation(label, engine.Options{Design: engine.PLPRegular, Partitions: s.Partitions, NaiveLog: naive}, s, tatp.MixUpdateLocation)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationPartitionCount sweeps the number of logical partitions of
+// PLP-Regular on the read-only TATP stream.
+func AblationPartitionCount(s Scale, counts []int) (*AblationResult, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8, 16}
+	}
+	res := &AblationResult{Title: "Ablation: MRBTree partition count (PLP-Regular, GetSubscriberData)"}
+	for _, n := range counts {
+		row, err := runAblation(fmt.Sprintf("%d partitions", n),
+			engine.Options{Design: engine.PLPRegular, Partitions: n}, s, tatp.MixGetSubscriberData)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// suppress unused warnings for helpers shared with experiments.go.
+var _ = newRand
+var _ = waitName
+var _ = latch.NumKinds
+var _ = cs.NumCategories

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExtAutoBalanceShape(t *testing.T) {
+	s := tinyScale()
+	s.Duration = 150 * time.Millisecond
+	r, err := ExtAutoBalance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("expected 2 series, got %d", len(r.Series))
+	}
+	static, auto := r.Series[0], r.Series[1]
+	if static.Decisions != 0 {
+		t.Fatalf("static configuration rebalanced %d times", static.Decisions)
+	}
+	if auto.Decisions == 0 {
+		t.Fatal("auto-balance configuration never rebalanced")
+	}
+	if len(auto.Points) == 0 || len(static.Points) == 0 {
+		t.Fatal("empty timelines")
+	}
+	// The point of the monitor: after the skew shift the static
+	// configuration serves the hot range from one worker, while the
+	// auto-balanced one spreads it out.
+	if static.HotShare < 0.75 {
+		t.Fatalf("static hot-worker share %.2f, expected the skew to concentrate load", static.HotShare)
+	}
+	if auto.HotShare >= static.HotShare {
+		t.Fatalf("auto-balance hot-worker share %.2f did not improve on static %.2f", auto.HotShare, static.HotShare)
+	}
+	out := r.String()
+	if !strings.Contains(out, "EXT-1") || !strings.Contains(out, "auto-balance") {
+		t.Fatalf("report text incomplete:\n%s", out)
+	}
+}
+
+func TestExtRecoveryRoundTrip(t *testing.T) {
+	s := tinyScale()
+	r, err := ExtRecovery(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Fatalf("recovered database failed verification: %+v", r)
+	}
+	if r.RowsOriginal != r.RowsRecovered {
+		t.Fatalf("row counts differ: %d vs %d", r.RowsOriginal, r.RowsRecovered)
+	}
+	if r.CheckpointEntries < s.TATPSubscribers {
+		t.Fatalf("checkpoint captured %d entries, want >= %d subscribers", r.CheckpointEntries, s.TATPSubscribers)
+	}
+	if r.TxnsExecuted == 0 || r.LogRecords == 0 {
+		t.Fatalf("no workload was run before the crash: %+v", r)
+	}
+	if !strings.Contains(r.String(), "EXT-2") {
+		t.Fatal("missing report header")
+	}
+}

@@ -1,0 +1,304 @@
+// Package harness drives workloads against engines and collects the
+// measurements the paper's figures are built from: throughput, critical
+// sections per transaction, page latches per transaction (by page type),
+// and per-transaction time breakdowns.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plp/internal/cs"
+	"plp/internal/engine"
+	"plp/internal/latch"
+	"plp/internal/txn"
+)
+
+// Workload is implemented by every benchmark workload (TATP, TPC-B, TPC-C
+// and the microbenchmarks).
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Setup creates the workload's tables on the engine and loads them.
+	Setup(e *engine.Engine) error
+	// NextRequest generates the next transaction request.  It is called
+	// concurrently from multiple client goroutines, each with its own
+	// rand.Rand.
+	NextRequest(rng *rand.Rand) *engine.Request
+}
+
+// Verifier is implemented by workloads that can check database consistency
+// after a run.
+type Verifier interface {
+	Verify(e *engine.Engine) error
+}
+
+// RunConfig configures a measured run.
+type RunConfig struct {
+	// Clients is the number of concurrent client goroutines ("hardware
+	// contexts utilized" in the paper's figures).
+	Clients int
+	// Duration bounds the measured interval.  If zero, TxnsPerClient is
+	// used instead.
+	Duration time.Duration
+	// TxnsPerClient bounds the run by transaction count when Duration is
+	// zero.
+	TxnsPerClient int
+	// WarmupTxnsPerClient transactions are executed (and discarded from the
+	// statistics) before measurement starts.
+	WarmupTxnsPerClient int
+	// Seed seeds the per-client random generators.
+	Seed int64
+}
+
+func (c *RunConfig) normalize() {
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.Duration <= 0 && c.TxnsPerClient <= 0 {
+		c.TxnsPerClient = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Result is the outcome of one measured run.
+type Result struct {
+	Workload string
+	Design   string
+	Clients  int
+
+	Committed uint64
+	Aborted   uint64
+	Elapsed   time.Duration
+
+	// ThroughputTPS is committed transactions per second.
+	ThroughputTPS float64
+	// AvgLatency is the mean end-to-end transaction latency.
+	AvgLatency time.Duration
+
+	// CS is the critical-section delta over the measured interval and
+	// CSPerTxn its per-transaction view (Figure 1).
+	CS       cs.Snapshot
+	CSPerTxn cs.Breakdown
+
+	// Latches is the page-latch delta (Figures 2 and 3).
+	Latches latch.Snapshot
+	// LatchesPerTxn is the number of latch acquisitions per transaction by
+	// page kind.
+	LatchesPerTxn [latch.NumKinds]float64
+
+	// WaitPerTxn is the average blocked time per transaction by wait kind
+	// (Figures 6, 7 and 10).
+	WaitPerTxn [txn.NumWaitKinds]time.Duration
+}
+
+// String formats a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s clients=%d tps=%.0f committed=%d aborted=%d cs/txn=%.1f latches/txn=%.1f",
+		r.Design, r.Workload, r.Clients, r.ThroughputTPS, r.Committed, r.Aborted,
+		r.CSPerTxn.Total, perTxnTotal(r.LatchesPerTxn))
+}
+
+func perTxnTotal(v [latch.NumKinds]float64) float64 {
+	t := 0.0
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// Run executes the workload against the engine.  Setup must already have
+// been called; Run only executes requests and gathers statistics.
+func Run(e *engine.Engine, w Workload, cfg RunConfig) (Result, error) {
+	cfg.normalize()
+
+	// Warmup.
+	if cfg.WarmupTxnsPerClient > 0 {
+		warm := cfg
+		warm.Duration = 0
+		warm.TxnsPerClient = cfg.WarmupTxnsPerClient
+		warm.WarmupTxnsPerClient = 0
+		if _, err := runClients(e, w, warm); err != nil {
+			return Result{}, err
+		}
+	}
+	return runClients(e, w, cfg)
+}
+
+// runClients performs one measured interval.
+func runClients(e *engine.Engine, w Workload, cfg RunConfig) (Result, error) {
+	csBefore := e.CSStats().Snapshot()
+	latchBefore := e.LatchStats().Snapshot()
+	txBefore := e.TxnStats()
+
+	var (
+		committed  atomic.Uint64
+		aborted    atomic.Uint64
+		latencySum atomic.Int64
+		waitSums   [txn.NumWaitKinds]atomic.Int64
+		firstErr   atomic.Value
+	)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(clientID int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(clientID)*7919))
+			sess := e.NewSession()
+			defer sess.Close()
+			executed := 0
+			for {
+				if cfg.Duration > 0 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				} else if executed >= cfg.TxnsPerClient {
+					return
+				}
+				req := w.NextRequest(rng)
+				res, err := sess.Execute(req)
+				executed++
+				if err != nil {
+					if errors.Is(err, engine.ErrAborted) {
+						aborted.Add(1)
+						continue
+					}
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				committed.Add(1)
+				latencySum.Add(int64(res.Latency))
+				for k := 0; k < txn.NumWaitKinds; k++ {
+					waitSums[k].Add(int64(res.Breakdown.Waits[k]))
+				}
+			}
+		}(c)
+	}
+	if cfg.Duration > 0 {
+		time.Sleep(cfg.Duration)
+		close(stop)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if v := firstErr.Load(); v != nil {
+		return Result{}, v.(error)
+	}
+
+	csAfter := e.CSStats().Snapshot()
+	latchAfter := e.LatchStats().Snapshot()
+	txAfter := e.TxnStats()
+
+	res := Result{
+		Workload:  w.Name(),
+		Design:    e.Design().String(),
+		Clients:   cfg.Clients,
+		Committed: committed.Load(),
+		Aborted:   aborted.Load(),
+		Elapsed:   elapsed,
+		CS:        csAfter.Sub(csBefore),
+		Latches:   latchAfter.Sub(latchBefore),
+	}
+	_ = txBefore
+	_ = txAfter
+	if elapsed > 0 {
+		res.ThroughputTPS = float64(res.Committed) / elapsed.Seconds()
+	}
+	if res.Committed > 0 {
+		res.AvgLatency = time.Duration(latencySum.Load() / int64(res.Committed))
+		res.CSPerTxn = res.CS.PerTxn(res.Committed)
+		for k := 0; k < latch.NumKinds; k++ {
+			res.LatchesPerTxn[k] = float64(res.Latches.Acquired[k]) / float64(res.Committed)
+		}
+		for k := 0; k < txn.NumWaitKinds; k++ {
+			res.WaitPerTxn[k] = time.Duration(waitSums[k].Load() / int64(res.Committed))
+		}
+	}
+	return res, nil
+}
+
+// TimelinePoint is one throughput sample of a timeline run.
+type TimelinePoint struct {
+	// T is the time since the start of the run at the end of the interval.
+	T time.Duration
+	// TPS is the committed-transaction throughput during the interval.
+	TPS float64
+}
+
+// RunTimeline executes the workload for total duration, sampling throughput
+// every interval, and fires event once after eventAt (from a separate
+// goroutine, as the repartitioning trigger of Figure 8 would).
+func RunTimeline(e *engine.Engine, w Workload, cfg RunConfig, total, interval, eventAt time.Duration, event func()) ([]TimelinePoint, error) {
+	cfg.normalize()
+	var committed atomic.Uint64
+	var firstErr atomic.Value
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(clientID int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(clientID)*104729))
+			sess := e.NewSession()
+			defer sess.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := w.NextRequest(rng)
+				if _, err := sess.Execute(req); err != nil {
+					if errors.Is(err, engine.ErrAborted) {
+						continue
+					}
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				committed.Add(1)
+			}
+		}(c)
+	}
+
+	if event != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-time.After(eventAt):
+				event()
+			case <-stop:
+			}
+		}()
+	}
+
+	var points []TimelinePoint
+	start := time.Now()
+	prev := uint64(0)
+	for elapsed := interval; elapsed <= total; elapsed += interval {
+		time.Sleep(time.Until(start.Add(elapsed)))
+		cur := committed.Load()
+		points = append(points, TimelinePoint{
+			T:   elapsed,
+			TPS: float64(cur-prev) / interval.Seconds(),
+		})
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+	if v := firstErr.Load(); v != nil {
+		return points, v.(error)
+	}
+	return points, nil
+}

@@ -1,0 +1,435 @@
+// Package heap implements heap files: the pages that store non-clustered
+// records, referenced from indexes by RID.
+//
+// The three PLP heap-page policies of Section 3.3 are supported through the
+// notion of an owner tag on every heap page:
+//
+//   - Regular (shared pool, owner 0): any thread may insert into or read any
+//     page, so accesses acquire the page latch.  This is the layout used by
+//     the Conventional, Logical and PLP-Regular designs.
+//   - Partition-owned: each page carries the owning logical partition's ID;
+//     records of a partition are only placed on pages it owns
+//     (PLP-Partition).  Accesses by the owning worker are latch-free.
+//   - Leaf-owned: each page carries the ID of the single MRBTree leaf page
+//     that references it (PLP-Leaf).  Accesses are latch-free and a leaf
+//     split also splits the heap pages it owns.
+//
+// The free-space directory (which pages have room) is metadata shared by all
+// threads; its mutex is reported under the Metadata critical-section
+// category, which is the residual latching the paper observes even for
+// PLP-Leaf ("the remaining latches are associated with metadata and free
+// space management").
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"plp/internal/bufferpool"
+	"plp/internal/cs"
+	"plp/internal/latch"
+	"plp/internal/page"
+	"plp/internal/txn"
+)
+
+// Errors returned by heap file operations.
+var (
+	ErrNoSuchRecord = errors.New("heap: no such record")
+	ErrRecordSize   = errors.New("heap: record too large for a page")
+)
+
+// AccessMode selects whether record accesses latch the heap page.
+type AccessMode int
+
+// Access modes.
+const (
+	// Latched acquires the page latch around every record access
+	// (conventional shared-everything behaviour).
+	Latched AccessMode = iota
+	// LatchFree skips page latches; the caller guarantees that only the
+	// owning partition worker touches the page (PLP-Partition, PLP-Leaf).
+	LatchFree
+)
+
+// SharedOwner is the owner tag of pages in the shared pool used by the
+// Regular placement policy.
+const SharedOwner uint64 = 0
+
+// File is a heap file.
+type File struct {
+	id   uint32
+	bp   *bufferpool.Pool
+	mode AccessMode
+	cst  *cs.Stats
+
+	mu sync.Mutex
+	// freeByOwner maps an owner tag to page IDs that may still have room.
+	freeByOwner map[uint64][]page.ID
+	// pagesByOwner maps an owner tag to every page it owns, in allocation
+	// order (used for scans and fragmentation accounting).
+	pagesByOwner map[uint64][]page.ID
+	allPages     []page.ID
+	nRecords     int
+}
+
+// New creates an empty heap file with the given space id.
+func New(id uint32, bp *bufferpool.Pool, mode AccessMode, cstats *cs.Stats) *File {
+	return &File{
+		id:           id,
+		bp:           bp,
+		mode:         mode,
+		cst:          cstats,
+		freeByOwner:  make(map[uint64][]page.ID),
+		pagesByOwner: make(map[uint64][]page.ID),
+	}
+}
+
+// ID returns the heap file's space id.
+func (f *File) ID() uint32 { return f.id }
+
+// Mode returns the access mode.
+func (f *File) Mode() AccessMode { return f.mode }
+
+// SetMode changes the access mode (used when converting a loaded database
+// between designs).
+func (f *File) SetMode(m AccessMode) { f.mode = m }
+
+// metadataCS records one free-space-directory critical section.
+func (f *File) metadataCS(contended bool) {
+	f.cst.Record(cs.Metadata, contended)
+}
+
+// lockMeta acquires the free-space directory mutex, recording the critical
+// section.
+func (f *File) lockMeta() {
+	contended := !f.mu.TryLock()
+	if contended {
+		f.mu.Lock()
+	}
+	f.metadataCS(contended)
+}
+
+// pickPage returns a page owned by owner with at least need bytes free,
+// allocating a new one if necessary.
+func (f *File) pickPage(owner uint64, need int) (page.ID, error) {
+	f.lockMeta()
+	free := f.freeByOwner[owner]
+	for len(free) > 0 {
+		pid := free[len(free)-1]
+		f.mu.Unlock()
+		frame, err := f.bp.Fix(pid)
+		if err != nil {
+			return page.InvalidID, err
+		}
+		ok := frame.Page().HasRoomFor(need)
+		f.bp.Unfix(frame, false)
+		if ok {
+			return pid, nil
+		}
+		// Page is full: drop it from the free list and try the next one.
+		f.lockMeta()
+		free = f.freeByOwner[owner]
+		if len(free) > 0 && free[len(free)-1] == pid {
+			free = free[:len(free)-1]
+			f.freeByOwner[owner] = free
+		}
+	}
+	f.mu.Unlock()
+
+	// Allocate a fresh page for this owner.
+	frame, err := f.bp.NewPage(page.KindHeap)
+	if err != nil {
+		return page.InvalidID, err
+	}
+	p := frame.Page()
+	p.SetOwner(owner)
+	pid := p.ID()
+	f.bp.Unfix(frame, true)
+
+	f.lockMeta()
+	f.freeByOwner[owner] = append(f.freeByOwner[owner], pid)
+	f.pagesByOwner[owner] = append(f.pagesByOwner[owner], pid)
+	f.allPages = append(f.allPages, pid)
+	f.mu.Unlock()
+	return pid, nil
+}
+
+// acquire latches the frame if the file is in Latched mode and attributes
+// the wait to the transaction's heap-latch bucket.
+func (f *File) acquire(t *txn.Txn, frame *bufferpool.Frame, mode latch.Mode) {
+	if f.mode == LatchFree {
+		return
+	}
+	wait := frame.Latch().Acquire(mode)
+	if t != nil {
+		t.Breakdown.AddLatch()
+		t.Breakdown.AddWait(txn.WaitHeapLatch, wait)
+	}
+}
+
+// release releases the latch if the file is in Latched mode.
+func (f *File) release(frame *bufferpool.Frame, mode latch.Mode) {
+	if f.mode == LatchFree {
+		return
+	}
+	frame.Latch().Release(mode)
+}
+
+// Insert places rec on a page owned by owner and returns its RID.
+func (f *File) Insert(t *txn.Txn, owner uint64, rec []byte) (page.RID, error) {
+	if len(rec) > page.MaxRecordSize {
+		return page.RID{}, fmt.Errorf("%w: %d bytes", ErrRecordSize, len(rec))
+	}
+	for attempt := 0; attempt < 16; attempt++ {
+		pid, err := f.pickPage(owner, len(rec))
+		if err != nil {
+			return page.RID{}, err
+		}
+		frame, err := f.bp.Fix(pid)
+		if err != nil {
+			return page.RID{}, err
+		}
+		f.acquire(t, frame, latch.Exclusive)
+		slot, err := frame.Page().Add(rec)
+		if err == nil {
+			f.release(frame, latch.Exclusive)
+			f.bp.Unfix(frame, true)
+			f.lockMeta()
+			f.nRecords++
+			f.mu.Unlock()
+			return page.RID{Page: pid, Slot: slot}, nil
+		}
+		f.release(frame, latch.Exclusive)
+		f.bp.Unfix(frame, false)
+		if !errors.Is(err, page.ErrPageFull) {
+			return page.RID{}, err
+		}
+		// Raced with another inserter that filled the page; retry.
+	}
+	return page.RID{}, page.ErrPageFull
+}
+
+// Get returns a copy of the record at rid.
+func (f *File) Get(t *txn.Txn, rid page.RID) ([]byte, error) {
+	frame, err := f.bp.Fix(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	f.acquire(t, frame, latch.Shared)
+	rec, err := frame.Page().Get(rid.Slot)
+	var out []byte
+	if err == nil {
+		out = append([]byte(nil), rec...)
+	}
+	f.release(frame, latch.Shared)
+	f.bp.Unfix(frame, false)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchRecord, rid)
+	}
+	return out, nil
+}
+
+// Update replaces the record at rid with rec (the record must still fit on
+// its page; growth beyond the page is not supported by the workloads used
+// here).
+func (f *File) Update(t *txn.Txn, rid page.RID, rec []byte) error {
+	frame, err := f.bp.Fix(rid.Page)
+	if err != nil {
+		return err
+	}
+	f.acquire(t, frame, latch.Exclusive)
+	err = frame.Page().Set(rid.Slot, rec)
+	f.release(frame, latch.Exclusive)
+	f.bp.Unfix(frame, err == nil)
+	if err != nil {
+		return fmt.Errorf("heap: update %v: %w", rid, err)
+	}
+	return nil
+}
+
+// Delete removes the record at rid.
+func (f *File) Delete(t *txn.Txn, rid page.RID) error {
+	frame, err := f.bp.Fix(rid.Page)
+	if err != nil {
+		return err
+	}
+	f.acquire(t, frame, latch.Exclusive)
+	err = frame.Page().Delete(rid.Slot)
+	f.release(frame, latch.Exclusive)
+	f.bp.Unfix(frame, err == nil)
+	if err != nil {
+		return fmt.Errorf("heap: delete %v: %w", rid, err)
+	}
+	// The page now has free space again; make it eligible for reuse.
+	owner, _ := f.ownerOf(rid.Page)
+	f.lockMeta()
+	f.nRecords--
+	found := false
+	for _, pid := range f.freeByOwner[owner] {
+		if pid == rid.Page {
+			found = true
+			break
+		}
+	}
+	if !found {
+		f.freeByOwner[owner] = append(f.freeByOwner[owner], rid.Page)
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// ownerOf returns the owner tag of the given heap page.
+func (f *File) ownerOf(pid page.ID) (uint64, error) {
+	frame, err := f.bp.Fix(pid)
+	if err != nil {
+		return 0, err
+	}
+	owner := frame.Page().Owner()
+	f.bp.Unfix(frame, false)
+	return owner, nil
+}
+
+// ScanFunc is called for every record during a scan.  Returning false stops
+// the scan.
+type ScanFunc func(rid page.RID, rec []byte) bool
+
+// Scan visits every live record in the file in page order.
+func (f *File) Scan(t *txn.Txn, fn ScanFunc) error {
+	f.lockMeta()
+	pages := append([]page.ID(nil), f.allPages...)
+	f.mu.Unlock()
+	for _, pid := range pages {
+		if err := f.scanPage(t, pid, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanOwner visits every live record on pages owned by owner.  PLP designs
+// use it to parallelize heap scans across partition workers.
+func (f *File) ScanOwner(t *txn.Txn, owner uint64, fn ScanFunc) error {
+	f.lockMeta()
+	pages := append([]page.ID(nil), f.pagesByOwner[owner]...)
+	f.mu.Unlock()
+	for _, pid := range pages {
+		if err := f.scanPage(t, pid, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *File) scanPage(t *txn.Txn, pid page.ID, fn ScanFunc) error {
+	frame, err := f.bp.Fix(pid)
+	if err != nil {
+		return err
+	}
+	f.acquire(t, frame, latch.Shared)
+	p := frame.Page()
+	stop := false
+	for _, slot := range p.LiveSlots() {
+		rec, err := p.Get(slot)
+		if err != nil {
+			continue
+		}
+		if !fn(page.RID{Page: pid, Slot: slot}, rec) {
+			stop = true
+			break
+		}
+	}
+	f.release(frame, latch.Shared)
+	f.bp.Unfix(frame, false)
+	if stop {
+		return nil
+	}
+	return nil
+}
+
+// Move relocates the records identified by rids onto pages owned by
+// newOwner and returns the mapping from old RID to new RID.  It is used by
+// PLP-Partition and PLP-Leaf when a repartitioning (or a leaf split in
+// PLP-Leaf) requires heap records to change owner; the caller is responsible
+// for updating every index entry that references the moved RIDs (the storage
+// manager exposes that responsibility as a callback, see Section 3.3).
+func (f *File) Move(t *txn.Txn, newOwner uint64, rids []page.RID) (map[page.RID]page.RID, error) {
+	moved := make(map[page.RID]page.RID, len(rids))
+	for _, rid := range rids {
+		rec, err := f.Get(t, rid)
+		if err != nil {
+			return moved, err
+		}
+		newRID, err := f.Insert(t, newOwner, rec)
+		if err != nil {
+			return moved, err
+		}
+		if err := f.Delete(t, rid); err != nil {
+			return moved, err
+		}
+		moved[rid] = newRID
+	}
+	return moved, nil
+}
+
+// Stats describes heap file occupancy, used by the fragmentation experiment
+// (Figure 11).
+type Stats struct {
+	Pages     int
+	Records   int
+	Owners    int
+	UsedBytes int
+}
+
+// Stats returns occupancy statistics.  It fixes every page, so it is meant
+// for reporting, not for the hot path.
+func (f *File) Stats() Stats {
+	f.lockMeta()
+	pages := append([]page.ID(nil), f.allPages...)
+	owners := len(f.pagesByOwner)
+	records := f.nRecords
+	f.mu.Unlock()
+	st := Stats{Pages: len(pages), Records: records, Owners: owners}
+	for _, pid := range pages {
+		frame, err := f.bp.Fix(pid)
+		if err != nil {
+			continue
+		}
+		st.UsedBytes += frame.Page().UsedBytes()
+		f.bp.Unfix(frame, false)
+	}
+	return st
+}
+
+// NumPages returns the number of heap pages allocated to the file.
+func (f *File) NumPages() int {
+	f.lockMeta()
+	defer f.mu.Unlock()
+	return len(f.allPages)
+}
+
+// NumRecords returns the number of live records in the file.
+func (f *File) NumRecords() int {
+	f.lockMeta()
+	defer f.mu.Unlock()
+	return f.nRecords
+}
+
+// PagesOwnedBy returns the page IDs owned by the given owner tag.
+func (f *File) PagesOwnedBy(owner uint64) []page.ID {
+	f.lockMeta()
+	defer f.mu.Unlock()
+	return append([]page.ID(nil), f.pagesByOwner[owner]...)
+}
+
+// RecordsOwnedBy returns the RIDs of the live records on pages owned by the
+// given owner tag (used when a leaf split must relocate the records its
+// pages hold).
+func (f *File) RecordsOwnedBy(owner uint64) ([]page.RID, error) {
+	var out []page.RID
+	err := f.ScanOwner(nil, owner, func(rid page.RID, rec []byte) bool {
+		out = append(out, rid)
+		return true
+	})
+	return out, err
+}

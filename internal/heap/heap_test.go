@@ -1,0 +1,318 @@
+package heap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"plp/internal/bufferpool"
+	"plp/internal/cs"
+	"plp/internal/latch"
+	"plp/internal/page"
+)
+
+func newFile(mode AccessMode) (*File, *latch.Stats) {
+	ls := &latch.Stats{}
+	bp := bufferpool.NewMemory(bufferpool.Config{LatchStats: ls, CSStats: &cs.Stats{}})
+	return New(1, bp, mode, &cs.Stats{}), ls
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	f, _ := newFile(Latched)
+	rid, err := f.Insert(nil, SharedOwner, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f.Get(nil, rid)
+	if err != nil || string(rec) != "hello" {
+		t.Fatalf("get: %q %v", rec, err)
+	}
+	if err := f.Update(nil, rid, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = f.Get(nil, rid)
+	if string(rec) != "world" {
+		t.Fatalf("update lost: %q", rec)
+	}
+	if err := f.Delete(nil, rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Get(nil, rid); !errors.Is(err, ErrNoSuchRecord) {
+		t.Fatalf("deleted record still readable: %v", err)
+	}
+	if f.NumRecords() != 0 {
+		t.Fatal("record count wrong")
+	}
+}
+
+func TestRIDStability(t *testing.T) {
+	f, _ := newFile(Latched)
+	var rids []page.RID
+	for i := 0; i < 2000; i++ {
+		rid, err := f.Insert(nil, SharedOwner, []byte(fmt.Sprintf("rec-%05d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	// Delete a third of the records; the rest must remain addressable by
+	// their original RIDs.
+	for i := 0; i < len(rids); i += 3 {
+		if err := f.Delete(nil, rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, rid := range rids {
+		rec, err := f.Get(nil, rid)
+		if i%3 == 0 {
+			if err == nil {
+				t.Fatalf("deleted record %d readable", i)
+			}
+			continue
+		}
+		if err != nil || string(rec) != fmt.Sprintf("rec-%05d", i) {
+			t.Fatalf("record %d: %q %v", i, rec, err)
+		}
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	f, _ := newFile(Latched)
+	if _, err := f.Insert(nil, SharedOwner, make([]byte, page.MaxRecordSize+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestOwnerSegregation(t *testing.T) {
+	f, _ := newFile(LatchFree)
+	const perOwner = 300
+	for owner := uint64(1); owner <= 3; owner++ {
+		for i := 0; i < perOwner; i++ {
+			if _, err := f.Insert(nil, owner, bytes.Repeat([]byte{byte(owner)}, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Pages of different owners must be disjoint.
+	seen := map[page.ID]uint64{}
+	for owner := uint64(1); owner <= 3; owner++ {
+		for _, pid := range f.PagesOwnedBy(owner) {
+			if prev, ok := seen[pid]; ok && prev != owner {
+				t.Fatalf("page %v owned by %d and %d", pid, prev, owner)
+			}
+			seen[pid] = owner
+		}
+	}
+	// Per-owner scans see only their records.
+	for owner := uint64(1); owner <= 3; owner++ {
+		n := 0
+		err := f.ScanOwner(nil, owner, func(rid page.RID, rec []byte) bool {
+			if rec[0] != byte(owner) {
+				t.Fatalf("foreign record on owner %d's page", owner)
+			}
+			n++
+			return true
+		})
+		if err != nil || n != perOwner {
+			t.Fatalf("owner %d scan: n=%d err=%v", owner, n, err)
+		}
+	}
+	// Owner-partitioned placement costs extra pages versus a single shared
+	// pool filling pages completely (this is the Figure 11 effect).
+	if f.NumPages() < 3 {
+		t.Fatal("expected at least one page per owner")
+	}
+}
+
+func TestScanVisitsEverything(t *testing.T) {
+	f, _ := newFile(Latched)
+	want := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		rec := fmt.Sprintf("row-%d", i)
+		if _, err := f.Insert(nil, SharedOwner, []byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+		want[rec] = true
+	}
+	got := map[string]bool{}
+	if err := f.Scan(nil, func(_ page.RID, rec []byte) bool {
+		got[string(rec)] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan saw %d of %d records", len(got), len(want))
+	}
+	// Early termination.
+	n := 0
+	_ = f.Scan(nil, func(_ page.RID, _ []byte) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestMoveRelocatesRecords(t *testing.T) {
+	f, _ := newFile(LatchFree)
+	var rids []page.RID
+	for i := 0; i < 100; i++ {
+		rid, err := f.Insert(nil, 1, []byte(fmt.Sprintf("m-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	moved, err := f.Move(nil, 2, rids[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 50 {
+		t.Fatalf("moved %d", len(moved))
+	}
+	for old, nu := range moved {
+		if _, err := f.Get(nil, old); err == nil {
+			t.Fatal("old RID still live after move")
+		}
+		if _, err := f.Get(nil, nu); err != nil {
+			t.Fatalf("new RID unreadable: %v", err)
+		}
+	}
+	if n := len(f.PagesOwnedBy(2)); n == 0 {
+		t.Fatal("no pages owned by the destination partition")
+	}
+}
+
+func TestLatchedModeCountsHeapLatches(t *testing.T) {
+	f, ls := newFile(Latched)
+	rid, _ := f.Insert(nil, SharedOwner, []byte("x"))
+	_, _ = f.Get(nil, rid)
+	if ls.Snapshot().Acquired[latch.KindHeap] == 0 {
+		t.Fatal("latched heap access acquired no latches")
+	}
+
+	f2, ls2 := newFile(LatchFree)
+	rid2, _ := f2.Insert(nil, 1, []byte("x"))
+	_, _ = f2.Get(nil, rid2)
+	if ls2.Snapshot().Acquired[latch.KindHeap] != 0 {
+		t.Fatal("latch-free heap access acquired latches")
+	}
+}
+
+func TestStats(t *testing.T) {
+	f, _ := newFile(Latched)
+	for i := 0; i < 100; i++ {
+		if _, err := f.Insert(nil, SharedOwner, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.Records != 100 || st.Pages == 0 || st.UsedBytes < 100*100 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	rids, err := f.RecordsOwnedBy(SharedOwner)
+	if err != nil || len(rids) != 100 {
+		t.Fatalf("RecordsOwnedBy: %d %v", len(rids), err)
+	}
+}
+
+func TestConcurrentInsertsSharedPool(t *testing.T) {
+	f, _ := newFile(Latched)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	all := map[page.RID]string{}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				rec := fmt.Sprintf("g%d-%d", g, i)
+				rid, err := f.Insert(nil, SharedOwner, []byte(rec))
+				if err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				mu.Lock()
+				all[rid] = rec
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(all) != 8*250 {
+		t.Fatalf("duplicate RIDs handed out: %d unique", len(all))
+	}
+	for rid, want := range all {
+		rec, err := f.Get(nil, rid)
+		if err != nil || string(rec) != want {
+			t.Fatalf("rid %v: %q %v (want %q)", rid, rec, err, want)
+		}
+	}
+}
+
+func TestPropertyHeapAgainstModel(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hf, _ := newFile(Latched)
+		model := map[page.RID][]byte{}
+		var live []page.RID
+		for i := 0; i < int(n); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				rec := make([]byte, 1+rng.Intn(200))
+				rng.Read(rec)
+				rid, err := hf.Insert(nil, SharedOwner, rec)
+				if err != nil {
+					return false
+				}
+				model[rid] = append([]byte(nil), rec...)
+				live = append(live, rid)
+			case 1:
+				if len(live) == 0 {
+					continue
+				}
+				idx := rng.Intn(len(live))
+				rid := live[idx]
+				if err := hf.Delete(nil, rid); err != nil {
+					return false
+				}
+				delete(model, rid)
+				live = append(live[:idx], live[idx+1:]...)
+			case 2:
+				if len(live) == 0 {
+					continue
+				}
+				rid := live[rng.Intn(len(live))]
+				rec := make([]byte, 1+rng.Intn(200))
+				rng.Read(rec)
+				if err := hf.Update(nil, rid, rec); err != nil {
+					// Updates that outgrow the page are allowed to fail.
+					if errors.Is(err, page.ErrPageFull) {
+						continue
+					}
+					return false
+				}
+				model[rid] = append([]byte(nil), rec...)
+			}
+		}
+		if hf.NumRecords() != len(model) {
+			return false
+		}
+		for rid, want := range model {
+			got, err := hf.Get(nil, rid)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

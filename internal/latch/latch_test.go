@@ -1,0 +1,170 @@
+package latch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"plp/internal/cs"
+)
+
+func TestSharedLatchAllowsReaders(t *testing.T) {
+	stats := &Stats{}
+	l := New(KindIndex, stats, &cs.Stats{})
+	l.Acquire(Shared)
+	done := make(chan struct{})
+	go func() {
+		l.Acquire(Shared)
+		l.Release(Shared)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("second reader blocked")
+	}
+	l.Release(Shared)
+	snap := stats.Snapshot()
+	if snap.Acquired[KindIndex] != 2 {
+		t.Fatalf("acquired=%d", snap.Acquired[KindIndex])
+	}
+}
+
+func TestExclusiveBlocksAndCountsContention(t *testing.T) {
+	stats := &Stats{}
+	csStats := &cs.Stats{}
+	l := New(KindHeap, stats, csStats)
+	l.Acquire(Exclusive)
+	released := make(chan struct{})
+	acquired := make(chan struct{})
+	go func() {
+		l.Acquire(Exclusive) // must block until release
+		close(acquired)
+		l.Release(Exclusive)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("exclusive latch acquired while held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Release(Exclusive)
+	close(released)
+	<-acquired
+
+	snap := stats.Snapshot()
+	if snap.Contended[KindHeap] != 1 {
+		t.Fatalf("expected 1 contended acquisition, got %d", snap.Contended[KindHeap])
+	}
+	if snap.WaitNanos[KindHeap] <= 0 {
+		t.Fatal("no wait time recorded")
+	}
+	if csStats.Snapshot().Contended[cs.Latching] != 1 {
+		t.Fatal("contention not reported to cs stats")
+	}
+	_ = released
+}
+
+func TestTryAcquire(t *testing.T) {
+	l := New(KindIndex, &Stats{}, nil)
+	if !l.TryAcquire(Exclusive) {
+		t.Fatal("try on free latch failed")
+	}
+	if l.TryAcquire(Shared) {
+		t.Fatal("shared try succeeded while exclusively held")
+	}
+	l.Release(Exclusive)
+	if !l.TryAcquire(Shared) {
+		t.Fatal("shared try on free latch failed")
+	}
+	l.Release(Shared)
+}
+
+func TestUpgradeAndDowngrade(t *testing.T) {
+	l := New(KindIndex, &Stats{}, nil)
+	l.Acquire(Shared)
+	l.Upgrade()
+	// Now exclusively held: another exclusive try must fail.
+	if l.TryAcquire(Exclusive) {
+		t.Fatal("latch not exclusive after upgrade")
+	}
+	l.Downgrade()
+	// Shared again: another shared acquisition must succeed.
+	if !l.TryAcquire(Shared) {
+		t.Fatal("latch not shared after downgrade")
+	}
+	l.Release(Shared)
+	l.Release(Shared)
+}
+
+func TestNilStatsSafe(t *testing.T) {
+	l := New(KindCatalog, nil, nil)
+	l.Acquire(Exclusive)
+	l.Release(Exclusive)
+}
+
+func TestSnapshotSubTotal(t *testing.T) {
+	stats := &Stats{}
+	l := New(KindIndex, stats, nil)
+	for i := 0; i < 5; i++ {
+		l.Acquire(Shared)
+		l.Release(Shared)
+	}
+	before := stats.Snapshot()
+	for i := 0; i < 3; i++ {
+		l.Acquire(Exclusive)
+		l.Release(Exclusive)
+	}
+	d := stats.Snapshot().Sub(before)
+	if d.Acquired[KindIndex] != 3 || d.Total() != 3 {
+		t.Fatalf("delta wrong: %+v", d)
+	}
+	stats.Reset()
+	if stats.Snapshot().Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestKindsAndLabels(t *testing.T) {
+	if len(Kinds()) != NumKinds {
+		t.Fatal("Kinds() incomplete")
+	}
+	for _, k := range Kinds() {
+		if k.String() == "" {
+			t.Fatal("missing label")
+		}
+	}
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Fatal("mode labels wrong")
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	stats := &Stats{}
+	l := New(KindHeap, stats, &cs.Stats{})
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if i%4 == 0 {
+					l.Acquire(Exclusive)
+					counter++
+					l.Release(Exclusive)
+				} else {
+					l.Acquire(Shared)
+					_ = counter
+					l.Release(Shared)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if counter != 8*50 {
+		t.Fatalf("exclusive sections lost updates: %d", counter)
+	}
+	if stats.Snapshot().Acquired[KindHeap] != 8*200 {
+		t.Fatalf("acquisition count wrong: %d", stats.Snapshot().Acquired[KindHeap])
+	}
+}

@@ -1,0 +1,58 @@
+package lock
+
+import (
+	"testing"
+
+	"plp/internal/cs"
+)
+
+// BenchmarkAcquireReleaseDisjoint measures the centralized lock manager on
+// non-conflicting keys — the per-transaction overhead even without
+// contention that Figure 1's baseline bar is made of.
+func BenchmarkAcquireReleaseDisjoint(b *testing.B) {
+	m := NewManager(&cs.Stats{})
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			n := KeyName(1, i)
+			if _, err := m.Acquire(i, n, X); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Release(i, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSLICacheHit measures the cost of a lock "acquisition" served
+// entirely from the agent-local SLI cache.
+func BenchmarkSLICacheHit(b *testing.B) {
+	m := NewManager(&cs.Stats{})
+	c := NewSLICache(m, 1)
+	table := TableName(9)
+	if _, _, err := c.Acquire(1, table, IX); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Inherit(1, table, IX); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit, err := c.Acquire(uint64(i+2), table, IX); err != nil || !hit {
+			b.Fatal("expected cache hit")
+		}
+	}
+}
+
+// BenchmarkLocalLockTable measures the thread-local lock table used by the
+// partitioned designs.
+func BenchmarkLocalLockTable(b *testing.B) {
+	l := NewLocal()
+	for i := 0; i < b.N; i++ {
+		n := KeyName(1, uint64(i%1024)+1)
+		l.TryAcquire(uint64(i), n, X)
+		l.ReleaseTxn(uint64(i))
+	}
+}

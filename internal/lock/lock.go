@@ -1,0 +1,549 @@
+// Package lock implements database locking: the logical concurrency-control
+// layer that isolates transactions from one another.
+//
+// Two implementations are provided:
+//
+//   - Manager: a centralized hierarchical lock manager in the style of
+//     Shore-MT, with intention locks at the table level and key locks below,
+//     a hash-partitioned lock table, FIFO wait queues and an optional
+//     Speculative Lock Inheritance (SLI) cache per agent thread
+//     [Johnson et al., PVLDB 2009].  Every lock-table bucket access is an
+//     unscalable critical section and is reported to the cs statistics, which
+//     is what makes the lock manager the tallest bar of Figure 1's baseline.
+//   - Local: a thread-local lock table used by the logically-partitioned
+//     (DORA) and PLP designs.  Because a partition is only ever touched by
+//     its owning worker, lock state needs no critical sections at all; the
+//     type still tracks conflicts between the actions queued on that worker
+//     to preserve transaction isolation.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"plp/internal/cs"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes (a subset of the standard hierarchy sufficient for the
+// workloads in the paper).
+const (
+	None Mode = iota
+	IS        // intention shared
+	IX        // intention exclusive
+	S         // shared
+	X         // exclusive
+)
+
+// String returns the usual abbreviation of the mode.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "N"
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// compatible reports whether a lock held in mode h is compatible with a
+// request for mode r.
+func compatible(h, r Mode) bool {
+	switch h {
+	case None:
+		return true
+	case IS:
+		return r != X
+	case IX:
+		return r == IS || r == IX
+	case S:
+		return r == IS || r == S
+	case X:
+		return false
+	}
+	return false
+}
+
+// Compatible exposes the compatibility matrix for tests and documentation.
+func Compatible(held, requested Mode) bool { return compatible(held, requested) }
+
+// stronger reports whether a is at least as strong as b for the purposes of
+// re-requesting a lock already held.
+func stronger(a, b Mode) bool {
+	rank := func(m Mode) int {
+		switch m {
+		case None:
+			return 0
+		case IS:
+			return 1
+		case IX, S:
+			return 2
+		case X:
+			return 4
+		}
+		return 0
+	}
+	if a == b {
+		return true
+	}
+	if a == X {
+		return true
+	}
+	if (a == IX && b == IS) || (a == S && b == IS) {
+		return true
+	}
+	return rank(a) > rank(b) && b != S && b != IX
+}
+
+// Supremum returns the weakest mode that is at least as strong as both a
+// and b (the lock upgrade target).
+func Supremum(a, b Mode) Mode {
+	if a == b {
+		return a
+	}
+	if a == None {
+		return b
+	}
+	if b == None {
+		return a
+	}
+	if a == X || b == X {
+		return X
+	}
+	if (a == S && b == IX) || (a == IX && b == S) {
+		return X // SIX is not modelled; escalate to X
+	}
+	if a == S || b == S {
+		return S
+	}
+	if a == IX || b == IX {
+		return IX
+	}
+	return IS
+}
+
+// Name identifies a lockable object: a table (Key == 0, Table-level lock) or
+// a key within a table.
+type Name struct {
+	Space uint32 // table / index identifier
+	Key   uint64 // 0 for the table-level lock; hash of the key otherwise
+}
+
+// TableName returns the table-level lock name for a space.
+func TableName(space uint32) Name { return Name{Space: space} }
+
+// KeyName returns the key-level lock name for a key hash within a space.
+func KeyName(space uint32, keyHash uint64) Name {
+	if keyHash == 0 {
+		keyHash = 1 // avoid colliding with the table-level lock
+	}
+	return Name{Space: space, Key: keyHash}
+}
+
+// IsTable reports whether the name is a table-level lock.
+func (n Name) IsTable() bool { return n.Key == 0 }
+
+// String formats the lock name.
+func (n Name) String() string {
+	if n.IsTable() {
+		return fmt.Sprintf("table(%d)", n.Space)
+	}
+	return fmt.Sprintf("key(%d,%d)", n.Space, n.Key)
+}
+
+// Errors returned by lock acquisition.
+var (
+	ErrTimeout  = errors.New("lock: wait timed out (possible deadlock)")
+	ErrNotHeld  = errors.New("lock: not held by transaction")
+	ErrShutdown = errors.New("lock: manager shut down")
+)
+
+// DefaultTimeout bounds lock waits; hitting it is treated as a deadlock and
+// aborts the requesting transaction.
+const DefaultTimeout = 2 * time.Second
+
+// request is one holder or waiter entry in a lock queue.
+type request struct {
+	txn     uint64
+	mode    Mode
+	granted bool
+	ready   chan struct{}
+}
+
+// head is the per-lock queue.
+type head struct {
+	queue []*request
+}
+
+// grantable reports whether a request for mode by txn can be granted given
+// the currently granted entries (ignoring entries of the same transaction).
+func (h *head) grantable(txn uint64, mode Mode) bool {
+	for _, r := range h.queue {
+		if !r.granted || r.txn == txn {
+			continue
+		}
+		if !compatible(r.mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// bucketCount is the number of hash partitions of the lock table.
+const bucketCount = 256
+
+// Manager is the centralized lock manager.
+type Manager struct {
+	buckets [bucketCount]struct {
+		mu    sync.Mutex
+		locks map[Name]*head
+	}
+	cstats  *cs.Stats
+	timeout time.Duration
+}
+
+// NewManager returns a centralized lock manager reporting critical sections
+// into cstats (may be nil).
+func NewManager(cstats *cs.Stats) *Manager {
+	m := &Manager{cstats: cstats, timeout: DefaultTimeout}
+	for i := range m.buckets {
+		m.buckets[i].locks = make(map[Name]*head)
+	}
+	return m
+}
+
+// SetTimeout overrides the deadlock-detection timeout (tests use short
+// values).
+func (m *Manager) SetTimeout(d time.Duration) { m.timeout = d }
+
+func (m *Manager) bucket(n Name) *struct {
+	mu    sync.Mutex
+	locks map[Name]*head
+} {
+	h := (uint64(n.Space)*0x9E3779B97F4A7C15 + n.Key) * 0xBF58476D1CE4E5B9
+	return &m.buckets[h%bucketCount]
+}
+
+// Acquire obtains the named lock in the given mode on behalf of txn.  It
+// blocks until the lock is granted or the timeout elapses.  It returns the
+// time spent waiting.
+func (m *Manager) Acquire(txn uint64, name Name, mode Mode) (time.Duration, error) {
+	b := m.bucket(name)
+	contended := !b.mu.TryLock()
+	if contended {
+		b.mu.Lock()
+	}
+	m.cstats.Record(cs.LockMgr, contended)
+
+	h := b.locks[name]
+	if h == nil {
+		h = &head{}
+		b.locks[name] = h
+	}
+
+	// Re-request by the same transaction: upgrade in place if possible.
+	for _, r := range h.queue {
+		if r.txn == txn && r.granted {
+			if stronger(r.mode, mode) {
+				b.mu.Unlock()
+				return 0, nil
+			}
+			target := Supremum(r.mode, mode)
+			if h.grantable(txn, target) {
+				r.mode = target
+				b.mu.Unlock()
+				return 0, nil
+			}
+			// Upgrade must wait: fall through to enqueue a new request for
+			// the stronger mode; the original remains granted.
+			mode = target
+			break
+		}
+	}
+
+	req := &request{txn: txn, mode: mode}
+	if h.grantable(txn, mode) && !h.hasWaiters(txn) {
+		req.granted = true
+		h.queue = append(h.queue, req)
+		b.mu.Unlock()
+		return 0, nil
+	}
+	req.ready = make(chan struct{})
+	h.queue = append(h.queue, req)
+	b.mu.Unlock()
+
+	start := time.Now()
+	timer := time.NewTimer(m.timeout)
+	defer timer.Stop()
+	select {
+	case <-req.ready:
+		return time.Since(start), nil
+	case <-timer.C:
+		// Timed out: remove the request and report a deadlock-style error.
+		b.mu.Lock()
+		// The grant may have raced with the timeout.
+		select {
+		case <-req.ready:
+			b.mu.Unlock()
+			return time.Since(start), nil
+		default:
+		}
+		for i, r := range h.queue {
+			if r == req {
+				h.queue = append(h.queue[:i], h.queue[i+1:]...)
+				break
+			}
+		}
+		b.mu.Unlock()
+		return time.Since(start), ErrTimeout
+	}
+}
+
+// hasWaiters reports whether any other transaction is queued (ungranted)
+// ahead of a new request; granting around waiters would starve them.
+func (h *head) hasWaiters(txn uint64) bool {
+	for _, r := range h.queue {
+		if !r.granted && r.txn != txn {
+			return true
+		}
+	}
+	return false
+}
+
+// Release releases every lock held by txn on name.
+func (m *Manager) Release(txn uint64, name Name) error {
+	b := m.bucket(name)
+	contended := !b.mu.TryLock()
+	if contended {
+		b.mu.Lock()
+	}
+	m.cstats.Record(cs.LockMgr, contended)
+	defer b.mu.Unlock()
+
+	h := b.locks[name]
+	if h == nil {
+		return ErrNotHeld
+	}
+	found := false
+	filtered := h.queue[:0]
+	for _, r := range h.queue {
+		if r.txn == txn && r.granted {
+			found = true
+			continue
+		}
+		filtered = append(filtered, r)
+	}
+	h.queue = filtered
+	if !found {
+		return ErrNotHeld
+	}
+	m.grantWaitersLocked(h)
+	if len(h.queue) == 0 {
+		delete(b.locks, name)
+	}
+	return nil
+}
+
+// ReleaseAll releases every lock held by txn across all names and returns
+// the number released.  Lock names must be supplied by the caller (the
+// transaction tracks them) to avoid scanning the whole table.
+func (m *Manager) ReleaseAll(txn uint64, names []Name) int {
+	released := 0
+	for _, n := range names {
+		if err := m.Release(txn, n); err == nil {
+			released++
+		}
+	}
+	return released
+}
+
+// grantWaitersLocked grants as many queued waiters as compatibility allows,
+// in FIFO order.
+func (m *Manager) grantWaitersLocked(h *head) {
+	for _, r := range h.queue {
+		if r.granted {
+			continue
+		}
+		if !h.grantable(r.txn, r.mode) {
+			break // FIFO: do not overtake an incompatible waiter
+		}
+		r.granted = true
+		if r.ready != nil {
+			close(r.ready)
+		}
+	}
+}
+
+// HeldModes returns the modes txn currently holds on name (for tests).
+func (m *Manager) HeldModes(txn uint64, name Name) []Mode {
+	b := m.bucket(name)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.locks[name]
+	if h == nil {
+		return nil
+	}
+	var out []Mode
+	for _, r := range h.queue {
+		if r.txn == txn && r.granted {
+			out = append(out, r.mode)
+		}
+	}
+	return out
+}
+
+// NumLocks returns the number of lock heads currently in the table.
+func (m *Manager) NumLocks() int {
+	n := 0
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		n += len(b.locks)
+		b.mu.Unlock()
+	}
+	return n
+}
+
+// SLICache implements Speculative Lock Inheritance.  Each agent thread owns
+// one cache.  When a transaction commits, its hot (table-level) locks are
+// not released; they are parked in the cache and the next transaction run by
+// the same agent can reuse them without visiting the centralized lock
+// manager, eliminating the associated critical sections.
+type SLICache struct {
+	mgr   *Manager
+	owner uint64 // the synthetic "agent transaction" that holds parked locks
+	held  map[Name]Mode
+	hits  uint64
+	miss  uint64
+}
+
+// NewSLICache returns an SLI cache bound to the given manager.  agentID must
+// be unique across agents and distinct from every real transaction ID; the
+// transaction ID space is split by using the high bit.
+func NewSLICache(mgr *Manager, agentID uint64) *SLICache {
+	return &SLICache{
+		mgr:   mgr,
+		owner: agentID | (1 << 63),
+		held:  make(map[Name]Mode),
+	}
+}
+
+// Acquire obtains name in mode on behalf of txn, reusing an inherited lock
+// if the cache already holds a strong-enough one.
+func (c *SLICache) Acquire(txn uint64, name Name, mode Mode) (time.Duration, bool, error) {
+	if held, ok := c.held[name]; ok && stronger(held, mode) {
+		c.hits++
+		return 0, true, nil
+	}
+	c.miss++
+	wait, err := c.mgr.Acquire(txn, name, mode)
+	return wait, false, err
+}
+
+// Inherit parks the given table-level lock in the cache at commit time
+// instead of releasing it.  The lock is re-acquired by the cache's own
+// synthetic owner so that other agents still observe it as held.
+//
+// Only intention locks (IS/IX) are inherited: they are compatible with every
+// other agent's intention locks, so parking them can never block the rest of
+// the system, which is the safety condition speculative lock inheritance
+// relies on.  Stronger table locks are simply released.
+func (c *SLICache) Inherit(txn uint64, name Name, mode Mode) error {
+	if !name.IsTable() {
+		return fmt.Errorf("lock: only table-level locks are inheritable, got %v", name)
+	}
+	if mode != IS && mode != IX {
+		return c.mgr.Release(txn, name)
+	}
+	if held, ok := c.held[name]; ok && stronger(held, mode) {
+		// Already parked strongly enough; release the transaction's copy.
+		return c.mgr.Release(txn, name)
+	}
+	if _, err := c.mgr.Acquire(c.owner, name, mode); err != nil {
+		return err
+	}
+	c.held[name] = Supremum(c.held[name], mode)
+	return c.mgr.Release(txn, name)
+}
+
+// Invalidate drops every parked lock (used when the agent shuts down or when
+// a conflicting request must proceed).
+func (c *SLICache) Invalidate() {
+	for name := range c.held {
+		_ = c.mgr.Release(c.owner, name)
+		delete(c.held, name)
+	}
+}
+
+// Stats returns the cache hit/miss counters.
+func (c *SLICache) Stats() (hits, misses uint64) { return c.hits, c.miss }
+
+// Local is a thread-local lock table for DORA/PLP partition workers.  The
+// owning worker is the only goroutine that touches it, so no mutual
+// exclusion is needed; conflicts are still detected so that two actions of
+// different transactions queued on the same worker cannot interleave on the
+// same key.
+type Local struct {
+	held map[Name]localEntry
+}
+
+type localEntry struct {
+	txn  uint64
+	mode Mode
+}
+
+// NewLocal returns an empty thread-local lock table.
+func NewLocal() *Local {
+	return &Local{held: make(map[Name]localEntry)}
+}
+
+// TryAcquire attempts to obtain name in mode for txn.  It reports false when
+// another transaction holds an incompatible lock, in which case the caller
+// (the partition worker) defers the action and retries after the holder
+// completes.
+func (l *Local) TryAcquire(txn uint64, name Name, mode Mode) bool {
+	e, ok := l.held[name]
+	if !ok {
+		l.held[name] = localEntry{txn: txn, mode: mode}
+		return true
+	}
+	if e.txn == txn {
+		l.held[name] = localEntry{txn: txn, mode: Supremum(e.mode, mode)}
+		return true
+	}
+	if compatible(e.mode, mode) && mode != X && e.mode != X {
+		// Shared access by a different transaction: allow it but keep the
+		// strongest holder recorded.  Exclusive requests must wait.
+		return true
+	}
+	return false
+}
+
+// ReleaseTxn drops every lock held by txn.
+func (l *Local) ReleaseTxn(txn uint64) {
+	for name, e := range l.held {
+		if e.txn == txn {
+			delete(l.held, name)
+		}
+	}
+}
+
+// Holds reports whether txn holds a lock on name.
+func (l *Local) Holds(txn uint64, name Name) bool {
+	e, ok := l.held[name]
+	return ok && e.txn == txn
+}
+
+// Len returns the number of held entries (for tests).
+func (l *Local) Len() int { return len(l.held) }

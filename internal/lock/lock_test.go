@@ -1,0 +1,299 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"plp/internal/cs"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		held, req Mode
+		want      bool
+	}{
+		{None, X, true},
+		{IS, IS, true}, {IS, IX, true}, {IS, S, true}, {IS, X, false},
+		{IX, IS, true}, {IX, IX, true}, {IX, S, false}, {IX, X, false},
+		{S, IS, true}, {S, IX, false}, {S, S, true}, {S, X, false},
+		{X, IS, false}, {X, IX, false}, {X, S, false}, {X, X, false},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.held, c.req); got != c.want {
+			t.Errorf("Compatible(%v,%v)=%v want %v", c.held, c.req, got, c.want)
+		}
+	}
+}
+
+func TestSupremum(t *testing.T) {
+	cases := []struct{ a, b, want Mode }{
+		{IS, IX, IX}, {S, X, X}, {S, IX, X}, {IS, S, S}, {None, S, S}, {X, IS, X},
+	}
+	for _, c := range cases {
+		if got := Supremum(c.a, c.b); got != c.want {
+			t.Errorf("Supremum(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAcquireReleaseBasic(t *testing.T) {
+	m := NewManager(&cs.Stats{})
+	name := KeyName(1, 42)
+	if _, err := m.Acquire(1, name, S); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(2, name, S); err != nil {
+		t.Fatal(err)
+	}
+	if modes := m.HeldModes(1, name); len(modes) != 1 || modes[0] != S {
+		t.Fatalf("held modes wrong: %v", modes)
+	}
+	if err := m.Release(1, name); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(1, name); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("double release: %v", err)
+	}
+	if err := m.Release(2, name); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLocks() != 0 {
+		t.Fatalf("lock heads leaked: %d", m.NumLocks())
+	}
+}
+
+func TestExclusiveBlocksUntilRelease(t *testing.T) {
+	m := NewManager(&cs.Stats{})
+	name := KeyName(1, 7)
+	if _, err := m.Acquire(1, name, X); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(2, name, X)
+		got <- err
+	}()
+	select {
+	case <-got:
+		t.Fatal("second X granted while first held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := m.Release(1, name); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeoutReturnsError(t *testing.T) {
+	m := NewManager(&cs.Stats{})
+	m.SetTimeout(30 * time.Millisecond)
+	name := KeyName(1, 9)
+	if _, err := m.Acquire(1, name, X); err != nil {
+		t.Fatal(err)
+	}
+	wait, err := m.Acquire(2, name, X)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+	if wait < 30*time.Millisecond {
+		t.Fatalf("returned early: %v", wait)
+	}
+	// The waiter must have been removed from the queue: releasing and
+	// re-acquiring works.
+	if err := m.Release(1, name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(3, name, X); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeInPlace(t *testing.T) {
+	m := NewManager(&cs.Stats{})
+	name := KeyName(2, 5)
+	if _, err := m.Acquire(1, name, S); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(1, name, X); err != nil {
+		t.Fatal(err)
+	}
+	// Another transaction must now be blocked by the upgraded X.
+	m.SetTimeout(30 * time.Millisecond)
+	if _, err := m.Acquire(2, name, S); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected timeout after upgrade, got %v", err)
+	}
+}
+
+func TestFIFONoStarvation(t *testing.T) {
+	m := NewManager(&cs.Stats{})
+	name := TableName(3)
+	if _, err := m.Acquire(1, name, X); err != nil {
+		t.Fatal(err)
+	}
+	// A waiter queues for X; later S requests must not overtake it forever.
+	order := make(chan int, 2)
+	go func() {
+		m.Acquire(2, name, X)
+		order <- 2
+		m.Release(2, name)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	go func() {
+		m.Acquire(3, name, S)
+		order <- 3
+		m.Release(3, name)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.Release(1, name)
+	first := <-order
+	if first != 2 {
+		t.Fatalf("X waiter starved: %d granted first", first)
+	}
+	<-order
+}
+
+func TestReleaseAll(t *testing.T) {
+	m := NewManager(&cs.Stats{})
+	names := []Name{KeyName(1, 1), KeyName(1, 2), TableName(1)}
+	for _, n := range names {
+		if _, err := m.Acquire(9, n, X); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if released := m.ReleaseAll(9, names); released != len(names) {
+		t.Fatalf("released %d of %d", released, len(names))
+	}
+	if m.NumLocks() != 0 {
+		t.Fatal("locks leaked")
+	}
+}
+
+func TestConcurrentDisjointLocks(t *testing.T) {
+	m := NewManager(&cs.Stats{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			txn := uint64(g + 1)
+			for i := 0; i < 500; i++ {
+				n := KeyName(uint32(g), uint64(i+1))
+				if _, err := m.Acquire(txn, n, X); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if err := m.Release(txn, n); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.NumLocks() != 0 {
+		t.Fatalf("locks leaked: %d", m.NumLocks())
+	}
+}
+
+func TestSLICacheHitSkipsManager(t *testing.T) {
+	cstats := &cs.Stats{}
+	m := NewManager(cstats)
+	c := NewSLICache(m, 1)
+	table := TableName(5)
+
+	// Transaction 100 acquires and inherits the table IX lock.
+	if _, _, err := c.Acquire(100, table, IX); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Inherit(100, table, IX); err != nil {
+		t.Fatal(err)
+	}
+	before := cstats.Snapshot().Entered[cs.LockMgr]
+	// The next transaction on the same agent hits the cache.
+	_, hit, err := c.Acquire(101, table, IX)
+	if err != nil || !hit {
+		t.Fatalf("expected cache hit, got hit=%v err=%v", hit, err)
+	}
+	if after := cstats.Snapshot().Entered[cs.LockMgr]; after != before {
+		t.Fatalf("cache hit still visited the lock manager (%d -> %d)", before, after)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	// Invalidate releases the parked lock so others can take X.
+	c.Invalidate()
+	m.SetTimeout(50 * time.Millisecond)
+	if _, err := m.Acquire(200, table, X); err != nil {
+		t.Fatalf("X after invalidate: %v", err)
+	}
+}
+
+func TestSLIInheritOnlyIntentionLocks(t *testing.T) {
+	m := NewManager(&cs.Stats{})
+	m.SetTimeout(50 * time.Millisecond)
+	c := NewSLICache(m, 2)
+	table := TableName(6)
+	if _, err := m.Acquire(100, table, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Inherit(100, table, S); err != nil {
+		t.Fatal(err)
+	}
+	// The S lock must have been released, not parked: another transaction
+	// can take X immediately.
+	if _, err := m.Acquire(101, table, X); err != nil {
+		t.Fatalf("S lock was parked: %v", err)
+	}
+	if err := c.Inherit(100, KeyName(6, 1), X); err == nil {
+		t.Fatal("key locks must not be inheritable")
+	}
+}
+
+func TestLocalLockTable(t *testing.T) {
+	l := NewLocal()
+	n := KeyName(1, 1)
+	if !l.TryAcquire(1, n, X) {
+		t.Fatal("first acquire failed")
+	}
+	if l.TryAcquire(2, n, X) {
+		t.Fatal("conflicting exclusive acquire succeeded")
+	}
+	if !l.TryAcquire(1, n, S) {
+		t.Fatal("re-acquire by holder failed")
+	}
+	if !l.Holds(1, n) || l.Holds(2, n) {
+		t.Fatal("Holds broken")
+	}
+	l.ReleaseTxn(1)
+	if l.Len() != 0 {
+		t.Fatal("release did not clear entries")
+	}
+	if !l.TryAcquire(2, n, X) {
+		t.Fatal("acquire after release failed")
+	}
+}
+
+func TestNamePropertyRoundTrip(t *testing.T) {
+	f := func(space uint32, key uint64) bool {
+		n := KeyName(space, key)
+		if n.IsTable() {
+			return key == 0 // KeyName remaps 0 to 1, so never table
+		}
+		return n.Space == space
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !TableName(3).IsTable() {
+		t.Fatal("table name misclassified")
+	}
+	if TableName(3).String() == "" || KeyName(3, 4).String() == "" {
+		t.Fatal("missing labels")
+	}
+}

@@ -1,0 +1,174 @@
+package logrec
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestModificationRoundTrip(t *testing.T) {
+	cases := []Modification{
+		{Table: "accounts", Key: []byte("k1"), Before: nil, After: []byte("v1")},
+		{Table: "accounts", Key: []byte("k1"), Before: []byte("v1"), After: []byte("v2")},
+		{Table: "t", Key: []byte{0}, Before: []byte("old"), After: nil},
+		{Table: "", Key: nil, Before: nil, After: nil},
+		{Table: "subscriber", Key: bytes.Repeat([]byte{0xff}, 64), Before: bytes.Repeat([]byte{1}, 1000), After: bytes.Repeat([]byte{2}, 1000)},
+	}
+	for i, m := range cases {
+		payload := EncodeModification(m)
+		got, err := DecodeModification(payload)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.Table != m.Table ||
+			!bytes.Equal(got.Key, m.Key) ||
+			!bytes.Equal(got.Before, m.Before) ||
+			!bytes.Equal(got.After, m.After) {
+			t.Fatalf("case %d: round trip mismatch: %+v != %+v", i, got, m)
+		}
+	}
+}
+
+func TestModificationRoundTripProperty(t *testing.T) {
+	f := func(table string, key, before, after []byte) bool {
+		m := Modification{Table: table, Key: key, Before: before, After: after}
+		got, err := DecodeModification(EncodeModification(m))
+		if err != nil {
+			return false
+		}
+		// Encoding normalizes empty slices to nil.
+		eq := func(a, b []byte) bool { return bytes.Equal(a, b) }
+		return got.Table == table && eq(got.Key, key) && eq(got.Before, before) && eq(got.After, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeModificationErrors(t *testing.T) {
+	if _, err := DecodeModification(nil); err == nil {
+		t.Fatal("decoding an empty payload should fail")
+	}
+	if _, err := DecodeModification([]byte{99}); err == nil {
+		t.Fatal("decoding an unknown version should fail")
+	}
+	// Truncate a valid payload at every length and make sure decoding never
+	// panics and fails cleanly for prefixes that drop data.
+	full := EncodeModification(Modification{Table: "t", Key: []byte("key"), Before: []byte("b"), After: []byte("a")})
+	for i := 1; i < len(full); i++ {
+		_, err := DecodeModification(full[:i])
+		if err == nil && i < len(full) {
+			// Some prefixes decode successfully only when all four fields are
+			// complete; that can only happen at the full length.
+			t.Fatalf("truncated payload of length %d decoded successfully", i)
+		}
+	}
+}
+
+func TestIsModificationPayload(t *testing.T) {
+	m := EncodeModification(Modification{Table: "t", Key: []byte("k")})
+	if !IsModificationPayload(m) {
+		t.Fatal("encoded modification not recognized")
+	}
+	if IsModificationPayload([]byte("just-a-key")) {
+		t.Fatal("bare key payload should not be recognized as a modification")
+	}
+	if IsModificationPayload(nil) {
+		t.Fatal("nil payload should not be recognized")
+	}
+}
+
+func TestCheckpointChunkRoundTrip(t *testing.T) {
+	c := CheckpointChunk{
+		Table:  "accounts",
+		Keys:   [][]byte{[]byte("a"), []byte("b"), nil},
+		Values: [][]byte{[]byte("1"), nil, []byte("3")},
+	}
+	payload := EncodeCheckpointChunk(c)
+	got, ok, err := DecodeCheckpointChunk(payload)
+	if err != nil || !ok {
+		t.Fatalf("decode chunk: ok=%v err=%v", ok, err)
+	}
+	if got.Table != c.Table || len(got.Keys) != 3 || len(got.Values) != 3 {
+		t.Fatalf("chunk mismatch: %+v", got)
+	}
+	for i := range c.Keys {
+		if !bytes.Equal(got.Keys[i], c.Keys[i]) || !bytes.Equal(got.Values[i], c.Values[i]) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestCheckpointEndRoundTrip(t *testing.T) {
+	e := CheckpointEnd{BeginLSN: 123456, Chunks: 7, Tables: 3}
+	payload := EncodeCheckpointEnd(e)
+	got, ok, err := DecodeCheckpointEnd(payload)
+	if err != nil || !ok {
+		t.Fatalf("decode end: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("end mismatch: %+v != %+v", got, e)
+	}
+}
+
+func TestCheckpointTagDiscrimination(t *testing.T) {
+	chunk := EncodeCheckpointChunk(CheckpointChunk{Table: "t"})
+	end := EncodeCheckpointEnd(CheckpointEnd{BeginLSN: 1})
+
+	if _, ok, _ := DecodeCheckpointEnd(chunk); ok {
+		t.Fatal("chunk payload decoded as end marker")
+	}
+	if _, ok, _ := DecodeCheckpointChunk(end); ok {
+		t.Fatal("end payload decoded as chunk")
+	}
+	// A modification payload is neither.
+	mod := EncodeModification(Modification{Table: "t", Key: []byte("k")})
+	if _, ok, _ := DecodeCheckpointChunk(mod); ok {
+		t.Fatal("modification decoded as chunk")
+	}
+	if _, ok, _ := DecodeCheckpointEnd(mod); ok {
+		t.Fatal("modification decoded as end")
+	}
+}
+
+func TestCheckpointChunkRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(20)
+		c := CheckpointChunk{Table: "tbl"}
+		for i := 0; i < n; i++ {
+			k := make([]byte, rng.Intn(32))
+			v := make([]byte, rng.Intn(128))
+			rng.Read(k)
+			rng.Read(v)
+			c.Keys = append(c.Keys, k)
+			c.Values = append(c.Values, v)
+		}
+		got, ok, err := DecodeCheckpointChunk(EncodeCheckpointChunk(c))
+		if err != nil || !ok {
+			t.Fatalf("iter %d: decode failed: ok=%v err=%v", iter, ok, err)
+		}
+		if len(got.Keys) != n {
+			t.Fatalf("iter %d: %d entries, want %d", iter, len(got.Keys), n)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(got.Keys[i], c.Keys[i]) || !bytes.Equal(got.Values[i], c.Values[i]) {
+				t.Fatalf("iter %d entry %d mismatch", iter, i)
+			}
+		}
+	}
+}
+
+func TestDecodeCheckpointErrors(t *testing.T) {
+	if _, _, err := DecodeCheckpointChunk(nil); err == nil {
+		t.Fatal("empty chunk payload should fail")
+	}
+	if _, _, err := DecodeCheckpointEnd([]byte{payloadVersion, checkpointEndTag, 1}); err == nil {
+		t.Fatal("short end payload should fail")
+	}
+	if _, _, err := DecodeCheckpointChunk([]byte{42, checkpointChunkTag}); err == nil {
+		t.Fatal("unknown version should fail")
+	}
+}

@@ -1,0 +1,189 @@
+// Repartitioning: Slice, Meld and MoveBoundary on the partition table.
+//
+// All repartitioning assumes the affected partitions are quiesced (the
+// partition manager stops dispatching work to their owning threads before
+// calling in, as described in Section 3.1); the partition-table mutex only
+// protects the routing metadata itself.
+package mrbtree
+
+import (
+	"bytes"
+	"fmt"
+
+	"plp/internal/btree"
+	"plp/internal/wal"
+)
+
+// RepartitionStats aggregates the cost of one repartitioning operation, in
+// the units of Table 1 of the paper.
+type RepartitionStats struct {
+	EntriesMoved   int // index entries copied between pages
+	PagesAllocated int
+	PagesRead      int
+	PagesFreed     int
+	PointerUpdates int
+	RecordsMoved   int // heap records moved (filled in by the caller for PLP-Partition/Leaf)
+}
+
+// add accumulates slice statistics.
+func (r *RepartitionStats) addSlice(s btree.SliceStats) {
+	r.EntriesMoved += s.EntriesMoved
+	r.PagesAllocated += s.PagesAllocated
+	r.PagesRead += s.PagesRead
+	r.PointerUpdates += s.PointerUpdates
+}
+
+// addMeld accumulates meld statistics.
+func (r *RepartitionStats) addMeld(s btree.MeldStats) {
+	r.EntriesMoved += s.EntriesMoved
+	r.PagesAllocated += s.PagesAllocated
+	r.PagesRead += s.PagesRead
+	r.PagesFreed += s.PagesFreed
+	r.PointerUpdates += s.PointerUpdates
+}
+
+// logRepartition writes a repartition log record, if logging is configured.
+func (t *Tree) logRepartition() {
+	if t.cfg.Log == nil {
+		return
+	}
+	t.cfg.Log.Append(&wal.Record{Type: wal.RecRepartition, Page: t.routing})
+}
+
+// Slice splits the partition containing atKey into two partitions at atKey.
+// The new partition covers [atKey, end-of-old-partition).  It returns the
+// index of the new partition.
+func (t *Tree) Slice(atKey []byte) (int, RepartitionStats, error) {
+	var stats RepartitionStats
+	if len(atKey) == 0 {
+		return 0, stats, ErrBadBoundary
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	idx := t.partitionIndexLocked(atKey)
+	part := t.parts[idx]
+	if part.Start != nil && bytes.Equal(part.Start, atKey) {
+		return 0, stats, fmt.Errorf("%w: partition already starts at the slice key", ErrBadBoundary)
+	}
+	newTree, st, err := part.Tree.SliceAt(atKey)
+	if err != nil {
+		return 0, stats, err
+	}
+	stats.addSlice(st)
+
+	newPart := Partition{Start: append([]byte(nil), atKey...), Tree: newTree}
+	t.parts = append(t.parts, Partition{})
+	copy(t.parts[idx+2:], t.parts[idx+1:])
+	t.parts[idx+1] = newPart
+
+	if err := t.writeRoutingPage(); err != nil {
+		return 0, stats, err
+	}
+	stats.PointerUpdates++
+	t.repartitions++
+	t.logRepartition()
+	return idx + 1, stats, nil
+}
+
+// Meld merges partition i+1 into partition i.
+func (t *Tree) Meld(i int) (RepartitionStats, error) {
+	var stats RepartitionStats
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i+1 >= len(t.parts) {
+		return stats, ErrNoSuchPart
+	}
+	left, right := t.parts[i], t.parts[i+1]
+	merged, st, err := btree.Meld(left.Tree, right.Tree, right.Start)
+	if err != nil {
+		return stats, err
+	}
+	stats.addMeld(st)
+
+	t.parts[i].Tree = merged
+	copy(t.parts[i+1:], t.parts[i+2:])
+	t.parts = t.parts[:len(t.parts)-1]
+
+	if err := t.writeRoutingPage(); err != nil {
+		return stats, err
+	}
+	stats.PointerUpdates++
+	t.repartitions++
+	t.logRepartition()
+	return stats, nil
+}
+
+// MoveBoundary moves the lower boundary of partition i (i >= 1) to newStart,
+// shifting data between partition i-1 and partition i without changing the
+// number of partitions.  This is the operation the partition manager uses to
+// rebalance load when the access skew changes (the Figure 8 scenario: 40 MB
+// of a 50 MB table migrates from the hot partition to the cold one by moving
+// a single boundary).
+func (t *Tree) MoveBoundary(i int, newStart []byte) (RepartitionStats, error) {
+	var stats RepartitionStats
+	if len(newStart) == 0 {
+		return stats, ErrBadBoundary
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i <= 0 || i >= len(t.parts) {
+		return stats, ErrNoSuchPart
+	}
+	oldStart := t.parts[i].Start
+	if bytes.Equal(oldStart, newStart) {
+		return stats, nil
+	}
+	lo := t.parts[i-1].Start
+	var hi []byte
+	if i+1 < len(t.parts) {
+		hi = t.parts[i+1].Start
+	}
+	if (lo != nil && bytes.Compare(newStart, lo) <= 0) || (hi != nil && bytes.Compare(newStart, hi) >= 0) {
+		return stats, fmt.Errorf("%w: new boundary outside the adjacent partitions", ErrBadBoundary)
+	}
+
+	switch bytes.Compare(newStart, oldStart) {
+	case -1:
+		// The boundary moves left: a suffix of partition i-1 joins
+		// partition i.  Slice partition i-1 at newStart, then meld the
+		// sliced-off piece with partition i.
+		piece, st, err := t.parts[i-1].Tree.SliceAt(newStart)
+		if err != nil {
+			return stats, err
+		}
+		stats.addSlice(st)
+		merged, mst, err := btree.Meld(piece, t.parts[i].Tree, oldStart)
+		if err != nil {
+			return stats, err
+		}
+		stats.addMeld(mst)
+		t.parts[i].Tree = merged
+	case 1:
+		// The boundary moves right: a prefix of partition i joins
+		// partition i-1.  Slice partition i at newStart; the left piece
+		// (starting at oldStart) melds into partition i-1 and the right
+		// piece becomes the new partition i.
+		rightPiece, st, err := t.parts[i].Tree.SliceAt(newStart)
+		if err != nil {
+			return stats, err
+		}
+		stats.addSlice(st)
+		merged, mst, err := btree.Meld(t.parts[i-1].Tree, t.parts[i].Tree, oldStart)
+		if err != nil {
+			return stats, err
+		}
+		stats.addMeld(mst)
+		t.parts[i-1].Tree = merged
+		t.parts[i].Tree = rightPiece
+	}
+	t.parts[i].Start = append([]byte(nil), newStart...)
+
+	if err := t.writeRoutingPage(); err != nil {
+		return stats, err
+	}
+	stats.PointerUpdates++
+	t.repartitions++
+	t.logRepartition()
+	return stats, nil
+}

@@ -1,0 +1,289 @@
+// Checkpointing: bounding the log tail that restart recovery must replay.
+package recovery
+
+import (
+	"sync"
+	"time"
+
+	"plp/internal/catalog"
+	"plp/internal/engine"
+	"plp/internal/logrec"
+	"plp/internal/mrbtree"
+	"plp/internal/page"
+	"plp/internal/wal"
+)
+
+// DefaultChunkEntries is the number of snapshot entries packed into one
+// checkpoint log record when the caller does not specify a chunk size.
+const DefaultChunkEntries = 256
+
+// CheckpointStats reports what one Checkpoint call captured.
+type CheckpointStats struct {
+	// BeginLSN and EndLSN delimit the checkpoint records in the log.
+	BeginLSN wal.LSN
+	EndLSN   wal.LSN
+	// Tables is the number of tables captured (secondary indexes included
+	// with their table).
+	Tables int
+	// Entries is the total number of key/value entries captured.
+	Entries int
+	// Chunks is the number of checkpoint chunk records written.
+	Chunks int
+	// Duration is the wall-clock time the system was quiesced.
+	Duration time.Duration
+}
+
+// Checkpoint captures a transactionally consistent snapshot of every table
+// and secondary index of the engine into its log.  The partition workers are
+// quiesced for the duration (the same mechanism repartitioning uses), and
+// the call fails with ErrActiveTxns if transactions are in flight — the
+// caller is responsible for pausing its clients first.
+//
+// chunkEntries controls how many entries each checkpoint record carries;
+// zero selects DefaultChunkEntries.
+func Checkpoint(e *engine.Engine, chunkEntries int) (CheckpointStats, error) {
+	var st CheckpointStats
+	if e.Log() == nil {
+		return st, ErrNoLog
+	}
+	if e.ActiveTxns() > 0 {
+		return st, ErrActiveTxns
+	}
+	if chunkEntries <= 0 {
+		chunkEntries = DefaultChunkEntries
+	}
+	log := e.Log()
+	start := time.Now()
+
+	var snapErr error
+	err := e.Quiesce(func() {
+		first := true
+		emit := func(chunk logrec.CheckpointChunk) {
+			rec := &wal.Record{Type: wal.RecCheckpoint, Payload: logrec.EncodeCheckpointChunk(chunk)}
+			lsn := log.Append(rec)
+			if first {
+				st.BeginLSN = lsn
+				first = false
+			}
+			st.Chunks++
+			st.Entries += len(chunk.Keys)
+		}
+
+		for _, tbl := range e.Catalog().Tables() {
+			st.Tables++
+			if err := snapshotPrimary(tbl, chunkEntries, emit); err != nil {
+				snapErr = err
+				return
+			}
+			for name, idx := range tbl.Secondaries {
+				if err := snapshotIndex(tbl.Def.Name, name, idx, chunkEntries, emit); err != nil {
+					snapErr = err
+					return
+				}
+			}
+		}
+		end := logrec.CheckpointEnd{
+			BeginLSN: uint64(st.BeginLSN),
+			Chunks:   st.Chunks,
+			Tables:   st.Tables,
+		}
+		rec := &wal.Record{Type: wal.RecCheckpoint, Payload: logrec.EncodeCheckpointEnd(end)}
+		st.EndLSN = log.Append(rec)
+		log.Flush(st.EndLSN)
+	})
+	if err == nil {
+		err = snapErr
+	}
+	st.Duration = time.Since(start)
+	return st, err
+}
+
+// snapshotPrimary captures a table's logical contents: key → record image.
+// Non-clustered tables store RIDs in the primary index, so each value is
+// resolved through the heap.
+func snapshotPrimary(tbl *catalog.Table, chunkEntries int, emit func(logrec.CheckpointChunk)) error {
+	chunk := logrec.CheckpointChunk{Table: tbl.Def.Name}
+	var innerErr error
+	flush := func() {
+		if len(chunk.Keys) == 0 {
+			return
+		}
+		emit(chunk)
+		chunk = logrec.CheckpointChunk{Table: tbl.Def.Name}
+	}
+	err := tbl.Primary.Ascend(nil, func(k, v []byte) bool {
+		rec := v
+		if !tbl.Def.Clustered {
+			rid, derr := page.DecodeRID(v)
+			if derr != nil {
+				innerErr = derr
+				return false
+			}
+			rec, derr = tbl.Heap.Get(nil, rid)
+			if derr != nil {
+				innerErr = derr
+				return false
+			}
+		}
+		chunk.Keys = append(chunk.Keys, append([]byte(nil), k...))
+		chunk.Values = append(chunk.Values, append([]byte(nil), rec...))
+		if len(chunk.Keys) >= chunkEntries {
+			flush()
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if innerErr != nil {
+		return innerErr
+	}
+	flush()
+	return nil
+}
+
+// snapshotIndex captures a secondary index: secondary key → primary key.
+func snapshotIndex(table, index string, idx *mrbtree.Tree, chunkEntries int, emit func(logrec.CheckpointChunk)) error {
+	chunk := logrec.CheckpointChunk{Table: table, Index: index}
+	flush := func() {
+		if len(chunk.Keys) == 0 {
+			return
+		}
+		emit(chunk)
+		chunk = logrec.CheckpointChunk{Table: table, Index: index}
+	}
+	err := idx.Ascend(nil, func(k, v []byte) bool {
+		chunk.Keys = append(chunk.Keys, append([]byte(nil), k...))
+		chunk.Values = append(chunk.Values, append([]byte(nil), v...))
+		if len(chunk.Keys) >= chunkEntries {
+			flush()
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	flush()
+	return nil
+}
+
+// Checkpointer periodically checkpoints an engine in the background.  It
+// skips rounds where transactions are in flight rather than blocking the
+// workload; OLTP systems checkpoint opportunistically for exactly this
+// reason.
+type Checkpointer struct {
+	e        *engine.Engine
+	interval time.Duration
+	truncate bool
+
+	mu        sync.Mutex
+	stop      chan struct{}
+	done      chan struct{}
+	taken     int
+	skipped   int
+	truncated int
+	lastStats CheckpointStats
+	lastErr   error
+}
+
+// NewCheckpointer returns a checkpointer for the engine.  interval must be
+// positive.
+func NewCheckpointer(e *engine.Engine, interval time.Duration) *Checkpointer {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Checkpointer{e: e, interval: interval}
+}
+
+// SetTruncate makes the checkpointer truncate the log prefix that precedes
+// each successful checkpoint, reclaiming space that restart recovery no
+// longer needs.  Call it before Start.
+func (c *Checkpointer) SetTruncate(v bool) {
+	c.mu.Lock()
+	c.truncate = v
+	c.mu.Unlock()
+}
+
+// Start launches the background checkpoint loop.  Calling Start twice is a
+// no-op until Stop is called.
+func (c *Checkpointer) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.loop(c.stop, c.done)
+}
+
+// Stop terminates the background loop and waits for it to exit.
+func (c *Checkpointer) Stop() {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// loop is the background body.
+func (c *Checkpointer) loop(stop chan struct{}, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			c.Trigger()
+		}
+	}
+}
+
+// Trigger attempts one checkpoint immediately.  It returns true when a
+// checkpoint was taken, false when it was skipped because transactions were
+// active.
+func (c *Checkpointer) Trigger() bool {
+	st, err := Checkpoint(c.e, 0)
+	c.mu.Lock()
+	truncate := c.truncate
+	if err != nil {
+		c.lastErr = err
+		c.skipped++
+		c.mu.Unlock()
+		return false
+	}
+	c.lastErr = nil
+	c.lastStats = st
+	c.taken++
+	c.mu.Unlock()
+
+	if truncate && st.BeginLSN != wal.InvalidLSN {
+		dropped := c.e.Log().Truncate(st.BeginLSN)
+		c.mu.Lock()
+		c.truncated += dropped
+		c.mu.Unlock()
+	}
+	return true
+}
+
+// Stats returns how many checkpoints were taken and skipped, the stats of
+// the most recent successful one, and the most recent error.
+func (c *Checkpointer) Stats() (taken, skipped int, last CheckpointStats, lastErr error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.taken, c.skipped, c.lastStats, c.lastErr
+}
+
+// TruncatedRecords returns how many log records the checkpointer has
+// reclaimed via truncation.
+func (c *Checkpointer) TruncatedRecords() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.truncated
+}

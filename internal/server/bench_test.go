@@ -1,0 +1,81 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"plp/client"
+	"plp/internal/catalog"
+	"plp/internal/engine"
+	"plp/internal/keyenc"
+)
+
+// benchServer starts a PLP-Leaf server over loopback and returns its
+// address.
+func benchServer(b *testing.B) string {
+	b.Helper()
+	e := engine.New(engine.Options{Design: engine.PLPLeaf, Partitions: 4})
+	boundaries := [][]byte{keyenc.Uint64Key(250_000), keyenc.Uint64Key(500_000), keyenc.Uint64Key(750_000)}
+	if _, err := e.CreateTable(catalog.TableDef{Name: "accounts", Boundaries: boundaries}); err != nil {
+		b.Fatal(err)
+	}
+	srv := New(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	b.Cleanup(func() {
+		_ = srv.Close()
+		_ = e.Close()
+	})
+	return addr
+}
+
+// BenchmarkServerUpsertGet measures single-connection round trips over
+// loopback: one upsert plus one read per iteration.
+func BenchmarkServerUpsertGet(b *testing.B) {
+	addr := benchServer(b)
+	c, err := client.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	val := []byte("balance=100")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := client.Uint64Key(uint64(i%100_000 + 1))
+		if err := c.Upsert("accounts", key, val); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Get("accounts", key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerParallelClients measures throughput with one connection per
+// benchmark goroutine.
+func BenchmarkServerParallelClients(b *testing.B) {
+	addr := benchServer(b)
+	var nextClient int64
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := client.Dial(addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		nextClient++
+		base := uint64(nextClient) * 1_000_000 % 900_000
+		i := 0
+		for pb.Next() {
+			i++
+			key := client.Uint64Key(base + uint64(i%50_000) + 1)
+			if err := c.Upsert("accounts", key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,380 @@
+// Package server exposes a PLP engine over TCP using the wire protocol.
+//
+// Each accepted connection is served by one goroutine that reads framed
+// requests, executes each as one transaction through an engine Session, and
+// writes the framed response.  The partition manager inside the engine does
+// the actual work distribution: the server only translates wire statements
+// into routable actions, exactly the role the "partition manager" layer of
+// Section 3.1 plays for incoming transactions.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plp/internal/engine"
+	"plp/wire"
+)
+
+// ErrClosed is returned by Serve after Close has been called.
+var ErrClosed = errors.New("server: closed")
+
+// Stats reports server activity.
+type Stats struct {
+	// Connections is the number of connections accepted so far.
+	Connections uint64
+	// Requests is the number of transactions processed.
+	Requests uint64
+	// Committed and Aborted split Requests by outcome.
+	Committed uint64
+	Aborted   uint64
+}
+
+// Server serves one engine over a listener.
+type Server struct {
+	e *engine.Engine
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	connections atomic.Uint64
+	requests    atomic.Uint64
+	committed   atomic.Uint64
+	aborted     atomic.Uint64
+}
+
+// New returns a server for the engine.
+func New(e *engine.Engine) *Server {
+	return &Server{e: e, conns: make(map[net.Conn]struct{})}
+}
+
+// Stats returns a snapshot of server activity.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Connections: s.connections.Load(),
+		Requests:    s.requests.Load(),
+		Committed:   s.committed.Load(),
+		Aborted:     s.aborted.Load(),
+	}
+}
+
+// Listen starts listening on addr ("host:port"; ":0" picks a free port) and
+// returns the bound address.  Serve must be called to accept connections.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", ErrClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections until Close is called.  It returns ErrClosed on
+// orderly shutdown.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.listener
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("server: Serve called before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			// Transient accept errors: back off briefly and keep serving.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connections.Add(1)
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe combines Listen and Serve; the bound address is sent on
+// ready (if non-nil) before accepting starts.
+func (s *Server) ListenAndServe(addr string, ready chan<- string) error {
+	bound, err := s.Listen(addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- bound
+	}
+	return s.Serve()
+}
+
+// Close stops accepting, closes every active connection and waits for the
+// per-connection goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serveConn is the per-connection loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	sess := s.e.NewSession()
+	defer sess.Close()
+
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // connection closed or corrupt framing: drop the connection
+		}
+		req, err := wire.DecodeRequest(payload)
+		var resp *wire.Response
+		if err != nil {
+			resp = &wire.Response{Err: fmt.Sprintf("decode: %v", err)}
+		} else {
+			resp = s.execute(sess, req)
+		}
+		if err := wire.WriteFrame(conn, wire.EncodeResponse(resp)); err != nil {
+			return
+		}
+	}
+}
+
+// execute runs one wire request as a transaction.
+func (s *Server) execute(sess *engine.Session, req *wire.Request) *wire.Response {
+	s.requests.Add(1)
+	resp := &wire.Response{ID: req.ID, Results: make([]wire.StatementResult, len(req.Statements))}
+	if len(req.Statements) == 0 {
+		resp.Committed = true
+		s.committed.Add(1)
+		return resp
+	}
+
+	// Pings never touch the engine; a request that is all pings is answered
+	// directly.
+	allPings := true
+	for _, st := range req.Statements {
+		if st.Op != wire.OpPing {
+			allPings = false
+			break
+		}
+	}
+	if allPings {
+		for i, st := range req.Statements {
+			resp.Results[i] = wire.StatementResult{Found: true, Value: append([]byte(nil), st.Value...)}
+		}
+		resp.Committed = true
+		s.committed.Add(1)
+		return resp
+	}
+
+	ereq, err := s.buildRequest(req, resp.Results)
+	if err != nil {
+		resp.Err = err.Error()
+		s.aborted.Add(1)
+		return resp
+	}
+	if _, err := sess.Execute(ereq); err != nil {
+		resp.Err = err.Error()
+		s.aborted.Add(1)
+		return resp
+	}
+	resp.Committed = true
+	s.committed.Add(1)
+	return resp
+}
+
+// buildRequest translates wire statements into a routable engine request.
+// Statements are packed into phases greedily; a statement that touches a key
+// already written in the current phase starts a new phase, preserving the
+// client-visible ordering guarantees while still letting independent
+// statements execute in parallel on different partitions.
+func (s *Server) buildRequest(req *wire.Request, results []wire.StatementResult) (*engine.Request, error) {
+	out := &engine.Request{}
+	var phase []engine.Action
+	touched := make(map[string]struct{})
+
+	flush := func() {
+		if len(phase) > 0 {
+			out.Phases = append(out.Phases, phase)
+			phase = nil
+			touched = make(map[string]struct{})
+		}
+	}
+
+	for i, st := range req.Statements {
+		if st.Op == wire.OpPing {
+			results[i] = wire.StatementResult{Found: true, Value: append([]byte(nil), st.Value...)}
+			continue
+		}
+		if st.Table == "" {
+			return nil, fmt.Errorf("statement %d: missing table", i)
+		}
+		if _, err := s.e.Table(st.Table); err != nil {
+			return nil, fmt.Errorf("statement %d: %v", i, err)
+		}
+
+		if st.Op == wire.OpGetBySecondary {
+			// The paper's pattern for non-partition-aligned indexes: probe
+			// the (latched, conventional) secondary index first, then route
+			// the record access to the partition that owns the primary key
+			// it returned.
+			flush()
+			idx := i
+			stmt := st
+			var primaryKey []byte
+			out.Phases = append(out.Phases, []engine.Action{{
+				Table: stmt.Table,
+				Key:   stmt.Key,
+				Exec: func(c *engine.Ctx) error {
+					pk, err := c.LookupSecondary(stmt.Table, stmt.Index, stmt.Key)
+					if errors.Is(err, engine.ErrNotFound) {
+						results[idx] = wire.StatementResult{Found: false}
+						return nil
+					}
+					if err != nil {
+						results[idx] = wire.StatementResult{Err: err.Error()}
+						return err
+					}
+					primaryKey = pk
+					return nil
+				},
+			}})
+			out.Phases = append(out.Phases, []engine.Action{{
+				Table: stmt.Table,
+				Key:   stmt.Key,
+				KeyFn: func() []byte {
+					if primaryKey != nil {
+						return primaryKey
+					}
+					return stmt.Key
+				},
+				Exec: func(c *engine.Ctx) error {
+					if primaryKey == nil {
+						return nil // the probe missed; result already set
+					}
+					val, err := c.Read(stmt.Table, primaryKey)
+					if err != nil {
+						results[idx] = wire.StatementResult{Err: err.Error()}
+						return err
+					}
+					results[idx] = wire.StatementResult{Found: true, Value: val}
+					return nil
+				},
+			}})
+			continue
+		}
+
+		key := string(st.Key)
+		if _, dup := touched[st.Table+"\x00"+key]; dup {
+			flush()
+		}
+		touched[st.Table+"\x00"+key] = struct{}{}
+
+		idx := i
+		stmt := st
+		phase = append(phase, engine.Action{
+			Table: stmt.Table,
+			Key:   stmt.Key,
+			Exec: func(c *engine.Ctx) error {
+				res, err := execStatement(c, stmt)
+				if err != nil {
+					results[idx] = wire.StatementResult{Err: err.Error()}
+					return err
+				}
+				results[idx] = res
+				return nil
+			},
+		})
+	}
+	flush()
+	return out, nil
+}
+
+// execStatement performs one statement through the data-access layer.
+func execStatement(c *engine.Ctx, st wire.Statement) (wire.StatementResult, error) {
+	switch st.Op {
+	case wire.OpGet:
+		val, err := c.Read(st.Table, st.Key)
+		if errors.Is(err, engine.ErrNotFound) {
+			return wire.StatementResult{Found: false}, nil
+		}
+		if err != nil {
+			return wire.StatementResult{}, err
+		}
+		return wire.StatementResult{Found: true, Value: val}, nil
+	case wire.OpInsert:
+		return wire.StatementResult{Found: true}, c.Insert(st.Table, st.Key, st.Value)
+	case wire.OpUpdate:
+		return wire.StatementResult{Found: true}, c.Update(st.Table, st.Key, st.Value)
+	case wire.OpUpsert:
+		exists, err := c.Exists(st.Table, st.Key)
+		if err != nil {
+			return wire.StatementResult{}, err
+		}
+		if exists {
+			return wire.StatementResult{Found: true}, c.Update(st.Table, st.Key, st.Value)
+		}
+		return wire.StatementResult{Found: true}, c.Insert(st.Table, st.Key, st.Value)
+	case wire.OpDelete:
+		return wire.StatementResult{Found: true}, c.Delete(st.Table, st.Key)
+	case wire.OpInsertSecondary:
+		return wire.StatementResult{Found: true}, c.InsertSecondary(st.Table, st.Index, st.Key, st.Value)
+	default:
+		return wire.StatementResult{}, fmt.Errorf("unsupported op %v", st.Op)
+	}
+}

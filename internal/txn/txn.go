@@ -1,0 +1,348 @@
+// Package txn implements transactions and the transaction manager.
+//
+// A transaction carries its identity, its lock footprint, its log chain and
+// a per-transaction time breakdown (how long it spent waiting for index
+// latches, heap latches, database locks, structure modifications and the
+// log), which is what the paper's Figures 6, 7 and 10 report.
+//
+// The transaction manager keeps the active-transaction table.  Entering and
+// leaving it are fixed-contention critical sections (threads only serialize
+// on the transaction object's own state), reported under the XctMgr
+// category.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plp/internal/cs"
+	"plp/internal/lock"
+	"plp/internal/wal"
+)
+
+// State is the lifecycle state of a transaction.
+type State int32
+
+// Transaction states.
+const (
+	Active State = iota
+	Committed
+	Aborted
+)
+
+// String returns the state label.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Errors returned by transaction operations.
+var (
+	ErrNotActive = errors.New("txn: transaction is not active")
+	ErrAborted   = errors.New("txn: transaction aborted")
+)
+
+// WaitKind classifies where a transaction spent blocked time, matching the
+// time-breakdown legends of Figures 6, 7 and 10.
+type WaitKind int
+
+// Wait kinds.
+const (
+	WaitIndexLatch WaitKind = iota
+	WaitHeapLatch
+	WaitLock
+	WaitSMO
+	WaitLog
+	WaitQueue // time an action spent queued on a partition worker
+
+	NumWaitKinds int = iota
+)
+
+// String returns the label used in reports.
+func (k WaitKind) String() string {
+	switch k {
+	case WaitIndexLatch:
+		return "Idx Latch Cont."
+	case WaitHeapLatch:
+		return "Heap Latch Cont."
+	case WaitLock:
+		return "Lock Cont."
+	case WaitSMO:
+		return "SMO Wait"
+	case WaitLog:
+		return "Log Wait"
+	case WaitQueue:
+		return "Queue Wait"
+	default:
+		return fmt.Sprintf("WaitKind(%d)", int(k))
+	}
+}
+
+// Breakdown accumulates blocked time per wait kind plus operation counts.
+// All fields are updated atomically because DORA/PLP execute the actions of
+// one transaction on several partition workers.
+type Breakdown struct {
+	waits   [NumWaitKinds]atomic.Int64
+	latches atomic.Uint64 // number of latch acquisitions performed
+}
+
+// AddWait records blocked time of the given kind.
+func (b *Breakdown) AddWait(kind WaitKind, d time.Duration) {
+	if b == nil || d <= 0 {
+		return
+	}
+	if kind < 0 || int(kind) >= NumWaitKinds {
+		return
+	}
+	b.waits[kind].Add(int64(d))
+}
+
+// AddLatch counts one latch acquisition.
+func (b *Breakdown) AddLatch() {
+	if b == nil {
+		return
+	}
+	b.latches.Add(1)
+}
+
+// Wait returns the accumulated blocked time of the given kind.
+func (b *Breakdown) Wait(kind WaitKind) time.Duration {
+	if b == nil {
+		return 0
+	}
+	return time.Duration(b.waits[kind].Load())
+}
+
+// Latches returns the number of latch acquisitions counted.
+func (b *Breakdown) Latches() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.latches.Load()
+}
+
+// Totals returns a plain-struct copy of the breakdown.
+type Totals struct {
+	Waits   [NumWaitKinds]time.Duration
+	Latches uint64
+}
+
+// Totals returns the accumulated values.
+func (b *Breakdown) Totals() Totals {
+	var t Totals
+	if b == nil {
+		return t
+	}
+	for i := 0; i < NumWaitKinds; i++ {
+		t.Waits[i] = time.Duration(b.waits[i].Load())
+	}
+	t.Latches = b.latches.Load()
+	return t
+}
+
+// UndoFunc reverses one logical update when a transaction aborts.
+type UndoFunc func() error
+
+// Txn is a single transaction.
+type Txn struct {
+	id    uint64
+	state atomic.Int32
+
+	mu        sync.Mutex
+	lockNames []lock.Name
+	undo      []UndoFunc
+	lastLSN   wal.LSN
+
+	Breakdown Breakdown
+
+	start time.Time
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// State returns the current state.
+func (t *Txn) State() State { return State(t.state.Load()) }
+
+// Start returns the wall-clock time the transaction began.
+func (t *Txn) Start() time.Time { return t.start }
+
+// RecordLock remembers that the transaction acquired the named lock so it
+// can be released at commit/abort.
+func (t *Txn) RecordLock(n lock.Name) {
+	t.mu.Lock()
+	t.lockNames = append(t.lockNames, n)
+	t.mu.Unlock()
+}
+
+// LockNames returns the names of all locks acquired by the transaction.
+func (t *Txn) LockNames() []lock.Name {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]lock.Name(nil), t.lockNames...)
+}
+
+// PushUndo registers an undo action to run (in reverse order) on abort.
+func (t *Txn) PushUndo(f UndoFunc) {
+	t.mu.Lock()
+	t.undo = append(t.undo, f)
+	t.mu.Unlock()
+}
+
+// SetLastLSN records the LSN of the transaction's most recent log record.
+func (t *Txn) SetLastLSN(lsn wal.LSN) {
+	t.mu.Lock()
+	if lsn > t.lastLSN {
+		t.lastLSN = lsn
+	}
+	t.mu.Unlock()
+}
+
+// LastLSN returns the LSN of the transaction's most recent log record.
+func (t *Txn) LastLSN() wal.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastLSN
+}
+
+// Manager creates, commits and aborts transactions.
+type Manager struct {
+	nextID atomic.Uint64
+	log    wal.Log
+	locks  *lock.Manager
+	cstats *cs.Stats
+
+	mu     sync.Mutex
+	active map[uint64]*Txn
+
+	committed atomic.Uint64
+	aborted   atomic.Uint64
+}
+
+// NewManager returns a transaction manager.  log is required; locks may be
+// nil when the engine uses thread-local locking (DORA/PLP); cstats may be
+// nil.
+func NewManager(log wal.Log, locks *lock.Manager, cstats *cs.Stats) *Manager {
+	return &Manager{
+		log:    log,
+		locks:  locks,
+		cstats: cstats,
+		active: make(map[uint64]*Txn),
+	}
+}
+
+// Begin starts a new transaction.
+func (m *Manager) Begin() *Txn {
+	t := &Txn{
+		id:    m.nextID.Add(1),
+		start: time.Now(),
+	}
+	t.state.Store(int32(Active))
+
+	contended := !m.mu.TryLock()
+	if contended {
+		m.mu.Lock()
+	}
+	m.active[t.id] = t
+	m.mu.Unlock()
+	m.cstats.RecordClass(cs.XctMgr, cs.Fixed, contended)
+	return t
+}
+
+// Commit writes the commit record, flushes the log up to it, releases the
+// transaction's centralized locks (unless they were inherited via SLI by the
+// caller beforehand) and retires the transaction.
+func (m *Manager) Commit(t *Txn) error {
+	if !t.state.CompareAndSwap(int32(Active), int32(Committed)) {
+		return ErrNotActive
+	}
+	rec := &wal.Record{Txn: t.id, Type: wal.RecCommit, PrevLSN: t.LastLSN()}
+	logStart := time.Now()
+	lsn := m.log.Append(rec)
+	m.log.Flush(lsn)
+	t.Breakdown.AddWait(WaitLog, time.Since(logStart))
+	t.SetLastLSN(lsn)
+
+	if m.locks != nil {
+		m.locks.ReleaseAll(t.id, t.LockNames())
+	}
+	m.retire(t)
+	m.committed.Add(1)
+	return nil
+}
+
+// Abort runs the transaction's undo actions in reverse order, writes an
+// abort record, releases locks and retires the transaction.
+func (m *Manager) Abort(t *Txn) error {
+	if !t.state.CompareAndSwap(int32(Active), int32(Aborted)) {
+		return ErrNotActive
+	}
+	t.mu.Lock()
+	undo := append([]UndoFunc(nil), t.undo...)
+	t.mu.Unlock()
+	var firstErr error
+	for i := len(undo) - 1; i >= 0; i-- {
+		if err := undo[i](); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	rec := &wal.Record{Txn: t.id, Type: wal.RecAbort, PrevLSN: t.LastLSN()}
+	lsn := m.log.Append(rec)
+	m.log.Flush(lsn)
+	t.SetLastLSN(lsn)
+
+	if m.locks != nil {
+		m.locks.ReleaseAll(t.id, t.LockNames())
+	}
+	m.retire(t)
+	m.aborted.Add(1)
+	return firstErr
+}
+
+// retire removes the transaction from the active table.
+func (m *Manager) retire(t *Txn) {
+	contended := !m.mu.TryLock()
+	if contended {
+		m.mu.Lock()
+	}
+	delete(m.active, t.id)
+	m.mu.Unlock()
+	m.cstats.RecordClass(cs.XctMgr, cs.Fixed, contended)
+}
+
+// NumActive returns the number of in-flight transactions.
+func (m *Manager) NumActive() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Stats reports commit/abort counts.
+type Stats struct {
+	Committed uint64
+	Aborted   uint64
+}
+
+// Stats returns commit/abort counters.
+func (m *Manager) Stats() Stats {
+	return Stats{Committed: m.committed.Load(), Aborted: m.aborted.Load()}
+}
+
+// Log returns the manager's log (used by access methods to append records
+// on behalf of a transaction).
+func (m *Manager) Log() wal.Log { return m.log }
+
+// Locks returns the centralized lock manager, or nil when the engine uses
+// thread-local locking.
+func (m *Manager) Locks() *lock.Manager { return m.locks }

@@ -1,0 +1,178 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"plp/internal/cs"
+	"plp/internal/lock"
+	"plp/internal/wal"
+)
+
+func newManager() (*Manager, wal.Log, *lock.Manager) {
+	cstats := &cs.Stats{}
+	log := wal.NewConsolidated(cstats)
+	locks := lock.NewManager(cstats)
+	return NewManager(log, locks, cstats), log, locks
+}
+
+func TestBeginCommit(t *testing.T) {
+	m, log, _ := newManager()
+	tx := m.Begin()
+	if tx.State() != Active {
+		t.Fatal("new transaction not active")
+	}
+	if m.NumActive() != 1 {
+		t.Fatal("active table wrong")
+	}
+	lsn := log.Append(&wal.Record{Txn: tx.ID(), Type: wal.RecUpdate})
+	tx.SetLastLSN(lsn)
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != Committed || m.NumActive() != 0 {
+		t.Fatal("commit did not retire the transaction")
+	}
+	if m.Stats().Committed != 1 {
+		t.Fatal("commit not counted")
+	}
+	// The commit record must be durable.
+	if log.DurableLSN() < tx.LastLSN() {
+		t.Fatal("commit record not flushed")
+	}
+	// Double commit is rejected.
+	if err := m.Commit(tx); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+func TestAbortRunsUndoInReverse(t *testing.T) {
+	m, _, _ := newManager()
+	tx := m.Begin()
+	var order []int
+	tx.PushUndo(func() error { order = append(order, 1); return nil })
+	tx.PushUndo(func() error { order = append(order, 2); return nil })
+	tx.PushUndo(func() error { order = append(order, 3); return nil })
+	if err := m.Abort(tx); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 3 || order[2] != 1 {
+		t.Fatalf("undo order wrong: %v", order)
+	}
+	if tx.State() != Aborted || m.Stats().Aborted != 1 {
+		t.Fatal("abort not recorded")
+	}
+}
+
+func TestAbortReportsUndoError(t *testing.T) {
+	m, _, _ := newManager()
+	tx := m.Begin()
+	sentinel := errors.New("undo failed")
+	tx.PushUndo(func() error { return sentinel })
+	if err := m.Abort(tx); !errors.Is(err, sentinel) {
+		t.Fatalf("expected undo error, got %v", err)
+	}
+}
+
+func TestCommitReleasesLocks(t *testing.T) {
+	m, _, locks := newManager()
+	tx := m.Begin()
+	name := lock.KeyName(1, 5)
+	if _, err := locks.Acquire(tx.ID(), name, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	tx.RecordLock(name)
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Another transaction must be able to take the lock immediately.
+	other := m.Begin()
+	locks.SetTimeout(50 * time.Millisecond)
+	if _, err := locks.Acquire(other.ID(), name, lock.X); err != nil {
+		t.Fatalf("lock not released at commit: %v", err)
+	}
+}
+
+func TestBreakdownAccumulates(t *testing.T) {
+	var b Breakdown
+	b.AddWait(WaitIndexLatch, 10*time.Millisecond)
+	b.AddWait(WaitIndexLatch, 5*time.Millisecond)
+	b.AddWait(WaitHeapLatch, 3*time.Millisecond)
+	b.AddWait(WaitLock, -time.Millisecond) // ignored
+	b.AddLatch()
+	b.AddLatch()
+	if b.Wait(WaitIndexLatch) != 15*time.Millisecond {
+		t.Fatalf("index wait %v", b.Wait(WaitIndexLatch))
+	}
+	if b.Wait(WaitLock) != 0 {
+		t.Fatal("negative wait recorded")
+	}
+	if b.Latches() != 2 {
+		t.Fatal("latch count wrong")
+	}
+	tot := b.Totals()
+	if tot.Waits[WaitHeapLatch] != 3*time.Millisecond || tot.Latches != 2 {
+		t.Fatalf("totals wrong: %+v", tot)
+	}
+	// Nil breakdown must be safe.
+	var nb *Breakdown
+	nb.AddWait(WaitSMO, time.Second)
+	nb.AddLatch()
+	if nb.Wait(WaitSMO) != 0 || nb.Latches() != 0 {
+		t.Fatal("nil breakdown not inert")
+	}
+}
+
+func TestConcurrentBeginCommit(t *testing.T) {
+	m, _, _ := newManager()
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const per = 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tx := m.Begin()
+				if i%5 == 0 {
+					_ = m.Abort(tx)
+				} else {
+					_ = m.Commit(tx)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Committed+st.Aborted != goroutines*per {
+		t.Fatalf("lost transactions: %+v", st)
+	}
+	if m.NumActive() != 0 {
+		t.Fatalf("%d transactions leaked", m.NumActive())
+	}
+}
+
+func TestWaitKindAndStateLabels(t *testing.T) {
+	for k := WaitKind(0); int(k) < NumWaitKinds; k++ {
+		if k.String() == "" {
+			t.Fatalf("missing label for wait kind %d", k)
+		}
+	}
+	for _, s := range []State{Active, Committed, Aborted} {
+		if s.String() == "" {
+			t.Fatal("missing state label")
+		}
+	}
+}
+
+func TestXctMgrCriticalSections(t *testing.T) {
+	cstats := &cs.Stats{}
+	m := NewManager(wal.NewConsolidated(cstats), nil, cstats)
+	tx := m.Begin()
+	_ = m.Commit(tx)
+	if cstats.Snapshot().Entered[cs.XctMgr] < 2 {
+		t.Fatal("transaction manager critical sections not recorded")
+	}
+}

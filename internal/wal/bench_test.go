@@ -1,0 +1,32 @@
+package wal
+
+import (
+	"testing"
+
+	"plp/internal/cs"
+)
+
+// BenchmarkAppendConsolidated measures the Aether-style append path under
+// full parallelism; adding goroutines should not add contention
+// (a composable critical section).
+func BenchmarkAppendConsolidated(b *testing.B) {
+	l := NewConsolidated(&cs.Stats{})
+	payload := make([]byte, 48)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Append(&Record{Txn: 1, Type: RecUpdate, Payload: payload})
+		}
+	})
+}
+
+// BenchmarkAppendNaive measures the single-mutex baseline used by the
+// log-buffer ablation.
+func BenchmarkAppendNaive(b *testing.B) {
+	l := NewNaive(&cs.Stats{})
+	payload := make([]byte, 48)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Append(&Record{Txn: 1, Type: RecUpdate, Payload: payload})
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package wal
+
+import (
+	"testing"
+)
+
+// fillLog appends n update records and flushes everything.
+func fillLog(l Log, n int) []LSN {
+	var lsns []LSN
+	for i := 0; i < n; i++ {
+		lsn := l.Append(&Record{Txn: uint64(i + 1), Type: RecUpdate, Payload: []byte("payload")})
+		lsns = append(lsns, lsn)
+	}
+	l.Flush(l.CurrentLSN())
+	return lsns
+}
+
+func TestTruncateDropsPrefix(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func() Log
+	}{
+		{"consolidated", func() Log { return NewConsolidated(nil) }},
+		{"naive", func() Log { return NewNaive(nil) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			l := mk.new()
+			lsns := fillLog(l, 100)
+			cut := lsns[60]
+			dropped := l.Truncate(cut)
+			if dropped != 60 {
+				t.Fatalf("dropped %d records, want 60", dropped)
+			}
+			recs := l.Records()
+			if len(recs) != 40 {
+				t.Fatalf("%d records remain, want 40", len(recs))
+			}
+			for _, r := range recs {
+				if r.LSN < cut {
+					t.Fatalf("record with LSN %d < cut %d survived truncation", r.LSN, cut)
+				}
+			}
+			if st := l.Stats(); st.Truncated != 60 {
+				t.Fatalf("stats report %d truncated, want 60", st.Truncated)
+			}
+			// Truncating again at the same point is a no-op.
+			if l.Truncate(cut) != 0 {
+				t.Fatal("second truncation dropped records")
+			}
+			// Appending after truncation keeps assigning increasing LSNs.
+			newLSN := l.Append(&Record{Txn: 999, Type: RecCommit})
+			if newLSN <= lsns[len(lsns)-1] {
+				t.Fatal("LSNs went backwards after truncation")
+			}
+		})
+	}
+}
+
+func TestTruncateNeverPassesDurable(t *testing.T) {
+	l := NewConsolidated(nil)
+	var last LSN
+	for i := 0; i < 10; i++ {
+		last = l.Append(&Record{Txn: uint64(i + 1), Type: RecUpdate})
+	}
+	// Nothing has been flushed: durable is still 0, so truncation must not
+	// remove anything even when asked to drop everything.
+	if dropped := l.Truncate(last + 1000); dropped != 0 {
+		t.Fatalf("truncated %d records beyond the durable horizon", dropped)
+	}
+	l.Flush(last)
+	if dropped := l.Truncate(last + 1000); dropped != 9 {
+		// All records strictly below `last` are droppable once durable.
+		t.Fatalf("dropped %d records after flush, want 9", dropped)
+	}
+}

@@ -1,0 +1,158 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+
+	"plp/internal/cs"
+	"plp/internal/page"
+)
+
+func testLogs(cstats *cs.Stats) map[string]Log {
+	return map[string]Log{
+		"consolidated": NewConsolidated(cstats),
+		"naive":        NewNaive(cstats),
+	}
+}
+
+func TestAppendAssignsIncreasingLSNs(t *testing.T) {
+	for name, l := range testLogs(&cs.Stats{}) {
+		t.Run(name, func(t *testing.T) {
+			var prev LSN
+			for i := 0; i < 100; i++ {
+				rec := &Record{Txn: uint64(i), Type: RecUpdate, Page: page.ID(i), Payload: []byte("p")}
+				lsn := l.Append(rec)
+				if lsn <= prev {
+					t.Fatalf("LSN not increasing: %d after %d", lsn, prev)
+				}
+				prev = lsn
+			}
+			if l.CurrentLSN() <= prev {
+				t.Fatal("current LSN should exceed the last appended record")
+			}
+		})
+	}
+}
+
+func TestFlushAdvancesDurableLSN(t *testing.T) {
+	for name, l := range testLogs(&cs.Stats{}) {
+		t.Run(name, func(t *testing.T) {
+			lsn := l.Append(&Record{Txn: 1, Type: RecCommit})
+			if l.DurableLSN() >= lsn+LSN(1) {
+				t.Fatal("durable LSN ahead of appends")
+			}
+			d := l.Flush(lsn + 1)
+			if d < lsn {
+				t.Fatalf("flush did not reach %d: %d", lsn, d)
+			}
+			if l.DurableLSN() != d {
+				t.Fatal("durable LSN inconsistent")
+			}
+			// Flushing backwards must not regress.
+			if l.Flush(1) < d {
+				t.Fatal("durable LSN regressed")
+			}
+		})
+	}
+}
+
+func TestRecordsReturnedInOrder(t *testing.T) {
+	for name, l := range testLogs(&cs.Stats{}) {
+		t.Run(name, func(t *testing.T) {
+			const n = 200
+			for i := 0; i < n; i++ {
+				l.Append(&Record{Txn: uint64(i), Type: RecInsert})
+			}
+			recs := l.Records()
+			if len(recs) != n {
+				t.Fatalf("got %d records", len(recs))
+			}
+			for i := 1; i < len(recs); i++ {
+				if recs[i].LSN <= recs[i-1].LSN {
+					t.Fatal("records not sorted by LSN")
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentAppendsNoLostRecords(t *testing.T) {
+	for name, l := range testLogs(&cs.Stats{}) {
+		t.Run(name, func(t *testing.T) {
+			const goroutines = 8
+			const per = 500
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						l.Append(&Record{Txn: uint64(g), Type: RecUpdate, Payload: []byte{byte(i)}})
+					}
+				}(g)
+			}
+			wg.Wait()
+			if got := l.Stats().Appends; got != goroutines*per {
+				t.Fatalf("lost appends: %d", got)
+			}
+			recs := l.Records()
+			if len(recs) != goroutines*per {
+				t.Fatalf("records lost: %d", len(recs))
+			}
+			seen := make(map[LSN]bool, len(recs))
+			for _, r := range recs {
+				if seen[r.LSN] {
+					t.Fatalf("duplicate LSN %d", r.LSN)
+				}
+				seen[r.LSN] = true
+			}
+		})
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	r := Record{LSN: 100, PrevLSN: 50, Txn: 7, Type: RecDelete, Page: 42, Payload: []byte("payload")}
+	got, err := UnmarshalRecord(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LSN != r.LSN || got.PrevLSN != r.PrevLSN || got.Txn != r.Txn ||
+		got.Type != r.Type || got.Page != r.Page || string(got.Payload) != "payload" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := UnmarshalRecord([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short record accepted")
+	}
+}
+
+func TestLogManagerCriticalSectionClassification(t *testing.T) {
+	cstats := &cs.Stats{}
+	l := NewConsolidated(cstats)
+	for i := 0; i < 50; i++ {
+		l.Append(&Record{Txn: 1, Type: RecUpdate})
+	}
+	snap := cstats.Snapshot()
+	if snap.Entered[cs.LogMgr] != 50 {
+		t.Fatalf("log manager CS not recorded: %d", snap.Entered[cs.LogMgr])
+	}
+	if snap.ByClass[cs.Composable] != 50 {
+		t.Fatalf("consolidated appends should be composable: %+v", snap.ByClass)
+	}
+
+	cstats2 := &cs.Stats{}
+	n := NewNaive(cstats2)
+	for i := 0; i < 50; i++ {
+		n.Append(&Record{Txn: 1, Type: RecUpdate})
+	}
+	if cstats2.Snapshot().ByClass[cs.Unscalable] != 50 {
+		t.Fatal("naive appends should be unscalable")
+	}
+}
+
+func TestRecordTypeLabels(t *testing.T) {
+	for _, ty := range []RecordType{RecInsert, RecDelete, RecUpdate, RecCommit, RecAbort, RecSMO, RecRepartition, RecCheckpoint} {
+		if ty.String() == "" {
+			t.Fatalf("missing label for %d", ty)
+		}
+	}
+}

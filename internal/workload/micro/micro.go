@@ -1,0 +1,195 @@
+// Package micro implements the microbenchmarks of the paper's evaluation:
+//
+//   - ProbeInsert: a single-table workload that mixes index probes with
+//     record inserts at a configurable ratio, used by the Appendix B
+//     experiment on parallel structure-modification operations (Figure 10).
+//   - Fragmentation: a bulk loader of fixed-size records used by the heap
+//     space-overhead and scan-time experiments (Figures 11 and 12).
+package micro
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"plp/internal/catalog"
+	"plp/internal/engine"
+	"plp/internal/keyenc"
+)
+
+// ProbeInsertTable is the table used by the probe/insert microbenchmark.
+const ProbeInsertTable = "micro_probe_insert"
+
+// ProbeInsertConfig configures the probe/insert microbenchmark.
+type ProbeInsertConfig struct {
+	// InitialRows is the number of rows loaded before the run.
+	InitialRows int
+	// InsertPercent is the fraction (0-100) of requests that insert a new
+	// row; the rest probe existing rows.
+	InsertPercent int
+	// RecordSize is the record payload size in bytes.
+	RecordSize int
+	// Partitions must match the engine's partition count.
+	Partitions int
+}
+
+// ProbeInsert is the probe/insert microbenchmark.
+type ProbeInsert struct {
+	cfg    ProbeInsertConfig
+	nextID atomic.Uint64
+}
+
+// NewProbeInsert returns a probe/insert workload.
+func NewProbeInsert(cfg ProbeInsertConfig) *ProbeInsert {
+	if cfg.InitialRows <= 0 {
+		cfg.InitialRows = 10000
+	}
+	if cfg.RecordSize <= 0 {
+		cfg.RecordSize = 100
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	w := &ProbeInsert{cfg: cfg}
+	w.nextID.Store(uint64(cfg.InitialRows))
+	return w
+}
+
+// Name implements the harness workload interface.
+func (w *ProbeInsert) Name() string {
+	return fmt.Sprintf("micro-probe-insert-%d%%", w.cfg.InsertPercent)
+}
+
+// Boundaries returns the partition boundaries.  New rows get ever-larger
+// ids, so the key space is sized generously ahead of the initial rows.
+func (w *ProbeInsert) Boundaries() [][]byte {
+	max := uint64(w.cfg.InitialRows) * 16
+	if w.cfg.Partitions <= 1 {
+		return nil
+	}
+	out := make([][]byte, 0, w.cfg.Partitions-1)
+	for i := 1; i < w.cfg.Partitions; i++ {
+		out = append(out, keyenc.Uint64Key(max*uint64(i)/uint64(w.cfg.Partitions)+1))
+	}
+	return out
+}
+
+// Setup creates and loads the table.
+func (w *ProbeInsert) Setup(e *engine.Engine) error {
+	if _, err := e.CreateTable(catalog.TableDef{
+		Name:       ProbeInsertTable,
+		Boundaries: w.Boundaries(),
+	}); err != nil {
+		return err
+	}
+	l := e.NewLoader()
+	rec := make([]byte, w.cfg.RecordSize)
+	for i := 1; i <= w.cfg.InitialRows; i++ {
+		if err := l.Insert(ProbeInsertTable, keyenc.Uint64Key(uint64(i)), rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NextRequest issues a probe or an insert according to the configured mix.
+// Inserts spread across the whole key space so that every partition (and
+// every sub-tree of an MRBTree) takes splits.
+func (w *ProbeInsert) NextRequest(rng *rand.Rand) *engine.Request {
+	if rng.Intn(100) < w.cfg.InsertPercent {
+		// Insert a fresh key: interleave new ids across the key space by
+		// salting the sequential id with a partition-spreading stride.
+		seq := w.nextID.Add(1)
+		max := uint64(w.cfg.InitialRows) * 16
+		key := keyenc.Uint64Key((seq*2654435761)%max + 1)
+		rec := make([]byte, w.cfg.RecordSize)
+		return engine.NewRequest(engine.Action{
+			Table: ProbeInsertTable,
+			Key:   key,
+			Exec: func(c *engine.Ctx) error {
+				err := c.Insert(ProbeInsertTable, key, rec)
+				if err != nil && isDuplicate(err) {
+					return nil
+				}
+				return err
+			},
+		})
+	}
+	key := keyenc.Uint64Key(1 + uint64(rng.Int63n(int64(w.cfg.InitialRows))))
+	return engine.NewRequest(engine.Action{
+		Table: ProbeInsertTable,
+		Key:   key,
+		Exec: func(c *engine.Ctx) error {
+			_, err := c.Read(ProbeInsertTable, key)
+			if err != nil && isNotFound(err) {
+				return nil
+			}
+			return err
+		},
+	})
+}
+
+// Verify checks that the initially loaded rows are still present.
+func (w *ProbeInsert) Verify(e *engine.Engine) error {
+	l := e.NewLoader()
+	step := w.cfg.InitialRows / 50
+	if step == 0 {
+		step = 1
+	}
+	for i := 1; i <= w.cfg.InitialRows; i += step {
+		if _, err := l.Read(ProbeInsertTable, keyenc.Uint64Key(uint64(i))); err != nil {
+			return fmt.Errorf("micro verify: row %d missing: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FragmentationTable is the table used by the heap-fragmentation experiment.
+const FragmentationTable = "micro_fragmentation"
+
+// FragmentationConfig configures the Figure 11/12 loader.
+type FragmentationConfig struct {
+	// Records is the number of records to load.
+	Records int
+	// RecordSize is the record size in bytes (the paper uses 100 and 1000).
+	RecordSize int
+	// Partitions must match the engine's partition count.
+	Partitions int
+}
+
+// LoadFragmentation creates the table and loads Records records of
+// RecordSize bytes, returning the resulting number of heap pages.  Running
+// it against engines of different designs reproduces the space-overhead
+// comparison of Figure 11.
+func LoadFragmentation(e *engine.Engine, cfg FragmentationConfig) (heapPages int, err error) {
+	if cfg.Records <= 0 || cfg.RecordSize <= 0 {
+		return 0, fmt.Errorf("micro: bad fragmentation config %+v", cfg)
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	max := uint64(cfg.Records) + 1
+	var bounds [][]byte
+	for i := 1; i < cfg.Partitions; i++ {
+		bounds = append(bounds, keyenc.Uint64Key(max*uint64(i)/uint64(cfg.Partitions)+1))
+	}
+	tbl, err := e.CreateTable(catalog.TableDef{Name: FragmentationTable, Boundaries: bounds})
+	if err != nil {
+		return 0, err
+	}
+	l := e.NewLoader()
+	rec := make([]byte, cfg.RecordSize)
+	for i := 1; i <= cfg.Records; i++ {
+		if err := l.Insert(FragmentationTable, keyenc.Uint64Key(uint64(i)), rec); err != nil {
+			return 0, err
+		}
+	}
+	if tbl.Heap == nil {
+		return 0, nil
+	}
+	return tbl.Heap.NumPages(), nil
+}
+
+func isDuplicate(err error) bool { return err != nil && errors.Is(err, engine.ErrDuplicate) }
+func isNotFound(err error) bool  { return err != nil && errors.Is(err, engine.ErrNotFound) }

@@ -1,0 +1,92 @@
+package micro
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"plp/internal/engine"
+)
+
+func TestProbeInsertSetupAndRun(t *testing.T) {
+	for _, pct := range []int{0, 50, 100} {
+		pct := pct
+		t.Run(w(pct), func(t *testing.T) {
+			e := engine.New(engine.Options{Design: engine.PLPRegular, Partitions: 4})
+			defer e.Close()
+			wl := NewProbeInsert(ProbeInsertConfig{InitialRows: 500, InsertPercent: pct, RecordSize: 64, Partitions: 4})
+			if err := wl.Setup(e); err != nil {
+				t.Fatal(err)
+			}
+			sess := e.NewSession()
+			defer sess.Close()
+			rng := rand.New(rand.NewSource(1))
+			inserts := 0
+			for i := 0; i < 200; i++ {
+				req := wl.NextRequest(rng)
+				if _, err := sess.Execute(req); err != nil && !errors.Is(err, engine.ErrAborted) {
+					t.Fatalf("request %d: %v", i, err)
+				}
+			}
+			if err := wl.Verify(e); err != nil {
+				t.Fatal(err)
+			}
+			_ = inserts
+			// At 100% inserts the table must have grown.
+			if pct == 100 {
+				tbl, err := e.Table(ProbeInsertTable)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, err := tbl.Primary.Count(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n <= 500 {
+					t.Fatalf("insert-only run did not grow the table: %d rows", n)
+				}
+			}
+		})
+	}
+}
+
+func w(pct int) string { return NewProbeInsert(ProbeInsertConfig{InsertPercent: pct}).Name() }
+
+func TestProbeInsertDefaults(t *testing.T) {
+	wl := NewProbeInsert(ProbeInsertConfig{})
+	if wl.cfg.InitialRows != 10000 || wl.cfg.RecordSize != 100 || wl.cfg.Partitions != 1 {
+		t.Fatalf("defaults wrong: %+v", wl.cfg)
+	}
+	if wl.Boundaries() != nil {
+		t.Fatal("single partition should have no boundaries")
+	}
+}
+
+func TestLoadFragmentationCountsPages(t *testing.T) {
+	badCfg := FragmentationConfig{Records: 0, RecordSize: 100}
+	e := engine.New(engine.Options{Design: engine.Conventional, Partitions: 1})
+	if _, err := LoadFragmentation(e, badCfg); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	e.Close()
+
+	pagesFor := func(design engine.Design) int {
+		e := engine.New(engine.Options{Design: design, Partitions: 4})
+		defer e.Close()
+		pages, err := LoadFragmentation(e, FragmentationConfig{Records: 3000, RecordSize: 100, Partitions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pages
+	}
+	conv := pagesFor(engine.Conventional)
+	leaf := pagesFor(engine.PLPLeaf)
+	if conv == 0 || leaf == 0 {
+		t.Fatal("no pages counted")
+	}
+	// PLP-Leaf scatters records across leaf-owned pages and must use at
+	// least as many pages as the shared pool (the Figure 11 effect).
+	if leaf < conv {
+		t.Fatalf("PLP-Leaf used fewer pages (%d) than Conventional (%d)", leaf, conv)
+	}
+}

@@ -1,0 +1,195 @@
+package tatp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"plp/internal/engine"
+	"plp/internal/keyenc"
+)
+
+func setupEngine(t *testing.T, design engine.Design, subscribers int) (*engine.Engine, *Workload) {
+	t.Helper()
+	e := engine.New(engine.Options{Design: design, Partitions: 4, SLI: design == engine.Conventional})
+	t.Cleanup(func() { _ = e.Close() })
+	w := New(Config{Subscribers: subscribers, Partitions: 4, Mix: MixStandard})
+	if err := w.Setup(e); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	return e, w
+}
+
+func TestSubscriberMarshalRoundTrip(t *testing.T) {
+	s := Subscriber{SID: 42, SubNbr: SubNbrOf(42), MSCLocation: 7, VLRLocation: 9}
+	s.BitFields[3] = true
+	s.HexFields[5] = 0xA
+	s.ByteFields[9] = 0xFF
+	got, err := UnmarshalSubscriber(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SID != 42 || got.SubNbr != SubNbrOf(42) || !got.BitFields[3] ||
+		got.HexFields[5] != 0xA || got.ByteFields[9] != 0xFF || got.VLRLocation != 9 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := UnmarshalSubscriber([]byte{1, 2}); err == nil {
+		t.Fatal("short record accepted")
+	}
+}
+
+func TestKeyOrderingMatchesIDOrder(t *testing.T) {
+	if keyenc.Compare(SubscriberKey(5), SubscriberKey(6)) >= 0 {
+		t.Fatal("subscriber key order broken")
+	}
+	if keyenc.Compare(CallForwardingKey(5, 1, 0), CallForwardingKey(5, 1, 8)) >= 0 {
+		t.Fatal("call forwarding key order broken")
+	}
+	if keyenc.Compare(CallForwardingKey(5, 1, 16), CallForwardingKey(5, 2, 0)) >= 0 {
+		t.Fatal("sf_type must dominate start_time")
+	}
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	e, w := setupEngine(t, engine.PLPLeaf, 200)
+	l := e.NewLoader()
+	// Every subscriber is present and resolvable via the secondary index.
+	for sid := uint64(1); sid <= 200; sid += 13 {
+		rec, err := l.Read(TableSubscriber, SubscriberKey(sid))
+		if err != nil {
+			t.Fatalf("subscriber %d: %v", sid, err)
+		}
+		sub, err := UnmarshalSubscriber(rec)
+		if err != nil || sub.SID != sid {
+			t.Fatalf("subscriber %d decode: %+v %v", sid, sub, err)
+		}
+	}
+	if err := w.Verify(e); err != nil {
+		t.Fatal(err)
+	}
+	// Access-info rows exist for every subscriber (at least ai_type 1).
+	if _, err := l.Read(TableAccessInfo, AccessInfoKey(1, 1)); err != nil {
+		t.Fatalf("access info missing: %v", err)
+	}
+}
+
+func TestStandardMixRunsOnAllDesigns(t *testing.T) {
+	for _, design := range engine.AllDesigns() {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			e, w := setupEngine(t, design, 300)
+			sess := e.NewSession()
+			defer sess.Close()
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 300; i++ {
+				req := w.NextRequest(rng)
+				if _, err := sess.Execute(req); err != nil && !errors.Is(err, engine.ErrAborted) {
+					t.Fatalf("request %d: %v", i, err)
+				}
+			}
+			if e.TxnStats().Committed == 0 {
+				t.Fatal("nothing committed")
+			}
+			if err := w.Verify(e); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+		})
+	}
+}
+
+func TestAllMixesGenerateValidRequests(t *testing.T) {
+	e, _ := setupEngine(t, engine.Logical, 200)
+	sess := e.NewSession()
+	defer sess.Close()
+	rng := rand.New(rand.NewSource(3))
+	for _, mix := range []Mix{MixStandard, MixGetSubscriberData, MixInsertDeleteCallFwd, MixBalanceProbe, MixUpdateLocation} {
+		w := New(Config{Subscribers: 200, Partitions: 4, Mix: mix})
+		if w.Name() == "" {
+			t.Fatal("mix has no name")
+		}
+		for i := 0; i < 50; i++ {
+			req := w.NextRequest(rng)
+			if req.NumActions() == 0 {
+				t.Fatalf("mix %v generated an empty request", mix)
+			}
+			if _, err := sess.Execute(req); err != nil && !errors.Is(err, engine.ErrAborted) {
+				t.Fatalf("mix %v: %v", mix, err)
+			}
+		}
+	}
+}
+
+func TestUpdateLocationChangesVLR(t *testing.T) {
+	e, w := setupEngine(t, engine.PLPRegular, 100)
+	sess := e.NewSession()
+	defer sess.Close()
+	rng := rand.New(rand.NewSource(5))
+	before, _ := e.NewLoader().Read(TableSubscriber, SubscriberKey(10))
+	subBefore, _ := UnmarshalSubscriber(before)
+	var changed bool
+	for i := 0; i < 20 && !changed; i++ {
+		if _, err := sess.Execute(w.UpdateLocation(rng, 10)); err != nil {
+			t.Fatal(err)
+		}
+		after, _ := e.NewLoader().Read(TableSubscriber, SubscriberKey(10))
+		subAfter, _ := UnmarshalSubscriber(after)
+		changed = subAfter.VLRLocation != subBefore.VLRLocation
+	}
+	if !changed {
+		t.Fatal("UpdateLocation never changed the VLR location")
+	}
+}
+
+func TestInsertDeleteCallForwardingRoundTrip(t *testing.T) {
+	e, w := setupEngine(t, engine.PLPLeaf, 100)
+	sess := e.NewSession()
+	defer sess.Close()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		var req *engine.Request
+		if i%2 == 0 {
+			req = w.InsertCallForwarding(rng, uint64(1+i%100))
+		} else {
+			req = w.DeleteCallForwarding(rng, uint64(1+i%100))
+		}
+		if _, err := sess.Execute(req); err != nil && !errors.Is(err, engine.ErrAborted) {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if err := w.Verify(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewBiasesSubscriberChoice(t *testing.T) {
+	w := New(Config{Subscribers: 10000, Partitions: 1})
+	w.SetSkew(0.10, 0.50)
+	rng := rand.New(rand.NewSource(1))
+	hot := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		if w.randomSID(rng) <= 1000 {
+			hot++
+		}
+	}
+	// Expect roughly 50% + 10%*50% = 55% of draws in the hot range.
+	if hot < draws*45/100 || hot > draws*65/100 {
+		t.Fatalf("hot fraction %d/%d outside expected band", hot, draws)
+	}
+}
+
+func TestBoundariesCoverKeySpace(t *testing.T) {
+	w := New(Config{Subscribers: 1000, Partitions: 4})
+	b := w.Boundaries()
+	if len(b) != 3 {
+		t.Fatalf("expected 3 boundaries, got %d", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		if keyenc.Compare(b[i-1], b[i]) >= 0 {
+			t.Fatal("boundaries not increasing")
+		}
+	}
+	if UniformBoundaries(100, 1) != nil {
+		t.Fatal("single partition should have no boundaries")
+	}
+}

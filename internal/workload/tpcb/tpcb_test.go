@@ -1,0 +1,117 @@
+package tpcb
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"plp/internal/engine"
+)
+
+func setup(t *testing.T, design engine.Design) (*engine.Engine, *Workload) {
+	t.Helper()
+	e := engine.New(engine.Options{Design: design, Partitions: 4, SLI: design == engine.Conventional})
+	t.Cleanup(func() { _ = e.Close() })
+	w := New(Config{Branches: 1, AccountsPerBranch: 500, Partitions: 4})
+	if err := w.Setup(e); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	return e, w
+}
+
+func TestLoadAndInitialConsistency(t *testing.T) {
+	e, w := setup(t, engine.Conventional)
+	if err := w.Verify(e); err != nil {
+		t.Fatalf("freshly loaded database inconsistent: %v", err)
+	}
+	l := e.NewLoader()
+	if _, err := l.Read(TableAccount, accountKey(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Read(TableBranch, branchKey(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Read(TableTeller, tellerKey(TellersPerBranch)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	r := row{ID: 9, Balance: -1234}
+	got, err := unmarshalRow(marshalRow(r))
+	if err != nil || got.ID != 9 || got.Balance != -1234 {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+	if _, err := unmarshalRow([]byte{1}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestBalanceConservationAllDesigns(t *testing.T) {
+	for _, design := range engine.AllDesigns() {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			e, w := setup(t, design)
+			const clients = 4
+			const perClient = 150
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					sess := e.NewSession()
+					defer sess.Close()
+					rng := rand.New(rand.NewSource(int64(c + 1)))
+					for i := 0; i < perClient; i++ {
+						if _, err := sess.Execute(w.NextRequest(rng)); err != nil && !errors.Is(err, engine.ErrAborted) {
+							t.Errorf("client %d: %v", c, err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if e.TxnStats().Committed == 0 {
+				t.Fatal("nothing committed")
+			}
+			// The TPC-B invariant: account, teller, branch and history sums
+			// all match, even though each transaction's updates ran as
+			// parallel actions on different partition workers.
+			if err := w.Verify(e); err != nil {
+				t.Fatalf("consistency violated: %v", err)
+			}
+		})
+	}
+}
+
+func TestAccountUpdateIsAtomicUnderAbort(t *testing.T) {
+	e, w := setup(t, engine.PLPLeaf)
+	sess := e.NewSession()
+	defer sess.Close()
+	// A request against a nonexistent account aborts; the teller/branch
+	// updates that may already have run must be rolled back.
+	req := w.AccountUpdate(99999999, 1, 1, 12345, 100)
+	if _, err := sess.Execute(req); err == nil {
+		t.Fatal("expected abort for missing account")
+	}
+	if err := w.Verify(e); err != nil {
+		t.Fatalf("abort left the database inconsistent: %v", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	w := New(Config{})
+	if w.cfg.Branches != 1 || w.cfg.AccountsPerBranch != AccountsPerBranch || w.cfg.Partitions != 1 {
+		t.Fatalf("defaults wrong: %+v", w.cfg)
+	}
+	if w.Name() != "tpcb" {
+		t.Fatal("name wrong")
+	}
+	if w.NumAccounts() != AccountsPerBranch {
+		t.Fatal("NumAccounts wrong")
+	}
+}

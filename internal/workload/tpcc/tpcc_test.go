@@ -1,0 +1,119 @@
+package tpcc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"plp/internal/engine"
+)
+
+func setup(t *testing.T, design engine.Design) (*engine.Engine, *Workload) {
+	t.Helper()
+	e := engine.New(engine.Options{Design: design, Partitions: 2, SLI: design == engine.Conventional})
+	t.Cleanup(func() { _ = e.Close() })
+	w := New(Config{Warehouses: 1, Partitions: 2})
+	if err := w.Setup(e); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	return e, w
+}
+
+func TestLoadPopulatesSchema(t *testing.T) {
+	e, w := setup(t, engine.Conventional)
+	l := e.NewLoader()
+	if _, err := l.Read(TableWarehouse, warehouseKey(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Read(TableDistrict, districtKey(1, DistrictsPerWarehouse)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Read(TableCustomer, customerKey(1, 1, CustomersPerDistrict)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Read(TableItem, itemKey(Items)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Read(TableStock, stockKey(1, Items)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOrderAndPayment(t *testing.T) {
+	e, w := setup(t, engine.Conventional)
+	sess := e.NewSession()
+	defer sess.Close()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		if _, err := sess.Execute(w.NewOrder(rng)); err != nil && !errors.Is(err, engine.ErrAborted) {
+			t.Fatalf("new order %d: %v", i, err)
+		}
+		if _, err := sess.Execute(w.Payment(rng)); err != nil && !errors.Is(err, engine.ErrAborted) {
+			t.Fatalf("payment %d: %v", i, err)
+		}
+	}
+	if e.TxnStats().Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if err := w.Verify(e); err != nil {
+		t.Fatal(err)
+	}
+	// Orders and order lines were created.
+	count := 0
+	if err := e.NewLoader().ReadRange(TableOrders, nil, nil, func(_, _ []byte) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("no orders inserted")
+	}
+}
+
+func TestMixedWorkloadConcurrent(t *testing.T) {
+	for _, design := range []engine.Design{engine.Conventional, engine.Logical, engine.PLPLeaf} {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			e, w := setup(t, design)
+			var wg sync.WaitGroup
+			for c := 0; c < 4; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					sess := e.NewSession()
+					defer sess.Close()
+					rng := rand.New(rand.NewSource(int64(c)))
+					for i := 0; i < 60; i++ {
+						if _, err := sess.Execute(w.NextRequest(rng)); err != nil && !errors.Is(err, engine.ErrAborted) {
+							t.Errorf("client %d: %v", c, err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if err := w.Verify(e); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := balanceRecord{A: 1, B: 2, C: 3, Amount: -77}
+	got, err := unmarshalRec(marshalRec(r))
+	if err != nil || got.A != 1 || got.B != 2 || got.C != 3 || got.Amount != -77 {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+	if _, err := unmarshalRec([]byte{1}); err == nil {
+		t.Fatal("short record accepted")
+	}
+}

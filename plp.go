@@ -1,0 +1,123 @@
+// Package plp is a from-scratch reproduction of "PLP: Page Latch-free
+// Shared-everything OLTP" (Pandis, Tözün, Johnson, Ailamaki — PVLDB 4(10),
+// 2011).
+//
+// The library implements the full storage-manager stack the paper builds
+// on (slotted pages, buffer pool with page latching, ARIES-style write-ahead
+// logging with an Aether-like consolidated buffer, a hierarchical lock
+// manager with Speculative Lock Inheritance, and a latch-crabbing B+Tree),
+// the paper's contributions (the multi-rooted B+Tree and physiological
+// partitioning), and the five execution designs its evaluation compares:
+//
+//	Conventional   — shared-everything, centralized locking + page latching
+//	Logical        — data-oriented (DORA) logical-only partitioning
+//	PLPRegular     — PLP with latch-free index access
+//	PLPPartition   — PLP with partition-owned heap pages
+//	PLPLeaf        — PLP with leaf-owned heap pages (the paper's favourite)
+//
+// # Quick start
+//
+//	eng := plp.New(plp.Options{Design: plp.PLPLeaf, Partitions: 8})
+//	defer eng.Close()
+//
+//	boundaries := [][]byte{plp.Uint64Key(500_000)} // 2 partitions
+//	eng.CreateTable(plp.TableDef{Name: "accounts", Boundaries: boundaries})
+//
+//	sess := eng.NewSession()
+//	req := plp.NewRequest(plp.Action{
+//		Table: "accounts",
+//		Key:   plp.Uint64Key(42),
+//		Exec: func(c *plp.Ctx) error {
+//			return c.Insert("accounts", plp.Uint64Key(42), []byte("hello"))
+//		},
+//	})
+//	res, err := sess.Execute(req)
+//
+// Beyond the core engine the package exposes the operational subsystems a
+// deployment needs (see extensions.go): Checkpoint/Recover and the
+// background Checkpointer for restart recovery over the shared log,
+// NewBalanceMonitor for automatic repartitioning under skew,
+// NewAdvisorTracker for the partition-alignment analysis of Appendix E, and
+// NewServer plus the client and wire packages (and cmd/plpd, cmd/plpctl) for
+// serving an engine over TCP.
+//
+// The workload generators used by the paper's evaluation (TATP, TPC-B, a
+// reduced TPC-C, and the microbenchmarks), the measurement harness and the
+// per-figure experiment drivers live under internal/ and are exercised by
+// cmd/plpbench, the examples, and the benchmark suite in bench_test.go.
+package plp
+
+import (
+	"plp/internal/catalog"
+	"plp/internal/engine"
+	"plp/internal/keyenc"
+)
+
+// Design selects one of the five execution designs of the paper.
+type Design = engine.Design
+
+// The five designs.
+const (
+	Conventional = engine.Conventional
+	Logical      = engine.Logical
+	PLPRegular   = engine.PLPRegular
+	PLPPartition = engine.PLPPartition
+	PLPLeaf      = engine.PLPLeaf
+)
+
+// Options configures an Engine.
+type Options = engine.Options
+
+// Engine is a fully assembled storage manager plus execution design.
+type Engine = engine.Engine
+
+// Session is a client handle; each concurrent client goroutine should use
+// its own Session.
+type Session = engine.Session
+
+// Request is one transaction: phases of routable actions.
+type Request = engine.Request
+
+// Action is one per-partition unit of work within a Request.
+type Action = engine.Action
+
+// Ctx is the design-aware data-access handle passed to Action bodies.
+type Ctx = engine.Ctx
+
+// Result describes a completed request.
+type Result = engine.Result
+
+// TableDef describes a table to create.
+type TableDef = catalog.TableDef
+
+// SecondaryDef describes a secondary index of a table.
+type SecondaryDef = catalog.SecondaryDef
+
+// New creates an engine with the given options.
+func New(opts Options) *Engine { return engine.New(opts) }
+
+// NewRequest builds a single-phase request from the given actions.
+func NewRequest(actions ...Action) *Request { return engine.NewRequest(actions...) }
+
+// AllDesigns lists every design in reporting order.
+func AllDesigns() []Design { return engine.AllDesigns() }
+
+// Uint64Key encodes a uint64 as an order-preserving index key.
+func Uint64Key(v uint64) []byte { return keyenc.Uint64Key(v) }
+
+// CompositeKey encodes a sequence of uint64 components as an
+// order-preserving composite key.
+func CompositeKey(vs ...uint64) []byte { return keyenc.CompositeUint64(vs...) }
+
+// UniformBoundaries splits the key space [1, max] into n contiguous ranges
+// and returns the n-1 internal boundaries, ready to be passed to TableDef.
+func UniformBoundaries(max uint64, n int) [][]byte {
+	if n <= 1 {
+		return nil
+	}
+	out := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, keyenc.Uint64Key(max*uint64(i)/uint64(n)+1))
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+// Package wire defines the client/server protocol of the PLP network
+// front-end (cmd/plpd and package client).
+//
+// The protocol is deliberately small: a client sends one framed Request —
+// an ordered list of statements that execute as a single transaction — and
+// receives one framed Response with a per-statement result and the
+// transaction outcome.  Frames are length-prefixed; payloads use a compact
+// little-endian binary encoding with length-prefixed byte fields.  Only the
+// standard library is used.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrShortPayload  = errors.New("wire: truncated payload")
+	ErrBadOp         = errors.New("wire: unknown operation")
+)
+
+// MaxFrameSize bounds a single frame (requests and responses).  16 MiB is
+// far above anything the engine's 8 KiB pages can produce in one
+// transaction but protects the server from corrupt length prefixes.
+const MaxFrameSize = 16 << 20
+
+// OpType identifies one statement kind.
+type OpType uint8
+
+// Statement operations.
+const (
+	// OpGet reads the record under Key.  A missing key is not an error; the
+	// result has Found=false.
+	OpGet OpType = iota + 1
+	// OpInsert adds a record; a duplicate key aborts the transaction.
+	OpInsert
+	// OpUpdate overwrites an existing record; a missing key aborts.
+	OpUpdate
+	// OpUpsert inserts or overwrites.
+	OpUpsert
+	// OpDelete removes a record; deleting a missing key aborts.
+	OpDelete
+	// OpGetBySecondary resolves Key through the secondary index named by
+	// Index and returns the referenced record.
+	OpGetBySecondary
+	// OpInsertSecondary adds a secondary-index entry mapping Key to Value
+	// (the primary key).
+	OpInsertSecondary
+	// OpPing is a health check; the server echoes Value.
+	OpPing
+)
+
+// String returns the operation mnemonic.
+func (o OpType) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpInsert:
+		return "INSERT"
+	case OpUpdate:
+		return "UPDATE"
+	case OpUpsert:
+		return "UPSERT"
+	case OpDelete:
+		return "DELETE"
+	case OpGetBySecondary:
+		return "GETSEC"
+	case OpInsertSecondary:
+		return "INSSEC"
+	case OpPing:
+		return "PING"
+	default:
+		return fmt.Sprintf("OP(%d)", uint8(o))
+	}
+}
+
+// valid reports whether the op is one the protocol defines.
+func (o OpType) valid() bool { return o >= OpGet && o <= OpPing }
+
+// Statement is one operation within a transaction.
+type Statement struct {
+	// Op selects the operation.
+	Op OpType
+	// Table names the target table (ignored by OpPing).
+	Table string
+	// Index names the secondary index for OpGetBySecondary/OpInsertSecondary.
+	Index string
+	// Key is the primary key (or the secondary key for secondary ops).
+	Key []byte
+	// Value is the record image for writes (or the primary key for
+	// OpInsertSecondary, or the echo payload for OpPing).
+	Value []byte
+}
+
+// Request is one transaction submitted by a client.
+type Request struct {
+	// ID is chosen by the client and echoed in the response so responses can
+	// be matched to requests by higher-level multiplexing clients.
+	ID uint64
+	// Statements execute in order as one transaction.
+	Statements []Statement
+}
+
+// StatementResult is the outcome of one statement.
+type StatementResult struct {
+	// Found reports whether a read found its key.
+	Found bool
+	// Value is the read result (or the ping echo).
+	Value []byte
+	// Err is a non-empty statement error message; any statement error aborts
+	// the whole transaction.
+	Err string
+}
+
+// Response is the server's reply to one Request.
+type Response struct {
+	// ID echoes the request ID.
+	ID uint64
+	// Committed reports whether the transaction committed.
+	Committed bool
+	// Err is the transaction-level error message (empty on commit).
+	Err string
+	// Results holds one entry per statement, in order.
+	Results []StatementResult
+}
+
+// --- binary encoding helpers ---
+
+func appendUint64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendUint32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func appendString(dst []byte, s string) []byte { return appendBytes(dst, []byte(s)) }
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.err = ErrShortPayload
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.buf) {
+		r.err = ErrShortPayload
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+1 > len(r.buf) {
+		r.err = ErrShortPayload
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uint32()
+	if r.err != nil {
+		return nil
+	}
+	if r.off+int(n) > len(r.buf) {
+		r.err = ErrShortPayload
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return out
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+// EncodeRequest serializes a request payload (without the frame header).
+func EncodeRequest(req *Request) []byte {
+	out := appendUint64(nil, req.ID)
+	out = appendUint32(out, uint32(len(req.Statements)))
+	for _, s := range req.Statements {
+		out = append(out, byte(s.Op))
+		out = appendString(out, s.Table)
+		out = appendString(out, s.Index)
+		out = appendBytes(out, s.Key)
+		out = appendBytes(out, s.Value)
+	}
+	return out
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(buf []byte) (*Request, error) {
+	r := &reader{buf: buf}
+	req := &Request{ID: r.uint64()}
+	n := r.uint32()
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		s := Statement{Op: OpType(r.byteVal())}
+		s.Table = r.str()
+		s.Index = r.str()
+		s.Key = r.bytes()
+		s.Value = r.bytes()
+		if r.err == nil && !s.Op.valid() {
+			return nil, fmt.Errorf("%w: %d", ErrBadOp, s.Op)
+		}
+		req.Statements = append(req.Statements, s)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return req, nil
+}
+
+// EncodeResponse serializes a response payload (without the frame header).
+func EncodeResponse(resp *Response) []byte {
+	out := appendUint64(nil, resp.ID)
+	committed := byte(0)
+	if resp.Committed {
+		committed = 1
+	}
+	out = append(out, committed)
+	out = appendString(out, resp.Err)
+	out = appendUint32(out, uint32(len(resp.Results)))
+	for _, res := range resp.Results {
+		found := byte(0)
+		if res.Found {
+			found = 1
+		}
+		out = append(out, found)
+		out = appendBytes(out, res.Value)
+		out = appendString(out, res.Err)
+	}
+	return out
+}
+
+// DecodeResponse parses a response payload.
+func DecodeResponse(buf []byte) (*Response, error) {
+	r := &reader{buf: buf}
+	resp := &Response{ID: r.uint64()}
+	resp.Committed = r.byteVal() == 1
+	resp.Err = r.str()
+	n := r.uint32()
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		var res StatementResult
+		res.Found = r.byteVal() == 1
+		res.Value = r.bytes()
+		res.Err = r.str()
+		resp.Results = append(resp.Results, res)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return resp, nil
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

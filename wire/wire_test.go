@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := &Request{
+		ID: 42,
+		Statements: []Statement{
+			{Op: OpGet, Table: "acct", Key: []byte("k1")},
+			{Op: OpInsert, Table: "acct", Key: []byte("k2"), Value: []byte("v2")},
+			{Op: OpGetBySecondary, Table: "acct", Index: "by_name", Key: []byte("alice")},
+			{Op: OpPing, Value: []byte("hello")},
+			{Op: OpDelete, Table: "acct", Key: nil},
+		},
+	}
+	got, err := DecodeRequest(EncodeRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != req.ID || len(got.Statements) != len(req.Statements) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range req.Statements {
+		w, g := req.Statements[i], got.Statements[i]
+		if w.Op != g.Op || w.Table != g.Table || w.Index != g.Index ||
+			!bytes.Equal(w.Key, g.Key) || !bytes.Equal(w.Value, g.Value) {
+			t.Fatalf("statement %d mismatch: %+v != %+v", i, g, w)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{
+		ID:        7,
+		Committed: true,
+		Results: []StatementResult{
+			{Found: true, Value: []byte("v")},
+			{Found: false},
+			{Err: "boom"},
+		},
+	}
+	got, err := DecodeResponse(EncodeResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, resp)
+	}
+
+	aborted := &Response{ID: 8, Committed: false, Err: "duplicate key"}
+	got, err = DecodeResponse(EncodeResponse(aborted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Committed || got.Err != "duplicate key" {
+		t.Fatalf("aborted response mismatch: %+v", got)
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(id uint64, table, index string, key, value []byte, opSeed uint8) bool {
+		op := OpType(opSeed%uint8(OpPing)) + 1
+		req := &Request{ID: id, Statements: []Statement{{Op: op, Table: table, Index: index, Key: key, Value: value}}}
+		got, err := DecodeRequest(EncodeRequest(req))
+		if err != nil {
+			return false
+		}
+		g := got.Statements[0]
+		return got.ID == id && g.Op == op && g.Table == table && g.Index == index &&
+			bytes.Equal(g.Key, key) && bytes.Equal(g.Value, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeRequest([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short request accepted")
+	}
+	if _, err := DecodeResponse([]byte{1}); err == nil {
+		t.Fatal("short response accepted")
+	}
+	// An out-of-range op must be rejected.
+	bad := EncodeRequest(&Request{ID: 1, Statements: []Statement{{Op: OpType(200), Table: "t"}}})
+	if _, err := DecodeRequest(bad); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+	// Truncating a valid request at any point must fail cleanly, not panic.
+	full := EncodeRequest(&Request{ID: 9, Statements: []Statement{{Op: OpInsert, Table: "t", Key: []byte("k"), Value: []byte("v")}}})
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeRequest(full[:i]); err == nil {
+			t.Fatalf("truncated request of %d bytes accepted", i)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("one"), {}, bytes.Repeat([]byte{0xAB}, 10000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: %d bytes, want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); err == nil {
+		t.Fatal("oversized frame accepted by writer")
+	}
+	// A corrupt header claiming a huge frame must be rejected by the reader.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted by reader")
+	}
+	// A frame cut short mid-payload must fail.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 10, 1, 2, 3})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestOpTypeStrings(t *testing.T) {
+	ops := []OpType{OpGet, OpInsert, OpUpdate, OpUpsert, OpDelete, OpGetBySecondary, OpInsertSecondary, OpPing}
+	seen := make(map[string]bool)
+	for _, op := range ops {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate op label %q", s)
+		}
+		seen[s] = true
+		if !op.valid() {
+			t.Fatalf("op %v reported invalid", op)
+		}
+	}
+	if OpType(0).valid() || OpType(99).valid() {
+		t.Fatal("invalid ops reported valid")
+	}
+	if OpType(99).String() == "" {
+		t.Fatal("unknown op should still render")
+	}
+}
+
+func TestManyStatementsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	req := &Request{ID: 1}
+	for i := 0; i < 500; i++ {
+		key := make([]byte, rng.Intn(40))
+		val := make([]byte, rng.Intn(200))
+		rng.Read(key)
+		rng.Read(val)
+		req.Statements = append(req.Statements, Statement{Op: OpUpsert, Table: "bulk", Key: key, Value: val})
+	}
+	got, err := DecodeRequest(EncodeRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Statements) != 500 {
+		t.Fatalf("got %d statements, want 500", len(got.Statements))
+	}
+}
