@@ -227,3 +227,18 @@ func (c *Client) Delete(table string, key []byte) error {
 	_, err := c.Do(NewTxn().Delete(table, key))
 	return err
 }
+
+// Control executes one administrative command on the server (the plpctl
+// "drp" verbs: "status", "trigger", "shares") and returns its text output.
+// table is the optional table argument ("" when the command takes none).
+func (c *Client) Control(cmd, table string) (string, error) {
+	resp, err := c.Do(&Txn{statements: []wire.Statement{{Op: wire.OpControl, Table: table, Key: []byte(cmd)}}})
+	if err != nil {
+		return "", err
+	}
+	res := resp.Results[0]
+	if res.Err != "" {
+		return "", fmt.Errorf("client: control %s: %s", cmd, res.Err)
+	}
+	return string(res.Value), nil
+}

@@ -40,6 +40,9 @@ commands:
   del    <table> <key>               delete a record
   getsec <table> <index> <seckey>    read through a secondary index
   bench  <table>                     run a small upsert/get load (-clients, -ops)
+  drp status                         show the repartitioning controller's state
+  drp trigger                        run one control period now
+  drp shares <table>                 per-partition load shares of one table
 `)
 	os.Exit(2)
 }
@@ -124,6 +127,26 @@ func main() {
 	case "bench":
 		need(args, 1)
 		bench(*addr, args[0], *clients, *ops)
+	case "drp":
+		if len(args) == 0 {
+			usage()
+		}
+		sub := args[0]
+		table := ""
+		switch sub {
+		case "status", "trigger":
+			need(args, 1)
+		case "shares":
+			need(args, 2)
+			table = args[1]
+		default:
+			usage()
+		}
+		out, err := c.Control(sub, table)
+		if err != nil {
+			fatalf("drp %s: %v", sub, err)
+		}
+		fmt.Print(out)
 	default:
 		usage()
 	}

@@ -25,6 +25,7 @@ import (
 	"plp/internal/engine"
 	"plp/internal/keyenc"
 	"plp/internal/recovery"
+	"plp/internal/repartition"
 	"plp/internal/server"
 )
 
@@ -54,6 +55,8 @@ func main() {
 		tables       = flag.String("tables", "kv", "comma-separated table names to create")
 		keyspace     = flag.Uint64("keyspace", 1_000_000, "uint64 key space upper bound used to compute partition boundaries")
 		autoBalance  = flag.Bool("autobalance", false, "enable the automatic load-balance monitor on every table")
+		drp          = flag.Bool("drp", false, "enable the online dynamic-repartitioning controller (plpctl drp ... inspects it)")
+		drpPeriod    = flag.Duration("drp-period", 100*time.Millisecond, "control period of the repartitioning controller")
 		checkpointMs = flag.Int("checkpoint-ms", 0, "background checkpoint interval in milliseconds (0 disables)")
 		truncateLog  = flag.Bool("checkpoint-truncate", false, "truncate the log prefix after each successful checkpoint")
 		statsEvery   = flag.Duration("stats", 10*time.Second, "how often to print server statistics (0 disables)")
@@ -100,6 +103,17 @@ func main() {
 	}
 
 	srv := server.New(e)
+	if *drp {
+		ctrl, err := repartition.Attach(e, repartition.Config{Period: *drpPeriod})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repartitioning controller: %v\n", err)
+			os.Exit(1)
+		}
+		ctrl.Start()
+		defer ctrl.Stop()
+		defer ctrl.Detach()
+		srv.SetControlHandler(ctrl)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "listen: %v\n", err)

@@ -1,37 +1,52 @@
-// Repartitioning example: the Figure 8 scenario in miniature.
+// Online dynamic repartitioning: the paper's DRP loop, live.
 //
-// Two clients probe subscriber balances.  One second into the run the
-// request distribution becomes skewed (half the requests target the hottest
-// 10% of the subscribers) and the engine rebalances by moving a single
-// MRBTree partition boundary, while the workload keeps running.  The
-// example prints the throughput timeline and the cost of the rebalance for
-// a PLP-Leaf engine, demonstrating that repartitioning is a metadata-sized
-// operation rather than a data migration.
+// A PLP engine serves a Zipfian workload whose hot-spot sits at the bottom
+// of the key space; halfway through the run the hot-spot migrates to the
+// middle.  The repartitioning controller (internal/repartition) watches the
+// aging access histograms fed by the DORA routing path, and every control
+// period moves MRBTree partition boundaries through the two-phase optimizer
+// — quiescing only the affected partition pair, while the workload keeps
+// running.  The example prints the per-partition load shares over time: the
+// skew appears, the controller splits the hot range within a few periods,
+// the hot-spot moves, and the controller follows it.
+//
+// Try -design logical to see routing-only moves, or -drp=false to watch the
+// skew persist untreated.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"plp/internal/catalog"
 	"plp/internal/engine"
-	"plp/internal/harness"
 	"plp/internal/keyenc"
-	"plp/internal/workload/tatp"
+	"plp/internal/repartition"
 )
+
+const table = "kv"
 
 func main() {
 	var (
-		subscribers = flag.Int("subscribers", 20000, "TATP scale factor")
-		design      = flag.String("design", "plp-leaf", "one of: conventional, logical, plp-regular, plp-partition, plp-leaf")
+		keys       = flag.Int("keys", 50_000, "number of rows")
+		partitions = flag.Int("partitions", 4, "logical partitions / workers")
+		designName = flag.String("design", "plp-leaf", "one of: logical, plp-regular, plp-partition, plp-leaf")
+		duration   = flag.Duration("duration", 3*time.Second, "total run time")
+		period     = flag.Duration("period", 100*time.Millisecond, "control period")
+		useDRP     = flag.Bool("drp", true, "enable the repartitioning controller")
+		clients    = flag.Int("clients", 2, "client goroutines")
 	)
 	flag.Parse()
 
-	opts := engine.Options{Partitions: 2}
-	switch *design {
-	case "conventional":
-		opts.Design, opts.SLI = engine.Conventional, true
+	opts := engine.Options{Partitions: *partitions}
+	switch *designName {
 	case "logical":
 		opts.Design = engine.Logical
 	case "plp-regular":
@@ -41,45 +56,127 @@ func main() {
 	case "plp-leaf":
 		opts.Design = engine.PLPLeaf
 	default:
-		log.Fatalf("unknown design %q", *design)
+		log.Fatalf("unknown design %q", *designName)
 	}
 
 	e := engine.New(opts)
 	defer e.Close()
-	w := tatp.New(tatp.Config{Subscribers: *subscribers, Partitions: 2, Mix: tatp.MixBalanceProbe})
-	if err := w.Setup(e); err != nil {
+
+	boundaries := make([][]byte, 0, *partitions-1)
+	for i := 1; i < *partitions; i++ {
+		boundaries = append(boundaries, keyenc.Uint64Key(uint64(*keys*i / *partitions)+1))
+	}
+	if _, err := e.CreateTable(catalog.TableDef{Name: table, Boundaries: boundaries}); err != nil {
 		log.Fatal(err)
 	}
-
-	var rebalance engine.RebalanceStats
-	event := func() {
-		w.SetSkew(0.10, 0.50) // 50% of requests now hit the first 10% of keys
-		if opts.Design.Partitioned() {
-			st, err := e.Rebalance(tatp.TableSubscriber, 1, keyenc.Uint64Key(uint64(*subscribers/10)+1))
-			if err != nil {
-				log.Printf("rebalance failed: %v", err)
-				return
-			}
-			rebalance = st
+	l := e.NewLoader()
+	for k := uint64(1); k <= uint64(*keys); k++ {
+		if err := l.Insert(table, keyenc.Uint64Key(k), []byte("payload")); err != nil {
+			log.Fatal(err)
 		}
 	}
 
-	points, err := harness.RunTimeline(e, w,
-		harness.RunConfig{Clients: 2},
-		3*time.Second, 200*time.Millisecond, time.Second, event)
+	// The controller is always attached so the load-share columns render;
+	// with -drp=false its trigger ratio is unreachable, so it observes and
+	// ages the histograms but never moves a boundary — the untreated skew
+	// stays visible.
+	cfg := repartition.Config{
+		Tables:       []string{table},
+		Period:       *period,
+		TriggerRatio: 1.3,
+	}
+	if !*useDRP {
+		cfg.TriggerRatio = math.Inf(1)
+	}
+	ctrl, err := repartition.Attach(e, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctrl.Start()
+	defer ctrl.Stop()
+	defer ctrl.Detach()
 
-	fmt.Printf("design: %s\n", opts.Design)
-	fmt.Println("   t        tps")
-	for _, p := range points {
-		marker := ""
-		if p.T >= time.Second && p.T < time.Second+200*time.Millisecond {
-			marker = "   <- skew change + rebalance"
-		}
-		fmt.Printf("%6s  %9.0f%s\n", p.T, p.TPS, marker)
+	// The workload: Zipf ranks mapped onto the key space at a migrating
+	// offset.  offset is shared by all clients and shifts at half-time.
+	var offset atomic.Uint64
+	var stop atomic.Bool
+	var txns atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			sess := e.NewSession()
+			defer sess.Close()
+			rng := rand.New(rand.NewSource(seed))
+			zipf := rand.NewZipf(rng, 1.1, 1, uint64(*keys-1))
+			for !stop.Load() {
+				k := (zipf.Uint64()+offset.Load())%uint64(*keys) + 1
+				key := keyenc.Uint64Key(k)
+				_, err := sess.Execute(engine.NewRequest(engine.Action{Table: table, Key: key,
+					Exec: func(c *engine.Ctx) error {
+						_, err := c.Read(table, key)
+						return err
+					}}))
+				if err != nil {
+					log.Fatalf("transaction failed: %v", err)
+				}
+				txns.Add(1)
+			}
+		}(int64(c + 1))
 	}
-	fmt.Printf("\nrebalance cost: routing-only=%v, index entries moved=%d, heap records moved=%d, quiesced for %s\n",
-		rebalance.RoutingOnly, rebalance.EntriesMoved, rebalance.RecordsMoved, rebalance.Duration.Round(time.Microsecond))
+
+	fmt.Printf("design %s, %d partitions, %d keys, drp=%v\n", opts.Design, *partitions, *keys, *useDRP)
+	fmt.Println("   t       tps   max/fair  load shares")
+	start := time.Now()
+	half := false
+	var lastTxns uint64
+	for time.Since(start) < *duration {
+		time.Sleep(200 * time.Millisecond)
+		if !half && time.Since(start) >= *duration/2 {
+			offset.Store(uint64(*keys / 2))
+			half = true
+			fmt.Println("   --- hot-spot migrates to the middle of the key space ---")
+		}
+		now := txns.Load()
+		tps := float64(now-lastTxns) / 0.2
+		lastTxns = now
+		fmt.Printf("%6s %9.0f%s\n", time.Since(start).Round(100*time.Millisecond), tps, sharesLine(e, ctrl))
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if ctrl != nil {
+		st := ctrl.Status()
+		fmt.Printf("\ncontroller: %d control periods, %d boundary moves\n", st.Periods, st.Applied)
+		for _, d := range st.Decisions {
+			fmt.Printf("  %s\n", d)
+		}
+	}
+}
+
+// sharesLine renders the controller's view of the table's balance.
+func sharesLine(e *engine.Engine, ctrl *repartition.Controller) string {
+	if ctrl == nil {
+		return ""
+	}
+	for _, ts := range ctrl.Status().Tables {
+		if ts.Table != table || len(ts.Loads) == 0 {
+			continue
+		}
+		total := 0.0
+		for _, l := range ts.Loads {
+			total += l
+		}
+		if total == 0 {
+			return ""
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "   %7.2f  ", ts.Ratio)
+		for _, l := range ts.Loads {
+			fmt.Fprintf(&b, " %4.0f%%", 100*l/total)
+		}
+		return b.String()
+	}
+	return ""
 }

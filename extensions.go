@@ -1,6 +1,7 @@
 // Public facade for the subsystems that extend the core PLP engine:
-// checkpointing and restart recovery, automatic load balancing, the
-// partition-alignment advisor, and the network server.
+// checkpointing and restart recovery, online dynamic repartitioning,
+// automatic load balancing, the partition-alignment advisor, and the
+// network server.
 package plp
 
 import (
@@ -8,6 +9,7 @@ import (
 	"plp/internal/balance"
 	"plp/internal/engine"
 	"plp/internal/recovery"
+	"plp/internal/repartition"
 	"plp/internal/server"
 	"plp/internal/wal"
 )
@@ -70,6 +72,32 @@ type BalanceDecision = balance.Decision
 // engine.
 func NewBalanceMonitor(e *Engine, cfg BalanceConfig) (*BalanceMonitor, error) {
 	return balance.NewMonitor(e, cfg)
+}
+
+//
+// Online dynamic repartitioning (see internal/repartition).
+//
+
+// RepartitionConfig tunes a RepartitionController.
+type RepartitionConfig = repartition.Config
+
+// RepartitionController is the paper's online DRP component: a closed-loop
+// controller that feeds on the engine's routed accesses, detects skew
+// through aging histograms, and moves partition boundaries while the
+// system keeps executing.
+type RepartitionController = repartition.Controller
+
+// RepartitionDecision records one boundary move the controller applied.
+type RepartitionDecision = repartition.Decision
+
+// RepartitionStatus is a snapshot of a controller's activity.
+type RepartitionStatus = repartition.Status
+
+// AttachRepartitioner attaches an online repartitioning controller to the
+// engine, registering it as the engine's access observer.  Call Start for
+// the background control loop, or Step for explicit control periods.
+func AttachRepartitioner(e *Engine, cfg RepartitionConfig) (*RepartitionController, error) {
+	return repartition.Attach(e, cfg)
 }
 
 //

@@ -1,0 +1,3 @@
+module plp
+
+go 1.24

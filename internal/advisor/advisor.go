@@ -64,6 +64,9 @@ type Finding struct {
 	Table string
 	// Index the finding concerns ("" for table-level findings).
 	Index string
+	// Partition is the overloaded partition for skew findings (the one a
+	// split or boundary move should shed load from); -1 otherwise.
+	Partition int
 	// Share is the fraction of the table's observed accesses behind the
 	// finding (non-aligned index share, hottest partition share, ...).
 	Share float64
@@ -292,10 +295,11 @@ func (t *Tracker) Report() *Report {
 				sev = Critical
 			}
 			r.Findings = append(r.Findings, Finding{
-				Severity: sev,
-				Table:    name,
-				Index:    idx,
-				Share:    share,
+				Severity:  sev,
+				Table:     name,
+				Index:     idx,
+				Partition: -1,
+				Share:     share,
 				Message: fmt.Sprintf("%.0f%% of the table's accesses probe the non-partition-aligned index %q; "+
 					"these probes are latched and need an extra hop to the owning partition. "+
 					"Add the partitioning columns to the index key, or repartition the table on this index's columns.",
@@ -319,9 +323,10 @@ func (t *Tracker) Report() *Report {
 					sev = Critical
 				}
 				r.Findings = append(r.Findings, Finding{
-					Severity: sev,
-					Table:    name,
-					Share:    hotShare,
+					Severity:  sev,
+					Table:     name,
+					Partition: hot,
+					Share:     hotShare,
 					Message: fmt.Sprintf("partition %d receives %.0f%% of the primary-key accesses (%.1fx its fair share); "+
 						"enable the balance monitor or split the hot range (boundary suggestion: RecommendBoundaries).",
 						hot, 100*hotShare, ratio),

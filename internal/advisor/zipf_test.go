@@ -1,0 +1,64 @@
+package advisor
+
+import (
+	"math/rand"
+	"testing"
+
+	"plp/internal/keyenc"
+)
+
+// TestZipfianSkewFlagsOverloadedPartition drives the tracker with a Zipfian
+// key distribution (rank 1 = key 1, so the low key range is hot) and checks
+// that the advisor flags exactly the partition that owns the hot keys as the
+// one to split.
+func TestZipfianSkewFlagsOverloadedPartition(t *testing.T) {
+	e := newTestEngine(t) // 4 partitions over keys [1, 1000], boundaries at 251/501/751
+	defer e.Close()
+	tr := NewTracker(e)
+
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.2, 1, 999)
+	for i := 0; i < 20000; i++ {
+		tr.ObservePrimary(testTable, keyenc.Uint64Key(zipf.Uint64()+1))
+	}
+
+	r := tr.Report()
+	var skew *Finding
+	for i := range r.Findings {
+		if r.Findings[i].Index == "" {
+			skew = &r.Findings[i]
+			break
+		}
+	}
+	if skew == nil {
+		t.Fatalf("no skew finding produced; report:\n%s", r.String())
+	}
+	if skew.Partition != 0 {
+		t.Fatalf("flagged partition %d, want 0 (the one owning the Zipf head); report:\n%s",
+			skew.Partition, r.String())
+	}
+	if skew.Severity != Critical {
+		t.Fatalf("severity %v, want Critical for a strongly Zipfian load", skew.Severity)
+	}
+	// The flagged partition really is the observed hottest one.
+	shares := r.Tables[0].PartitionShares
+	for i, s := range shares {
+		if s > shares[skew.Partition] {
+			t.Fatalf("partition %d (%.2f) hotter than flagged %d (%.2f)", i, s, skew.Partition, shares[skew.Partition])
+		}
+	}
+	// And a split recommendation based on the sample must produce boundaries
+	// concentrated in the hot range (the median boundary below the first
+	// static boundary key).
+	bounds := tr.RecommendBoundaries(testTable, 4)
+	if len(bounds) != 3 {
+		t.Fatalf("RecommendBoundaries returned %d boundaries, want 3", len(bounds))
+	}
+	got, err := keyenc.DecodeUint64(bounds[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= 251 {
+		t.Fatalf("median recommended boundary %d not inside the hot range", got)
+	}
+}

@@ -357,6 +357,22 @@ func meldEqualHeight(left, right *Tree, rightStart []byte, st *MeldStats) (*Tree
 			st.EntriesMoved++
 		}
 		rightRoot := rp.ID()
+		if isLeaf(rp) {
+			// Both roots are leaves and the right one is about to be freed:
+			// splice it out of the leaf chain (linkLeafChains pointed lp at
+			// it moments ago), or scans would walk into a freed page.
+			rpNext := rp.Next()
+			lp.SetNext(rpNext)
+			st.PointerUpdates++
+			if rpNext != page.InvalidID {
+				if nf, ferr := left.bp.Fix(rpNext); ferr == nil {
+					nf.Page().SetPrev(lp.ID())
+					left.bp.Unfix(nf, true)
+					st.PointerUpdates++
+					st.PagesRead++
+				}
+			}
+		}
 		left.bp.Unfix(lf, true)
 		right.bp.Unfix(rf, false)
 		if err := left.bp.FreePage(rightRoot); err == nil {

@@ -171,6 +171,13 @@ type Pool struct {
 	workers []*Worker
 	started atomic.Bool
 	stopped atomic.Bool
+
+	// quiesceMu serializes quiesce operations.  Two concurrent quiesces
+	// (say, a checkpoint and a repartitioning) that interleave their barrier
+	// submissions would each park a subset of the workers and wait forever
+	// for the rest; taking the mutex for the whole operation makes that
+	// impossible.
+	quiesceMu sync.Mutex
 }
 
 // NewPool creates n workers with the given input-queue depth.
@@ -231,19 +238,53 @@ func (p *Pool) Workers() []*Worker { return p.workers }
 // "the partition manager simply quiesces affected threads until the process
 // completes").
 func (p *Pool) Quiesce(fn func()) error {
+	ids := make([]int, len(p.workers))
+	for i := range ids {
+		ids[i] = i
+	}
+	return p.QuiesceWorkers(ids, fn)
+}
+
+// QuiesceWorkers parks only the workers with the given ids at a barrier and
+// runs fn while exactly those partitions are idle; the remaining workers keep
+// executing.  Repartitioning uses it to implement the paper's DRP behaviour
+// of quiescing only the partition pair affected by a boundary move instead of
+// stopping the world.  Duplicate and out-of-range ids are ignored.
+func (p *Pool) QuiesceWorkers(ids []int, fn func()) error {
+	p.quiesceMu.Lock()
+	defer p.quiesceMu.Unlock()
+
+	seen := make(map[int]bool, len(ids))
+	targets := make([]*Worker, 0, len(ids))
+	for _, id := range ids {
+		if id < 0 || id >= len(p.workers) || seen[id] {
+			continue
+		}
+		seen[id] = true
+		targets = append(targets, p.workers[id])
+	}
+	if len(targets) == 0 {
+		fn()
+		return nil
+	}
+
 	var reached, release sync.WaitGroup
-	reached.Add(len(p.workers))
+	reached.Add(len(targets))
 	release.Add(1)
-	for _, w := range p.workers {
+	submitted := 0
+	for _, w := range targets {
 		err := w.SubmitSystem(Task{Do: func(_ *Worker) {
 			reached.Done()
 			release.Wait()
 		}})
 		if err != nil {
-			// Unblock any workers already parked at the barrier.
+			// Unblock any workers already parked at the barrier and account
+			// for the barriers that never made it into a queue.
+			reached.Add(submitted - len(targets))
 			release.Done()
 			return err
 		}
+		submitted++
 	}
 	reached.Wait()
 	fn()

@@ -232,3 +232,72 @@ func TestQueueWaitAccounted(t *testing.T) {
 		t.Fatal("busy time not recorded")
 	}
 }
+
+func TestQuiesceWorkersPartial(t *testing.T) {
+	p := NewPool(4, 64, &cs.Stats{})
+	p.Start()
+	defer p.Stop()
+
+	// While workers 0 and 1 are parked, workers 2 and 3 must keep running.
+	executed := make(chan int, 2)
+	err := p.QuiesceWorkers([]int{0, 1, 1, -5, 99}, func() {
+		var wg sync.WaitGroup
+		for _, id := range []int{2, 3} {
+			wg.Add(1)
+			if err := p.Worker(id).Submit(Task{Do: func(w *Worker) {
+				executed <- w.ID()
+				wg.Done()
+			}}); err != nil {
+				t.Errorf("submit to unquiesced worker %d: %v", id, err)
+				wg.Done()
+			}
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("tasks on unquiesced workers did not run during the quiesce")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(executed)
+	seen := map[int]bool{}
+	for id := range executed {
+		seen[id] = true
+	}
+	if !seen[2] || !seen[3] {
+		t.Fatalf("workers outside the quiesce set did not execute: %v", seen)
+	}
+}
+
+func TestConcurrentQuiescesDoNotDeadlock(t *testing.T) {
+	p := NewPool(4, 64, &cs.Stats{})
+	p.Start()
+	defer p.Stop()
+
+	// Overlapping quiesce sets from many goroutines: the pool-level quiesce
+	// mutex must serialize them (interleaved barrier submissions would
+	// deadlock).
+	var wg sync.WaitGroup
+	sets := [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 1, 2, 3}}
+	for round := 0; round < 20; round++ {
+		for _, ids := range sets {
+			wg.Add(1)
+			ids := ids
+			go func() {
+				defer wg.Done()
+				_ = p.QuiesceWorkers(ids, func() {})
+			}()
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent quiesces deadlocked")
+	}
+}

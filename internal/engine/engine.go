@@ -116,7 +116,20 @@ type Options struct {
 	// LockTimeout overrides the centralized lock manager's deadlock
 	// timeout.
 	LockTimeout time.Duration
+	// AccessObserver, when set, receives one callback per routed action in
+	// the partitioned designs (see AccessObserver).  The online
+	// repartitioning controller (package repartition) attaches itself here
+	// — or later, through SetAccessObserver.
+	AccessObserver AccessObserver
 }
+
+// AccessObserver receives one callback per action routed by the partition
+// manager: the table, the logical partition the action was routed to, and
+// the routing key.  Implementations must be cheap and must copy key if they
+// retain it.  This is the feed for the DRP controller's aging access
+// histograms (package repartition); it is invoked on the request-submitting
+// goroutine, never on the partition workers.
+type AccessObserver func(table string, partition int, key []byte)
 
 // normalize fills in defaults.
 func (o *Options) normalize() {
@@ -142,6 +155,8 @@ type Engine struct {
 	pool       *dora.Pool
 
 	routing map[string]*routingTable
+
+	observer atomic.Pointer[AccessObserver]
 
 	nextSession atomic.Uint64
 }
@@ -182,7 +197,28 @@ func New(opts Options) *Engine {
 		e.pool = dora.NewPool(opts.Partitions, opts.QueueDepth, csStats)
 		e.pool.Start()
 	}
+	if opts.AccessObserver != nil {
+		e.SetAccessObserver(opts.AccessObserver)
+	}
 	return e
+}
+
+// SetAccessObserver installs (or, with nil, removes) the per-action access
+// observer.  It may be called while traffic is running; actions dispatched
+// concurrently with the change may still report to the previous observer.
+func (e *Engine) SetAccessObserver(obs AccessObserver) {
+	if obs == nil {
+		e.observer.Store(nil)
+		return
+	}
+	e.observer.Store(&obs)
+}
+
+// observeAccess reports one routed action to the attached observer, if any.
+func (e *Engine) observeAccess(table string, partition int, key []byte) {
+	if p := e.observer.Load(); p != nil {
+		(*p)(table, partition, key)
+	}
 }
 
 // Close stops the partition workers and flushes the buffer pool.
@@ -309,6 +345,23 @@ func (e *Engine) partitionFor(table string, key []byte) int {
 // normal processing (Section 3.1).
 func (e *Engine) PartitionFor(table string, key []byte) int {
 	return e.partitionFor(table, key)
+}
+
+// Boundaries returns a copy of the table's current routing boundaries
+// (len = partitions-1).  The repartitioning controller plans boundary moves
+// against them.
+func (e *Engine) Boundaries(table string) ([][]byte, error) {
+	rt, ok := e.routing[table]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", table)
+	}
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([][]byte, len(rt.boundaries))
+	for i, b := range rt.boundaries {
+		out[i] = append([]byte(nil), b...)
+	}
+	return out, nil
 }
 
 // Session is a client handle.  In the Conventional design it carries the

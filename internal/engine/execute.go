@@ -2,6 +2,7 @@
 package engine
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -98,25 +99,19 @@ func (s *Session) executePartitioned(req *Request) (Result, error) {
 		errs := make([]error, len(phase))
 		for i := range phase {
 			a := phase[i]
+			rt := e.routing[a.Table]
+			// The epoch is captured before the routing lookup: a boundary
+			// move between the two makes the worker-side check fire and
+			// recompute, never the reverse.
+			var epoch uint64
+			if rt != nil {
+				epoch = rt.epoch.Load()
+			}
 			pidx := e.partitionFor(a.Table, a.routingKey())
-			w := e.pool.Worker(pidx)
+			e.observeAccess(a.Table, pidx, a.routingKey())
 			wg.Add(1)
 			slot := i
-			enqueued := time.Now()
-			err := w.Submit(dora.Task{Do: func(w *dora.Worker) {
-				defer wg.Done()
-				tx.Breakdown.AddWait(txn.WaitQueue, time.Since(enqueued))
-				ctx := &Ctx{eng: e, tx: tx, worker: w, partition: w.ID()}
-				errs[slot] = a.Exec(ctx)
-				// Thread-local locks are released when the action finishes;
-				// isolation within the partition is guaranteed by the
-				// worker's serial execution.
-				w.Locks().ReleaseTxn(tx.ID())
-			}})
-			if err != nil {
-				wg.Done()
-				errs[slot] = err
-			}
+			e.dispatchAction(a, rt, epoch, pidx, 0, tx, errs, slot, &wg)
 		}
 		wg.Wait()
 		for _, err := range errs {
@@ -135,6 +130,53 @@ func (s *Session) executePartitioned(req *Request) (Result, error) {
 		return Result{Txn: tx}, err
 	}
 	return Result{Txn: tx, Breakdown: tx.Breakdown.Totals(), Latency: time.Since(start)}, nil
+}
+
+// maxRouteHops bounds how many times an action chases a moving partition
+// boundary before it simply executes where it landed (the pre-DRP
+// behaviour).  Boundary moves are rare relative to actions, so two hops are
+// essentially always enough.
+const maxRouteHops = 3
+
+// dispatchAction submits one action to the worker owning partition pidx.
+// Before executing, the worker re-checks ownership against the routing
+// table: online repartitioning can move the boundary between the moment the
+// submitter routed the action and the moment the worker dequeues it, and a
+// worker must never touch a latch-free sub-tree it no longer owns.  The
+// check is a single atomic load of the table's routing epoch (captured at
+// submit time); only when a boundary actually moved in between — rare
+// relative to actions — is the read-locked routing lookup repeated.  A
+// mis-routed action is forwarded to the current owner (from a fresh
+// goroutine, so a worker parked at a quiesce barrier can never block the
+// forwarding worker and deadlock the quiesce).  The re-check runs on the
+// worker goroutine, and any boundary move affecting the worker's ranges
+// quiesces that worker first, so ownership cannot change between the check
+// and the data access.
+func (e *Engine) dispatchAction(a Action, rt *routingTable, epoch uint64, pidx, hops int, tx *txn.Txn, errs []error, slot int, wg *sync.WaitGroup) {
+	w := e.pool.Worker(pidx)
+	enqueued := time.Now()
+	err := w.Submit(dora.Task{Do: func(w *dora.Worker) {
+		if hops < maxRouteHops && rt != nil {
+			if cur := rt.epoch.Load(); cur != epoch {
+				if curP := e.partitionFor(a.Table, a.routingKey()); curP != w.ID() {
+					go e.dispatchAction(a, rt, cur, curP, hops+1, tx, errs, slot, wg)
+					return
+				}
+			}
+		}
+		defer wg.Done()
+		tx.Breakdown.AddWait(txn.WaitQueue, time.Since(enqueued))
+		ctx := &Ctx{eng: e, tx: tx, worker: w, partition: w.ID()}
+		errs[slot] = a.Exec(ctx)
+		// Thread-local locks are released when the action finishes;
+		// isolation within the partition is guaranteed by the
+		// worker's serial execution.
+		w.Locks().ReleaseTxn(tx.ID())
+	}})
+	if err != nil {
+		errs[slot] = err
+		wg.Done()
+	}
 }
 
 // Loader provides direct, unlocked, unlogged access for bulk-loading a
@@ -232,9 +274,13 @@ type RebalanceStats struct {
 }
 
 // Rebalance moves the lower boundary of logical partition idx of the given
-// table to newBoundary, quiescing the partition workers while the partition
-// metadata (and, for the PLP designs, the MRBTree sub-trees and possibly the
-// heap pages) are updated.  This is the operation measured in Figure 8.
+// table to newBoundary, quiescing the two partition workers whose key
+// ranges the move affects while the partition metadata (and, for the PLP
+// designs, the MRBTree sub-trees and possibly the heap pages) are updated.
+// The rest of the workers keep executing — repartitioning never stops the
+// world, as the paper's DRP requires ("the partition manager simply
+// quiesces affected threads until the process completes").  This is the
+// operation measured in Figure 8.
 func (e *Engine) Rebalance(table string, idx int, newBoundary []byte) (RebalanceStats, error) {
 	var st RebalanceStats
 	rt, ok := e.routing[table]
@@ -251,24 +297,38 @@ func (e *Engine) Rebalance(table string, idx int, newBoundary []byte) (Rebalance
 	start := time.Now()
 
 	work := func() error {
-		// The routing table always moves: that is all the Logical design
-		// needs ("logical partitioning quickly adjusts its routing tables").
-		rt.setBoundary(idx-1, newBoundary)
+		// The keys whose owner changes lie between the old and the new
+		// boundary; only they need re-homing in the PLP-Partition design.
+		// The old boundary is read inside the quiesced section: a concurrent
+		// Rebalance (balance monitor + repartition controller both enabled)
+		// could otherwise move it between an early read and this point,
+		// leaving the re-home scan on a stale range.
+		oldBoundary := rt.boundary(idx - 1)
+		// The routing table alone is all the Logical design needs ("logical
+		// partitioning quickly adjusts its routing tables").
 		if !e.opts.Design.LatchFreeIndex() && !e.opts.UseMRBTree {
+			rt.setBoundary(idx-1, newBoundary)
 			st.RoutingOnly = true
 			return nil
 		}
-		// Physical repartitioning of the MRBTree.
+		// Physical repartitioning of the MRBTree first: if the tree rejects
+		// the boundary, the routing table must not move either, or routing
+		// and sub-tree ownership would diverge.
 		rps, err := tbl.Primary.MoveBoundary(idx, newBoundary)
 		if err != nil {
 			return err
 		}
+		rt.setBoundary(idx-1, newBoundary)
 		st.EntriesMoved += rps.EntriesMoved
 		// PLP-Partition additionally re-homes the heap records whose owner
 		// changed, which is why its repartitioning dip in Figure 8 is much
 		// larger.
 		if e.opts.Design == PLPPartition {
-			moved, merr := e.rehomeHeapRecords(tbl, table)
+			lo, hi := oldBoundary, newBoundary
+			if bytes.Compare(lo, hi) > 0 {
+				lo, hi = hi, lo
+			}
+			moved, merr := e.rehomeHeapRecords(tbl, table, lo, hi)
 			if merr != nil {
 				return merr
 			}
@@ -278,8 +338,11 @@ func (e *Engine) Rebalance(table string, idx int, newBoundary []byte) (Rebalance
 	}
 
 	if e.pool != nil {
+		// Only the workers owning the donor and recipient partitions touch
+		// the affected sub-trees and heap pages, so only they are parked.
+		affected := []int{(idx - 1) % e.pool.Size(), idx % e.pool.Size()}
 		var workErr error
-		if err := e.pool.Quiesce(func() { workErr = work() }); err != nil {
+		if err := e.pool.QuiesceWorkers(affected, func() { workErr = work() }); err != nil {
 			return st, err
 		}
 		if workErr != nil {
@@ -292,11 +355,13 @@ func (e *Engine) Rebalance(table string, idx int, newBoundary []byte) (Rebalance
 	return st, nil
 }
 
-// rehomeHeapRecords moves every heap record whose owning partition no longer
-// matches the routing table onto pages owned by the correct partition, and
-// updates the primary index to the new RIDs (the storage-manager callback of
-// Section 3.3).
-func (e *Engine) rehomeHeapRecords(tbl *catalog.Table, table string) (int, error) {
+// rehomeHeapRecords moves every heap record in [lo, hi) whose owning
+// partition no longer matches the routing table onto pages owned by the
+// correct partition, and updates the primary index to the new RIDs (the
+// storage-manager callback of Section 3.3).  Rebalance restricts the range
+// to the keys between the old and the new boundary — the only keys whose
+// owner changed — so the scan stays within the quiesced partition pair.
+func (e *Engine) rehomeHeapRecords(tbl *catalog.Table, table string, lo, hi []byte) (int, error) {
 	moved := 0
 	type relocation struct {
 		key    []byte
@@ -304,7 +369,7 @@ func (e *Engine) rehomeHeapRecords(tbl *catalog.Table, table string) (int, error
 		owner  uint64
 	}
 	var relocations []relocation
-	err := tbl.Primary.Ascend(nil, func(k, v []byte) bool {
+	err := tbl.Primary.AscendRange(nil, lo, hi, func(k, v []byte) bool {
 		rid, derr := page.DecodeRID(v)
 		if derr != nil {
 			return true

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Action is the unit of work the partition manager routes: it touches data
@@ -73,6 +74,12 @@ func (r *Request) NumActions() int {
 type routingTable struct {
 	mu         sync.RWMutex
 	boundaries [][]byte // sorted; partition i covers [boundaries[i-1], boundaries[i])
+
+	// epoch counts boundary updates.  Workers compare it against the value
+	// captured at submit time to detect that routing may have moved while an
+	// action sat in their queue — a single atomic load on the hot path
+	// instead of a read-locked routing lookup per action.
+	epoch atomic.Uint64
 }
 
 func newRoutingTable(boundaries [][]byte) *routingTable {
@@ -104,6 +111,18 @@ func (rt *routingTable) setBoundary(i int, key []byte) {
 		return
 	}
 	rt.boundaries[i] = append([]byte(nil), key...)
+	rt.epoch.Add(1)
+}
+
+// boundary returns a copy of boundary i (the lower bound of partition i+1),
+// or nil when i is out of range.
+func (rt *routingTable) boundary(i int) []byte {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if i < 0 || i >= len(rt.boundaries) {
+		return nil
+	}
+	return append([]byte(nil), rt.boundaries[i]...)
 }
 
 // numPartitions returns the number of partitions.

@@ -122,7 +122,12 @@ func (f *File) pickPage(owner uint64, need int) (page.ID, error) {
 		if err != nil {
 			return page.InvalidID, err
 		}
+		// The room check is advisory (Insert re-checks under the exclusive
+		// latch and retries), but in Latched mode concurrent writers may be
+		// mutating the page, so the read itself must be latched.
+		f.acquire(nil, frame, latch.Shared)
 		ok := frame.Page().HasRoomFor(need)
+		f.release(frame, latch.Shared)
 		f.bp.Unfix(frame, false)
 		if ok {
 			return pid, nil
@@ -395,7 +400,9 @@ func (f *File) Stats() Stats {
 		if err != nil {
 			continue
 		}
+		f.acquire(nil, frame, latch.Shared)
 		st.UsedBytes += frame.Page().UsedBytes()
+		f.release(frame, latch.Shared)
 		f.bp.Unfix(frame, false)
 	}
 	return st

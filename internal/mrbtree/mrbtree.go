@@ -315,6 +315,25 @@ func (t *Tree) Ascend(tx *txn.Txn, fn btree.ScanFunc) error {
 	return t.AscendRange(tx, nil, nil, fn)
 }
 
+// PartitionCounts returns the number of index entries in each partition's
+// sub-tree.  The repartitioning controller reports them alongside the load
+// shares so an operator can see data volume versus access volume per
+// partition.
+func (t *Tree) PartitionCounts(tx *txn.Txn) ([]int, error) {
+	t.mu.RLock()
+	parts := append([]Partition(nil), t.parts...)
+	t.mu.RUnlock()
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := p.Tree.Count(tx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // Count returns the total number of entries across all partitions.
 func (t *Tree) Count(tx *txn.Txn) (int, error) {
 	total := 0

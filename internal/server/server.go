@@ -23,6 +23,16 @@ import (
 // ErrClosed is returned by Serve after Close has been called.
 var ErrClosed = errors.New("server: closed")
 
+// ControlHandler serves the wire protocol's OpControl statements — the
+// administrative verbs of plpctl.  The online repartitioning controller
+// (package repartition) implements it; a server without a handler rejects
+// control statements.
+type ControlHandler interface {
+	// Control executes one command ("status", "trigger", "shares", ...)
+	// with an optional table argument and returns its text output.
+	Control(cmd, table string) (string, error)
+}
+
 // Stats reports server activity.
 type Stats struct {
 	// Connections is the number of connections accepted so far.
@@ -48,11 +58,23 @@ type Server struct {
 	requests    atomic.Uint64
 	committed   atomic.Uint64
 	aborted     atomic.Uint64
+
+	control atomic.Pointer[ControlHandler]
 }
 
 // New returns a server for the engine.
 func New(e *engine.Engine) *Server {
 	return &Server{e: e, conns: make(map[net.Conn]struct{})}
+}
+
+// SetControlHandler installs (or, with nil, removes) the handler behind the
+// wire protocol's control statements.
+func (s *Server) SetControlHandler(h ControlHandler) {
+	if h == nil {
+		s.control.Store(nil)
+		return
+	}
+	s.control.Store(&h)
 }
 
 // Stats returns a snapshot of server activity.
@@ -204,18 +226,31 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request) *wire.Response
 		return resp
 	}
 
-	// Pings never touch the engine; a request that is all pings is answered
-	// directly.
-	allPings := true
+	// Pings and control statements never run as transactions; a request
+	// made only of them is answered directly.
+	allAdmin := true
+	hasControl := false
 	for _, st := range req.Statements {
-		if st.Op != wire.OpPing {
-			allPings = false
-			break
+		switch st.Op {
+		case wire.OpPing:
+		case wire.OpControl:
+			hasControl = true
+		default:
+			allAdmin = false
 		}
 	}
-	if allPings {
+	if hasControl && !allAdmin {
+		resp.Err = "control statements must be sent alone, not inside a transaction"
+		s.aborted.Add(1)
+		return resp
+	}
+	if allAdmin {
 		for i, st := range req.Statements {
-			resp.Results[i] = wire.StatementResult{Found: true, Value: append([]byte(nil), st.Value...)}
+			if st.Op == wire.OpPing {
+				resp.Results[i] = wire.StatementResult{Found: true, Value: append([]byte(nil), st.Value...)}
+				continue
+			}
+			resp.Results[i] = s.executeControl(st)
 		}
 		resp.Committed = true
 		s.committed.Add(1)
@@ -236,6 +271,19 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request) *wire.Response
 	resp.Committed = true
 	s.committed.Add(1)
 	return resp
+}
+
+// executeControl runs one control statement through the attached handler.
+func (s *Server) executeControl(st wire.Statement) wire.StatementResult {
+	p := s.control.Load()
+	if p == nil {
+		return wire.StatementResult{Err: "server has no control handler (start plpd with -drp)"}
+	}
+	out, err := (*p).Control(string(st.Key), st.Table)
+	if err != nil {
+		return wire.StatementResult{Err: err.Error()}
+	}
+	return wire.StatementResult{Found: true, Value: []byte(out)}
 }
 
 // buildRequest translates wire statements into a routable engine request.

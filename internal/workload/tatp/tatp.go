@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"plp/internal/catalog"
 	"plp/internal/engine"
@@ -83,9 +84,17 @@ func (m Mix) String() string {
 	}
 }
 
+// skew is the mutable access-skew pair, swapped atomically so SetSkew can
+// reconfigure a running workload while worker goroutines draw keys.
+type skew struct {
+	fraction    float64
+	probability float64
+}
+
 // Workload is a configured TATP workload bound to an engine.
 type Workload struct {
-	cfg Config
+	cfg  Config
+	skew atomic.Pointer[skew]
 }
 
 // New returns a TATP workload.
@@ -96,7 +105,9 @@ func New(cfg Config) *Workload {
 	if cfg.Partitions <= 0 {
 		cfg.Partitions = 1
 	}
-	return &Workload{cfg: cfg}
+	w := &Workload{cfg: cfg}
+	w.skew.Store(&skew{fraction: cfg.HotFraction, probability: cfg.HotProbability})
+	return w
 }
 
 // Name implements the harness workload interface.
@@ -366,8 +377,9 @@ func (w *Workload) Load(e *engine.Engine) error {
 // randomSID picks a subscriber id, honouring the configured skew.
 func (w *Workload) randomSID(rng *rand.Rand) uint64 {
 	n := uint64(w.cfg.Subscribers)
-	if w.cfg.HotProbability > 0 && w.cfg.HotFraction > 0 && rng.Float64() < w.cfg.HotProbability {
-		hot := uint64(float64(n) * w.cfg.HotFraction)
+	s := w.skew.Load()
+	if s.probability > 0 && s.fraction > 0 && rng.Float64() < s.probability {
+		hot := uint64(float64(n) * s.fraction)
 		if hot == 0 {
 			hot = 1
 		}
@@ -377,10 +389,10 @@ func (w *Workload) randomSID(rng *rand.Rand) uint64 {
 }
 
 // SetSkew reconfigures the access skew (used by the Figure 8 experiment to
-// switch from uniform to skewed requests mid-run).
+// switch from uniform to skewed requests mid-run).  Safe to call while
+// worker goroutines are drawing keys.
 func (w *Workload) SetSkew(hotFraction, hotProbability float64) {
-	w.cfg.HotFraction = hotFraction
-	w.cfg.HotProbability = hotProbability
+	w.skew.Store(&skew{fraction: hotFraction, probability: hotProbability})
 }
 
 // NextRequest generates the next transaction request.

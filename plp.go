@@ -36,10 +36,34 @@
 // Beyond the core engine the package exposes the operational subsystems a
 // deployment needs (see extensions.go): Checkpoint/Recover and the
 // background Checkpointer for restart recovery over the shared log,
-// NewBalanceMonitor for automatic repartitioning under skew,
+// AttachRepartitioner for the paper's online dynamic repartitioning (DRP),
+// NewBalanceMonitor for simpler one-table rebalancing under skew,
 // NewAdvisorTracker for the partition-alignment analysis of Appendix E, and
 // NewServer plus the client and wire packages (and cmd/plpd, cmd/plpctl) for
 // serving an engine over TCP.
+//
+// # Online dynamic repartitioning
+//
+// Physiological partitioning only stays latch-free under shifting workloads
+// if the system re-partitions continuously.  AttachRepartitioner installs
+// the closed-loop DRP controller: every action routed through the
+// partition manager feeds an aging per-table access histogram, and each
+// control period the controller re-buckets the aged key weights over the
+// current partition boundaries, invokes the two-phase load-balancing
+// optimizer when the hottest partition exceeds its fair share, and applies
+// the planned boundary moves through the engine's Rebalance path — which
+// quiesces only the two workers owning the affected ranges, so the rest of
+// the system never stops.  Histogram aging makes a hot spot that migrates
+// stop looking hot where it used to be, so the controller follows it.
+//
+//	ctrl, err := plp.AttachRepartitioner(eng, plp.RepartitionConfig{})
+//	ctrl.Start()        // background control loop; or call ctrl.Step()
+//	defer ctrl.Stop()
+//
+// A controller attached to a served engine also answers the plpctl "drp"
+// verbs (status, trigger, shares) on the running daemon; cmd/plpd -drp
+// enables it, and examples/repartitioning demonstrates convergence under a
+// Zipfian hot spot that migrates mid-run.
 //
 // The workload generators used by the paper's evaluation (TATP, TPC-B, a
 // reduced TPC-C, and the microbenchmarks), the measurement harness and the

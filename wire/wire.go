@@ -52,6 +52,12 @@ const (
 	OpInsertSecondary
 	// OpPing is a health check; the server echoes Value.
 	OpPing
+	// OpControl executes one administrative command on the server (the
+	// plpctl "drp" verbs): Key carries the command name ("status",
+	// "trigger", "shares"), Table the optional table argument.  The result
+	// Value is the command's text output.  Control statements are handled
+	// outside any transaction and must be sent alone in a request.
+	OpControl
 )
 
 // String returns the operation mnemonic.
@@ -73,13 +79,15 @@ func (o OpType) String() string {
 		return "INSSEC"
 	case OpPing:
 		return "PING"
+	case OpControl:
+		return "CONTROL"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
 }
 
 // valid reports whether the op is one the protocol defines.
-func (o OpType) valid() bool { return o >= OpGet && o <= OpPing }
+func (o OpType) valid() bool { return o >= OpGet && o <= OpControl }
 
 // Statement is one operation within a transaction.
 type Statement struct {

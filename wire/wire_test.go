@@ -16,6 +16,7 @@ func TestRequestRoundTrip(t *testing.T) {
 			{Op: OpInsert, Table: "acct", Key: []byte("k2"), Value: []byte("v2")},
 			{Op: OpGetBySecondary, Table: "acct", Index: "by_name", Key: []byte("alice")},
 			{Op: OpPing, Value: []byte("hello")},
+			{Op: OpControl, Table: "acct", Key: []byte("shares")},
 			{Op: OpDelete, Table: "acct", Key: nil},
 		},
 	}
@@ -140,7 +141,7 @@ func TestFrameLimits(t *testing.T) {
 }
 
 func TestOpTypeStrings(t *testing.T) {
-	ops := []OpType{OpGet, OpInsert, OpUpdate, OpUpsert, OpDelete, OpGetBySecondary, OpInsertSecondary, OpPing}
+	ops := []OpType{OpGet, OpInsert, OpUpdate, OpUpsert, OpDelete, OpGetBySecondary, OpInsertSecondary, OpPing, OpControl}
 	seen := make(map[string]bool)
 	for _, op := range ops {
 		s := op.String()
