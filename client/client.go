@@ -1,32 +1,58 @@
 // Package client is the Go client for a PLP server (cmd/plpd).
 //
-// A Client holds one TCP connection and issues framed wire-protocol
-// transactions synchronously; it is safe for concurrent use (calls are
-// serialized on the connection).  For parallel load, open one Client per
-// worker goroutine — mirroring how the engine expects one Session per
-// client thread.
+// A Client holds one TCP connection.  Dial performs the wire-protocol v2
+// handshake (version negotiation plus optional token authentication) and
+// starts an asynchronous core: a reader goroutine matches response frames
+// to in-flight requests by ID, so any number of goroutines can keep
+// requests pipelined on the same connection.  DoAsync submits a
+// transaction and returns a Future; DoContext (and every *Context helper)
+// blocks on the future honouring the context's deadline or cancellation;
+// the plain helpers (Get, Insert, Do, ...) are the same calls with
+// context.Background(), so existing callers keep working unchanged.
 //
 //	c, err := client.Dial("localhost:7070")
 //	defer c.Close()
 //
 //	err = c.Insert("accounts", client.Uint64Key(42), []byte("hello"))
-//	val, found, err := c.Get("accounts", client.Uint64Key(42))
+//	val, err := c.Get("accounts", client.Uint64Key(42))
 //
 //	// Multi-statement transaction:
 //	txn := client.NewTxn().
 //		Upsert("accounts", client.Uint64Key(1), []byte("a")).
 //		Upsert("accounts", client.Uint64Key(2), []byte("b"))
 //	resp, err := c.Do(txn)
+//
+//	// Pipelining: keep many transactions in flight on one connection.
+//	futures := make([]*client.Future, 0, 64)
+//	for i := 0; i < 64; i++ {
+//		futures = append(futures, c.DoAsync(ctx, client.NewTxn().
+//			Upsert("accounts", client.Uint64Key(uint64(i)), []byte("v"))))
+//	}
+//	for _, f := range futures {
+//		if _, err := f.Wait(ctx); err != nil { ... }
+//	}
+//
+// Cancelling a context abandons the in-flight request (its eventual
+// response is discarded) but leaves the connection usable; a transport
+// error fails every in-flight request and poisons the client.
+//
+// Against a pre-v2 server the handshake degrades gracefully: the client
+// detects the legacy response, marks the session v1 and serializes its
+// requests' completions by ID exactly as before.  DialContext with
+// DialOptions{Version: 1} skips the handshake entirely and produces a
+// legacy v1 session (no pipelining on the server side, no scans).
 package client
 
 import (
-	"encoding/binary"
+	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"plp/keys"
 	"plp/wire"
 )
 
@@ -38,16 +64,17 @@ var (
 	ErrAborted = errors.New("client: transaction aborted")
 	// ErrNotFound is returned by Get-style helpers when the key is missing.
 	ErrNotFound = errors.New("client: key not found")
+	// ErrAuth is returned by Dial when the server refused the token.
+	ErrAuth = errors.New("client: authentication failed")
+	// ErrVersion is returned when an operation needs a newer protocol
+	// version than the session negotiated (e.g. Scan on a v1 session).
+	ErrVersion = errors.New("client: operation not supported by negotiated protocol version")
 )
 
-// Uint64Key encodes a uint64 as the order-preserving big-endian key format
-// used by the engine's key encoder, so client keys sort and partition the
-// same way server-side keys do.
-func Uint64Key(v uint64) []byte {
-	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], v)
-	return b[:]
-}
+// Uint64Key encodes a uint64 in the engine's order-preserving big-endian
+// key format.  It is the shared encoding of package keys, so client keys
+// sort and partition exactly as server-side keys do.
+func Uint64Key(v uint64) []byte { return keys.Uint64(v) }
 
 // Txn is a transaction builder.
 type Txn struct {
@@ -99,76 +126,391 @@ func (t *Txn) InsertSecondary(table, index string, secKey, primaryKey []byte) *T
 	return t
 }
 
+// DeleteSecondary appends a secondary-index entry delete (protocol v2).
+func (t *Txn) DeleteSecondary(table, index string, secKey []byte) *Txn {
+	t.statements = append(t.statements, wire.Statement{Op: wire.OpDeleteSecondary, Table: table, Index: index, Key: secKey})
+	return t
+}
+
+// Scan appends a bounded range scan of [lo, hi) — nil hi scans to the end —
+// returning at most limit records (0 selects the server default).  A scan
+// must be the only statement of its request (protocol v2).
+func (t *Txn) Scan(table string, lo, hi []byte, limit int) *Txn {
+	t.statements = append(t.statements, wire.Statement{
+		Op: wire.OpScan, Table: table, Key: lo, KeyEnd: hi, Limit: uint32(max(limit, 0)),
+	})
+	return t
+}
+
 // Len returns the number of statements added so far.
 func (t *Txn) Len() int { return len(t.statements) }
 
-// Client is a connection to a PLP server.
-type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	nextID uint64
-	closed bool
+// minVersion returns the protocol version the transaction needs.
+func (t *Txn) minVersion() uint32 {
+	v := wire.V1
+	for _, st := range t.statements {
+		if mv := st.Op.MinVersion(); mv > v {
+			v = mv
+		}
+	}
+	return v
 }
 
-// Dial connects to a PLP server.
+// Future is one in-flight request.  It completes exactly once: with the
+// server's response, with a transport error, or with the cancellation
+// error of the context that abandoned it.
+type Future struct {
+	id   uint64
+	done chan struct{}
+	resp *wire.Response
+	err  error
+}
+
+// Done returns a channel closed when the future completes.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Result blocks until the future completes and returns the response.
+// Aborted transactions return the response together with ErrAborted.
+func (f *Future) Result() (*wire.Response, error) {
+	<-f.done
+	if f.err != nil {
+		return nil, f.err
+	}
+	if !f.resp.Committed {
+		return f.resp, fmt.Errorf("%w: %s", ErrAborted, f.resp.Err)
+	}
+	return f.resp, nil
+}
+
+// complete resolves the future.  Callers must guarantee exactly-once (the
+// client does, by removing the future from its pending map first).
+func (f *Future) complete(resp *wire.Response, err error) {
+	f.resp, f.err = resp, err
+	close(f.done)
+}
+
+// DialOptions configures DialContext.
+type DialOptions struct {
+	// Token is presented during the handshake; the matching server token
+	// authenticates the session for OpControl.
+	Token string
+	// Version caps the protocol version offered in the handshake (0 offers
+	// the highest this build speaks).  Version 1 skips the handshake
+	// entirely and produces a legacy v1 session.
+	Version uint32
+	// Timeout bounds the TCP dial and the handshake round trip (0 means
+	// 10s).
+	Timeout time.Duration
+}
+
+// Client is a connection to a PLP server.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	version uint32
+	authed  bool
+
+	// Outgoing frames are handed to a writer goroutine that batches them
+	// into one buffered write, flushing when the queue drains — under
+	// pipelining many requests leave in a single syscall.
+	writeCh    chan []byte
+	writerQuit chan struct{}
+	quitOnce   sync.Once
+
+	mu      sync.Mutex
+	pending map[uint64]*Future
+	nextID  uint64
+	closed  bool
+	broken  error // first transport error; poisons the client
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a PLP server and negotiates the highest shared protocol
+// version.
 func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 10*time.Second)
+	return DialContext(context.Background(), addr, nil)
 }
 
 // DialTimeout connects with an explicit dial timeout.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return DialContext(context.Background(), addr, &DialOptions{Timeout: timeout})
+}
+
+// DialContext connects, performs the protocol handshake (unless opts caps
+// the version at 1) and starts the client's reader goroutine.  The context
+// bounds the whole connection setup.
+func DialContext(ctx context.Context, addr string, opts *DialOptions) (*Client, error) {
+	var o DialOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.Version == 0 || o.Version > wire.MaxVersion {
+		o.Version = wire.MaxVersion
+	}
+	dctx, cancel := context.WithTimeout(ctx, o.Timeout)
+	defer cancel()
+	var d net.Dialer
+	conn, err := d.DialContext(dctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c := &Client{
+		conn:       conn,
+		br:         bufio.NewReaderSize(conn, 64<<10),
+		version:    wire.V1,
+		writeCh:    make(chan []byte, 256),
+		writerQuit: make(chan struct{}),
+		pending:    make(map[uint64]*Future),
+		readerDone: make(chan struct{}),
+	}
+	if o.Version >= wire.V2 {
+		if err := c.handshake(dctx, &o); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
 }
 
-// Close terminates the connection.  It is safe to call more than once.
+// handshake sends the HELLO and interprets the server's first frame.  A
+// pre-v2 server answers a HELLO with a decode-error response; the client
+// detects that and degrades the session to v1.
+func (c *Client) handshake(ctx context.Context, o *DialOptions) error {
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(dl)
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
+	hello := &wire.Hello{MaxVersion: o.Version, Token: []byte(o.Token)}
+	if err := wire.WriteFrame(c.conn, wire.EncodeHello(hello)); err != nil {
+		return err
+	}
+	payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	if !wire.IsHelloAck(payload) {
+		// A legacy server treated the HELLO as a request and replied with a
+		// decode error: stay on v1 and discard that response.
+		c.version = wire.V1
+		return nil
+	}
+	ack, err := wire.DecodeHelloAck(payload)
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	if ack.Err != "" {
+		if o.Token != "" {
+			return fmt.Errorf("%w: %s", ErrAuth, ack.Err)
+		}
+		return fmt.Errorf("client: handshake refused: %s", ack.Err)
+	}
+	c.version = ack.Version
+	c.authed = ack.Authenticated
+	return nil
+}
+
+// Version returns the negotiated protocol version of the session.
+func (c *Client) Version() uint32 { return c.version }
+
+// Authenticated reports whether the handshake authenticated the session
+// for control commands.  Legacy v1 sessions always report false — the v1
+// protocol has no handshake, so the client cannot know whether the server
+// requires a token (an open server still accepts their control commands).
+func (c *Client) Authenticated() bool { return c.authed }
+
+// writeLoop drains the outgoing queue into a buffered writer, flushing
+// whenever the queue is empty: an idle connection sends every frame
+// immediately, a pipelining one batches frames into single writes.
+func (c *Client) writeLoop() {
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	for {
+		select {
+		case payload := <-c.writeCh:
+			for {
+				if err := wire.WriteFrame(bw, payload); err != nil {
+					c.fail(err)
+					return
+				}
+				// Drain whatever queued meanwhile with cheap non-blocking
+				// receives, then flush the whole batch at once.
+				select {
+				case payload = <-c.writeCh:
+					continue
+				default:
+				}
+				break
+			}
+			if err := bw.Flush(); err != nil {
+				c.fail(err)
+				return
+			}
+		case <-c.writerQuit:
+			return
+		}
+	}
+}
+
+// readLoop matches response frames to pending futures by request ID.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		payload, err := wire.ReadFrame(c.br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		resp, err := wire.DecodeResponseV(payload, c.version)
+		if err != nil {
+			c.fail(fmt.Errorf("client: bad response frame: %w", err))
+			return
+		}
+		c.mu.Lock()
+		f := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if f != nil {
+			f.complete(resp, nil)
+		}
+		// An unmatched ID is a response to an abandoned (cancelled) request:
+		// drop it.
+	}
+}
+
+// fail poisons the client with a transport error and completes every
+// in-flight future.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		err = ErrClosed
+	}
+	if c.broken == nil {
+		c.broken = err
+	} else {
+		err = c.broken
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]*Future)
+	c.mu.Unlock()
+	c.quitOnce.Do(func() { close(c.writerQuit) })
+	_ = c.conn.Close()
+	for _, f := range pend {
+		f.complete(nil, err)
+	}
+}
+
+// Close terminates the connection, failing any in-flight requests with
+// ErrClosed.  It is safe to call more than once.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	return c.conn.Close()
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone // the reader fails remaining futures with ErrClosed
+	return err
 }
 
-// Do executes the transaction and returns the server's response.  The
-// returned error is non-nil for transport failures and for aborted
-// transactions (ErrAborted, with the server's message appended).
-func (c *Client) Do(t *Txn) (*wire.Response, error) {
+// DoAsync submits the transaction and returns its Future without waiting
+// for the response.  The context only gates submission (a context already
+// cancelled fails the future immediately); use Future.Wait to bound the
+// wait for the response.
+func (c *Client) DoAsync(ctx context.Context, t *Txn) *Future {
+	f := &Future{done: make(chan struct{})}
+	if err := ctx.Err(); err != nil {
+		f.complete(nil, err)
+		return f
+	}
+	if mv := t.minVersion(); mv > c.version {
+		f.complete(nil, fmt.Errorf("%w (need v%d, have v%d)", ErrVersion, mv, c.version))
+		return f
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
-		return nil, ErrClosed
+		c.mu.Unlock()
+		f.complete(nil, ErrClosed)
+		return f
+	}
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		f.complete(nil, err)
+		return f
 	}
 	c.nextID++
-	req := &wire.Request{ID: c.nextID, Statements: t.statements}
-	if err := wire.WriteFrame(c.conn, wire.EncodeRequest(req)); err != nil {
-		return nil, err
+	f.id = c.nextID
+	c.pending[f.id] = f
+	c.mu.Unlock()
+
+	payload := wire.EncodeRequestV(&wire.Request{ID: f.id, Statements: t.statements}, c.version)
+	select {
+	case c.writeCh <- payload: // non-blocking fast path: the queue has room
+	default:
+		select {
+		case c.writeCh <- payload:
+		case <-c.writerQuit:
+			// The connection failed between registration and submission;
+			// fail() has already completed (or will complete) this future.
+		}
 	}
-	payload, err := wire.ReadFrame(c.conn)
-	if err != nil {
-		return nil, err
+	return f
+}
+
+// Wait blocks until the future completes or the context is done.  A context
+// cancellation abandons the request — its eventual response is discarded —
+// but leaves the connection usable for other requests.
+func (f *Future) Wait(ctx context.Context) (*wire.Response, error) {
+	if ctx.Done() == nil { // e.g. context.Background(): plain receive, no select
+		return f.Result()
 	}
-	resp, err := wire.DecodeResponse(payload)
-	if err != nil {
-		return nil, err
+	select {
+	case <-f.done:
+		return f.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	if resp.ID != req.ID {
-		return nil, fmt.Errorf("client: response id %d does not match request id %d", resp.ID, req.ID)
+}
+
+// abandon detaches the future after a cancellation so its response slot is
+// forgotten.
+func (c *Client) abandon(f *Future) {
+	c.mu.Lock()
+	delete(c.pending, f.id)
+	c.mu.Unlock()
+}
+
+// DoContext executes the transaction and returns the server's response,
+// honouring the context.  The returned error is non-nil for transport
+// failures, cancellations, and aborted transactions (ErrAborted, with the
+// server's message appended).
+func (c *Client) DoContext(ctx context.Context, t *Txn) (*wire.Response, error) {
+	f := c.DoAsync(ctx, t)
+	resp, err := f.Wait(ctx)
+	if err != nil && errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+		c.abandon(f)
 	}
-	if !resp.Committed {
-		return resp, fmt.Errorf("%w: %s", ErrAborted, resp.Err)
-	}
-	return resp, nil
+	return resp, err
+}
+
+// Do executes the transaction with no deadline; see DoContext.
+func (c *Client) Do(t *Txn) (*wire.Response, error) {
+	return c.DoContext(context.Background(), t)
 }
 
 // Ping checks connectivity; the server echoes the payload.
-func (c *Client) Ping(payload []byte) error {
-	resp, err := c.Do(&Txn{statements: []wire.Statement{{Op: wire.OpPing, Value: payload}}})
+func (c *Client) Ping(payload []byte) error { return c.PingContext(context.Background(), payload) }
+
+// PingContext checks connectivity under a context.
+func (c *Client) PingContext(ctx context.Context, payload []byte) error {
+	resp, err := c.DoContext(ctx, &Txn{statements: []wire.Statement{{Op: wire.OpPing, Value: payload}}})
 	if err != nil {
 		return err
 	}
@@ -180,7 +522,12 @@ func (c *Client) Ping(payload []byte) error {
 
 // Get reads one record.  A missing key returns ErrNotFound.
 func (c *Client) Get(table string, key []byte) ([]byte, error) {
-	resp, err := c.Do(NewTxn().Get(table, key))
+	return c.GetContext(context.Background(), table, key)
+}
+
+// GetContext reads one record under a context.
+func (c *Client) GetContext(ctx context.Context, table string, key []byte) ([]byte, error) {
+	resp, err := c.DoContext(ctx, NewTxn().Get(table, key))
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +540,12 @@ func (c *Client) Get(table string, key []byte) ([]byte, error) {
 
 // GetBySecondary reads one record through a secondary index.
 func (c *Client) GetBySecondary(table, index string, secKey []byte) ([]byte, error) {
-	resp, err := c.Do(NewTxn().GetBySecondary(table, index, secKey))
+	return c.GetBySecondaryContext(context.Background(), table, index, secKey)
+}
+
+// GetBySecondaryContext reads through a secondary index under a context.
+func (c *Client) GetBySecondaryContext(ctx context.Context, table, index string, secKey []byte) ([]byte, error) {
+	resp, err := c.DoContext(ctx, NewTxn().GetBySecondary(table, index, secKey))
 	if err != nil {
 		return nil, err
 	}
@@ -210,9 +562,21 @@ func (c *Client) Insert(table string, key, value []byte) error {
 	return err
 }
 
+// InsertContext adds one record under a context.
+func (c *Client) InsertContext(ctx context.Context, table string, key, value []byte) error {
+	_, err := c.DoContext(ctx, NewTxn().Insert(table, key, value))
+	return err
+}
+
 // Update overwrites one record.
 func (c *Client) Update(table string, key, value []byte) error {
 	_, err := c.Do(NewTxn().Update(table, key, value))
+	return err
+}
+
+// UpdateContext overwrites one record under a context.
+func (c *Client) UpdateContext(ctx context.Context, table string, key, value []byte) error {
+	_, err := c.DoContext(ctx, NewTxn().Update(table, key, value))
 	return err
 }
 
@@ -222,17 +586,64 @@ func (c *Client) Upsert(table string, key, value []byte) error {
 	return err
 }
 
+// UpsertContext inserts or overwrites one record under a context.
+func (c *Client) UpsertContext(ctx context.Context, table string, key, value []byte) error {
+	_, err := c.DoContext(ctx, NewTxn().Upsert(table, key, value))
+	return err
+}
+
 // Delete removes one record.
 func (c *Client) Delete(table string, key []byte) error {
 	_, err := c.Do(NewTxn().Delete(table, key))
 	return err
 }
 
+// DeleteContext removes one record under a context.
+func (c *Client) DeleteContext(ctx context.Context, table string, key []byte) error {
+	_, err := c.DoContext(ctx, NewTxn().Delete(table, key))
+	return err
+}
+
+// DeleteSecondary removes one secondary-index entry (protocol v2).
+func (c *Client) DeleteSecondary(table, index string, secKey []byte) error {
+	_, err := c.Do(NewTxn().DeleteSecondary(table, index, secKey))
+	return err
+}
+
+// DeleteSecondaryContext removes one secondary-index entry under a context.
+func (c *Client) DeleteSecondaryContext(ctx context.Context, table, index string, secKey []byte) error {
+	_, err := c.DoContext(ctx, NewTxn().DeleteSecondary(table, index, secKey))
+	return err
+}
+
+// Scan returns at most limit records of [lo, hi) in key order (protocol
+// v2).  A nil hi scans to the end of the table; limit 0 selects the server
+// default.
+func (c *Client) Scan(table string, lo, hi []byte, limit int) ([]wire.ScanEntry, error) {
+	return c.ScanContext(context.Background(), table, lo, hi, limit)
+}
+
+// ScanContext runs a bounded range scan under a context.
+func (c *Client) ScanContext(ctx context.Context, table string, lo, hi []byte, limit int) ([]wire.ScanEntry, error) {
+	resp, err := c.DoContext(ctx, NewTxn().Scan(table, lo, hi, limit))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results[0].Entries, nil
+}
+
 // Control executes one administrative command on the server (the plpctl
 // "drp" verbs: "status", "trigger", "shares") and returns its text output.
 // table is the optional table argument ("" when the command takes none).
+// On a token-protected server control requires the session to have
+// authenticated with DialOptions.Token.
 func (c *Client) Control(cmd, table string) (string, error) {
-	resp, err := c.Do(&Txn{statements: []wire.Statement{{Op: wire.OpControl, Table: table, Key: []byte(cmd)}}})
+	return c.ControlContext(context.Background(), cmd, table)
+}
+
+// ControlContext executes one administrative command under a context.
+func (c *Client) ControlContext(ctx context.Context, cmd, table string) (string, error) {
+	resp, err := c.DoContext(ctx, &Txn{statements: []wire.Statement{{Op: wire.OpControl, Table: table, Key: []byte(cmd)}}})
 	if err != nil {
 		return "", err
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"plp/internal/keyenc"
+	"plp/keys"
 	"plp/wire"
 )
 
@@ -12,6 +13,9 @@ func TestUint64KeyMatchesEngineEncoding(t *testing.T) {
 	for _, v := range []uint64{0, 1, 42, 1 << 32, ^uint64(0)} {
 		if !bytes.Equal(Uint64Key(v), keyenc.Uint64Key(v)) {
 			t.Fatalf("client key encoding for %d diverges from the engine's", v)
+		}
+		if !bytes.Equal(Uint64Key(v), keys.Uint64(v)) {
+			t.Fatalf("client key encoding for %d diverges from package keys", v)
 		}
 	}
 	// Order preservation.
@@ -44,6 +48,34 @@ func TestTxnBuilder(t *testing.T) {
 	}
 	if txn.statements[5].Index != "idx" || txn.statements[6].Index != "idx" {
 		t.Fatal("secondary statements lost their index name")
+	}
+}
+
+func TestTxnBuilderV2Ops(t *testing.T) {
+	txn := NewTxn().
+		Scan("t", []byte("a"), []byte("z"), 25).
+		DeleteSecondary("t", "idx", []byte("sk"))
+	if txn.Len() != 2 {
+		t.Fatalf("len %d, want 2", txn.Len())
+	}
+	s := txn.statements[0]
+	if s.Op != wire.OpScan || !bytes.Equal(s.Key, []byte("a")) ||
+		!bytes.Equal(s.KeyEnd, []byte("z")) || s.Limit != 25 {
+		t.Fatalf("scan statement %+v", s)
+	}
+	if txn.statements[1].Op != wire.OpDeleteSecondary || txn.statements[1].Index != "idx" {
+		t.Fatalf("delsec statement %+v", txn.statements[1])
+	}
+	// A negative limit is clamped, not wrapped into a huge uint32.
+	if NewTxn().Scan("t", nil, nil, -1).statements[0].Limit != 0 {
+		t.Fatal("negative limit not clamped to 0")
+	}
+	// Version requirements follow the ops.
+	if NewTxn().Get("t", nil).minVersion() != wire.V1 {
+		t.Fatal("v1 txn reported a higher version need")
+	}
+	if txn.minVersion() != wire.V2 {
+		t.Fatal("v2 txn did not report the v2 requirement")
 	}
 }
 

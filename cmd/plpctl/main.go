@@ -7,13 +7,17 @@
 //	plpctl -addr localhost:7070 get   <table> <key>
 //	plpctl -addr localhost:7070 del   <table> <key>
 //	plpctl -addr localhost:7070 getsec <table> <index> <secondary-key>
+//	plpctl -addr localhost:7070 scan  <table> <lo> <hi> [limit]
 //	plpctl -addr localhost:7070 bench <table> [-clients N] [-ops M]
 //
 // Keys are uint64 by default (encoded exactly as the engine's key encoder
-// does); pass -raw to use the key bytes verbatim.
+// does); pass -raw to use the key bytes verbatim.  Against a daemon started
+// with -token, pass the matching -token to authenticate the session for the
+// drp control verbs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"plp/client"
+	"plp/keys"
 )
 
 // usage prints the command summary and exits.
@@ -39,10 +44,14 @@ commands:
   update <table> <key> <value>       overwrite (fails if missing)
   del    <table> <key>               delete a record
   getsec <table> <index> <seckey>    read through a secondary index
+  delsec <table> <index> <seckey>    delete a secondary-index entry
+  scan   <table> <lo> <hi> [limit]   range scan [lo, hi) ("-" scans open-ended)
   bench  <table>                     run a small upsert/get load (-clients, -ops)
   drp status                         show the repartitioning controller's state
   drp trigger                        run one control period now
   drp shares <table>                 per-partition load shares of one table
+
+flags: -addr host:port, -raw (byte keys), -token <secret> (authenticate)
 `)
 	os.Exit(2)
 }
@@ -51,6 +60,7 @@ func main() {
 	var (
 		addr    = flag.String("addr", "localhost:7070", "server address")
 		raw     = flag.Bool("raw", false, "treat keys as raw bytes instead of uint64")
+		token   = flag.String("token", "", "authentication token (matches plpd -token)")
 		clients = flag.Int("clients", 4, "bench: concurrent connections")
 		ops     = flag.Int("ops", 10000, "bench: operations per connection")
 	)
@@ -71,7 +81,7 @@ func main() {
 		return client.Uint64Key(v)
 	}
 
-	c, err := client.Dial(*addr)
+	c, err := client.DialContext(context.Background(), *addr, &client.DialOptions{Token: *token})
 	if err != nil {
 		fatalf("dial %s: %v", *addr, err)
 	}
@@ -100,6 +110,44 @@ func main() {
 			fatalf("getsec: %v", err)
 		}
 		fmt.Printf("%s\n", val)
+	case "delsec":
+		need(args, 3)
+		if err := c.DeleteSecondary(args[0], args[1], []byte(args[2])); err != nil {
+			fatalf("delsec: %v", err)
+		}
+		fmt.Println("OK")
+	case "scan":
+		if len(args) != 3 && len(args) != 4 {
+			usage()
+		}
+		bound := func(s string) []byte {
+			if s == "-" {
+				return nil
+			}
+			return key(s)
+		}
+		limit := 0
+		if len(args) == 4 {
+			n, err := strconv.Atoi(args[3])
+			if err != nil || n < 0 {
+				fatalf("limit %q is not a non-negative integer", args[3])
+			}
+			limit = n
+		}
+		entries, err := c.Scan(args[0], bound(args[1]), bound(args[2]), limit)
+		if err != nil {
+			fatalf("scan: %v", err)
+		}
+		for _, e := range entries {
+			if *raw {
+				fmt.Printf("%x\t%s\n", e.Key, e.Value)
+			} else if k, err := keys.DecodeUint64(e.Key); err == nil {
+				fmt.Printf("%d\t%s\n", k, e.Value)
+			} else {
+				fmt.Printf("%x\t%s\n", e.Key, e.Value)
+			}
+		}
+		fmt.Printf("(%d records)\n", len(entries))
 	case "put":
 		need(args, 3)
 		if err := c.Upsert(args[0], key(args[1]), []byte(args[2])); err != nil {

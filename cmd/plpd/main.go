@@ -56,6 +56,7 @@ func main() {
 		keyspace     = flag.Uint64("keyspace", 1_000_000, "uint64 key space upper bound used to compute partition boundaries")
 		autoBalance  = flag.Bool("autobalance", false, "enable the automatic load-balance monitor on every table")
 		drp          = flag.Bool("drp", false, "enable the online dynamic-repartitioning controller (plpctl drp ... inspects it)")
+		token        = flag.String("token", "", "authentication token; when set, only sessions presenting it may issue control commands")
 		drpPeriod    = flag.Duration("drp-period", 100*time.Millisecond, "control period of the repartitioning controller")
 		checkpointMs = flag.Int("checkpoint-ms", 0, "background checkpoint interval in milliseconds (0 disables)")
 		truncateLog  = flag.Bool("checkpoint-truncate", false, "truncate the log prefix after each successful checkpoint")
@@ -103,6 +104,7 @@ func main() {
 	}
 
 	srv := server.New(e)
+	srv.SetAuthToken(*token)
 	if *drp {
 		ctrl, err := repartition.Attach(e, repartition.Config{Period: *drpPeriod})
 		if err != nil {

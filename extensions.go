@@ -125,9 +125,13 @@ var RecommendBoundaries = advisor.RecommendBoundaries
 // Network server (see internal/server, package client and cmd/plpd).
 //
 
-// Server exposes an engine over TCP using the wire protocol.
+// Server exposes an engine over TCP using wire protocol v2: versioned
+// authenticated handshake, pipelined out-of-order execution, and
+// distributed range scans (see package wire for the protocol and package
+// client for the asynchronous Go client).
 type Server = server.Server
 
 // NewServer returns a server for the engine.  Call Listen and Serve (or see
-// cmd/plpd for a ready-made daemon).
+// cmd/plpd for a ready-made daemon); SetAuthToken gates the administrative
+// control verbs behind a shared token.
 func NewServer(e *Engine) *Server { return server.New(e) }

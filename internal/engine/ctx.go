@@ -312,6 +312,37 @@ func (c *Ctx) Insert(table string, key, rec []byte) error {
 	return nil
 }
 
+// Upsert inserts the record under key, or replaces the existing one.  On
+// clustered tables it attempts the insert first, so the common new-key case
+// costs a single index descent and a duplicate falls back to the update
+// path cheaply.  On heap tables a failed insert would already have placed
+// (and would have to remove) a heap record, so the existing key is probed
+// first instead.
+func (c *Ctx) Upsert(table string, key, rec []byte) error {
+	tbl, err := c.eng.Table(table)
+	if err != nil {
+		return err
+	}
+	if tbl.Def.Clustered {
+		err := c.Insert(table, key, rec)
+		if errors.Is(err, ErrDuplicate) {
+			return c.Update(table, key, rec)
+		}
+		return err
+	}
+	if err := c.lockKey(tbl, key, lock.X); err != nil {
+		return err
+	}
+	_, found, err := tbl.Primary.Search(c.tx, key)
+	if err != nil {
+		return err
+	}
+	if found {
+		return c.Update(table, key, rec)
+	}
+	return c.Insert(table, key, rec)
+}
+
 // Update replaces the record stored under key.
 func (c *Ctx) Update(table string, key, rec []byte) error {
 	tbl, err := c.eng.Table(table)

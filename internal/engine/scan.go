@@ -3,8 +3,10 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"plp/internal/dora"
 )
@@ -32,6 +34,25 @@ type ParallelScanStats struct {
 // describes for heap file scans; in the Conventional design the scan runs
 // inline on the calling goroutine.  The visitor may be called concurrently.
 func (e *Engine) ScanTableParallel(table string, visit ScanVisitor) (ParallelScanStats, error) {
+	return e.ScanRange(table, nil, nil, 0, visit)
+}
+
+// ScanRange visits records with lo <= key < hi (nil bounds are open),
+// bounded by limit (<= 0 means no limit).  Each partition whose key range
+// intersects [lo, hi) scans its own clipped range on its owning worker, so
+// — like ScanTableParallel — visits from different partitions run
+// concurrently and the visitor must be safe for concurrent use.  The limit
+// applies per partition: every partition visits at most the `limit`
+// smallest keys of its own sub-range, so the union always contains the
+// `limit` globally smallest keys of the range; callers wanting exactly
+// those must sort the visited records and truncate (package server does,
+// for wire-level scans).  Each worker re-reads its partition's range at
+// execution time — a boundary move affecting a worker pair-quiesces it
+// first, so the range cannot change mid-scan — which makes scans
+// concurrent with online repartitioning memory-safe but fuzzy: records
+// adjacent to a boundary that moves mid-scan may be missed or visited
+// twice.
+func (e *Engine) ScanRange(table string, lo, hi []byte, limit int, visit ScanVisitor) (ParallelScanStats, error) {
 	var st ParallelScanStats
 	if _, err := e.Table(table); err != nil {
 		return st, err
@@ -42,13 +63,14 @@ func (e *Engine) ScanTableParallel(table string, visit ScanVisitor) (ParallelSca
 	}
 
 	if e.pool == nil {
-		// Conventional: inline scan of the whole key range.
+		// Conventional: inline scan of the requested key range, in key
+		// order, so the limit is exact.
 		ctx := &Ctx{eng: e, partition: -1, loading: true}
 		n := 0
-		err := ctx.ReadRange(table, nil, nil, func(k, rec []byte) bool {
+		err := ctx.ReadRange(table, lo, hi, func(k, rec []byte) bool {
 			visit(-1, k, rec)
 			n++
-			return true
+			return limit <= 0 || n < limit
 		})
 		st.Records = n
 		st.Partitions = 1
@@ -56,24 +78,36 @@ func (e *Engine) ScanTableParallel(table string, visit ScanVisitor) (ParallelSca
 	}
 
 	// One scan task per routing partition, executed by the worker that owns
-	// it (the same worker-selection rule request execution uses).
+	// it (the same worker-selection rule request execution uses).  The
+	// partition's range is read on the worker itself: any boundary move
+	// affecting the worker quiesces it first, so the range is stable for
+	// the duration of the scan and the worker never traverses a latch-free
+	// sub-tree it does not own.  Partitions whose range misses [lo, hi)
+	// return immediately.
 	parts := rt.numPartitions()
-	counts := make([]int, parts)
 	errs := make([]error, parts)
+	var total, scanned atomic.Int64
 	var wg sync.WaitGroup
 	for p := 0; p < parts; p++ {
-		lo, hi := rt.rangeOf(p)
 		w := e.pool.Worker(p % e.pool.Size())
 		slot := p
 		wg.Add(1)
 		err := w.Submit(dora.Task{Do: func(worker *dora.Worker) {
 			defer wg.Done()
+			plo, phi := rt.rangeOf(slot)
+			clo, chi, ok := clipRange(plo, phi, lo, hi)
+			if !ok {
+				return
+			}
+			scanned.Add(1)
 			ctx := &Ctx{eng: e, worker: worker, partition: worker.ID(), loading: true}
-			errs[slot] = ctx.ReadRange(table, lo, hi, func(k, rec []byte) bool {
+			n := 0
+			errs[slot] = ctx.ReadRange(table, clo, chi, func(k, rec []byte) bool {
 				visit(worker.ID(), k, rec)
-				counts[slot]++
-				return true
+				n++
+				return limit <= 0 || n < limit
 			})
+			total.Add(int64(n))
 		}})
 		if err != nil {
 			wg.Done()
@@ -81,13 +115,31 @@ func (e *Engine) ScanTableParallel(table string, visit ScanVisitor) (ParallelSca
 		}
 	}
 	wg.Wait()
+	st.Records = int(total.Load())
 	for p := 0; p < parts; p++ {
-		st.Records += counts[p]
 		if errs[p] != nil {
 			return st, errs[p]
 		}
 	}
-	st.Partitions = parts
+	st.Partitions = int(scanned.Load())
 	st.Distributed = true
 	return st, nil
+}
+
+// clipRange intersects the partition range [plo, phi) with the requested
+// range [lo, hi); nil bounds are open.  ok is false when the intersection
+// is empty.
+func clipRange(plo, phi, lo, hi []byte) (clo, chi []byte, ok bool) {
+	clo = plo
+	if lo != nil && (clo == nil || bytes.Compare(lo, clo) > 0) {
+		clo = lo
+	}
+	chi = phi
+	if hi != nil && (chi == nil || bytes.Compare(hi, chi) < 0) {
+		chi = hi
+	}
+	if clo != nil && chi != nil && bytes.Compare(clo, chi) >= 0 {
+		return nil, nil, false
+	}
+	return clo, chi, true
 }

@@ -1,8 +1,12 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
+
+	"sync/atomic"
 
 	"plp/client"
 	"plp/internal/catalog"
@@ -11,31 +15,50 @@ import (
 )
 
 // benchServer starts a PLP-Leaf server over loopback and returns its
-// address.
-func benchServer(b *testing.B) string {
-	b.Helper()
+// address.  With preload set, keys 1, 11, 21, ... covering the whole
+// keyspace are bulk-loaded so read workloads hit existing records on every
+// partition.
+func benchServer(tb testing.TB, preload bool) string {
+	tb.Helper()
 	e := engine.New(engine.Options{Design: engine.PLPLeaf, Partitions: 4})
 	boundaries := [][]byte{keyenc.Uint64Key(250_000), keyenc.Uint64Key(500_000), keyenc.Uint64Key(750_000)}
 	if _, err := e.CreateTable(catalog.TableDef{Name: "accounts", Boundaries: boundaries}); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
+	}
+	if preload {
+		l := e.NewLoader()
+		for i := uint64(0); i < 100_000; i++ {
+			if err := l.Insert("accounts", keyenc.Uint64Key(i*10+1), []byte("balance=100")); err != nil {
+				tb.Fatal(err)
+			}
+		}
 	}
 	srv := New(e)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	go func() { _ = srv.Serve() }()
-	b.Cleanup(func() {
+	tb.Cleanup(func() {
 		_ = srv.Close()
 		_ = e.Close()
 	})
 	return addr
 }
 
+// benchTxn builds the i-th transaction of a benchmark workload: "upsert"
+// writes across the whole keyspace, "get" reads the preloaded records.
+func benchTxn(workload string, i int) *client.Txn {
+	if workload == "get" {
+		return client.NewTxn().Get("accounts", client.Uint64Key(uint64(i%100_000)*10+1))
+	}
+	return client.NewTxn().Upsert("accounts", client.Uint64Key(uint64(i%1_000_000+1)), []byte("balance=100"))
+}
+
 // BenchmarkServerUpsertGet measures single-connection round trips over
 // loopback: one upsert plus one read per iteration.
 func BenchmarkServerUpsertGet(b *testing.B) {
-	addr := benchServer(b)
+	addr := benchServer(b, false)
 	c, err := client.Dial(addr)
 	if err != nil {
 		b.Fatal(err)
@@ -54,11 +77,137 @@ func BenchmarkServerUpsertGet(b *testing.B) {
 	}
 }
 
+// BenchmarkServerSerialized1Conn measures the legacy execution model: a v1
+// session issuing one synchronous transaction at a time, so every operation
+// pays a full network round trip and the connection can keep at most one
+// partition worker busy.
+func BenchmarkServerSerialized1Conn(b *testing.B) {
+	for _, workload := range []string{"upsert", "get"} {
+		b.Run(workload, func(b *testing.B) {
+			addr := benchServer(b, workload == "get")
+			c, err := client.DialContext(context.Background(), addr, &client.DialOptions{Version: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Do(benchTxn(workload, i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerPipelined1Conn64 measures the v2 execution model on the
+// same workloads: one connection keeping 64 transactions in flight, with
+// the server's per-connection executor pool spreading them over the
+// partition workers and completing them out of order.
+func BenchmarkServerPipelined1Conn64(b *testing.B) {
+	for _, workload := range []string{"upsert", "get"} {
+		b.Run(workload, func(b *testing.B) {
+			addr := benchServer(b, workload == "get")
+			c, err := client.Dial(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			ctx := context.Background()
+			window := make(chan *client.Future, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for len(window) == cap(window) {
+					if _, err := (<-window).Wait(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				window <- c.DoAsync(ctx, benchTxn(workload, i))
+			}
+			for len(window) > 0 {
+				if _, err := (<-window).Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// measureNetThroughput drives one connection for the given duration and
+// returns committed transactions per second — serialized (v1, one in
+// flight) or pipelined (v2, 64 in flight).
+func measureNetThroughput(tb testing.TB, addr, workload string, pipelined bool, d time.Duration) float64 {
+	tb.Helper()
+	opts := &client.DialOptions{Version: 1}
+	if pipelined {
+		opts = nil
+	}
+	c, err := client.DialContext(context.Background(), addr, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	done := 0
+	if !pipelined {
+		for time.Now().Before(deadline) {
+			if _, err := c.Do(benchTxn(workload, done)); err != nil {
+				tb.Fatal(err)
+			}
+			done++
+		}
+		return float64(done) / time.Since(start).Seconds()
+	}
+	window := make(chan *client.Future, 64)
+	submitted := 0
+	for time.Now().Before(deadline) {
+		for len(window) == cap(window) {
+			if _, err := (<-window).Wait(ctx); err != nil {
+				tb.Fatal(err)
+			}
+			done++
+		}
+		window <- c.DoAsync(ctx, benchTxn(workload, submitted))
+		submitted++
+	}
+	for len(window) > 0 {
+		if _, err := (<-window).Wait(ctx); err != nil {
+			tb.Fatal(err)
+		}
+		done++
+	}
+	return float64(done) / time.Since(start).Seconds()
+}
+
+// TestNetworkThroughputDatapoint emits the pipelined-vs-serialized
+// single-connection throughput of both workloads as JSON lines (BENCH_JSON)
+// so the CI log carries network datapoints for the perf trajectory.  It
+// makes no timing assertion — CI machines are too noisy — but the dedicated
+// benchmark pair above reproduces the comparison precisely.
+func TestNetworkThroughputDatapoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping throughput measurement in short mode")
+	}
+	for _, workload := range []string{"upsert", "get"} {
+		addr := benchServer(t, workload == "get")
+		serialized := measureNetThroughput(t, addr, workload, false, 400*time.Millisecond)
+		pipelined := measureNetThroughput(t, addr, workload, true, 400*time.Millisecond)
+		speedup := 0.0
+		if serialized > 0 {
+			speedup = pipelined / serialized
+		}
+		fmt.Printf("BENCH_JSON {\"benchmark\":\"net_%s_1conn\",\"serialized_ops_per_s\":%.0f,\"pipelined64_ops_per_s\":%.0f,\"speedup\":%.2f}\n",
+			workload, serialized, pipelined, speedup)
+	}
+}
+
 // BenchmarkServerParallelClients measures throughput with one connection per
 // benchmark goroutine.
 func BenchmarkServerParallelClients(b *testing.B) {
-	addr := benchServer(b)
-	var nextClient int64
+	addr := benchServer(b, false)
+	var nextClient atomic.Int64
 	b.RunParallel(func(pb *testing.PB) {
 		c, err := client.Dial(addr)
 		if err != nil {
@@ -66,8 +215,7 @@ func BenchmarkServerParallelClients(b *testing.B) {
 			return
 		}
 		defer c.Close()
-		nextClient++
-		base := uint64(nextClient) * 1_000_000 % 900_000
+		base := uint64(nextClient.Add(1)) * 1_000_000 % 900_000
 		i := 0
 		for pb.Next() {
 			i++

@@ -1,17 +1,32 @@
 // Package server exposes a PLP engine over TCP using the wire protocol.
 //
-// Each accepted connection is served by one goroutine that reads framed
-// requests, executes each as one transaction through an engine Session, and
-// writes the framed response.  The partition manager inside the engine does
-// the actual work distribution: the server only translates wire statements
-// into routable actions, exactly the role the "partition manager" layer of
-// Section 3.1 plays for incoming transactions.
+// The server speaks both wire-protocol versions.  A connection whose first
+// frame is a HELLO is a v2 session: the handshake negotiates the protocol
+// version and authenticates the optional token, and from then on the
+// connection is *pipelined* — one reader goroutine decodes frames, a
+// bounded per-connection pool of executor goroutines runs each request as
+// its own transaction on its own engine Session, and one writer goroutine
+// sends responses back in completion order, matched to requests by ID.
+// That keeps every partition worker of the engine busy from a single
+// connection, instead of serializing the connection on one request at a
+// time.  A connection that opens with a plain request is a legacy v1
+// session and keeps the old serial read-execute-write loop and its
+// in-order replies.
+//
+// The partition manager inside the engine does the actual work
+// distribution: the server only translates wire statements into routable
+// actions, exactly the role the "partition manager" layer of Section 3.1
+// plays for incoming transactions.
 package server
 
 import (
+	"bufio"
+	"bytes"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +37,23 @@ import (
 
 // ErrClosed is returned by Serve after Close has been called.
 var ErrClosed = errors.New("server: closed")
+
+// Pipelining and scan bounds.
+const (
+	// DefaultConnWorkers is the per-connection executor pool size for v2
+	// sessions: the number of requests of one connection that can execute
+	// concurrently inside the engine.
+	DefaultConnWorkers = 16
+	// DefaultConnQueue is the per-connection bound on decoded requests
+	// waiting for an executor; together with the pool it caps a
+	// connection's in-flight requests (backpressure is the TCP window).
+	DefaultConnQueue = 64
+	// DefaultScanLimit is applied when an OpScan asks for no limit.
+	DefaultScanLimit = 1024
+	// MaxScanLimit caps any OpScan, protecting the server from a scan that
+	// would materialize an entire table into one response frame.
+	MaxScanLimit = 65536
+)
 
 // ControlHandler serves the wire protocol's OpControl statements — the
 // administrative verbs of plpctl.  The online repartitioning controller
@@ -37,6 +69,10 @@ type ControlHandler interface {
 type Stats struct {
 	// Connections is the number of connections accepted so far.
 	Connections uint64
+	// Handshakes is the number of v2 sessions negotiated.
+	Handshakes uint64
+	// AuthFailures is the number of sessions refused for a bad token.
+	AuthFailures uint64
 	// Requests is the number of transactions processed.
 	Requests uint64
 	// Committed and Aborted split Requests by outcome.
@@ -48,18 +84,27 @@ type Stats struct {
 type Server struct {
 	e *engine.Engine
 
+	// ConnWorkers and ConnQueue override the per-connection executor pool
+	// size and pending-request bound for v2 sessions (0 selects the
+	// defaults).  Set them before Serve.
+	ConnWorkers int
+	ConnQueue   int
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 
-	connections atomic.Uint64
-	requests    atomic.Uint64
-	committed   atomic.Uint64
-	aborted     atomic.Uint64
+	connections  atomic.Uint64
+	handshakes   atomic.Uint64
+	authFailures atomic.Uint64
+	requests     atomic.Uint64
+	committed    atomic.Uint64
+	aborted      atomic.Uint64
 
 	control atomic.Pointer[ControlHandler]
+	token   atomic.Pointer[string]
 }
 
 // New returns a server for the engine.
@@ -77,13 +122,30 @@ func (s *Server) SetControlHandler(h ControlHandler) {
 	s.control.Store(&h)
 }
 
+// SetAuthToken installs (or, with "", removes) the authentication token.
+// With a token set, only sessions whose HELLO presented the matching token
+// are authenticated: a wrong token is refused outright, and sessions
+// without a token — including every legacy v1 session — may run data
+// transactions but are refused OpControl.  Without a token every session is
+// authenticated.  The token is snapshotted per connection at handshake
+// time.
+func (s *Server) SetAuthToken(token string) {
+	if token == "" {
+		s.token.Store(nil)
+		return
+	}
+	s.token.Store(&token)
+}
+
 // Stats returns a snapshot of server activity.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Connections: s.connections.Load(),
-		Requests:    s.requests.Load(),
-		Committed:   s.committed.Load(),
-		Aborted:     s.aborted.Load(),
+		Connections:  s.connections.Load(),
+		Handshakes:   s.handshakes.Load(),
+		AuthFailures: s.authFailures.Load(),
+		Requests:     s.requests.Load(),
+		Committed:    s.committed.Load(),
+		Aborted:      s.aborted.Load(),
 	}
 }
 
@@ -185,7 +247,14 @@ func (s *Server) Close() error {
 	return err
 }
 
-// serveConn is the per-connection loop.
+// session is the per-connection protocol state fixed by the handshake.
+type session struct {
+	version uint32
+	authed  bool
+}
+
+// serveConn sniffs the first frame for a handshake and dispatches the
+// connection to the serial (v1) or pipelined (v2) loop.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -195,29 +264,162 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
+	// All frame reads go through one buffered reader: under pipelining many
+	// frames arrive per TCP segment and the buffer turns them into one
+	// syscall.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	first, err := wire.ReadFrame(br)
+	if err != nil {
+		return
+	}
+	tok := s.token.Load()
+	cs := session{version: wire.V1, authed: tok == nil}
+	if wire.IsHello(first) {
+		hello, err := wire.DecodeHello(first)
+		if err != nil {
+			_ = wire.WriteFrame(conn, wire.EncodeHelloAck(&wire.HelloAck{
+				Version: wire.MaxVersion, Err: fmt.Sprintf("handshake: %v", err)}))
+			return
+		}
+		cs.version = hello.MaxVersion
+		if cs.version > wire.MaxVersion {
+			cs.version = wire.MaxVersion
+		}
+		if cs.version < wire.V1 {
+			cs.version = wire.V1
+		}
+		if tok != nil && len(hello.Token) > 0 {
+			if subtle.ConstantTimeCompare([]byte(*tok), hello.Token) == 1 {
+				cs.authed = true
+			} else {
+				s.authFailures.Add(1)
+				_ = wire.WriteFrame(conn, wire.EncodeHelloAck(&wire.HelloAck{
+					Version: cs.version, Err: "authentication failed"}))
+				return
+			}
+		}
+		if err := wire.WriteFrame(conn, wire.EncodeHelloAck(&wire.HelloAck{
+			Version: cs.version, Authenticated: cs.authed})); err != nil {
+			return
+		}
+		s.handshakes.Add(1)
+		first = nil
+	}
+	if cs.version >= wire.V2 {
+		s.servePipelined(conn, br, cs)
+		return
+	}
+	s.serveSerial(conn, br, first, cs)
+}
+
+// serveSerial is the legacy v1 loop: one request at a time, responses in
+// request order.  first is a request frame already read by the handshake
+// sniff (nil when the session started with a HELLO that negotiated v1).
+func (s *Server) serveSerial(conn net.Conn, br *bufio.Reader, first []byte, cs session) {
 	sess := s.e.NewSession()
 	defer sess.Close()
 
+	payload := first
 	for {
-		payload, err := wire.ReadFrame(conn)
-		if err != nil {
-			return // connection closed or corrupt framing: drop the connection
+		if payload == nil {
+			var err error
+			payload, err = wire.ReadFrame(br)
+			if err != nil {
+				return // connection closed or corrupt framing: drop the connection
+			}
 		}
-		req, err := wire.DecodeRequest(payload)
-		var resp *wire.Response
-		if err != nil {
-			resp = &wire.Response{Err: fmt.Sprintf("decode: %v", err)}
-		} else {
-			resp = s.execute(sess, req)
-		}
-		if err := wire.WriteFrame(conn, wire.EncodeResponse(resp)); err != nil {
+		resp := s.handleFrame(sess, payload, cs)
+		payload = nil
+		if err := wire.WriteFrame(conn, wire.EncodeResponseV(resp, cs.version)); err != nil {
 			return
 		}
 	}
 }
 
+// servePipelined is the v2 loop: this goroutine reads and decodes frames, a
+// bounded executor pool runs each request on its own engine session, and a
+// writer goroutine sends responses in completion order.
+func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
+	workers := s.ConnWorkers
+	if workers <= 0 {
+		workers = DefaultConnWorkers
+	}
+	queue := s.ConnQueue
+	if queue <= 0 {
+		queue = DefaultConnQueue
+	}
+
+	work := make(chan []byte, queue)
+	out := make(chan *wire.Response, queue)
+	writerDone := make(chan struct{})
+
+	go func() {
+		defer close(writerDone)
+		// Responses are buffered and flushed only when the outbox drains:
+		// under load many responses leave in one syscall, while an idle
+		// connection still gets every response immediately.
+		bw := bufio.NewWriterSize(conn, 64<<10)
+		broken := false
+		fail := func() {
+			broken = true
+			_ = conn.Close() // unblocks the reader, which winds the pipeline down
+		}
+		for resp := range out {
+			if broken {
+				continue // keep draining so executors never block on out
+			}
+			if err := wire.WriteFrame(bw, wire.EncodeResponseV(resp, cs.version)); err != nil {
+				fail()
+				continue
+			}
+			if len(out) == 0 {
+				if err := bw.Flush(); err != nil {
+					fail()
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := s.e.NewSession()
+			defer sess.Close()
+			for payload := range work {
+				out <- s.handleFrame(sess, payload, cs)
+			}
+		}()
+	}
+
+	for {
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			break
+		}
+		work <- payload
+	}
+	close(work)
+	wg.Wait()
+	close(out)
+	<-writerDone
+}
+
+// handleFrame decodes one request frame and executes it.  A decode failure
+// still echoes the best-effort request ID so ID-matching clients stay in
+// sync.
+func (s *Server) handleFrame(sess *engine.Session, payload []byte, cs session) *wire.Response {
+	req, err := wire.DecodeRequestV(payload, cs.version)
+	if err != nil {
+		id, _ := wire.RequestID(payload)
+		return &wire.Response{ID: id, Err: fmt.Sprintf("decode: %v", err)}
+	}
+	return s.execute(sess, req, cs)
+}
+
 // execute runs one wire request as a transaction.
-func (s *Server) execute(sess *engine.Session, req *wire.Request) *wire.Response {
+func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session) *wire.Response {
 	s.requests.Add(1)
 	resp := &wire.Response{ID: req.ID, Results: make([]wire.StatementResult, len(req.Statements))}
 	if len(req.Statements) == 0 {
@@ -226,22 +428,44 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request) *wire.Response
 		return resp
 	}
 
-	// Pings and control statements never run as transactions; a request
-	// made only of them is answered directly.
+	// Pings, control statements and scans never run as transactions; a
+	// request made only of pings/controls is answered directly, and a scan
+	// must be a request of its own (it executes on every partition worker
+	// at once, outside the phase machinery).
 	allAdmin := true
 	hasControl := false
+	hasScan := false
 	for _, st := range req.Statements {
 		switch st.Op {
 		case wire.OpPing:
 		case wire.OpControl:
 			hasControl = true
+		case wire.OpScan:
+			hasScan = true
+			allAdmin = false
 		default:
 			allAdmin = false
 		}
 	}
+	if hasScan && len(req.Statements) != 1 {
+		resp.Err = "scan statements must be sent alone, not inside a transaction"
+		s.aborted.Add(1)
+		return resp
+	}
 	if hasControl && !allAdmin {
 		resp.Err = "control statements must be sent alone, not inside a transaction"
 		s.aborted.Add(1)
+		return resp
+	}
+	if hasScan {
+		resp.Results[0] = s.executeScan(req.Statements[0])
+		if resp.Results[0].Err != "" {
+			resp.Err = resp.Results[0].Err
+			s.aborted.Add(1)
+			return resp
+		}
+		resp.Committed = true
+		s.committed.Add(1)
 		return resp
 	}
 	if allAdmin {
@@ -250,7 +474,7 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request) *wire.Response
 				resp.Results[i] = wire.StatementResult{Found: true, Value: append([]byte(nil), st.Value...)}
 				continue
 			}
-			resp.Results[i] = s.executeControl(st)
+			resp.Results[i] = s.executeControl(st, cs)
 		}
 		resp.Committed = true
 		s.committed.Add(1)
@@ -274,7 +498,10 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request) *wire.Response
 }
 
 // executeControl runs one control statement through the attached handler.
-func (s *Server) executeControl(st wire.Statement) wire.StatementResult {
+func (s *Server) executeControl(st wire.Statement, cs session) wire.StatementResult {
+	if !cs.authed {
+		return wire.StatementResult{Err: "control requires an authenticated session (connect with the server's -token)"}
+	}
 	p := s.control.Load()
 	if p == nil {
 		return wire.StatementResult{Err: "server has no control handler (start plpd with -drp)"}
@@ -286,6 +513,44 @@ func (s *Server) executeControl(st wire.Statement) wire.StatementResult {
 	return wire.StatementResult{Found: true, Value: []byte(out)}
 }
 
+// executeScan runs one OpScan as a distributed partition scan (Section 3.3)
+// and returns the smallest `limit` records of [Key, KeyEnd) in key order.
+func (s *Server) executeScan(st wire.Statement) wire.StatementResult {
+	if st.Table == "" {
+		return wire.StatementResult{Err: "scan: missing table"}
+	}
+	limit := int(st.Limit)
+	if limit <= 0 || limit > MaxScanLimit {
+		if st.Limit > MaxScanLimit {
+			limit = MaxScanLimit
+		} else {
+			limit = DefaultScanLimit
+		}
+	}
+	var mu sync.Mutex
+	var entries []wire.ScanEntry
+	_, err := s.e.ScanRange(st.Table, st.Key, st.KeyEnd, limit, func(_ int, k, rec []byte) {
+		e := wire.ScanEntry{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), rec...),
+		}
+		mu.Lock()
+		entries = append(entries, e)
+		mu.Unlock()
+	})
+	if err != nil {
+		return wire.StatementResult{Err: fmt.Sprintf("scan: %v", err)}
+	}
+	// Each partition returned the smallest `limit` keys of its own
+	// sub-range, concurrently; sort their union and truncate to the
+	// globally smallest `limit` keys, in order.
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].Key, entries[j].Key) < 0 })
+	if len(entries) > limit {
+		entries = entries[:limit]
+	}
+	return wire.StatementResult{Found: len(entries) > 0, Entries: entries}
+}
+
 // buildRequest translates wire statements into a routable engine request.
 // Statements are packed into phases greedily; a statement that touches a key
 // already written in the current phase starts a new phase, preserving the
@@ -293,6 +558,34 @@ func (s *Server) executeControl(st wire.Statement) wire.StatementResult {
 // statements execute in parallel on different partitions.
 func (s *Server) buildRequest(req *wire.Request, results []wire.StatementResult) (*engine.Request, error) {
 	out := &engine.Request{}
+
+	// Fast path for the dominant OLTP shape — one data statement per
+	// request: a single action, no phase bookkeeping.
+	if len(req.Statements) == 1 {
+		if st := req.Statements[0]; st.Op != wire.OpPing && st.Op != wire.OpGetBySecondary {
+			if st.Table == "" {
+				return nil, fmt.Errorf("statement 0: missing table")
+			}
+			if _, err := s.e.Table(st.Table); err != nil {
+				return nil, fmt.Errorf("statement 0: %v", err)
+			}
+			out.Phases = [][]engine.Action{{{
+				Table: st.Table,
+				Key:   st.Key,
+				Exec: func(c *engine.Ctx) error {
+					res, err := execStatement(c, st)
+					if err != nil {
+						results[0] = wire.StatementResult{Err: err.Error()}
+						return err
+					}
+					results[0] = res
+					return nil
+				},
+			}}}
+			return out, nil
+		}
+	}
+
 	var phase []engine.Action
 	touched := make(map[string]struct{})
 
@@ -410,18 +703,13 @@ func execStatement(c *engine.Ctx, st wire.Statement) (wire.StatementResult, erro
 	case wire.OpUpdate:
 		return wire.StatementResult{Found: true}, c.Update(st.Table, st.Key, st.Value)
 	case wire.OpUpsert:
-		exists, err := c.Exists(st.Table, st.Key)
-		if err != nil {
-			return wire.StatementResult{}, err
-		}
-		if exists {
-			return wire.StatementResult{Found: true}, c.Update(st.Table, st.Key, st.Value)
-		}
-		return wire.StatementResult{Found: true}, c.Insert(st.Table, st.Key, st.Value)
+		return wire.StatementResult{Found: true}, c.Upsert(st.Table, st.Key, st.Value)
 	case wire.OpDelete:
 		return wire.StatementResult{Found: true}, c.Delete(st.Table, st.Key)
 	case wire.OpInsertSecondary:
 		return wire.StatementResult{Found: true}, c.InsertSecondary(st.Table, st.Index, st.Key, st.Value)
+	case wire.OpDeleteSecondary:
+		return wire.StatementResult{Found: true}, c.DeleteSecondary(st.Table, st.Index, st.Key)
 	default:
 		return wire.StatementResult{}, fmt.Errorf("unsupported op %v", st.Op)
 	}

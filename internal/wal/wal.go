@@ -157,14 +157,20 @@ type Stats struct {
 // shardCount is the number of independent slots in the consolidated buffer.
 const shardCount = 64
 
+// shardChunk is the number of records per shard storage chunk.  Chunked
+// storage keeps Append O(1): a growing flat slice would re-zero and copy
+// the whole shard on every doubling, which dominates CPU once the log holds
+// millions of records.
+const shardChunk = 1024
+
 // Consolidated is the Aether-style consolidated log buffer.
 type Consolidated struct {
 	next    atomic.Uint64 // next LSN to hand out (byte offset)
 	durable atomic.Uint64
 
 	shards [shardCount]struct {
-		mu      sync.Mutex
-		records []Record
+		mu     sync.Mutex
+		chunks [][]Record
 	}
 
 	appends   atomic.Uint64
@@ -196,7 +202,12 @@ func (l *Consolidated) Append(r *Record) LSN {
 	if contended {
 		shard.mu.Lock()
 	}
-	shard.records = append(shard.records, *r)
+	n := len(shard.chunks)
+	if n == 0 || len(shard.chunks[n-1]) == shardChunk {
+		shard.chunks = append(shard.chunks, make([]Record, 0, shardChunk))
+		n++
+	}
+	shard.chunks[n-1] = append(shard.chunks[n-1], *r)
 	shard.mu.Unlock()
 
 	l.cstats.RecordClass(cs.LogMgr, cs.Composable, contended)
@@ -237,7 +248,9 @@ func (l *Consolidated) Records() []Record {
 	for i := range l.shards {
 		s := &l.shards[i]
 		s.mu.Lock()
-		all = append(all, s.records...)
+		for _, c := range s.chunks {
+			all = append(all, c...)
+		}
 		s.mu.Unlock()
 	}
 	sortRecords(all)
@@ -254,15 +267,22 @@ func (l *Consolidated) Truncate(upto LSN) int {
 	for i := range l.shards {
 		s := &l.shards[i]
 		s.mu.Lock()
-		kept := s.records[:0]
-		for _, r := range s.records {
-			if r.LSN < upto {
-				dropped++
-				continue
+		var kept [][]Record
+		for _, c := range s.chunks {
+			for _, r := range c {
+				if r.LSN < upto {
+					dropped++
+					continue
+				}
+				n := len(kept)
+				if n == 0 || len(kept[n-1]) == shardChunk {
+					kept = append(kept, make([]Record, 0, shardChunk))
+					n++
+				}
+				kept[n-1] = append(kept[n-1], r)
 			}
-			kept = append(kept, r)
 		}
-		s.records = kept
+		s.chunks = kept
 		s.mu.Unlock()
 	}
 	l.truncated.Add(uint64(dropped))

@@ -1,0 +1,35 @@
+// Package keys is the public face of the engine's order-preserving key
+// encoding (internal/keyenc), shared by both sides of the wire protocol.
+//
+// Every index in the system stores keys as byte strings compared with
+// bytes.Compare; the encodings here guarantee that byte-wise order equals
+// the numeric (or lexicographic, for composites) order of the source
+// values.  The client package and the server-side engine both build keys
+// through this package, so the two formats cannot drift.
+package keys
+
+import "plp/internal/keyenc"
+
+// Uint64 encodes a uint64 as an 8-byte big-endian, order-preserving key —
+// the partitioning key format of every uint64-keyed table.
+func Uint64(v uint64) []byte { return keyenc.Uint64Key(v) }
+
+// DecodeUint64 decodes the first 8 bytes of key as a big-endian uint64.
+func DecodeUint64(key []byte) (uint64, error) { return keyenc.DecodeUint64(key) }
+
+// CompositeUint64 encodes a sequence of uint64 components as one
+// order-preserving composite key.
+func CompositeUint64(vs ...uint64) []byte { return keyenc.CompositeUint64(vs...) }
+
+// Compare compares two encoded keys byte-wise.
+func Compare(a, b []byte) int { return keyenc.Compare(a, b) }
+
+// Successor returns the smallest key strictly greater than key, without
+// modifying its argument.  Useful for turning an inclusive scan bound into
+// an exclusive one.
+func Successor(key []byte) []byte { return keyenc.Successor(key) }
+
+// PrefixEnd returns the smallest key greater than every key with the given
+// prefix (nil when no such key exists), turning a prefix into an exclusive
+// range end for scans.
+func PrefixEnd(prefix []byte) []byte { return keyenc.PrefixEnd(prefix) }

@@ -1,0 +1,40 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+
+	"plp/internal/keyenc"
+)
+
+func TestUint64MatchesEngineEncoding(t *testing.T) {
+	for _, v := range []uint64{0, 1, 42, 1 << 32, ^uint64(0)} {
+		if !bytes.Equal(Uint64(v), keyenc.Uint64Key(v)) {
+			t.Fatalf("public key encoding for %d diverges from the engine's", v)
+		}
+		got, err := DecodeUint64(Uint64(v))
+		if err != nil || got != v {
+			t.Fatalf("decode(encode(%d)) = %d, %v", v, got, err)
+		}
+	}
+	if Compare(Uint64(5), Uint64(6)) >= 0 {
+		t.Fatal("key encoding is not order preserving")
+	}
+}
+
+func TestCompositeAndRanges(t *testing.T) {
+	if !bytes.Equal(CompositeUint64(1, 2), keyenc.CompositeUint64(1, 2)) {
+		t.Fatal("composite encoding diverges from the engine's")
+	}
+	k := Uint64(9)
+	if Compare(Successor(k), k) <= 0 {
+		t.Fatal("successor is not greater than its key")
+	}
+	end := PrefixEnd([]byte{0x01, 0xFF})
+	if end == nil || Compare(end, []byte{0x01, 0xFF}) <= 0 {
+		t.Fatalf("prefix end %x not after the prefix", end)
+	}
+	if PrefixEnd([]byte{0xFF, 0xFF}) != nil {
+		t.Fatal("all-0xFF prefix should have no end")
+	}
+}

@@ -39,8 +39,25 @@
 // AttachRepartitioner for the paper's online dynamic repartitioning (DRP),
 // NewBalanceMonitor for simpler one-table rebalancing under skew,
 // NewAdvisorTracker for the partition-alignment analysis of Appendix E, and
-// NewServer plus the client and wire packages (and cmd/plpd, cmd/plpctl) for
-// serving an engine over TCP.
+// NewServer plus the client, wire and keys packages (and cmd/plpd,
+// cmd/plpctl) for serving an engine over TCP.
+//
+// # Network serving
+//
+// NewServer exposes an engine over TCP speaking wire protocol v2: sessions
+// open with a versioned handshake (negotiated down transparently for
+// legacy v1 clients) that optionally authenticates a token
+// (Server.SetAuthToken / plpd -token) gating the administrative control
+// verbs, and v2 connections are pipelined — the server decouples frame
+// reading from execution, runs each in-flight request on its own engine
+// session through a bounded per-connection executor pool, and returns
+// responses out of order matched by request ID, so a single connection can
+// keep every partition worker busy.  The wire surface covers transactions
+// over the full data-access layer plus bounded range scans (OpScan), which
+// execute as Section 3.3 distributed partition scans.  Package client is
+// the matching asynchronous Go client (futures, context cancellation,
+// synchronous helpers on top), and package keys is the shared
+// order-preserving key encoding both sides build keys with.
 //
 // # Online dynamic repartitioning
 //

@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest feeds hostile request payloads (truncated frames, bad
+// ops, corrupt length prefixes) through both protocol versions of the
+// decoder.  The decoder must never panic, and whatever it accepts must
+// re-encode/decode to the same request (the codec is its own oracle).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte{}, uint32(1))
+	f.Add(EncodeRequest(&Request{ID: 1, Statements: []Statement{{Op: OpPing, Value: []byte("x")}}}), uint32(1))
+	f.Add(EncodeRequestV(&Request{ID: 2, Statements: []Statement{
+		{Op: OpUpsert, Table: "t", Key: []byte("k"), Value: []byte("v")},
+		{Op: OpScan, Table: "t", Key: []byte("a"), KeyEnd: []byte("z"), Limit: 10},
+	}}, V2), uint32(2))
+	// Hostile length prefix: a statement count of ~4 billion.
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}, uint32(2))
+	f.Fuzz(func(t *testing.T, payload []byte, version uint32) {
+		if version != V1 {
+			version = V2
+		}
+		req, err := DecodeRequestV(payload, version)
+		if err != nil {
+			return
+		}
+		back, err := DecodeRequestV(EncodeRequestV(req, version), version)
+		if err != nil {
+			t.Fatalf("re-decode of accepted request failed: %v", err)
+		}
+		if back.ID != req.ID || len(back.Statements) != len(req.Statements) {
+			t.Fatalf("round trip changed the request: %+v != %+v", back, req)
+		}
+		for i := range req.Statements {
+			a, b := req.Statements[i], back.Statements[i]
+			if a.Op != b.Op || a.Table != b.Table || a.Index != b.Index ||
+				!bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Value, b.Value) ||
+				!bytes.Equal(a.KeyEnd, b.KeyEnd) || a.Limit != b.Limit {
+				t.Fatalf("statement %d changed: %+v != %+v", i, b, a)
+			}
+		}
+	})
+}
+
+// FuzzDecodeResponse does the same for response payloads.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add([]byte{}, uint32(1))
+	f.Add(EncodeResponse(&Response{ID: 1, Committed: true, Results: []StatementResult{{Found: true, Value: []byte("v")}}}), uint32(1))
+	f.Add(EncodeResponseV(&Response{ID: 2, Results: []StatementResult{
+		{Found: true, Entries: []ScanEntry{{Key: []byte("k"), Value: []byte("v")}}},
+	}}, V2), uint32(2))
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}, uint32(2))
+	f.Fuzz(func(t *testing.T, payload []byte, version uint32) {
+		if version != V1 {
+			version = V2
+		}
+		resp, err := DecodeResponseV(payload, version)
+		if err != nil {
+			return
+		}
+		back, err := DecodeResponseV(EncodeResponseV(resp, version), version)
+		if err != nil {
+			t.Fatalf("re-decode of accepted response failed: %v", err)
+		}
+		if back.ID != resp.ID || back.Committed != resp.Committed || back.Err != resp.Err ||
+			len(back.Results) != len(resp.Results) {
+			t.Fatalf("round trip changed the response: %+v != %+v", back, resp)
+		}
+		for i := range resp.Results {
+			a, b := resp.Results[i], back.Results[i]
+			if a.Found != b.Found || a.Err != b.Err || !bytes.Equal(a.Value, b.Value) ||
+				len(a.Entries) != len(b.Entries) {
+				t.Fatalf("result %d changed: %+v != %+v", i, b, a)
+			}
+		}
+	})
+}
+
+// FuzzDecodeHello covers the handshake frames.
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(EncodeHello(&Hello{MaxVersion: V2, Token: []byte("tok")}))
+	f.Add(EncodeHelloAck(&HelloAck{Version: V2, Authenticated: true}))
+	f.Add([]byte("PLP\xf7HELO"))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if h, err := DecodeHello(payload); err == nil {
+			back, err := DecodeHello(EncodeHello(h))
+			if err != nil || back.MaxVersion != h.MaxVersion || !bytes.Equal(back.Token, h.Token) {
+				t.Fatalf("hello round trip changed: %+v -> %+v (%v)", h, back, err)
+			}
+		}
+		if a, err := DecodeHelloAck(payload); err == nil {
+			back, err := DecodeHelloAck(EncodeHelloAck(a))
+			if err != nil || *back != *a {
+				t.Fatalf("ack round trip changed: %+v -> %+v (%v)", a, back, err)
+			}
+		}
+	})
+}

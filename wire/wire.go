@@ -1,15 +1,61 @@
 // Package wire defines the client/server protocol of the PLP network
 // front-end (cmd/plpd and package client).
 //
-// The protocol is deliberately small: a client sends one framed Request —
-// an ordered list of statements that execute as a single transaction — and
-// receives one framed Response with a per-statement result and the
-// transaction outcome.  Frames are length-prefixed; payloads use a compact
+// # Frames
+//
+// Every message is one frame: a 4-byte big-endian length prefix followed by
+// that many payload bytes, capped at MaxFrameSize.  Payloads use a compact
 // little-endian binary encoding with length-prefixed byte fields.  Only the
 // standard library is used.
+//
+// # Versions and the handshake
+//
+// Two protocol versions exist:
+//
+//   - V1 (legacy): no handshake.  The client's first frame is already a
+//     Request; the session is unversioned, unauthenticated, and the server
+//     answers every request in the order it was received.
+//   - V2: the client's first frame is a HELLO carrying the highest protocol
+//     version it speaks plus an optional authentication token.  The server
+//     answers with a HELLO-ACK carrying the negotiated version
+//     (min(client, server)) and whether the session is authenticated, then
+//     both sides switch to that version's request/response encoding.  On a
+//     V2 session requests are pipelined: the client may keep many requests
+//     in flight and the server completes them out of order, matching
+//     responses to requests by the client-chosen request ID.
+//
+// A HELLO frame is distinguished from a legacy request by an 8-byte magic
+// prefix; a V1 client's first request would need the request ID
+// 0x4F4C4548_F7504C50 to collide with it, which sequential-ID clients never
+// produce.  A V2 server therefore serves old V1 clients on the same port
+// with no configuration.
+//
+// # V2 payloads
+//
+// A HELLO is: magic "PLP\xf7HELO", uint32 max version, token bytes, uint32
+// reserved flags.  A HELLO-ACK is: magic "PLP\xf7HACK", uint32 negotiated
+// version, 1 authenticated byte, error string (non-empty means the server
+// refused the session and will close the connection).
+//
+// A request is: uint64 ID, uint32 statement count, then per statement: op
+// byte, table, index, key, value (all length-prefixed); V2 appends the scan
+// end-key and a uint32 limit to each statement.  A response is: uint64 ID,
+// committed byte, transaction error string, uint32 result count, then per
+// result: found byte, value, error string; V2 appends a uint32 entry count
+// and that many key/value pairs (the scan results).
+//
+// # Authentication
+//
+// A server started with a token (plpd -token) treats a session as
+// authenticated only if its HELLO presented the matching token: a wrong
+// token is refused outright, while a missing token (including every V1
+// session) yields an unauthenticated session that may run data transactions
+// but is refused OpControl.  A server with no token treats every session as
+// authenticated.
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,12 +67,25 @@ var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 	ErrShortPayload  = errors.New("wire: truncated payload")
 	ErrBadOp         = errors.New("wire: unknown operation")
+	ErrBadHello      = errors.New("wire: malformed handshake frame")
 )
 
 // MaxFrameSize bounds a single frame (requests and responses).  16 MiB is
 // far above anything the engine's 8 KiB pages can produce in one
 // transaction but protects the server from corrupt length prefixes.
 const MaxFrameSize = 16 << 20
+
+// Protocol versions.
+const (
+	// V1 is the legacy protocol: no handshake, serial request execution.
+	V1 uint32 = 1
+	// V2 adds the authenticated handshake, pipelined out-of-order
+	// execution, range scans (OpScan) and secondary-index deletes
+	// (OpDeleteSecondary).
+	V2 uint32 = 2
+	// MaxVersion is the highest version this build speaks.
+	MaxVersion = V2
+)
 
 // OpType identifies one statement kind.
 type OpType uint8
@@ -56,8 +115,18 @@ const (
 	// plpctl "drp" verbs): Key carries the command name ("status",
 	// "trigger", "shares"), Table the optional table argument.  The result
 	// Value is the command's text output.  Control statements are handled
-	// outside any transaction and must be sent alone in a request.
+	// outside any transaction, must be sent alone in a request, and require
+	// an authenticated session when the server has a token configured.
 	OpControl
+	// OpScan (V2) performs a bounded range scan: Key is the inclusive lower
+	// bound, KeyEnd the exclusive upper bound (nil means open), Limit the
+	// maximum number of records returned.  The engine distributes the scan
+	// to the partition-owning workers; results arrive in key order in the
+	// result's Entries.  A scan must be sent alone in a request.
+	OpScan
+	// OpDeleteSecondary (V2) removes the secondary-index entry under Key in
+	// the index named by Index.  Deleting a missing entry is not an error.
+	OpDeleteSecondary
 )
 
 // String returns the operation mnemonic.
@@ -81,13 +150,30 @@ func (o OpType) String() string {
 		return "PING"
 	case OpControl:
 		return "CONTROL"
+	case OpScan:
+		return "SCAN"
+	case OpDeleteSecondary:
+		return "DELSEC"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
 }
 
-// valid reports whether the op is one the protocol defines.
-func (o OpType) valid() bool { return o >= OpGet && o <= OpControl }
+// MinVersion returns the lowest protocol version that defines the op.
+func (o OpType) MinVersion() uint32 {
+	if o >= OpScan {
+		return V2
+	}
+	return V1
+}
+
+// validFor reports whether the op is defined at the given protocol version.
+func (o OpType) validFor(version uint32) bool {
+	if o < OpGet || o > OpDeleteSecondary {
+		return false
+	}
+	return o.MinVersion() <= version
+}
 
 // Statement is one operation within a transaction.
 type Statement struct {
@@ -95,33 +181,51 @@ type Statement struct {
 	Op OpType
 	// Table names the target table (ignored by OpPing).
 	Table string
-	// Index names the secondary index for OpGetBySecondary/OpInsertSecondary.
+	// Index names the secondary index for the secondary-index ops.
 	Index string
-	// Key is the primary key (or the secondary key for secondary ops).
+	// Key is the primary key (the secondary key for secondary ops, or the
+	// inclusive scan lower bound for OpScan).
 	Key []byte
 	// Value is the record image for writes (or the primary key for
 	// OpInsertSecondary, or the echo payload for OpPing).
 	Value []byte
+	// KeyEnd is the exclusive upper bound of an OpScan (nil scans to the end
+	// of the table).  V2 only.
+	KeyEnd []byte
+	// Limit caps the number of records an OpScan returns (0 selects the
+	// server's default).  V2 only.
+	Limit uint32
 }
 
 // Request is one transaction submitted by a client.
 type Request struct {
-	// ID is chosen by the client and echoed in the response so responses can
-	// be matched to requests by higher-level multiplexing clients.
+	// ID is chosen by the client and echoed in the response.  V2 clients
+	// keep many requests in flight and match responses to requests by it.
 	ID uint64
 	// Statements execute in order as one transaction.
 	Statements []Statement
 }
 
+// ScanEntry is one record returned by an OpScan.
+type ScanEntry struct {
+	// Key is the record's primary key.
+	Key []byte
+	// Value is the record image.
+	Value []byte
+}
+
 // StatementResult is the outcome of one statement.
 type StatementResult struct {
-	// Found reports whether a read found its key.
+	// Found reports whether a read found its key (for OpScan, whether the
+	// scan returned at least one record).
 	Found bool
-	// Value is the read result (or the ping echo).
+	// Value is the read result (or the ping echo, or control output).
 	Value []byte
 	// Err is a non-empty statement error message; any statement error aborts
 	// the whole transaction.
 	Err string
+	// Entries holds an OpScan's records in key order.  V2 only.
+	Entries []ScanEntry
 }
 
 // Response is the server's reply to one Request.
@@ -135,6 +239,37 @@ type Response struct {
 	// Results holds one entry per statement, in order.
 	Results []StatementResult
 }
+
+// Hello is the first frame of a V2 session, sent by the client.
+type Hello struct {
+	// MaxVersion is the highest protocol version the client speaks; the
+	// server negotiates the session down to min(MaxVersion, MaxVersion of
+	// the server).
+	MaxVersion uint32
+	// Token is the optional authentication token.  Sessions that present no
+	// token to a token-protected server stay unauthenticated (data
+	// transactions only); a wrong token is refused outright.
+	Token []byte
+}
+
+// HelloAck is the server's reply to a Hello.
+type HelloAck struct {
+	// Version is the negotiated protocol version of the session.
+	Version uint32
+	// Authenticated reports whether the session may issue OpControl.
+	Authenticated bool
+	// Err is non-empty when the server refused the session (bad token,
+	// malformed hello); the server closes the connection after sending it.
+	Err string
+}
+
+// Handshake frame magics.  The hello magic doubles as the V1/V2 sniff: a V1
+// request would need this exact little-endian request ID as its first frame
+// to be mistaken for a handshake.
+var (
+	helloMagic    = [8]byte{'P', 'L', 'P', 0xF7, 'H', 'E', 'L', 'O'}
+	helloAckMagic = [8]byte{'P', 'L', 'P', 0xF7, 'H', 'A', 'C', 'K'}
+)
 
 // --- binary encoding helpers ---
 
@@ -202,6 +337,10 @@ func (r *reader) byteVal() byte {
 	return v
 }
 
+// bytes returns the next length-prefixed field *aliasing* the payload
+// buffer: decoded messages share their frames' memory (frames are allocated
+// per message and never reused), which keeps the hot path at one allocation
+// per frame instead of one per field.
 func (r *reader) bytes() []byte {
 	n := r.uint32()
 	if r.err != nil {
@@ -214,16 +353,104 @@ func (r *reader) bytes() []byte {
 	if n == 0 {
 		return nil
 	}
-	out := append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	out := r.buf[r.off : r.off+int(n) : r.off+int(n)]
 	r.off += int(n)
 	return out
 }
 
 func (r *reader) str() string { return string(r.bytes()) }
 
-// EncodeRequest serializes a request payload (without the frame header).
-func EncodeRequest(req *Request) []byte {
-	out := appendUint64(nil, req.ID)
+// --- handshake codec ---
+
+// IsHello reports whether a payload is a handshake HELLO frame.
+func IsHello(payload []byte) bool {
+	return len(payload) >= 8 && bytes.Equal(payload[:8], helloMagic[:])
+}
+
+// IsHelloAck reports whether a payload is a handshake HELLO-ACK frame.
+func IsHelloAck(payload []byte) bool {
+	return len(payload) >= 8 && bytes.Equal(payload[:8], helloAckMagic[:])
+}
+
+// EncodeHello serializes a HELLO payload.
+func EncodeHello(h *Hello) []byte {
+	out := append([]byte(nil), helloMagic[:]...)
+	out = appendUint32(out, h.MaxVersion)
+	out = appendBytes(out, h.Token)
+	out = appendUint32(out, 0) // reserved flags
+	return out
+}
+
+// DecodeHello parses a HELLO payload.  Trailing bytes beyond the reserved
+// flags are ignored so future versions can extend the frame.
+func DecodeHello(payload []byte) (*Hello, error) {
+	if !IsHello(payload) {
+		return nil, ErrBadHello
+	}
+	r := &reader{buf: payload, off: 8}
+	h := &Hello{MaxVersion: r.uint32()}
+	h.Token = r.bytes()
+	r.uint32() // reserved flags
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHello, r.err)
+	}
+	return h, nil
+}
+
+// EncodeHelloAck serializes a HELLO-ACK payload.
+func EncodeHelloAck(a *HelloAck) []byte {
+	out := append([]byte(nil), helloAckMagic[:]...)
+	out = appendUint32(out, a.Version)
+	authed := byte(0)
+	if a.Authenticated {
+		authed = 1
+	}
+	out = append(out, authed)
+	out = appendString(out, a.Err)
+	return out
+}
+
+// DecodeHelloAck parses a HELLO-ACK payload.
+func DecodeHelloAck(payload []byte) (*HelloAck, error) {
+	if !IsHelloAck(payload) {
+		return nil, ErrBadHello
+	}
+	r := &reader{buf: payload, off: 8}
+	a := &HelloAck{Version: r.uint32()}
+	a.Authenticated = r.byteVal() == 1
+	a.Err = r.str()
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHello, r.err)
+	}
+	return a, nil
+}
+
+// --- request/response codec ---
+
+// RequestID best-effort decodes the request-ID prefix of a (possibly
+// corrupt) request payload so that error responses can still echo the ID
+// and ID-matching clients stay in sync.
+func RequestID(payload []byte) (uint64, bool) {
+	if len(payload) < 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(payload), true
+}
+
+// EncodeRequest serializes a request payload at protocol version V1.
+func EncodeRequest(req *Request) []byte { return EncodeRequestV(req, V1) }
+
+// EncodeRequestV serializes a request payload at the given protocol version
+// (without the frame header).
+func EncodeRequestV(req *Request, version uint32) []byte {
+	size := 8 + 4
+	for _, s := range req.Statements {
+		size += 1 + 4 + len(s.Table) + 4 + len(s.Index) + 4 + len(s.Key) + 4 + len(s.Value)
+		if version >= V2 {
+			size += 4 + len(s.KeyEnd) + 4
+		}
+	}
+	out := appendUint64(make([]byte, 0, size), req.ID)
 	out = appendUint32(out, uint32(len(req.Statements)))
 	for _, s := range req.Statements {
 		out = append(out, byte(s.Op))
@@ -231,23 +458,43 @@ func EncodeRequest(req *Request) []byte {
 		out = appendString(out, s.Index)
 		out = appendBytes(out, s.Key)
 		out = appendBytes(out, s.Value)
+		if version >= V2 {
+			out = appendBytes(out, s.KeyEnd)
+			out = appendUint32(out, s.Limit)
+		}
 	}
 	return out
 }
 
-// DecodeRequest parses a request payload.
-func DecodeRequest(buf []byte) (*Request, error) {
+// DecodeRequest parses a request payload at protocol version V1.
+func DecodeRequest(buf []byte) (*Request, error) { return DecodeRequestV(buf, V1) }
+
+// DecodeRequestV parses a request payload at the given protocol version.
+// Ops introduced after that version are rejected with ErrBadOp.  The
+// returned request's byte fields alias buf, which must not be modified or
+// reused afterwards.
+func DecodeRequestV(buf []byte, version uint32) (*Request, error) {
 	r := &reader{buf: buf}
 	req := &Request{ID: r.uint64()}
 	n := r.uint32()
+	// Presize bounded by what the payload could physically hold (a
+	// statement is at least 17 bytes), so a hostile count cannot force a
+	// huge allocation.
+	if max := uint32(len(buf) / 17); n > 0 && r.err == nil {
+		req.Statements = make([]Statement, 0, min(n, max))
+	}
 	for i := uint32(0); i < n && r.err == nil; i++ {
 		s := Statement{Op: OpType(r.byteVal())}
 		s.Table = r.str()
 		s.Index = r.str()
 		s.Key = r.bytes()
 		s.Value = r.bytes()
-		if r.err == nil && !s.Op.valid() {
-			return nil, fmt.Errorf("%w: %d", ErrBadOp, s.Op)
+		if version >= V2 {
+			s.KeyEnd = r.bytes()
+			s.Limit = r.uint32()
+		}
+		if r.err == nil && !s.Op.validFor(version) {
+			return nil, fmt.Errorf("%w: %d (protocol v%d)", ErrBadOp, s.Op, version)
 		}
 		req.Statements = append(req.Statements, s)
 	}
@@ -257,9 +504,23 @@ func DecodeRequest(buf []byte) (*Request, error) {
 	return req, nil
 }
 
-// EncodeResponse serializes a response payload (without the frame header).
-func EncodeResponse(resp *Response) []byte {
-	out := appendUint64(nil, resp.ID)
+// EncodeResponse serializes a response payload at protocol version V1.
+func EncodeResponse(resp *Response) []byte { return EncodeResponseV(resp, V1) }
+
+// EncodeResponseV serializes a response payload at the given protocol
+// version (without the frame header).
+func EncodeResponseV(resp *Response, version uint32) []byte {
+	size := 8 + 1 + 4 + len(resp.Err) + 4
+	for _, res := range resp.Results {
+		size += 1 + 4 + len(res.Value) + 4 + len(res.Err)
+		if version >= V2 {
+			size += 4
+			for _, e := range res.Entries {
+				size += 4 + len(e.Key) + 4 + len(e.Value)
+			}
+		}
+	}
+	out := appendUint64(make([]byte, 0, size), resp.ID)
 	committed := byte(0)
 	if resp.Committed {
 		committed = 1
@@ -275,22 +536,47 @@ func EncodeResponse(resp *Response) []byte {
 		out = append(out, found)
 		out = appendBytes(out, res.Value)
 		out = appendString(out, res.Err)
+		if version >= V2 {
+			out = appendUint32(out, uint32(len(res.Entries)))
+			for _, e := range res.Entries {
+				out = appendBytes(out, e.Key)
+				out = appendBytes(out, e.Value)
+			}
+		}
 	}
 	return out
 }
 
-// DecodeResponse parses a response payload.
-func DecodeResponse(buf []byte) (*Response, error) {
+// DecodeResponse parses a response payload at protocol version V1.
+func DecodeResponse(buf []byte) (*Response, error) { return DecodeResponseV(buf, V1) }
+
+// DecodeResponseV parses a response payload at the given protocol version.
+// The returned response's byte fields alias buf, which must not be modified
+// or reused afterwards.
+func DecodeResponseV(buf []byte, version uint32) (*Response, error) {
 	r := &reader{buf: buf}
 	resp := &Response{ID: r.uint64()}
 	resp.Committed = r.byteVal() == 1
 	resp.Err = r.str()
 	n := r.uint32()
+	// Presize bounded by payload capacity (a result is at least 9 bytes).
+	if max := uint32(len(buf) / 9); n > 0 && r.err == nil {
+		resp.Results = make([]StatementResult, 0, min(n, max))
+	}
 	for i := uint32(0); i < n && r.err == nil; i++ {
 		var res StatementResult
 		res.Found = r.byteVal() == 1
 		res.Value = r.bytes()
 		res.Err = r.str()
+		if version >= V2 {
+			m := r.uint32()
+			for j := uint32(0); j < m && r.err == nil; j++ {
+				var e ScanEntry
+				e.Key = r.bytes()
+				e.Value = r.bytes()
+				res.Entries = append(res.Entries, e)
+			}
+		}
 		resp.Results = append(resp.Results, res)
 	}
 	if r.err != nil {

@@ -141,7 +141,8 @@ func TestFrameLimits(t *testing.T) {
 }
 
 func TestOpTypeStrings(t *testing.T) {
-	ops := []OpType{OpGet, OpInsert, OpUpdate, OpUpsert, OpDelete, OpGetBySecondary, OpInsertSecondary, OpPing, OpControl}
+	ops := []OpType{OpGet, OpInsert, OpUpdate, OpUpsert, OpDelete, OpGetBySecondary,
+		OpInsertSecondary, OpPing, OpControl, OpScan, OpDeleteSecondary}
 	seen := make(map[string]bool)
 	for _, op := range ops {
 		s := op.String()
@@ -149,15 +150,143 @@ func TestOpTypeStrings(t *testing.T) {
 			t.Fatalf("bad or duplicate op label %q", s)
 		}
 		seen[s] = true
-		if !op.valid() {
-			t.Fatalf("op %v reported invalid", op)
+		if !op.validFor(V2) {
+			t.Fatalf("op %v reported invalid at v2", op)
 		}
 	}
-	if OpType(0).valid() || OpType(99).valid() {
+	if OpType(0).validFor(V2) || OpType(99).validFor(V2) {
 		t.Fatal("invalid ops reported valid")
 	}
 	if OpType(99).String() == "" {
 		t.Fatal("unknown op should still render")
+	}
+	// The v2 ops are version-gated: a v1 decoder rejects them.
+	if OpScan.validFor(V1) || OpDeleteSecondary.validFor(V1) {
+		t.Fatal("v2 ops reported valid at v1")
+	}
+	if OpScan.MinVersion() != V2 || OpGet.MinVersion() != V1 {
+		t.Fatal("wrong op minimum versions")
+	}
+}
+
+func TestV2RequestRoundTrip(t *testing.T) {
+	req := &Request{
+		ID: 99,
+		Statements: []Statement{
+			{Op: OpScan, Table: "acct", Key: []byte("a"), KeyEnd: []byte("m"), Limit: 17},
+			{Op: OpDeleteSecondary, Table: "acct", Index: "by_name", Key: []byte("alice")},
+		},
+	}
+	got, err := DecodeRequestV(EncodeRequestV(req, V2), V2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got.Statements[0]
+	if s.Op != OpScan || !bytes.Equal(s.Key, []byte("a")) || !bytes.Equal(s.KeyEnd, []byte("m")) || s.Limit != 17 {
+		t.Fatalf("scan statement mismatch: %+v", s)
+	}
+	if got.Statements[1].Op != OpDeleteSecondary || got.Statements[1].Index != "by_name" {
+		t.Fatalf("delsec statement mismatch: %+v", got.Statements[1])
+	}
+	// The same payload decoded as v1 must fail: the op is out of range there.
+	if _, err := DecodeRequestV(EncodeRequestV(req, V2), V1); err == nil {
+		t.Fatal("v1 decoder accepted a v2-only op")
+	}
+}
+
+func TestV2ResponseRoundTrip(t *testing.T) {
+	resp := &Response{
+		ID: 5, Committed: true,
+		Results: []StatementResult{{
+			Found: true,
+			Entries: []ScanEntry{
+				{Key: []byte("k1"), Value: []byte("v1")},
+				{Key: []byte("k2"), Value: nil},
+			},
+		}},
+	}
+	got, err := DecodeResponseV(EncodeResponseV(resp, V2), V2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results[0].Entries) != 2 ||
+		!bytes.Equal(got.Results[0].Entries[0].Key, []byte("k1")) ||
+		!bytes.Equal(got.Results[0].Entries[0].Value, []byte("v1")) {
+		t.Fatalf("entries mismatch: %+v", got.Results[0].Entries)
+	}
+	// Truncating the v2 payload anywhere must fail cleanly.
+	full := EncodeResponseV(resp, V2)
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeResponseV(full[:i], V2); err == nil {
+			t.Fatalf("truncated v2 response of %d bytes accepted", i)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := &Hello{MaxVersion: V2, Token: []byte("sekrit")}
+	payload := EncodeHello(h)
+	if !IsHello(payload) {
+		t.Fatal("hello payload not recognized")
+	}
+	if IsHelloAck(payload) {
+		t.Fatal("hello payload mistaken for an ack")
+	}
+	got, err := DecodeHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxVersion != V2 || string(got.Token) != "sekrit" {
+		t.Fatalf("hello mismatch: %+v", got)
+	}
+	// A plain request payload must never look like a hello.
+	req := EncodeRequest(&Request{ID: 1, Statements: []Statement{{Op: OpPing}}})
+	if IsHello(req) {
+		t.Fatal("request payload recognized as hello")
+	}
+	// Truncated hellos fail cleanly.
+	for i := 8; i < len(payload); i++ {
+		if _, err := DecodeHello(payload[:i]); err == nil {
+			t.Fatalf("truncated hello of %d bytes accepted", i)
+		}
+	}
+	if _, err := DecodeHello([]byte("short")); err == nil {
+		t.Fatal("non-hello accepted")
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	for _, a := range []*HelloAck{
+		{Version: V2, Authenticated: true},
+		{Version: V1, Authenticated: false},
+		{Version: V2, Err: "authentication failed"},
+	} {
+		payload := EncodeHelloAck(a)
+		if !IsHelloAck(payload) || IsHello(payload) {
+			t.Fatal("ack payload misclassified")
+		}
+		got, err := DecodeHelloAck(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, a) {
+			t.Fatalf("ack mismatch: %+v != %+v", got, a)
+		}
+	}
+}
+
+func TestRequestIDPeek(t *testing.T) {
+	payload := EncodeRequest(&Request{ID: 0xDEADBEEF, Statements: []Statement{{Op: OpPing}}})
+	// Corrupt everything after the ID prefix: the peek must still work.
+	for i := 8; i < len(payload); i++ {
+		payload[i] ^= 0xA5
+	}
+	id, ok := RequestID(payload)
+	if !ok || id != 0xDEADBEEF {
+		t.Fatalf("peeked id %#x ok=%v", id, ok)
+	}
+	if _, ok := RequestID([]byte{1, 2, 3}); ok {
+		t.Fatal("short payload yielded an id")
 	}
 }
 
