@@ -9,6 +9,7 @@
 //	plpctl -addr localhost:7070 getsec <table> <index> <secondary-key>
 //	plpctl -addr localhost:7070 scan  <table> <lo> <hi> [limit]
 //	plpctl -addr localhost:7070 bench <table> [-clients N] [-ops M]
+//	plpctl -addr localhost:7070 -token secret checkpoint
 //
 // Keys are uint64 by default (encoded exactly as the engine's key encoder
 // does); pass -raw to use the key bytes verbatim.  Against a daemon started
@@ -47,6 +48,7 @@ commands:
   delsec <table> <index> <seckey>    delete a secondary-index entry
   scan   <table> <lo> <hi> [limit]   range scan [lo, hi) ("-" scans open-ended)
   bench  <table>                     run a small upsert/get load (-clients, -ops)
+  checkpoint                         take a checkpoint now (durable daemons)
   drp status                         show the repartitioning controller's state
   drp trigger                        run one control period now
   drp shares <table>                 per-partition load shares of one table
@@ -175,6 +177,13 @@ func main() {
 	case "bench":
 		need(args, 1)
 		bench(*addr, args[0], *clients, *ops)
+	case "checkpoint":
+		need(args, 0)
+		out, err := c.Control("checkpoint", "")
+		if err != nil {
+			fatalf("checkpoint: %v", err)
+		}
+		fmt.Print(out)
 	case "drp":
 		if len(args) == 0 {
 			usage()

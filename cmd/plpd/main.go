@@ -1,17 +1,27 @@
 // Command plpd serves a PLP engine over TCP using the wire protocol.
 //
-// It creates a fresh in-memory database with one or more key/value tables
-// partitioned over a uint64 key space, optionally starts the automatic
-// load-balance monitor and a background checkpointer, and serves client
-// transactions (see package client).
+// It creates a database with one or more key/value tables partitioned over
+// a uint64 key space, optionally starts the automatic load-balance monitor
+// and a background checkpointer, and serves client transactions (see
+// package client).
+//
+// With -data-dir the engine is durable: the write-ahead log lives in
+// segmented files under the directory, commits are made durable by a
+// group-commit flusher before they are acknowledged (unless -lazy-commit),
+// and on startup the daemon replays the log — checkpoint snapshot, restored
+// partition boundaries, committed tail — before accepting connections, so
+// a kill -9 loses nothing that was acknowledged.  The "plpctl checkpoint"
+// verb (token-gated like all control verbs) takes a checkpoint on demand.
 //
 // Example:
 //
 //	plpd -addr :7070 -design plp-leaf -partitions 8 \
-//	     -tables accounts,orders -keyspace 1000000
+//	     -tables accounts,orders -keyspace 1000000 \
+//	     -data-dir /var/lib/plp -checkpoint-ms 5000 -checkpoint-truncate
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +65,8 @@ func main() {
 		tables       = flag.String("tables", "kv", "comma-separated table names to create")
 		keyspace     = flag.Uint64("keyspace", 1_000_000, "uint64 key space upper bound used to compute partition boundaries")
 		autoBalance  = flag.Bool("autobalance", false, "enable the automatic load-balance monitor on every table")
+		dataDir      = flag.String("data-dir", "", "durable data directory; empty runs fully in memory (no crash recovery)")
+		lazyCommit   = flag.Bool("lazy-commit", false, "acknowledge commits before their log records are durable (trades a crash-loss window for latency)")
 		drp          = flag.Bool("drp", false, "enable the online dynamic-repartitioning controller (plpctl drp ... inspects it)")
 		token        = flag.String("token", "", "authentication token; when set, only sessions presenting it may issue control commands")
 		drpPeriod    = flag.Duration("drp-period", 100*time.Millisecond, "control period of the repartitioning controller")
@@ -70,7 +82,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	e := engine.New(engine.Options{Design: design, Partitions: *partitions, SLI: design == engine.Conventional})
+	e, err := engine.Open(engine.Options{
+		Design:     design,
+		Partitions: *partitions,
+		SLI:        design == engine.Conventional,
+		DataDir:    *dataDir,
+		LazyCommit: *lazyCommit,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "open engine: %v\n", err)
+		os.Exit(1)
+	}
 	defer e.Close()
 
 	boundaries := uniformBoundaries(*keyspace, *partitions)
@@ -96,6 +118,20 @@ func main() {
 		}
 	}
 
+	// Recovery runs after the schema exists and before any connection is
+	// accepted: a restarted durable daemon replays the checkpoint snapshot,
+	// the restored partition boundaries and the committed log tail, so the
+	// first client sees exactly the acknowledged pre-crash state.
+	if *dataDir != "" {
+		info, err := e.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recover %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		fmt.Printf("plpd: recovered %s: %d snapshot entries, %d ops replayed, %d winners, %d losers, %d boundary moves\n",
+			*dataDir, info.Replay.SnapshotEntries, info.Replay.Applied, info.Winners, info.Losers, info.BoundariesRestored)
+	}
+
 	if *checkpointMs > 0 {
 		cp := recovery.NewCheckpointer(e, time.Duration(*checkpointMs)*time.Millisecond)
 		cp.SetTruncate(*truncateLog)
@@ -105,6 +141,31 @@ func main() {
 
 	srv := server.New(e)
 	srv.SetAuthToken(*token)
+	srv.SetCheckpointHandler(func() (string, error) {
+		// Checkpoints need a transactionally quiet instant; on a busy
+		// server ActiveTxns is almost always briefly non-zero, so retry in
+		// the gaps between pipelined requests instead of failing the verb
+		// on the first in-flight transaction.
+		var st recovery.CheckpointStats
+		var err error
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			st, err = e.Checkpoint()
+			if !errors.Is(err, recovery.ErrActiveTxns) || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err != nil {
+			return "", err
+		}
+		dropped := 0
+		if *truncateLog {
+			dropped = e.Log().Truncate(st.BeginLSN)
+		}
+		return fmt.Sprintf("checkpoint: %d tables, %d entries, %d chunks, LSN %d..%d, %v quiesced, %d log records reclaimed\n",
+			st.Tables, st.Entries, st.Chunks, st.BeginLSN, st.EndLSN, st.Duration.Round(time.Microsecond), dropped), nil
+	})
 	if *drp {
 		ctrl, err := repartition.Attach(e, repartition.Config{Period: *drpPeriod})
 		if err != nil {
@@ -121,7 +182,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("plpd: %s engine with %d partitions serving %q on %s\n", design, *partitions, *tables, bound)
+	durability := "in-memory (no durability)"
+	if *dataDir != "" {
+		durability = "durable in " + *dataDir
+		if *lazyCommit {
+			durability += " (lazy commit)"
+		}
+	}
+	fmt.Printf("plpd: %s engine with %d partitions serving %q on %s, %s\n", design, *partitions, *tables, bound, durability)
 
 	// Periodic stats reporting and signal handling.
 	stop := make(chan os.Signal, 1)

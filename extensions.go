@@ -23,6 +23,23 @@ type Loader = engine.Loader
 type Log = wal.Log
 
 //
+// Durability (see internal/wal's Durable device and internal/engine's
+// durability layer).
+//
+
+// Open creates an engine whose write-ahead log is the disk-backed
+// segmented device in Options.DataDir, with a background group-commit
+// flusher making commits durable before they are acknowledged (set
+// Options.LazyCommit to acknowledge early).  The returned engine is empty:
+// create the schema, then call Engine.Recover to rebuild the database
+// contents — checkpoint snapshot, restored partition boundaries, committed
+// log tail — before serving traffic.  An empty DataDir degenerates to New.
+func Open(opts Options) (*Engine, error) { return engine.Open(opts) }
+
+// RecoverInfo reports what an Engine.Recover call rebuilt.
+type RecoverInfo = engine.RecoverInfo
+
+//
 // Recovery (see internal/recovery).
 //
 

@@ -132,6 +132,35 @@ func (h *AgingHistogram) Snapshot() HistogramSnapshot {
 	return snap
 }
 
+// Restore overwrites the histogram's aged state with a snapshot previously
+// taken by Snapshot — the warm-start path after a restart, when the
+// controller reclaims the histograms a checkpoint persisted.  Loads beyond
+// the histogram's partition count and keys beyond its key bound are
+// dropped; the observation window restarts empty, so a freshly restored
+// controller will not act before it has seen live traffic again.
+func (h *AgingHistogram) Restore(loads []float64, keys []KeyWeight) {
+	h.mu.Lock()
+	for i := range h.loads {
+		h.loads[i] = 0
+	}
+	copy(h.loads, loads)
+	h.total = 0
+	for _, l := range h.loads {
+		h.total += l
+	}
+	h.keys = make(map[string]float64, len(keys))
+	for _, kw := range keys {
+		if len(h.keys) >= h.maxKeys {
+			break
+		}
+		if kw.Weight >= minKeyWeight {
+			h.keys[string(kw.Key)] = kw.Weight
+		}
+	}
+	h.window = 0
+	h.mu.Unlock()
+}
+
 // WindowObservations returns the raw observation count since the last Age.
 func (h *AgingHistogram) WindowObservations() uint64 {
 	h.mu.Lock()

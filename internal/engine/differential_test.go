@@ -162,6 +162,236 @@ func runTrace(t *testing.T, design Design, trace []diffOp) (map[uint64]string, u
 	return state, st.Committed, st.Aborted
 }
 
+// ----------------------------------------------------------------------
+// Multi-table / multi-phase / crash-recovery differential trace.
+//
+// The single-table trace above checks the transactional contract under one
+// table and single-phase requests.  This trace adds the remaining ROADMAP
+// dimensions: two tables (one heap-backed and partitioned, one clustered),
+// multi-phase requests whose second phase depends on the first, a
+// checkpoint mid-trace, and a crash immediately after a post-checkpoint
+// rebalance — so recovery must rebuild state whose boundaries moved after
+// the checkpoint it replays from.  All five designs must converge to the
+// identical final state on both tables.
+// ----------------------------------------------------------------------
+
+const (
+	diffAuxTable = "diffaux"
+	diffOps2     = 1200
+)
+
+// buildTrace2 generates the deterministic two-table trace.
+func buildTrace2() []diffOp {
+	rng := rand.New(rand.NewSource(4101)) // PVLDB 4(10), Section 1
+	present := make(map[uint64]bool)
+	var ops []diffOp
+	for i := 0; i < diffOps2; i++ {
+		k := uint64(rng.Intn(diffKeyspace) + 1)
+		val := []byte(fmt.Sprintf("w-%06d", i))
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			ops = append(ops, diffOp{kind: "insert", keys: []uint64{k}, val: val})
+			present[k] = true
+		case 3, 4:
+			ops = append(ops, diffOp{kind: "update", keys: []uint64{k}, val: val})
+		case 5:
+			ops = append(ops, diffOp{kind: "delete", keys: []uint64{k}})
+			delete(present, k)
+		case 6, 7, 8:
+			// Cross-table multi-phase transaction (see applyOp2).
+			ops = append(ops, diffOp{kind: "xfer", keys: []uint64{k}, val: val})
+		case 9:
+			ops = append(ops, diffOp{kind: "rebalance", keys: []uint64{uint64(rng.Intn(diffKeyspace-2) + 2)}})
+		}
+	}
+	return ops
+}
+
+// applyOp2 executes one trace op against the engine.  "xfer" is the
+// multi-phase shape: phase 1 upserts the partitioned table, phase 2 — which
+// the engine may only start after phase 1 completed on its partition —
+// mirrors the write into the clustered audit table.  Statement-level
+// aborts (duplicate insert, missing update) must be decided identically by
+// every design.
+func applyOp2(e *Engine, sess *Session, i int, op diffOp) {
+	switch op.kind {
+	case "rebalance":
+		_, _ = e.Rebalance(diffTable, 1+i%3, keyenc.Uint64Key(op.keys[0]))
+	case "xfer":
+		k, val := keyenc.Uint64Key(op.keys[0]), op.val
+		req := NewRequest(Action{Table: diffTable, Key: k, Exec: func(c *Ctx) error {
+			return c.Upsert(diffTable, k, val)
+		}})
+		req.AddPhase(Action{Table: diffAuxTable, Key: k, Exec: func(c *Ctx) error {
+			return c.Upsert(diffAuxTable, k, val)
+		}})
+		_, _ = sess.Execute(req)
+	default:
+		kind, key, val := op.kind, keyenc.Uint64Key(op.keys[0]), op.val
+		req := NewRequest(Action{Table: diffTable, Key: key, Exec: func(c *Ctx) error {
+			switch kind {
+			case "insert":
+				return c.Insert(diffTable, key, val)
+			case "update":
+				return c.Update(diffTable, key, val)
+			default:
+				return c.Delete(diffTable, key)
+			}
+		}})
+		_, _ = sess.Execute(req)
+	}
+}
+
+// dumpState collects one table's committed contents, asserting scan order.
+func dumpState(t *testing.T, e *Engine, design Design, table string) map[uint64]string {
+	t.Helper()
+	state := make(map[uint64]string)
+	var prev []byte
+	if err := e.NewLoader().ReadRange(table, nil, nil, func(key, rec []byte) bool {
+		if prev != nil && bytes.Compare(prev, key) >= 0 {
+			t.Fatalf("%v/%s: scan order violated", design, table)
+		}
+		prev = append(prev[:0], key...)
+		k, derr := keyenc.DecodeUint64(key)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		state[k] = string(rec)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return state
+}
+
+// runDurableTrace2 runs the two-table trace on a disk-backed engine of the
+// given design, crashing (abandoning the engine unclosed) halfway through —
+// right after a checkpoint-postdating rebalance — and recovering into a
+// fresh engine that finishes the trace.
+func runDurableTrace2(t *testing.T, design Design, trace []diffOp) (map[uint64]string, map[uint64]string, uint64, uint64) {
+	t.Helper()
+	dir := t.TempDir()
+	boundaries := [][]byte{
+		keyenc.Uint64Key(diffKeyspace/4 + 1),
+		keyenc.Uint64Key(diffKeyspace/2 + 1),
+		keyenc.Uint64Key(3*diffKeyspace/4 + 1),
+	}
+	open := func() *Engine {
+		e, err := Open(Options{Design: design, Partitions: 4, SLI: design == Conventional, DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.CreateTable(catalog.TableDef{Name: diffTable, Boundaries: boundaries}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.CreateTable(catalog.TableDef{Name: diffAuxTable, Boundaries: boundaries, Clustered: true}); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	mid := len(trace) / 2
+	cp := mid / 2
+
+	e := open()
+	sess := e.NewSession()
+	for i, op := range trace[:mid] {
+		applyOp2(e, sess, i, op)
+		if i == cp {
+			if _, err := e.Checkpoint(); err != nil {
+				t.Fatalf("%v: checkpoint: %v", design, err)
+			}
+		}
+	}
+	// A rebalance after the checkpoint, then crash before any further
+	// traffic: recovery replays from a snapshot whose boundaries predate
+	// this move, and must still converge.  The target is the midpoint of
+	// partition 2's current neighbours so the move is valid no matter
+	// where the trace's earlier rebalances left the boundaries.
+	cur, err := e.Boundaries(diffTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, lerr := keyenc.DecodeUint64(cur[0])
+	hi, herr := keyenc.DecodeUint64(cur[2])
+	if lerr != nil || herr != nil {
+		t.Fatalf("%v: undecodable boundaries", design)
+	}
+	if target := (lo + hi) / 2; target > lo && target < hi {
+		if _, err := e.Rebalance(diffTable, 2, keyenc.Uint64Key(target)); err != nil {
+			t.Fatalf("%v: pre-crash rebalance: %v", design, err)
+		}
+	}
+	// Crash: abandon without Close.
+
+	re := open()
+	if _, err := re.Recover(); err != nil {
+		t.Fatalf("%v: recover: %v", design, err)
+	}
+	sess2 := re.NewSession()
+	for i, op := range trace[mid:] {
+		applyOp2(re, sess2, mid+i, op)
+	}
+
+	state1 := dumpState(t, re, design, diffTable)
+	state2 := dumpState(t, re, design, diffAuxTable)
+	st := re.TxnStats()
+	e.Close()
+	re.Close()
+	return state1, state2, st.Committed, st.Aborted
+}
+
+func TestDifferentialMultiTableCrashRecover(t *testing.T) {
+	trace := buildTrace2()
+
+	type result struct {
+		design         Design
+		state1, state2 map[uint64]string
+		committed      uint64
+		aborted        uint64
+	}
+	var results []result
+	for _, d := range AllDesigns() {
+		s1, s2, committed, aborted := runDurableTrace2(t, d, trace)
+		results = append(results, result{d, s1, s2, committed, aborted})
+	}
+
+	ref := results[0]
+	if len(ref.state1) == 0 || len(ref.state2) == 0 {
+		t.Fatal("trace left the reference design with an empty table; the test is vacuous")
+	}
+	if ref.aborted == 0 {
+		t.Fatal("post-crash trace produced no aborts in the reference design")
+	}
+	for _, r := range results[1:] {
+		if r.committed != ref.committed || r.aborted != ref.aborted {
+			t.Errorf("%v: committed/aborted %d/%d after crash, want %d/%d (as %v)",
+				r.design, r.committed, r.aborted, ref.committed, ref.aborted, ref.design)
+		}
+		for name, pair := range map[string][2]map[uint64]string{
+			diffTable:    {ref.state1, r.state1},
+			diffAuxTable: {ref.state2, r.state2},
+		} {
+			want, got := pair[0], pair[1]
+			if len(got) != len(want) {
+				t.Errorf("%v/%s: %d rows, want %d (as %v)", r.design, name, len(got), len(want), ref.design)
+			}
+			for k, v := range want {
+				if gv, ok := got[k]; !ok {
+					t.Errorf("%v/%s: key %d missing", r.design, name, k)
+				} else if gv != v {
+					t.Errorf("%v/%s: key %d = %q, want %q", r.design, name, k, gv, v)
+				}
+			}
+			for k := range got {
+				if _, ok := want[k]; !ok {
+					t.Errorf("%v/%s: extra key %d", r.design, name, k)
+				}
+			}
+		}
+	}
+}
+
 func TestDifferentialAllDesignsIdenticalState(t *testing.T) {
 	trace := buildTrace()
 

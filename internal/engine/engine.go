@@ -25,6 +25,8 @@ package engine
 
 import (
 	"fmt"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -106,6 +108,20 @@ type Options struct {
 	// NaiveLog replaces the Aether-style consolidated log buffer with a
 	// single-mutex buffer (ablation only).
 	NaiveLog bool
+	// DataDir, when non-empty, selects the disk-backed segmented log device
+	// so the engine survives a crash: appends are made durable by a
+	// background group-commit flusher and a restarted engine rebuilds its
+	// contents from the log (see Open and Recover).  Only Open honors it;
+	// New always builds an in-memory engine.
+	DataDir string
+	// WALSegmentBytes overrides the durable log's segment rotation
+	// threshold (0 selects the device default; tests use small values to
+	// force rotation).
+	WALSegmentBytes int64
+	// LazyCommit makes Commit return without waiting for the commit record
+	// to become durable: the group-commit daemon flushes it shortly after,
+	// trading a small crash-loss window for commit latency.
+	LazyCommit bool
 	// ForceLatchedIndex keeps index latching on even for PLP designs
 	// (ablation only).
 	ForceLatchedIndex bool
@@ -158,22 +174,54 @@ type Engine struct {
 
 	observer atomic.Pointer[AccessObserver]
 
+	// stateProvider supplies the opaque controller-state blob checkpoints
+	// carry (recovery.StateSource); recoveredState holds the blob the last
+	// Recover found, for the controller to reclaim on re-attach.
+	stateProvider  atomic.Pointer[func() []byte]
+	recoveredMu    sync.Mutex
+	recoveredState []byte
+
 	nextSession atomic.Uint64
 }
 
-// New creates an engine with the given options.
+// New creates an in-memory engine with the given options.  Options.DataDir
+// is ignored; use Open for a disk-backed engine.
 func New(opts Options) *Engine {
 	opts.normalize()
 	csStats := &cs.Stats{}
-	latchStats := &latch.Stats{}
-	bp := bufferpool.NewMemory(bufferpool.Config{LatchStats: latchStats, CSStats: csStats})
-
 	var log wal.Log
 	if opts.NaiveLog {
 		log = wal.NewNaive(csStats)
 	} else {
 		log = wal.NewConsolidated(csStats)
 	}
+	return build(opts, csStats, log)
+}
+
+// Open creates an engine whose log is the disk-backed segmented device in
+// Options.DataDir (an empty DataDir degenerates to New).  The returned
+// engine is empty: create the schema, then call Recover to rebuild the
+// database contents from the log before serving traffic.
+func Open(opts Options) (*Engine, error) {
+	if opts.DataDir == "" {
+		return New(opts), nil
+	}
+	opts.normalize()
+	csStats := &cs.Stats{}
+	log, err := wal.OpenDurable(filepath.Join(opts.DataDir, "wal"), wal.DurableOptions{
+		SegmentBytes: opts.WALSegmentBytes,
+		CSStats:      csStats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return build(opts, csStats, log), nil
+}
+
+// build assembles the engine around an already-constructed log device.
+func build(opts Options, csStats *cs.Stats, log wal.Log) *Engine {
+	latchStats := &latch.Stats{}
+	bp := bufferpool.NewMemory(bufferpool.Config{LatchStats: latchStats, CSStats: csStats})
 
 	var locks *lock.Manager
 	if opts.Design == Conventional {
@@ -182,6 +230,8 @@ func New(opts Options) *Engine {
 			locks.SetTimeout(opts.LockTimeout)
 		}
 	}
+	tm := txn.NewManager(log, locks, csStats)
+	tm.SetLazyCommit(opts.LazyCommit)
 	e := &Engine{
 		opts:       opts,
 		csStats:    csStats,
@@ -189,7 +239,7 @@ func New(opts Options) *Engine {
 		bp:         bp,
 		log:        log,
 		locks:      locks,
-		tm:         txn.NewManager(log, locks, csStats),
+		tm:         tm,
 		cat:        catalog.New(csStats),
 		routing:    make(map[string]*routingTable),
 	}
@@ -221,12 +271,20 @@ func (e *Engine) observeAccess(table string, partition int, key []byte) {
 	}
 }
 
-// Close stops the partition workers and flushes the buffer pool.
+// Close stops the partition workers, flushes the buffer pool and — for a
+// disk-backed engine — drains the log's outstanding tail to disk and closes
+// it, so a graceful shutdown never loses a lazily acknowledged commit.
 func (e *Engine) Close() error {
 	if e.pool != nil {
 		e.pool.Stop()
 	}
-	return e.bp.FlushAll()
+	err := e.bp.FlushAll()
+	if d, ok := e.log.(*wal.Durable); ok {
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Options returns the engine's options.

@@ -151,7 +151,31 @@ type CheckpointEnd struct {
 const (
 	checkpointChunkTag byte = 0x10
 	checkpointEndTag   byte = 0x11
+	checkpointMetaTag  byte = 0x12
 )
+
+// TableBoundaries records one table's routing boundaries at checkpoint
+// time.
+type TableBoundaries struct {
+	// Table is the table name.
+	Table string
+	// Boundaries are the routing boundaries (len = partitions-1), sorted.
+	Boundaries [][]byte
+}
+
+// CheckpointMeta is the non-data state captured alongside a checkpoint's
+// table snapshots: the partition boundaries each table's routing had at the
+// moment of the checkpoint (online repartitioning moves them away from the
+// schema's initial values, and a restarted engine must resume from the
+// moved ones) and an opaque snapshot of the repartitioning controller's
+// histogram state, so the controller does not restart cold.
+type CheckpointMeta struct {
+	// Tables holds the per-table routing boundaries.
+	Tables []TableBoundaries
+	// Controller is the opaque controller-state blob (see package
+	// repartition), or nil when no controller was attached.
+	Controller []byte
+}
 
 // EncodeCheckpointChunk serializes a checkpoint chunk.
 func EncodeCheckpointChunk(c CheckpointChunk) []byte {
@@ -221,6 +245,71 @@ func DecodeCheckpointChunk(payload []byte) (CheckpointChunk, bool, error) {
 		c.Values = append(c.Values, v)
 	}
 	return c, true, nil
+}
+
+// EncodeCheckpointMeta serializes a checkpoint meta payload.
+func EncodeCheckpointMeta(m CheckpointMeta) []byte {
+	out := []byte{payloadVersion, checkpointMetaTag}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(m.Tables)))
+	out = append(out, n[:]...)
+	for _, t := range m.Tables {
+		out = appendBytes(out, []byte(t.Table))
+		binary.LittleEndian.PutUint32(n[:], uint32(len(t.Boundaries)))
+		out = append(out, n[:]...)
+		for _, b := range t.Boundaries {
+			out = appendBytes(out, b)
+		}
+	}
+	out = appendBytes(out, m.Controller)
+	return out
+}
+
+// DecodeCheckpointMeta parses a meta payload.  The boolean result is false
+// when the payload is not a meta record.
+func DecodeCheckpointMeta(payload []byte) (CheckpointMeta, bool, error) {
+	var m CheckpointMeta
+	if len(payload) < 2 {
+		return m, false, ErrShort
+	}
+	if payload[0] != payloadVersion {
+		return m, false, fmt.Errorf("%w: %d", ErrVersion, payload[0])
+	}
+	if payload[1] != checkpointMetaTag {
+		return m, false, nil
+	}
+	rest := payload[2:]
+	if len(rest) < 4 {
+		return m, false, ErrShort
+	}
+	nt := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	var field []byte
+	var err error
+	for i := uint32(0); i < nt; i++ {
+		var t TableBoundaries
+		if field, rest, err = readBytes(rest); err != nil {
+			return m, false, err
+		}
+		t.Table = string(field)
+		if len(rest) < 4 {
+			return m, false, ErrShort
+		}
+		nb := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		for j := uint32(0); j < nb; j++ {
+			var b []byte
+			if b, rest, err = readBytes(rest); err != nil {
+				return m, false, err
+			}
+			t.Boundaries = append(t.Boundaries, b)
+		}
+		m.Tables = append(m.Tables, t)
+	}
+	if m.Controller, _, err = readBytes(rest); err != nil {
+		return m, false, err
+	}
+	return m, true, nil
 }
 
 // DecodeCheckpointEnd parses an end-marker payload.  The boolean result is

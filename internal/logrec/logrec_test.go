@@ -172,3 +172,46 @@ func TestDecodeCheckpointErrors(t *testing.T) {
 		t.Fatal("unknown version should fail")
 	}
 }
+
+func TestCheckpointMetaRoundTrip(t *testing.T) {
+	m := CheckpointMeta{
+		Tables: []TableBoundaries{
+			{Table: "acct", Boundaries: [][]byte{{0x01, 0x02}, {0x03}, {0x04, 0x05, 0x06}}},
+			{Table: "meta", Boundaries: nil},
+			{Table: "orders", Boundaries: [][]byte{{0xff}}},
+		},
+		Controller: []byte("opaque-controller-state"),
+	}
+	got, ok, err := DecodeCheckpointMeta(EncodeCheckpointMeta(m))
+	if err != nil || !ok {
+		t.Fatalf("decode failed: ok=%v err=%v", ok, err)
+	}
+	if len(got.Tables) != len(m.Tables) {
+		t.Fatalf("%d tables, want %d", len(got.Tables), len(m.Tables))
+	}
+	for i, tb := range m.Tables {
+		if got.Tables[i].Table != tb.Table || len(got.Tables[i].Boundaries) != len(tb.Boundaries) {
+			t.Fatalf("table %d mismatch: %+v vs %+v", i, got.Tables[i], tb)
+		}
+		for j := range tb.Boundaries {
+			if !bytes.Equal(got.Tables[i].Boundaries[j], tb.Boundaries[j]) {
+				t.Fatalf("table %d boundary %d mismatch", i, j)
+			}
+		}
+	}
+	if !bytes.Equal(got.Controller, m.Controller) {
+		t.Fatalf("controller blob %q, want %q", got.Controller, m.Controller)
+	}
+
+	// Meta payloads must not be mistaken for chunks or end markers, and
+	// vice versa.
+	if _, ok, _ := DecodeCheckpointChunk(EncodeCheckpointMeta(m)); ok {
+		t.Fatal("meta payload decoded as chunk")
+	}
+	if _, ok, _ := DecodeCheckpointMeta(EncodeCheckpointEnd(CheckpointEnd{})); ok {
+		t.Fatal("end payload decoded as meta")
+	}
+	if _, _, err := DecodeCheckpointMeta([]byte{payloadVersion, checkpointMetaTag, 1}); err == nil {
+		t.Fatal("short meta payload should fail")
+	}
+}

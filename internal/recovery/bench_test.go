@@ -1,4 +1,4 @@
-package recovery
+package recovery_test
 
 import (
 	"fmt"
@@ -8,6 +8,7 @@ import (
 	"plp/internal/engine"
 	"plp/internal/keyenc"
 	"plp/internal/logrec"
+	"plp/internal/recovery"
 	"plp/internal/wal"
 )
 
@@ -31,7 +32,7 @@ func BenchmarkAnalyze(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a, err := Analyze(log)
+		a, err := recovery.Analyze(log)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,7 +47,7 @@ func BenchmarkAnalyze(b *testing.B) {
 func BenchmarkReplayIntoEngine(b *testing.B) {
 	const ops = 10_000
 	log := buildLog(ops)
-	a, err := Analyze(log)
+	a, err := recovery.Analyze(log)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func BenchmarkReplayIntoEngine(b *testing.B) {
 		if _, err := e.CreateTable(catalog.TableDef{Name: "t", Boundaries: boundaries}); err != nil {
 			b.Fatal(err)
 		}
-		st, err := Replay(a, e.NewLoader())
+		st, err := recovery.Replay(a, e.NewLoader())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func BenchmarkCheckpoint(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st, err := Checkpoint(e, 0)
+		st, err := recovery.Checkpoint(e, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"plp/internal/catalog"
-	"plp/internal/engine"
 	"plp/internal/logrec"
 	"plp/internal/mrbtree"
 	"plp/internal/page"
@@ -16,6 +15,33 @@ import (
 // DefaultChunkEntries is the number of snapshot entries packed into one
 // checkpoint log record when the caller does not specify a chunk size.
 const DefaultChunkEntries = 256
+
+// System is the slice of an engine checkpointing needs.  It is satisfied by
+// *engine.Engine; recovery deliberately does not import the engine package,
+// so the engine can in turn build its Checkpoint/Recover methods on this
+// package without an import cycle.
+type System interface {
+	// Log returns the system's write-ahead log.
+	Log() wal.Log
+	// ActiveTxns returns the number of in-flight transactions.
+	ActiveTxns() int
+	// Quiesce runs fn while every partition worker is parked at a barrier.
+	Quiesce(fn func()) error
+	// Catalog returns the system's table catalog.
+	Catalog() *catalog.Catalog
+	// Boundaries returns a copy of the table's current routing boundaries.
+	Boundaries(table string) ([][]byte, error)
+}
+
+// StateSource is optionally implemented by a System whose operational
+// subsystems carry state worth checkpointing beyond the table contents —
+// concretely, the repartitioning controller's aging histograms.  The blob
+// is opaque to recovery: it is stored in the checkpoint's meta record and
+// handed back verbatim after a restart.
+type StateSource interface {
+	// CheckpointState returns the opaque state blob, or nil.
+	CheckpointState() []byte
+}
 
 // CheckpointStats reports what one Checkpoint call captured.
 type CheckpointStats struct {
@@ -34,43 +60,53 @@ type CheckpointStats struct {
 }
 
 // Checkpoint captures a transactionally consistent snapshot of every table
-// and secondary index of the engine into its log.  The partition workers are
-// quiesced for the duration (the same mechanism repartitioning uses), and
-// the call fails with ErrActiveTxns if transactions are in flight — the
-// caller is responsible for pausing its clients first.
+// and secondary index of the system into its log, followed by a meta record
+// holding each table's routing boundaries (and, when the system implements
+// StateSource, the controller-state blob) and the end marker.  The
+// partition workers are quiesced for the duration (the same mechanism
+// repartitioning uses), and the call fails with ErrActiveTxns if
+// transactions are in flight — the caller is responsible for pausing its
+// clients first.
 //
 // chunkEntries controls how many entries each checkpoint record carries;
 // zero selects DefaultChunkEntries.
-func Checkpoint(e *engine.Engine, chunkEntries int) (CheckpointStats, error) {
+func Checkpoint(sys System, chunkEntries int) (CheckpointStats, error) {
 	var st CheckpointStats
-	if e.Log() == nil {
+	if sys.Log() == nil {
 		return st, ErrNoLog
 	}
-	if e.ActiveTxns() > 0 {
+	if sys.ActiveTxns() > 0 {
 		return st, ErrActiveTxns
 	}
 	if chunkEntries <= 0 {
 		chunkEntries = DefaultChunkEntries
 	}
-	log := e.Log()
+	log := sys.Log()
 	start := time.Now()
 
 	var snapErr error
-	err := e.Quiesce(func() {
+	err := sys.Quiesce(func() {
 		first := true
-		emit := func(chunk logrec.CheckpointChunk) {
-			rec := &wal.Record{Type: wal.RecCheckpoint, Payload: logrec.EncodeCheckpointChunk(chunk)}
-			lsn := log.Append(rec)
+		append1 := func(payload []byte) wal.LSN {
+			lsn := log.Append(&wal.Record{Type: wal.RecCheckpoint, Payload: payload})
 			if first {
 				st.BeginLSN = lsn
 				first = false
 			}
+			return lsn
+		}
+		emit := func(chunk logrec.CheckpointChunk) {
+			append1(logrec.EncodeCheckpointChunk(chunk))
 			st.Chunks++
 			st.Entries += len(chunk.Keys)
 		}
 
-		for _, tbl := range e.Catalog().Tables() {
+		var meta logrec.CheckpointMeta
+		for _, tbl := range sys.Catalog().Tables() {
 			st.Tables++
+			if bs, berr := sys.Boundaries(tbl.Def.Name); berr == nil {
+				meta.Tables = append(meta.Tables, logrec.TableBoundaries{Table: tbl.Def.Name, Boundaries: bs})
+			}
 			if err := snapshotPrimary(tbl, chunkEntries, emit); err != nil {
 				snapErr = err
 				return
@@ -82,13 +118,16 @@ func Checkpoint(e *engine.Engine, chunkEntries int) (CheckpointStats, error) {
 				}
 			}
 		}
+		if ss, ok := sys.(StateSource); ok {
+			meta.Controller = ss.CheckpointState()
+		}
+		append1(logrec.EncodeCheckpointMeta(meta))
 		end := logrec.CheckpointEnd{
 			BeginLSN: uint64(st.BeginLSN),
 			Chunks:   st.Chunks,
 			Tables:   st.Tables,
 		}
-		rec := &wal.Record{Type: wal.RecCheckpoint, Payload: logrec.EncodeCheckpointEnd(end)}
-		st.EndLSN = log.Append(rec)
+		st.EndLSN = append1(logrec.EncodeCheckpointEnd(end))
 		log.Flush(st.EndLSN)
 	})
 	if err == nil {
@@ -172,7 +211,7 @@ func snapshotIndex(table, index string, idx *mrbtree.Tree, chunkEntries int, emi
 // workload; OLTP systems checkpoint opportunistically for exactly this
 // reason.
 type Checkpointer struct {
-	e        *engine.Engine
+	e        System
 	interval time.Duration
 	truncate bool
 
@@ -186,9 +225,9 @@ type Checkpointer struct {
 	lastErr   error
 }
 
-// NewCheckpointer returns a checkpointer for the engine.  interval must be
+// NewCheckpointer returns a checkpointer for the system.  interval must be
 // positive.
-func NewCheckpointer(e *engine.Engine, interval time.Duration) *Checkpointer {
+func NewCheckpointer(e System, interval time.Duration) *Checkpointer {
 	if interval <= 0 {
 		interval = time.Second
 	}

@@ -1,4 +1,4 @@
-package recovery
+package recovery_test
 
 import (
 	"bytes"
@@ -9,6 +9,7 @@ import (
 	"plp/internal/catalog"
 	"plp/internal/engine"
 	"plp/internal/keyenc"
+	"plp/internal/recovery"
 )
 
 // newTestEngine creates an engine with one partitioned table "acct" (with a
@@ -155,7 +156,7 @@ func TestRecoverEngineRoundTrip(t *testing.T) {
 			// recover from its log into a fresh engine with the same schema.
 			target := newTestEngine(t, design)
 			defer target.Close()
-			a, st, err := Recover(e.Log(), target.NewLoader())
+			a, st, err := recovery.Recover(e.Log(), target.NewLoader())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -194,7 +195,7 @@ func TestRecoverWithCheckpointAndTail(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st, err := Checkpoint(e, 64)
+	st, err := recovery.Checkpoint(e, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestRecoverWithCheckpointAndTail(t *testing.T) {
 
 	target := newTestEngine(t, engine.PLPLeaf)
 	defer target.Close()
-	a, rst, err := Recover(e.Log(), target.NewLoader())
+	a, rst, err := recovery.Recover(e.Log(), target.NewLoader())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestRecoverAcrossDesigns(t *testing.T) {
 	}
 	dst := newTestEngine(t, engine.Conventional)
 	defer dst.Close()
-	if _, _, err := Recover(src.Log(), dst.NewLoader()); err != nil {
+	if _, _, err := recovery.Recover(src.Log(), dst.NewLoader()); err != nil {
 		t.Fatal(err)
 	}
 	compareTables(t, src, dst, "acct")
@@ -257,7 +258,7 @@ func TestRecoverAcrossDesigns(t *testing.T) {
 func TestCheckpointEmptyEngine(t *testing.T) {
 	e := newTestEngine(t, engine.Logical)
 	defer e.Close()
-	st, err := Checkpoint(e, 0)
+	st, err := recovery.Checkpoint(e, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestCheckpointEmptyEngine(t *testing.T) {
 	// Recovery of an empty checkpoint plus empty tail yields an empty engine.
 	target := newTestEngine(t, engine.Logical)
 	defer target.Close()
-	if _, _, err := Recover(e.Log(), target.NewLoader()); err != nil {
+	if _, _, err := recovery.Recover(e.Log(), target.NewLoader()); err != nil {
 		t.Fatal(err)
 	}
 	if n := len(dumpTable(t, target, "acct")); n != 0 {
@@ -287,7 +288,7 @@ func TestCheckpointerBackground(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	cp := NewCheckpointer(e, 10*time.Millisecond)
+	cp := recovery.NewCheckpointer(e, 10*time.Millisecond)
 	cp.Start()
 	cp.Start() // second Start is a no-op
 	defer cp.Stop()
@@ -332,7 +333,7 @@ func TestCheckpointBoundsReplayWork(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := Checkpoint(e, 0); err != nil {
+	if _, err := recovery.Checkpoint(e, 0); err != nil {
 		t.Fatal(err)
 	}
 	for i := uint64(151); i <= 160; i++ {
@@ -342,7 +343,7 @@ func TestCheckpointBoundsReplayWork(t *testing.T) {
 	}
 	target := newTestEngine(t, engine.Logical)
 	defer target.Close()
-	_, st, err := Recover(e.Log(), target.NewLoader())
+	_, st, err := recovery.Recover(e.Log(), target.NewLoader())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -118,6 +118,9 @@ type Analysis struct {
 	Ops []Op
 	// Snapshot is the most recent complete checkpoint, or nil.
 	Snapshot *Snapshot
+	// Meta is the most recent complete checkpoint's meta record (routing
+	// boundaries per table plus the opaque controller-state blob), or nil.
+	Meta *logrec.CheckpointMeta
 	// TotalRecords is the number of log records scanned.
 	TotalRecords int
 	// StructuralRecords counts SMO/repartition records (not replayed: the
@@ -157,9 +160,11 @@ func Analyze(log wal.Log) (*Analysis, error) {
 	}
 	a := &Analysis{Outcomes: make(map[uint64]Outcome)}
 
-	// In-progress checkpoint accumulation: chunks since the last end marker.
+	// In-progress checkpoint accumulation: chunks and meta since the last
+	// end marker.
 	var pendingChunks []logrec.CheckpointChunk
 	var pendingBegin wal.LSN
+	var pendingMeta *logrec.CheckpointMeta
 
 	records := log.Records()
 	a.TotalRecords = len(records)
@@ -189,6 +194,13 @@ func Analyze(log wal.Log) (*Analysis, error) {
 				pendingChunks = append(pendingChunks, chunk)
 				continue
 			}
+			if meta, ok, err := logrec.DecodeCheckpointMeta(r.Payload); err == nil && ok {
+				if len(pendingChunks) == 0 && pendingBegin == 0 {
+					pendingBegin = r.LSN
+				}
+				pendingMeta = &meta
+				continue
+			}
 			if end, ok, err := logrec.DecodeCheckpointEnd(r.Payload); err == nil && ok {
 				a.Snapshot = &Snapshot{
 					BeginLSN: pendingBegin,
@@ -198,8 +210,10 @@ func Analyze(log wal.Log) (*Analysis, error) {
 				if end.BeginLSN != 0 {
 					a.Snapshot.BeginLSN = wal.LSN(end.BeginLSN)
 				}
+				a.Meta = pendingMeta
 				pendingChunks = nil
 				pendingBegin = 0
+				pendingMeta = nil
 				continue
 			}
 			a.UnparsedRecords++

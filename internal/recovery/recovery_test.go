@@ -1,4 +1,4 @@
-package recovery
+package recovery_test
 
 import (
 	"bytes"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"plp/internal/logrec"
+	"plp/internal/recovery"
 	"plp/internal/wal"
 )
 
@@ -103,7 +104,7 @@ func appendCommit(log wal.Log, txn uint64) { log.Append(&wal.Record{Txn: txn, Ty
 func appendAbort(log wal.Log, txn uint64)  { log.Append(&wal.Record{Txn: txn, Type: wal.RecAbort}) }
 
 func TestAnalyzeNilLog(t *testing.T) {
-	if _, err := Analyze(nil); err == nil {
+	if _, err := recovery.Analyze(nil); err == nil {
 		t.Fatal("Analyze(nil) should fail")
 	}
 }
@@ -117,11 +118,11 @@ func TestAnalyzeOutcomes(t *testing.T) {
 	appendMod(log, 3, wal.RecInsert, logrec.Modification{Table: "t", Key: []byte("c"), After: []byte("3")})
 	// txn 3 never resolves: in-flight at the crash.
 
-	a, err := Analyze(log)
+	a, err := recovery.Analyze(log)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Outcomes[1] != OutcomeCommitted || a.Outcomes[2] != OutcomeAborted || a.Outcomes[3] != OutcomeInFlight {
+	if a.Outcomes[1] != recovery.OutcomeCommitted || a.Outcomes[2] != recovery.OutcomeAborted || a.Outcomes[3] != recovery.OutcomeInFlight {
 		t.Fatalf("unexpected outcomes: %+v", a.Outcomes)
 	}
 	if len(a.Ops) != 3 {
@@ -143,7 +144,7 @@ func TestAnalyzeSkipsStructuralAndLegacyRecords(t *testing.T) {
 	log.Append(&wal.Record{Txn: 5, Type: wal.RecInsert, Payload: []byte("bare-key")})
 	appendCommit(log, 5)
 
-	a, err := Analyze(log)
+	a, err := recovery.Analyze(log)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestAnalyzeOpsSortedByLSN(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		appendMod(log, uint64(i%5+1), wal.RecInsert, logrec.Modification{Table: "t", Key: []byte{byte(i)}, After: []byte{byte(i)}})
 	}
-	a, err := Analyze(log)
+	a, err := recovery.Analyze(log)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestAnalyzeCheckpointParsing(t *testing.T) {
 	appendMod(log, 2, wal.RecUpdate, logrec.Modification{Table: "t", Key: []byte("a"), Before: []byte("old"), After: []byte("new")})
 	appendCommit(log, 2)
 
-	a, err := Analyze(log)
+	a, err := recovery.Analyze(log)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestAnalyzeCheckpointParsing(t *testing.T) {
 	}
 
 	ft := newFakeTarget()
-	st, err := Replay(a, ft)
+	st, err := recovery.Replay(a, ft)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestAnalyzeIncompleteCheckpointIgnored(t *testing.T) {
 		Table: "t", Keys: [][]byte{[]byte("a")}, Values: [][]byte{[]byte("1")},
 	})})
 	// Crash before the end marker: the checkpoint must be ignored.
-	a, err := Analyze(log)
+	a, err := recovery.Analyze(log)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestAnalyzeUsesLatestCompleteCheckpoint(t *testing.T) {
 	mkCheckpoint("first")
 	mkCheckpoint("second")
 
-	a, err := Analyze(log)
+	a, err := recovery.Analyze(log)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestReplayAppliesOnlyWinners(t *testing.T) {
 	appendMod(log, 3, wal.RecInsert, logrec.Modification{Table: "t", Key: []byte("c"), After: []byte("3")})
 
 	ft := newFakeTarget()
-	a, st, err := Recover(log, ft)
+	a, st, err := recovery.Recover(log, ft)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestReplayUpsertAndMissingDeleteSemantics(t *testing.T) {
 	appendCommit(log, 1)
 
 	ft := newFakeTarget()
-	if _, _, err := Recover(log, ft); err != nil {
+	if _, _, err := recovery.Recover(log, ft); err != nil {
 		t.Fatal(err)
 	}
 	if got := ft.tbl("t")["u"]; string(got) != "v2" {
@@ -338,7 +339,7 @@ func TestReplaySecondaryOps(t *testing.T) {
 	appendAbort(log, 3)
 
 	ft := newFakeTarget()
-	if _, _, err := Recover(log, ft); err != nil {
+	if _, _, err := recovery.Recover(log, ft); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := ft.idx("t", "by_x")["x1"]; ok {
@@ -362,17 +363,17 @@ func TestReplayIdempotent(t *testing.T) {
 		}
 		appendCommit(log, uint64(i+1))
 	}
-	a, err := Analyze(log)
+	a, err := recovery.Analyze(log)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ft := newFakeTarget()
-	if _, err := Replay(a, ft); err != nil {
+	if _, err := recovery.Replay(a, ft); err != nil {
 		t.Fatal(err)
 	}
 	once := len(ft.tbl("t"))
 	// Replaying again on the same target must converge to the same state.
-	if _, err := Replay(a, ft); err != nil {
+	if _, err := recovery.Replay(a, ft); err != nil {
 		t.Fatal(err)
 	}
 	if len(ft.tbl("t")) != once {
@@ -387,7 +388,7 @@ func TestReplayPropagatesTargetErrors(t *testing.T) {
 
 	ft := newFakeTarget()
 	ft.failOn = "bad"
-	if _, _, err := Recover(log, ft); err == nil {
+	if _, _, err := recovery.Recover(log, ft); err == nil {
 		t.Fatal("injected target failure not propagated")
 	}
 }
@@ -435,7 +436,7 @@ func TestReplayMatchesDirectApplicationProperty(t *testing.T) {
 		}
 
 		ft := newFakeTarget()
-		if _, _, err := Recover(log, ft); err != nil {
+		if _, _, err := recovery.Recover(log, ft); err != nil {
 			t.Fatalf("iter %d: %v", iter, err)
 		}
 		got := ft.tbl("t")
@@ -451,10 +452,10 @@ func TestReplayMatchesDirectApplicationProperty(t *testing.T) {
 }
 
 func TestOutcomeString(t *testing.T) {
-	if OutcomeCommitted.String() != "committed" || OutcomeAborted.String() != "aborted" || OutcomeInFlight.String() != "in-flight" {
+	if recovery.OutcomeCommitted.String() != "committed" || recovery.OutcomeAborted.String() != "aborted" || recovery.OutcomeInFlight.String() != "in-flight" {
 		t.Fatal("outcome labels wrong")
 	}
-	if Outcome(99).String() == "" {
+	if recovery.Outcome(99).String() == "" {
 		t.Fatal("unknown outcome should still render")
 	}
 }

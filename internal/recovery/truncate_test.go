@@ -1,4 +1,4 @@
-package recovery
+package recovery_test
 
 import (
 	"fmt"
@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"plp/internal/engine"
+	"plp/internal/recovery"
 )
 
 func TestRecoverAfterLogTruncation(t *testing.T) {
@@ -21,7 +22,7 @@ func TestRecoverAfterLogTruncation(t *testing.T) {
 		}
 	}
 	before := len(e.Log().Records())
-	st, err := Checkpoint(e, 0)
+	st, err := recovery.Checkpoint(e, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestRecoverAfterLogTruncation(t *testing.T) {
 	// the checkpoint covers everything the truncated prefix contained.
 	target := newTestEngine(t, engine.PLPLeaf)
 	defer target.Close()
-	if _, _, err := Recover(e.Log(), target.NewLoader()); err != nil {
+	if _, _, err := recovery.Recover(e.Log(), target.NewLoader()); err != nil {
 		t.Fatal(err)
 	}
 	compareTables(t, e, target, "acct")
@@ -60,7 +61,7 @@ func TestCheckpointerTruncates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	cp := NewCheckpointer(e, time.Hour) // background interval irrelevant: manual triggers
+	cp := recovery.NewCheckpointer(e, time.Hour) // background interval irrelevant: manual triggers
 	cp.SetTruncate(true)
 	if !cp.Trigger() {
 		t.Fatal("checkpoint trigger failed")
@@ -71,13 +72,13 @@ func TestCheckpointerTruncates(t *testing.T) {
 	// The remaining log still recovers the whole table.
 	target := newTestEngine(t, engine.Logical)
 	defer target.Close()
-	if _, _, err := Recover(e.Log(), target.NewLoader()); err != nil {
+	if _, _, err := recovery.Recover(e.Log(), target.NewLoader()); err != nil {
 		t.Fatal(err)
 	}
 	compareTables(t, e, target, "acct")
 
 	// Without truncation enabled, nothing further is reclaimed.
-	cp2 := NewCheckpointer(e, time.Hour)
+	cp2 := recovery.NewCheckpointer(e, time.Hour)
 	if !cp2.Trigger() {
 		t.Fatal("second checkpoint failed")
 	}

@@ -180,8 +180,13 @@ type Controller struct {
 
 // Attach creates a controller and registers it as the engine's access
 // observer, so the DORA routing path starts feeding its histograms
-// immediately.  The engine must use a partitioned design with at least two
-// partitions.  Call Detach (or Stop and Detach) to disconnect.
+// immediately.  It also registers the controller's state exporter as the
+// engine's checkpoint-state provider, and — when the engine's Recover found
+// a persisted controller blob in the checkpoint meta record — warm-starts
+// the histograms from it, so a restarted controller resumes with the hot
+// set its previous incarnation had learned.  The engine must use a
+// partitioned design with at least two partitions.  Call Detach (or Stop
+// and Detach) to disconnect.
 func Attach(e *engine.Engine, cfg Config) (*Controller, error) {
 	cfg.normalize()
 	if !e.Design().Partitioned() || e.Options().Partitions < 2 {
@@ -195,13 +200,27 @@ func Attach(e *engine.Engine, cfg Config) (*Controller, error) {
 	for _, t := range cfg.Tables {
 		c.tables[t] = advisor.NewAgingHistogram(e.Options().Partitions, cfg.MaxTrackedKeys)
 	}
+	if blob := e.RecoveredControllerState(); len(blob) > 0 {
+		if err := c.importState(blob); err != nil {
+			// A stale or foreign blob must not block startup: a cold
+			// controller is always safe.
+			c.statMu.Lock()
+			c.lastErr = err
+			c.statMu.Unlock()
+		}
+	}
 	e.SetAccessObserver(c.Observe)
+	e.SetCheckpointStateProvider(c.exportState)
 	return c, nil
 }
 
-// Detach stops feeding the controller (the engine's observer slot is
-// cleared).  The histograms keep their state; Step can still be called.
-func (c *Controller) Detach() { c.e.SetAccessObserver(nil) }
+// Detach stops feeding the controller: the engine's observer slot and
+// checkpoint-state provider are cleared.  The histograms keep their state;
+// Step can still be called.
+func (c *Controller) Detach() {
+	c.e.SetAccessObserver(nil)
+	c.e.SetCheckpointStateProvider(nil)
+}
 
 // managed reports whether the controller manages the table, creating the
 // histogram on first contact when no table filter was configured.

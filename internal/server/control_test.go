@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -19,6 +20,41 @@ func TestControlWithoutHandlerRejected(t *testing.T) {
 	c := dial(t, addr)
 	if _, err := c.Control("status", ""); err == nil {
 		t.Fatal("control verb succeeded without a handler")
+	}
+}
+
+// TestCheckpointVerb checks the "checkpoint" control verb routes to the
+// checkpoint handler and stays token-gated like every other control verb.
+func TestCheckpointVerb(t *testing.T) {
+	e, srv, addr := startServer(t, engine.PLPLeaf)
+
+	c := dial(t, addr)
+	if _, err := c.Control("checkpoint", ""); err == nil {
+		t.Fatal("checkpoint verb succeeded without a handler")
+	}
+	srv.SetCheckpointHandler(func() (string, error) {
+		st, err := e.Checkpoint()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("entries=%d\n", st.Entries), nil
+	})
+	if err := c.Upsert("accounts", keyenc.Uint64Key(1), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Control("checkpoint", "")
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if !strings.Contains(out, "entries=") {
+		t.Fatalf("unexpected checkpoint output %q", out)
+	}
+
+	// With a token set, an unauthenticated session must be refused.
+	srv.SetAuthToken("secret")
+	c2 := dial(t, addr)
+	if _, err := c2.Control("checkpoint", ""); err == nil {
+		t.Fatal("checkpoint verb succeeded without authentication")
 	}
 }
 

@@ -1,0 +1,242 @@
+package server
+
+// The kill-the-process integration test for the durability stack: a child
+// process runs a durable server (what plpd -data-dir runs in-process), the
+// parent loads it over the wire and SIGKILLs it mid-traffic, restarts it on
+// the same data directory, and verifies the recovery contract over the
+// wire:
+//
+//   - every transaction the client saw acknowledged is present, and
+//   - every transaction the client did NOT see acknowledged is atomic —
+//     its effects appear entirely or not at all (it may have committed
+//     durably with the acknowledgement lost in the crash, but a torn
+//     half-transaction must never survive).
+//
+// The child is this very test binary re-executed with PLP_CRASH_SERVER_DIR
+// set (see TestMain), so the test needs no go toolchain at run time and
+// runs under -race in CI.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"plp/client"
+	"plp/internal/catalog"
+	"plp/internal/engine"
+	"plp/internal/keyenc"
+)
+
+// crashEnvDir is the environment variable that switches the test binary
+// into child-server mode.
+const crashEnvDir = "PLP_CRASH_SERVER_DIR"
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(crashEnvDir); dir != "" {
+		runCrashServer(dir)
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCrashServer is the child: a durable engine recovered from dir and
+// served over loopback — the in-process equivalent of
+// `plpd -data-dir dir`.  It announces its address on stdout and serves
+// until killed.
+func runCrashServer(dir string) {
+	e, err := engine.Open(engine.Options{Design: engine.PLPLeaf, Partitions: 4, DataDir: dir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash child: open: %v\n", err)
+		os.Exit(1)
+	}
+	boundaries := [][]byte{keyenc.Uint64Key(250_000), keyenc.Uint64Key(500_000), keyenc.Uint64Key(750_000)}
+	if _, err := e.CreateTable(catalog.TableDef{Name: "kv", Boundaries: boundaries}); err != nil {
+		fmt.Fprintf(os.Stderr, "crash child: create table: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := e.Recover(); err != nil {
+		fmt.Fprintf(os.Stderr, "crash child: recover: %v\n", err)
+		os.Exit(1)
+	}
+	srv := New(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash child: listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("CRASHSRV_ADDR %s\n", addr)
+	_ = srv.Serve()
+}
+
+// startCrashServer spawns the child on dir and waits for its address.
+func startCrashServer(t *testing.T, dir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), crashEnvDir+"="+dir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "CRASHSRV_ADDR "); ok {
+				addrCh <- a
+			}
+			// Keep draining so the child never blocks on a full pipe.
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("crash child never announced its address")
+		return nil, ""
+	}
+}
+
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-kill integration test in short mode")
+	}
+	dir := t.TempDir()
+	cmd, addr := startCrashServer(t, dir)
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: synchronously acknowledged single-key commits.  Every one
+	// of these MUST survive the kill.
+	const acked = 250
+	for i := uint64(1); i <= acked; i++ {
+		if err := c.Upsert("kv", client.Uint64Key(i), []byte(fmt.Sprintf("acked-%d", i))); err != nil {
+			t.Fatalf("acked upsert %d: %v", i, err)
+		}
+	}
+
+	// Phase 2: a stream of two-key transactions kept in flight while the
+	// server dies.  Each pair lands on different partitions; recovery must
+	// keep every pair atomic whether or not its commit became durable.
+	type pairState struct {
+		mu    sync.Mutex
+		acked map[uint64]bool // pair id -> acknowledged commit
+		sent  uint64
+	}
+	ps := &pairState{acked: make(map[uint64]bool)}
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := i
+			val := []byte(fmt.Sprintf("pair-%d", id))
+			txn := client.NewTxn().
+				Upsert("kv", client.Uint64Key(300_000+id), val).
+				Upsert("kv", client.Uint64Key(700_000+id), val)
+			f := c.DoAsync(ctx, txn)
+			ps.mu.Lock()
+			ps.sent = i + 1
+			ps.mu.Unlock()
+			go func() {
+				resp, err := f.Wait(ctx)
+				if err == nil && resp.Committed {
+					ps.mu.Lock()
+					ps.acked[id] = true
+					ps.mu.Unlock()
+				}
+			}()
+		}
+	}()
+
+	// Let the stream build up, then kill -9 mid-flight.
+	time.Sleep(150 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	close(stop)
+	wg.Wait()
+	_ = c.Close()
+	// Futures race the kill; give the in-flight Wait goroutines a moment
+	// to record late acknowledgements before we snapshot them.
+	time.Sleep(100 * time.Millisecond)
+	ps.mu.Lock()
+	sent := ps.sent
+	ackedPairs := make(map[uint64]bool, len(ps.acked))
+	for id := range ps.acked {
+		ackedPairs[id] = true
+	}
+	ps.mu.Unlock()
+	if sent == 0 {
+		t.Fatal("no in-flight transactions were submitted before the kill")
+	}
+
+	// Restart on the same directory: the child re-runs recovery before it
+	// accepts connections.
+	cmd2, addr2 := startCrashServer(t, dir)
+	defer func() {
+		_ = cmd2.Process.Kill()
+		_, _ = cmd2.Process.Wait()
+	}()
+	c2, err := client.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// Every synchronously acknowledged commit is readable.
+	for i := uint64(1); i <= acked; i++ {
+		got, err := c2.Get("kv", client.Uint64Key(i))
+		if err != nil {
+			t.Fatalf("acked key %d lost by the crash: %v", i, err)
+		}
+		if want := fmt.Sprintf("acked-%d", i); string(got) != want {
+			t.Fatalf("acked key %d = %q, want %q", i, got, want)
+		}
+	}
+
+	// Every pair is atomic; acknowledged pairs must be present.
+	survivors, torn := 0, 0
+	for id := uint64(0); id < sent; id++ {
+		want := fmt.Sprintf("pair-%d", id)
+		a, errA := c2.Get("kv", client.Uint64Key(300_000+id))
+		b, errB := c2.Get("kv", client.Uint64Key(700_000+id))
+		hasA, hasB := errA == nil, errB == nil
+		if hasA != hasB {
+			torn++
+			t.Errorf("pair %d is torn: first key present=%v, second key present=%v", id, hasA, hasB)
+			continue
+		}
+		if hasA {
+			survivors++
+			if string(a) != want || string(b) != want {
+				t.Errorf("pair %d has wrong values: %q / %q", id, a, b)
+			}
+		} else if ackedPairs[id] {
+			t.Errorf("acknowledged pair %d vanished", id)
+		}
+	}
+	t.Logf("crash test: %d acked singles, %d pairs sent, %d pair survivors, %d acked pairs, %d torn",
+		acked, sent, survivors, len(ackedPairs), torn)
+}

@@ -65,6 +65,13 @@ type ControlHandler interface {
 	Control(cmd, table string) (string, error)
 }
 
+// CheckpointFunc serves the "checkpoint" control verb: take one checkpoint
+// now and return a human-readable summary.  It is separate from
+// ControlHandler because checkpointing belongs to the durability stack
+// (engine.Checkpoint), not to the repartitioning controller, and a durable
+// server wants the verb even when -drp is off.
+type CheckpointFunc func() (string, error)
+
 // Stats reports server activity.
 type Stats struct {
 	// Connections is the number of connections accepted so far.
@@ -103,8 +110,9 @@ type Server struct {
 	committed    atomic.Uint64
 	aborted      atomic.Uint64
 
-	control atomic.Pointer[ControlHandler]
-	token   atomic.Pointer[string]
+	control    atomic.Pointer[ControlHandler]
+	checkpoint atomic.Pointer[CheckpointFunc]
+	token      atomic.Pointer[string]
 }
 
 // New returns a server for the engine.
@@ -120,6 +128,17 @@ func (s *Server) SetControlHandler(h ControlHandler) {
 		return
 	}
 	s.control.Store(&h)
+}
+
+// SetCheckpointHandler installs (or, with nil, removes) the function behind
+// the "checkpoint" control verb.  Like every control verb it is gated by
+// the authentication token when one is set.
+func (s *Server) SetCheckpointHandler(fn CheckpointFunc) {
+	if fn == nil {
+		s.checkpoint.Store(nil)
+		return
+	}
+	s.checkpoint.Store(&fn)
 }
 
 // SetAuthToken installs (or, with "", removes) the authentication token.
@@ -497,10 +516,23 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session) *w
 	return resp
 }
 
-// executeControl runs one control statement through the attached handler.
+// executeControl runs one control statement: the "checkpoint" verb through
+// the checkpoint handler, everything else through the attached control
+// handler.
 func (s *Server) executeControl(st wire.Statement, cs session) wire.StatementResult {
 	if !cs.authed {
 		return wire.StatementResult{Err: "control requires an authenticated session (connect with the server's -token)"}
+	}
+	if string(st.Key) == "checkpoint" {
+		cp := s.checkpoint.Load()
+		if cp == nil {
+			return wire.StatementResult{Err: "server has no checkpoint handler (start plpd with -data-dir or -checkpoint-ms)"}
+		}
+		out, err := (*cp)()
+		if err != nil {
+			return wire.StatementResult{Err: err.Error()}
+		}
+		return wire.StatementResult{Found: true, Value: []byte(out)}
 	}
 	p := s.control.Load()
 	if p == nil {

@@ -51,6 +51,12 @@ func (s State) String() string {
 var (
 	ErrNotActive = errors.New("txn: transaction is not active")
 	ErrAborted   = errors.New("txn: transaction aborted")
+	// ErrNotDurable is returned by Commit when the log device shut down
+	// before the commit record reached the durable horizon (a commit racing
+	// engine Close).  The transaction's effects are applied in memory, but
+	// the caller must NOT acknowledge it to the client: after the imminent
+	// restart, recovery will treat it as a loser.
+	ErrNotDurable = errors.New("txn: commit record not durable (log closed)")
 )
 
 // WaitKind classifies where a transaction spent blocked time, matching the
@@ -222,6 +228,7 @@ type Manager struct {
 	log    wal.Log
 	locks  *lock.Manager
 	cstats *cs.Stats
+	lazy   atomic.Bool
 
 	mu     sync.Mutex
 	active map[uint64]*Txn
@@ -260,24 +267,57 @@ func (m *Manager) Begin() *Txn {
 	return t
 }
 
-// Commit writes the commit record, flushes the log up to it, releases the
-// transaction's centralized locks (unless they were inherited via SLI by the
-// caller beforehand) and retires the transaction.
+// SetLazyCommit controls whether Commit waits for its commit record to
+// reach the durable horizon.  With lazy commit on, Commit returns as soon
+// as the record is in the log buffer — the group-commit daemon makes it
+// durable shortly after, but a crash in that window loses the transaction
+// even though the client saw it acknowledged.  It may be toggled at
+// runtime; in-flight commits use the value they observed.
+func (m *Manager) SetLazyCommit(v bool) { m.lazy.Store(v) }
+
+// LazyCommit reports whether lazy commit is enabled.
+func (m *Manager) LazyCommit() bool { return m.lazy.Load() }
+
+// Commit is the group-commit pipeline, split into the three steps of the
+// Aether scheme:
+//
+//  1. append the commit record to the log buffer (cheap, no I/O);
+//  2. release the transaction's centralized locks and retire it — early
+//     lock release: the transaction's effects are visible to others the
+//     moment its commit record is *ordered* in the log, not when it is
+//     durable, because any dependent transaction's own commit record
+//     necessarily serializes after this one and the same flush ordering
+//     makes both durable in order;
+//  3. wait for the durable horizon to pass the commit record
+//     (Log.WaitDurable), riding one shared fsync with every other
+//     committer in the batch.  The wall time spent here is the real
+//     WaitLog component of the paper's time breakdowns.
+//
+// With lazy commit enabled, step 3 is skipped.
 func (m *Manager) Commit(t *Txn) error {
 	if !t.state.CompareAndSwap(int32(Active), int32(Committed)) {
 		return ErrNotActive
 	}
 	rec := &wal.Record{Txn: t.id, Type: wal.RecCommit, PrevLSN: t.LastLSN()}
-	logStart := time.Now()
 	lsn := m.log.Append(rec)
-	m.log.Flush(lsn)
-	t.Breakdown.AddWait(WaitLog, time.Since(logStart))
 	t.SetLastLSN(lsn)
 
 	if m.locks != nil {
 		m.locks.ReleaseAll(t.id, t.LockNames())
 	}
 	m.retire(t)
+
+	if !m.lazy.Load() {
+		logStart := time.Now()
+		durable := m.log.WaitDurable(lsn)
+		t.Breakdown.AddWait(WaitLog, time.Since(logStart))
+		if durable <= lsn {
+			// The log closed under us: "acknowledged means durable" can
+			// no longer be kept, so the caller must surface a failure.
+			m.committed.Add(1)
+			return ErrNotDurable
+		}
+	}
 	m.committed.Add(1)
 	return nil
 }
@@ -297,9 +337,11 @@ func (m *Manager) Abort(t *Txn) error {
 			firstErr = err
 		}
 	}
+	// The abort record is appended but not flushed: recovery treats a
+	// transaction without a durable commit record as a loser either way, so
+	// forcing an fsync here would only add latency to the failure path.
 	rec := &wal.Record{Txn: t.id, Type: wal.RecAbort, PrevLSN: t.LastLSN()}
 	lsn := m.log.Append(rec)
-	m.log.Flush(lsn)
 	t.SetLastLSN(lsn)
 
 	if m.locks != nil {

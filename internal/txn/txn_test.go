@@ -154,6 +154,58 @@ func TestConcurrentBeginCommit(t *testing.T) {
 	}
 }
 
+func TestLazyCommitSkipsDurabilityWait(t *testing.T) {
+	log, err := wal.NewDurable(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	m := NewManager(log, nil, nil)
+	m.SetLazyCommit(true)
+	if !m.LazyCommit() {
+		t.Fatal("lazy commit not recorded")
+	}
+	tx := m.Begin()
+	lsn := log.Append(&wal.Record{Txn: tx.ID(), Type: wal.RecUpdate, Payload: []byte("lazy")})
+	tx.SetLastLSN(lsn)
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// The commit was acknowledged without waiting; the daemon makes it
+	// durable shortly after, and an explicit Flush forces the issue.
+	log.Flush(log.CurrentLSN())
+	if log.DurableLSN() <= tx.LastLSN() {
+		t.Fatal("commit record never became durable")
+	}
+
+	// Eager commit on the same manager must block until durable.
+	m.SetLazyCommit(false)
+	tx2 := m.Begin()
+	if err := m.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if log.DurableLSN() <= tx2.LastLSN() {
+		t.Fatal("eager commit acknowledged before its record was durable")
+	}
+}
+
+func TestCommitAfterLogCloseIsNotAcknowledged(t *testing.T) {
+	log, err := wal.NewDurable(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(log, nil, nil)
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A commit racing engine shutdown must not be acknowledged: its record
+	// can never become durable, so recovery will treat it as a loser.
+	tx := m.Begin()
+	if err := m.Commit(tx); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("commit on a closed log returned %v, want ErrNotDurable", err)
+	}
+}
+
 func TestWaitKindAndStateLabels(t *testing.T) {
 	for k := WaitKind(0); int(k) < NumWaitKinds; k++ {
 		if k.String() == "" {

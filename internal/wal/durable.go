@@ -1,0 +1,620 @@
+// Durable: the disk-backed, segmented log device with group commit.
+//
+// The in-memory devices (Consolidated, Naive) simulate durability by
+// advancing an atomic — right for the paper's memory-resident experiments,
+// disqualifying for a system that must survive kill -9.  Durable puts a real
+// log file behind the same Log interface:
+//
+//   - Appends go to an in-memory tail under a short mutex (the record also
+//     stays cached in memory so Records()/recovery analysis never re-read
+//     the disk).
+//   - A background flush daemon drains the tail, writes the batch to the
+//     active segment file in ONE write, fsyncs ONCE, and then advances the
+//     durable LSN and wakes every committer waiting at or below it.  That
+//     is group commit in the Aether style: the fsync cost is amortized over
+//     every transaction that joined the batch while the previous fsync was
+//     in flight.
+//   - WaitDurable(lsn) is the commit-side half: kick the daemon, then sleep
+//     until the durable horizon passes lsn.  N concurrent committers pay
+//     ~1 fsync, not N.
+//   - SyncEveryCommit mode disables the daemon and makes every WaitDurable
+//     perform its own write+fsync — the naive per-transaction-fsync
+//     baseline the group-commit benchmark pair compares against.
+//
+// The log is segmented: the active segment rotates at SegmentBytes, and
+// Truncate (driven by checkpointing) unlinks whole segments whose records
+// all precede the truncation horizon.  On open, segments are replayed
+// sequentially with a per-record CRC; a torn tail record (the crash hit
+// mid-write) is cut off at the last valid prefix, which is exactly the
+// prefix the flusher had acknowledged.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"plp/internal/cs"
+)
+
+// Durable device defaults.
+const (
+	// DefaultSegmentBytes is the rotation threshold for log segments.
+	DefaultSegmentBytes = 16 << 20
+	// segmentSuffix names log segment files; the prefix is the first LSN in
+	// the segment, in fixed-width hex so lexical order is LSN order.
+	segmentSuffix = ".seg"
+	// recordHeaderSize is the fixed Marshal header preceding the payload.
+	recordHeaderSize = 37
+	// recordTrailerSize is the CRC32 trailer framing each on-disk record.
+	recordTrailerSize = 4
+)
+
+// DurableOptions tunes the disk-backed device.
+type DurableOptions struct {
+	// SegmentBytes is the segment rotation threshold (default 16 MiB).
+	SegmentBytes int64
+	// SyncEveryCommit disables the group-commit daemon: every WaitDurable
+	// performs its own write+fsync.  This is the ablation baseline for the
+	// group-commit benchmark; production configurations leave it false.
+	SyncEveryCommit bool
+	// CSStats, when set, receives log-manager critical-section reports.
+	CSStats *cs.Stats
+}
+
+// segmentInfo describes one closed (no longer written) segment.
+type segmentInfo struct {
+	path  string
+	first LSN // LSN of the first record in the segment
+	last  LSN // LSN one past the last record's bytes (exclusive end)
+}
+
+// Durable is the disk-backed segmented log device.
+type Durable struct {
+	dir  string
+	opts DurableOptions
+
+	// mu guards the append state: LSN assignment, the unflushed tail, the
+	// in-memory record cache, and the condition variable committers sleep
+	// on.  It is never held across disk I/O.
+	mu     sync.Mutex
+	cond   *sync.Cond // broadcast whenever the durable horizon advances
+	next   LSN        // next LSN to assign
+	tail   []Record   // appended but not yet handed to a flush
+	mem    []Record   // every live record, LSN order (Records/recovery)
+	closed bool
+
+	// ioMu serializes everything that touches the filesystem: batch writes,
+	// fsyncs, segment rotation and truncation.  Truncate holds it for its
+	// whole critical section so a truncation can never interleave with an
+	// in-flight group flush (see Truncate).
+	ioMu       sync.Mutex
+	seg        *os.File
+	segPath    string
+	segFirst   LSN
+	segSize    int64
+	closedSegs []segmentInfo
+
+	durable atomic.Uint64
+
+	flushReq chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+
+	appends   atomic.Uint64
+	flushes   atomic.Uint64
+	bytes     atomic.Uint64
+	truncated atomic.Uint64
+}
+
+// NewDurable opens (or creates) a disk-backed log in dir with default
+// options and starts its group-commit flush daemon.
+func NewDurable(dir string) (*Durable, error) {
+	return OpenDurable(dir, DurableOptions{})
+}
+
+// OpenDurable opens (or creates) a disk-backed log in dir.  Existing
+// segments are scanned sequentially: every CRC-valid record is loaded into
+// the in-memory cache and counted durable, and a torn tail (a crash in the
+// middle of a batch write) is truncated away.  Unless SyncEveryCommit is
+// set, the group-commit flush daemon is started.
+func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create log dir: %w", err)
+	}
+	d := &Durable{
+		dir:      dir,
+		opts:     opts,
+		next:     1, // LSN 0 is InvalidLSN
+		flushReq: make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	if err := d.load(); err != nil {
+		return nil, err
+	}
+	if !opts.SyncEveryCommit {
+		go d.flushLoop()
+	} else {
+		close(d.done) // no daemon to wait for on Close
+	}
+	return d, nil
+}
+
+// segmentName returns the file name of the segment starting at lsn.
+func segmentName(lsn LSN) string {
+	return fmt.Sprintf("%016x%s", uint64(lsn), segmentSuffix)
+}
+
+// load scans the existing segments, rebuilds the in-memory cache, truncates
+// a torn tail and opens the active segment for appending.
+func (d *Durable) load() error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("wal: read log dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segmentSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // fixed-width hex prefix: lexical order is LSN order
+
+	torn := false
+	for _, name := range names {
+		path := filepath.Join(d.dir, name)
+		if torn {
+			// LSN continuity is already broken at an earlier torn tail; a
+			// later segment can only hold records the system never
+			// acknowledged.  Drop it.
+			_ = os.Remove(path)
+			continue
+		}
+		recs, validLen, fileLen, err := readSegment(path)
+		if err != nil {
+			return err
+		}
+		if validLen < fileLen {
+			// Torn tail: cut the file back to its valid prefix.
+			if err := os.Truncate(path, validLen); err != nil {
+				return fmt.Errorf("wal: truncate torn segment %s: %w", name, err)
+			}
+			torn = true
+		}
+		if len(recs) == 0 && validLen == 0 {
+			_ = os.Remove(path)
+			continue
+		}
+		d.mem = append(d.mem, recs...)
+	}
+	if n := len(d.mem); n > 0 {
+		last := d.mem[n-1]
+		d.next = last.LSN + LSN(last.encodedSize())
+	}
+	d.durable.Store(uint64(d.next)) // everything on disk is durable
+
+	// Rebuild the closed-segment index and reopen the last segment for
+	// appending (or start fresh).
+	names = nil
+	entries, err = os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("wal: reread log dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segmentSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return d.openSegment(d.next)
+	}
+	for i, name := range names {
+		path := filepath.Join(d.dir, name)
+		var first uint64
+		if _, err := fmt.Sscanf(name, "%016x", &first); err != nil {
+			return fmt.Errorf("wal: malformed segment name %q", name)
+		}
+		if i == len(names)-1 {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("wal: reopen segment: %w", err)
+			}
+			st, err := f.Stat()
+			if err != nil {
+				_ = f.Close()
+				return err
+			}
+			d.seg, d.segPath, d.segFirst, d.segSize = f, path, LSN(first), st.Size()
+			continue
+		}
+		// A closed segment's exclusive end is the next segment's first LSN.
+		var nextFirst uint64
+		if _, err := fmt.Sscanf(names[i+1], "%016x", &nextFirst); err != nil {
+			return fmt.Errorf("wal: malformed segment name %q", names[i+1])
+		}
+		d.closedSegs = append(d.closedSegs, segmentInfo{path: path, first: LSN(first), last: LSN(nextFirst)})
+	}
+	return nil
+}
+
+// readSegment sequentially decodes one segment file.  It returns the valid
+// records, the byte length of the valid prefix, and the file's total length;
+// validLen < fileLen means the tail is torn or corrupt.
+func readSegment(path string) (recs []Record, validLen, fileLen int64, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: read segment: %w", err)
+	}
+	fileLen = int64(len(buf))
+	off := int64(0)
+	for {
+		rest := buf[off:]
+		if len(rest) < recordHeaderSize+recordTrailerSize {
+			break
+		}
+		payloadLen := int64(binary.LittleEndian.Uint32(rest[33:]))
+		frame := int64(recordHeaderSize) + payloadLen + recordTrailerSize
+		if int64(len(rest)) < frame {
+			break
+		}
+		body := rest[:frame-recordTrailerSize]
+		want := binary.LittleEndian.Uint32(rest[frame-recordTrailerSize:])
+		if crc32.ChecksumIEEE(body) != want {
+			break
+		}
+		rec, derr := UnmarshalRecord(body)
+		if derr != nil {
+			break
+		}
+		if n := len(recs); n > 0 {
+			prev := recs[n-1]
+			if rec.LSN != prev.LSN+LSN(prev.encodedSize()) {
+				break // continuity violation: treat as corruption
+			}
+		}
+		recs = append(recs, rec)
+		off += frame
+	}
+	return recs, off, fileLen, nil
+}
+
+// openSegment creates a fresh segment whose first record will be at lsn and
+// makes it the active segment.  Caller must hold ioMu (or be single-threaded
+// during open).
+func (d *Durable) openSegment(lsn LSN) error {
+	path := filepath.Join(d.dir, segmentName(lsn))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	// fsync the directory so the new segment's name survives a crash.
+	if dirf, derr := os.Open(d.dir); derr == nil {
+		_ = dirf.Sync()
+		_ = dirf.Close()
+	}
+	d.seg, d.segPath, d.segFirst, d.segSize = f, path, lsn, 0
+	return nil
+}
+
+// Append implements Log.  The record is assigned its LSN and parked on the
+// in-memory tail; the flush daemon is kicked so durability proceeds in the
+// background even for committers that never wait (LazyCommit).
+func (d *Durable) Append(r *Record) LSN {
+	size := LSN(r.encodedSize())
+	contended := !d.mu.TryLock()
+	if contended {
+		d.mu.Lock()
+	}
+	r.LSN = d.next
+	d.next += size
+	d.tail = append(d.tail, *r)
+	d.mem = append(d.mem, *r)
+	d.mu.Unlock()
+
+	d.opts.CSStats.RecordClass(cs.LogMgr, cs.Fixed, contended)
+	d.appends.Add(1)
+	d.bytes.Add(uint64(size))
+	d.kick()
+	return r.LSN
+}
+
+// kick wakes the flush daemon without blocking.
+func (d *Durable) kick() {
+	if d.opts.SyncEveryCommit {
+		return
+	}
+	select {
+	case d.flushReq <- struct{}{}:
+	default:
+	}
+}
+
+// flushLoop is the group-commit daemon: each iteration drains everything
+// appended so far into one write+fsync.  While an fsync is in flight new
+// appends pile up on the tail, so the next iteration flushes them as one
+// batch — the batch size adapts to the fsync latency by construction.
+func (d *Durable) flushLoop() {
+	defer close(d.done)
+	for {
+		select {
+		case <-d.stop:
+			d.flushOnce(false) // final drain so Close loses nothing
+			return
+		case <-d.flushReq:
+			d.flushOnce(false)
+		}
+	}
+}
+
+// flushOnce writes every outstanding tail record to the active segment,
+// fsyncs, advances the durable horizon and wakes waiting committers.  It is
+// called by the daemon (group mode) or inline by WaitDurable/Flush
+// (SyncEveryCommit mode), always serialized on ioMu.
+//
+// forceSync makes an empty-batch call fsync anyway: the SyncEveryCommit
+// baseline must pay one fsync per commit even when a racing committer's
+// flush already wrote this commit's bytes — otherwise the "per-transaction
+// fsync" ablation would itself batch, and the group-commit comparison
+// would measure nothing.
+func (d *Durable) flushOnce(forceSync bool) {
+	d.ioMu.Lock()
+	defer d.ioMu.Unlock()
+
+	if d.seg == nil {
+		return // closed: appends past the final drain are not durable
+	}
+
+	d.mu.Lock()
+	batch := d.tail
+	d.tail = nil
+	target := d.next // tail covered [durable, next): target is exact
+	d.mu.Unlock()
+
+	if len(batch) == 0 {
+		if forceSync {
+			if err := d.seg.Sync(); err != nil {
+				d.fail(err)
+			}
+			d.flushes.Add(1)
+		}
+		return
+	}
+
+	// Encode the whole batch into one buffer, splitting at segment
+	// rotation points.
+	var buf []byte
+	for i := range batch {
+		r := &batch[i]
+		if d.segSize > 0 && d.segSize+int64(len(buf)) >= d.opts.SegmentBytes {
+			// Rotate: flush what we have into the old segment first.
+			if err := d.writeAndSync(buf); err != nil {
+				d.fail(err)
+				return
+			}
+			buf = buf[:0]
+			d.closedSegs = append(d.closedSegs, segmentInfo{path: d.segPath, first: d.segFirst, last: r.LSN})
+			_ = d.seg.Close()
+			if err := d.openSegment(r.LSN); err != nil {
+				d.fail(err)
+				return
+			}
+		}
+		body := r.Marshal()
+		var crc [recordTrailerSize]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+		buf = append(buf, body...)
+		buf = append(buf, crc[:]...)
+	}
+	if err := d.writeAndSync(buf); err != nil {
+		d.fail(err)
+		return
+	}
+	d.flushes.Add(1)
+
+	d.advanceDurable(target)
+}
+
+// writeAndSync appends buf to the active segment and fsyncs it.
+func (d *Durable) writeAndSync(buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	if _, err := d.seg.Write(buf); err != nil {
+		return err
+	}
+	if err := d.seg.Sync(); err != nil {
+		return err
+	}
+	d.segSize += int64(len(buf))
+	return nil
+}
+
+// advanceDurable moves the durable horizon monotonically forward to target
+// and wakes every waiting committer.
+func (d *Durable) advanceDurable(target LSN) {
+	for {
+		cur := d.durable.Load()
+		if uint64(target) <= cur {
+			break
+		}
+		if d.durable.CompareAndSwap(cur, uint64(target)) {
+			break
+		}
+	}
+	d.mu.Lock()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// fail marks a disk failure.  There is no good recovery from a log device
+// that cannot write: the invariant "acknowledged means durable" can no
+// longer be kept, so the device panics rather than acknowledge silently
+// lost commits.
+func (d *Durable) fail(err error) {
+	panic(fmt.Sprintf("wal: durable log write failed: %v", err))
+}
+
+// WaitDurable implements Log: block until the record appended at lsn is
+// durable.  In group mode this is the committer half of group commit — kick
+// the daemon, sleep, and wake together with every other committer the same
+// fsync covered.  In SyncEveryCommit mode each caller performs its own
+// write+fsync (the ablation baseline).
+func (d *Durable) WaitDurable(lsn LSN) LSN {
+	if d.opts.SyncEveryCommit {
+		// No fast path: the per-transaction-fsync baseline pays its own
+		// fsync for every commit, covered or not.
+		d.flushOnce(true)
+		return LSN(d.durable.Load())
+	}
+	if LSN(d.durable.Load()) > lsn {
+		return LSN(d.durable.Load())
+	}
+	d.kick()
+	d.mu.Lock()
+	for LSN(d.durable.Load()) <= lsn && !d.closed {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+	return LSN(d.durable.Load())
+}
+
+// Flush implements Log: make everything appended so far durable.  upto is a
+// lower bound; the disk device always flushes the full tail, which covers
+// it.
+func (d *Durable) Flush(upto LSN) LSN {
+	d.mu.Lock()
+	target := d.next
+	closed := d.closed
+	d.mu.Unlock()
+	if closed || LSN(d.durable.Load()) >= target {
+		return LSN(d.durable.Load())
+	}
+	if d.opts.SyncEveryCommit {
+		d.flushOnce(false)
+		return LSN(d.durable.Load())
+	}
+	d.kick()
+	d.mu.Lock()
+	for LSN(d.durable.Load()) < target && !d.closed {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+	return LSN(d.durable.Load())
+}
+
+// DurableLSN implements Log.
+func (d *Durable) DurableLSN() LSN { return LSN(d.durable.Load()) }
+
+// CurrentLSN implements Log.
+func (d *Durable) CurrentLSN() LSN {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.next
+}
+
+// Records implements Log.
+func (d *Durable) Records() []Record {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Record(nil), d.mem...)
+}
+
+// Truncate implements Log.  Only whole closed segments strictly below the
+// (durable-clamped) horizon are unlinked; the in-memory cache drops the
+// matching prefix.  Holding ioMu for the whole operation means a truncation
+// can never interleave with an in-flight group flush: the flusher's
+// write → fsync → advance-durable sequence and the truncation's
+// clamp → unlink sequence are atomic with respect to each other, so the
+// durable LSN observed by committers never regresses (see
+// TestTruncateDuringGroupFlushNeverRegressesDurable).
+func (d *Durable) Truncate(upto LSN) int {
+	d.ioMu.Lock()
+	defer d.ioMu.Unlock()
+
+	if dur := LSN(d.durable.Load()); upto > dur {
+		upto = dur
+	}
+
+	// Unlink whole segments whose every record precedes upto.
+	kept := d.closedSegs[:0]
+	for _, s := range d.closedSegs {
+		if s.last <= upto {
+			_ = os.Remove(s.path)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	d.closedSegs = kept
+
+	// Drop the in-memory prefix (this is what recovery analysis reads, so
+	// it must agree with the Log-interface contract even where the disk
+	// still holds a partially-truncatable segment).
+	d.mu.Lock()
+	i := sort.Search(len(d.mem), func(i int) bool { return d.mem[i].LSN >= upto })
+	dropped := i
+	if i > 0 {
+		d.mem = append([]Record(nil), d.mem[i:]...)
+	}
+	d.mu.Unlock()
+
+	d.truncated.Add(uint64(dropped))
+	return dropped
+}
+
+// Stats implements Log.
+func (d *Durable) Stats() Stats {
+	return Stats{
+		Appends:     d.appends.Load(),
+		Flushes:     d.flushes.Load(),
+		BytesLogged: d.bytes.Load(),
+		Truncated:   d.truncated.Load(),
+	}
+}
+
+// Close flushes the outstanding tail, stops the daemon and closes the
+// active segment.  The engine calls it on graceful shutdown so the final
+// batch of lazy commits reaches the disk.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+
+	if d.opts.SyncEveryCommit {
+		d.flushOnce(false)
+	} else {
+		close(d.stop)
+		<-d.done // daemon does the final drain
+	}
+	// Wake anything still parked in WaitDurable.
+	d.mu.Lock()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+
+	d.ioMu.Lock()
+	defer d.ioMu.Unlock()
+	if d.seg != nil {
+		err := d.seg.Close()
+		d.seg = nil
+		return err
+	}
+	return nil
+}
+
+// Dir returns the directory holding the log segments.
+func (d *Durable) Dir() string { return d.dir }

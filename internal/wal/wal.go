@@ -122,13 +122,21 @@ func UnmarshalRecord(buf []byte) (Record, error) {
 	return r, nil
 }
 
-// Log is the interface both log-buffer implementations satisfy.
+// Log is the interface every log-device implementation satisfies: the two
+// in-memory buffers in this file and the disk-backed segmented device in
+// durable.go.
 type Log interface {
 	// Append adds the record to the log and returns its LSN.
 	Append(r *Record) LSN
 	// Flush makes every record with LSN <= upto durable and returns the new
 	// durable LSN.
 	Flush(upto LSN) LSN
+	// WaitDurable blocks until the record appended at lsn is durable (the
+	// durable horizon has advanced past lsn) and returns the durable LSN.
+	// On the in-memory devices it is equivalent to Flush; on the
+	// disk-backed device concurrent waiters ride the same group fsync,
+	// which is what makes group commit group.
+	WaitDurable(lsn LSN) LSN
 	// DurableLSN returns the highest durable LSN.
 	DurableLSN() LSN
 	// CurrentLSN returns the LSN that the next appended record will receive.
@@ -235,6 +243,10 @@ func (l *Consolidated) Flush(upto LSN) LSN {
 	l.flushes.Add(1)
 	return LSN(l.durable.Load())
 }
+
+// WaitDurable implements Log.  The in-memory device "flushes" instantly, so
+// waiting degenerates to advancing the durable horizon past lsn.
+func (l *Consolidated) WaitDurable(lsn LSN) LSN { return l.Flush(LSN(l.next.Load())) }
 
 // DurableLSN implements Log.
 func (l *Consolidated) DurableLSN() LSN { return LSN(l.durable.Load()) }
@@ -352,6 +364,9 @@ func (l *Naive) Flush(upto LSN) LSN {
 	l.flushes.Add(1)
 	return d
 }
+
+// WaitDurable implements Log.
+func (l *Naive) WaitDurable(lsn LSN) LSN { return l.Flush(l.CurrentLSN()) }
 
 // DurableLSN implements Log.
 func (l *Naive) DurableLSN() LSN {

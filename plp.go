@@ -34,13 +34,46 @@
 //	res, err := sess.Execute(req)
 //
 // Beyond the core engine the package exposes the operational subsystems a
-// deployment needs (see extensions.go): Checkpoint/Recover and the
-// background Checkpointer for restart recovery over the shared log,
+// deployment needs (see extensions.go): Open for a durable, crash-safe
+// engine backed by a disk-based group-commit log, Checkpoint/Recover and
+// the background Checkpointer for restart recovery over the shared log,
 // AttachRepartitioner for the paper's online dynamic repartitioning (DRP),
 // NewBalanceMonitor for simpler one-table rebalancing under skew,
 // NewAdvisorTracker for the partition-alignment analysis of Appendix E, and
 // NewServer plus the client, wire and keys packages (and cmd/plpd,
 // cmd/plpctl) for serving an engine over TCP.
+//
+// # Durability and crash recovery
+//
+// plp.New builds a memory-resident engine, matching the paper's
+// experimental setup: its log devices (the Aether-style consolidated
+// buffer and the single-mutex ablation baseline) simulate the durable
+// horizon without touching a disk.  plp.Open instead puts the disk-backed
+// segmented log device behind the same Log interface: appends go to an
+// in-memory tail and a background flush daemon batches every outstanding
+// record into one write+fsync — group commit — before advancing the
+// durable LSN.  Commit is split Aether-style: append the commit record,
+// release locks early, then wait for the durable horizon to pass the
+// record (skipped with Options.LazyCommit), so N concurrent committers
+// share ~one fsync and the WaitLog component of the paper's time
+// breakdowns measures real flush waits.
+//
+//	eng, err := plp.Open(plp.Options{Design: plp.PLPLeaf, Partitions: 8,
+//		DataDir: "/var/lib/plp"})
+//	eng.CreateTable(...)          // same schema as before the crash
+//	info, err := eng.Recover()    // snapshot + boundaries + committed tail
+//	...
+//	eng.Checkpoint()              // bound the tail; Log().Truncate reclaims
+//
+// Engine.Checkpoint captures a transactionally consistent snapshot of
+// every table plus a meta record holding the current partition boundaries
+// and the repartitioning controller's histogram state; Engine.Recover
+// replays the most recent checkpoint, re-applies the boundary moves, and
+// replays the committed log tail, discarding transactions that never
+// committed — so a SIGKILLed engine restarts with exactly the acknowledged
+// state.  cmd/plpd wires this end to end (-data-dir, -lazy-commit,
+// recovery before accepting connections, a token-gated "checkpoint"
+// control verb, and a graceful-shutdown flush).
 //
 // # Network serving
 //
