@@ -32,6 +32,13 @@
 //		if _, err := f.Wait(ctx); err != nil { ... }
 //	}
 //
+//	// Declarative plan (protocol v3): a dependent multi-phase transaction
+//	// — secondary probe feeding a routed update — in ONE round trip.
+//	b := client.NewPlan()
+//	probe := b.LookupSecondary("subscribers", "sub_nbr", secKey).Ref()
+//	b.Then().Update("subscribers", nil, newLocation).KeyFrom(probe)
+//	results, err := c.DoPlan(b.MustBuild())
+//
 // Cancelling a context abandons the in-flight request (its eventual
 // response is discarded) but leaves the connection usable; a transport
 // error fails every in-flight request and poisons the client.
@@ -53,6 +60,7 @@ import (
 	"time"
 
 	"plp/keys"
+	"plp/plan"
 	"plp/wire"
 )
 
@@ -205,10 +213,11 @@ type DialOptions struct {
 
 // Client is a connection to a PLP server.
 type Client struct {
-	conn    net.Conn
-	br      *bufio.Reader
-	version uint32
-	authed  bool
+	conn     net.Conn
+	br       *bufio.Reader
+	version  uint32
+	authed   bool
+	readOnly bool
 
 	// Outgoing frames are handed to a writer goroutine that batches them
 	// into one buffered write, flushing when the queue drains — under
@@ -312,6 +321,7 @@ func (c *Client) handshake(ctx context.Context, o *DialOptions) error {
 	}
 	c.version = ack.Version
 	c.authed = ack.Authenticated
+	c.readOnly = ack.ReadOnly
 	return nil
 }
 
@@ -323,6 +333,11 @@ func (c *Client) Version() uint32 { return c.version }
 // protocol has no handshake, so the client cannot know whether the server
 // requires a token (an open server still accepts their control commands).
 func (c *Client) Authenticated() bool { return c.authed }
+
+// ReadOnly reports whether the session is scoped read-only (the token
+// presented at the handshake matched the server's read-only token): write
+// ops and control verbs will be refused server-side.
+func (c *Client) ReadOnly() bool { return c.readOnly }
 
 // writeLoop drains the outgoing queue into a buffered writer, flushing
 // whenever the queue is empty: an idle connection sends every frame
@@ -424,13 +439,33 @@ func (c *Client) Close() error {
 // cancelled fails the future immediately); use Future.Wait to bound the
 // wait for the response.
 func (c *Client) DoAsync(ctx context.Context, t *Txn) *Future {
+	return c.submitAsync(ctx, t.minVersion(), func(id uint64) []byte {
+		return wire.EncodeRequestV(&wire.Request{ID: id, Statements: t.statements}, c.version)
+	})
+}
+
+// DoPlanAsync submits a declarative plan (package plan) as one transaction
+// in one frame and returns its Future.  Requires a v3 session.
+func (c *Client) DoPlanAsync(ctx context.Context, p *plan.Plan) *Future {
+	if err := p.Validate(); err != nil {
+		f := &Future{done: make(chan struct{})}
+		f.complete(nil, err)
+		return f
+	}
+	return c.submitAsync(ctx, wire.V3, func(id uint64) []byte {
+		return wire.EncodePlanRequest(id, p)
+	})
+}
+
+// submitAsync registers a future and enqueues the frame encode(id) builds.
+func (c *Client) submitAsync(ctx context.Context, need uint32, encode func(id uint64) []byte) *Future {
 	f := &Future{done: make(chan struct{})}
 	if err := ctx.Err(); err != nil {
 		f.complete(nil, err)
 		return f
 	}
-	if mv := t.minVersion(); mv > c.version {
-		f.complete(nil, fmt.Errorf("%w (need v%d, have v%d)", ErrVersion, mv, c.version))
+	if need > c.version {
+		f.complete(nil, fmt.Errorf("%w (need v%d, have v%d)", ErrVersion, need, c.version))
 		return f
 	}
 	c.mu.Lock()
@@ -450,7 +485,12 @@ func (c *Client) DoAsync(ctx context.Context, t *Txn) *Future {
 	c.pending[f.id] = f
 	c.mu.Unlock()
 
-	payload := wire.EncodeRequestV(&wire.Request{ID: f.id, Statements: t.statements}, c.version)
+	c.enqueue(encode(f.id))
+	return f
+}
+
+// enqueue hands one frame to the writer goroutine.
+func (c *Client) enqueue(payload []byte) {
 	select {
 	case c.writeCh <- payload: // non-blocking fast path: the queue has room
 	default:
@@ -458,10 +498,9 @@ func (c *Client) DoAsync(ctx context.Context, t *Txn) *Future {
 		case c.writeCh <- payload:
 		case <-c.writerQuit:
 			// The connection failed between registration and submission;
-			// fail() has already completed (or will complete) this future.
+			// fail() has already completed (or will complete) the future.
 		}
 	}
-	return f
 }
 
 // Wait blocks until the future completes or the context is done.  A context
@@ -487,15 +526,26 @@ func (c *Client) abandon(f *Future) {
 	c.mu.Unlock()
 }
 
+// cancelInFlight abandons the future and — on a v3 session — sends a
+// best-effort cancel frame so the server aborts the request's transaction
+// instead of completing it for nobody.
+func (c *Client) cancelInFlight(f *Future) {
+	c.abandon(f)
+	if c.version >= wire.V3 {
+		c.enqueue(wire.EncodeCancelRequest(f.id))
+	}
+}
+
 // DoContext executes the transaction and returns the server's response,
 // honouring the context.  The returned error is non-nil for transport
 // failures, cancellations, and aborted transactions (ErrAborted, with the
-// server's message appended).
+// server's message appended).  On a v3 session a cancellation also sends a
+// cancel frame aborting the server-side transaction.
 func (c *Client) DoContext(ctx context.Context, t *Txn) (*wire.Response, error) {
 	f := c.DoAsync(ctx, t)
 	resp, err := f.Wait(ctx)
 	if err != nil && errors.Is(err, ctx.Err()) && ctx.Err() != nil {
-		c.abandon(f)
+		c.cancelInFlight(f)
 	}
 	return resp, err
 }
@@ -503,6 +553,49 @@ func (c *Client) DoContext(ctx context.Context, t *Txn) (*wire.Response, error) 
 // Do executes the transaction with no deadline; see DoContext.
 func (c *Client) Do(t *Txn) (*wire.Response, error) {
 	return c.DoContext(context.Background(), t)
+}
+
+// NewPlan returns a declarative plan builder (package plan): phases of
+// typed ops with bindings, executed server-side as one transaction in one
+// round trip.  The same builder drives the in-process ExecutePlan API.
+func NewPlan() *plan.Builder { return plan.New() }
+
+// DoPlanContext executes a declarative plan as one transaction in one round
+// trip and returns the per-op results, indexed flat in phase order.
+// Aborted plans return the results (whose Err fields name the failing ops)
+// together with ErrAborted.  Requires a v3 session (ErrVersion otherwise).
+func (c *Client) DoPlanContext(ctx context.Context, p *plan.Plan) ([]plan.Result, error) {
+	f := c.DoPlanAsync(ctx, p)
+	resp, err := f.Wait(ctx)
+	if err != nil && errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+		c.cancelInFlight(f)
+	}
+	if resp == nil {
+		return nil, err
+	}
+	return planResultsFromWire(resp), err
+}
+
+// DoPlan executes a declarative plan with no deadline; see DoPlanContext.
+func (c *Client) DoPlan(p *plan.Plan) ([]plan.Result, error) {
+	return c.DoPlanContext(context.Background(), p)
+}
+
+// planResultsFromWire converts a response's statement results back to
+// per-op plan results.
+func planResultsFromWire(resp *wire.Response) []plan.Result {
+	out := make([]plan.Result, len(resp.Results))
+	for i, r := range resp.Results {
+		pr := plan.Result{Found: r.Found, Value: r.Value, Err: r.Err}
+		if len(r.Entries) > 0 {
+			pr.Entries = make([]plan.Entry, len(r.Entries))
+			for j, e := range r.Entries {
+				pr.Entries[j] = plan.Entry{Key: e.Key, Value: e.Value}
+			}
+		}
+		out[i] = pr
+	}
+	return out
 }
 
 // Ping checks connectivity; the server echoes the payload.

@@ -7,6 +7,8 @@
 //	plpctl -addr localhost:7070 get   <table> <key>
 //	plpctl -addr localhost:7070 del   <table> <key>
 //	plpctl -addr localhost:7070 getsec <table> <index> <secondary-key>
+//	plpctl -addr localhost:7070 add   <table> <key> <delta>
+//	plpctl -addr localhost:7070 probeput <table> <index> <seckey> <value>
 //	plpctl -addr localhost:7070 scan  <table> <lo> <hi> [limit]
 //	plpctl -addr localhost:7070 bench <table> [-clients N] [-ops M]
 //	plpctl -addr localhost:7070 -token secret checkpoint
@@ -29,6 +31,7 @@ import (
 
 	"plp/client"
 	"plp/keys"
+	"plp/plan"
 )
 
 // usage prints the command summary and exits.
@@ -44,8 +47,13 @@ commands:
   insert <table> <key> <value>       insert (fails on duplicate)
   update <table> <key> <value>       overwrite (fails if missing)
   del    <table> <key>               delete a record
+  add    <table> <key> <delta>       server-side fetch-add on an int64 record
+  append <table> <key> <suffix>      server-side append to a record
   getsec <table> <index> <seckey>    read through a secondary index
   delsec <table> <index> <seckey>    delete a secondary-index entry
+  probeput <table> <index> <seckey> <value>
+                                     secondary probe feeding a routed update,
+                                     as ONE declarative plan / round trip
   scan   <table> <lo> <hi> [limit]   range scan [lo, hi) ("-" scans open-ended)
   bench  <table>                     run a small upsert/get load (-clients, -ops)
   checkpoint                         take a checkpoint now (durable daemons)
@@ -53,7 +61,8 @@ commands:
   drp trigger                        run one control period now
   drp shares <table>                 per-partition load shares of one table
 
-flags: -addr host:port, -raw (byte keys), -token <secret> (authenticate)
+flags: -addr host:port, -raw (byte keys), -token <secret> (authenticate;
+       a read-only token scopes the session to reads)
 `)
 	os.Exit(2)
 }
@@ -172,6 +181,41 @@ func main() {
 		need(args, 2)
 		if err := c.Delete(args[0], key(args[1])); err != nil {
 			fatalf("del: %v", err)
+		}
+		fmt.Println("OK")
+	case "add":
+		need(args, 3)
+		delta, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			fatalf("delta %q is not an int64", args[2])
+		}
+		res, err := c.DoPlan(client.NewPlan().Add(args[0], key(args[1]), delta).MustBuild())
+		if err != nil {
+			fatalf("add: %v", err)
+		}
+		v, err := plan.DecodeInt64(res[0].Value)
+		if err != nil {
+			fatalf("add: %v", err)
+		}
+		fmt.Println(v)
+	case "append":
+		need(args, 3)
+		res, err := c.DoPlan(client.NewPlan().AppendBytes(args[0], key(args[1]), []byte(args[2])).MustBuild())
+		if err != nil {
+			fatalf("append: %v", err)
+		}
+		fmt.Printf("%s\n", res[0].Value)
+	case "probeput":
+		need(args, 4)
+		b := client.NewPlan()
+		probe := b.LookupSecondary(args[0], args[1], []byte(args[2])).Ref()
+		b.Then().Update(args[0], nil, []byte(args[3])).KeyFrom(probe)
+		res, err := c.DoPlan(b.MustBuild())
+		if err != nil {
+			fatalf("probeput: %v", err)
+		}
+		if !res[0].Found {
+			fatalf("probeput: no entry under %q in %s.%s", args[2], args[0], args[1])
 		}
 		fmt.Println("OK")
 	case "bench":

@@ -13,6 +13,10 @@
 // a kill -9 loses nothing that was acknowledged.  The "plpctl checkpoint"
 // verb (token-gated like all control verbs) takes a checkpoint on demand.
 //
+// -token gates the control verbs behind a shared secret; -ro-token adds a
+// second, read-only credential whose sessions may run reads (gets, scans,
+// read-only plans) but are refused every write op and control verb.
+//
 // Example:
 //
 //	plpd -addr :7070 -design plp-leaf -partitions 8 \
@@ -69,6 +73,7 @@ func main() {
 		lazyCommit   = flag.Bool("lazy-commit", false, "acknowledge commits before their log records are durable (trades a crash-loss window for latency)")
 		drp          = flag.Bool("drp", false, "enable the online dynamic-repartitioning controller (plpctl drp ... inspects it)")
 		token        = flag.String("token", "", "authentication token; when set, only sessions presenting it may issue control commands")
+		roToken      = flag.String("ro-token", "", "read-only authorization token; sessions presenting it may read but are refused write ops and control commands")
 		drpPeriod    = flag.Duration("drp-period", 100*time.Millisecond, "control period of the repartitioning controller")
 		checkpointMs = flag.Int("checkpoint-ms", 0, "background checkpoint interval in milliseconds (0 disables)")
 		truncateLog  = flag.Bool("checkpoint-truncate", false, "truncate the log prefix after each successful checkpoint")
@@ -141,6 +146,7 @@ func main() {
 
 	srv := server.New(e)
 	srv.SetAuthToken(*token)
+	srv.SetReadOnlyToken(*roToken)
 	srv.SetCheckpointHandler(func() (string, error) {
 		// Checkpoints need a transactionally quiet instant; on a busy
 		// server ActiveTxns is almost always briefly non-zero, so retry in

@@ -53,7 +53,7 @@ func (s *Session) executeConventional(req *Request) (Result, error) {
 				_ = e.tm.Abort(tx)
 				s.releaseTableLocks(ctx, tx, false)
 				return Result{Txn: tx, Breakdown: tx.Breakdown.Totals(), Latency: time.Since(start)},
-					fmt.Errorf("%w: %v", ErrAborted, err)
+					fmt.Errorf("%w: %w", ErrAborted, err)
 			}
 		}
 	}
@@ -124,7 +124,7 @@ func (s *Session) executePartitioned(req *Request) (Result, error) {
 	if abortErr != nil {
 		_ = e.tm.Abort(tx)
 		return Result{Txn: tx, Breakdown: tx.Breakdown.Totals(), Latency: time.Since(start)},
-			fmt.Errorf("%w: %v", ErrAborted, abortErr)
+			fmt.Errorf("%w: %w", ErrAborted, abortErr)
 	}
 	if err := e.tm.Commit(tx); err != nil {
 		return Result{Txn: tx}, err

@@ -1,0 +1,358 @@
+// Compilation of declarative plans (package plan) into native phased
+// requests.  This is the partition-manager half of the paper's Section 3.1
+// flow graphs: every typed op becomes a routable action, bindings become
+// execution-time routing keys (the KeyFn mechanism), and scans expand into
+// one per-partition action executed inside the transaction by the workers
+// that own the sub-ranges.
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"plp/plan"
+)
+
+// Plan-scan bounds, mirroring the wire server's v2 scan limits.
+const (
+	// DefaultPlanScanLimit is applied when a plan Scan asks for no limit.
+	DefaultPlanScanLimit = 1024
+	// MaxPlanScanLimit caps any plan Scan.
+	MaxPlanScanLimit = 65536
+)
+
+// ErrPlanCanceled aborts a compiled plan whose cancel hook fired (the wire
+// server's cancel frame, or a context cancellation in-process).
+var ErrPlanCanceled = errors.New("engine: plan canceled")
+
+// planScanState accumulates one Scan op's per-partition entries; the
+// compile finisher merges them into key order.  Fragments run concurrently
+// on different workers, so entries AND the first error are recorded under
+// the mutex — the shared results slot is written only by the finisher.
+type planScanState struct {
+	idx    int // flat op index
+	limit  int
+	mu     sync.Mutex
+	ents   []plan.Entry
+	errMsg string
+}
+
+// fail records the first fragment error.
+func (st *planScanState) fail(msg string) {
+	st.mu.Lock()
+	if st.errMsg == "" {
+		st.errMsg = msg
+	}
+	st.mu.Unlock()
+}
+
+// CompilePlan translates a declarative plan into a native phased Request
+// writing per-op outcomes into results (which must have at least
+// p.NumOps() slots).  canceled, when non-nil, is polled before every op —
+// a true return aborts the transaction with ErrPlanCanceled.  The returned
+// finish func must be called once Execute returns (committed or aborted):
+// it merges the per-partition scan fragments — entries or first error —
+// into the results slice, which the fragments never touch directly.
+func (e *Engine) CompilePlan(p *plan.Plan, results []plan.Result, canceled func() bool) (*Request, func(), error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(results) < p.NumOps() {
+		return nil, nil, fmt.Errorf("engine: results slice holds %d of %d ops", len(results), p.NumOps())
+	}
+	req := &Request{Phases: make([][]Action, 0, len(p.Phases))}
+	var scans []*planScanState
+	flat := 0
+	for _, ph := range p.Phases {
+		actions := make([]Action, 0, len(ph))
+		for oi := range ph {
+			op := ph[oi]
+			idx := flat
+			flat++
+			if _, err := e.Table(op.Table); err != nil {
+				return nil, nil, fmt.Errorf("plan: op %d: %v", idx, err)
+			}
+			if op.Kind == plan.Scan {
+				acts, st, err := e.compilePlanScan(op, idx, results, canceled)
+				if err != nil {
+					return nil, nil, err
+				}
+				actions = append(actions, acts...)
+				scans = append(scans, st)
+				continue
+			}
+			actions = append(actions, e.compilePlanOp(op, idx, results, canceled))
+		}
+		req.Phases = append(req.Phases, actions)
+	}
+	finish := func() {
+		for _, st := range scans {
+			if st.errMsg != "" {
+				results[st.idx] = plan.Result{Err: st.errMsg}
+				continue
+			}
+			sort.Slice(st.ents, func(i, j int) bool { return bytes.Compare(st.ents[i].Key, st.ents[j].Key) < 0 })
+			if len(st.ents) > st.limit {
+				st.ents = st.ents[:st.limit]
+			}
+			results[st.idx] = plan.Result{Found: len(st.ents) > 0, Entries: st.ents}
+		}
+	}
+	return req, finish, nil
+}
+
+// bindSource resolves a 1-based binding to its flat source index.
+func bindSource(bind int32) int { return int(bind) - 1 }
+
+// compilePlanOp compiles one non-scan op into a routable action.
+func (e *Engine) compilePlanOp(op plan.Op, idx int, results []plan.Result, canceled func() bool) Action {
+	a := Action{Table: op.Table, Key: op.Key}
+	if op.KeyFrom != plan.NoBind {
+		src := bindSource(op.KeyFrom)
+		// The routing key is produced by an earlier phase: exactly the
+		// secondary-probe pattern KeyFn exists for.
+		a.KeyFn = func() []byte {
+			if v := results[src].Value; len(v) > 0 {
+				return v
+			}
+			return op.Key
+		}
+	}
+	a.Exec = func(c *Ctx) error {
+		if canceled != nil && canceled() {
+			results[idx].Err = ErrPlanCanceled.Error()
+			return ErrPlanCanceled
+		}
+		key := op.Key
+		if op.KeyFrom != plan.NoBind {
+			src := bindSource(op.KeyFrom)
+			if !results[src].Found {
+				// The op this one depends on missed; skip, don't abort.
+				results[idx] = plan.Result{}
+				return nil
+			}
+			key = results[src].Value
+		}
+		val := op.Value
+		if op.ValueFrom != plan.NoBind {
+			src := bindSource(op.ValueFrom)
+			if !results[src].Found {
+				results[idx] = plan.Result{}
+				return nil
+			}
+			val = results[src].Value
+		}
+		res, err := execPlanOp(c, op, key, val)
+		if err != nil {
+			results[idx] = plan.Result{Err: err.Error()}
+			return err
+		}
+		results[idx] = res
+		return nil
+	}
+	return a
+}
+
+// execPlanOp performs one typed op through the design-aware data-access
+// layer.  val is the op's value after ValueFrom binding (the mutation
+// argument, for ReadModifyWrite).
+func execPlanOp(c *Ctx, op plan.Op, key, val []byte) (plan.Result, error) {
+	switch op.Kind {
+	case plan.Get:
+		rec, err := c.Read(op.Table, key)
+		if errors.Is(err, ErrNotFound) {
+			return plan.Result{}, nil
+		}
+		if err != nil {
+			return plan.Result{}, err
+		}
+		return plan.Result{Found: true, Value: rec}, nil
+	case plan.Insert:
+		return plan.Result{Found: true}, c.Insert(op.Table, key, val)
+	case plan.Update:
+		return plan.Result{Found: true}, c.Update(op.Table, key, val)
+	case plan.Upsert:
+		return plan.Result{Found: true}, c.Upsert(op.Table, key, val)
+	case plan.Delete:
+		return plan.Result{Found: true}, c.Delete(op.Table, key)
+	case plan.LookupSecondary:
+		pk, err := c.LookupSecondary(op.Table, op.Index, key)
+		if errors.Is(err, ErrNotFound) {
+			return plan.Result{}, nil
+		}
+		if err != nil {
+			return plan.Result{}, err
+		}
+		return plan.Result{Found: true, Value: pk}, nil
+	case plan.InsertSecondary:
+		return plan.Result{Found: true}, c.InsertSecondary(op.Table, op.Index, key, val)
+	case plan.DeleteSecondary:
+		return plan.Result{Found: true}, c.DeleteSecondary(op.Table, op.Index, key)
+	case plan.ReadModifyWrite:
+		return execReadModifyWrite(c, op, key, val)
+	default:
+		return plan.Result{}, fmt.Errorf("plan: unsupported op %v", op.Kind)
+	}
+}
+
+// execReadModifyWrite evaluates the condition against the current record
+// and applies the mutation, all inside the transaction.  The exclusive lock
+// is taken up front (ReadForUpdate): in the Conventional design a
+// read-then-upgrade would deadlock as soon as two RMWs race on a hot key.
+// arg is the mutation argument after ValueFrom binding.
+func execReadModifyWrite(c *Ctx, op plan.Op, key, arg []byte) (plan.Result, error) {
+	if op.ValueFrom == plan.NoBind {
+		arg = op.MutArg
+	}
+	cur, err := c.ReadForUpdate(op.Table, key)
+	found := true
+	if errors.Is(err, ErrNotFound) {
+		found, cur, err = false, nil, nil
+	}
+	if err != nil {
+		return plan.Result{}, err
+	}
+	switch op.Cond {
+	case plan.CondNone:
+	case plan.CondExists:
+		if !found {
+			return plan.Result{}, fmt.Errorf("rmw: %s/%x does not exist", op.Table, key)
+		}
+	case plan.CondNotExists:
+		if found {
+			return plan.Result{}, fmt.Errorf("rmw: %s/%x already exists", op.Table, key)
+		}
+	case plan.CondValueEquals:
+		if !found || !bytes.Equal(cur, op.CondValue) {
+			return plan.Result{}, fmt.Errorf("rmw: %s/%x compare failed", op.Table, key)
+		}
+	default:
+		return plan.Result{}, fmt.Errorf("rmw: invalid condition %d", uint8(op.Cond))
+	}
+	var next []byte
+	switch op.Mut {
+	case plan.MutSet:
+		next = arg
+	case plan.MutAddInt64:
+		delta, derr := plan.DecodeInt64(arg)
+		if derr != nil {
+			return plan.Result{}, fmt.Errorf("rmw: %v", derr)
+		}
+		var old int64
+		if found {
+			if old, derr = plan.DecodeInt64(cur); derr != nil {
+				return plan.Result{}, fmt.Errorf("rmw: %s/%x: %v", op.Table, key, derr)
+			}
+		}
+		next = plan.Int64(old + delta)
+	case plan.MutAppend:
+		next = append(append([]byte(nil), cur...), arg...)
+	default:
+		return plan.Result{}, fmt.Errorf("rmw: invalid mutation %d", uint8(op.Mut))
+	}
+	if found {
+		err = c.Update(op.Table, key, next)
+	} else {
+		err = c.Insert(op.Table, key, next)
+	}
+	if err != nil {
+		return plan.Result{}, err
+	}
+	return plan.Result{Found: true, Value: next}, nil
+}
+
+// compilePlanScan expands a Scan op into one action per routing partition
+// whose range intersects [Key, KeyEnd).  Each action runs on the worker
+// owning the partition and scans only the partition's own clipped
+// sub-range — the Section 3.3 distributed scan, but inside the transaction,
+// which is what lets a plan phase mix scans with point reads.  Like
+// Engine.ScanRange, the limit applies per partition; the finisher sorts the
+// union and truncates to the globally smallest keys.
+func (e *Engine) compilePlanScan(op plan.Op, idx int, results []plan.Result, canceled func() bool) ([]Action, *planScanState, error) {
+	rt, ok := e.routing[op.Table]
+	if !ok {
+		return nil, nil, fmt.Errorf("plan: op %d: no routing table for %q", idx, op.Table)
+	}
+	limit := int(op.Limit)
+	if limit <= 0 || limit > MaxPlanScanLimit {
+		if op.Limit > MaxPlanScanLimit {
+			limit = MaxPlanScanLimit
+		} else {
+			limit = DefaultPlanScanLimit
+		}
+	}
+	st := &planScanState{idx: idx, limit: limit}
+	var actions []Action
+	parts := rt.numPartitions()
+	for p := 0; p < parts; p++ {
+		plo, phi := rt.rangeOf(p)
+		clo, _, intersects := clipRange(plo, phi, op.Key, op.KeyEnd)
+		if !intersects {
+			continue
+		}
+		part := p
+		// Route by the clipped lower bound: a nil bound (partition 0, open
+		// scan) routes to partition 0, exactly where it belongs.
+		actions = append(actions, Action{
+			Table: op.Table,
+			Key:   clo,
+			Exec: func(c *Ctx) error {
+				if canceled != nil && canceled() {
+					st.fail(ErrPlanCanceled.Error())
+					return ErrPlanCanceled
+				}
+				// Re-read the partition range at execution time: a boundary
+				// move affecting this worker pair-quiesces it first, so the
+				// range is stable for the duration of the scan.
+				lo, hi := rt.rangeOf(part)
+				lo, hi, ok := clipRange(lo, hi, op.Key, op.KeyEnd)
+				if !ok {
+					return nil
+				}
+				n := 0
+				var local []plan.Entry
+				err := c.ReadRange(op.Table, lo, hi, func(k, rec []byte) bool {
+					local = append(local, plan.Entry{
+						Key:   append([]byte(nil), k...),
+						Value: append([]byte(nil), rec...),
+					})
+					n++
+					return n < limit
+				})
+				if err != nil {
+					st.fail(err.Error())
+					return err
+				}
+				st.mu.Lock()
+				st.ents = append(st.ents, local...)
+				st.mu.Unlock()
+				return nil
+			},
+		})
+	}
+	return actions, st, nil
+}
+
+// ExecutePlan compiles and executes one declarative plan as a single
+// transaction and returns the per-op results, indexed flat in phase order.
+// A nil error means the transaction committed; on abort the returned
+// results carry the failing ops' error messages.
+func (s *Session) ExecutePlan(p *plan.Plan) ([]plan.Result, error) {
+	return s.ExecutePlanCanceled(p, nil)
+}
+
+// ExecutePlanCanceled is ExecutePlan with a cancel hook, polled before
+// every op; a true return aborts the transaction with ErrPlanCanceled.
+func (s *Session) ExecutePlanCanceled(p *plan.Plan, canceled func() bool) ([]plan.Result, error) {
+	results := make([]plan.Result, p.NumOps())
+	req, finish, err := s.e.CompilePlan(p, results, canceled)
+	if err != nil {
+		return nil, err
+	}
+	_, execErr := s.Execute(req)
+	finish()
+	return results, execErr
+}

@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"plp/internal/catalog"
+	"plp/internal/keyenc"
+	"plp/plan"
+)
+
+// planTestEngine builds an engine with a partitioned primary table (with a
+// non-aligned secondary index) for plan tests.
+func planTestEngine(t *testing.T, design Design) (*Engine, *Session) {
+	t.Helper()
+	e := New(Options{Design: design, Partitions: 4, SLI: design == Conventional})
+	t.Cleanup(func() { e.Close() })
+	boundaries := [][]byte{keyenc.Uint64Key(251), keyenc.Uint64Key(501), keyenc.Uint64Key(751)}
+	if _, err := e.CreateTable(catalog.TableDef{
+		Name:        "sub",
+		Boundaries:  boundaries,
+		Secondaries: []catalog.SecondaryDef{{Name: "nbr"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess := e.NewSession()
+	t.Cleanup(sess.Close)
+	return e, sess
+}
+
+func secKey(k uint64) []byte { return []byte(fmt.Sprintf("nbr-%06d", k)) }
+
+// TestPlanProbeBindingAllDesigns runs the canonical dependent two-phase
+// shape — secondary probe feeding a key-bound update — on every design.
+func TestPlanProbeBindingAllDesigns(t *testing.T) {
+	for _, d := range AllDesigns() {
+		t.Run(d.String(), func(t *testing.T) {
+			_, sess := planTestEngine(t, d)
+
+			// Seed subscriber 42 plus its secondary entry, as one plan.
+			seed := plan.New().
+				Insert("sub", keyenc.Uint64Key(42), []byte("loc=1")).
+				InsertSecondary("sub", "nbr", secKey(42), keyenc.Uint64Key(42)).
+				MustBuild()
+			if _, err := sess.ExecutePlan(seed); err != nil {
+				t.Fatalf("seed: %v", err)
+			}
+
+			// TATP UpdateLocation: probe by number, update by the primary
+			// key the probe produced — one transaction, no closures.
+			b := plan.New()
+			probe := b.LookupSecondary("sub", "nbr", secKey(42)).Ref()
+			b.Then().Update("sub", nil, []byte("loc=2")).KeyFrom(probe)
+			res, err := sess.ExecutePlan(b.MustBuild())
+			if err != nil {
+				t.Fatalf("update plan: %v", err)
+			}
+			if !res[0].Found || !bytes.Equal(res[0].Value, keyenc.Uint64Key(42)) {
+				t.Fatalf("probe result %+v, want the primary key", res[0])
+			}
+			if !res[1].Found {
+				t.Fatalf("bound update did not run: %+v", res[1])
+			}
+
+			// Verify through a separate read plan.
+			get, err := sess.ExecutePlan(plan.New().Get("sub", keyenc.Uint64Key(42)).MustBuild())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(get[0].Value) != "loc=2" {
+				t.Fatalf("record %q, want loc=2", get[0].Value)
+			}
+
+			// A probe that misses skips the dependent op without aborting.
+			b2 := plan.New()
+			miss := b2.LookupSecondary("sub", "nbr", secKey(999)).Ref()
+			b2.Then().Update("sub", nil, []byte("x")).KeyFrom(miss)
+			res2, err := sess.ExecutePlan(b2.MustBuild())
+			if err != nil {
+				t.Fatalf("missing probe must not abort: %v", err)
+			}
+			if res2[0].Found || res2[1].Found {
+				t.Fatalf("miss results %+v, want both not-found", res2)
+			}
+		})
+	}
+}
+
+// TestPlanReadModifyWriteSemantics covers the RMW condition and mutation
+// matrix on one design (the semantics are design-independent; the
+// differential trace checks cross-design agreement).
+func TestPlanReadModifyWriteSemantics(t *testing.T) {
+	_, sess := planTestEngine(t, PLPLeaf)
+	key := keyenc.Uint64Key(7)
+
+	// Add on a missing key starts from zero and inserts.
+	res, err := sess.ExecutePlan(plan.New().Add("sub", key, 5).MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := plan.DecodeInt64(res[0].Value); v != 5 {
+		t.Fatalf("add result %d, want 5", v)
+	}
+	// Add on the existing key accumulates.
+	res, err = sess.ExecutePlan(plan.New().AddExisting("sub", key, -2).MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := plan.DecodeInt64(res[0].Value); v != 3 {
+		t.Fatalf("add result %d, want 3", v)
+	}
+
+	// AddExisting on a missing key aborts, and the abort leaves no record.
+	if _, err := sess.ExecutePlan(plan.New().AddExisting("sub", keyenc.Uint64Key(8), 1).MustBuild()); err == nil {
+		t.Fatal("AddExisting on a missing key must abort")
+	}
+	res, err = sess.ExecutePlan(plan.New().Get("sub", keyenc.Uint64Key(8)).MustBuild())
+	if err != nil || res[0].Found {
+		t.Fatalf("aborted RMW left a record: %+v, %v", res[0], err)
+	}
+
+	// CompareAndSet succeeds on match, aborts on mismatch.
+	if _, err := sess.ExecutePlan(plan.New().CompareAndSet("sub", key, plan.Int64(3), plan.Int64(30)).MustBuild()); err != nil {
+		t.Fatalf("CAS with matching expect: %v", err)
+	}
+	if _, err := sess.ExecutePlan(plan.New().CompareAndSet("sub", key, plan.Int64(3), plan.Int64(99)).MustBuild()); err == nil {
+		t.Fatal("CAS with stale expect must abort")
+	}
+	res, _ = sess.ExecutePlan(plan.New().Get("sub", key).MustBuild())
+	if v, _ := plan.DecodeInt64(res[0].Value); v != 30 {
+		t.Fatalf("record %d after failed CAS, want 30", v)
+	}
+
+	// SetIfAbsent aborts on an existing key.
+	if _, err := sess.ExecutePlan(plan.New().SetIfAbsent("sub", key, []byte("x")).MustBuild()); err == nil {
+		t.Fatal("SetIfAbsent on an existing key must abort")
+	}
+
+	// Append concatenates (missing counts as empty).
+	akey := keyenc.Uint64Key(9)
+	if _, err := sess.ExecutePlan(plan.New().AppendBytes("sub", akey, []byte("ab")).MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	res, err = sess.ExecutePlan(plan.New().AppendBytes("sub", akey, []byte("cd")).MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res[0].Value) != "abcd" {
+		t.Fatalf("append result %q, want abcd", res[0].Value)
+	}
+
+	// A failing RMW inside a multi-op plan aborts the other ops' writes.
+	multi := plan.New().
+		Upsert("sub", keyenc.Uint64Key(100), []byte("w")).
+		AddExisting("sub", keyenc.Uint64Key(101), 1). // missing: aborts
+		MustBuild()
+	if _, err := sess.ExecutePlan(multi); err == nil {
+		t.Fatal("plan with a failing RMW must abort")
+	}
+	res, _ = sess.ExecutePlan(plan.New().Get("sub", keyenc.Uint64Key(100)).MustBuild())
+	if res[0].Found {
+		t.Fatal("aborted plan leaked a phase-mate's write")
+	}
+}
+
+// TestPlanScanMixesWithReads checks the v3 satellite: a plan phase may mix
+// scans with point reads, and the scan executes inside the transaction.
+func TestPlanScanMixesWithReads(t *testing.T) {
+	for _, d := range []Design{Conventional, PLPLeaf} {
+		t.Run(d.String(), func(t *testing.T) {
+			e, sess := planTestEngine(t, d)
+			l := e.NewLoader()
+			for i := uint64(1); i <= 900; i++ {
+				if err := l.Insert("sub", keyenc.Uint64Key(i), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// One phase: a cross-partition scan, a point get, and a second
+			// scan over a different range.
+			p := plan.New().
+				Scan("sub", keyenc.Uint64Key(200), keyenc.Uint64Key(300), 25).
+				Get("sub", keyenc.Uint64Key(650)).
+				Scan("sub", keyenc.Uint64Key(880), nil, 0).
+				MustBuild()
+			res, err := sess.ExecutePlan(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res[0].Entries) != 25 {
+				t.Fatalf("scan returned %d entries, want 25", len(res[0].Entries))
+			}
+			for i, ent := range res[0].Entries {
+				want := keyenc.Uint64Key(uint64(200 + i))
+				if !bytes.Equal(ent.Key, want) {
+					t.Fatalf("entry %d key %x, want %x", i, ent.Key, want)
+				}
+			}
+			if !res[1].Found || string(res[1].Value) != "v650" {
+				t.Fatalf("point get %+v, want v650", res[1])
+			}
+			if len(res[2].Entries) != 21 { // 880..900
+				t.Fatalf("open-ended scan returned %d entries, want 21", len(res[2].Entries))
+			}
+		})
+	}
+}
+
+// TestPlanCancelAborts checks the cancel hook: a plan whose hook fires
+// mid-transaction aborts and undoes the ops already executed.
+func TestPlanCancelAborts(t *testing.T) {
+	_, sess := planTestEngine(t, PLPLeaf)
+	calls := 0
+	canceled := func() bool {
+		calls++
+		return calls > 1 // first op runs, second sees the cancel
+	}
+	p := plan.New().
+		Insert("sub", keyenc.Uint64Key(1), []byte("a")).
+		Then().
+		Insert("sub", keyenc.Uint64Key(2), []byte("b")).
+		MustBuild()
+	_, err := sess.ExecutePlanCanceled(p, canceled)
+	if !errors.Is(err, ErrPlanCanceled) {
+		t.Fatalf("err %v, want ErrPlanCanceled", err)
+	}
+	res, err := sess.ExecutePlan(plan.New().Get("sub", keyenc.Uint64Key(1)).Get("sub", keyenc.Uint64Key(2)).MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Found || res[1].Found {
+		t.Fatalf("canceled plan leaked writes: %+v", res)
+	}
+}
+
+// TestPlanCancelDuringScan cancels a plan whose scan spans every
+// partition: the concurrent fragments must record the cancellation without
+// racing on the shared results slot (run under -race in CI), and the
+// finisher must surface it.
+func TestPlanCancelDuringScan(t *testing.T) {
+	e, sess := planTestEngine(t, PLPLeaf)
+	l := e.NewLoader()
+	for i := uint64(1); i <= 900; i++ {
+		if err := l.Insert("sub", keyenc.Uint64Key(i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := plan.New().Scan("sub", nil, nil, 0).MustBuild()
+	results, err := sess.ExecutePlanCanceled(p, func() bool { return true })
+	if !errors.Is(err, ErrPlanCanceled) {
+		t.Fatalf("err %v, want ErrPlanCanceled", err)
+	}
+	if results[0].Err == "" || results[0].Found {
+		t.Fatalf("canceled scan result %+v, want recorded cancellation", results[0])
+	}
+}
+
+// TestPlanValidation exercises the static checks shared by every surface.
+func TestPlanValidation(t *testing.T) {
+	_, sess := planTestEngine(t, Logical)
+	cases := []struct {
+		name string
+		p    *plan.Plan
+	}{
+		{"empty", &plan.Plan{}},
+		{"missing table", &plan.Plan{Phases: [][]plan.Op{{{Kind: plan.Get}}}}},
+		{"bad kind", &plan.Plan{Phases: [][]plan.Op{{{Kind: 99, Table: "sub"}}}}},
+		{"same-phase binding", &plan.Plan{Phases: [][]plan.Op{{
+			{Kind: plan.Get, Table: "sub", Key: []byte("k")},
+			{Kind: plan.Get, Table: "sub", KeyFrom: 1},
+		}}}},
+		{"same-phase write conflict", &plan.Plan{Phases: [][]plan.Op{{
+			{Kind: plan.Upsert, Table: "sub", Key: []byte("k"), Value: []byte("a")},
+			{Kind: plan.Upsert, Table: "sub", Key: []byte("k"), Value: []byte("b")},
+		}}}},
+		{"short add delta", &plan.Plan{Phases: [][]plan.Op{{
+			{Kind: plan.ReadModifyWrite, Table: "sub", Key: []byte("k"), Mut: plan.MutAddInt64, MutArg: []byte("xy")},
+		}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid plan", tc.name)
+		}
+		if _, err := sess.ExecutePlan(tc.p); err == nil {
+			t.Errorf("%s: ExecutePlan accepted an invalid plan", tc.name)
+		}
+	}
+	// Unknown tables are caught at compile, not at Validate.
+	p := plan.New().Get("nosuch", []byte("k")).MustBuild()
+	if _, err := sess.ExecutePlan(p); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+// TestPlanValueBinding checks ValueFrom: a read's result feeds a write's
+// value in a later phase.
+func TestPlanValueBinding(t *testing.T) {
+	_, sess := planTestEngine(t, PLPRegular)
+	if _, err := sess.ExecutePlan(plan.New().Insert("sub", keyenc.Uint64Key(1), []byte("payload")).MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	b := plan.New()
+	src := b.Get("sub", keyenc.Uint64Key(1)).Ref()
+	b.Then().Upsert("sub", keyenc.Uint64Key(2), nil).ValueFrom(src)
+	if _, err := sess.ExecutePlan(b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.ExecutePlan(plan.New().Get("sub", keyenc.Uint64Key(2)).MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res[0].Value) != "payload" {
+		t.Fatalf("copied record %q, want payload", res[0].Value)
+	}
+}

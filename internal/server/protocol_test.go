@@ -18,13 +18,13 @@ import (
 	"plp/wire"
 )
 
-// TestHandshakeNegotiation checks a default client negotiates v2 on an open
-// server and may issue control commands.
+// TestHandshakeNegotiation checks a default client negotiates the newest
+// protocol version on an open server and may issue control commands.
 func TestHandshakeNegotiation(t *testing.T) {
 	_, srv, addr := startServer(t, engine.PLPLeaf)
 	c := dial(t, addr)
-	if c.Version() != wire.V2 {
-		t.Fatalf("negotiated version %d, want %d", c.Version(), wire.V2)
+	if c.Version() != wire.MaxVersion {
+		t.Fatalf("negotiated version %d, want %d", c.Version(), wire.MaxVersion)
 	}
 	if !c.Authenticated() {
 		t.Fatal("open server should authenticate every session")

@@ -1,0 +1,9 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that this binary was built with the race detector;
+// throughput datapoints skip themselves there — the detector multiplies
+// CPU-bound engine work, so the numbers describe the instrumentation, not
+// the server.
+const raceEnabled = true

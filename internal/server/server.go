@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"plp/internal/engine"
+	"plp/plan"
 	"plp/wire"
 )
 
@@ -113,6 +114,7 @@ type Server struct {
 	control    atomic.Pointer[ControlHandler]
 	checkpoint atomic.Pointer[CheckpointFunc]
 	token      atomic.Pointer[string]
+	roToken    atomic.Pointer[string]
 }
 
 // New returns a server for the engine.
@@ -154,6 +156,20 @@ func (s *Server) SetAuthToken(token string) {
 		return
 	}
 	s.token.Store(&token)
+}
+
+// SetReadOnlyToken installs (or, with "", removes) the read-only
+// authorization token.  A session whose HELLO presents it is scoped
+// read-only: data reads (gets, secondary lookups, scans, read-only plans)
+// are served, while write ops and control verbs are refused.  The read-only
+// token is an additional credential — it does not change what the main
+// token or token-less sessions may do.
+func (s *Server) SetReadOnlyToken(token string) {
+	if token == "" {
+		s.roToken.Store(nil)
+		return
+	}
+	s.roToken.Store(&token)
 }
 
 // Stats returns a snapshot of server activity.
@@ -268,8 +284,9 @@ func (s *Server) Close() error {
 
 // session is the per-connection protocol state fixed by the handshake.
 type session struct {
-	version uint32
-	authed  bool
+	version  uint32
+	authed   bool
+	readOnly bool
 }
 
 // serveConn sniffs the first frame for a handshake and dispatches the
@@ -292,6 +309,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	tok := s.token.Load()
+	ro := s.roToken.Load()
 	cs := session{version: wire.V1, authed: tok == nil}
 	if wire.IsHello(first) {
 		hello, err := wire.DecodeHello(first)
@@ -307,10 +325,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		if cs.version < wire.V1 {
 			cs.version = wire.V1
 		}
-		if tok != nil && len(hello.Token) > 0 {
-			if subtle.ConstantTimeCompare([]byte(*tok), hello.Token) == 1 {
+		if (tok != nil || ro != nil) && len(hello.Token) > 0 {
+			switch {
+			case tok != nil && subtle.ConstantTimeCompare([]byte(*tok), hello.Token) == 1:
 				cs.authed = true
-			} else {
+			case ro != nil && subtle.ConstantTimeCompare([]byte(*ro), hello.Token) == 1:
+				// Read-only scope: data reads only, never control — even on
+				// a server whose control verbs are otherwise open.
+				cs.readOnly = true
+				cs.authed = false
+			default:
 				s.authFailures.Add(1)
 				_ = wire.WriteFrame(conn, wire.EncodeHelloAck(&wire.HelloAck{
 					Version: cs.version, Err: "authentication failed"}))
@@ -318,7 +342,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 		if err := wire.WriteFrame(conn, wire.EncodeHelloAck(&wire.HelloAck{
-			Version: cs.version, Authenticated: cs.authed})); err != nil {
+			Version: cs.version, Authenticated: cs.authed, ReadOnly: cs.readOnly})); err != nil {
 			return
 		}
 		s.handshakes.Add(1)
@@ -347,7 +371,7 @@ func (s *Server) serveSerial(conn net.Conn, br *bufio.Reader, first []byte, cs s
 				return // connection closed or corrupt framing: drop the connection
 			}
 		}
-		resp := s.handleFrame(sess, payload, cs)
+		resp := s.handleFrame(sess, payload, cs, nil)
 		payload = nil
 		if err := wire.WriteFrame(conn, wire.EncodeResponseV(resp, cs.version)); err != nil {
 			return
@@ -355,9 +379,19 @@ func (s *Server) serveSerial(conn net.Conn, br *bufio.Reader, first []byte, cs s
 	}
 }
 
-// servePipelined is the v2 loop: this goroutine reads and decodes frames, a
+// workItem is one queued request frame plus its cancellation flag, set by
+// the reader when a later cancel frame names the request's ID.
+type workItem struct {
+	payload  []byte
+	canceled *atomic.Bool
+}
+
+// servePipelined is the v2+ loop: this goroutine reads and decodes frames, a
 // bounded executor pool runs each request on its own engine session, and a
-// writer goroutine sends responses in completion order.
+// writer goroutine sends responses in completion order.  On v3 sessions the
+// reader also intercepts cancel frames — they must not queue behind the very
+// requests they cancel — and flips the named request's flag, which the
+// executing transaction polls before every op.
 func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
 	workers := s.ConnWorkers
 	if workers <= 0 {
@@ -368,9 +402,10 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
 		queue = DefaultConnQueue
 	}
 
-	work := make(chan []byte, queue)
+	work := make(chan workItem, queue)
 	out := make(chan *wire.Response, queue)
 	writerDone := make(chan struct{})
+	var inflight sync.Map // request ID -> *atomic.Bool (cancel flag)
 
 	go func() {
 		defer close(writerDone)
@@ -406,8 +441,11 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
 			defer wg.Done()
 			sess := s.e.NewSession()
 			defer sess.Close()
-			for payload := range work {
-				out <- s.handleFrame(sess, payload, cs)
+			for item := range work {
+				out <- s.handleFrame(sess, item.payload, cs, item.canceled)
+				if id, ok := wire.RequestID(item.payload); ok {
+					inflight.Delete(id)
+				}
 			}
 		}()
 	}
@@ -417,7 +455,23 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
 		if err != nil {
 			break
 		}
-		work <- payload
+		if cs.version >= wire.V3 && len(payload) > 8 && wire.FrameKind(payload[8]) == wire.FrameCancel {
+			// A cancel names an in-flight request by ID.  One for a request
+			// already completed (or never seen) is stale and ignored; one
+			// for a request still queued or executing flips its flag, and
+			// the transaction aborts at the next op boundary.
+			if id, ok := wire.RequestID(payload); ok {
+				if flag, ok := inflight.Load(id); ok {
+					flag.(*atomic.Bool).Store(true)
+				}
+			}
+			continue
+		}
+		item := workItem{payload: payload, canceled: &atomic.Bool{}}
+		if id, ok := wire.RequestID(payload); ok {
+			inflight.Store(id, item.canceled)
+		}
+		work <- item
 	}
 	close(work)
 	wg.Wait()
@@ -428,22 +482,119 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
 // handleFrame decodes one request frame and executes it.  A decode failure
 // still echoes the best-effort request ID so ID-matching clients stay in
 // sync.
-func (s *Server) handleFrame(sess *engine.Session, payload []byte, cs session) *wire.Response {
+func (s *Server) handleFrame(sess *engine.Session, payload []byte, cs session, canceled *atomic.Bool) *wire.Response {
+	if cs.version >= wire.V3 {
+		f, err := wire.DecodeFrameV3(payload)
+		if err != nil {
+			id, _ := wire.RequestID(payload)
+			return &wire.Response{ID: id, Err: fmt.Sprintf("decode: %v", err)}
+		}
+		switch f.Kind {
+		case wire.FramePlan:
+			return s.executePlan(sess, f.ID, f.Plan, cs, canceled)
+		case wire.FrameCancel:
+			// Cancels are intercepted by the reader; one reaching here came
+			// over a transport that should not produce it.
+			return &wire.Response{ID: f.ID, Err: "unexpected cancel frame"}
+		default:
+			return s.execute(sess, f.Req, cs, canceled)
+		}
+	}
 	req, err := wire.DecodeRequestV(payload, cs.version)
 	if err != nil {
 		id, _ := wire.RequestID(payload)
 		return &wire.Response{ID: id, Err: fmt.Sprintf("decode: %v", err)}
 	}
-	return s.execute(sess, req, cs)
+	return s.execute(sess, req, cs, canceled)
+}
+
+// writesOp reports whether a flat statement op modifies the database.
+func writesOp(op wire.OpType) bool {
+	switch op {
+	case wire.OpInsert, wire.OpUpdate, wire.OpUpsert, wire.OpDelete,
+		wire.OpInsertSecondary, wire.OpDeleteSecondary:
+		return true
+	default:
+		return false
+	}
+}
+
+// executePlan runs one declarative plan frame as a single transaction.
+func (s *Server) executePlan(sess *engine.Session, id uint64, p *plan.Plan, cs session, canceled *atomic.Bool) *wire.Response {
+	s.requests.Add(1)
+	resp := &wire.Response{ID: id}
+	if cs.readOnly && p.Writes() {
+		resp.Err = "read-only session: plan contains write ops"
+		s.aborted.Add(1)
+		return resp
+	}
+	if canceled != nil && canceled.Load() {
+		resp.Err = engine.ErrPlanCanceled.Error()
+		s.aborted.Add(1)
+		return resp
+	}
+	results := make([]plan.Result, p.NumOps())
+	var hook func() bool
+	if canceled != nil {
+		hook = canceled.Load
+	}
+	ereq, finish, err := s.e.CompilePlan(p, results, hook)
+	if err != nil {
+		resp.Err = err.Error()
+		s.aborted.Add(1)
+		return resp
+	}
+	_, execErr := sess.Execute(ereq)
+	finish()
+	resp.Results = planResultsToWire(results)
+	if execErr != nil {
+		resp.Err = execErr.Error()
+		s.aborted.Add(1)
+		return resp
+	}
+	resp.Committed = true
+	s.committed.Add(1)
+	return resp
+}
+
+// planResultsToWire converts per-op plan results to wire statement results,
+// one per op in flat phase order.
+func planResultsToWire(rs []plan.Result) []wire.StatementResult {
+	out := make([]wire.StatementResult, len(rs))
+	for i, r := range rs {
+		sr := wire.StatementResult{Found: r.Found, Value: r.Value, Err: r.Err}
+		if len(r.Entries) > 0 {
+			sr.Entries = make([]wire.ScanEntry, len(r.Entries))
+			for j, e := range r.Entries {
+				sr.Entries[j] = wire.ScanEntry{Key: e.Key, Value: e.Value}
+			}
+		}
+		out[i] = sr
+	}
+	return out
 }
 
 // execute runs one wire request as a transaction.
-func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session) *wire.Response {
+func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session, canceled *atomic.Bool) *wire.Response {
 	s.requests.Add(1)
 	resp := &wire.Response{ID: req.ID, Results: make([]wire.StatementResult, len(req.Statements))}
 	if len(req.Statements) == 0 {
 		resp.Committed = true
 		s.committed.Add(1)
+		return resp
+	}
+	if cs.readOnly {
+		for _, st := range req.Statements {
+			if writesOp(st.Op) {
+				resp.Err = fmt.Sprintf("read-only session: %v refused", st.Op)
+				s.aborted.Add(1)
+				return resp
+			}
+		}
+	}
+	if canceled != nil && canceled.Load() {
+		resp.Err = engine.ErrPlanCanceled.Error()
+		s.aborted.Add(1)
 		return resp
 	}
 
@@ -500,7 +651,7 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session) *w
 		return resp
 	}
 
-	ereq, err := s.buildRequest(req, resp.Results)
+	ereq, err := s.buildRequest(req, resp.Results, canceled)
 	if err != nil {
 		resp.Err = err.Error()
 		s.aborted.Add(1)
@@ -520,6 +671,9 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session) *w
 // the checkpoint handler, everything else through the attached control
 // handler.
 func (s *Server) executeControl(st wire.Statement, cs session) wire.StatementResult {
+	if cs.readOnly {
+		return wire.StatementResult{Err: "read-only session: control refused"}
+	}
 	if !cs.authed {
 		return wire.StatementResult{Err: "control requires an authenticated session (connect with the server's -token)"}
 	}
@@ -587,9 +741,17 @@ func (s *Server) executeScan(st wire.Statement) wire.StatementResult {
 // Statements are packed into phases greedily; a statement that touches a key
 // already written in the current phase starts a new phase, preserving the
 // client-visible ordering guarantees while still letting independent
-// statements execute in parallel on different partitions.
-func (s *Server) buildRequest(req *wire.Request, results []wire.StatementResult) (*engine.Request, error) {
+// statements execute in parallel on different partitions.  canceled, when
+// non-nil, is polled before every statement: a cancel frame aborts the
+// transaction at the next statement boundary.
+func (s *Server) buildRequest(req *wire.Request, results []wire.StatementResult, canceled *atomic.Bool) (*engine.Request, error) {
 	out := &engine.Request{}
+	checkCancel := func() error {
+		if canceled != nil && canceled.Load() {
+			return engine.ErrPlanCanceled
+		}
+		return nil
+	}
 
 	// Fast path for the dominant OLTP shape — one data statement per
 	// request: a single action, no phase bookkeeping.
@@ -605,6 +767,9 @@ func (s *Server) buildRequest(req *wire.Request, results []wire.StatementResult)
 				Table: st.Table,
 				Key:   st.Key,
 				Exec: func(c *engine.Ctx) error {
+					if err := checkCancel(); err != nil {
+						return err
+					}
 					res, err := execStatement(c, st)
 					if err != nil {
 						results[0] = wire.StatementResult{Err: err.Error()}
@@ -654,6 +819,9 @@ func (s *Server) buildRequest(req *wire.Request, results []wire.StatementResult)
 				Table: stmt.Table,
 				Key:   stmt.Key,
 				Exec: func(c *engine.Ctx) error {
+					if err := checkCancel(); err != nil {
+						return err
+					}
 					pk, err := c.LookupSecondary(stmt.Table, stmt.Index, stmt.Key)
 					if errors.Is(err, engine.ErrNotFound) {
 						results[idx] = wire.StatementResult{Found: false}
@@ -704,6 +872,9 @@ func (s *Server) buildRequest(req *wire.Request, results []wire.StatementResult)
 			Table: stmt.Table,
 			Key:   stmt.Key,
 			Exec: func(c *engine.Ctx) error {
+				if err := checkCancel(); err != nil {
+					return err
+				}
 				res, err := execStatement(c, stmt)
 				if err != nil {
 					results[idx] = wire.StatementResult{Err: err.Error()}

@@ -1,0 +1,184 @@
+// Builder: the fluent way to assemble a Plan.
+package plan
+
+import "fmt"
+
+// Ref names an op within a plan for KeyFrom / ValueFrom bindings.  Its
+// value is 1 + the op's flat index in phase order (NoBind is 0); obtain it
+// from Builder.Ref.
+type Ref int32
+
+// Builder assembles a Plan phase by phase.  Ops append to the current
+// phase; Then closes it.  The zero Builder is ready to use; New reads
+// better.
+type Builder struct {
+	phases [][]Op
+	cur    []Op
+	flat   int
+	err    error
+}
+
+// New returns an empty plan builder.
+func New() *Builder { return &Builder{} }
+
+// Then closes the current phase: subsequent ops execute strictly after
+// everything added so far, which is how a data dependency is declared.
+func (b *Builder) Then() *Builder {
+	if len(b.cur) > 0 {
+		b.phases = append(b.phases, b.cur)
+		b.cur = nil
+	}
+	return b
+}
+
+// add appends one op to the current phase.
+func (b *Builder) add(op Op) *Builder {
+	op.KeyFrom, op.ValueFrom = NoBind, NoBind
+	b.cur = append(b.cur, op)
+	b.flat++
+	return b
+}
+
+// Ref returns the reference of the most recently added op, for KeyFrom /
+// ValueFrom bindings in later phases.
+func (b *Builder) Ref() Ref {
+	if b.flat == 0 {
+		b.fail("Ref called before any op was added")
+		return Ref(NoBind)
+	}
+	return Ref(b.flat) // 1-based: flat index of the last op is b.flat-1
+}
+
+// fail records the first builder misuse; Build reports it.
+func (b *Builder) fail(msg string) {
+	if b.err == nil {
+		b.err = fmt.Errorf("plan: %s", msg)
+	}
+}
+
+// last returns the op most recently added, for modifiers.
+func (b *Builder) last(what string) *Op {
+	if len(b.cur) == 0 {
+		b.fail(what + " must follow the op it modifies, in the same phase")
+		return &Op{}
+	}
+	return &b.cur[len(b.cur)-1]
+}
+
+// KeyFrom binds the key (and routing key) of the op just added to the
+// result value of an earlier-phase op.
+func (b *Builder) KeyFrom(r Ref) *Builder {
+	b.last("KeyFrom").KeyFrom = int32(r)
+	return b
+}
+
+// ValueFrom binds the value of the op just added to the result value of an
+// earlier-phase op.
+func (b *Builder) ValueFrom(r Ref) *Builder {
+	b.last("ValueFrom").ValueFrom = int32(r)
+	return b
+}
+
+// Get appends a read of key.
+func (b *Builder) Get(table string, key []byte) *Builder {
+	return b.add(Op{Kind: Get, Table: table, Key: key})
+}
+
+// Insert appends an insert.
+func (b *Builder) Insert(table string, key, value []byte) *Builder {
+	return b.add(Op{Kind: Insert, Table: table, Key: key, Value: value})
+}
+
+// Update appends an update of an existing record.
+func (b *Builder) Update(table string, key, value []byte) *Builder {
+	return b.add(Op{Kind: Update, Table: table, Key: key, Value: value})
+}
+
+// Upsert appends an insert-or-overwrite.
+func (b *Builder) Upsert(table string, key, value []byte) *Builder {
+	return b.add(Op{Kind: Upsert, Table: table, Key: key, Value: value})
+}
+
+// Delete appends a delete.
+func (b *Builder) Delete(table string, key []byte) *Builder {
+	return b.add(Op{Kind: Delete, Table: table, Key: key})
+}
+
+// LookupSecondary appends a secondary-index probe returning the primary key.
+func (b *Builder) LookupSecondary(table, index string, secKey []byte) *Builder {
+	return b.add(Op{Kind: LookupSecondary, Table: table, Index: index, Key: secKey})
+}
+
+// InsertSecondary appends a secondary-index entry insert.
+func (b *Builder) InsertSecondary(table, index string, secKey, primaryKey []byte) *Builder {
+	return b.add(Op{Kind: InsertSecondary, Table: table, Index: index, Key: secKey, Value: primaryKey})
+}
+
+// DeleteSecondary appends a secondary-index entry delete.
+func (b *Builder) DeleteSecondary(table, index string, secKey []byte) *Builder {
+	return b.add(Op{Kind: DeleteSecondary, Table: table, Index: index, Key: secKey})
+}
+
+// Scan appends a bounded range scan of [lo, hi) — nil hi scans to the end —
+// returning at most limit records (0 selects the default).  Scans may share
+// a phase with any other ops.
+func (b *Builder) Scan(table string, lo, hi []byte, limit int) *Builder {
+	return b.add(Op{Kind: Scan, Table: table, Key: lo, KeyEnd: hi, Limit: uint32(max(limit, 0))})
+}
+
+// ReadModifyWrite appends a fully spelled-out RMW op.
+func (b *Builder) ReadModifyWrite(table string, key []byte, cond Cond, condValue []byte, mut Mut, mutArg []byte) *Builder {
+	return b.add(Op{Kind: ReadModifyWrite, Table: table, Key: key,
+		Cond: cond, CondValue: condValue, Mut: mut, MutArg: mutArg})
+}
+
+// Add appends a fetch-add: the record (a big-endian int64; missing counts
+// as 0) is incremented by delta, and the new value is returned.
+func (b *Builder) Add(table string, key []byte, delta int64) *Builder {
+	return b.ReadModifyWrite(table, key, CondNone, nil, MutAddInt64, Int64(delta))
+}
+
+// AddExisting is Add with a must-exist condition: the TPC-B
+// account/teller/branch update (a missing row aborts).
+func (b *Builder) AddExisting(table string, key []byte, delta int64) *Builder {
+	return b.ReadModifyWrite(table, key, CondExists, nil, MutAddInt64, Int64(delta))
+}
+
+// AppendBytes appends suffix to the record (missing counts as empty).
+func (b *Builder) AppendBytes(table string, key, suffix []byte) *Builder {
+	return b.ReadModifyWrite(table, key, CondNone, nil, MutAppend, suffix)
+}
+
+// CompareAndSet replaces the record with newValue only if it currently
+// equals expect; a mismatch aborts the transaction.
+func (b *Builder) CompareAndSet(table string, key, expect, newValue []byte) *Builder {
+	return b.ReadModifyWrite(table, key, CondValueEquals, expect, MutSet, newValue)
+}
+
+// SetIfAbsent inserts value only if the key is absent; an existing record
+// aborts the transaction.
+func (b *Builder) SetIfAbsent(table string, key, value []byte) *Builder {
+	return b.ReadModifyWrite(table, key, CondNotExists, nil, MutSet, value)
+}
+
+// Build closes the final phase, validates and returns the plan.
+func (b *Builder) Build() (*Plan, error) {
+	b.Then()
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := &Plan{Phases: b.phases}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for plans known statically valid; it panics on error.
+func (b *Builder) MustBuild() *Plan {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,139 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBuilderPhasesAndRefs(t *testing.T) {
+	b := New()
+	probe := b.LookupSecondary("sub", "nbr", []byte("n1")).Ref()
+	b.Get("sub", []byte("k0"))
+	b.Then().Update("sub", nil, []byte("v")).KeyFrom(probe)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases) != 2 || len(p.Phases[0]) != 2 || len(p.Phases[1]) != 1 {
+		t.Fatalf("phase shape %v", p.Phases)
+	}
+	up := p.Phases[1][0]
+	if up.KeyFrom != int32(probe) || int(up.KeyFrom) != 1 {
+		t.Fatalf("KeyFrom %d, want 1 (1-based ref to op 0)", up.KeyFrom)
+	}
+	if up.ValueFrom != NoBind {
+		t.Fatalf("ValueFrom %d, want NoBind", up.ValueFrom)
+	}
+	if p.NumOps() != 3 {
+		t.Fatalf("NumOps %d, want 3", p.NumOps())
+	}
+	if !p.Writes() {
+		t.Fatal("plan with an update must report Writes")
+	}
+	if New().Get("t", []byte("k")).MustBuild().Writes() {
+		t.Fatal("read-only plan must not report Writes")
+	}
+}
+
+func TestBuilderMisuse(t *testing.T) {
+	// KeyFrom before any op.
+	if _, err := (&Builder{}).KeyFrom(1).Build(); err == nil {
+		t.Fatal("KeyFrom on empty builder accepted")
+	}
+	// Ref before any op.
+	b := New()
+	if r := b.Ref(); r != Ref(NoBind) {
+		t.Fatalf("Ref on empty builder = %d", r)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+	// Same-phase binding is a validation error.
+	b2 := New()
+	r := b2.Get("t", []byte("a")).Ref()
+	b2.Get("t", nil).KeyFrom(r)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("same-phase binding accepted")
+	}
+	// Binding to a scan is a validation error: a scan has no single result
+	// value, and its entries only materialize after the transaction.
+	b3 := New()
+	sr := b3.Scan("t", nil, nil, 1).Ref()
+	b3.Then().Get("t", nil).KeyFrom(sr)
+	if _, err := b3.Build(); err == nil {
+		t.Fatal("binding to a scan accepted")
+	}
+}
+
+func TestRMWSugar(t *testing.T) {
+	p := New().
+		Add("t", []byte("k"), 7).
+		AddExisting("t", []byte("l"), -1).
+		AppendBytes("t", []byte("m"), []byte("x")).
+		CompareAndSet("t", []byte("n"), []byte("old"), []byte("new")).
+		SetIfAbsent("t", []byte("o"), []byte("v")).
+		MustBuild()
+	ops := p.Phases[0]
+	if ops[0].Mut != MutAddInt64 || ops[0].Cond != CondNone {
+		t.Fatalf("Add op %+v", ops[0])
+	}
+	if d, _ := DecodeInt64(ops[0].MutArg); d != 7 {
+		t.Fatalf("Add delta %d", d)
+	}
+	if ops[1].Cond != CondExists {
+		t.Fatalf("AddExisting cond %v", ops[1].Cond)
+	}
+	if ops[2].Mut != MutAppend {
+		t.Fatalf("AppendBytes mut %v", ops[2].Mut)
+	}
+	if ops[3].Cond != CondValueEquals || !bytes.Equal(ops[3].CondValue, []byte("old")) {
+		t.Fatalf("CAS op %+v", ops[3])
+	}
+	if ops[4].Cond != CondNotExists || ops[4].Mut != MutSet {
+		t.Fatalf("SetIfAbsent op %+v", ops[4])
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40), 9223372036854775807, -9223372036854775808} {
+		got, err := DecodeInt64(Int64(v))
+		if err != nil || got != v {
+			t.Fatalf("round trip %d -> %d (%v)", v, got, err)
+		}
+	}
+	if _, err := DecodeInt64([]byte("short")); err == nil {
+		t.Fatal("short int64 record accepted")
+	}
+}
+
+func TestValidateWriteConflicts(t *testing.T) {
+	// Two reads of the same key in one phase are fine.
+	p := New().Get("t", []byte("k")).Get("t", []byte("k")).MustBuild()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A read and a write of the same key in one phase race.
+	bad := &Plan{Phases: [][]Op{{
+		{Kind: Get, Table: "t", Key: []byte("k")},
+		{Kind: Delete, Table: "t", Key: []byte("k")},
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("same-phase read/write conflict accepted")
+	}
+	// The same pair across phases is fine.
+	ok := &Plan{Phases: [][]Op{
+		{{Kind: Get, Table: "t", Key: []byte("k")}},
+		{{Kind: Delete, Table: "t", Key: []byte("k")}},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Same key on different tables does not conflict.
+	twoTables := &Plan{Phases: [][]Op{{
+		{Kind: Upsert, Table: "t1", Key: []byte("k"), Value: []byte("v")},
+		{Kind: Upsert, Table: "t2", Key: []byte("k"), Value: []byte("v")},
+	}}}
+	if err := twoTables.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

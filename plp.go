@@ -33,6 +33,43 @@
 //	})
 //	res, err := sess.Execute(req)
 //
+// # Declarative transactions
+//
+// Closure Actions are the native escape hatch; the preferred surface is the
+// declarative one (package plan): transactions as phases of typed,
+// introspectable ops with explicit data dependencies — the programmatic
+// form of the paper's Section 3.1 transaction flow graphs.  Because a plan
+// carries data instead of code, the identical value executes in-process and
+// travels whole over the wire in one protocol-v3 frame, so a networked
+// client runs a dependent multi-phase transaction in ONE round trip,
+// stored-procedure style.  The TATP UpdateLocation shape — probe a
+// non-partition-aligned secondary index, then route the update by whatever
+// primary key the probe produced:
+//
+//	b := plp.NewPlan()
+//	probe := b.LookupSecondary("subscribers", "sub_nbr", secKey).Ref()
+//	b.Then().Update("subscribers", nil, newLocation).KeyFrom(probe)
+//	results, err := sess.ExecutePlan(b.MustBuild())
+//
+// Server-evaluated read-modify-writes (conditions plus int64-add / append /
+// set mutations) cover the TPC-B account/teller/branch updates without a
+// read round trip:
+//
+//	p := plp.NewPlan().
+//		AddExisting("accounts", aKey, delta).
+//		AddExisting("tellers", tKey, delta).
+//		AddExisting("branches", bKey, delta).
+//		MustBuild()
+//	results, err := sess.ExecutePlan(p)
+//
+// Plans may mix bounded scans with point reads in one phase (each partition
+// scans its own clipped sub-range in parallel, inside the transaction), and
+// all five designs execute the compiled plan identically — the differential
+// trace proves plan and closure surfaces equivalent, including under
+// crash/recovery.  Package client mirrors the API (client.NewPlan,
+// Client.DoPlan), and a context cancellation on a v3 session sends a wire
+// cancel frame that aborts the server-side transaction.
+//
 // Beyond the core engine the package exposes the operational subsystems a
 // deployment needs (see extensions.go): Open for a durable, crash-safe
 // engine backed by a disk-based group-commit log, Checkpoint/Recover and
@@ -125,6 +162,7 @@ import (
 	"plp/internal/catalog"
 	"plp/internal/engine"
 	"plp/internal/keyenc"
+	"plp/plan"
 )
 
 // Design selects one of the five execution designs of the paper.
@@ -160,6 +198,23 @@ type Ctx = engine.Ctx
 
 // Result describes a completed request.
 type Result = engine.Result
+
+// Plan is a declarative transaction: phases of typed ops with explicit data
+// dependencies (see package plan).  Session.ExecutePlan runs one
+// in-process; client.Client.DoPlan ships one over the wire in one frame.
+type Plan = plan.Plan
+
+// PlanBuilder assembles a Plan fluently.
+type PlanBuilder = plan.Builder
+
+// PlanOp is one typed operation of a Plan.
+type PlanOp = plan.Op
+
+// PlanResult is the outcome of one plan op.
+type PlanResult = plan.Result
+
+// NewPlan returns an empty declarative plan builder.
+func NewPlan() *PlanBuilder { return plan.New() }
 
 // TableDef describes a table to create.
 type TableDef = catalog.TableDef

@@ -78,6 +78,60 @@ func FuzzDecodeResponse(f *testing.F) {
 	})
 }
 
+// FuzzDecodeFrameV3 feeds hostile V3 frames (plans, cancels, tagged
+// statement requests) through the kind dispatcher.  It must never panic,
+// and any accepted plan frame must re-encode/decode identically.
+func FuzzDecodeFrameV3(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeCancelRequest(42))
+	f.Add(EncodeRequestV(&Request{ID: 1, Statements: []Statement{
+		{Op: OpUpsert, Table: "t", Key: []byte("k"), Value: []byte("v")},
+	}}, V3))
+	{
+		b := []byte{}
+		b = append(b, 9, 0, 0, 0, 0, 0, 0, 0, 1) // ID, FramePlan
+		b = append(b, 0xFF, 0xFF, 0xFF, 0xFF)    // hostile phase count
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		fr, err := DecodeFrameV3(payload)
+		if err != nil {
+			return
+		}
+		switch fr.Kind {
+		case FramePlan:
+			back, err := DecodeFrameV3(EncodePlanRequest(fr.ID, fr.Plan))
+			if err != nil {
+				t.Fatalf("re-decode of accepted plan failed: %v", err)
+			}
+			if back.ID != fr.ID || len(back.Plan.Phases) != len(fr.Plan.Phases) {
+				t.Fatalf("plan round trip changed the frame: %+v != %+v", back, fr)
+			}
+			for pi := range fr.Plan.Phases {
+				if len(back.Plan.Phases[pi]) != len(fr.Plan.Phases[pi]) {
+					t.Fatalf("phase %d changed size", pi)
+				}
+				for oi := range fr.Plan.Phases[pi] {
+					a, b := fr.Plan.Phases[pi][oi], back.Plan.Phases[pi][oi]
+					if a.Kind != b.Kind || a.Table != b.Table || a.Index != b.Index ||
+						!bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Value, b.Value) ||
+						!bytes.Equal(a.KeyEnd, b.KeyEnd) || a.Limit != b.Limit ||
+						a.Cond != b.Cond || a.Mut != b.Mut ||
+						!bytes.Equal(a.CondValue, b.CondValue) || !bytes.Equal(a.MutArg, b.MutArg) ||
+						a.KeyFrom != b.KeyFrom || a.ValueFrom != b.ValueFrom {
+						t.Fatalf("phase %d op %d changed: %+v != %+v", pi, oi, b, a)
+					}
+				}
+			}
+		case FrameCancel:
+			back, err := DecodeFrameV3(EncodeCancelRequest(fr.ID))
+			if err != nil || back.ID != fr.ID || back.Kind != FrameCancel {
+				t.Fatalf("cancel round trip changed: %+v (%v)", back, err)
+			}
+		}
+	})
+}
+
 // FuzzDecodeHello covers the handshake frames.
 func FuzzDecodeHello(f *testing.F) {
 	f.Add(EncodeHello(&Hello{MaxVersion: V2, Token: []byte("tok")}))

@@ -10,7 +10,7 @@
 //
 // # Versions and the handshake
 //
-// Two protocol versions exist:
+// Three protocol versions exist:
 //
 //   - V1 (legacy): no handshake.  The client's first frame is already a
 //     Request; the session is unversioned, unauthenticated, and the server
@@ -23,6 +23,14 @@
 //     V2 session requests are pipelined: the client may keep many requests
 //     in flight and the server completes them out of order, matching
 //     responses to requests by the client-chosen request ID.
+//   - V3: request frames are kind-tagged.  Besides flat statement requests
+//     (unchanged from V2), a frame can carry a whole declarative plan
+//     (package plan) — phases of typed ops with bindings, executed
+//     server-side as one transaction, one round trip for arbitrarily deep
+//     dependency chains — or a CANCEL naming an in-flight request ID, which
+//     aborts that request's server-side transaction.  The HELLO-ACK gains a
+//     session scope (full or read-only); read-only sessions are refused
+//     write ops and control verbs.
 //
 // A HELLO frame is distinguished from a legacy request by an 8-byte magic
 // prefix; a V1 client's first request would need the request ID
@@ -44,6 +52,19 @@
 // result: found byte, value, error string; V2 appends a uint32 entry count
 // and that many key/value pairs (the scan results).
 //
+// # V3 payloads
+//
+// A V3 request frame is: uint64 ID, kind byte, then the kind's body.
+// Kind 0 (statements) is the V2 statement body.  Kind 1 (plan) is a uint32
+// phase count, then per phase a uint32 op count and that many ops (kind
+// byte; table, index, key, value, key-end, cond-value, mut-arg all
+// length-prefixed; uint32 limit; cond and mut bytes; uint32 key-from and
+// value-from bindings).  Kind 2 (cancel) has no body: the frame's ID is the
+// ID of the request to cancel, and a cancel frame receives no response of
+// its own (the canceled request's response reports the abort).  V3
+// responses use the V2 encoding, with one result per plan op in flat phase
+// order.
+//
 // # Authentication
 //
 // A server started with a token (plpd -token) treats a session as
@@ -60,6 +81,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"plp/plan"
 )
 
 // Errors returned by the codec.
@@ -83,8 +106,26 @@ const (
 	// execution, range scans (OpScan) and secondary-index deletes
 	// (OpDeleteSecondary).
 	V2 uint32 = 2
+	// V3 adds kind-tagged request frames: declarative plan requests
+	// (package plan), cancel frames, and the read-only session scope.
+	V3 uint32 = 3
 	// MaxVersion is the highest version this build speaks.
-	MaxVersion = V2
+	MaxVersion = V3
+)
+
+// FrameKind tags a V3 request frame's body.
+type FrameKind uint8
+
+// The V3 request frame kinds.
+const (
+	// FrameStatements carries a flat statement transaction (the V2 body).
+	FrameStatements FrameKind = 0
+	// FramePlan carries a whole declarative plan executed as one
+	// transaction.
+	FramePlan FrameKind = 1
+	// FrameCancel aborts the in-flight request whose ID the frame carries.
+	// It receives no response of its own.
+	FrameCancel FrameKind = 2
 )
 
 // OpType identifies one statement kind.
@@ -122,7 +163,9 @@ const (
 	// bound, KeyEnd the exclusive upper bound (nil means open), Limit the
 	// maximum number of records returned.  The engine distributes the scan
 	// to the partition-owning workers; results arrive in key order in the
-	// result's Entries.  A scan must be sent alone in a request.
+	// result's Entries.  A flat-statement scan must be sent alone in a
+	// request, at every protocol version; scans inside V3 plans execute
+	// within the transaction and mix freely with other ops.
 	OpScan
 	// OpDeleteSecondary (V2) removes the secondary-index entry under Key in
 	// the index named by Index.  Deleting a missing entry is not an error.
@@ -261,6 +304,10 @@ type HelloAck struct {
 	// Err is non-empty when the server refused the session (bad token,
 	// malformed hello); the server closes the connection after sending it.
 	Err string
+	// ReadOnly reports that the session authenticated with a read-only
+	// token (V3): write ops and control verbs are refused.  Encoded as a
+	// trailing scope byte that pre-V3 clients ignore.
+	ReadOnly bool
 }
 
 // Handshake frame magics.  The hello magic doubles as the V1/V2 sniff: a V1
@@ -397,7 +444,8 @@ func DecodeHello(payload []byte) (*Hello, error) {
 	return h, nil
 }
 
-// EncodeHelloAck serializes a HELLO-ACK payload.
+// EncodeHelloAck serializes a HELLO-ACK payload.  The scope byte is
+// appended last: pre-V3 decoders stop before it and are unaffected.
 func EncodeHelloAck(a *HelloAck) []byte {
 	out := append([]byte(nil), helloAckMagic[:]...)
 	out = appendUint32(out, a.Version)
@@ -407,10 +455,16 @@ func EncodeHelloAck(a *HelloAck) []byte {
 	}
 	out = append(out, authed)
 	out = appendString(out, a.Err)
+	scope := byte(0)
+	if a.ReadOnly {
+		scope = 1
+	}
+	out = append(out, scope)
 	return out
 }
 
-// DecodeHelloAck parses a HELLO-ACK payload.
+// DecodeHelloAck parses a HELLO-ACK payload.  The scope byte is optional so
+// acks from pre-V3 servers still decode.
 func DecodeHelloAck(payload []byte) (*HelloAck, error) {
 	if !IsHelloAck(payload) {
 		return nil, ErrBadHello
@@ -421,6 +475,9 @@ func DecodeHelloAck(payload []byte) (*HelloAck, error) {
 	a.Err = r.str()
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadHello, r.err)
+	}
+	if r.off < len(r.buf) {
+		a.ReadOnly = r.byteVal() == 1
 	}
 	return a, nil
 }
@@ -441,9 +498,12 @@ func RequestID(payload []byte) (uint64, bool) {
 func EncodeRequest(req *Request) []byte { return EncodeRequestV(req, V1) }
 
 // EncodeRequestV serializes a request payload at the given protocol version
-// (without the frame header).
+// (without the frame header).  At V3 the body is tagged FrameStatements.
 func EncodeRequestV(req *Request, version uint32) []byte {
 	size := 8 + 4
+	if version >= V3 {
+		size++
+	}
 	for _, s := range req.Statements {
 		size += 1 + 4 + len(s.Table) + 4 + len(s.Index) + 4 + len(s.Key) + 4 + len(s.Value)
 		if version >= V2 {
@@ -451,6 +511,9 @@ func EncodeRequestV(req *Request, version uint32) []byte {
 		}
 	}
 	out := appendUint64(make([]byte, 0, size), req.ID)
+	if version >= V3 {
+		out = append(out, byte(FrameStatements))
+	}
 	out = appendUint32(out, uint32(len(req.Statements)))
 	for _, s := range req.Statements {
 		out = append(out, byte(s.Op))
@@ -470,12 +533,18 @@ func EncodeRequestV(req *Request, version uint32) []byte {
 func DecodeRequest(buf []byte) (*Request, error) { return DecodeRequestV(buf, V1) }
 
 // DecodeRequestV parses a request payload at the given protocol version.
-// Ops introduced after that version are rejected with ErrBadOp.  The
-// returned request's byte fields alias buf, which must not be modified or
-// reused afterwards.
+// Ops introduced after that version are rejected with ErrBadOp.  At V3 only
+// FrameStatements bodies are accepted — use DecodeFrameV3 to dispatch the
+// other frame kinds.  The returned request's byte fields alias buf, which
+// must not be modified or reused afterwards.
 func DecodeRequestV(buf []byte, version uint32) (*Request, error) {
 	r := &reader{buf: buf}
 	req := &Request{ID: r.uint64()}
+	if version >= V3 {
+		if k := FrameKind(r.byteVal()); r.err == nil && k != FrameStatements {
+			return nil, fmt.Errorf("%w: frame kind %d is not a statement request", ErrBadOp, k)
+		}
+	}
 	n := r.uint32()
 	// Presize bounded by what the payload could physically hold (a
 	// statement is at least 17 bytes), so a hostile count cannot force a
@@ -502,6 +571,131 @@ func DecodeRequestV(buf []byte, version uint32) (*Request, error) {
 		return nil, r.err
 	}
 	return req, nil
+}
+
+// --- V3 frame codec (plans and cancels) ---
+
+// Frame is one decoded V3 request frame.
+type Frame struct {
+	// ID is the request ID (for FrameCancel, the ID of the request to
+	// cancel).
+	ID uint64
+	// Kind tags which body field is set.
+	Kind FrameKind
+	// Req is the flat statement transaction (FrameStatements).
+	Req *Request
+	// Plan is the declarative plan (FramePlan).
+	Plan *plan.Plan
+}
+
+// minEncodedOpBytes is the smallest possible encoded plan op; hostile
+// phase/op counts are clamped against it so they cannot force allocations
+// the payload could not physically hold.
+const minEncodedOpBytes = 43
+
+// EncodePlanRequest serializes a plan request payload (without the frame
+// header) at protocol version V3.
+func EncodePlanRequest(id uint64, p *plan.Plan) []byte {
+	size := 8 + 1 + 4
+	for _, ph := range p.Phases {
+		size += 4
+		for i := range ph {
+			op := &ph[i]
+			size += minEncodedOpBytes + len(op.Table) + len(op.Index) + len(op.Key) +
+				len(op.Value) + len(op.KeyEnd) + len(op.CondValue) + len(op.MutArg)
+		}
+	}
+	out := appendUint64(make([]byte, 0, size), id)
+	out = append(out, byte(FramePlan))
+	out = appendUint32(out, uint32(len(p.Phases)))
+	for _, ph := range p.Phases {
+		out = appendUint32(out, uint32(len(ph)))
+		for i := range ph {
+			op := &ph[i]
+			out = append(out, byte(op.Kind))
+			out = appendString(out, op.Table)
+			out = appendString(out, op.Index)
+			out = appendBytes(out, op.Key)
+			out = appendBytes(out, op.Value)
+			out = appendBytes(out, op.KeyEnd)
+			out = appendUint32(out, op.Limit)
+			out = append(out, byte(op.Cond), byte(op.Mut))
+			out = appendBytes(out, op.CondValue)
+			out = appendBytes(out, op.MutArg)
+			out = appendUint32(out, uint32(op.KeyFrom))
+			out = appendUint32(out, uint32(op.ValueFrom))
+		}
+	}
+	return out
+}
+
+// EncodeCancelRequest serializes a cancel frame for the request with the
+// given ID.
+func EncodeCancelRequest(id uint64) []byte {
+	out := appendUint64(make([]byte, 0, 9), id)
+	return append(out, byte(FrameCancel))
+}
+
+// DecodeFrameV3 parses one V3 request frame, dispatching on its kind.  The
+// decoded frame's byte fields alias buf; the plan's structure is *not*
+// semantically validated here — the engine's compiler re-validates, so a
+// hostile peer gains nothing by skipping the client-side checks.
+func DecodeFrameV3(buf []byte) (*Frame, error) {
+	r := &reader{buf: buf}
+	f := &Frame{ID: r.uint64()}
+	f.Kind = FrameKind(r.byteVal())
+	if r.err != nil {
+		return nil, r.err
+	}
+	switch f.Kind {
+	case FrameStatements:
+		req, err := DecodeRequestV(buf, V3)
+		if err != nil {
+			return nil, err
+		}
+		f.Req = req
+		return f, nil
+	case FrameCancel:
+		return f, nil
+	case FramePlan:
+		phases := r.uint32()
+		maxOps := uint32(len(buf) / minEncodedOpBytes)
+		if phases > maxOps {
+			return nil, fmt.Errorf("%w: %d phases in a %d-byte frame", ErrShortPayload, phases, len(buf))
+		}
+		p := &plan.Plan{Phases: make([][]plan.Op, 0, phases)}
+		for i := uint32(0); i < phases && r.err == nil; i++ {
+			n := r.uint32()
+			if n > maxOps {
+				return nil, fmt.Errorf("%w: %d ops in a %d-byte frame", ErrShortPayload, n, len(buf))
+			}
+			ops := make([]plan.Op, 0, n)
+			for j := uint32(0); j < n && r.err == nil; j++ {
+				op := plan.Op{Kind: plan.Kind(r.byteVal())}
+				op.Table = r.str()
+				op.Index = r.str()
+				op.Key = r.bytes()
+				op.Value = r.bytes()
+				op.KeyEnd = r.bytes()
+				op.Limit = r.uint32()
+				op.Cond = plan.Cond(r.byteVal())
+				op.Mut = plan.Mut(r.byteVal())
+				op.CondValue = r.bytes()
+				op.MutArg = r.bytes()
+				op.KeyFrom = int32(r.uint32())
+				op.ValueFrom = int32(r.uint32())
+				ops = append(ops, op)
+			}
+			p.Phases = append(p.Phases, ops)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		f.Plan = p
+		return f, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown frame kind %d", ErrBadOp, f.Kind)
+	}
 }
 
 // EncodeResponse serializes a response payload at protocol version V1.

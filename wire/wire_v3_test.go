@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"plp/plan"
+)
+
+// samplePlan builds a representative plan exercising every field of the op
+// encoding.
+func samplePlan(t *testing.T) *plan.Plan {
+	t.Helper()
+	b := plan.New()
+	probe := b.LookupSecondary("sub", "nbr", []byte("n-42")).Ref()
+	b.Scan("sub", []byte("a"), []byte("z"), 17)
+	b.Then().Update("sub", nil, []byte("loc")).KeyFrom(probe)
+	b.AddExisting("acct", []byte("k1"), -3)
+	b.CompareAndSet("cfg", []byte("k2"), []byte("old"), []byte("new"))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPlanRequestRoundTrip checks the plan frame codec reproduces every op
+// field.
+func TestPlanRequestRoundTrip(t *testing.T) {
+	p := samplePlan(t)
+	payload := EncodePlanRequest(99, p)
+	f, err := DecodeFrameV3(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FramePlan || f.ID != 99 {
+		t.Fatalf("frame %+v, want plan id=99", f)
+	}
+	if len(f.Plan.Phases) != len(p.Phases) {
+		t.Fatalf("%d phases, want %d", len(f.Plan.Phases), len(p.Phases))
+	}
+	for pi, ph := range p.Phases {
+		for oi, want := range ph {
+			got := f.Plan.Phases[pi][oi]
+			if got.Kind != want.Kind || got.Table != want.Table || got.Index != want.Index ||
+				!bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) ||
+				!bytes.Equal(got.KeyEnd, want.KeyEnd) || got.Limit != want.Limit ||
+				got.Cond != want.Cond || got.Mut != want.Mut ||
+				!bytes.Equal(got.CondValue, want.CondValue) || !bytes.Equal(got.MutArg, want.MutArg) ||
+				got.KeyFrom != want.KeyFrom || got.ValueFrom != want.ValueFrom {
+				t.Fatalf("phase %d op %d: %+v != %+v", pi, oi, got, want)
+			}
+		}
+	}
+	if err := f.Plan.Validate(); err != nil {
+		t.Fatalf("decoded plan fails validation: %v", err)
+	}
+}
+
+// TestV3StatementFrame checks kind-tagged statement requests round trip and
+// dispatch through DecodeFrameV3.
+func TestV3StatementFrame(t *testing.T) {
+	req := &Request{ID: 7, Statements: []Statement{
+		{Op: OpUpsert, Table: "t", Key: []byte("k"), Value: []byte("v")},
+		{Op: OpScan, Table: "t", Key: []byte("a"), KeyEnd: []byte("b"), Limit: 3},
+	}}
+	payload := EncodeRequestV(req, V3)
+	f, err := DecodeFrameV3(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameStatements || f.Req == nil || f.Req.ID != 7 || len(f.Req.Statements) != 2 {
+		t.Fatalf("frame %+v", f)
+	}
+	// DecodeRequestV at V3 accepts the same payload directly.
+	back, err := DecodeRequestV(payload, V3)
+	if err != nil || back.ID != 7 {
+		t.Fatalf("DecodeRequestV(V3): %+v, %v", back, err)
+	}
+	// ...but rejects a plan frame.
+	if _, err := DecodeRequestV(EncodePlanRequest(8, samplePlan(t)), V3); err == nil {
+		t.Fatal("DecodeRequestV accepted a plan frame")
+	}
+}
+
+// TestCancelFrame checks the cancel frame encoding.
+func TestCancelFrame(t *testing.T) {
+	f, err := DecodeFrameV3(EncodeCancelRequest(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameCancel || f.ID != 1234 {
+		t.Fatalf("frame %+v, want cancel of 1234", f)
+	}
+}
+
+// TestHelloAckScopeByte checks the read-only scope survives a round trip
+// and that a pre-V3 ack (no scope byte) still decodes.
+func TestHelloAckScopeByte(t *testing.T) {
+	for _, ro := range []bool{false, true} {
+		a, err := DecodeHelloAck(EncodeHelloAck(&HelloAck{Version: V3, Authenticated: !ro, ReadOnly: ro}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.ReadOnly != ro {
+			t.Fatalf("ReadOnly %v, want %v", a.ReadOnly, ro)
+		}
+	}
+	// A v2-era ack stops after the error string.
+	legacy := append([]byte(nil), helloAckMagic[:]...)
+	legacy = appendUint32(legacy, V2)
+	legacy = append(legacy, 1)
+	legacy = appendString(legacy, "")
+	a, err := DecodeHelloAck(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ReadOnly || !a.Authenticated || a.Version != V2 {
+		t.Fatalf("legacy ack %+v", a)
+	}
+}
+
+// TestDecodeFrameV3Hostile checks hostile phase/op counts are rejected
+// rather than allocated.
+func TestDecodeFrameV3Hostile(t *testing.T) {
+	payload := appendUint64(nil, 1)
+	payload = append(payload, byte(FramePlan))
+	payload = appendUint32(payload, 0xFFFFFFFF) // 4 billion phases
+	if _, err := DecodeFrameV3(payload); err == nil {
+		t.Fatal("hostile phase count accepted")
+	}
+	payload = appendUint64(nil, 1)
+	payload = append(payload, byte(FramePlan))
+	payload = appendUint32(payload, 1)
+	payload = appendUint32(payload, 0xFFFFFFFF) // 4 billion ops
+	if _, err := DecodeFrameV3(payload); err == nil {
+		t.Fatal("hostile op count accepted")
+	}
+	if _, err := DecodeFrameV3([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	payload = appendUint64(nil, 1)
+	payload = append(payload, 77) // unknown kind
+	if _, err := DecodeFrameV3(payload); err == nil {
+		t.Fatal("unknown frame kind accepted")
+	}
+}
