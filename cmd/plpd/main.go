@@ -17,6 +17,16 @@
 // second, read-only credential whose sessions may run reads (gets, scans,
 // read-only plans) but are refused every write op and control verb.
 //
+// -pprof serves net/http/pprof and expvar on a second listen address so
+// hot-path regressions are diagnosable on a live daemon: CPU and heap
+// profiles under /debug/pprof/, and /debug/vars carries plp_worker_queues
+// (per-partition input-queue depths) plus plp_server_stats (connection and
+// transaction counters).  Example:
+//
+//	plpd -pprof localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//	curl http://localhost:6060/debug/vars
+//
 // Example:
 //
 //	plpd -addr :7070 -design plp-leaf -partitions 8 \
@@ -26,8 +36,11 @@ package main
 
 import (
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -78,6 +91,7 @@ func main() {
 		checkpointMs = flag.Int("checkpoint-ms", 0, "background checkpoint interval in milliseconds (0 disables)")
 		truncateLog  = flag.Bool("checkpoint-truncate", false, "truncate the log prefix after each successful checkpoint")
 		statsEvery   = flag.Duration("stats", 10*time.Second, "how often to print server statistics (0 disables)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar (worker queue depths, server counters) on this address, e.g. localhost:6060 (empty disables)")
 	)
 	flag.Parse()
 
@@ -182,6 +196,23 @@ func main() {
 		defer ctrl.Stop()
 		defer ctrl.Detach()
 		srv.SetControlHandler(ctrl)
+	}
+	if *pprofAddr != "" {
+		// Diagnostics endpoint: pprof profiles plus expvar gauges for the
+		// partition workers' queue depths and the server counters, so a
+		// hot-path regression on a live daemon can be profiled in situ.
+		expvar.Publish("plp_worker_queues", expvar.Func(func() any {
+			return e.WorkerQueueDepths()
+		}))
+		expvar.Publish("plp_server_stats", expvar.Func(func() any {
+			return srv.Stats()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("plpd: pprof/expvar diagnostics on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

@@ -9,6 +9,12 @@
 // worker executes actions serially, which is what makes thread-local locking
 // and (for PLP) latch-free page access safe.  Queue operations are the
 // fixed-contention "message passing" critical sections of Figure 1.
+//
+// The input queue carries batches: Submit enqueues one task per channel
+// operation, SubmitBatch enqueues a whole slice of tasks with a single
+// channel operation, which is how the partition manager ships one phase's
+// per-partition action group (or a whole single-site transaction) at the
+// fixed cost of ONE message instead of one per action.
 package dora
 
 import (
@@ -24,19 +30,69 @@ import (
 // ErrStopped is returned when work is submitted to a stopped worker pool.
 var ErrStopped = errors.New("dora: worker pool is stopped")
 
-// Task is a unit of work executed by a partition worker.
+// Runner is the allocation-free alternative to Task.Do: a pre-built (and
+// typically pooled) object whose RunTask method executes on the worker
+// goroutine.  Storing a pointer in an interface field does not allocate,
+// whereas building a fresh closure for every task does — hot paths submit
+// runners, everything else keeps using closures.
+type Runner interface {
+	RunTask(w *Worker)
+}
+
+// Task is a unit of work executed by a partition worker.  Exactly one of Do
+// and Run must be set; Do wins when both are.
 type Task struct {
 	// Do is the work to perform; it runs on the worker goroutine and
 	// receives the worker so it can use the worker-local lock table.
 	Do func(w *Worker)
-	// enqueuedAt is stamped by Submit for queue-wait accounting.
+	// Run is executed when Do is nil.  It exists so hot submit paths can
+	// reuse pooled runner objects instead of allocating a closure per task.
+	Run Runner
+}
+
+// batch is one input-queue element: either a single inline task or a slice
+// of tasks that rode one channel operation.  enqueuedAt is non-zero only on
+// sampled batches (see timingSampleEvery).
+type batch struct {
+	one        Task
+	many       *[]Task
 	enqueuedAt time.Time
+}
+
+// timingSampleEvery is the queue-wait/busy sampling period: one batch in
+// every timingSampleEvery is timestamped at submit and measured on the
+// worker, and its durations are scaled back up by the same factor, so
+// Stats' QueueWait and Busy stay unbiased estimates while time.Now leaves
+// the per-task hot path entirely.
+const timingSampleEvery = 64
+
+// taskSlicePool recycles the task slices that SubmitBatch hands to workers.
+var taskSlicePool = sync.Pool{New: func() any {
+	ts := make([]Task, 0, 8)
+	return &ts
+}}
+
+// GetTasks returns an empty pooled task slice for SubmitBatch.  Ownership
+// passes to the worker on a successful SubmitBatch; on error the caller
+// keeps it and should return it with PutTasks.
+func GetTasks() *[]Task {
+	ts := taskSlicePool.Get().(*[]Task)
+	*ts = (*ts)[:0]
+	return ts
+}
+
+// PutTasks returns a task slice to the pool.  Callers use it only for
+// slices a failed (or never attempted) SubmitBatch left in their hands.
+func PutTasks(ts *[]Task) {
+	clear(*ts)
+	*ts = (*ts)[:0]
+	taskSlicePool.Put(ts)
 }
 
 // Worker is a partition worker goroutine and its queues.
 type Worker struct {
 	id      int
-	input   chan Task
+	input   chan batch
 	system  chan Task
 	quit    chan struct{}
 	stopped atomic.Bool
@@ -45,17 +101,19 @@ type Worker struct {
 	locks *lock.Local
 	cst   *cs.Stats
 
+	submitSeq atomic.Uint64 // counts input submissions for timing samples
+
 	executed  atomic.Uint64
 	sysTasks  atomic.Uint64
-	queueWait atomic.Int64 // nanoseconds spent by tasks waiting in the input queue
-	busy      atomic.Int64 // nanoseconds spent executing tasks
+	queueWait atomic.Int64 // sampled-estimate nanoseconds tasks waited in the input queue
+	busy      atomic.Int64 // sampled-estimate nanoseconds spent executing tasks
 }
 
 // newWorker creates a worker with the given queue depth.
 func newWorker(id, queueDepth int, cstats *cs.Stats) *Worker {
 	return &Worker{
 		id:     id,
-		input:  make(chan Task, queueDepth),
+		input:  make(chan batch, queueDepth),
 		system: make(chan Task, 16),
 		quit:   make(chan struct{}),
 		locks:  lock.NewLocal(),
@@ -70,6 +128,27 @@ func (w *Worker) ID() int { return w.id }
 // worker goroutine may use it.
 func (w *Worker) Locks() *lock.Local { return w.locks }
 
+// QueueDepth returns the number of batches waiting in the worker's input
+// queue (diagnostics: the plpd -pprof endpoint publishes it via expvar).
+func (w *Worker) QueueDepth() int { return len(w.input) }
+
+// AddExecuted credits extra execution units to the worker's Executed
+// counter.  A task that stands in for several units of work — the
+// single-site fast path's whole-transaction task — calls it from its own
+// body with the units it ACTUALLY ran beyond the one the worker counts per
+// task, so per-partition load accounting stays in action units and a batch
+// that redirects without executing credits (almost) nothing.
+func (w *Worker) AddExecuted(units uint64) { w.executed.Add(units) }
+
+// stamp samples the queue-wait clock: one submission in every
+// timingSampleEvery gets a timestamp, the rest stay on the zero value.
+func (w *Worker) stamp() time.Time {
+	if w.submitSeq.Add(1)%timingSampleEvery == 1 {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
 // Submit enqueues a task on the worker's input queue.  The channel operation
 // is the fixed-contention message-passing critical section of the paper's
 // communication taxonomy.
@@ -77,12 +156,37 @@ func (w *Worker) Submit(t Task) error {
 	if w.stopped.Load() {
 		return ErrStopped
 	}
-	t.enqueuedAt = time.Now()
+	b := batch{one: t, enqueuedAt: w.stamp()}
 	w.cst.RecordClass(cs.MessagePassing, cs.Fixed, false)
 	select {
 	case <-w.quit:
 		return ErrStopped
-	case w.input <- t:
+	case w.input <- b:
+		return nil
+	}
+}
+
+// SubmitBatch enqueues every task of ts on the worker's input queue with a
+// single channel operation — the whole batch pays the fixed message-passing
+// cost once.  The tasks execute in slice order, serially, like any other
+// input tasks.  On success, ownership of ts transfers to the worker, which
+// recycles it after the last task runs; obtain slices from GetTasks.  On
+// error the caller keeps ownership (and can PutTasks it after inspecting
+// the tasks).
+func (w *Worker) SubmitBatch(ts *[]Task) error {
+	if len(*ts) == 0 {
+		PutTasks(ts)
+		return nil
+	}
+	if w.stopped.Load() {
+		return ErrStopped
+	}
+	b := batch{many: ts, enqueuedAt: w.stamp()}
+	w.cst.RecordClass(cs.MessagePassing, cs.Fixed, false)
+	select {
+	case <-w.quit:
+		return ErrStopped
+	case w.input <- b:
 		return nil
 	}
 }
@@ -93,7 +197,6 @@ func (w *Worker) SubmitSystem(t Task) error {
 	if w.stopped.Load() {
 		return ErrStopped
 	}
-	t.enqueuedAt = time.Now()
 	w.cst.RecordClass(cs.MessagePassing, cs.Fixed, false)
 	select {
 	case <-w.quit:
@@ -117,22 +220,22 @@ func (w *Worker) loop() {
 		// Busy fast path: a non-blocking receive costs a fraction of a full
 		// select, and under load the input queue is never empty.
 		select {
-		case t := <-w.input:
-			w.run(t)
+		case b := <-w.input:
+			w.run(b)
 			continue
 		default:
 		}
 		select {
 		case t := <-w.system:
 			w.runSystem(t)
-		case t := <-w.input:
-			w.run(t)
+		case b := <-w.input:
+			w.run(b)
 		case <-w.quit:
 			// Drain any remaining input so submitters are not stranded.
 			for {
 				select {
-				case t := <-w.input:
-					w.run(t)
+				case b := <-w.input:
+					w.run(b)
 				case t := <-w.system:
 					w.runSystem(t)
 				default:
@@ -143,20 +246,51 @@ func (w *Worker) loop() {
 	}
 }
 
-func (w *Worker) run(t Task) {
-	start := time.Now()
-	w.queueWait.Add(int64(start.Sub(t.enqueuedAt)))
-	t.Do(w)
-	w.busy.Add(int64(time.Since(start)))
-	w.executed.Add(1)
+// exec runs one task.
+func (w *Worker) exec(t *Task) {
+	if t.Do != nil {
+		t.Do(w)
+	} else if t.Run != nil {
+		t.Run.RunTask(w)
+	}
+}
+
+// run executes one input batch.  Only sampled batches (non-zero
+// enqueuedAt) read the clock; their measured durations are scaled by the
+// sampling period so the accumulated counters remain estimates of the
+// true totals.
+func (w *Worker) run(b batch) {
+	var start time.Time
+	if !b.enqueuedAt.IsZero() {
+		start = time.Now()
+		w.queueWait.Add(int64(start.Sub(b.enqueuedAt)) * timingSampleEvery)
+	}
+	if b.many == nil {
+		w.exec(&b.one)
+		w.executed.Add(1)
+	} else {
+		ts := *b.many
+		for i := range ts {
+			w.exec(&ts[i])
+		}
+		w.executed.Add(uint64(len(ts)))
+		PutTasks(b.many)
+	}
+	if !start.IsZero() {
+		w.busy.Add(int64(time.Since(start)) * timingSampleEvery)
+	}
 }
 
 func (w *Worker) runSystem(t Task) {
-	t.Do(w)
+	w.exec(&t)
 	w.sysTasks.Add(1)
 }
 
-// Stats describes a worker's activity.
+// Stats describes a worker's activity.  QueueWait and Busy are sampled
+// estimates (one batch in every timingSampleEvery is measured and scaled),
+// so time.Now stays off the per-task hot path; Executed (execution units:
+// one per task plus whatever multi-action tasks credit via AddExecuted)
+// and SystemTasks are exact.
 type Stats struct {
 	Executed    uint64
 	SystemTasks uint64

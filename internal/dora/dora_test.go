@@ -233,6 +233,116 @@ func TestQueueWaitAccounted(t *testing.T) {
 	}
 }
 
+// countingRunner implements Runner; batched hot-path tasks use pooled
+// runners like this instead of closures.
+type countingRunner struct {
+	order  *[]int
+	mu     *sync.Mutex
+	id     int
+	worker int
+}
+
+func (r *countingRunner) RunTask(w *Worker) {
+	r.mu.Lock()
+	*r.order = append(*r.order, r.id)
+	r.mu.Unlock()
+	r.worker = w.ID()
+}
+
+func TestSubmitBatchRunsInOrder(t *testing.T) {
+	cstats := &cs.Stats{}
+	p := NewPool(2, 16, cstats)
+	p.Start()
+	defer p.Stop()
+	w := p.Worker(1)
+
+	before := cstats.Snapshot().Entered[cs.MessagePassing]
+	var mu sync.Mutex
+	var order []int
+	runners := make([]countingRunner, 8)
+	ts := GetTasks()
+	if len(*ts) != 0 {
+		t.Fatal("GetTasks returned a non-empty slice")
+	}
+	for i := range runners {
+		runners[i] = countingRunner{order: &order, mu: &mu, id: i}
+		*ts = append(*ts, Task{Run: &runners[i]})
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	*ts = append(*ts, Task{Do: func(_ *Worker) { wg.Done() }})
+	if err := w.SubmitBatch(ts); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(runners) {
+		t.Fatalf("executed %d of %d batched tasks", len(order), len(runners))
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("batch executed out of order: %v", order)
+		}
+	}
+	for i := range runners {
+		if runners[i].worker != 1 {
+			t.Fatalf("batched task %d ran on worker %d", i, runners[i].worker)
+		}
+	}
+	// The whole batch is ONE message-passing critical section.
+	if got := cstats.Snapshot().Entered[cs.MessagePassing] - before; got != 1 {
+		t.Fatalf("batch recorded %d message-passing critical sections, want 1", got)
+	}
+	if st := w.Stats(); st.Executed != uint64(len(runners)+1) {
+		t.Fatalf("executed=%d, want %d (every batched task counted)", st.Executed, len(runners)+1)
+	}
+}
+
+func TestSubmitBatchAfterStopKeepsOwnership(t *testing.T) {
+	p := NewPool(1, 8, &cs.Stats{})
+	p.Start()
+	p.Stop()
+	ts := GetTasks()
+	*ts = append(*ts, Task{Do: func(_ *Worker) { t.Error("task ran after stop") }})
+	if err := p.Worker(0).SubmitBatch(ts); err == nil {
+		t.Fatal("SubmitBatch after stop should fail")
+	}
+	// Ownership stayed with us: the tasks are still inspectable.
+	if len(*ts) != 1 || (*ts)[0].Do == nil {
+		t.Fatal("failed SubmitBatch mutated the caller's slice")
+	}
+	PutTasks(ts)
+}
+
+func TestAddExecutedCreditsExtraUnits(t *testing.T) {
+	p := NewPool(1, 8, &cs.Stats{})
+	p.Start()
+	defer p.Stop()
+	w := p.Worker(0)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// A multi-unit task (a whole single-site transaction) credits the
+	// actions it ran beyond the one the worker counts per task; a plain
+	// task counts 1.
+	_ = w.Submit(Task{Do: func(w *Worker) { w.AddExecuted(4); wg.Done() }})
+	_ = w.Submit(Task{Do: func(_ *Worker) { wg.Done() }})
+	wg.Wait()
+	if got := w.Stats().Executed; got != 6 {
+		t.Fatalf("Executed=%d, want 6 (1+4 credited, plus 1 plain)", got)
+	}
+}
+
+func TestSubmitEmptyBatch(t *testing.T) {
+	p := NewPool(1, 8, &cs.Stats{})
+	p.Start()
+	defer p.Stop()
+	if err := p.Worker(0).SubmitBatch(GetTasks()); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
 func TestQuiesceWorkersPartial(t *testing.T) {
 	p := NewPool(4, 64, &cs.Stats{})
 	p.Start()

@@ -4,7 +4,6 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"plp/internal/btree"
@@ -54,11 +53,19 @@ func (c *Ctx) Partition() int { return c.partition }
 // Engine returns the engine.
 func (c *Ctx) Engine() *Engine { return c.eng }
 
-// keyHash hashes a key for key-level lock names.
+// keyHash hashes a key for key-level lock names.  It is FNV-1a inlined by
+// hand: hash/fnv returns its state behind an interface, which escapes and
+// costs one heap allocation per lock acquisition on the hot path.
 func keyHash(key []byte) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write(key)
-	v := h.Sum64()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	v := uint64(offset64)
+	for _, b := range key {
+		v ^= uint64(b)
+		v *= prime64
+	}
 	if v == 0 {
 		v = 1
 	}

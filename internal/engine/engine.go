@@ -129,6 +129,11 @@ type Options struct {
 	MaxSlotsPerNode int
 	// QueueDepth is the partition workers' input queue depth.
 	QueueDepth int
+	// NoFastPath disables the single-site fast path and per-partition
+	// action batching, restoring one-task-per-action dispatch (ablation
+	// and benchmark baseline only; see the "Execution fast paths" section
+	// of the package plp documentation).
+	NoFastPath bool
 	// LockTimeout overrides the centralized lock manager's deadlock
 	// timeout.
 	LockTimeout time.Duration
@@ -180,6 +185,10 @@ type Engine struct {
 	stateProvider  atomic.Pointer[func() []byte]
 	recoveredMu    sync.Mutex
 	recoveredState []byte
+
+	// waitSampleSeq counts dispatches for the sampled WaitQueue breakdown
+	// (see waitSampleEvery in execute.go).
+	waitSampleSeq atomic.Uint64
 
 	nextSession atomic.Uint64
 }
@@ -321,6 +330,34 @@ func (e *Engine) WorkerStats() dora.Stats {
 	return e.pool.TotalStats()
 }
 
+// WorkerQueueDepths returns the current input-queue depth of every
+// partition worker (nil for the Conventional design).  The plpd -pprof
+// endpoint publishes it via expvar so hot-path regressions are diagnosable
+// on a live daemon.
+func (e *Engine) WorkerQueueDepths() []int {
+	if e.pool == nil {
+		return nil
+	}
+	out := make([]int, 0, e.pool.Size())
+	for _, w := range e.pool.Workers() {
+		out = append(out, w.QueueDepth())
+	}
+	return out
+}
+
+// sampleEnqueue returns a dispatch timestamp for one dispatch in every
+// waitSampleEvery and the zero time for the rest, keeping time.Now off the
+// per-action hot path while the WaitQueue breakdown stays an unbiased
+// (scaled) estimate.  The very first dispatch is sampled (== 1, like
+// dora's stamp) so short runs and unit tests never report a degenerate
+// all-zero queue wait.
+func (e *Engine) sampleEnqueue() time.Time {
+	if e.waitSampleSeq.Add(1)%waitSampleEvery == 1 {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
 // PartitionStats returns per-partition worker counters (nil for the
 // Conventional design).  Load-balancing experiments use it to see how work
 // is spread across the workers.
@@ -429,6 +466,11 @@ type Session struct {
 	e   *Engine
 	id  uint64
 	sli *lock.SLICache
+
+	// lastTxn is the previous request's finished transaction, recycled into
+	// the manager's pool when the session's next request begins (which is
+	// why Result.Txn is documented as valid only until then).
+	lastTxn *txn.Txn
 }
 
 // NewSession returns a new client session.
@@ -443,9 +485,11 @@ func (e *Engine) NewSession() *Session {
 // Engine returns the session's engine.
 func (s *Session) Engine() *Engine { return s.e }
 
-// Close releases any locks parked in the session's SLI cache.
+// Close releases any locks parked in the session's SLI cache and recycles
+// the last request's transaction object.
 func (s *Session) Close() {
 	if s.sli != nil {
 		s.sli.Invalidate()
 	}
+	s.recycleLast()
 }

@@ -363,6 +363,7 @@ func (s *Server) serveSerial(conn net.Conn, br *bufio.Reader, first []byte, cs s
 	defer sess.Close()
 
 	payload := first
+	var encBuf []byte // reused response encode buffer for the session
 	for {
 		if payload == nil {
 			var err error
@@ -373,7 +374,8 @@ func (s *Server) serveSerial(conn net.Conn, br *bufio.Reader, first []byte, cs s
 		}
 		resp := s.handleFrame(sess, payload, cs, nil)
 		payload = nil
-		if err := wire.WriteFrame(conn, wire.EncodeResponseV(resp, cs.version)); err != nil {
+		encBuf = wire.AppendResponseV(encBuf[:0], resp, cs.version)
+		if err := wire.WriteFrame(conn, encBuf); err != nil {
 			return
 		}
 	}
@@ -418,11 +420,17 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
 			broken = true
 			_ = conn.Close() // unblocks the reader, which winds the pipeline down
 		}
+		// One encode buffer serves every response of the connection:
+		// WriteFrame copies it into the buffered writer before the next
+		// reply is encoded, so reuse is safe and steady-state encoding
+		// stops allocating per reply.
+		var encBuf []byte
 		for resp := range out {
 			if broken {
 				continue // keep draining so executors never block on out
 			}
-			if err := wire.WriteFrame(bw, wire.EncodeResponseV(resp, cs.version)); err != nil {
+			encBuf = wire.AppendResponseV(encBuf[:0], resp, cs.version)
+			if err := wire.WriteFrame(bw, encBuf); err != nil {
 				fail()
 				continue
 			}

@@ -230,6 +230,13 @@ type Manager struct {
 	cstats *cs.Stats
 	lazy   atomic.Bool
 
+	// pool recycles finished Txn objects between requests: the object, its
+	// lockNames/undo slice capacity and its Breakdown all get reused, so the
+	// per-transaction hot path allocates nothing in steady state.  Only
+	// transactions explicitly handed back through Recycle enter the pool —
+	// a Txn that escaped to a caller is never reused underneath it.
+	pool sync.Pool
+
 	mu     sync.Mutex
 	active map[uint64]*Txn
 
@@ -251,10 +258,12 @@ func NewManager(log wal.Log, locks *lock.Manager, cstats *cs.Stats) *Manager {
 
 // Begin starts a new transaction.
 func (m *Manager) Begin() *Txn {
-	t := &Txn{
-		id:    m.nextID.Add(1),
-		start: time.Now(),
+	t, _ := m.pool.Get().(*Txn)
+	if t == nil {
+		t = &Txn{}
 	}
+	t.id = m.nextID.Add(1)
+	t.start = time.Now()
 	t.state.Store(int32(Active))
 
 	contended := !m.mu.TryLock()
@@ -293,10 +302,42 @@ func (m *Manager) LazyCommit() bool { return m.lazy.Load() }
 //     committer in the batch.  The wall time spent here is the real
 //     WaitLog component of the paper's time breakdowns.
 //
-// With lazy commit enabled, step 3 is skipped.
+// With lazy commit enabled, step 3 is skipped.  A read-only transaction
+// (one that never appended a log record) skips all three: there is nothing
+// to make durable, so it just releases locks and retires.
 func (m *Manager) Commit(t *Txn) error {
 	if !t.state.CompareAndSwap(int32(Active), int32(Committed)) {
 		return ErrNotActive
+	}
+	// Read-only fast path: a transaction that never logged a modification
+	// has nothing recovery could win or lose, so it commits without
+	// appending a commit record.  It must still respect acknowledged-
+	// implies-durable causality: early lock release means it may have read
+	// a writer whose commit record is ordered but not yet flushed, so
+	// before acknowledging, wait for the durable horizon to cover
+	// everything appended so far (free on an already-quiet tail; one
+	// shared group-commit flush otherwise).  Lazy commit skips the wait,
+	// exactly as it does for writers.
+	if t.LastLSN() == wal.InvalidLSN {
+		if m.locks != nil {
+			m.locks.ReleaseAll(t.id, t.LockNames())
+		}
+		m.retire(t)
+		if !m.lazy.Load() {
+			if cur := m.log.CurrentLSN(); cur > wal.LSN(1) {
+				logStart := time.Now()
+				durable := m.log.WaitDurable(cur - 1)
+				t.Breakdown.AddWait(WaitLog, time.Since(logStart))
+				if durable < cur {
+					// The log closed under us: the data this transaction
+					// may have observed can never become durable.
+					m.committed.Add(1)
+					return ErrNotDurable
+				}
+			}
+		}
+		m.committed.Add(1)
+		return nil
 	}
 	rec := &wal.Record{Txn: t.id, Type: wal.RecCommit, PrevLSN: t.LastLSN()}
 	lsn := m.log.Append(rec)
@@ -361,6 +402,29 @@ func (m *Manager) retire(t *Txn) {
 	delete(m.active, t.id)
 	m.mu.Unlock()
 	m.cstats.RecordClass(cs.XctMgr, cs.Fixed, contended)
+}
+
+// Recycle returns a finished (committed or aborted) transaction to the
+// manager's pool so the next Begin reuses the object instead of allocating.
+// The caller asserts that no reference to t survives the call: the engine
+// invokes it for the previous request's transaction when the same session
+// starts its next request, which is what makes Result.Txn valid until then
+// and no longer.  Recycling an active transaction is a no-op.
+func (m *Manager) Recycle(t *Txn) {
+	if t == nil || t.State() == Active {
+		return
+	}
+	t.mu.Lock()
+	t.lockNames = t.lockNames[:0]
+	clear(t.undo) // drop closure references so the pool retains no captures
+	t.undo = t.undo[:0]
+	t.lastLSN = wal.InvalidLSN
+	t.mu.Unlock()
+	for i := 0; i < NumWaitKinds; i++ {
+		t.Breakdown.waits[i].Store(0)
+	}
+	t.Breakdown.latches.Store(0)
+	m.pool.Put(t)
 }
 
 // NumActive returns the number of in-flight transactions.

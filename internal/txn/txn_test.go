@@ -195,14 +195,114 @@ func TestCommitAfterLogCloseIsNotAcknowledged(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := NewManager(log, nil, nil)
+	lsn := log.Append(&wal.Record{Txn: 1, Type: wal.RecUpdate, Payload: []byte("w")})
 	if err := log.Close(); err != nil {
 		t.Fatal(err)
 	}
 	// A commit racing engine shutdown must not be acknowledged: its record
 	// can never become durable, so recovery will treat it as a loser.
 	tx := m.Begin()
+	tx.SetLastLSN(lsn)
 	if err := m.Commit(tx); !errors.Is(err, ErrNotDurable) {
 		t.Fatalf("commit on a closed log returned %v, want ErrNotDurable", err)
+	}
+	// A read-only transaction may have observed that never-durable write
+	// (early lock release), so it must not be acknowledged either.
+	ro := m.Begin()
+	if err := m.Commit(ro); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("read-only commit over a non-durable tail returned %v, want ErrNotDurable", err)
+	}
+	// On a closed but EMPTY log there is nothing it can have observed, so
+	// the read-only commit is acknowledged.
+	empty, err := wal.NewDurable(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager(empty, nil, nil)
+	if err := empty.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ro2 := m2.Begin()
+	if err := m2.Commit(ro2); err != nil {
+		t.Fatalf("read-only commit on an empty closed log returned %v, want nil", err)
+	}
+}
+
+// TestReadOnlyCommitWaitsForOutstandingTail proves acknowledged-implies-
+// durable causality for the read-only fast path: with a writer's commit
+// record ordered but not yet flushed, a read-only commit must block until
+// the durable horizon covers it.
+func TestReadOnlyCommitWaitsForOutstandingTail(t *testing.T) {
+	log, err := wal.NewDurable(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	m := NewManager(log, nil, nil)
+	lsn := log.Append(&wal.Record{Txn: 1, Type: wal.RecUpdate, Payload: []byte("w")})
+	ro := m.Begin()
+	if err := m.Commit(ro); err != nil {
+		t.Fatal(err)
+	}
+	if log.DurableLSN() <= lsn {
+		t.Fatal("read-only commit acknowledged before the outstanding tail was durable")
+	}
+}
+
+func TestReadOnlyCommitSkipsLog(t *testing.T) {
+	cstats := &cs.Stats{}
+	log := wal.NewConsolidated(cstats)
+	m := NewManager(log, nil, cstats)
+	before := log.CurrentLSN()
+	tx := m.Begin()
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if log.CurrentLSN() != before {
+		t.Fatal("read-only commit appended a log record")
+	}
+	if m.Stats().Committed != 1 {
+		t.Fatal("read-only commit not counted")
+	}
+}
+
+func TestRecycleReusesTransactions(t *testing.T) {
+	m, _, _ := newManager()
+	tx := m.Begin()
+	tx.PushUndo(func() error { return nil })
+	tx.RecordLock(lock.KeyName(1, 2))
+	tx.Breakdown.AddWait(WaitLock, time.Millisecond)
+	lsn := m.Log().Append(&wal.Record{Txn: tx.ID(), Type: wal.RecUpdate})
+	tx.SetLastLSN(lsn)
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	firstID := tx.ID()
+	m.Recycle(tx)
+
+	got := m.Begin()
+	if got.ID() == firstID {
+		t.Fatal("recycled transaction kept its old ID")
+	}
+	if got.State() != Active {
+		t.Fatal("recycled transaction not active")
+	}
+	if got.LastLSN() != wal.InvalidLSN {
+		t.Fatal("recycled transaction kept its LSN chain")
+	}
+	if len(got.LockNames()) != 0 {
+		t.Fatal("recycled transaction kept its lock footprint")
+	}
+	if got.Breakdown.Wait(WaitLock) != 0 {
+		t.Fatal("recycled transaction kept its breakdown")
+	}
+	// Recycling an active transaction must be refused.
+	m.Recycle(got)
+	if got.State() != Active {
+		t.Fatal("recycling an active transaction changed it")
+	}
+	if err := m.Commit(got); err != nil {
+		t.Fatal(err)
 	}
 }
 

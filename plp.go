@@ -70,6 +70,44 @@
 // Client.DoPlan), and a context cancellation on a v3 session sends a wire
 // cancel frame that aborts the server-side transaction.
 //
+// # Execution fast paths
+//
+// The paper's partitioned designs replace unscalable critical sections with
+// fixed-cost message passing; the executor makes sure that fixed cost is
+// paid as few times as possible.  At submit time the partition manager
+// analyzes the request's routing keys (they are static for everything but
+// KeyFn actions):
+//
+//   - Single-site fast path: when every action of every phase routes to one
+//     partition — the dominant TATP/TPC-B transaction shape — the WHOLE
+//     transaction ships to the owning worker as one task.  Phases run
+//     serially on the worker (serial execution on one worker IS the phase
+//     ordering), so the transaction costs one queue operation and one
+//     completion signal instead of a channel round trip per phase, and the
+//     per-request scratch (transaction object, execution context, error
+//     slots, wait groups) is recycled through pools: a committed
+//     single-site read transaction performs only a handful of allocations
+//     (TestSingleSiteAllocs gates the budget in CI) and a read-only commit
+//     writes no log record at all.
+//   - Per-partition batching: when a phase spans partitions, its actions
+//     are grouped by owning worker and each group rides one SubmitBatch —
+//     k channel operations for a k-partition phase instead of one per
+//     action.
+//
+// Two things disable the fast paths for a request: KeyFn routing (the key
+// only exists after an earlier phase ran) and closure Actions with a nil
+// routing key; both fall back to the per-phase dispatch path.  Online
+// repartitioning composes with batching the same way it composes with
+// per-action dispatch: the worker re-checks the routing epoch at dequeue,
+// a mis-routed phase batch is split with only the mis-routed actions
+// forwarded to their current owner, and a mis-routed single-site batch is
+// handed back unexecuted and re-driven phase by phase.  The fast paths are
+// an execution strategy, not a semantics change — the differential trace
+// passes unchanged across all five designs — and Options.NoFastPath
+// restores per-action dispatch as the ablation/benchmark baseline
+// (BenchmarkSingleSiteTxn, BenchmarkMultiSitePhase and the
+// single_site_fastpath BENCH_JSON datapoint track the gap).
+//
 // Beyond the core engine the package exposes the operational subsystems a
 // deployment needs (see extensions.go): Open for a durable, crash-safe
 // engine backed by a disk-based group-commit log, Checkpoint/Recover and

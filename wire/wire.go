@@ -704,6 +704,15 @@ func EncodeResponse(resp *Response) []byte { return EncodeResponseV(resp, V1) }
 // EncodeResponseV serializes a response payload at the given protocol
 // version (without the frame header).
 func EncodeResponseV(resp *Response, version uint32) []byte {
+	return AppendResponseV(nil, resp, version)
+}
+
+// AppendResponseV appends the serialized response to dst and returns the
+// extended slice.  Servers reuse one buffer per connection across replies
+// (AppendResponseV(buf[:0], ...)) so steady-state response encoding
+// allocates nothing once the buffer has grown to the session's working
+// size.
+func AppendResponseV(dst []byte, resp *Response, version uint32) []byte {
 	size := 8 + 1 + 4 + len(resp.Err) + 4
 	for _, res := range resp.Results {
 		size += 1 + 4 + len(res.Value) + 4 + len(res.Err)
@@ -714,7 +723,12 @@ func EncodeResponseV(resp *Response, version uint32) []byte {
 			}
 		}
 	}
-	out := appendUint64(make([]byte, 0, size), resp.ID)
+	if cap(dst)-len(dst) < size {
+		grown := make([]byte, len(dst), len(dst)+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := appendUint64(dst, resp.ID)
 	committed := byte(0)
 	if resp.Committed {
 		committed = 1

@@ -64,6 +64,49 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendResponseReusesBuffer proves the append form the server's
+// per-connection encode buffer relies on: successive responses encoded into
+// the same buffer round-trip correctly, reuse its capacity once grown, and
+// match the one-shot encoder byte for byte.
+func TestAppendResponseReusesBuffer(t *testing.T) {
+	responses := []*Response{
+		{ID: 1, Committed: true, Results: []StatementResult{
+			{Found: true, Value: []byte("a-long-first-value-to-grow-the-buffer")},
+			{Found: true, Entries: []ScanEntry{{Key: []byte("k1"), Value: []byte("v1")}}},
+		}},
+		{ID: 2, Err: "aborted"},
+		{ID: 3, Committed: true, Results: []StatementResult{{Found: false}}},
+	}
+	var buf []byte
+	for _, resp := range responses {
+		buf = AppendResponseV(buf[:0], resp, V2)
+		if want := EncodeResponseV(resp, V2); !bytes.Equal(buf, want) {
+			t.Fatalf("append encoding differs from one-shot encoding for id %d", resp.ID)
+		}
+		got, err := DecodeResponseV(append([]byte(nil), buf...), V2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != resp.ID || got.Committed != resp.Committed || got.Err != resp.Err {
+			t.Fatalf("round trip mismatch: %+v != %+v", got, resp)
+		}
+	}
+	grown := cap(buf)
+	buf = AppendResponseV(buf[:0], responses[2], V2)
+	if cap(buf) != grown {
+		t.Fatalf("small response reallocated the buffer: cap %d -> %d", grown, cap(buf))
+	}
+	// Appending to a non-empty prefix must preserve it.
+	prefix := []byte{0xde, 0xad}
+	out := AppendResponseV(append([]byte(nil), prefix...), responses[1], V1)
+	if !bytes.Equal(out[:2], prefix) {
+		t.Fatal("append clobbered the existing prefix")
+	}
+	if want := EncodeResponseV(responses[1], V1); !bytes.Equal(out[2:], want) {
+		t.Fatal("appended payload differs from one-shot encoding")
+	}
+}
+
 func TestRequestRoundTripProperty(t *testing.T) {
 	f := func(id uint64, table, index string, key, value []byte, opSeed uint8) bool {
 		op := OpType(opSeed%uint8(OpPing)) + 1
