@@ -56,6 +56,7 @@ commands:
                                      as ONE declarative plan / round trip
   scan   <table> <lo> <hi> [limit]   range scan [lo, hi) ("-" scans open-ended)
   bench  <table>                     run a small upsert/get load (-clients, -ops)
+  shards                             print the server's shard map (sharded daemons)
   checkpoint                         take a checkpoint now (durable daemons)
   drp status                         show the repartitioning controller's state
   drp trigger                        run one control period now
@@ -221,6 +222,13 @@ func main() {
 	case "bench":
 		need(args, 1)
 		bench(*addr, args[0], *clients, *ops)
+	case "shards":
+		need(args, 0)
+		m, err := c.ShardMap(context.Background())
+		if err != nil {
+			fatalf("shards: %v", err)
+		}
+		fmt.Print(string(m.Encode()))
 	case "checkpoint":
 		need(args, 0)
 		out, err := c.Control("checkpoint", "")

@@ -54,6 +54,7 @@ import (
 	"plp/internal/recovery"
 	"plp/internal/repartition"
 	"plp/internal/server"
+	"plp/shard"
 )
 
 // parseDesign maps a CLI name to an engine design.
@@ -92,8 +93,24 @@ func main() {
 		truncateLog  = flag.Bool("checkpoint-truncate", false, "truncate the log prefix after each successful checkpoint")
 		statsEvery   = flag.Duration("stats", 10*time.Second, "how often to print server statistics (0 disables)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar (worker queue depths, server counters) on this address, e.g. localhost:6060 (empty disables)")
+		shardMapPath = flag.String("shard-map", "", "shard map file; this process serves the shard named by -shard-id and coordinates cross-shard transactions (empty runs unsharded)")
+		shardID      = flag.Int("shard-id", 0, "this process's shard ID in the -shard-map file")
 	)
 	flag.Parse()
+
+	var shardMap *shard.Map
+	if *shardMapPath != "" {
+		var err error
+		shardMap, err = shard.ParseFile(*shardMapPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shard map %s: %v\n", *shardMapPath, err)
+			os.Exit(2)
+		}
+		if _, ok := shardMap.ByID(*shardID); !ok {
+			fmt.Fprintf(os.Stderr, "shard map %s has no shard %d (set -shard-id)\n", *shardMapPath, *shardID)
+			os.Exit(2)
+		}
+	}
 
 	design, err := parseDesign(*designName)
 	if err != nil {
@@ -142,6 +159,19 @@ func main() {
 	// the restored partition boundaries and the committed log tail, so the
 	// first client sees exactly the acknowledged pre-crash state.
 	if *dataDir != "" {
+		// A sharded durable daemon must not replay a data directory written
+		// under a different shard assignment: silently serving another
+		// shard's keys (or a stale range) would corrupt routing invariants.
+		// The shard.state file records what the directory holds; refuse to
+		// start on any disagreement.
+		var shardSt shard.State
+		if shardMap != nil {
+			var err error
+			if shardSt, err = shard.CheckState(*dataDir, shardMap, *shardID); err != nil {
+				fmt.Fprintf(os.Stderr, "refusing to start: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		info, err := e.Recover()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "recover %s: %v\n", *dataDir, err)
@@ -149,6 +179,15 @@ func main() {
 		}
 		fmt.Printf("plpd: recovered %s: %d snapshot entries, %d ops replayed, %d winners, %d losers, %d boundary moves\n",
 			*dataDir, info.Replay.SnapshotEntries, info.Replay.Applied, info.Winners, info.Losers, info.BoundariesRestored)
+		if info.InDoubt > 0 {
+			fmt.Printf("plpd: %d cross-shard branches in doubt; resolving from their coordinators\n", info.InDoubt)
+		}
+		if shardMap != nil {
+			if err := shard.WriteState(*dataDir, shardSt); err != nil {
+				fmt.Fprintf(os.Stderr, "writing shard state: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	if *checkpointMs > 0 {
@@ -161,6 +200,12 @@ func main() {
 	srv := server.New(e)
 	srv.SetAuthToken(*token)
 	srv.SetReadOnlyToken(*roToken)
+	if shardMap != nil {
+		if err := srv.SetShardConfig(shardMap, *shardID, *token); err != nil {
+			fmt.Fprintf(os.Stderr, "shard config: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	srv.SetCheckpointHandler(func() (string, error) {
 		// Checkpoints need a transactionally quiet instant; on a busy
 		// server ActiveTxns is almost always briefly non-zero, so retry in
@@ -225,6 +270,9 @@ func main() {
 		if *lazyCommit {
 			durability += " (lazy commit)"
 		}
+	}
+	if shardMap != nil {
+		durability += fmt.Sprintf(", shard %d of map version %d", *shardID, shardMap.Version)
 	}
 	fmt.Printf("plpd: %s engine with %d partitions serving %q on %s, %s\n", design, *partitions, *tables, bound, durability)
 

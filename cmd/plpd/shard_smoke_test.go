@@ -1,0 +1,237 @@
+package main
+
+// Two-process sharding smoke test: builds the real plpd and plpctl
+// binaries, starts two daemons splitting the keyspace with a shard-map
+// file, and drives a split workload — routed single-shard writes on both
+// sides, a cross-shard two-phase commit, a fan-out scan — through the
+// routing client.  Then both daemons are restarted on their data
+// directories to prove the shard.state handshake accepts a matching
+// assignment and recovery preserves the data, and one is started with the
+// wrong -shard-id to prove the mismatch is refused.
+//
+// This is the same coverage the CI smoke job needs, packaged as a test so
+// it runs identically in CI and locally:
+//
+//	go test ./cmd/plpd -run TestTwoProcessShardSmoke -v
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"plp/client"
+)
+
+// buildBinary compiles the named command into dir and returns its path.
+func buildBinary(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = filepath.Join("..", "..") // module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves a loopback port and returns it for a daemon to reuse.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+// plpdProc is one running daemon with its captured output.
+type plpdProc struct {
+	cmd *exec.Cmd
+	out *bytes.Buffer
+}
+
+// startPlpd launches a daemon and waits until it accepts connections.
+func startPlpd(t *testing.T, bin string, args ...string) *plpdProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out := &bytes.Buffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &plpdProc{cmd: cmd, out: out}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			_ = p.cmd.Process.Kill()
+			_ = p.cmd.Wait()
+		}
+	})
+	return p
+}
+
+// waitReady polls the daemon's listen address until a client can dial it.
+func waitReady(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		c, err := client.DialContext(ctx, addr, nil)
+		cancel()
+		if err == nil {
+			_ = c.Close()
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("daemon on %s never became ready", addr)
+}
+
+// stopPlpd sends SIGTERM and waits for a graceful exit.
+func stopPlpd(t *testing.T, p *plpdProc) {
+	t.Helper()
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		_ = p.cmd.Process.Kill()
+		t.Fatalf("daemon did not exit on SIGTERM; output:\n%s", p.out)
+	}
+}
+
+func TestTwoProcessShardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process smoke test in short mode")
+	}
+	dir := t.TempDir()
+	plpd := buildBinary(t, dir, "./cmd/plpd", "plpd")
+	plpctl := buildBinary(t, dir, "./cmd/plpctl", "plpctl")
+
+	addr0, addr1 := freeAddr(t), freeAddr(t)
+	mapPath := filepath.Join(dir, "shards.map")
+	mapText := fmt.Sprintf("version 1\nshard 0 %s 500000\nshard 1 %s -\n", addr0, addr1)
+	if err := os.WriteFile(mapPath, []byte(mapText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir0, dir1 := filepath.Join(dir, "d0"), filepath.Join(dir, "d1")
+
+	start := func(addr, dataDir string, id int) *plpdProc {
+		return startPlpd(t, plpd,
+			"-addr", addr, "-data-dir", dataDir, "-partitions", "4",
+			"-tables", "kv", "-stats", "0",
+			"-shard-map", mapPath, "-shard-id", fmt.Sprint(id))
+	}
+	p0 := start(addr0, dir0, 0)
+	p1 := start(addr1, dir1, 1)
+	waitReady(t, addr0)
+	waitReady(t, addr1)
+
+	// Load a split keyspace through the routing client: keys on both sides
+	// of the 500000 boundary, routed from a single seed.
+	ctx := context.Background()
+	sc, err := client.DialSharded(ctx, []string{addr0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(i uint64) []byte { return []byte(fmt.Sprintf("v%d", i)) }
+	keysLoaded := []uint64{}
+	for i := uint64(0); i < 20; i++ {
+		for _, k := range []uint64{1000 + i, 600_000 + i} {
+			if err := sc.Upsert("kv", client.Uint64Key(k), val(k)); err != nil {
+				t.Fatalf("upsert %d: %v", k, err)
+			}
+			keysLoaded = append(keysLoaded, k)
+		}
+	}
+	// One cross-shard transaction committed by the two-phase protocol.
+	if _, err := sc.DoContext(ctx, client.NewTxn().
+		Upsert("kv", client.Uint64Key(42), val(42)).
+		Upsert("kv", client.Uint64Key(999_000), val(999_000))); err != nil {
+		t.Fatalf("cross-shard commit: %v", err)
+	}
+	keysLoaded = append(keysLoaded, 42, 999_000)
+	for _, k := range keysLoaded {
+		got, err := sc.Get("kv", client.Uint64Key(k))
+		if err != nil {
+			t.Fatalf("get %d: %v", k, err)
+		}
+		if !bytes.Equal(got, val(k)) {
+			t.Fatalf("get %d: %q, want %q", k, got, val(k))
+		}
+	}
+	// A scan spanning the boundary fans out to both daemons and comes back
+	// in key order.
+	entries, err := sc.Scan("kv", client.Uint64Key(0), client.Uint64Key(1_000_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(keysLoaded) {
+		t.Fatalf("spanning scan returned %d records, want %d", len(entries), len(keysLoaded))
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// plpctl's shards verb reports the cluster map from either daemon.
+	out, err := exec.Command(plpctl, "-addr", addr1, "shards").CombinedOutput()
+	if err != nil {
+		t.Fatalf("plpctl shards: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "version 1") || !strings.Contains(string(out), addr0) {
+		t.Fatalf("plpctl shards output missing map contents:\n%s", out)
+	}
+
+	// Restart both daemons on their data directories: the shard.state
+	// handshake must accept the matching assignment and recovery must
+	// preserve every acknowledged write, including the 2PC one.
+	stopPlpd(t, p0)
+	stopPlpd(t, p1)
+	p0 = start(addr0, dir0, 0)
+	p1 = start(addr1, dir1, 1)
+	waitReady(t, addr0)
+	waitReady(t, addr1)
+	sc, err = client.DialSharded(ctx, []string{addr1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keysLoaded {
+		got, err := sc.Get("kv", client.Uint64Key(k))
+		if err != nil {
+			t.Fatalf("get %d after restart: %v", k, err)
+		}
+		if !bytes.Equal(got, val(k)) {
+			t.Fatalf("get %d after restart: %q, want %q", k, got, val(k))
+		}
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stopPlpd(t, p0)
+	stopPlpd(t, p1)
+
+	// A daemon handed shard 0's directory but shard 1's identity must
+	// refuse to start rather than serve the wrong range.
+	wrong := exec.Command(plpd,
+		"-addr", freeAddr(t), "-data-dir", dir0, "-partitions", "4",
+		"-tables", "kv", "-stats", "0",
+		"-shard-map", mapPath, "-shard-id", "1")
+	wrongOut, err := wrong.CombinedOutput()
+	if err == nil {
+		t.Fatalf("plpd started shard 1 on shard 0's data dir:\n%s", wrongOut)
+	}
+	if !strings.Contains(string(wrongOut), "refusing to start") {
+		t.Fatalf("mismatch refusal missing from output:\n%s", wrongOut)
+	}
+}

@@ -39,6 +39,10 @@ type RecoverInfo struct {
 	// ControllerState reports whether a repartitioning-controller state
 	// blob was recovered (reclaimed by AttachRepartitioner).
 	ControllerState bool
+	// InDoubt counts cross-shard branches that were prepared but not
+	// decided at the crash; they await their coordinator's verdict (see
+	// Engine.DecidePrepared).
+	InDoubt int
 }
 
 // Checkpoint captures a transactionally consistent snapshot of every table,
@@ -79,8 +83,13 @@ func (e *Engine) Recover() (RecoverInfo, error) {
 	if err != nil {
 		return info, err
 	}
+	// Cross-shard branches that were prepared but not decided locally stay
+	// withheld from replay; stash them (plus any recovered coordinator
+	// decisions) for the server layer to resolve against the coordinator.
+	e.stashInDoubt(a)
 	info.Winners = len(a.Winners())
 	info.Losers = len(a.Losers())
+	info.InDoubt = len(a.InDoubt())
 	return info, nil
 }
 

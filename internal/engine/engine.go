@@ -190,6 +190,13 @@ type Engine struct {
 	// (see waitSampleEvery in execute.go).
 	waitSampleSeq atomic.Uint64
 
+	// Cross-shard two-phase commit state (see twopc.go): branches recovered
+	// in doubt awaiting the coordinator's verdict, and the gids this node
+	// durably decided to commit as a coordinator.
+	twopcMu sync.Mutex
+	inDoubt map[string]*inDoubtBranch
+	decided map[string]bool
+
 	nextSession atomic.Uint64
 }
 
@@ -471,6 +478,10 @@ type Session struct {
 	// the manager's pool when the session's next request begins (which is
 	// why Result.Txn is documented as valid only until then).
 	lastTxn *txn.Txn
+
+	// prepareGID, when non-empty, makes the current request prepare under
+	// this cross-shard gid instead of committing (see ExecutePrepare).
+	prepareGID string
 }
 
 // NewSession returns a new client session.

@@ -40,6 +40,22 @@ func (s *Session) Execute(req *Request) (Result, error) {
 	return s.executePartitioned(req)
 }
 
+// ExecutePrepare runs one request as the local branch of a cross-shard
+// transaction: the actions execute exactly as Execute would, but instead of
+// committing, the branch votes yes by writing a durable prepare record
+// under gid and stays active — locks held, undo retained — until
+// Engine.DecidePrepared delivers the coordinator's verdict.  An error
+// return is a no vote: the branch has already aborted locally (or its vote
+// could not be made durable).  The prepared transaction is deliberately NOT
+// parked in s.lastTxn — it outlives this request, and the session's next
+// Execute must not recycle it.
+func (s *Session) ExecutePrepare(req *Request, gid string) (Result, error) {
+	s.prepareGID = gid
+	res, err := s.Execute(req)
+	s.prepareGID = ""
+	return res, err
+}
+
 // recycleLast returns the previous request's transaction object to the
 // manager's pool.  Sessions are single-goroutine, so by the time the next
 // Execute starts the caller can no longer be holding the last Result's Txn
@@ -77,6 +93,13 @@ func (s *Session) executeConventional(req *Request) (Result, error) {
 	// Inherit or release table-level locks before the commit releases the
 	// record locks.
 	s.releaseTableLocks(ctx, tx, true)
+	if s.prepareGID != "" {
+		if err := e.tm.Prepare(tx, s.prepareGID); err != nil {
+			s.lastTxn = tx
+			return Result{Txn: tx}, err
+		}
+		return Result{Txn: tx, Breakdown: tx.Breakdown.Totals(), Latency: time.Since(start)}, nil
+	}
 	if err := e.tm.Commit(tx); err != nil {
 		s.lastTxn = tx
 		return Result{Txn: tx}, err
@@ -386,15 +409,26 @@ func (s *Session) executePhased(st *execState, start time.Time) (Result, error) 
 	return s.finish(tx, abortErr, start)
 }
 
-// finish commits or aborts the transaction and builds the Result.
+// finish commits (or, under ExecutePrepare, prepares) or aborts the
+// transaction and builds the Result.
 func (s *Session) finish(tx *txn.Txn, abortErr error, start time.Time) (Result, error) {
 	e := s.e
-	s.lastTxn = tx
 	if abortErr != nil {
+		s.lastTxn = tx
 		_ = e.tm.Abort(tx)
 		return Result{Txn: tx, Breakdown: tx.Breakdown.Totals(), Latency: time.Since(start)},
 			fmt.Errorf("%w: %w", ErrAborted, abortErr)
 	}
+	if s.prepareGID != "" {
+		// The branch stays active awaiting the coordinator's decision; it
+		// must not be parked for recycling.
+		if err := e.tm.Prepare(tx, s.prepareGID); err != nil {
+			s.lastTxn = tx
+			return Result{Txn: tx}, err
+		}
+		return Result{Txn: tx, Breakdown: tx.Breakdown.Totals(), Latency: time.Since(start)}, nil
+	}
+	s.lastTxn = tx
 	if err := e.tm.Commit(tx); err != nil {
 		return Result{Txn: tx}, err
 	}

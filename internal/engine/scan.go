@@ -84,34 +84,44 @@ func (e *Engine) ScanRange(table string, lo, hi []byte, limit int, visit ScanVis
 	// the duration of the scan and the worker never traverses a latch-free
 	// sub-tree it does not own.  Partitions whose range misses [lo, hi)
 	// return immediately.
+	//
+	// When a worker owns several partitions (parts > pool size), its scan
+	// tasks ride in one SubmitBatch — the same per-worker batching phase
+	// dispatch uses — so a wide scan costs one channel operation per worker
+	// instead of one per partition.
 	parts := rt.numPartitions()
 	errs := make([]error, parts)
 	var total, scanned atomic.Int64
 	var wg sync.WaitGroup
+	items := make([]scanItem, parts)
 	for p := 0; p < parts; p++ {
-		w := e.pool.Worker(p % e.pool.Size())
-		slot := p
-		wg.Add(1)
-		err := w.Submit(dora.Task{Do: func(worker *dora.Worker) {
-			defer wg.Done()
-			plo, phi := rt.rangeOf(slot)
-			clo, chi, ok := clipRange(plo, phi, lo, hi)
-			if !ok {
-				return
+		items[p] = scanItem{
+			e: e, rt: rt, table: table, lo: lo, hi: hi, limit: limit,
+			visit: visit, slot: p, errs: errs, wg: &wg,
+			total: &total, scanned: &scanned,
+		}
+	}
+	workers := e.pool.Size()
+	for widx := 0; widx < workers && widx < parts; widx++ {
+		ts := dora.GetTasks()
+		for p := widx; p < parts; p += workers {
+			*ts = append(*ts, dora.Task{Run: &items[p]})
+		}
+		wg.Add(len(*ts))
+		w := e.pool.Worker(widx)
+		if len(*ts) == 1 {
+			t := (*ts)[0]
+			dora.PutTasks(ts)
+			if err := w.Submit(t); err != nil {
+				errs[t.Run.(*scanItem).slot] = err
+				wg.Done()
 			}
-			scanned.Add(1)
-			ctx := &Ctx{eng: e, worker: worker, partition: worker.ID(), loading: true}
-			n := 0
-			errs[slot] = ctx.ReadRange(table, clo, chi, func(k, rec []byte) bool {
-				visit(worker.ID(), k, rec)
-				n++
-				return limit <= 0 || n < limit
-			})
-			total.Add(int64(n))
-		}})
-		if err != nil {
-			wg.Done()
-			errs[slot] = err
+		} else if err := w.SubmitBatch(ts); err != nil {
+			for _, t := range *ts {
+				errs[t.Run.(*scanItem).slot] = err
+				wg.Done()
+			}
+			dora.PutTasks(ts)
 		}
 	}
 	wg.Wait()
@@ -124,6 +134,41 @@ func (e *Engine) ScanRange(table string, lo, hi []byte, limit int, visit ScanVis
 	st.Partitions = int(scanned.Load())
 	st.Distributed = true
 	return st, nil
+}
+
+// scanItem is one partition's share of a distributed scan.  It implements
+// dora.Runner so per-worker batches allocate no closures, mirroring
+// batchItem on the request path.
+type scanItem struct {
+	e              *Engine
+	rt             *routingTable
+	table          string
+	lo, hi         []byte
+	limit          int
+	visit          ScanVisitor
+	slot           int
+	errs           []error
+	wg             *sync.WaitGroup
+	total, scanned *atomic.Int64
+}
+
+// RunTask scans the partition's clipped key range on its owning worker.
+func (it *scanItem) RunTask(worker *dora.Worker) {
+	defer it.wg.Done()
+	plo, phi := it.rt.rangeOf(it.slot)
+	clo, chi, ok := clipRange(plo, phi, it.lo, it.hi)
+	if !ok {
+		return
+	}
+	it.scanned.Add(1)
+	ctx := &Ctx{eng: it.e, worker: worker, partition: worker.ID(), loading: true}
+	n := 0
+	it.errs[it.slot] = ctx.ReadRange(it.table, clo, chi, func(k, rec []byte) bool {
+		it.visit(worker.ID(), k, rec)
+		n++
+		return it.limit <= 0 || n < it.limit
+	})
+	it.total.Add(int64(n))
 }
 
 // clipRange intersects the partition range [plo, phi) with the requested

@@ -1,0 +1,139 @@
+// Two-phase commit hooks: the engine-level pieces of the cross-shard
+// commit protocol (see internal/server's coordinator for the wire side).
+//
+// The protocol is coordinator-logged presumed abort.  A participant votes
+// yes by writing a durable prepare record and parking the branch
+// (txn.Manager.Prepare); the coordinator makes the global commit point by
+// durably logging a decide record (LogDecision) before telling anyone; a
+// branch without a reachable decision is aborted.  This file also owns the
+// recovery side: branches found prepared-but-undecided in the log are held
+// here as op lists until the server layer learns their fate from the
+// coordinator and resolves them through DecidePrepared.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"plp/internal/recovery"
+	"plp/internal/txn"
+	"plp/internal/wal"
+)
+
+// inDoubtBranch is a prepared branch reconstructed from the log after a
+// crash: its operations were withheld from replay because its outcome was
+// still unknown.
+type inDoubtBranch struct {
+	txnID uint64
+	ops   []recovery.Op
+}
+
+// LogDecision durably records this node's decision, as coordinator, to
+// commit the global transaction gid.  The append + flush is the commit
+// point of the whole cross-shard transaction: after it returns, every
+// participant (including this node's own branch) must eventually commit,
+// crash or no crash.  Abort decisions are never logged — presumed abort.
+func (e *Engine) LogDecision(gid string) error {
+	lsn := e.log.Append(&wal.Record{Type: wal.RecDecide, Payload: []byte(gid)})
+	if durable := e.log.WaitDurable(lsn); durable <= lsn {
+		return txn.ErrNotDurable
+	}
+	e.twopcMu.Lock()
+	if e.decided == nil {
+		e.decided = make(map[string]bool)
+	}
+	e.decided[gid] = true
+	e.twopcMu.Unlock()
+	return nil
+}
+
+// DecidedCommit reports whether this node, as coordinator, durably decided
+// to commit gid (either during this run or in a previous incarnation, via
+// the recovered decide records).  Participants chasing a lost decision call
+// this through the wire: false means presumed abort.
+func (e *Engine) DecidedCommit(gid string) bool {
+	e.twopcMu.Lock()
+	defer e.twopcMu.Unlock()
+	return e.decided[gid]
+}
+
+// DecidePrepared resolves the prepared branch for gid: first against the
+// live transaction manager (normal operation), then against the in-doubt
+// branches reconstructed by Recover.  Committing a recovered branch applies
+// its withheld operations through the loader and appends a durable commit
+// record so the next recovery sees a winner; aborting appends an abort
+// record (the operations were never applied, so there is nothing to undo).
+// Unknown gids return txn.ErrUnknownGID, making duplicate decides harmless.
+func (e *Engine) DecidePrepared(gid string, commit bool) error {
+	if err := e.tm.Decide(gid, commit); err == nil || err != txn.ErrUnknownGID {
+		return err
+	}
+	e.twopcMu.Lock()
+	br := e.inDoubt[gid]
+	if br != nil {
+		delete(e.inDoubt, gid)
+	}
+	e.twopcMu.Unlock()
+	if br == nil {
+		return txn.ErrUnknownGID
+	}
+	if commit {
+		if err := recovery.ApplyOps(e.NewLoader(), br.ops); err != nil {
+			return fmt.Errorf("engine: committing in-doubt branch %s: %w", gid, err)
+		}
+		lsn := e.log.Append(&wal.Record{Txn: br.txnID, Type: wal.RecCommit})
+		if durable := e.log.WaitDurable(lsn); durable <= lsn {
+			return txn.ErrNotDurable
+		}
+		return nil
+	}
+	// Presumed abort: the branch's effects were never replayed, so the
+	// abort record only closes the in-doubt window for future recoveries.
+	e.log.Append(&wal.Record{Txn: br.txnID, Type: wal.RecAbort})
+	return nil
+}
+
+// PreparedGIDs returns the gids of live branches that have been prepared,
+// and thus in doubt, for longer than olderThan.
+func (e *Engine) PreparedGIDs(olderThan time.Duration) []string {
+	return e.tm.PreparedGIDs(olderThan)
+}
+
+// InDoubtGIDs returns the gids of branches recovered in doubt and not yet
+// resolved.  The server layer's janitor chases their coordinators.
+func (e *Engine) InDoubtGIDs() []string {
+	e.twopcMu.Lock()
+	defer e.twopcMu.Unlock()
+	out := make([]string, 0, len(e.inDoubt))
+	for gid := range e.inDoubt {
+		out = append(out, gid)
+	}
+	return out
+}
+
+// stashInDoubt records the analysis' unresolved prepared branches and
+// recovered commit decisions after a Recover pass.
+func (e *Engine) stashInDoubt(a *recovery.Analysis) {
+	inDoubt := a.InDoubt()
+	if len(inDoubt) == 0 && len(a.Decisions) == 0 {
+		return
+	}
+	byTxn := make(map[uint64][]recovery.Op)
+	for _, op := range a.Ops {
+		byTxn[op.Txn] = append(byTxn[op.Txn], op)
+	}
+	e.twopcMu.Lock()
+	defer e.twopcMu.Unlock()
+	if e.inDoubt == nil {
+		e.inDoubt = make(map[string]*inDoubtBranch)
+	}
+	if e.decided == nil {
+		e.decided = make(map[string]bool)
+	}
+	for gid, txnID := range inDoubt {
+		e.inDoubt[gid] = &inDoubtBranch{txnID: txnID, ops: byTxn[txnID]}
+	}
+	for gid := range a.Decisions {
+		e.decided[gid] = true
+	}
+}

@@ -1,0 +1,98 @@
+package recovery_test
+
+// Analysis of cross-shard two-phase-commit records: prepared branches, the
+// coordinator's commit decisions, and the in-doubt set that recovery must
+// withhold from replay until the coordinator's verdict is known.
+
+import (
+	"testing"
+
+	"plp/internal/logrec"
+	"plp/internal/recovery"
+	"plp/internal/wal"
+)
+
+func TestAnalyzePreparedAndDecided(t *testing.T) {
+	log := wal.NewConsolidated(nil)
+
+	// Txn 1: prepared AND locally decided — the decide record promotes it
+	// to a winner even though no commit record exists.
+	appendMod(log, 1, wal.RecInsert, logrec.Modification{Table: "t", Key: []byte("a"), After: []byte("1")})
+	log.Append(&wal.Record{Txn: 1, Type: wal.RecPrepare, Payload: []byte("s0-1")})
+	log.Append(&wal.Record{Type: wal.RecDecide, Payload: []byte("s0-1")})
+
+	// Txn 2: prepared with no decision anywhere — in doubt.
+	appendMod(log, 2, wal.RecInsert, logrec.Modification{Table: "t", Key: []byte("b"), After: []byte("2")})
+	log.Append(&wal.Record{Txn: 2, Type: wal.RecPrepare, Payload: []byte("s1-5")})
+
+	// A decision this node made as coordinator for a branch prepared
+	// elsewhere: recorded, but promotes no local transaction.
+	log.Append(&wal.Record{Type: wal.RecDecide, Payload: []byte("s0-9")})
+
+	a, err := recovery.Analyze(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Outcomes[1] != recovery.OutcomeCommitted {
+		t.Fatalf("decided branch outcome %v, want committed", a.Outcomes[1])
+	}
+	if a.Outcomes[2] != recovery.OutcomeInFlight {
+		t.Fatalf("undecided branch outcome %v, want in flight", a.Outcomes[2])
+	}
+	if a.Prepared[1] != "s0-1" || a.Prepared[2] != "s1-5" {
+		t.Fatalf("prepared map: %v", a.Prepared)
+	}
+	if !a.Decisions["s0-1"] || !a.Decisions["s0-9"] || a.Decisions["s1-5"] {
+		t.Fatalf("decisions: %v", a.Decisions)
+	}
+	inDoubt := a.InDoubt()
+	if len(inDoubt) != 1 || inDoubt["s1-5"] != 2 {
+		t.Fatalf("in-doubt set: %v", inDoubt)
+	}
+
+	// Replay applies the decided branch and withholds the in-doubt one.
+	target := newFakeTarget()
+	if _, err := recovery.Replay(a, target); err != nil {
+		t.Fatal(err)
+	}
+	if string(target.tbl("t")["a"]) != "1" {
+		t.Fatal("decided branch not replayed")
+	}
+	if _, ok := target.tbl("t")["b"]; ok {
+		t.Fatal("in-doubt branch replayed before its verdict")
+	}
+}
+
+func TestApplyOpsResolvesInDoubtBranch(t *testing.T) {
+	log := wal.NewConsolidated(nil)
+	appendMod(log, 7, wal.RecInsert, logrec.Modification{Table: "t", Key: []byte("k"), After: []byte("v")})
+	log.Append(&wal.Record{Txn: 7, Type: wal.RecPrepare, Payload: []byte("s0-7")})
+	a, err := recovery.Analyze(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var branch []recovery.Op
+	for _, op := range a.Ops {
+		if op.Txn == 7 {
+			branch = append(branch, op)
+		}
+	}
+	if len(branch) != 1 {
+		t.Fatalf("branch ops: %v", branch)
+	}
+	target := newFakeTarget()
+	if err := recovery.ApplyOps(target, branch); err != nil {
+		t.Fatal(err)
+	}
+	if string(target.tbl("t")["k"]) != "v" {
+		t.Fatal("late commit of an in-doubt branch not applied")
+	}
+	// ApplyOps is idempotent, so a duplicated decide cannot corrupt.
+	if err := recovery.ApplyOps(target, branch); err != nil {
+		t.Fatal(err)
+	}
+	if string(target.tbl("t")["k"]) != "v" {
+		t.Fatal("re-applied branch corrupted the target")
+	}
+}

@@ -129,6 +129,14 @@ type Analysis struct {
 	// UnparsedRecords counts modification records whose payload could not be
 	// decoded (legacy or foreign records); they are skipped.
 	UnparsedRecords int
+	// Prepared maps transactions with a prepare record to their cross-shard
+	// gid.  A prepared transaction whose outcome is still OutcomeInFlight
+	// after the scan is in doubt: its fate belongs to the coordinator.
+	Prepared map[uint64]string
+	// Decisions holds the gids this node durably decided to commit as a
+	// coordinator (decide records).  Under presumed abort only commit
+	// decisions are logged, so presence means commit.
+	Decisions map[string]bool
 }
 
 // Winners returns the IDs of committed transactions.
@@ -153,12 +161,30 @@ func (a *Analysis) Losers() []uint64 {
 	return out
 }
 
+// InDoubt returns the transactions that were prepared but neither committed
+// nor aborted by the time of the crash, keyed by gid.  Their fate rests with
+// the coordinator: commit if it durably decided commit, abort otherwise
+// (presumed abort).
+func (a *Analysis) InDoubt() map[string]uint64 {
+	out := make(map[string]uint64)
+	for id, gid := range a.Prepared {
+		if a.Outcomes[id] == OutcomeInFlight {
+			out[gid] = id
+		}
+	}
+	return out
+}
+
 // Analyze scans the log and builds the recovery analysis.
 func Analyze(log wal.Log) (*Analysis, error) {
 	if log == nil {
 		return nil, ErrNoLog
 	}
-	a := &Analysis{Outcomes: make(map[uint64]Outcome)}
+	a := &Analysis{
+		Outcomes:  make(map[uint64]Outcome),
+		Prepared:  make(map[uint64]string),
+		Decisions: make(map[string]bool),
+	}
 
 	// In-progress checkpoint accumulation: chunks and meta since the last
 	// end marker.
@@ -186,6 +212,13 @@ func Analyze(log wal.Log) (*Analysis, error) {
 			a.Ops = append(a.Ops, Op{LSN: r.LSN, Txn: r.Txn, Type: r.Type, Mod: mod})
 		case wal.RecSMO, wal.RecRepartition:
 			a.StructuralRecords++
+		case wal.RecPrepare:
+			if _, seen := a.Outcomes[r.Txn]; !seen {
+				a.Outcomes[r.Txn] = OutcomeInFlight
+			}
+			a.Prepared[r.Txn] = string(r.Payload)
+		case wal.RecDecide:
+			a.Decisions[string(r.Payload)] = true
 		case wal.RecCheckpoint:
 			if chunk, ok, err := logrec.DecodeCheckpointChunk(r.Payload); err == nil && ok {
 				if len(pendingChunks) == 0 {
@@ -219,6 +252,16 @@ func Analyze(log wal.Log) (*Analysis, error) {
 			a.UnparsedRecords++
 		default:
 			a.UnparsedRecords++
+		}
+	}
+	// A prepared branch whose gid this node also durably decided to commit
+	// (the coordinator's own local branch, crashed between logging the
+	// decision and writing the branch's commit record) is promoted to a
+	// winner: the decision record is the commit point of the global
+	// transaction.
+	for id, gid := range a.Prepared {
+		if a.Outcomes[id] == OutcomeInFlight && a.Decisions[gid] {
+			a.Outcomes[id] = OutcomeCommitted
 		}
 	}
 	return a, nil

@@ -144,6 +144,20 @@ func Replay(a *Analysis, t Target) (ReplayStats, error) {
 	return st, nil
 }
 
+// ApplyOps applies a slice of recovered operations to the target with the
+// same idempotent semantics as Replay.  It is used to resolve in-doubt
+// cross-shard branches after recovery: the branch's operations were held
+// back by Replay (its outcome was still in-flight), and are applied here
+// once the coordinator's commit decision is known.
+func ApplyOps(t Target, ops []Op) error {
+	for _, op := range ops {
+		if err := applyOp(t, op); err != nil {
+			return fmt.Errorf("recovery: applying in-doubt op at LSN %d: %w", op.LSN, err)
+		}
+	}
+	return nil
+}
+
 // Recover is the convenience entry point: Analyze followed by Replay.
 func Recover(log wal.Log, t Target) (*Analysis, ReplayStats, error) {
 	a, err := Analyze(log)

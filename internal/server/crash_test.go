@@ -19,11 +19,13 @@ package server
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -31,15 +33,27 @@ import (
 	"plp/internal/catalog"
 	"plp/internal/engine"
 	"plp/internal/keyenc"
+	"plp/shard"
 )
 
 // crashEnvDir is the environment variable that switches the test binary
-// into child-server mode.
-const crashEnvDir = "PLP_CRASH_SERVER_DIR"
+// into child-server mode.  With crashEnvPeer also set the child runs as the
+// coordinator shard of a two-shard cluster (the peer address names shard 1),
+// and crashEnvPoint, when non-empty, makes it SIGKILL itself at that named
+// point of the coordinator protocol ("coord-prepared" or "coord-decided").
+const (
+	crashEnvDir   = "PLP_CRASH_SERVER_DIR"
+	crashEnvPeer  = "PLP_CRASH_SHARD_PEER"
+	crashEnvPoint = "PLP_CRASH_POINT"
+)
 
 func TestMain(m *testing.M) {
 	if dir := os.Getenv(crashEnvDir); dir != "" {
-		runCrashServer(dir)
+		if peer := os.Getenv(crashEnvPeer); peer != "" {
+			runShardCoordServer(dir, peer, os.Getenv(crashEnvPoint))
+		} else {
+			runCrashServer(dir)
+		}
 		os.Exit(0)
 	}
 	os.Exit(m.Run())
@@ -74,11 +88,57 @@ func runCrashServer(dir string) {
 	_ = srv.Serve()
 }
 
+// runShardCoordServer is the coordinator-shard child: a durable engine on
+// dir serving shard 0 of a two-shard map whose shard 1 is peerAddr.  When
+// point names a coordinator protocol point, the process SIGKILLs itself the
+// first time it is reached.
+func runShardCoordServer(dir, peerAddr, point string) {
+	e, err := engine.Open(engine.Options{Design: engine.PLPLeaf, Partitions: 4, DataDir: dir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard child: open: %v\n", err)
+		os.Exit(1)
+	}
+	boundaries := [][]byte{keyenc.Uint64Key(250_000), keyenc.Uint64Key(500_000), keyenc.Uint64Key(750_000)}
+	if _, err := e.CreateTable(catalog.TableDef{Name: "kv", Boundaries: boundaries}); err != nil {
+		fmt.Fprintf(os.Stderr, "shard child: create table: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := e.Recover(); err != nil {
+		fmt.Fprintf(os.Stderr, "shard child: recover: %v\n", err)
+		os.Exit(1)
+	}
+	srv := New(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard child: listen: %v\n", err)
+		os.Exit(1)
+	}
+	m := &shard.Map{Version: 1, Shards: []shard.Shard{
+		{ID: 0, Addr: addr, End: keyenc.Uint64Key(500_000)},
+		{ID: 1, Addr: peerAddr},
+	}}
+	if point != "" {
+		fn := func(p string) {
+			if p == point {
+				_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				select {} // unreachable; the signal is fatal
+			}
+		}
+		testHook.Store(&fn)
+	}
+	if err := srv.SetShardConfig(m, 0, ""); err != nil {
+		fmt.Fprintf(os.Stderr, "shard child: shard config: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("CRASHSRV_ADDR %s\n", addr)
+	_ = srv.Serve()
+}
+
 // startCrashServer spawns the child on dir and waits for its address.
-func startCrashServer(t *testing.T, dir string) (*exec.Cmd, string) {
+func startCrashServer(t *testing.T, dir string, extraEnv ...string) (*exec.Cmd, string) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0])
-	cmd.Env = append(os.Environ(), crashEnvDir+"="+dir)
+	cmd.Env = append(append(os.Environ(), crashEnvDir+"="+dir), extraEnv...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -239,4 +299,137 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	}
 	t.Logf("crash test: %d acked singles, %d pairs sent, %d pair survivors, %d acked pairs, %d torn",
 		acked, sent, survivors, len(ackedPairs), torn)
+}
+
+// TestShardCoordinatorCrash kills the coordinator of a two-shard commit at
+// exact protocol points and verifies the in-doubt branches on BOTH shards
+// resolve consistently:
+//
+//   - killed after every branch prepared but before the decision is durable
+//     ("coord-prepared"): presumed abort — no shard may apply its branch;
+//   - killed after the decision is durable but before any decide frame left
+//     ("coord-decided"): the commit point passed — both shards must commit
+//     once the participant's janitor chases the recovered decision.
+//
+// The coordinator is a child process (durable, SIGKILLed via the test hook);
+// the participant runs in-process so the test can watch its prepared set.
+func TestShardCoordinatorCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-kill integration test in short mode")
+	}
+	for _, tc := range []struct {
+		point  string
+		commit bool
+	}{
+		{point: "coord-prepared", commit: false},
+		{point: "coord-decided", commit: true},
+	} {
+		t.Run(tc.point, func(t *testing.T) {
+			// Participant: in-process shard 1.
+			pe := engine.New(engine.Options{Design: engine.PLPLeaf, Partitions: 4})
+			parts := [][]byte{keyenc.Uint64Key(250_000), keyenc.Uint64Key(500_000), keyenc.Uint64Key(750_000)}
+			if _, err := pe.CreateTable(catalog.TableDef{Name: "kv", Boundaries: parts}); err != nil {
+				t.Fatal(err)
+			}
+			psrv := New(pe)
+			paddr, err := psrv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go func() { _ = psrv.Serve() }()
+			t.Cleanup(func() {
+				_ = psrv.Close()
+				_ = pe.Close()
+			})
+
+			// Coordinator: durable child, primed to die at the test point.
+			dir := t.TempDir()
+			cmd, caddr := startCrashServer(t, dir,
+				crashEnvPeer+"="+paddr, crashEnvPoint+"="+tc.point)
+			m1 := &shard.Map{Version: 1, Shards: []shard.Shard{
+				{ID: 0, Addr: caddr, End: keyenc.Uint64Key(500_000)},
+				{ID: 1, Addr: paddr},
+			}}
+			if err := psrv.SetShardConfig(m1, 1, ""); err != nil {
+				t.Fatal(err)
+			}
+
+			c, err := client.Dial(caddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			txn := client.NewTxn().
+				Upsert("kv", client.Uint64Key(100), []byte("x")).
+				Upsert("kv", client.Uint64Key(600_000), []byte("y"))
+			if _, err := c.Do(txn); err == nil {
+				t.Fatal("transaction acknowledged by a coordinator that died mid-protocol")
+			}
+			_ = c.Close()
+			_ = cmd.Wait()
+
+			// Restart the coordinator on the same directory (no crash point)
+			// and repoint the participant's map at its new address.
+			cmd2, caddr2 := startCrashServer(t, dir, crashEnvPeer+"="+paddr)
+			t.Cleanup(func() {
+				_ = cmd2.Process.Kill()
+				_, _ = cmd2.Process.Wait()
+			})
+			m2 := &shard.Map{Version: 2, Shards: []shard.Shard{
+				{ID: 0, Addr: caddr2, End: keyenc.Uint64Key(500_000)},
+				{ID: 1, Addr: paddr},
+			}}
+			if err := psrv.UpdateShardMap(m2); err != nil {
+				t.Fatal(err)
+			}
+
+			// The participant's janitor chases the restarted coordinator; wait
+			// until its branch is out of doubt.
+			deadline := time.Now().Add(30 * time.Second)
+			for len(pe.PreparedGIDs(0)) > 0 || len(pe.InDoubtGIDs()) > 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("participant branch still in doubt: prepared=%v recovered=%v",
+						pe.PreparedGIDs(0), pe.InDoubtGIDs())
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+
+			c2, err := client.Dial(caddr2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c2.Close()
+			cp, err := client.Dial(paddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cp.Close()
+
+			if tc.commit {
+				// The durable decision must commit both branches.
+				var coordVal []byte
+				for {
+					coordVal, err = c2.Get("kv", client.Uint64Key(100))
+					if err == nil || time.Now().After(deadline) {
+						break
+					}
+					time.Sleep(25 * time.Millisecond)
+				}
+				if err != nil || string(coordVal) != "x" {
+					t.Fatalf("coordinator branch after decided crash: %q, %v", coordVal, err)
+				}
+				pv, err := cp.Get("kv", client.Uint64Key(600_000))
+				if err != nil || string(pv) != "y" {
+					t.Fatalf("participant branch after decided crash: %q, %v", pv, err)
+				}
+			} else {
+				// No durable decision: presumed abort, no branch applied.
+				if _, err := c2.Get("kv", client.Uint64Key(100)); !errors.Is(err, client.ErrNotFound) {
+					t.Fatalf("coordinator branch survived an undecided crash: %v", err)
+				}
+				if _, err := cp.Get("kv", client.Uint64Key(600_000)); !errors.Is(err, client.ErrNotFound) {
+					t.Fatalf("participant branch survived an undecided crash: %v", err)
+				}
+			}
+		})
+	}
 }

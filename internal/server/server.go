@@ -115,6 +115,7 @@ type Server struct {
 	checkpoint atomic.Pointer[CheckpointFunc]
 	token      atomic.Pointer[string]
 	roToken    atomic.Pointer[string]
+	sharding   atomic.Pointer[shardState]
 }
 
 // New returns a server for the engine.
@@ -277,6 +278,9 @@ func (s *Server) Close() error {
 	}
 	for _, c := range conns {
 		_ = c.Close()
+	}
+	if ss := s.sharding.Load(); ss != nil {
+		ss.stop()
 	}
 	s.wg.Wait()
 	return err
@@ -452,7 +456,12 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
 			for item := range work {
 				out <- s.handleFrame(sess, item.payload, cs, item.canceled)
 				if id, ok := wire.RequestID(item.payload); ok {
-					inflight.Delete(id)
+					// Delete exactly this request's flag.  A client reusing a
+					// request ID makes a plain Delete racy: the older
+					// request's completion could reap the flag the reader
+					// just registered for the newer one, silently dropping a
+					// cancel aimed at it.
+					inflight.CompareAndDelete(id, item.canceled)
 				}
 			}
 		}()
@@ -504,6 +513,12 @@ func (s *Server) handleFrame(sess *engine.Session, payload []byte, cs session, c
 			// Cancels are intercepted by the reader; one reaching here came
 			// over a transport that should not produce it.
 			return &wire.Response{ID: f.ID, Err: "unexpected cancel frame"}
+		case wire.FrameShardMap:
+			return s.executeShardMap(f.ID)
+		case wire.FramePrepare:
+			return s.executePrepare(sess, f, cs)
+		case wire.FrameDecide:
+			return s.executeDecide(f, cs)
 		default:
 			return s.execute(sess, f.Req, cs, canceled)
 		}
@@ -657,6 +672,17 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session, ca
 		resp.Committed = true
 		s.committed.Add(1)
 		return resp
+	}
+
+	// Shard routing: when this process serves one shard of a cluster, a
+	// request whose keys are owned elsewhere is either refused (wrong
+	// shard, map attached) or — when its keys span shards — executed here
+	// as a coordinated two-phase commit.  All-local requests fall through
+	// to the unchanged fast path below.
+	if ss := s.sharding.Load(); ss != nil {
+		if handled, sresp := s.routeShards(sess, ss, req, resp, canceled); handled {
+			return sresp
+		}
 	}
 
 	ereq, err := s.buildRequest(req, resp.Results, canceled)

@@ -1,0 +1,624 @@
+// Cross-process sharding: the coordinator and participant sides of the
+// two-shard commit protocol, shard-map serving, wrong-shard refusals and
+// the in-doubt janitor.
+//
+// Each plpd process serves one shard of a versioned shard map (package
+// shard).  A request whose keys all belong to this shard takes the
+// unchanged single-process path; one whose keys all belong to another
+// shard is refused with a wrong-shard error carrying the current map (the
+// client refreshes and forwards, mirroring the executor's in-process
+// mis-route forwarding); one spanning shards is executed here as a
+// coordinator-logged two-phase commit:
+//
+//  1. the coordinator splits the statements by owner and ships each remote
+//     branch as a PREPARE frame; participants execute the branch, force a
+//     prepare record naming the gid, and vote by committing the response;
+//  2. the local branch (if any) prepares the same way through
+//     Session.ExecutePrepare;
+//  3. on unanimous yes the coordinator durably logs its commit decision
+//     (engine.LogDecision) — the global commit point — and only then sends
+//     DECIDE commit frames; any no (or a decision-logging failure) sends
+//     DECIDE abort instead.  Presumed abort: abort decisions are never
+//     logged, so a gid the coordinator does not remember is aborted.
+//
+// A participant that crashes (or loses its coordinator) while prepared is
+// in doubt; the janitor chases the coordinator with DECIDE query frames
+// and resolves the branch from the answer.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plp/internal/engine"
+	"plp/internal/txn"
+	"plp/shard"
+	"plp/wire"
+)
+
+// Janitor cadence: how often in-doubt branches are re-examined, and how
+// long a branch must have been in doubt before its coordinator is chased
+// (a live coordinator normally decides within milliseconds).
+const (
+	janitorPeriod   = 250 * time.Millisecond
+	inDoubtPatience = time.Second
+)
+
+// testHook, when non-nil, runs at named points of the coordinator path
+// ("coord-prepared" after every branch voted yes, "coord-decided" after the
+// decision is durable).  The SIGKILL crash harness uses it to die at exact
+// protocol moments.
+var testHook atomic.Pointer[func(string)]
+
+func hook(point string) {
+	if fn := testHook.Load(); fn != nil {
+		(*fn)(point)
+	}
+}
+
+// shardState is the server's sharding configuration and runtime state.
+type shardState struct {
+	self  int
+	token string
+	m     atomic.Pointer[shard.Map]
+	seq   atomic.Uint64 // gid sequence for transactions coordinated here
+
+	// peers caches one connection per remote shard (shard ID -> *peerConn).
+	peers sync.Map
+	// coordinating marks gids this coordinator is actively driving between
+	// prepare and decide; the decide-query handler answers "try again" for
+	// them so a janitor cannot presume abort mid-protocol.
+	coordinating sync.Map
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+func (ss *shardState) stop() {
+	ss.stopOnce.Do(func() {
+		close(ss.stopCh)
+		ss.peers.Range(func(_, v any) bool {
+			v.(*peerConn).close()
+			return true
+		})
+	})
+}
+
+// SetShardConfig attaches a shard map to the server: the process serves
+// shard selfID, refuses keys owned elsewhere, and coordinates cross-shard
+// transactions.  token is presented to peer shards (use the same -token on
+// every member).  It also starts the in-doubt janitor.  Call before Serve.
+func (s *Server) SetShardConfig(m *shard.Map, selfID int, token string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if _, ok := m.ByID(selfID); !ok {
+		return fmt.Errorf("server: shard map version %d has no shard %d", m.Version, selfID)
+	}
+	ss := &shardState{self: selfID, token: token, stopCh: make(chan struct{})}
+	ss.m.Store(m.Clone())
+	s.sharding.Store(ss)
+	go s.janitor(ss)
+	return nil
+}
+
+// UpdateShardMap installs a newer shard map (a controller move).  Maps with
+// a version not above the current one are rejected.
+func (s *Server) UpdateShardMap(m *shard.Map) error {
+	ss := s.sharding.Load()
+	if ss == nil {
+		return fmt.Errorf("server: not sharded")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	cur := ss.m.Load()
+	if m.Version <= cur.Version {
+		return fmt.Errorf("server: map version %d not newer than %d", m.Version, cur.Version)
+	}
+	ss.m.Store(m.Clone())
+	return nil
+}
+
+// ShardMap returns the server's current shard map (nil when not sharded).
+func (s *Server) ShardMap() *shard.Map {
+	ss := s.sharding.Load()
+	if ss == nil {
+		return nil
+	}
+	return ss.m.Load()
+}
+
+// gidFor mints a globally unique transaction ID; the "s<shard>-" prefix
+// names the coordinator so participants know whom to chase.
+func (ss *shardState) gidFor() string {
+	return fmt.Sprintf("s%d-%d", ss.self, ss.seq.Add(1))
+}
+
+// coordinatorOf parses the coordinator shard ID out of a gid.
+func coordinatorOf(gid string) (int, bool) {
+	rest, ok := strings.CutPrefix(gid, "s")
+	if !ok {
+		return 0, false
+	}
+	idStr, _, ok := strings.Cut(rest, "-")
+	if !ok {
+		return 0, false
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// shardKeyed reports whether the statement routes by its primary key (the
+// ops the shard map can place).  Secondary-index ops and pings stay on the
+// shard that received them: secondary indexes are shard-local in v1.
+func shardKeyed(op wire.OpType) bool {
+	switch op {
+	case wire.OpGet, wire.OpInsert, wire.OpUpdate, wire.OpUpsert, wire.OpDelete:
+		return true
+	default:
+		return false
+	}
+}
+
+// wrongShard builds the routing refusal for a request owned by another
+// shard: the error names the owner and the response carries the current
+// encoded map so the client can refresh and forward in one round trip.
+func wrongShard(resp *wire.Response, m *shard.Map, owner int) *wire.Response {
+	resp.Err = fmt.Sprintf("%s: keys belong to shard %d (map version %d)", wire.WrongShardPrefix, owner, m.Version)
+	resp.Results = []wire.StatementResult{{Value: m.Encode()}}
+	return resp
+}
+
+// routeShards classifies one statement request against the shard map.
+// handled=false means every key is local: the caller proceeds on the
+// unchanged single-shard path.  Otherwise the returned response is either a
+// wrong-shard refusal (all keys elsewhere) or the outcome of a coordinated
+// cross-shard commit (keys span shards).
+func (s *Server) routeShards(sess *engine.Session, ss *shardState, req *wire.Request, resp *wire.Response, canceled *atomic.Bool) (bool, *wire.Response) {
+	m := ss.m.Load()
+	owners := make([]int, len(req.Statements))
+	distinct := make(map[int]struct{}, 2)
+	for i, st := range req.Statements {
+		if st.Op == wire.OpPing {
+			owners[i] = ss.self
+			continue
+		}
+		if shardKeyed(st.Op) {
+			owners[i] = m.Owner(st.Key)
+		} else {
+			owners[i] = ss.self
+		}
+		distinct[owners[i]] = struct{}{}
+	}
+	if len(distinct) == 0 {
+		return false, nil // pings only; the admin path already handled them
+	}
+	if len(distinct) == 1 {
+		for o := range distinct {
+			if o == ss.self {
+				return false, nil
+			}
+			s.aborted.Add(1)
+			return true, wrongShard(resp, m, o)
+		}
+	}
+	return true, s.executeCoordinated(sess, ss, m, req, resp, owners, canceled)
+}
+
+// branch is one shard's slice of a cross-shard transaction.
+type branch struct {
+	owner int
+	stmts []wire.Statement
+	slots []int // original statement indices, for result scattering
+}
+
+// executeCoordinated runs a cross-shard request as its coordinator.
+func (s *Server) executeCoordinated(sess *engine.Session, ss *shardState, m *shard.Map, req *wire.Request, resp *wire.Response, owners []int, canceled *atomic.Bool) *wire.Response {
+	// Split the statements into per-shard branches, preserving statement
+	// order within each branch.  Pings are answered inline.
+	var branches []*branch
+	byOwner := make(map[int]*branch, 2)
+	for i, st := range req.Statements {
+		if st.Op == wire.OpPing {
+			resp.Results[i] = wire.StatementResult{Found: true, Value: append([]byte(nil), st.Value...)}
+			continue
+		}
+		b := byOwner[owners[i]]
+		if b == nil {
+			b = &branch{owner: owners[i]}
+			byOwner[owners[i]] = b
+			branches = append(branches, b)
+		}
+		b.stmts = append(b.stmts, st)
+		b.slots = append(b.slots, i)
+	}
+
+	gid := ss.gidFor()
+	ss.coordinating.Store(gid, struct{}{})
+	defer ss.coordinating.Delete(gid)
+
+	abort := func(reason string, preparedRemote []*branch, localPrepared bool) *wire.Response {
+		for _, b := range preparedRemote {
+			if pc, err := ss.peer(m, b.owner); err == nil {
+				_, _ = pc.call(wire.EncodeDecideRequest(0, gid, wire.DecideAbort))
+			}
+		}
+		if localPrepared {
+			_ = s.e.DecidePrepared(gid, false)
+		}
+		resp.Err = reason
+		s.aborted.Add(1)
+		return resp
+	}
+
+	// Phase 1: prepare.  Remote branches first — their round trips dominate
+	// — then the local branch, so a remote no-vote costs no local work.
+	var preparedRemote []*branch
+	localPrepared := false
+	for _, b := range branches {
+		if b.owner == ss.self {
+			continue
+		}
+		if canceled != nil && canceled.Load() {
+			return abort(engine.ErrPlanCanceled.Error(), preparedRemote, false)
+		}
+		pc, err := ss.peer(m, b.owner)
+		if err != nil {
+			return abort(fmt.Sprintf("shard %d unreachable: %v", b.owner, err), preparedRemote, false)
+		}
+		presp, err := pc.call(wire.EncodePrepareRequest(0, gid, m.Version, b.stmts))
+		if err != nil {
+			return abort(fmt.Sprintf("prepare on shard %d: %v", b.owner, err), preparedRemote, false)
+		}
+		if !presp.Committed {
+			// The branch voted no (statement error, or the keys moved and
+			// the participant refused them); nothing to abort there.
+			reason := presp.Err
+			if reason == "" {
+				reason = fmt.Sprintf("shard %d voted no", b.owner)
+			}
+			for j, slot := range b.slots {
+				if j < len(presp.Results) {
+					resp.Results[slot] = presp.Results[j]
+				}
+			}
+			return abort(reason, preparedRemote, false)
+		}
+		for j, slot := range b.slots {
+			if j < len(presp.Results) {
+				resp.Results[slot] = presp.Results[j]
+			}
+		}
+		preparedRemote = append(preparedRemote, b)
+	}
+	for _, b := range branches {
+		if b.owner != ss.self {
+			continue
+		}
+		localResults := make([]wire.StatementResult, len(b.stmts))
+		ereq, err := s.buildRequest(&wire.Request{ID: req.ID, Statements: b.stmts}, localResults, canceled)
+		if err == nil {
+			_, err = sess.ExecutePrepare(ereq, gid)
+		}
+		for j, slot := range b.slots {
+			resp.Results[slot] = localResults[j]
+		}
+		if err != nil {
+			return abort(err.Error(), preparedRemote, false)
+		}
+		localPrepared = true
+	}
+
+	// Phase 2: decide.  Logging the decision is the global commit point; a
+	// crash before it aborts everywhere (presumed abort), a crash after it
+	// commits everywhere (participants chase the recovered decision).
+	hook("coord-prepared")
+	if err := s.e.LogDecision(gid); err != nil {
+		return abort(fmt.Sprintf("logging commit decision: %v", err), preparedRemote, localPrepared)
+	}
+	hook("coord-decided")
+	if localPrepared {
+		_ = s.e.DecidePrepared(gid, true)
+	}
+	for _, b := range preparedRemote {
+		// A decide that fails to send leaves the branch prepared; its
+		// janitor will query the durable decision and commit.  The ack to
+		// the client does not wait for it.
+		if pc, err := ss.peer(m, b.owner); err == nil {
+			_, _ = pc.call(wire.EncodeDecideRequest(0, gid, wire.DecideCommit))
+		}
+	}
+	resp.Committed = true
+	s.committed.Add(1)
+	return resp
+}
+
+// executeShardMap answers a SHARD-MAP frame with the current encoded map.
+func (s *Server) executeShardMap(id uint64) *wire.Response {
+	resp := &wire.Response{ID: id}
+	ss := s.sharding.Load()
+	if ss == nil {
+		resp.Err = "server is not sharded"
+		return resp
+	}
+	resp.Committed = true
+	resp.Results = []wire.StatementResult{{Found: true, Value: ss.m.Load().Encode()}}
+	return resp
+}
+
+// executePrepare is the participant side of phase 1: execute the branch's
+// statements, force a prepare record under the frame's gid, and vote.
+// Committed=true is a durable yes; anything else is a no (and the branch,
+// if it started, has already aborted locally).
+func (s *Server) executePrepare(sess *engine.Session, f *wire.Frame, cs session) *wire.Response {
+	s.requests.Add(1)
+	resp := &wire.Response{ID: f.ID, Results: make([]wire.StatementResult, len(f.Req.Statements))}
+	ss := s.sharding.Load()
+	if ss == nil {
+		resp.Err = "server is not sharded"
+		s.aborted.Add(1)
+		return resp
+	}
+	if cs.readOnly {
+		resp.Err = "read-only session: prepare refused"
+		s.aborted.Add(1)
+		return resp
+	}
+	if tok := s.token.Load(); tok != nil && !cs.authed {
+		resp.Err = "prepare requires an authenticated session"
+		s.aborted.Add(1)
+		return resp
+	}
+	// Re-check ownership under the map this participant currently holds: a
+	// coordinator routing on a stale map must not slip a foreign key in.
+	m := ss.m.Load()
+	for _, st := range f.Req.Statements {
+		if shardKeyed(st.Op) {
+			if o := m.Owner(st.Key); o != ss.self {
+				s.aborted.Add(1)
+				return wrongShard(resp, m, o)
+			}
+		}
+	}
+	ereq, err := s.buildRequest(f.Req, resp.Results, nil)
+	if err == nil {
+		_, err = sess.ExecutePrepare(ereq, f.GID)
+	}
+	if err != nil {
+		resp.Err = err.Error()
+		s.aborted.Add(1)
+		return resp
+	}
+	resp.Committed = true
+	s.committed.Add(1)
+	return resp
+}
+
+// executeDecide handles a DECIDE frame: commit/abort resolves this
+// participant's prepared branch; query answers, as coordinator, whether the
+// gid was durably decided commit.
+func (s *Server) executeDecide(f *wire.Frame, cs session) *wire.Response {
+	resp := &wire.Response{ID: f.ID}
+	ss := s.sharding.Load()
+	if ss == nil {
+		resp.Err = "server is not sharded"
+		return resp
+	}
+	if tok := s.token.Load(); tok != nil && !cs.authed {
+		resp.Err = "decide requires an authenticated session"
+		return resp
+	}
+	switch f.DecideMode {
+	case wire.DecideQuery:
+		if _, busy := ss.coordinating.Load(f.GID); busy {
+			// Mid-protocol: the fate is not yet fixed, and "no decision"
+			// must not be read as presumed abort.  The janitor retries.
+			resp.Err = "decision pending"
+			return resp
+		}
+		resp.Committed = s.e.DecidedCommit(f.GID)
+		return resp
+	case wire.DecideCommit, wire.DecideAbort:
+		err := s.e.DecidePrepared(f.GID, f.DecideMode == wire.DecideCommit)
+		if err != nil && err != txn.ErrUnknownGID {
+			resp.Err = err.Error()
+			return resp
+		}
+		// Unknown gid: already resolved (duplicate decide) — idempotent.
+		resp.Committed = true
+		return resp
+	default:
+		resp.Err = fmt.Sprintf("unknown decide mode %d", f.DecideMode)
+		return resp
+	}
+}
+
+// janitor resolves branches stuck in doubt: live prepared transactions
+// whose decide frame never arrived, and branches recovered in doubt after a
+// restart.  For each it asks the gid's coordinator whether a commit was
+// durably decided; no decision means presumed abort.  Gids this node is
+// itself coordinating right now are skipped (their protocol is in flight).
+func (s *Server) janitor(ss *shardState) {
+	tick := time.NewTicker(janitorPeriod)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ss.stopCh:
+			return
+		case <-tick.C:
+		}
+		gids := s.e.PreparedGIDs(inDoubtPatience)
+		gids = append(gids, s.e.InDoubtGIDs()...)
+		for _, gid := range gids {
+			if _, busy := ss.coordinating.Load(gid); busy {
+				continue
+			}
+			s.resolveInDoubt(ss, gid)
+		}
+	}
+}
+
+// resolveInDoubt learns gid's fate from its coordinator and applies it.
+func (s *Server) resolveInDoubt(ss *shardState, gid string) {
+	coord, ok := coordinatorOf(gid)
+	if !ok {
+		return
+	}
+	var commit bool
+	if coord == ss.self {
+		// This node coordinated gid in a previous life; its own durable
+		// decisions are the answer.
+		commit = s.e.DecidedCommit(gid)
+	} else {
+		m := ss.m.Load()
+		pc, err := ss.peer(m, coord)
+		if err != nil {
+			return // coordinator unreachable; stay in doubt and retry
+		}
+		resp, err := pc.call(wire.EncodeDecideRequest(0, gid, wire.DecideQuery))
+		if err != nil || resp.Err != "" {
+			return // no answer (or mid-protocol); retry next tick
+		}
+		commit = resp.Committed
+	}
+	_ = s.e.DecidePrepared(gid, commit)
+}
+
+// peer returns the cached connection to the given shard, dialing if needed.
+// A cached connection whose address no longer matches the map (the shard
+// moved between processes) is retired and replaced.
+func (ss *shardState) peer(m *shard.Map, shardID int) (*peerConn, error) {
+	addr := m.AddrOf(shardID)
+	if addr == "" {
+		return nil, fmt.Errorf("no address for shard %d", shardID)
+	}
+	if v, ok := ss.peers.Load(shardID); ok {
+		pc := v.(*peerConn)
+		if pc.addr == addr {
+			return pc, nil
+		}
+		if ss.peers.CompareAndDelete(shardID, v) {
+			pc.close()
+		}
+	}
+	pc := &peerConn{addr: addr, token: ss.token}
+	if v, loaded := ss.peers.LoadOrStore(shardID, pc); loaded {
+		return v.(*peerConn), nil
+	}
+	return pc, nil
+}
+
+// peerConn is a minimal synchronous wire-v3 client for shard-to-shard
+// traffic (prepares, decides, queries).  Calls are mutex-serialized — one
+// outstanding request per peer — which keeps response matching trivial; the
+// janitor and coordinator volumes do not need pipelining.  A failed call
+// closes the connection and the next call redials, so a restarted peer is
+// picked up transparently.
+type peerConn struct {
+	addr  string
+	token string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	nextID uint64
+}
+
+func (p *peerConn) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reset()
+}
+
+func (p *peerConn) reset() {
+	if p.conn != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+		p.br = nil
+	}
+}
+
+// dial connects and completes the V3 handshake.  Caller holds p.mu.
+func (p *peerConn) dial() error {
+	conn, err := net.DialTimeout("tcp", p.addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	hello := &wire.Hello{MaxVersion: wire.V3}
+	if p.token != "" {
+		hello.Token = []byte(p.token)
+	}
+	if err := wire.WriteFrame(conn, wire.EncodeHello(hello)); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	br := bufio.NewReaderSize(conn, 32<<10)
+	ackBuf, err := wire.ReadFrame(br)
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	ack, err := wire.DecodeHelloAck(ackBuf)
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	if ack.Err != "" {
+		_ = conn.Close()
+		return fmt.Errorf("peer refused session: %s", ack.Err)
+	}
+	if ack.Version < wire.V3 {
+		_ = conn.Close()
+		return fmt.Errorf("peer speaks v%d, need v3", ack.Version)
+	}
+	p.conn = conn
+	p.br = br
+	return nil
+}
+
+// call sends one frame payload (its leading request ID is rewritten to this
+// connection's sequence) and waits for the matching response.
+func (p *peerConn) call(payload []byte) (*wire.Response, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		if err := p.dial(); err != nil {
+			return nil, err
+		}
+	}
+	p.nextID++
+	id := p.nextID
+	for i := 0; i < 8; i++ {
+		payload[i] = byte(id >> (8 * i))
+	}
+	if err := wire.WriteFrame(p.conn, payload); err != nil {
+		p.reset()
+		return nil, err
+	}
+	for {
+		buf, err := wire.ReadFrame(p.br)
+		if err != nil {
+			p.reset()
+			return nil, err
+		}
+		resp, err := wire.DecodeResponseV(buf, wire.V3)
+		if err != nil {
+			p.reset()
+			return nil, err
+		}
+		if resp.ID == id {
+			return resp, nil
+		}
+		// A stale response from a previous, timed-out call: drop it.
+	}
+}

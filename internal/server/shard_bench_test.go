@@ -1,0 +1,116 @@
+package server
+
+// Sharding overhead datapoint: the same single-key upsert workload driven
+// against one unsharded server and against a two-shard cluster through the
+// routing client, plus the cross-shard two-phase-commit rate.  Emitted as a
+// BENCH_JSON line so CI tracks the cost of the shard layer from day one.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"plp/client"
+	"plp/internal/catalog"
+	"plp/internal/engine"
+	"plp/internal/keyenc"
+)
+
+// startUnshardedNode starts one server with the same table layout as the
+// shard-cluster nodes, so the single-server baseline differs only in the
+// shard layer being absent.
+func startUnshardedNode(t *testing.T) string {
+	t.Helper()
+	e := engine.New(engine.Options{Design: engine.PLPLeaf, Partitions: 4})
+	parts := [][]byte{keyenc.Uint64Key(250_000), keyenc.Uint64Key(500_000), keyenc.Uint64Key(750_000)}
+	if _, err := e.CreateTable(catalog.TableDef{Name: "kv", Boundaries: parts}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = e.Close()
+	})
+	return addr
+}
+
+// measureTxnRate drives do in a synchronous loop for d and returns committed
+// transactions per second — a per-transaction latency measure, which is
+// exactly where routing hops and two-phase commit show up.
+func measureTxnRate(t *testing.T, d time.Duration, do func(i int) error) float64 {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	done := 0
+	for time.Now().Before(deadline) {
+		if err := do(done); err != nil {
+			t.Fatal(err)
+		}
+		done++
+	}
+	return float64(done) / time.Since(start).Seconds()
+}
+
+// TestTwoShardDatapoint emits the two_shard_vs_single BENCH_JSON line:
+// single-shard transactions through the routing client vs the same workload
+// on an unsharded server (the overhead of the shard layer on the fast
+// path), and the cross-shard 2PC commit rate.  No timing assertion — CI
+// machines are too noisy — the numbers are for the perf trajectory.
+func TestTwoShardDatapoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping throughput measurement in short mode")
+	}
+	ctx := context.Background()
+	const d = 300 * time.Millisecond
+
+	// Baseline: one unsharded server, plain client.
+	single := func() float64 {
+		addr := startUnshardedNode(t)
+		c := dial(t, addr)
+		return measureTxnRate(t, d, func(i int) error {
+			k := client.Uint64Key(uint64(i) % 400_000)
+			_, err := c.DoContext(ctx, client.NewTxn().Upsert("kv", k, []byte("v")))
+			return err
+		})
+	}()
+
+	nodes, _ := startShardCluster(t, 500_000)
+	sc, err := client.DialSharded(ctx, []string{nodes[0].addr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	// The same workload through the routing client: every transaction is
+	// single-shard, so the servers take the unsharded fast path and the
+	// difference is routing plus the shard-ownership check.
+	routed := measureTxnRate(t, d, func(i int) error {
+		k := client.Uint64Key(uint64(i) % 400_000)
+		_, err := sc.DoContext(ctx, client.NewTxn().Upsert("kv", k, []byte("v")))
+		return err
+	})
+
+	// Cross-shard: one upsert on each side of the split, committed with the
+	// coordinator-logged two-phase protocol.
+	crossShard := measureTxnRate(t, d, func(i int) error {
+		lo := client.Uint64Key(uint64(i) % 400_000)
+		hi := client.Uint64Key(600_000 + uint64(i)%400_000)
+		_, err := sc.DoContext(ctx, client.NewTxn().
+			Upsert("kv", lo, []byte("a")).
+			Upsert("kv", hi, []byte("b")))
+		return err
+	})
+
+	overhead := 0.0
+	if routed > 0 {
+		overhead = single / routed
+	}
+	fmt.Printf("BENCH_JSON {\"benchmark\":\"two_shard_vs_single\",\"single_server_txn_per_s\":%.0f,\"two_shard_routed_txn_per_s\":%.0f,\"cross_shard_2pc_txn_per_s\":%.0f,\"routing_overhead\":%.2f}\n",
+		single, routed, crossShard, overhead)
+}

@@ -1,0 +1,312 @@
+package server
+
+// Two-shard cluster tests: wrong-shard refusals, client routing, cross-shard
+// two-phase commits, and forwarding across a shard-map bump.  Both shards
+// run in-process over loopback so the tests can also inspect each engine
+// directly and assert exactly-once placement of every key.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"plp/client"
+	"plp/internal/catalog"
+	"plp/internal/engine"
+	"plp/internal/keyenc"
+	"plp/keys"
+	"plp/shard"
+	"plp/wire"
+)
+
+// shardNode is one in-process member of a test cluster.
+type shardNode struct {
+	e    *engine.Engine
+	srv  *Server
+	addr string
+}
+
+// startShardCluster starts two shard servers splitting the keyspace at
+// boundary and returns them with their version-1 map.
+func startShardCluster(t *testing.T, boundary uint64) ([]*shardNode, *shard.Map) {
+	t.Helper()
+	nodes := make([]*shardNode, 2)
+	for i := range nodes {
+		e := engine.New(engine.Options{Design: engine.PLPLeaf, Partitions: 4})
+		parts := [][]byte{keyenc.Uint64Key(250_000), keyenc.Uint64Key(500_000), keyenc.Uint64Key(750_000)}
+		if _, err := e.CreateTable(catalog.TableDef{Name: "kv", Boundaries: parts}); err != nil {
+			t.Fatal(err)
+		}
+		srv := New(e)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &shardNode{e: e, srv: srv, addr: addr}
+	}
+	m := &shard.Map{Version: 1, Shards: []shard.Shard{
+		{ID: 0, Addr: nodes[0].addr, End: keys.Uint64(boundary)},
+		{ID: 1, Addr: nodes[1].addr},
+	}}
+	for i, n := range nodes {
+		if err := n.srv.SetShardConfig(m, i, ""); err != nil {
+			t.Fatal(err)
+		}
+		srv, e := n.srv, n.e
+		go func() { _ = srv.Serve() }()
+		t.Cleanup(func() {
+			_ = srv.Close()
+			_ = e.Close()
+		})
+	}
+	return nodes, m
+}
+
+// engineHasKey reports whether the node's engine holds the key locally.
+func engineHasKey(t *testing.T, n *shardNode, key uint64) bool {
+	t.Helper()
+	k := keyenc.Uint64Key(key)
+	hi := append(append([]byte(nil), k...), 0)
+	found := false
+	if err := n.e.NewLoader().ReadRange("kv", k, hi, func(_, _ []byte) bool {
+		found = true
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return found
+}
+
+func TestWrongShardRefusalCarriesMap(t *testing.T) {
+	nodes, _ := startShardCluster(t, 500_000)
+	c := dial(t, nodes[0].addr)
+
+	// All keys of the request live on shard 1: shard 0 must refuse rather
+	// than execute, and the refusal must carry a parseable current map.
+	resp, err := c.Do(client.NewTxn().Upsert("kv", client.Uint64Key(600_000), []byte("x")))
+	if !errors.Is(err, client.ErrAborted) {
+		t.Fatalf("misrouted write: %v, want ErrAborted", err)
+	}
+	if !wire.IsWrongShard(resp.Err) {
+		t.Fatalf("refusal message %q lacks the wrong-shard prefix", resp.Err)
+	}
+	got, perr := shard.Parse(resp.Results[0].Value)
+	if perr != nil {
+		t.Fatalf("refusal carries an unparseable map: %v", perr)
+	}
+	if got.Version != 1 || len(got.Shards) != 2 || got.Owner(client.Uint64Key(600_000)) != 1 {
+		t.Fatalf("refusal map: %+v", got)
+	}
+	if engineHasKey(t, nodes[0], 600_000) || engineHasKey(t, nodes[1], 600_000) {
+		t.Fatal("refused write left effects behind")
+	}
+}
+
+func TestCrossShardCommitAtomicity(t *testing.T) {
+	nodes, _ := startShardCluster(t, 500_000)
+	c := dial(t, nodes[0].addr) // shard 0 coordinates
+
+	// A cross-shard transaction whose remote branch fails must leave no
+	// effects on either shard.
+	bad := client.NewTxn().
+		Insert("kv", client.Uint64Key(100), []byte("roll-me-back")).
+		Update("kv", client.Uint64Key(700_000), []byte("missing"))
+	if _, err := c.Do(bad); !errors.Is(err, client.ErrAborted) {
+		t.Fatalf("failing cross-shard txn: %v, want ErrAborted", err)
+	}
+	if engineHasKey(t, nodes[0], 100) {
+		t.Fatal("aborted cross-shard txn left its local branch applied")
+	}
+
+	// A clean one commits on both, each key exactly once on its owner.
+	good := client.NewTxn().
+		Upsert("kv", client.Uint64Key(100), []byte("a")).
+		Upsert("kv", client.Uint64Key(700_000), []byte("b"))
+	resp, err := c.Do(good)
+	if err != nil || !resp.Committed {
+		t.Fatalf("cross-shard commit: %v (%+v)", err, resp)
+	}
+	if !engineHasKey(t, nodes[0], 100) || engineHasKey(t, nodes[1], 100) {
+		t.Fatal("key 100 not exactly-once on shard 0")
+	}
+	if !engineHasKey(t, nodes[1], 700_000) || engineHasKey(t, nodes[0], 700_000) {
+		t.Fatal("key 700000 not exactly-once on shard 1")
+	}
+
+	// A cross-shard read sees both branches' values in statement order.
+	reads, err := c.Do(client.NewTxn().
+		Get("kv", client.Uint64Key(100)).
+		Get("kv", client.Uint64Key(700_000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reads.Results[0].Value) != "a" || string(reads.Results[1].Value) != "b" {
+		t.Fatalf("cross-shard read: %+v", reads.Results)
+	}
+}
+
+// TestShardedClientDifferential runs one deterministic mixed workload
+// through the routing client against the two-shard cluster AND through a
+// plain client against a single unsharded server, then compares the full
+// table contents — the sharded cluster must be observationally identical.
+func TestShardedClientDifferential(t *testing.T) {
+	nodes, _ := startShardCluster(t, 500_000)
+
+	single := engine.New(engine.Options{Design: engine.PLPLeaf, Partitions: 4})
+	if _, err := single.CreateTable(catalog.TableDef{Name: "kv", Boundaries: [][]byte{keyenc.Uint64Key(500_000)}}); err != nil {
+		t.Fatal(err)
+	}
+	ssrv := New(single)
+	saddr, err := ssrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ssrv.Serve() }()
+	t.Cleanup(func() {
+		_ = ssrv.Close()
+		_ = single.Close()
+	})
+
+	ctx := context.Background()
+	sc, err := client.DialSharded(ctx, []string{nodes[0].addr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	pc := dial(t, saddr)
+
+	// Deterministic workload: scattered upserts, deletes of known keys, and
+	// cross-shard two-key transactions.
+	rng := rand.New(rand.NewSource(7))
+	used := make([]uint64, 0, 512)
+	apply := func(txn *client.Txn) {
+		ra, ea := sc.Do(txn)
+		rb, eb := pc.Do(txn)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("divergent outcome: sharded=%v single=%v", ea, eb)
+		}
+		if ea == nil && ra.Committed != rb.Committed {
+			t.Fatalf("divergent commit: sharded=%v single=%v", ra.Committed, rb.Committed)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		switch {
+		case i%7 == 3 && len(used) > 0:
+			k := used[rng.Intn(len(used))]
+			apply(client.NewTxn().Delete("kv", client.Uint64Key(k)))
+		case i%5 == 0:
+			kA := uint64(rng.Intn(400_000) + 1)
+			kB := uint64(rng.Intn(300_000) + 600_000)
+			v := []byte{byte(i), byte(i >> 8)}
+			apply(client.NewTxn().
+				Upsert("kv", client.Uint64Key(kA), v).
+				Upsert("kv", client.Uint64Key(kB), v))
+			used = append(used, kA, kB)
+		default:
+			k := uint64(rng.Intn(1_000_000) + 1)
+			apply(client.NewTxn().Upsert("kv", client.Uint64Key(k), []byte{byte(i)}))
+			used = append(used, k)
+		}
+	}
+
+	// The cross-shard scan and the single-server scan agree record for
+	// record (the sharded scan concatenates shard ranges in key order).
+	want, err := pc.Scan("kv", nil, nil, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.Scan("kv", nil, nil, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan lengths diverge: sharded=%d single=%d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i].Key) != string(want[i].Key) || string(got[i].Value) != string(want[i].Value) {
+			t.Fatalf("scan diverges at %d: %x=%q vs %x=%q", i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
+		}
+	}
+	t.Logf("differential: %d records identical across sharded and single", len(want))
+}
+
+// TestStaleShardMapForwarding races a map bump against in-flight cross-shard
+// transactions, then drives writes through the now-stale client cache: the
+// wrong-shard refusal must refresh the client, and every acknowledged write
+// must land exactly once on its current owner.
+func TestStaleShardMapForwarding(t *testing.T) {
+	nodes, _ := startShardCluster(t, 500_000)
+	ctx := context.Background()
+	sc, err := client.DialSharded(ctx, []string{nodes[0].addr, nodes[1].addr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	v2 := &shard.Map{Version: 2, Shards: []shard.Shard{
+		{ID: 0, Addr: nodes[0].addr, End: keys.Uint64(300_000)},
+		{ID: 1, Addr: nodes[1].addr},
+	}}
+
+	// Phase A: cross-shard transactions in flight while the bump lands.
+	// Their keys do not change owner between the maps, so every one must
+	// commit exactly once regardless of which version it raced.
+	const pairs = 150
+	done := make(chan error, 1)
+	go func() {
+		for i := uint64(0); i < pairs; i++ {
+			v := []byte{byte(i)}
+			_, err := sc.Do(client.NewTxn().
+				Upsert("kv", client.Uint64Key(100_000+i), v).
+				Upsert("kv", client.Uint64Key(800_000+i), v))
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if err := nodes[0].srv.UpdateShardMap(v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[1].srv.UpdateShardMap(v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("cross-shard txn racing the map bump: %v", err)
+	}
+	for i := uint64(0); i < pairs; i++ {
+		if !engineHasKey(t, nodes[0], 100_000+i) || engineHasKey(t, nodes[1], 100_000+i) {
+			t.Fatalf("pair %d: low key not exactly-once on shard 0", i)
+		}
+		if !engineHasKey(t, nodes[1], 800_000+i) || engineHasKey(t, nodes[0], 800_000+i) {
+			t.Fatalf("pair %d: high key not exactly-once on shard 1", i)
+		}
+	}
+
+	// Phase B: fresh keys in the moved range [300000, 500000).  The client
+	// may still route them to shard 0 under its cached map; the refusal
+	// must refresh it and forward, landing each key once on shard 1.
+	for i := uint64(0); i < 20; i++ {
+		k := 350_000 + i
+		if err := sc.Upsert("kv", client.Uint64Key(k), []byte("moved")); err != nil {
+			t.Fatalf("write to moved range: %v", err)
+		}
+		if !engineHasKey(t, nodes[1], k) {
+			t.Fatalf("key %d missing from its current owner", k)
+		}
+		if engineHasKey(t, nodes[0], k) {
+			t.Fatalf("key %d duplicated onto the old owner", k)
+		}
+	}
+	if v := sc.Map().Version; v != 2 {
+		t.Fatalf("client map version %d after forwarding, want 2", v)
+	}
+	// Routed reads see the moved keys.
+	if val, err := sc.Get("kv", client.Uint64Key(350_000)); err != nil || string(val) != "moved" {
+		t.Fatalf("read of moved key: %q, %v", val, err)
+	}
+}

@@ -1,0 +1,81 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"plp/internal/wal"
+)
+
+func TestPrepareThenCommitDecision(t *testing.T) {
+	m, log, _ := newManager()
+	tx := m.Begin()
+	lsn := log.Append(&wal.Record{Txn: tx.ID(), Type: wal.RecInsert})
+	tx.SetLastLSN(lsn)
+
+	if err := m.Prepare(tx, "s0-1"); err != nil {
+		t.Fatal(err)
+	}
+	// A prepared branch stays active: locks held, undo retained, visible to
+	// the active table (so checkpoints refuse while it is in doubt).
+	if tx.State() != Active || m.NumActive() != 1 {
+		t.Fatal("prepare retired the transaction")
+	}
+	if m.NumPrepared() != 1 {
+		t.Fatal("prepare not registered")
+	}
+	// The prepare record is durable before the vote.
+	if log.DurableLSN() < tx.LastLSN() {
+		t.Fatal("prepare record not flushed")
+	}
+
+	if err := m.Decide("s0-1", true); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != Committed || m.NumPrepared() != 0 || m.NumActive() != 0 {
+		t.Fatal("commit decision did not retire the branch")
+	}
+	// A duplicate decide is harmless.
+	if err := m.Decide("s0-1", true); !errors.Is(err, ErrUnknownGID) {
+		t.Fatalf("duplicate decide: %v", err)
+	}
+}
+
+func TestPrepareThenAbortDecision(t *testing.T) {
+	m, _, _ := newManager()
+	tx := m.Begin()
+	undone := false
+	tx.PushUndo(func() error { undone = true; return nil })
+	if err := m.Prepare(tx, "s1-9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Decide("s1-9", false); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != Aborted || !undone {
+		t.Fatal("abort decision did not roll the branch back")
+	}
+}
+
+func TestDecideUnknownGID(t *testing.T) {
+	m, _, _ := newManager()
+	if err := m.Decide("s9-404", true); !errors.Is(err, ErrUnknownGID) {
+		t.Fatalf("unknown gid: %v", err)
+	}
+}
+
+func TestPreparedGIDsAge(t *testing.T) {
+	m, _, _ := newManager()
+	tx := m.Begin()
+	if err := m.Prepare(tx, "s0-7"); err != nil {
+		t.Fatal(err)
+	}
+	if gids := m.PreparedGIDs(time.Hour); len(gids) != 0 {
+		t.Fatalf("fresh branch reported stale: %v", gids)
+	}
+	gids := m.PreparedGIDs(0)
+	if len(gids) != 1 || gids[0] != "s0-7" {
+		t.Fatalf("stale branches: %v", gids)
+	}
+}

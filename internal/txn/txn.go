@@ -240,8 +240,20 @@ type Manager struct {
 	mu     sync.Mutex
 	active map[uint64]*Txn
 
+	// prepared maps cross-shard global transaction IDs to local branches
+	// that voted yes and now await the coordinator's decision.  A prepared
+	// transaction stays Active (and in the active table) so checkpoints and
+	// shutdown correctly see it as unfinished business.
+	prepared map[string]*preparedTxn
+
 	committed atomic.Uint64
 	aborted   atomic.Uint64
+}
+
+// preparedTxn is a local branch blocked in the in-doubt window.
+type preparedTxn struct {
+	txn   *Txn
+	since time.Time
 }
 
 // NewManager returns a transaction manager.  log is required; locks may be

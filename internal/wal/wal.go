@@ -47,6 +47,8 @@ const (
 	RecSMO         // B+Tree structure modification (split/merge)
 	RecRepartition // MRBTree slice/meld
 	RecCheckpoint
+	RecPrepare // txn prepared for a cross-shard commit; payload = gid
+	RecDecide  // coordinator's durable commit decision; payload = gid
 )
 
 // String returns a short label for the record type.
@@ -68,6 +70,10 @@ func (t RecordType) String() string {
 		return "repartition"
 	case RecCheckpoint:
 		return "checkpoint"
+	case RecPrepare:
+		return "prepare"
+	case RecDecide:
+		return "decide"
 	default:
 		return fmt.Sprintf("rectype(%d)", uint8(t))
 	}

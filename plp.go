@@ -167,6 +167,37 @@
 // synchronous helpers on top), and package keys is the shared
 // order-preserving key encoding both sides build keys with.
 //
+// # Sharding
+//
+// Cross-process sharding (v1) layers a versioned shard map — package shard,
+// a small text file assigning contiguous key ranges to plpd processes —
+// over the same order-preserving key encoding that drives in-process
+// partitioning, so a key's owner is a pure function of the map computable
+// identically by clients, coordinators and participants:
+//
+//	version 1
+//	shard 0 10.0.0.1:7070 500000
+//	shard 1 10.0.0.2:7070 -
+//
+// Each plpd joins with -shard-map/-shard-id (the data directory remembers
+// its assignment in a shard.state file and the daemon refuses to start when
+// they disagree).  A transaction whose keys are all local takes the
+// unchanged single-process fast path; one whose keys all live elsewhere is
+// refused with a wrong-shard error carrying the current map — the routing
+// client (client.DialSharded) adopts the attached map and forwards in the
+// same call, mirroring the executor's epoch-checked mis-route forwarding;
+// and one spanning shards commits through a coordinator-logged two-phase
+// protocol over wire v3 PREPARE/DECIDE frames: participants vote by forcing
+// a prepare record and holding the branch prepared (locks held, undo
+// retained), the coordinator's durable decide record is the global commit
+// point, and presumed abort plus a janitor that chases lost decisions
+// resolve every crash combination — the SIGKILL harness kills the
+// coordinator between prepare and decide and proves no acknowledged
+// cross-shard commit is lost and no unacknowledged one half-applies.
+// Secondary-index ops, scans and plans stay shard-local in v1, and a map
+// version bump moves ownership but not data; "plpctl shards" prints a
+// running daemon's map.
+//
 // # Online dynamic repartitioning
 //
 // Physiological partitioning only stays latch-free under shifting workloads

@@ -1,0 +1,257 @@
+// Package shard defines the cross-process shard map: a versioned, static
+// assignment of key ranges to plpd processes, layered over the same
+// order-preserving key encoding (package keys) that drives in-process
+// partitioning.
+//
+// A Map carries a monotonically increasing version and an ordered list of
+// shards.  Each shard owns the contiguous key range [previous shard's End,
+// its own End); the last shard's End is nil, meaning the range is open to
+// the top of the keyspace.  The same map covers every table — cross-process
+// sharding splits the keyspace, not the schema — so a key's owner is a pure
+// function of the map and the key bytes, computable identically by clients,
+// coordinators and participants.
+//
+// The map is distributed as a small text file (see Parse/Encode) loaded by
+// plpd at startup (-shard-map/-shard-id) and fetched by clients over the
+// wire (the shard-map frame).  The version exists so a later controller can
+// move ranges: a process or client holding a map with a lower version than
+// the one a server answers with must refresh and re-route, mirroring the
+// epoch-checked mis-route forwarding the in-process executor already does
+// for moved partitions.
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"plp/keys"
+)
+
+// Shard is one plpd process and the key range it owns.
+type Shard struct {
+	// ID identifies the shard; gids and wrong-shard errors name shards by
+	// it.  IDs must be unique but need not be dense.
+	ID int
+	// Addr is the shard's plpd listen address ("host:port").
+	Addr string
+	// End is the exclusive upper bound of the shard's key range; nil on the
+	// last shard means the range is open-ended.  The lower bound is the
+	// previous shard's End (nil on the first shard).
+	End []byte
+}
+
+// Map is a versioned assignment of the keyspace to shards.
+type Map struct {
+	// Version increases on every reassignment; higher versions win.
+	Version uint64
+	// Shards are ordered by key range, ascending.
+	Shards []Shard
+}
+
+// Validate checks structural invariants: at least one shard, unique IDs,
+// non-empty addresses, strictly ascending boundaries, and exactly one
+// open-ended (last) shard.
+func (m *Map) Validate() error {
+	if m == nil || len(m.Shards) == 0 {
+		return fmt.Errorf("shard: map has no shards")
+	}
+	seen := make(map[int]struct{}, len(m.Shards))
+	for i, s := range m.Shards {
+		if s.Addr == "" {
+			return fmt.Errorf("shard: shard %d has no address", s.ID)
+		}
+		if _, dup := seen[s.ID]; dup {
+			return fmt.Errorf("shard: duplicate shard id %d", s.ID)
+		}
+		seen[s.ID] = struct{}{}
+		last := i == len(m.Shards)-1
+		if last {
+			if s.End != nil {
+				return fmt.Errorf("shard: last shard %d must be open-ended", s.ID)
+			}
+			continue
+		}
+		if s.End == nil {
+			return fmt.Errorf("shard: non-final shard %d is open-ended", s.ID)
+		}
+		if i > 0 && keys.Compare(m.Shards[i-1].End, s.End) >= 0 {
+			return fmt.Errorf("shard: boundaries not ascending at shard %d", s.ID)
+		}
+	}
+	return nil
+}
+
+// Owner returns the ID of the shard owning key.
+func (m *Map) Owner(key []byte) int {
+	i := sort.Search(len(m.Shards)-1, func(i int) bool {
+		return keys.Compare(key, m.Shards[i].End) < 0
+	})
+	return m.Shards[i].ID
+}
+
+// ByID returns the shard with the given ID.
+func (m *Map) ByID(id int) (Shard, bool) {
+	for _, s := range m.Shards {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Shard{}, false
+}
+
+// AddrOf returns the address of the shard with the given ID ("" if absent).
+func (m *Map) AddrOf(id int) string {
+	s, ok := m.ByID(id)
+	if !ok {
+		return ""
+	}
+	return s.Addr
+}
+
+// Range returns the key range [lo, hi) owned by the shard with the given
+// ID; nil bounds are open.
+func (m *Map) Range(id int) (lo, hi []byte, ok bool) {
+	for i, s := range m.Shards {
+		if s.ID != id {
+			continue
+		}
+		if i > 0 {
+			lo = m.Shards[i-1].End
+		}
+		return lo, s.End, true
+	}
+	return nil, nil, false
+}
+
+// Clone returns a deep copy of the map.
+func (m *Map) Clone() *Map {
+	out := &Map{Version: m.Version, Shards: make([]Shard, len(m.Shards))}
+	for i, s := range m.Shards {
+		out.Shards[i] = Shard{ID: s.ID, Addr: s.Addr}
+		if s.End != nil {
+			out.Shards[i].End = append([]byte(nil), s.End...)
+		}
+	}
+	return out
+}
+
+// encodeBound renders a range bound for the text format: "-" for open,
+// a decimal uint64 when the bound is an 8-byte uint64 key, hex otherwise.
+func encodeBound(b []byte) string {
+	if b == nil {
+		return "-"
+	}
+	if len(b) == 8 {
+		if v, err := keys.DecodeUint64(b); err == nil {
+			return strconv.FormatUint(v, 10)
+		}
+	}
+	return "0x" + hex.EncodeToString(b)
+}
+
+// parseBound parses a range bound: "-" is open, "0x<hex>" is raw key bytes,
+// a plain decimal is encoded as a uint64 key.
+func parseBound(s string) ([]byte, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "0x"); ok {
+		b, err := hex.DecodeString(rest)
+		if err != nil {
+			return nil, fmt.Errorf("shard: bad hex bound %q: %v", s, err)
+		}
+		return b, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("shard: bad bound %q (want '-', 0x<hex> or uint64)", s)
+	}
+	return keys.Uint64(v), nil
+}
+
+// Encode renders the map in its text file format:
+//
+//	version 1
+//	shard 0 127.0.0.1:7070 500000
+//	shard 1 127.0.0.1:7071 -
+//
+// Each shard line is "shard <id> <addr> <end>"; <end> is the exclusive
+// upper bound of the shard's range ("-" on the last, open-ended shard;
+// plain decimals are uint64 keys, 0x-prefixed hex is raw key bytes).
+func (m *Map) Encode() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "version %d\n", m.Version)
+	for _, s := range m.Shards {
+		fmt.Fprintf(&b, "shard %d %s %s\n", s.ID, s.Addr, encodeBound(s.End))
+	}
+	return b.Bytes()
+}
+
+// Parse reads a map in the Encode text format.  Blank lines and #-comments
+// are ignored.  The parsed map is validated.
+func Parse(data []byte) (*Map, error) {
+	m := &Map{}
+	sawVersion := false
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "version":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("shard: line %d: want 'version <n>'", line)
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("shard: line %d: bad version: %v", line, err)
+			}
+			m.Version = v
+			sawVersion = true
+		case "shard":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("shard: line %d: want 'shard <id> <addr> <end>'", line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("shard: line %d: bad shard id: %v", line, err)
+			}
+			end, err := parseBound(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("shard: line %d: %v", line, err)
+			}
+			m.Shards = append(m.Shards, Shard{ID: id, Addr: fields[2], End: end})
+		default:
+			return nil, fmt.Errorf("shard: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawVersion {
+		return nil, fmt.Errorf("shard: missing 'version' line")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ParseFile loads and parses a map file.
+func ParseFile(path string) (*Map, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}

@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"plp/keys"
+)
+
+func twoShardMap() *Map {
+	return &Map{Version: 1, Shards: []Shard{
+		{ID: 0, Addr: "127.0.0.1:7070", End: keys.Uint64(500_000)},
+		{ID: 1, Addr: "127.0.0.1:7071"},
+	}}
+}
+
+func TestOwner(t *testing.T) {
+	m := twoShardMap()
+	cases := []struct {
+		key  uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {499_999, 0}, {500_000, 1}, {500_001, 1}, {^uint64(0), 1},
+	}
+	for _, c := range cases {
+		if got := m.Owner(keys.Uint64(c.key)); got != c.want {
+			t.Errorf("Owner(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+	single := &Map{Version: 1, Shards: []Shard{{ID: 7, Addr: "x"}}}
+	if got := single.Owner(keys.Uint64(123)); got != 7 {
+		t.Errorf("single-shard Owner = %d, want 7", got)
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	m := &Map{Version: 42, Shards: []Shard{
+		{ID: 0, Addr: "a:1", End: keys.Uint64(1000)},
+		{ID: 3, Addr: "b:2", End: []byte{0x01, 0x02, 0xff}},
+		{ID: 1, Addr: "c:3"},
+	}}
+	got, err := Parse(m.Encode())
+	if err != nil {
+		t.Fatalf("Parse(Encode()): %v", err)
+	}
+	if got.Version != 42 || len(got.Shards) != 3 {
+		t.Fatalf("round trip lost structure: %+v", got)
+	}
+	for i := range m.Shards {
+		if got.Shards[i].ID != m.Shards[i].ID || got.Shards[i].Addr != m.Shards[i].Addr ||
+			!bytes.Equal(got.Shards[i].End, m.Shards[i].End) {
+			t.Errorf("shard %d: got %+v, want %+v", i, got.Shards[i], m.Shards[i])
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	m, err := Parse([]byte("# cluster\nversion 2\n\nshard 0 h:1 500000\nshard 1 h:2 -\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Version != 2 || len(m.Shards) != 2 {
+		t.Fatalf("got %+v", m)
+	}
+	if !bytes.Equal(m.Shards[0].End, keys.Uint64(500_000)) {
+		t.Errorf("decimal bound not parsed as uint64 key")
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	bad := []string{
+		"shard 0 h:1 -\n", // no version
+		"version 1\n",     // no shards
+		"version 1\nshard 0 h:1 5\nshard 0 h:2 -\n",                // dup id
+		"version 1\nshard 0 h:1 9\nshard 1 h:2 5\nshard 2 h:3 -\n", // not ascending
+		"version 1\nshard 0 h:1 5\n",                               // last not open
+		"version 1\nshard 0 h:1 -\nshard 1 h:2 -\n",                // open mid-map
+		"version 1\nshard 0  5\n",                                  // malformed line
+		"bogus 1\n",                                                // unknown directive
+	}
+	for _, src := range bad {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := twoShardMap()
+	lo, hi, ok := m.Range(0)
+	if !ok || lo != nil || !bytes.Equal(hi, keys.Uint64(500_000)) {
+		t.Errorf("Range(0) = %x, %x, %v", lo, hi, ok)
+	}
+	lo, hi, ok = m.Range(1)
+	if !ok || !bytes.Equal(lo, keys.Uint64(500_000)) || hi != nil {
+		t.Errorf("Range(1) = %x, %x, %v", lo, hi, ok)
+	}
+	if _, _, ok := m.Range(9); ok {
+		t.Error("Range(9) found a shard that does not exist")
+	}
+}
+
+func TestStateRoundTripAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	m := twoShardMap()
+
+	// Fresh dir: accepted, state derived from the map.
+	st, err := CheckState(dir, m, 0)
+	if err != nil {
+		t.Fatalf("CheckState fresh: %v", err)
+	}
+	if err := WriteState(dir, st); err != nil {
+		t.Fatalf("WriteState: %v", err)
+	}
+	got, found, err := ReadState(dir)
+	if err != nil || !found {
+		t.Fatalf("ReadState: %v found=%v", err, found)
+	}
+	if got.ShardID != 0 || got.MapVersion != 1 || got.Lo != nil || !bytes.Equal(got.Hi, keys.Uint64(500_000)) {
+		t.Fatalf("state round trip: %+v", got)
+	}
+
+	// Same map again: fine.
+	if _, err := CheckState(dir, m, 0); err != nil {
+		t.Fatalf("CheckState same map: %v", err)
+	}
+
+	// Wrong shard ID: refused.
+	if _, err := CheckState(dir, m, 1); err == nil {
+		t.Error("CheckState accepted a data dir belonging to another shard")
+	}
+
+	// Same version, different range: refused.
+	moved := m.Clone()
+	moved.Shards[0].End = keys.Uint64(300_000)
+	if _, err := CheckState(dir, moved, 0); err == nil {
+		t.Error("CheckState accepted a conflicting range at the same map version")
+	}
+
+	// Newer version with a moved range: accepted (controller move).
+	moved.Version = 2
+	st2, err := CheckState(dir, moved, 0)
+	if err != nil {
+		t.Fatalf("CheckState newer map: %v", err)
+	}
+	if st2.MapVersion != 2 || !bytes.Equal(st2.Hi, keys.Uint64(300_000)) {
+		t.Fatalf("CheckState newer map state: %+v", st2)
+	}
+	if err := WriteState(dir, st2); err != nil {
+		t.Fatalf("WriteState v2: %v", err)
+	}
+
+	// Older map after serving a newer one: refused.
+	if _, err := CheckState(dir, m, 0); err == nil {
+		t.Error("CheckState accepted an older map than the dir last served")
+	}
+}
+
+func TestReadStateMissing(t *testing.T) {
+	_, found, err := ReadState(t.TempDir())
+	if err != nil || found {
+		t.Fatalf("ReadState on empty dir: found=%v err=%v", found, err)
+	}
+	// A state file that is not there is different from one we cannot parse.
+	dir := t.TempDir()
+	if err := writeRaw(dir, "lo zz\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadState(dir); err == nil {
+		t.Error("ReadState accepted a corrupt state file")
+	}
+}
+
+func writeRaw(dir, body string) error {
+	return os.WriteFile(filepath.Join(dir, StateFile), []byte(body), 0o644)
+}

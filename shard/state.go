@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// StateFile is the name of the per-data-dir shard state record.
+const StateFile = "shard.state"
+
+// State records which slice of which shard map a data directory was last
+// served under.  plpd writes it on startup and refuses to start when the
+// stored state disagrees with the map it was handed: a directory that
+// recovered WAL state for one key range must not silently serve another.
+type State struct {
+	// ShardID is the shard this data directory belongs to.
+	ShardID int
+	// MapVersion is the version of the shard map the directory last served.
+	MapVersion uint64
+	// Lo, Hi are the key range the shard owned under that map (exclusive
+	// upper bound; nil bounds are open).
+	Lo, Hi []byte
+}
+
+func encodeStateBound(b []byte) string {
+	if b == nil {
+		return "-"
+	}
+	return "0x" + hex.EncodeToString(b)
+}
+
+func parseStateBound(s string) ([]byte, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	rest, ok := strings.CutPrefix(s, "0x")
+	if !ok {
+		return nil, fmt.Errorf("shard: bad state bound %q", s)
+	}
+	return hex.DecodeString(rest)
+}
+
+// WriteState persists st into dir atomically (write temp + rename).
+func WriteState(dir string, st State) error {
+	body := fmt.Sprintf("shard %d\nversion %d\nlo %s\nhi %s\n",
+		st.ShardID, st.MapVersion, encodeStateBound(st.Lo), encodeStateBound(st.Hi))
+	tmp := filepath.Join(dir, StateFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, StateFile))
+}
+
+// ReadState loads the state record from dir.  Returns ok=false (no error)
+// when the directory has no state file yet.
+func ReadState(dir string) (State, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, StateFile))
+	if os.IsNotExist(err) {
+		return State{}, false, nil
+	}
+	if err != nil {
+		return State{}, false, err
+	}
+	var st State
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		switch fields[0] {
+		case "shard":
+			st.ShardID, err = strconv.Atoi(fields[1])
+		case "version":
+			st.MapVersion, err = strconv.ParseUint(fields[1], 10, 64)
+		case "lo":
+			st.Lo, err = parseStateBound(fields[1])
+		case "hi":
+			st.Hi, err = parseStateBound(fields[1])
+		}
+		if err != nil {
+			return State{}, false, fmt.Errorf("shard: corrupt state file: %v", err)
+		}
+	}
+	return st, true, nil
+}
+
+// CheckState validates a stored state record against the map and shard ID a
+// process was started with.  It returns the state to persist going forward,
+// or an error when starting would mis-serve the directory's recovered data:
+// the directory belonged to a different shard, was last served under a
+// *newer* map than the one provided, or the map claims the same version but
+// assigns the shard a different key range.  A newer map version with a
+// (possibly) different range is accepted — that is a legitimate controller
+// move — and the returned state reflects the new map.
+func CheckState(dir string, m *Map, shardID int) (State, error) {
+	lo, hi, ok := m.Range(shardID)
+	if !ok {
+		return State{}, fmt.Errorf("shard: map version %d has no shard %d", m.Version, shardID)
+	}
+	next := State{ShardID: shardID, MapVersion: m.Version, Lo: lo, Hi: hi}
+	prev, found, err := ReadState(dir)
+	if err != nil {
+		return State{}, err
+	}
+	if !found {
+		return next, nil
+	}
+	if prev.ShardID != shardID {
+		return State{}, fmt.Errorf("shard: data dir %s belongs to shard %d, not shard %d", dir, prev.ShardID, shardID)
+	}
+	if prev.MapVersion > m.Version {
+		return State{}, fmt.Errorf("shard: data dir %s was last served under map version %d, newer than provided version %d", dir, prev.MapVersion, m.Version)
+	}
+	if prev.MapVersion == m.Version {
+		if keysEqual(prev.Lo, lo) && keysEqual(prev.Hi, hi) {
+			return next, nil
+		}
+		return State{}, fmt.Errorf("shard: data dir %s recorded a different key range for shard %d under map version %d", dir, shardID, m.Version)
+	}
+	return next, nil
+}
+
+func keysEqual(a, b []byte) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return string(a) == string(b)
+}

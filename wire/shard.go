@@ -1,0 +1,148 @@
+// Sharding frames: the V3 frame kinds that carry the cross-process shard
+// map and the two-phase commit traffic between plpd processes.
+//
+// A SHARD-MAP frame asks the server for its current shard map; the reply is
+// an ordinary response whose single result Value holds the map in its text
+// encoding (package shard).  PREPARE ships one branch of a cross-shard
+// transaction to a participant: the statements execute there and the
+// participant votes by committing the response (Committed=true is a durable
+// yes).  DECIDE delivers the coordinator's verdict for a gid — or, in query
+// mode, asks the coordinator whether it durably decided commit, which is
+// how a participant stuck in doubt after a crash chases the decision.
+//
+// Wrong-shard routing errors travel as ordinary transaction errors whose
+// message starts with WrongShardPrefix; the server appends its current map
+// to the refusing response so one round trip both rejects and refreshes.
+package wire
+
+import "fmt"
+
+// The V3 sharding frame kinds (continuing the FrameKind space of wire.go).
+const (
+	// FrameShardMap requests the server's current shard map.
+	FrameShardMap FrameKind = 3
+	// FramePrepare executes one branch of a cross-shard transaction and
+	// votes on its commit.
+	FramePrepare FrameKind = 4
+	// FrameDecide delivers (or queries) the coordinator's commit decision.
+	FrameDecide FrameKind = 5
+)
+
+// DecideMode is the verb of a FrameDecide.
+type DecideMode uint8
+
+// Decide modes.
+const (
+	// DecideAbort tells the participant to roll the prepared branch back.
+	DecideAbort DecideMode = 0
+	// DecideCommit tells the participant to commit the prepared branch.
+	DecideCommit DecideMode = 1
+	// DecideQuery asks the receiver, as coordinator, whether it durably
+	// decided to commit the gid; the response's Committed reports it.
+	DecideQuery DecideMode = 2
+)
+
+// WrongShardPrefix starts every routing-refusal error message.  The rest of
+// the message is human-readable; the refusing response carries the server's
+// current encoded shard map in Results[0].Value so the client can refresh
+// and re-route without an extra round trip.
+const WrongShardPrefix = "wrong shard"
+
+// IsWrongShard reports whether a transaction error message is a routing
+// refusal.
+func IsWrongShard(msg string) bool {
+	return len(msg) >= len(WrongShardPrefix) && msg[:len(WrongShardPrefix)] == WrongShardPrefix
+}
+
+// EncodeShardMapRequest serializes a SHARD-MAP request payload.
+func EncodeShardMapRequest(id uint64) []byte {
+	out := appendUint64(make([]byte, 0, 9), id)
+	return append(out, byte(FrameShardMap))
+}
+
+// EncodePrepareRequest serializes a PREPARE payload: the branch's gid, the
+// shard-map version the coordinator routed under, and the statements of the
+// branch (V2 statement encoding).
+func EncodePrepareRequest(id uint64, gid string, mapVersion uint64, stmts []Statement) []byte {
+	size := 8 + 1 + 4 + len(gid) + 8 + 4
+	for _, s := range stmts {
+		size += 1 + 4 + len(s.Table) + 4 + len(s.Index) + 4 + len(s.Key) + 4 + len(s.Value) +
+			4 + len(s.KeyEnd) + 4
+	}
+	out := appendUint64(make([]byte, 0, size), id)
+	out = append(out, byte(FramePrepare))
+	out = appendString(out, gid)
+	out = appendUint64(out, mapVersion)
+	out = appendUint32(out, uint32(len(stmts)))
+	for _, s := range stmts {
+		out = append(out, byte(s.Op))
+		out = appendString(out, s.Table)
+		out = appendString(out, s.Index)
+		out = appendBytes(out, s.Key)
+		out = appendBytes(out, s.Value)
+		out = appendBytes(out, s.KeyEnd)
+		out = appendUint32(out, s.Limit)
+	}
+	return out
+}
+
+// EncodeDecideRequest serializes a DECIDE payload for the given gid.
+func EncodeDecideRequest(id uint64, gid string, mode DecideMode) []byte {
+	out := appendUint64(make([]byte, 0, 8+1+4+len(gid)+1), id)
+	out = append(out, byte(FrameDecide))
+	out = appendString(out, gid)
+	return append(out, byte(mode))
+}
+
+// decodeShardFrame parses the body of a SHARD-MAP, PREPARE or DECIDE frame;
+// the reader is positioned just past the kind byte.
+func decodeShardFrame(f *Frame, r *reader) (*Frame, error) {
+	switch f.Kind {
+	case FrameShardMap:
+		return f, nil
+	case FramePrepare:
+		f.GID = r.str()
+		f.MapVersion = r.uint64()
+		n := r.uint32()
+		req := &Request{ID: f.ID}
+		if max := uint32(len(r.buf) / 17); n > 0 && r.err == nil {
+			req.Statements = make([]Statement, 0, min(n, max))
+		}
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			s := Statement{Op: OpType(r.byteVal())}
+			s.Table = r.str()
+			s.Index = r.str()
+			s.Key = r.bytes()
+			s.Value = r.bytes()
+			s.KeyEnd = r.bytes()
+			s.Limit = r.uint32()
+			if r.err == nil && !s.Op.validFor(V3) {
+				return nil, fmt.Errorf("%w: %d (prepare)", ErrBadOp, s.Op)
+			}
+			req.Statements = append(req.Statements, s)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if f.GID == "" {
+			return nil, fmt.Errorf("%w: prepare without gid", ErrShortPayload)
+		}
+		f.Req = req
+		return f, nil
+	case FrameDecide:
+		f.GID = r.str()
+		f.DecideMode = DecideMode(r.byteVal())
+		if r.err != nil {
+			return nil, r.err
+		}
+		if f.GID == "" {
+			return nil, fmt.Errorf("%w: decide without gid", ErrShortPayload)
+		}
+		if f.DecideMode > DecideQuery {
+			return nil, fmt.Errorf("%w: decide mode %d", ErrBadOp, f.DecideMode)
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown shard frame kind %d", ErrBadOp, f.Kind)
+	}
+}

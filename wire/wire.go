@@ -582,10 +582,21 @@ type Frame struct {
 	ID uint64
 	// Kind tags which body field is set.
 	Kind FrameKind
-	// Req is the flat statement transaction (FrameStatements).
+	// Req is the flat statement transaction (FrameStatements, and the
+	// statements of a FramePrepare).
 	Req *Request
 	// Plan is the declarative plan (FramePlan).
 	Plan *plan.Plan
+	// GID is the cross-shard global transaction ID (FramePrepare,
+	// FrameDecide).
+	GID string
+	// MapVersion is the shard-map version the coordinator routed under
+	// (FramePrepare); the participant re-checks ownership against its own
+	// map before voting.
+	MapVersion uint64
+	// DecideMode is the decide verb (FrameDecide): DecideAbort,
+	// DecideCommit or DecideQuery.
+	DecideMode DecideMode
 }
 
 // minEncodedOpBytes is the smallest possible encoded plan op; hostile
@@ -693,6 +704,8 @@ func DecodeFrameV3(buf []byte) (*Frame, error) {
 		}
 		f.Plan = p
 		return f, nil
+	case FrameShardMap, FramePrepare, FrameDecide:
+		return decodeShardFrame(f, r)
 	default:
 		return nil, fmt.Errorf("%w: unknown frame kind %d", ErrBadOp, f.Kind)
 	}
