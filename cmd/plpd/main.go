@@ -158,6 +158,7 @@ func main() {
 	// accepted: a restarted durable daemon replays the checkpoint snapshot,
 	// the restored partition boundaries and the committed log tail, so the
 	// first client sees exactly the acknowledged pre-crash state.
+	var shardEpoch uint64 // persisted incarnation; 0 (no data dir) derives one from the clock
 	if *dataDir != "" {
 		// A sharded durable daemon must not replay a data directory written
 		// under a different shard assignment: silently serving another
@@ -183,10 +184,14 @@ func main() {
 			fmt.Printf("plpd: %d cross-shard branches in doubt; resolving from their coordinators\n", info.InDoubt)
 		}
 		if shardMap != nil {
+			// Persist the bumped incarnation BEFORE any gid is minted with
+			// it: a crash after coordinating would otherwise let the next
+			// start reuse this incarnation's gids.
 			if err := shard.WriteState(*dataDir, shardSt); err != nil {
 				fmt.Fprintf(os.Stderr, "writing shard state: %v\n", err)
 				os.Exit(1)
 			}
+			shardEpoch = shardSt.Incarnation
 		}
 	}
 
@@ -201,7 +206,7 @@ func main() {
 	srv.SetAuthToken(*token)
 	srv.SetReadOnlyToken(*roToken)
 	if shardMap != nil {
-		if err := srv.SetShardConfig(shardMap, *shardID, *token); err != nil {
+		if err := srv.SetShardConfig(shardMap, *shardID, *token, shardEpoch); err != nil {
 			fmt.Fprintf(os.Stderr, "shard config: %v\n", err)
 			os.Exit(1)
 		}

@@ -126,7 +126,7 @@ func runShardCoordServer(dir, peerAddr, point string) {
 		}
 		testHook.Store(&fn)
 	}
-	if err := srv.SetShardConfig(m, 0, ""); err != nil {
+	if err := srv.SetShardConfig(m, 0, "", 0); err != nil {
 		fmt.Fprintf(os.Stderr, "shard child: shard config: %v\n", err)
 		os.Exit(1)
 	}
@@ -350,7 +350,7 @@ func TestShardCoordinatorCrash(t *testing.T) {
 				{ID: 0, Addr: caddr, End: keyenc.Uint64Key(500_000)},
 				{ID: 1, Addr: paddr},
 			}}
-			if err := psrv.SetShardConfig(m1, 1, ""); err != nil {
+			if err := psrv.SetShardConfig(m1, 1, "", 0); err != nil {
 				t.Fatal(err)
 			}
 

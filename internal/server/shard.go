@@ -17,9 +17,18 @@
 //     Session.ExecutePrepare;
 //  3. on unanimous yes the coordinator durably logs its commit decision
 //     (engine.LogDecision) — the global commit point — and only then sends
-//     DECIDE commit frames; any no (or a decision-logging failure) sends
-//     DECIDE abort instead.  Presumed abort: abort decisions are never
-//     logged, so a gid the coordinator does not remember is aborted.
+//     DECIDE commit frames; any no vote sends DECIDE abort instead.
+//     Presumed abort: abort decisions are never logged, so a gid the
+//     coordinator does not remember is aborted.  A decision whose flush
+//     FAILS is neither: the decide record was appended and may yet reach
+//     disk, so the transaction stays in doubt (branches prepared, queries
+//     answered "decision pending") until this coordinator's next recovery
+//     reads the log and fixes the fate one way for everyone.
+//
+// Gids embed the coordinator's shard ID and an incarnation epoch
+// (s<shard>-<epoch>-<seq>), so a restarted coordinator can never reuse a
+// gid whose durable decision from a previous life would then leak onto an
+// unrelated transaction.
 //
 // A participant that crashes (or loses its coordinator) while prepared is
 // in doubt; the janitor chases the coordinator with DECIDE query frames
@@ -50,6 +59,12 @@ const (
 	inDoubtPatience = time.Second
 )
 
+// peerCallTimeout bounds one shard-to-shard round trip (including the
+// handshake of a fresh dial).  Calls on a peer are mutex-serialized, so
+// without it a hung participant would wedge both the coordinator path and
+// the janitor behind the same connection forever.
+const peerCallTimeout = 3 * time.Second
+
 // testHook, when non-nil, runs at named points of the coordinator path
 // ("coord-prepared" after every branch voted yes, "coord-decided" after the
 // decision is durable).  The SIGKILL crash harness uses it to die at exact
@@ -62,10 +77,15 @@ func hook(point string) {
 	}
 }
 
+// logDecision is indirected so tests can inject decision-flush failures
+// without wedging a real WAL.
+var logDecision = (*engine.Engine).LogDecision
+
 // shardState is the server's sharding configuration and runtime state.
 type shardState struct {
 	self  int
 	token string
+	epoch uint64 // gid epoch: unique per coordinator incarnation
 	m     atomic.Pointer[shard.Map]
 	seq   atomic.Uint64 // gid sequence for transactions coordinated here
 
@@ -94,14 +114,24 @@ func (ss *shardState) stop() {
 // shard selfID, refuses keys owned elsewhere, and coordinates cross-shard
 // transactions.  token is presented to peer shards (use the same -token on
 // every member).  It also starts the in-doubt janitor.  Call before Serve.
-func (s *Server) SetShardConfig(m *shard.Map, selfID int, token string) error {
+//
+// epoch distinguishes this coordinator incarnation in the gids it mints and
+// must never repeat across restarts of the same shard: a reused gid would
+// inherit a previous incarnation's durable commit decision (or hand its own
+// to an old in-doubt branch).  Durable daemons pass the incarnation counter
+// persisted in shard.state; 0 derives an epoch from the wall clock, which
+// suffices for processes with no cross-restart state.
+func (s *Server) SetShardConfig(m *shard.Map, selfID int, token string, epoch uint64) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
 	if _, ok := m.ByID(selfID); !ok {
 		return fmt.Errorf("server: shard map version %d has no shard %d", m.Version, selfID)
 	}
-	ss := &shardState{self: selfID, token: token, stopCh: make(chan struct{})}
+	if epoch == 0 {
+		epoch = uint64(time.Now().UnixNano())
+	}
+	ss := &shardState{self: selfID, token: token, epoch: epoch, stopCh: make(chan struct{})}
 	ss.m.Store(m.Clone())
 	s.sharding.Store(ss)
 	go s.janitor(ss)
@@ -136,9 +166,11 @@ func (s *Server) ShardMap() *shard.Map {
 }
 
 // gidFor mints a globally unique transaction ID; the "s<shard>-" prefix
-// names the coordinator so participants know whom to chase.
+// names the coordinator so participants know whom to chase, and the epoch
+// keeps gids from colliding across coordinator restarts (the sequence alone
+// restarts at 0 with the process).
 func (ss *shardState) gidFor() string {
-	return fmt.Sprintf("s%d-%d", ss.self, ss.seq.Add(1))
+	return fmt.Sprintf("s%d-%d-%d", ss.self, ss.epoch, ss.seq.Add(1))
 }
 
 // coordinatorOf parses the coordinator shard ID out of a gid.
@@ -245,7 +277,17 @@ func (s *Server) executeCoordinated(sess *engine.Session, ss *shardState, m *sha
 
 	gid := ss.gidFor()
 	ss.coordinating.Store(gid, struct{}{})
-	defer ss.coordinating.Delete(gid)
+	// A transaction whose commit decision could not be flushed stays marked
+	// coordinating forever: its fate is unknowable until this node's next
+	// recovery, and the marker keeps decide queries answering "decision
+	// pending" so no janitor presumes abort against a record that may have
+	// reached disk.
+	decisionInDoubt := false
+	defer func() {
+		if !decisionInDoubt {
+			ss.coordinating.Delete(gid)
+		}
+	}()
 
 	abort := func(reason string, preparedRemote []*branch, localPrepared bool) *wire.Response {
 		for _, b := range preparedRemote {
@@ -323,8 +365,18 @@ func (s *Server) executeCoordinated(sess *engine.Session, ss *shardState, m *sha
 	// crash before it aborts everywhere (presumed abort), a crash after it
 	// commits everywhere (participants chase the recovered decision).
 	hook("coord-prepared")
-	if err := s.e.LogDecision(gid); err != nil {
-		return abort(fmt.Sprintf("logging commit decision: %v", err), preparedRemote, localPrepared)
+	if err := logDecision(s.e, gid); err != nil {
+		// The decide record was appended before the flush failed, so it may
+		// still become durable (or ride a later flush out before a crash).
+		// Sending aborts now could contradict a decision a future recovery
+		// will read — permanent cross-shard divergence.  Instead leave every
+		// branch prepared and the gid in doubt; recovery replays the log and
+		// resolves it the same way for all participants (durable decide
+		// record → commit, none → presumed abort).
+		decisionInDoubt = true
+		resp.Err = fmt.Sprintf("commit decision not durable (%v); outcome unknown until coordinator recovery", err)
+		s.aborted.Add(1)
+		return resp
 	}
 	hook("coord-decided")
 	if localPrepared {
@@ -554,6 +606,9 @@ func (p *peerConn) dial() error {
 	if err != nil {
 		return err
 	}
+	// The handshake runs under the same deadline as the call that needs it;
+	// a peer that accepts but never answers must not block forever.
+	_ = conn.SetDeadline(time.Now().Add(peerCallTimeout))
 	hello := &wire.Hello{MaxVersion: wire.V3}
 	if p.token != "" {
 		hello.Token = []byte(p.token)
@@ -601,6 +656,12 @@ func (p *peerConn) call(payload []byte) (*wire.Response, error) {
 	for i := 0; i < 8; i++ {
 		payload[i] = byte(id >> (8 * i))
 	}
+	// Per-call deadline: a hung peer fails the call (and resets the
+	// connection) instead of wedging every caller serialized behind p.mu.
+	if err := p.conn.SetDeadline(time.Now().Add(peerCallTimeout)); err != nil {
+		p.reset()
+		return nil, err
+	}
 	if err := wire.WriteFrame(p.conn, payload); err != nil {
 		p.reset()
 		return nil, err
@@ -619,6 +680,8 @@ func (p *peerConn) call(payload []byte) (*wire.Response, error) {
 		if resp.ID == id {
 			return resp, nil
 		}
-		// A stale response from a previous, timed-out call: drop it.
+		// A response for another ID: every failed call resets the
+		// connection, so this is peer misbehavior rather than a stale
+		// answer — drop it and keep waiting under the deadline.
 	}
 }

@@ -6,9 +6,12 @@ package server
 // directly and assert exactly-once placement of every key.
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"math/rand"
+	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -16,6 +19,7 @@ import (
 	"plp/internal/catalog"
 	"plp/internal/engine"
 	"plp/internal/keyenc"
+	"plp/internal/txn"
 	"plp/keys"
 	"plp/shard"
 	"plp/wire"
@@ -51,7 +55,7 @@ func startShardCluster(t *testing.T, boundary uint64) ([]*shardNode, *shard.Map)
 		{ID: 1, Addr: nodes[1].addr},
 	}}
 	for i, n := range nodes {
-		if err := n.srv.SetShardConfig(m, i, ""); err != nil {
+		if err := n.srv.SetShardConfig(m, i, "", 0); err != nil {
 			t.Fatal(err)
 		}
 		srv, e := n.srv, n.e
@@ -308,5 +312,147 @@ func TestStaleShardMapForwarding(t *testing.T) {
 	// Routed reads see the moved keys.
 	if val, err := sc.Get("kv", client.Uint64Key(350_000)); err != nil || string(val) != "moved" {
 		t.Fatalf("read of moved key: %q, %v", val, err)
+	}
+}
+
+// TestGidEpochUniqueAcrossIncarnations pins the gid format against the
+// coordinator-restart hazard: a restarted coordinator's sequence restarts at
+// zero, so only the per-incarnation epoch keeps it from minting a gid whose
+// durable fate from a previous life would leak onto a new transaction.
+func TestGidEpochUniqueAcrossIncarnations(t *testing.T) {
+	a := &shardState{self: 3, epoch: 1}
+	b := &shardState{self: 3, epoch: 2}
+	ga, gb := a.gidFor(), b.gidFor()
+	if ga == gb {
+		t.Fatalf("gid %q reused across incarnations", ga)
+	}
+	for _, g := range []string{ga, gb} {
+		if coord, ok := coordinatorOf(g); !ok || coord != 3 {
+			t.Fatalf("coordinatorOf(%q) = %d, %v", g, coord, ok)
+		}
+	}
+
+	// Epoch 0 asks SetShardConfig to derive one: two configurations of the
+	// same shard (a restart with no persisted state) get distinct epochs.
+	e := engine.New(engine.Options{Design: engine.PLPLeaf, Partitions: 2})
+	defer e.Close()
+	m := &shard.Map{Version: 1, Shards: []shard.Shard{{ID: 0, Addr: "127.0.0.1:1"}}}
+	var epochs [2]uint64
+	for i := range epochs {
+		srv := New(e)
+		if err := srv.SetShardConfig(m, 0, "", 0); err != nil {
+			t.Fatal(err)
+		}
+		ss := srv.sharding.Load()
+		epochs[i] = ss.epoch
+		ss.stop()
+	}
+	if epochs[0] == 0 || epochs[0] == epochs[1] {
+		t.Fatalf("derived epochs %d and %d, want distinct non-zero", epochs[0], epochs[1])
+	}
+
+	// An explicit epoch (plpd's persisted incarnation) is used verbatim.
+	srv := New(e)
+	if err := srv.SetShardConfig(m, 0, "", 42); err != nil {
+		t.Fatal(err)
+	}
+	ss := srv.sharding.Load()
+	defer ss.stop()
+	if ss.epoch != 42 {
+		t.Fatalf("explicit epoch = %d, want 42", ss.epoch)
+	}
+}
+
+// TestDecisionFlushFailureLeavesInDoubt injects a decide-record flush
+// failure at the commit point.  The decide record was appended and may yet
+// become durable, so the coordinator must NOT send aborts (a participant
+// whose abort frame is lost could later learn "commit" from the recovered
+// record): every branch stays prepared, decide queries answer "decision
+// pending", and the janitor must not resolve the transaction either way.
+func TestDecisionFlushFailureLeavesInDoubt(t *testing.T) {
+	nodes, _ := startShardCluster(t, 500_000)
+	orig := logDecision
+	logDecision = func(*engine.Engine, string) error { return txn.ErrNotDurable }
+	t.Cleanup(func() { logDecision = orig })
+
+	c := dial(t, nodes[0].addr)
+	resp, err := c.Do(client.NewTxn().
+		Upsert("kv", client.Uint64Key(100), []byte("a")).
+		Upsert("kv", client.Uint64Key(700_000), []byte("b")))
+	if !errors.Is(err, client.ErrAborted) {
+		t.Fatalf("decision-flush failure returned %v, want ErrAborted", err)
+	}
+	if !strings.Contains(resp.Err, "outcome unknown") {
+		t.Fatalf("error %q does not flag the unknown outcome", resp.Err)
+	}
+
+	// The participant's branch stays prepared — no abort was sent.
+	gids := nodes[1].e.PreparedGIDs(0)
+	if len(gids) != 1 {
+		t.Fatalf("participant prepared gids = %v, want exactly one", gids)
+	}
+	gid := gids[0]
+
+	// The coordinator answers decide queries "decision pending" rather than
+	// presumed abort: the decide record may still surface at recovery.
+	pc := &peerConn{addr: nodes[0].addr}
+	defer pc.close()
+	qresp, err := pc.call(wire.EncodeDecideRequest(0, gid, wire.DecideQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qresp.Err != "decision pending" || qresp.Committed {
+		t.Fatalf("decide query after flush failure: %+v", qresp)
+	}
+
+	// Even once the branch is older than the janitor's patience, chasing
+	// the coordinator keeps it prepared instead of aborting it.
+	time.Sleep(inDoubtPatience + 3*janitorPeriod)
+	if gids := nodes[1].e.PreparedGIDs(0); len(gids) != 1 || gids[0] != gid {
+		t.Fatalf("janitor resolved the undecidable branch: %v", gids)
+	}
+}
+
+// TestPeerCallTimesOutOnHungPeer pins the per-call deadline: a peer that
+// completes the handshake and then never answers must fail the call within
+// peerCallTimeout (not block forever behind the serialized connection) and
+// leave the dead connection retired so the next call redials.
+func TestPeerCallTimesOutOnHungPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		if _, err := wire.ReadFrame(br); err != nil { // HELLO
+			return
+		}
+		_ = wire.WriteFrame(conn, wire.EncodeHelloAck(&wire.HelloAck{Version: wire.V3}))
+		// Swallow frames and never answer; the read unblocks (and the
+		// goroutine exits) once the timed-out caller resets its end.
+		for {
+			if _, err := wire.ReadFrame(br); err != nil {
+				return
+			}
+		}
+	}()
+
+	pc := &peerConn{addr: ln.Addr().String()}
+	defer pc.close()
+	start := time.Now()
+	if _, err := pc.call(wire.EncodeDecideRequest(0, "s0-1-1", wire.DecideQuery)); err == nil {
+		t.Fatal("call to a hung peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > peerCallTimeout+2*time.Second {
+		t.Fatalf("call took %v, deadline %v never fired", elapsed, peerCallTimeout)
+	}
+	if pc.conn != nil {
+		t.Fatal("timed-out call left the dead connection cached")
 	}
 }

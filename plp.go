@@ -194,6 +194,12 @@
 // resolve every crash combination — the SIGKILL harness kills the
 // coordinator between prepare and decide and proves no acknowledged
 // cross-shard commit is lost and no unacknowledged one half-applies.
+// Global transaction IDs are stamped with a per-incarnation epoch (the
+// shard.state file counts restarts) so a restarted coordinator can never
+// reuse a gid whose durable fate belongs to a previous life, and a commit
+// decision whose log flush fails is treated as in doubt — branches stay
+// prepared and queries answer "decision pending" — rather than aborted,
+// since the appended decide record may still reach disk.
 // Secondary-index ops, scans and plans stay shard-local in v1, and a map
 // version bump moves ownership but not data; "plpctl shards" prints a
 // running daemon's map.

@@ -111,6 +111,9 @@ func TestStateRoundTripAndCheck(t *testing.T) {
 	if err != nil {
 		t.Fatalf("CheckState fresh: %v", err)
 	}
+	if st.Incarnation != 1 {
+		t.Fatalf("fresh incarnation = %d, want 1", st.Incarnation)
+	}
 	if err := WriteState(dir, st); err != nil {
 		t.Fatalf("WriteState: %v", err)
 	}
@@ -118,13 +121,16 @@ func TestStateRoundTripAndCheck(t *testing.T) {
 	if err != nil || !found {
 		t.Fatalf("ReadState: %v found=%v", err, found)
 	}
-	if got.ShardID != 0 || got.MapVersion != 1 || got.Lo != nil || !bytes.Equal(got.Hi, keys.Uint64(500_000)) {
+	if got.ShardID != 0 || got.MapVersion != 1 || got.Lo != nil || !bytes.Equal(got.Hi, keys.Uint64(500_000)) || got.Incarnation != 1 {
 		t.Fatalf("state round trip: %+v", got)
 	}
 
-	// Same map again: fine.
-	if _, err := CheckState(dir, m, 0); err != nil {
+	// Same map again: fine, and the incarnation advances — each restart
+	// must mint gids no previous incarnation could have used.
+	if st, err := CheckState(dir, m, 0); err != nil {
 		t.Fatalf("CheckState same map: %v", err)
+	} else if st.Incarnation != 2 {
+		t.Fatalf("restart incarnation = %d, want 2", st.Incarnation)
 	}
 
 	// Wrong shard ID: refused.
@@ -145,7 +151,7 @@ func TestStateRoundTripAndCheck(t *testing.T) {
 	if err != nil {
 		t.Fatalf("CheckState newer map: %v", err)
 	}
-	if st2.MapVersion != 2 || !bytes.Equal(st2.Hi, keys.Uint64(300_000)) {
+	if st2.MapVersion != 2 || !bytes.Equal(st2.Hi, keys.Uint64(300_000)) || st2.Incarnation != 2 {
 		t.Fatalf("CheckState newer map state: %+v", st2)
 	}
 	if err := WriteState(dir, st2); err != nil {

@@ -24,6 +24,12 @@ type State struct {
 	// Lo, Hi are the key range the shard owned under that map (exclusive
 	// upper bound; nil bounds are open).
 	Lo, Hi []byte
+	// Incarnation counts the times this directory has been started as a
+	// shard member; CheckState bumps it on every pass.  The server folds it
+	// into the global transaction IDs it coordinates, so a restarted
+	// coordinator can never mint a gid a previous incarnation already used
+	// (a reused gid could inherit the old transaction's durable fate).
+	Incarnation uint64
 }
 
 func encodeStateBound(b []byte) string {
@@ -46,8 +52,8 @@ func parseStateBound(s string) ([]byte, error) {
 
 // WriteState persists st into dir atomically (write temp + rename).
 func WriteState(dir string, st State) error {
-	body := fmt.Sprintf("shard %d\nversion %d\nlo %s\nhi %s\n",
-		st.ShardID, st.MapVersion, encodeStateBound(st.Lo), encodeStateBound(st.Hi))
+	body := fmt.Sprintf("shard %d\nversion %d\nlo %s\nhi %s\nincarnation %d\n",
+		st.ShardID, st.MapVersion, encodeStateBound(st.Lo), encodeStateBound(st.Hi), st.Incarnation)
 	tmp := filepath.Join(dir, StateFile+".tmp")
 	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
 		return err
@@ -80,6 +86,8 @@ func ReadState(dir string) (State, bool, error) {
 			st.Lo, err = parseStateBound(fields[1])
 		case "hi":
 			st.Hi, err = parseStateBound(fields[1])
+		case "incarnation":
+			st.Incarnation, err = strconv.ParseUint(fields[1], 10, 64)
 		}
 		if err != nil {
 			return State{}, false, fmt.Errorf("shard: corrupt state file: %v", err)
@@ -101,7 +109,7 @@ func CheckState(dir string, m *Map, shardID int) (State, error) {
 	if !ok {
 		return State{}, fmt.Errorf("shard: map version %d has no shard %d", m.Version, shardID)
 	}
-	next := State{ShardID: shardID, MapVersion: m.Version, Lo: lo, Hi: hi}
+	next := State{ShardID: shardID, MapVersion: m.Version, Lo: lo, Hi: hi, Incarnation: 1}
 	prev, found, err := ReadState(dir)
 	if err != nil {
 		return State{}, err
@@ -109,6 +117,7 @@ func CheckState(dir string, m *Map, shardID int) (State, error) {
 	if !found {
 		return next, nil
 	}
+	next.Incarnation = prev.Incarnation + 1
 	if prev.ShardID != shardID {
 		return State{}, fmt.Errorf("shard: data dir %s belongs to shard %d, not shard %d", dir, prev.ShardID, shardID)
 	}
