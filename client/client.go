@@ -56,6 +56,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -78,6 +79,16 @@ var (
 	// version than the session negotiated (e.g. Scan on a v1 session).
 	ErrVersion = errors.New("client: operation not supported by negotiated protocol version")
 )
+
+// IsFollowerRefusal reports whether an error means the server is a
+// replication follower refusing a write, control verb or transaction
+// branch.  Reads still work there; a caller holding the primary's address
+// should redirect the refused request (or promote the follower if the
+// primary is gone).  It understands the wrapped errors this package
+// returns — aborts and control failures carry the server's message.
+func IsFollowerRefusal(err error) bool {
+	return err != nil && strings.Contains(err.Error(), wire.FollowerPrefix+":")
+}
 
 // Uint64Key encodes a uint64 in the engine's order-preserving big-endian
 // key format.  It is the shared encoding of package keys, so client keys

@@ -61,6 +61,8 @@ commands:
   drp status                         show the repartitioning controller's state
   drp trigger                        run one control period now
   drp shares <table>                 per-partition load shares of one table
+  repl status                        show this node's replication role and progress
+  promote                            promote a follower to primary (failover)
 
 flags: -addr host:port, -raw (byte keys), -token <secret> (authenticate;
        a read-only token scopes the session to reads)
@@ -234,6 +236,23 @@ func main() {
 		out, err := c.Control("checkpoint", "")
 		if err != nil {
 			fatalf("checkpoint: %v", err)
+		}
+		fmt.Print(out)
+	case "promote":
+		need(args, 0)
+		out, err := c.Control("promote", "")
+		if err != nil {
+			fatalf("promote: %v", err)
+		}
+		fmt.Print(out)
+	case "repl":
+		need(args, 1)
+		if args[0] != "status" {
+			usage()
+		}
+		out, err := c.Control("repl status", "")
+		if err != nil {
+			fatalf("repl status: %v", err)
 		}
 		fmt.Print(out)
 	case "drp":

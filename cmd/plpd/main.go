@@ -35,6 +35,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -44,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -53,6 +55,7 @@ import (
 	"plp/internal/keyenc"
 	"plp/internal/recovery"
 	"plp/internal/repartition"
+	"plp/internal/repl"
 	"plp/internal/server"
 	"plp/shard"
 )
@@ -95,8 +98,35 @@ func main() {
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar (worker queue depths, server counters) on this address, e.g. localhost:6060 (empty disables)")
 		shardMapPath = flag.String("shard-map", "", "shard map file; this process serves the shard named by -shard-id and coordinates cross-shard transactions (empty runs unsharded)")
 		shardID      = flag.Int("shard-id", 0, "this process's shard ID in the -shard-map file")
+		follow       = flag.String("follow", "", "run as a replication follower of this primary address: serve reads from replicated state, refuse writes until promoted (requires -data-dir)")
+		ackMode      = flag.String("ack-mode", "local", "commit acknowledgement mode: local (fsynced on this node) or replica (additionally on ≥1 follower's disk)")
+		ackTimeout   = flag.Duration("ack-timeout", 0, "replica-acked commit wait bound (0 uses the default; the commit is always durable locally when the wait times out)")
 	)
 	flag.Parse()
+
+	switch *ackMode {
+	case "local", "replica":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -ack-mode %q (want local or replica)\n", *ackMode)
+		os.Exit(2)
+	}
+	if *ackMode == "replica" && (*dataDir == "" || *lazyCommit) {
+		fmt.Fprintln(os.Stderr, "-ack-mode replica requires durable commits (-data-dir, without -lazy-commit)")
+		os.Exit(2)
+	}
+	if *follow != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "-follow requires -data-dir (the shipped log must persist)")
+			os.Exit(2)
+		}
+		// A follower's log must stay a byte-identical prefix of the
+		// primary's: anything that appends locally is disabled until
+		// promotion.
+		if *checkpointMs > 0 || *drp || *autoBalance {
+			fmt.Println("plpd: follower mode disables -checkpoint-ms, -drp and -autobalance (restart after promotion to re-enable)")
+			*checkpointMs, *drp, *autoBalance = 0, false, false
+		}
+	}
 
 	var shardMap *shard.Map
 	if *shardMapPath != "" {
@@ -205,6 +235,102 @@ func main() {
 	srv := server.New(e)
 	srv.SetAuthToken(*token)
 	srv.SetReadOnlyToken(*roToken)
+
+	// Replication role.  Every durable daemon is a primary lineage — it
+	// accepts follower subscriptions whether or not one ever connects —
+	// unless -follow makes it a read-only follower of another primary.
+	var curPrimary atomic.Pointer[repl.Primary]
+	var follower *repl.Follower
+	var replSnapshot func() any
+	if *dataDir != "" {
+		installPrimary := func(epoch uint64) *repl.Primary {
+			p := repl.NewPrimary(e.DurableLog(), epoch)
+			if *ackTimeout > 0 {
+				p.SetAckTimeout(*ackTimeout)
+			}
+			curPrimary.Store(p)
+			srv.SetReplPrimary(p)
+			if *ackMode == "replica" {
+				e.SetCommitAckWaiter(p.WaitReplicated)
+			}
+			return p
+		}
+		if *follow == "" {
+			epoch, ok, err := repl.ReadEpoch(*dataDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reading replication epoch: %v\n", err)
+				os.Exit(1)
+			}
+			if !ok {
+				epoch = 1
+				if err := repl.WriteEpoch(*dataDir, epoch); err != nil {
+					fmt.Fprintf(os.Stderr, "writing replication epoch: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			installPrimary(epoch)
+		} else {
+			f, err := repl.NewFollower(repl.FollowerOptions{
+				Primary: *follow,
+				Token:   *token,
+				Dir:     *dataDir,
+				Log:     e.DurableLog(),
+				Apply:   e.ApplyReplicated,
+				Logf:    func(format string, args ...any) { fmt.Printf("plpd: "+format+"\n", args...) },
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "follower: %v\n", err)
+				os.Exit(1)
+			}
+			follower = f
+			srv.SetFollowerMode(true)
+			srv.SetPromoteHandler(func() (string, error) {
+				epoch, err := f.Promote()
+				if err != nil {
+					return "", err
+				}
+				// Fence the old lineage at the shard layer too: a stale
+				// primary restarting on its own data dir keeps its old
+				// incarnation, and peers refuse its gids.
+				if st, ok, rerr := shard.ReadState(*dataDir); rerr == nil && ok {
+					st.Incarnation++
+					if werr := shard.WriteState(*dataDir, st); werr != nil {
+						return "", fmt.Errorf("promote: bumping shard incarnation: %w", werr)
+					}
+				}
+				installPrimary(epoch)
+				srv.SetFollowerMode(false)
+				fmt.Printf("plpd: promoted to primary at replication epoch %d\n", epoch)
+				return fmt.Sprintf("promoted: replication epoch %d, accepting writes\n", epoch), nil
+			})
+			f.Start()
+			defer f.Stop()
+		}
+		replSnapshot = func() any {
+			st := struct {
+				Role     string
+				AckMode  string
+				Primary  *repl.PrimaryStatus      `json:",omitempty"`
+				Follower *repl.FollowerNodeStatus `json:",omitempty"`
+			}{Role: "primary", AckMode: *ackMode}
+			if srv.FollowerMode() && follower != nil {
+				st.Role = "follower"
+				fs := follower.Status()
+				st.Follower = &fs
+			} else if p := curPrimary.Load(); p != nil {
+				ps := p.Status()
+				st.Primary = &ps
+			}
+			return st
+		}
+		srv.SetReplStatusHandler(func() (string, error) {
+			buf, err := json.MarshalIndent(replSnapshot(), "", "  ")
+			if err != nil {
+				return "", err
+			}
+			return string(buf) + "\n", nil
+		})
+	}
 	if shardMap != nil {
 		if err := srv.SetShardConfig(shardMap, *shardID, *token, shardEpoch); err != nil {
 			fmt.Fprintf(os.Stderr, "shard config: %v\n", err)
@@ -257,6 +383,9 @@ func main() {
 		expvar.Publish("plp_server_stats", expvar.Func(func() any {
 			return srv.Stats()
 		}))
+		if replSnapshot != nil {
+			expvar.Publish("plp_repl", expvar.Func(replSnapshot))
+		}
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
@@ -274,6 +403,11 @@ func main() {
 		durability = "durable in " + *dataDir
 		if *lazyCommit {
 			durability += " (lazy commit)"
+		}
+		if *follow != "" {
+			durability += ", following " + *follow
+		} else if *ackMode == "replica" {
+			durability += ", replica-acked commits"
 		}
 	}
 	if shardMap != nil {

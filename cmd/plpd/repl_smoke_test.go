@@ -1,0 +1,125 @@
+package main
+
+// Two-process replication smoke test: builds the real plpd and plpctl
+// binaries, starts a replica-acked primary and a follower on their own data
+// directories, and drives the whole failover story — replica-acked writes
+// on the primary, reads served from the follower after the ack, refused
+// writes on the follower, `plpctl repl status` on both roles, then SIGKILL
+// of the primary, `plpctl promote`, and writes on the promoted node with
+// every acked commit intact.
+//
+//	go test ./cmd/plpd -run TestTwoProcessReplSmoke -v
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"plp/client"
+)
+
+func TestTwoProcessReplSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process smoke test in short mode")
+	}
+	dir := t.TempDir()
+	plpd := buildBinary(t, dir, "./cmd/plpd", "plpd")
+	plpctl := buildBinary(t, dir, "./cmd/plpctl", "plpctl")
+
+	paddr, faddr := freeAddr(t), freeAddr(t)
+	pdir, fdir := filepath.Join(dir, "primary"), filepath.Join(dir, "follower")
+
+	p := startPlpd(t, plpd,
+		"-addr", paddr, "-data-dir", pdir, "-partitions", "4",
+		"-tables", "kv", "-stats", "0",
+		"-ack-mode", "replica", "-ack-timeout", "20s")
+	startPlpd(t, plpd,
+		"-addr", faddr, "-data-dir", fdir, "-partitions", "4",
+		"-tables", "kv", "-stats", "0",
+		"-follow", paddr)
+	waitReady(t, paddr)
+	waitReady(t, faddr)
+
+	// Replica-acked writes: each acknowledgement means the commit record is
+	// fsynced on the follower (the first one also waits out the follower's
+	// initial subscription).
+	pc, err := client.Dial(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(i uint64) []byte { return []byte(fmt.Sprintf("v%d", i)) }
+	const rows = 30
+	for i := uint64(1); i <= rows; i++ {
+		if err := pc.Upsert("kv", client.Uint64Key(i), val(i)); err != nil {
+			t.Fatalf("replica-acked upsert %d: %v\nprimary output:\n%s", i, err, p.out)
+		}
+	}
+
+	// The follower applies each batch before acking it, so every acked row
+	// is already readable there.
+	fc, err := client.Dial(faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= rows; i++ {
+		got, err := fc.Get("kv", client.Uint64Key(i))
+		if err != nil {
+			t.Fatalf("follower read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, val(i)) {
+			t.Fatalf("follower read %d: %q, want %q", i, got, val(i))
+		}
+	}
+
+	// Writes are refused on the follower with the redirect marker.
+	if err := fc.Upsert("kv", client.Uint64Key(9999), []byte("x")); !client.IsFollowerRefusal(err) {
+		t.Fatalf("follower write: %v", err)
+	}
+
+	// plpctl repl status reports each node's role.
+	out, err := exec.Command(plpctl, "-addr", paddr, "repl", "status").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), `"Role": "primary"`) {
+		t.Fatalf("plpctl repl status on primary: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), `"Followers"`) {
+		t.Fatalf("primary status has no follower entry:\n%s", out)
+	}
+	out, err = exec.Command(plpctl, "-addr", faddr, "repl", "status").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), `"Role": "follower"`) {
+		t.Fatalf("plpctl repl status on follower: %v\n%s", err, out)
+	}
+
+	// Failover: SIGKILL the primary, promote the follower, keep serving.
+	_ = pc.Close()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.cmd.Wait()
+	out, err = exec.Command(plpctl, "-addr", faddr, "promote").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "promoted") {
+		t.Fatalf("plpctl promote: %v\n%s", err, out)
+	}
+
+	// Every replica-acked commit survived, and the promoted node accepts
+	// writes (its ack mode is local unless configured otherwise).
+	for i := uint64(1); i <= rows; i++ {
+		got, err := fc.Get("kv", client.Uint64Key(i))
+		if err != nil || !bytes.Equal(got, val(i)) {
+			t.Fatalf("acked row %d after failover: %q, %v", i, got, err)
+		}
+	}
+	if err := fc.Upsert("kv", client.Uint64Key(10_000), []byte("post-promote")); err != nil {
+		t.Fatalf("write on promoted node: %v", err)
+	}
+	got, err := fc.Get("kv", client.Uint64Key(10_000))
+	if err != nil || string(got) != "post-promote" {
+		t.Fatalf("read-back on promoted node: %q, %v", got, err)
+	}
+	out, err = exec.Command(plpctl, "-addr", faddr, "repl", "status").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), `"Role": "primary"`) {
+		t.Fatalf("promoted node still reports follower role: %v\n%s", err, out)
+	}
+}

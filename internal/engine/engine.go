@@ -198,6 +198,39 @@ type Engine struct {
 	decided map[string]bool
 
 	nextSession atomic.Uint64
+
+	// treeLog is the gated log device handed to index components; replaying
+	// flips its suppression of structural records (see structuralLogGate).
+	treeLog   wal.Log
+	replaying atomic.Bool
+}
+
+// structuralLogGate is the log device handed to index components, which
+// append only structural records: B+Tree SMO records on page splits and
+// MRBTree repartition markers.  While the engine replays recovered or
+// replicated operations the gate drops those appends — a replay-driven
+// page split is the replaying node's own physical reorganization, not new
+// log history, and analysis only ever counts structural records, it never
+// replays them.  On a replication follower this is a correctness
+// invariant: the follower's log must stay a byte-identical prefix of the
+// primary's, and a single locally appended SMO record would shift its
+// append horizon off the shipped stream for good.
+type structuralLogGate struct {
+	wal.Log
+	suppress *atomic.Bool
+}
+
+// Append drops structural records while suppression is on.  The returned
+// LSN (the unchanged append horizon) is only ever consumed via
+// txn.SetLastLSN, and replay paths carry no transaction.
+func (g *structuralLogGate) Append(r *wal.Record) wal.LSN {
+	if g.suppress.Load() {
+		switch r.Type {
+		case wal.RecSMO, wal.RecRepartition:
+			return g.Log.CurrentLSN()
+		}
+	}
+	return g.Log.Append(r)
 }
 
 // New creates an in-memory engine with the given options.  Options.DataDir
@@ -259,6 +292,7 @@ func build(opts Options, csStats *cs.Stats, log wal.Log) *Engine {
 		cat:        catalog.New(csStats),
 		routing:    make(map[string]*routingTable),
 	}
+	e.treeLog = &structuralLogGate{Log: log, suppress: &e.replaying}
 	if opts.Design.Partitioned() {
 		e.pool = dora.NewPool(opts.Partitions, opts.QueueDepth, csStats)
 		e.pool.Start()
@@ -411,7 +445,7 @@ func (e *Engine) CreateTable(def catalog.TableDef) (*catalog.Table, error) {
 	}
 	tbl, err := e.cat.CreateTable(def, catalog.Resources{
 		BufferPool:      e.bp,
-		Log:             e.log,
+		Log:             e.treeLog,
 		CSStats:         e.csStats,
 		IndexLatched:    e.indexLatched(),
 		HeapMode:        e.heapMode(),

@@ -1,0 +1,48 @@
+// Replication glue: the engine-level hooks the repl subsystem builds on.
+// The engine neither dials nor listens — internal/repl owns the stream and
+// internal/server owns the connections; the engine only offers "apply this
+// committed transaction into the live store" and "gate commit acks on an
+// external waiter".
+package engine
+
+import (
+	"plp/internal/recovery"
+	"plp/internal/wal"
+)
+
+// ApplyReplicated applies one replicated transaction's operations into the
+// live engine through the same idempotent loader path restart recovery
+// uses.  The engine is quiesced for the duration: every partition worker
+// parks, so concurrently executing read-only sessions can never observe a
+// half-applied transaction (follower reads are transaction-consistent).
+// The loader path takes no locks and writes no log — the shipped log IS
+// this transaction's log.  That includes structural records: page splits
+// triggered by the apply must not append local SMO records, or the
+// follower's log stops being a byte-identical prefix of the primary's and
+// the stream can never resume past them (see structuralLogGate).
+func (e *Engine) ApplyReplicated(ops []recovery.Op) error {
+	e.replaying.Store(true)
+	defer e.replaying.Store(false)
+	var applyErr error
+	if err := e.Quiesce(func() {
+		applyErr = recovery.ApplyOps(e.NewLoader(), ops)
+	}); err != nil {
+		return err
+	}
+	return applyErr
+}
+
+// SetCommitAckWaiter installs (or clears) the extended commit
+// acknowledgement gate on the transaction manager — the replica-acked
+// commit mode hook (see txn.Manager.SetCommitAckWaiter).
+func (e *Engine) SetCommitAckWaiter(fn func(wal.LSN) error) {
+	e.tm.SetCommitAckWaiter(fn)
+}
+
+// DurableLog returns the disk-backed log device, or nil when the engine
+// runs on an in-memory log (no DataDir).  Replication requires a durable
+// log: the segment files are the stream.
+func (e *Engine) DurableLog() *wal.Durable {
+	d, _ := e.log.(*wal.Durable)
+	return d
+}

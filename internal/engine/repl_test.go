@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"plp/internal/catalog"
+	"plp/internal/keyenc"
+	"plp/internal/logrec"
+	"plp/internal/recovery"
+	"plp/internal/wal"
+)
+
+// TestApplyReplicatedWritesNoLog is the follower-side prefix invariant: a
+// replicated batch large enough to force page splits in the local B+Tree
+// must not append anything — not even SMO records — to the local log.  A
+// single locally appended record would shift the follower's append horizon
+// off the shipped stream and wedge replication permanently.
+func TestApplyReplicatedWritesNoLog(t *testing.T) {
+	e, err := Open(Options{Design: PLPLeaf, Partitions: 4, DataDir: t.TempDir(), MaxSlotsPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	boundaries := [][]byte{keyenc.Uint64Key(251), keyenc.Uint64Key(501), keyenc.Uint64Key(751)}
+	if _, err := e.CreateTable(catalog.TableDef{Name: "kv", Boundaries: boundaries}); err != nil {
+		t.Fatal(err)
+	}
+
+	const rows = 500 // >> 4-slot leaves: guarantees splits during apply
+	ops := make([]recovery.Op, 0, rows)
+	for i := uint64(1); i <= rows; i++ {
+		ops = append(ops, recovery.Op{
+			Txn:  1,
+			Type: wal.RecInsert,
+			Mod:  logrec.Modification{Table: "kv", Key: keyenc.Uint64Key(i), After: []byte(fmt.Sprintf("v%d", i))},
+		})
+	}
+
+	before := e.Log().CurrentLSN()
+	if err := e.ApplyReplicated(ops); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.Log().CurrentLSN(); after != before {
+		t.Fatalf("ApplyReplicated appended to the local log: horizon %d -> %d", before, after)
+	}
+	got := dump(t, e)
+	if len(got) != rows {
+		t.Fatalf("applied %d rows, want %d", len(got), rows)
+	}
+	// The engine remains a functional primary: local writes still log SMOs
+	// once replay mode is off.
+	sess := e.NewSession()
+	put(t, sess, 9001, "local")
+	if e.Log().CurrentLSN() == before {
+		t.Fatal("local write after ApplyReplicated appended nothing")
+	}
+}

@@ -1,0 +1,355 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plp/internal/recovery"
+	"plp/internal/wal"
+	"plp/wire"
+)
+
+// Follower-side tunables.
+const (
+	// DefaultRetryInterval paces reconnect attempts after a dropped stream.
+	DefaultRetryInterval = 500 * time.Millisecond
+	// refusedRetryInterval paces retries after an explicit subscription
+	// refusal (epoch mismatch, truncated start): the condition is unlikely
+	// to clear on its own, so back off hard.
+	refusedRetryInterval = 5 * time.Second
+	// dialTimeout bounds connect + handshake + subscribe.
+	dialTimeout = 3 * time.Second
+)
+
+// FollowerOptions configures a follower's replication loop.
+type FollowerOptions struct {
+	// Primary is the primary's listen address.
+	Primary string
+	// Token authenticates the subscription (the primary's full token:
+	// receiving the write stream is a write-privileged operation).
+	Token string
+	// Dir is the data directory holding repl.state.
+	Dir string
+	// Log is the follower's local durable log; shipped records are
+	// appended to it verbatim.
+	Log *wal.Durable
+	// Apply commits a replicated transaction's operations into the live
+	// engine (engine.ApplyReplicated).
+	Apply func(ops []recovery.Op) error
+	// RetryInterval overrides the reconnect pacing (tests).
+	RetryInterval time.Duration
+	// Logf, when set, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Follower runs the replication receive loop: subscribe from the local
+// durable LSN, persist and apply shipped batches, ack progress, reconnect
+// with resubscription on stream loss.
+type Follower struct {
+	o       FollowerOptions
+	applier *Applier
+	epoch   atomic.Uint64
+
+	mu   sync.Mutex
+	conn net.Conn // live stream connection, for Stop to sever
+
+	stop    chan struct{}
+	done    chan struct{}
+	started atomic.Bool
+
+	connected atomic.Bool
+	refused   atomic.Bool
+	lastErr   atomic.Pointer[string]
+	batches   atomic.Uint64
+	records   atomic.Uint64
+}
+
+// NewFollower builds a follower over an engine that has already completed
+// restart recovery on Log's directory.  It analyzes the local log once to
+// seed the applier's in-flight transaction buffers (a transaction whose
+// ops landed before the follower's durable horizon but whose commit record
+// arrives on the resumed stream must still apply).
+func NewFollower(o FollowerOptions) (*Follower, error) {
+	if o.Log == nil || o.Apply == nil {
+		return nil, errors.New("repl: follower needs a durable log and an apply function")
+	}
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = DefaultRetryInterval
+	}
+	f := &Follower{
+		o:       o,
+		applier: NewApplier(o.Apply),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if o.Dir != "" {
+		epoch, _, err := ReadEpoch(o.Dir)
+		if err != nil {
+			return nil, err
+		}
+		f.epoch.Store(epoch)
+	}
+	an, err := recovery.Analyze(o.Log)
+	if err != nil {
+		return nil, fmt.Errorf("repl: bootstrap analysis: %w", err)
+	}
+	f.applier.Bootstrap(an)
+	f.applier.SetAppliedLSN(o.Log.DurableLSN())
+	return f, nil
+}
+
+// Epoch returns the follower's current replication epoch (0 until it first
+// adopts a primary's).
+func (f *Follower) Epoch() uint64 { return f.epoch.Load() }
+
+// Start launches the replication loop.
+func (f *Follower) Start() {
+	if f.started.Swap(true) {
+		return
+	}
+	go f.run()
+}
+
+// Stop terminates the loop and severs any live stream.  Idempotent; safe
+// before Start (the loop just never runs).
+func (f *Follower) Stop() {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	f.mu.Lock()
+	if f.conn != nil {
+		_ = f.conn.Close()
+	}
+	f.mu.Unlock()
+	if f.started.Load() {
+		<-f.done
+	}
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.o.Logf != nil {
+		f.o.Logf(format, args...)
+	}
+}
+
+func (f *Follower) setErr(err error) {
+	if err == nil {
+		f.lastErr.Store(nil)
+		return
+	}
+	msg := err.Error()
+	f.lastErr.Store(&msg)
+}
+
+func (f *Follower) run() {
+	defer close(f.done)
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		refused, err := f.streamOnce()
+		f.connected.Store(false)
+		if err != nil {
+			f.setErr(err)
+			f.logf("repl: stream to %s: %v", f.o.Primary, err)
+		}
+		f.refused.Store(refused)
+		wait := f.o.RetryInterval
+		if refused {
+			wait = refusedRetryInterval
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(wait):
+		}
+	}
+}
+
+// streamOnce runs one connect → subscribe → receive cycle.  refused=true
+// means the primary explicitly rejected the subscription (retry slowly).
+func (f *Follower) streamOnce() (refused bool, err error) {
+	conn, err := net.DialTimeout("tcp", f.o.Primary, dialTimeout)
+	if err != nil {
+		return false, err
+	}
+	f.mu.Lock()
+	select {
+	case <-f.stop:
+		f.mu.Unlock()
+		_ = conn.Close()
+		return false, nil
+	default:
+	}
+	f.conn = conn
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		if f.conn == conn {
+			f.conn = nil
+		}
+		f.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	_ = conn.SetDeadline(time.Now().Add(dialTimeout))
+
+	// Handshake: full-token V3 session.
+	hello := &wire.Hello{MaxVersion: wire.V3, Token: []byte(f.o.Token)}
+	if err := wire.WriteFrame(conn, wire.EncodeHello(hello)); err != nil {
+		return false, err
+	}
+	payload, err := wire.ReadFrame(br)
+	if err != nil {
+		return false, err
+	}
+	if !wire.IsHelloAck(payload) {
+		return false, errors.New("repl: primary is not a v2+ server")
+	}
+	ack, err := wire.DecodeHelloAck(payload)
+	if err != nil {
+		return false, err
+	}
+	if ack.Err != "" {
+		return true, fmt.Errorf("repl: handshake refused: %s", ack.Err)
+	}
+	if ack.Version < wire.V3 {
+		return true, fmt.Errorf("repl: primary speaks v%d, need v3", ack.Version)
+	}
+
+	// Subscribe from the local durable horizon.
+	start := f.o.Log.DurableLSN()
+	if err := wire.WriteFrame(conn, wire.EncodeReplSubscribe(1, uint64(start), f.epoch.Load())); err != nil {
+		return false, err
+	}
+	payload, err = wire.ReadFrame(br)
+	if err != nil {
+		return false, err
+	}
+	resp, err := wire.DecodeResponseV(payload, wire.V3)
+	if err != nil {
+		return false, err
+	}
+	if resp.Err != "" {
+		return wire.IsReplRefused(resp.Err), fmt.Errorf("repl: subscribe: %s", resp.Err)
+	}
+	if len(resp.Results) == 0 {
+		return false, errors.New("repl: subscribe ack missing")
+	}
+	primaryEpoch, _, err := wire.DecodeReplSubscribeAck(resp.Results[0].Value)
+	if err != nil {
+		return false, fmt.Errorf("repl: subscribe ack: %w", err)
+	}
+	if cur := f.epoch.Load(); cur == 0 {
+		f.epoch.Store(primaryEpoch)
+		if f.o.Dir != "" {
+			if werr := WriteEpoch(f.o.Dir, primaryEpoch); werr != nil {
+				return false, fmt.Errorf("repl: persisting epoch: %w", werr)
+			}
+		}
+	} else if cur != primaryEpoch {
+		return true, fmt.Errorf("repl: primary epoch changed mid-lineage: have %d, got %d", cur, primaryEpoch)
+	}
+
+	_ = conn.SetDeadline(time.Time{})
+	f.connected.Store(true)
+	f.setErr(nil)
+	f.logf("repl: following %s from LSN %d (epoch %d)", f.o.Primary, start, primaryEpoch)
+
+	// Receive loop: persist, apply, ack.
+	var ackSeq uint64
+	for {
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return false, err
+		}
+		fr, err := wire.DecodeFrameV3(payload)
+		if err != nil {
+			return false, err
+		}
+		if fr.Kind != wire.FrameReplRecords {
+			return false, fmt.Errorf("repl: unexpected frame kind %d on stream", fr.Kind)
+		}
+		recs := make([]wal.Record, 0, len(fr.ReplRecords))
+		for _, blob := range fr.ReplRecords {
+			rec, err := wal.UnmarshalRecord(blob)
+			if err != nil {
+				return false, fmt.Errorf("repl: corrupt shipped record: %w", err)
+			}
+			recs = append(recs, rec)
+		}
+		if err := f.o.Log.AppendShipped(recs); err != nil {
+			return false, err
+		}
+		f.o.Log.Flush(f.o.Log.CurrentLSN())
+		if err := f.applier.Feed(recs); err != nil {
+			return false, err
+		}
+		f.batches.Add(1)
+		f.records.Add(uint64(len(recs)))
+		ackSeq++
+		ackPayload := wire.EncodeReplAck(ackSeq, uint64(f.applier.AppliedLSN()), uint64(f.o.Log.DurableLSN()))
+		if err := wire.WriteFrame(conn, ackPayload); err != nil {
+			return false, err
+		}
+	}
+}
+
+// Promote turns the follower into a primary lineage: stop the stream, drop
+// in-flight (uncommitted) transaction buffers, bump and persist the
+// replication epoch.  The caller flips the serving layer (accept writes,
+// install a Primary hub at the returned epoch, bump shard incarnation).
+func (f *Follower) Promote() (uint64, error) {
+	f.Stop()
+	f.applier.Discard()
+	newEpoch := f.epoch.Load() + 1
+	if f.o.Dir != "" {
+		if err := WriteEpoch(f.o.Dir, newEpoch); err != nil {
+			return 0, fmt.Errorf("repl: persisting promoted epoch: %w", err)
+		}
+	}
+	f.epoch.Store(newEpoch)
+	return newEpoch, nil
+}
+
+// FollowerNodeStatus is the follower snapshot feeding expvar and `plpctl
+// repl status`.
+type FollowerNodeStatus struct {
+	Primary    string
+	Epoch      uint64
+	Connected  bool
+	Refused    bool
+	LastError  string
+	DurableLSN uint64
+	Batches    uint64
+	Records    uint64
+	Applier    ApplierStatus
+}
+
+// Status returns a snapshot of follower progress.
+func (f *Follower) Status() FollowerNodeStatus {
+	st := FollowerNodeStatus{
+		Primary:    f.o.Primary,
+		Epoch:      f.epoch.Load(),
+		Connected:  f.connected.Load(),
+		Refused:    f.refused.Load(),
+		DurableLSN: uint64(f.o.Log.DurableLSN()),
+		Batches:    f.batches.Load(),
+		Records:    f.records.Load(),
+		Applier:    f.applier.Status(),
+	}
+	if msg := f.lastErr.Load(); msg != nil {
+		st.LastError = *msg
+	}
+	return st
+}

@@ -1,0 +1,311 @@
+package repl
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plp/internal/wal"
+	"plp/wire"
+)
+
+// Primary-side tunables.
+const (
+	// DefaultBatchBytes bounds the encoded record bytes per REPL-RECORDS
+	// frame — well under wire.MaxFrameSize with room for framing.
+	DefaultBatchBytes = 1 << 20
+	// DefaultAckTimeout bounds how long a replica-acked commit waits for a
+	// follower before reporting the commit's replication as uncertain.
+	DefaultAckTimeout = 5 * time.Second
+	// ackHistBuckets is the number of log2-microsecond latency buckets.
+	ackHistBuckets = 32
+	// ackSampleEvery is the 1-in-N sampling rate for ack-wait latencies,
+	// matching the executor's 1-in-64 accounting.
+	ackSampleEvery = 64
+)
+
+// ErrSubscriptionClosed is returned by Subscription.Next after Close.
+var ErrSubscriptionClosed = fmt.Errorf("repl: subscription closed")
+
+// ErrNoFollower is wrapped by WaitReplicated timeouts.  The commit it
+// reports on IS durable locally — only its replication is unconfirmed.
+var ErrNoFollower = fmt.Errorf("repl: commit not acknowledged by any follower")
+
+// Primary is the primary-side replication hub: it tracks subscribed
+// followers, hands each one a cursor over the durable log, and implements
+// the replica-acked commit wait.
+type Primary struct {
+	log        *wal.Durable
+	epoch      uint64
+	batchBytes int
+	ackTimeout time.Duration
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast whenever any follower's ack advances
+	subs     map[int]*Subscription
+	seq      int
+	maxAcked uint64 // highest durable LSN acked by any follower, monotonic
+
+	ackWaits    atomic.Uint64
+	ackTimeouts atomic.Uint64
+	waitSeq     atomic.Uint64
+	ackHist     [ackHistBuckets]atomic.Uint64 // sampled wait latency, log2(µs)
+}
+
+// NewPrimary builds the replication hub over the durable log at the given
+// replication epoch.
+func NewPrimary(log *wal.Durable, epoch uint64) *Primary {
+	p := &Primary{
+		log:        log,
+		epoch:      epoch,
+		batchBytes: DefaultBatchBytes,
+		ackTimeout: DefaultAckTimeout,
+		subs:       make(map[int]*Subscription),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Epoch returns the primary's replication epoch.
+func (p *Primary) Epoch() uint64 { return p.epoch }
+
+// DurableLSN returns the primary log's durable horizon.
+func (p *Primary) DurableLSN() wal.LSN { return p.log.DurableLSN() }
+
+// SetAckTimeout overrides the replica-ack wait bound (testing and tuning).
+func (p *Primary) SetAckTimeout(d time.Duration) { p.ackTimeout = d }
+
+// Subscription is one follower's stream state: a cursor over the primary's
+// log, a retention pin that trails the follower's acks, and the follower's
+// reported progress.
+type Subscription struct {
+	p      *Primary
+	id     int
+	remote string
+	since  time.Time
+	start  wal.LSN
+	cursor wal.LSN // next LSN to ship (streamer goroutine only)
+	pin    int
+
+	acked   atomic.Uint64 // follower's durable LSN
+	applied atomic.Uint64 // follower's applied LSN
+	closed  atomic.Bool
+}
+
+// Subscribe validates and registers a follower.  start is the LSN the
+// stream must begin at (the follower's durable horizon); followerEpoch is
+// the epoch the follower last followed (0 = fresh, adopts ours).  Refusals
+// carry the wire.ReplRefusedPrefix so they travel as-is in a response Err.
+func (p *Primary) Subscribe(start wal.LSN, followerEpoch uint64, remote string) (*Subscription, error) {
+	if followerEpoch != 0 && followerEpoch != p.epoch {
+		return nil, fmt.Errorf("%s: replication epoch mismatch: subscriber at %d, primary at %d (stale lineage; re-seed required)",
+			wire.ReplRefusedPrefix, followerEpoch, p.epoch)
+	}
+	if durable := p.log.DurableLSN(); start > durable {
+		return nil, fmt.Errorf("%s: subscriber log ahead of primary (start %d > durable %d); diverged lineage",
+			wire.ReplRefusedPrefix, start, durable)
+	}
+	if oldest := p.log.OldestLSN(); start < oldest {
+		return nil, fmt.Errorf("%s: start LSN %d precedes oldest retained %d; re-seed required",
+			wire.ReplRefusedPrefix, start, oldest)
+	}
+	s := &Subscription{p: p, remote: remote, since: time.Now(), start: start, cursor: start}
+	s.acked.Store(uint64(start))
+	s.applied.Store(uint64(start))
+	s.pin = p.log.Pin(start)
+	p.mu.Lock()
+	p.seq++
+	s.id = p.seq
+	p.subs[s.id] = s
+	p.mu.Unlock()
+	return s, nil
+}
+
+// Next blocks until at least one durable record past the cursor exists,
+// then returns the next batch (bounded by the primary's batch size) and
+// advances the cursor.  stop aborts the wait at the next durability
+// wake-up or within one poll interval.
+func (s *Subscription) Next(stop <-chan struct{}) ([]wal.Record, error) {
+	for {
+		if s.closed.Load() {
+			return nil, ErrSubscriptionClosed
+		}
+		select {
+		case <-stop:
+			return nil, ErrSubscriptionClosed
+		default:
+		}
+		recs, err := s.p.log.ReadDurable(s.cursor, s.p.batchBytes)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) > 0 {
+			last := recs[len(recs)-1]
+			s.cursor = last.LSN + wal.LSN(last.EncodedSize())
+			return recs, nil
+		}
+		// Caught up: sleep on the group-commit wake-up, abortable by stop.
+		// The helper goroutine parks in WaitDurable so Next itself can
+		// return promptly on stop; at most one lingers per subscription
+		// until the next append or log close wakes it.
+		cursor := s.cursor
+		woke := make(chan struct{})
+		go func() {
+			s.p.log.WaitDurable(cursor)
+			close(woke)
+		}()
+		select {
+		case <-stop:
+			return nil, ErrSubscriptionClosed
+		case <-woke:
+			if s.p.log.DurableLSN() <= cursor {
+				// WaitDurable returns without progress only when the log is
+				// closing; the short pause keeps that case from spinning.
+				select {
+				case <-stop:
+					return nil, ErrSubscriptionClosed
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+		}
+	}
+}
+
+// UpdateAck records the follower's progress report, advances its retention
+// pin, and wakes replica-acked committers.
+func (s *Subscription) UpdateAck(applied, durable uint64) {
+	s.applied.Store(applied)
+	s.acked.Store(durable)
+	s.p.log.UpdatePin(s.pin, wal.LSN(durable))
+	p := s.p
+	p.mu.Lock()
+	if durable > p.maxAcked {
+		p.maxAcked = durable
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Close deregisters the subscription and releases its retention pin.  Safe
+// to call more than once.
+func (s *Subscription) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.p.log.Unpin(s.pin)
+	s.p.mu.Lock()
+	delete(s.p.subs, s.id)
+	// Wake committers so they re-observe the follower population.
+	s.p.cond.Broadcast()
+	s.p.mu.Unlock()
+}
+
+// WaitReplicated blocks until at least one follower's durable LSN covers
+// the record appended at lsn, or the ack timeout elapses.  It is the
+// replica-acked commit hook installed on txn.Manager: a nil return means
+// the commit record is on stable storage on ≥ 1 follower.
+func (p *Primary) WaitReplicated(lsn wal.LSN) error {
+	p.ackWaits.Add(1)
+	begin := time.Now()
+	deadline := begin.Add(p.ackTimeout)
+	timer := time.AfterFunc(p.ackTimeout, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	p.mu.Lock()
+	for p.maxAcked <= uint64(lsn) {
+		if time.Now().After(deadline) {
+			p.mu.Unlock()
+			p.ackTimeouts.Add(1)
+			return fmt.Errorf("%w within %v (commit IS durable locally; replication unconfirmed)", ErrNoFollower, p.ackTimeout)
+		}
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+
+	if p.waitSeq.Add(1)%ackSampleEvery == 0 {
+		us := time.Since(begin).Microseconds()
+		b := bits.Len64(uint64(us)) // log2 bucket; 0µs → bucket 0
+		if b >= ackHistBuckets {
+			b = ackHistBuckets - 1
+		}
+		p.ackHist[b].Add(1)
+	}
+	return nil
+}
+
+// FollowerStatus is one follower's progress snapshot.
+type FollowerStatus struct {
+	ID         int
+	Remote     string
+	Since      time.Time
+	StartLSN   uint64
+	AppliedLSN uint64
+	AckedLSN   uint64
+	LagBytes   uint64
+	LagRecords int
+}
+
+// PrimaryStatus is the hub snapshot feeding expvar and `plpctl repl
+// status`.
+type PrimaryStatus struct {
+	Epoch       uint64
+	DurableLSN  uint64
+	OldestLSN   uint64
+	Followers   []FollowerStatus
+	AckWaits    uint64
+	AckTimeouts uint64
+	// AckWaitHistUS maps log2-microsecond bucket upper bounds to sampled
+	// replica-ack wait counts (1-in-64 sampling; non-empty buckets only).
+	AckWaitHistUS map[string]uint64
+}
+
+// Status returns a consistent snapshot of the hub.
+func (p *Primary) Status() PrimaryStatus {
+	durable := uint64(p.log.DurableLSN())
+	st := PrimaryStatus{
+		Epoch:       p.epoch,
+		DurableLSN:  durable,
+		OldestLSN:   uint64(p.log.OldestLSN()),
+		AckWaits:    p.ackWaits.Load(),
+		AckTimeouts: p.ackTimeouts.Load(),
+	}
+	p.mu.Lock()
+	for _, s := range p.subs {
+		acked := s.acked.Load()
+		f := FollowerStatus{
+			ID:         s.id,
+			Remote:     s.remote,
+			Since:      s.since,
+			StartLSN:   uint64(s.start),
+			AppliedLSN: s.applied.Load(),
+			AckedLSN:   acked,
+		}
+		if durable > acked {
+			f.LagBytes = durable - acked
+			f.LagRecords = p.log.RecordsBetween(wal.LSN(acked), wal.LSN(durable))
+		}
+		st.Followers = append(st.Followers, f)
+	}
+	p.mu.Unlock()
+	hist := make(map[string]uint64)
+	for i := range p.ackHist {
+		if n := p.ackHist[i].Load(); n > 0 {
+			hist[fmt.Sprintf("le_%dus", uint64(1)<<i)] = n
+		}
+	}
+	st.AckWaitHistUS = hist
+	return st
+}
+
+// NumFollowers returns the live subscriber count.
+func (p *Primary) NumFollowers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.subs)
+}

@@ -1,0 +1,283 @@
+package repl
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"plp/internal/logrec"
+	"plp/internal/recovery"
+	"plp/internal/wal"
+	"plp/wire"
+)
+
+func newLog(t *testing.T) *wal.Durable {
+	t.Helper()
+	d, err := wal.NewDurable(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	return d
+}
+
+func appendTxn(t *testing.T, log *wal.Durable, txnID uint64, key, value string) wal.LSN {
+	t.Helper()
+	mod := logrec.Modification{Table: "kv", Key: []byte(key), After: []byte(value)}
+	log.Append(&wal.Record{Txn: txnID, Type: wal.RecInsert, Payload: logrec.EncodeModification(mod)})
+	lsn := log.Append(&wal.Record{Txn: txnID, Type: wal.RecCommit})
+	log.Flush(log.CurrentLSN())
+	return lsn
+}
+
+func TestSubscribeEpochRules(t *testing.T) {
+	log := newLog(t)
+	appendTxn(t, log, 1, "a", "1")
+	p := NewPrimary(log, 7)
+
+	// Fresh follower (epoch 0) accepted.
+	s, err := p.Subscribe(1, 0, "f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Same-epoch follower accepted.
+	s, err = p.Subscribe(1, 7, "f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Stale lineage (any other epoch) refused — this is the promoted
+	// primary refusing a reconnecting stale primary.
+	if _, err := p.Subscribe(1, 6, "stale"); err == nil || !wire.IsReplRefused(err.Error()) {
+		t.Fatalf("stale epoch subscribe: err=%v", err)
+	}
+	if _, err := p.Subscribe(1, 8, "future"); err == nil || !wire.IsReplRefused(err.Error()) {
+		t.Fatalf("future epoch subscribe: err=%v", err)
+	}
+
+	// A subscriber claiming a log longer than ours has diverged.
+	if _, err := p.Subscribe(log.DurableLSN()+1000, 7, "ahead"); err == nil || !wire.IsReplRefused(err.Error()) {
+		t.Fatalf("ahead-of-primary subscribe: err=%v", err)
+	}
+}
+
+func TestSubscribeBelowRetentionRefused(t *testing.T) {
+	log := newLog(t)
+	for i := uint64(1); i <= 20; i++ {
+		appendTxn(t, log, i, "k", "v")
+	}
+	log.Truncate(log.DurableLSN())
+	p := NewPrimary(log, 1)
+	if _, err := p.Subscribe(1, 0, "lagging"); err == nil || !wire.IsReplRefused(err.Error()) {
+		t.Fatalf("truncated-away subscribe: err=%v", err)
+	}
+	// From the oldest retained LSN it works.
+	s, err := p.Subscribe(log.OldestLSN(), 0, "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}
+
+func TestSubscriptionStreamsAndPins(t *testing.T) {
+	log := newLog(t)
+	appendTxn(t, log, 1, "a", "1")
+	p := NewPrimary(log, 1)
+	s, err := p.Subscribe(1, 0, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	stop := make(chan struct{})
+	recs, err := s.Next(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].LSN != 1 {
+		t.Fatalf("first batch: %d records starting %d", len(recs), recs[0].LSN)
+	}
+
+	// The un-acked subscriber pins the log: truncation keeps its records.
+	log.Truncate(log.DurableLSN())
+	if oldest := log.OldestLSN(); oldest != 1 {
+		t.Fatalf("truncate ignored subscriber pin: oldest %d", oldest)
+	}
+
+	// Ack at the durable horizon: truncation may now reclaim the prefix.
+	s.UpdateAck(uint64(log.DurableLSN()), uint64(log.DurableLSN()))
+	log.Truncate(log.DurableLSN())
+	if oldest, dur := log.OldestLSN(), log.DurableLSN(); oldest != dur {
+		t.Fatalf("acked prefix not reclaimed: oldest %d durable %d", oldest, dur)
+	}
+
+	// Next blocks while caught up, wakes on new appends.
+	got := make(chan int, 1)
+	go func() {
+		recs, err := s.Next(stop)
+		if err != nil {
+			got <- -1
+			return
+		}
+		got <- len(recs)
+	}()
+	select {
+	case n := <-got:
+		t.Fatalf("Next returned %d records while caught up", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+	appendTxn(t, log, 2, "b", "2")
+	select {
+	case n := <-got:
+		if n != 2 {
+			t.Fatalf("wake-up batch had %d records", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not wake on new durable records")
+	}
+}
+
+func TestWaitReplicated(t *testing.T) {
+	log := newLog(t)
+	lsn := appendTxn(t, log, 1, "a", "1")
+	p := NewPrimary(log, 1)
+	p.SetAckTimeout(50 * time.Millisecond)
+
+	// No follower: the wait times out with the commit-durable caveat.
+	if err := p.WaitReplicated(lsn); !errors.Is(err, ErrNoFollower) {
+		t.Fatalf("no-follower wait: err=%v", err)
+	}
+
+	s, err := p.Subscribe(1, 0, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p.SetAckTimeout(2 * time.Second)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var waitErr error
+	go func() {
+		defer wg.Done()
+		waitErr = p.WaitReplicated(lsn)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.UpdateAck(uint64(log.DurableLSN()), uint64(log.DurableLSN()))
+	wg.Wait()
+	if waitErr != nil {
+		t.Fatalf("acked wait failed: %v", waitErr)
+	}
+	st := p.Status()
+	if st.AckWaits != 2 || st.AckTimeouts != 1 || len(st.Followers) != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+func mod(key, value string) logrec.Modification {
+	return logrec.Modification{Table: "kv", Key: []byte(key), After: []byte(value)}
+}
+
+func feedRecords(t *testing.T, a *Applier, log *wal.Durable, recs ...wal.Record) {
+	t.Helper()
+	// Assign LSNs by appending to a scratch log so the stream is shaped
+	// exactly like a shipped one.
+	for i := range recs {
+		log.Append(&recs[i])
+	}
+	log.Flush(log.CurrentLSN())
+	if err := a.Feed(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplierCommitAbortPrepare(t *testing.T) {
+	log := newLog(t)
+	var applied [][]recovery.Op
+	a := NewApplier(func(ops []recovery.Op) error {
+		applied = append(applied, append([]recovery.Op(nil), ops...))
+		return nil
+	})
+
+	// Committed txn applies with its ops in order.
+	feedRecords(t, a, log,
+		wal.Record{Txn: 1, Type: wal.RecInsert, Payload: logrec.EncodeModification(mod("a", "1"))},
+		wal.Record{Txn: 1, Type: wal.RecUpdate, Payload: logrec.EncodeModification(mod("a", "2"))},
+		wal.Record{Txn: 1, Type: wal.RecCommit},
+	)
+	if len(applied) != 1 || len(applied[0]) != 2 || string(applied[0][1].Mod.After) != "2" {
+		t.Fatalf("applied: %+v", applied)
+	}
+
+	// Aborted txn never applies.
+	feedRecords(t, a, log,
+		wal.Record{Txn: 2, Type: wal.RecInsert, Payload: logrec.EncodeModification(mod("b", "1"))},
+		wal.Record{Txn: 2, Type: wal.RecAbort},
+	)
+	if len(applied) != 1 {
+		t.Fatalf("aborted txn applied: %+v", applied)
+	}
+
+	// Prepared branch stays buffered until its commit record.
+	feedRecords(t, a, log,
+		wal.Record{Txn: 3, Type: wal.RecInsert, Payload: logrec.EncodeModification(mod("c", "1"))},
+		wal.Record{Txn: 3, Type: wal.RecPrepare, Payload: []byte("s0-1-1")},
+	)
+	if len(applied) != 1 || a.Status().PendingTxns != 1 {
+		t.Fatalf("prepared branch applied early or dropped: %+v", a.Status())
+	}
+	feedRecords(t, a, log, wal.Record{Txn: 3, Type: wal.RecCommit})
+	if len(applied) != 2 || string(applied[1][0].Mod.Key) != "c" {
+		t.Fatalf("decided branch not applied: %+v", applied)
+	}
+	if a.AppliedLSN() != log.CurrentLSN() {
+		t.Fatalf("applied horizon %d, log horizon %d", a.AppliedLSN(), log.CurrentLSN())
+	}
+}
+
+func TestApplierBootstrapCarriesInFlight(t *testing.T) {
+	log := newLog(t)
+	// Txn 1 commits; txn 2's ops land but its commit record will only
+	// arrive on the resumed stream.
+	log.Append(&wal.Record{Txn: 1, Type: wal.RecInsert, Payload: logrec.EncodeModification(mod("a", "1"))})
+	log.Append(&wal.Record{Txn: 1, Type: wal.RecCommit})
+	log.Append(&wal.Record{Txn: 2, Type: wal.RecInsert, Payload: logrec.EncodeModification(mod("b", "1"))})
+	log.Flush(log.CurrentLSN())
+
+	an, err := recovery.Analyze(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied [][]recovery.Op
+	a := NewApplier(func(ops []recovery.Op) error {
+		applied = append(applied, ops)
+		return nil
+	})
+	a.Bootstrap(an)
+	if a.Status().PendingTxns != 1 {
+		t.Fatalf("bootstrap pending: %+v", a.Status())
+	}
+	// The resumed stream delivers txn 2's commit: the buffered op applies.
+	feedRecords(t, a, log, wal.Record{Txn: 2, Type: wal.RecCommit})
+	if len(applied) != 1 || string(applied[0][0].Mod.Key) != "b" {
+		t.Fatalf("carried-over txn not applied: %+v", applied)
+	}
+}
+
+func TestEpochStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadEpoch(dir); ok || err != nil {
+		t.Fatalf("fresh dir: ok=%v err=%v", ok, err)
+	}
+	if err := WriteEpoch(dir, 42); err != nil {
+		t.Fatal(err)
+	}
+	epoch, ok, err := ReadEpoch(dir)
+	if !ok || err != nil || epoch != 42 {
+		t.Fatalf("epoch=%d ok=%v err=%v", epoch, ok, err)
+	}
+}

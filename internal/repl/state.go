@@ -1,0 +1,67 @@
+// Package repl implements WAL-shipping replication: a primary streams its
+// durable log to followers, followers apply committed transactions into a
+// live read-only engine, and a follower can be promoted to primary when
+// the old primary dies.
+//
+// The design leans on two earlier decisions.  First, the durable WAL (PR 3)
+// is already a byte-addressed, CRC-framed, torn-tail-truncating stream, so
+// a follower's log is simply a byte-identical prefix of the primary's:
+// LSNs agree on both sides, "subscribe from my durable LSN" is the whole
+// resubscription protocol, and a promoted follower recovers with the same
+// code path as a restarted primary.  Second, the logical recovery path
+// (Analyze/ApplyOps) already turns log records into idempotent operations
+// against a loading-mode engine, so the follower's live applier is a
+// streaming incremental form of restart recovery.
+//
+// Epochs fence lineages: every data directory records the replication
+// epoch it last followed (repl.state).  A primary only accepts subscribers
+// at its own epoch (or fresh ones at epoch 0, which adopt it); promotion
+// bumps the epoch, so a stale primary that comes back and tries to follow
+// the new one is refused — its log may contain commits that were never
+// shipped, i.e. a divergent tail.
+package repl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// StateFile is the name of the per-data-dir replication state record.
+const StateFile = "repl.state"
+
+// ReadEpoch loads the replication epoch recorded in dir.  Returns ok=false
+// (no error) when the directory has never participated in replication.
+func ReadEpoch(dir string) (uint64, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, StateFile))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == "epoch" {
+			epoch, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return 0, false, fmt.Errorf("repl: corrupt state file: %v", err)
+			}
+			return epoch, true, nil
+		}
+	}
+	return 0, false, fmt.Errorf("repl: corrupt state file: no epoch line")
+}
+
+// WriteEpoch persists the replication epoch into dir atomically (write
+// temp + rename), mirroring shard.WriteState.
+func WriteEpoch(dir string, epoch uint64) error {
+	body := fmt.Sprintf("epoch %d\n", epoch)
+	tmp := filepath.Join(dir, StateFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, StateFile))
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"strings"
@@ -33,7 +34,9 @@ import (
 	"plp/internal/catalog"
 	"plp/internal/engine"
 	"plp/internal/keyenc"
+	"plp/internal/repl"
 	"plp/shard"
+	"plp/wire"
 )
 
 // crashEnvDir is the environment variable that switches the test binary
@@ -45,12 +48,17 @@ const (
 	crashEnvDir   = "PLP_CRASH_SERVER_DIR"
 	crashEnvPeer  = "PLP_CRASH_SHARD_PEER"
 	crashEnvPoint = "PLP_CRASH_POINT"
+	// crashEnvRepl selects a replication child: "primary" runs a
+	// replica-acked primary, "follow=<addr>" runs a promotable follower.
+	crashEnvRepl = "PLP_CRASH_REPL"
 )
 
 func TestMain(m *testing.M) {
 	if dir := os.Getenv(crashEnvDir); dir != "" {
 		if peer := os.Getenv(crashEnvPeer); peer != "" {
 			runShardCoordServer(dir, peer, os.Getenv(crashEnvPoint))
+		} else if mode := os.Getenv(crashEnvRepl); mode != "" {
+			runReplChild(dir, mode)
 		} else {
 			runCrashServer(dir)
 		}
@@ -128,6 +136,76 @@ func runShardCoordServer(dir, peerAddr, point string) {
 	}
 	if err := srv.SetShardConfig(m, 0, "", 0); err != nil {
 		fmt.Fprintf(os.Stderr, "shard child: shard config: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("CRASHSRV_ADDR %s\n", addr)
+	_ = srv.Serve()
+}
+
+// runReplChild is the replication child: the in-process equivalent of
+// `plpd -data-dir dir -ack-mode replica` (mode "primary") or
+// `plpd -data-dir dir -follow addr` (mode "follow=addr", with the promote
+// verb wired the way plpd wires it).
+func runReplChild(dir, mode string) {
+	e, err := engine.Open(engine.Options{Design: engine.PLPLeaf, Partitions: 4, DataDir: dir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repl child: open: %v\n", err)
+		os.Exit(1)
+	}
+	boundaries := [][]byte{keyenc.Uint64Key(250_000), keyenc.Uint64Key(500_000), keyenc.Uint64Key(750_000)}
+	if _, err := e.CreateTable(catalog.TableDef{Name: "kv", Boundaries: boundaries}); err != nil {
+		fmt.Fprintf(os.Stderr, "repl child: create table: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := e.Recover(); err != nil {
+		fmt.Fprintf(os.Stderr, "repl child: recover: %v\n", err)
+		os.Exit(1)
+	}
+	srv := New(e)
+	if target, ok := strings.CutPrefix(mode, "follow="); ok {
+		f, err := repl.NewFollower(repl.FollowerOptions{
+			Primary:       target,
+			Dir:           dir,
+			Log:           e.DurableLog(),
+			Apply:         e.ApplyReplicated,
+			RetryInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repl child: follower: %v\n", err)
+			os.Exit(1)
+		}
+		srv.SetFollowerMode(true)
+		srv.SetPromoteHandler(func() (string, error) {
+			epoch, err := f.Promote()
+			if err != nil {
+				return "", err
+			}
+			srv.SetReplPrimary(repl.NewPrimary(e.DurableLog(), epoch))
+			srv.SetFollowerMode(false)
+			return fmt.Sprintf("promoted: replication epoch %d\n", epoch), nil
+		})
+		f.Start()
+	} else {
+		epoch, ok, err := repl.ReadEpoch(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repl child: epoch: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			epoch = 1
+			if err := repl.WriteEpoch(dir, epoch); err != nil {
+				fmt.Fprintf(os.Stderr, "repl child: epoch: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		p := repl.NewPrimary(e.DurableLog(), epoch)
+		p.SetAckTimeout(15 * time.Second) // cover the follower child's startup
+		srv.SetReplPrimary(p)
+		e.SetCommitAckWaiter(p.WaitReplicated)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repl child: listen: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("CRASHSRV_ADDR %s\n", addr)
@@ -432,4 +510,188 @@ func TestShardCoordinatorCrash(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestReplFailoverSIGKILL is the kill-the-primary failover test: a
+// replica-acked primary and a follower run as real processes, the primary
+// is SIGKILLed mid-traffic, the follower is promoted, and the promoted node
+// must (a) serve every replica-acked commit, (b) keep unacked multi-key
+// transactions atomic, (c) accept new writes, and (d) refuse the dead
+// primary's lineage when it comes back asking to subscribe.
+func TestReplFailoverSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-kill integration test in short mode")
+	}
+	pdir, fdir := t.TempDir(), t.TempDir()
+	pcmd, paddr := startCrashServer(t, pdir, crashEnvRepl+"=primary")
+	fcmd, faddr := startCrashServer(t, fdir, crashEnvRepl+"=follow="+paddr)
+	t.Cleanup(func() {
+		_ = fcmd.Process.Kill()
+		_, _ = fcmd.Process.Wait()
+	})
+
+	c, err := client.Dial(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: replica-acked commits.  Each acknowledgement means the
+	// commit record is fsynced on the FOLLOWER, so every one of these must
+	// survive losing the primary entirely.
+	const acked = 100
+	for i := uint64(1); i <= acked; i++ {
+		if err := c.Upsert("kv", client.Uint64Key(i), []byte(fmt.Sprintf("acked-%d", i))); err != nil {
+			t.Fatalf("replica-acked upsert %d: %v", i, err)
+		}
+	}
+
+	// Phase 2: two-key transactions in flight while the primary dies.
+	type pairState struct {
+		mu    sync.Mutex
+		acked map[uint64]bool
+		sent  uint64
+	}
+	ps := &pairState{acked: make(map[uint64]bool)}
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := i
+			val := []byte(fmt.Sprintf("pair-%d", id))
+			txn := client.NewTxn().
+				Upsert("kv", client.Uint64Key(300_000+id), val).
+				Upsert("kv", client.Uint64Key(700_000+id), val)
+			f := c.DoAsync(ctx, txn)
+			ps.mu.Lock()
+			ps.sent = i + 1
+			ps.mu.Unlock()
+			go func() {
+				resp, err := f.Wait(ctx)
+				if err == nil && resp.Committed {
+					ps.mu.Lock()
+					ps.acked[id] = true
+					ps.mu.Unlock()
+				}
+			}()
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	if err := pcmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = pcmd.Wait()
+	close(stop)
+	wg.Wait()
+	_ = c.Close()
+	time.Sleep(100 * time.Millisecond)
+	ps.mu.Lock()
+	sent := ps.sent
+	ackedPairs := make(map[uint64]bool, len(ps.acked))
+	for id := range ps.acked {
+		ackedPairs[id] = true
+	}
+	ps.mu.Unlock()
+	if sent == 0 {
+		t.Fatal("no in-flight transactions were submitted before the kill")
+	}
+
+	// Failover: the follower still refuses writes, then promotes.
+	fc, err := client.Dial(faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if err := fc.Upsert("kv", client.Uint64Key(900_000), []byte("x")); !client.IsFollowerRefusal(err) {
+		t.Fatalf("pre-promote write on follower: %v", err)
+	}
+	out, err := fc.Control("promote", "")
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if !strings.Contains(out, "promoted") {
+		t.Fatalf("promote output: %q", out)
+	}
+
+	// (a) Every replica-acked commit survived the primary's death.
+	for i := uint64(1); i <= acked; i++ {
+		got, err := fc.Get("kv", client.Uint64Key(i))
+		if err != nil {
+			t.Fatalf("acked key %d lost in failover: %v", i, err)
+		}
+		if want := fmt.Sprintf("acked-%d", i); string(got) != want {
+			t.Fatalf("acked key %d = %q, want %q", i, got, want)
+		}
+	}
+
+	// (b) Every pair — acked or not — is atomic on the promoted node, and
+	// acked pairs are present.
+	survivors, torn := 0, 0
+	for id := uint64(0); id < sent; id++ {
+		want := fmt.Sprintf("pair-%d", id)
+		a, errA := fc.Get("kv", client.Uint64Key(300_000+id))
+		b, errB := fc.Get("kv", client.Uint64Key(700_000+id))
+		hasA, hasB := errA == nil, errB == nil
+		if hasA != hasB {
+			torn++
+			t.Errorf("pair %d is torn after failover: first=%v second=%v", id, hasA, hasB)
+			continue
+		}
+		if hasA {
+			survivors++
+			if string(a) != want || string(b) != want {
+				t.Errorf("pair %d has wrong values after failover: %q / %q", id, a, b)
+			}
+		} else if ackedPairs[id] {
+			t.Errorf("replica-acked pair %d vanished in failover", id)
+		}
+	}
+
+	// (c) The promoted node accepts writes.
+	if err := fc.Upsert("kv", client.Uint64Key(900_001), []byte("post-promote")); err != nil {
+		t.Fatalf("post-promote write: %v", err)
+	}
+
+	// (d) The dead primary's lineage is fenced: a subscriber presenting the
+	// old epoch is refused by the promoted node's incarnation check.
+	staleEpoch, ok, err := repl.ReadEpoch(pdir)
+	if err != nil || !ok {
+		t.Fatalf("old primary's epoch: %v ok=%v", err, ok)
+	}
+	conn, err := net.Dial("tcp", faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if err := wire.WriteFrame(conn, wire.EncodeHello(&wire.Hello{MaxVersion: wire.V3})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadFrame(br); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, wire.EncodeReplSubscribe(1, 1, staleEpoch)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponseV(payload, wire.V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.IsReplRefused(resp.Err) || !strings.Contains(resp.Err, "epoch") {
+		t.Fatalf("stale-lineage subscribe was not refused: %q", resp.Err)
+	}
+	t.Logf("failover test: %d acked singles, %d pairs sent, %d survivors, %d acked pairs, %d torn",
+		acked, sent, survivors, len(ackedPairs), torn)
 }

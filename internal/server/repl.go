@@ -1,0 +1,182 @@
+// Replication endpoint: a follower's connection is an ordinary wire-v3
+// session whose first post-handshake frame is a REPL-SUBSCRIBE.  The
+// connection then leaves the request/response pipeline for a dedicated
+// full-duplex loop — a streamer goroutine pushes durable log batches, the
+// connection goroutine consumes progress acks — until either side drops.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"plp/internal/repl"
+	"plp/internal/wal"
+	"plp/wire"
+)
+
+// PromoteFunc serves the "promote" control verb on a follower: sever the
+// stream, fence the old primary's lineage, start accepting writes, and
+// return a human-readable summary.
+type PromoteFunc func() (string, error)
+
+// ReplStatusFunc serves the "repl status" control verb: a human-readable
+// (JSON) snapshot of this node's replication role and progress.
+type ReplStatusFunc func() (string, error)
+
+// SetReplPrimary installs (or, with nil, removes) the replication hub that
+// accepts follower subscriptions on this server.
+func (s *Server) SetReplPrimary(p *repl.Primary) {
+	s.replPrimary.Store(p)
+}
+
+// ReplPrimary returns the installed replication hub, or nil.
+func (s *Server) ReplPrimary() *repl.Primary { return s.replPrimary.Load() }
+
+// SetFollowerMode flips the server's follower stance.  A follower serves
+// reads (gets, secondary lookups, scans, read-only plans) from its
+// replicated state but refuses every write op, transaction branch and
+// log-appending control verb: its log must remain a byte-identical prefix
+// of the primary's.
+func (s *Server) SetFollowerMode(on bool) {
+	s.followerMode.Store(on)
+}
+
+// FollowerMode reports the server's follower stance.
+func (s *Server) FollowerMode() bool { return s.followerMode.Load() }
+
+// SetPromoteHandler installs (or, with nil, removes) the function behind
+// the "promote" control verb.
+func (s *Server) SetPromoteHandler(fn PromoteFunc) {
+	if fn == nil {
+		s.promote.Store(nil)
+		return
+	}
+	s.promote.Store(&fn)
+}
+
+// SetReplStatusHandler installs (or, with nil, removes) the function behind
+// the "repl status" control verb.
+func (s *Server) SetReplStatusHandler(fn ReplStatusFunc) {
+	if fn == nil {
+		s.replStatus.Store(nil)
+		return
+	}
+	s.replStatus.Store(&fn)
+}
+
+// executePromote runs the "promote" control verb.
+func (s *Server) executePromote() wire.StatementResult {
+	fn := s.promote.Load()
+	if fn == nil {
+		return wire.StatementResult{Err: "this node is not a follower (nothing to promote)"}
+	}
+	out, err := (*fn)()
+	if err != nil {
+		return wire.StatementResult{Err: err.Error()}
+	}
+	return wire.StatementResult{Found: true, Value: []byte(out)}
+}
+
+// executeReplStatus runs the "repl status" control verb.
+func (s *Server) executeReplStatus() wire.StatementResult {
+	fn := s.replStatus.Load()
+	if fn == nil {
+		return wire.StatementResult{Err: "this node has no replication role (start plpd with -data-dir, or -follow)"}
+	}
+	out, err := (*fn)()
+	if err != nil {
+		return wire.StatementResult{Err: err.Error()}
+	}
+	return wire.StatementResult{Found: true, Value: []byte(out)}
+}
+
+// serveReplication owns a follower's connection after its REPL-SUBSCRIBE
+// frame.  The subscribe response carries either a refusal in Err or the
+// primary's epoch and durable horizon; on acceptance the connection splits
+// into the record streamer (its own goroutine) and the ack reader (this
+// goroutine), and closes when either direction fails.
+func (s *Server) serveReplication(conn net.Conn, br *bufio.Reader, payload []byte, cs session) {
+	id, _ := wire.RequestID(payload)
+	refuse := func(msg string) {
+		resp := &wire.Response{ID: id, Err: msg}
+		_ = wire.WriteFrame(conn, wire.AppendResponseV(nil, resp, cs.version))
+	}
+	f, err := wire.DecodeFrameV3(payload)
+	if err != nil {
+		refuse(fmt.Sprintf("decode: %v", err))
+		return
+	}
+	// Receiving the write stream reveals every row of the database:
+	// subscription is write-privileged, like control verbs.
+	if !cs.authed {
+		refuse(wire.ReplRefusedPrefix + ": subscription requires an authenticated session (connect with the primary's -token)")
+		return
+	}
+	p := s.replPrimary.Load()
+	if p == nil {
+		refuse(wire.ReplRefusedPrefix + ": this server does not accept replication subscriptions (no durable log, or follower not yet promoted)")
+		return
+	}
+	sub, err := p.Subscribe(wal.LSN(f.StartLSN), f.ReplEpoch, conn.RemoteAddr().String())
+	if err != nil {
+		refuse(err.Error())
+		return
+	}
+	defer sub.Close()
+
+	accept := &wire.Response{ID: id, Committed: true, Results: []wire.StatementResult{{
+		Found: true, Value: wire.EncodeReplSubscribeAck(p.Epoch(), uint64(p.DurableLSN())),
+	}}}
+	if err := wire.WriteFrame(conn, wire.AppendResponseV(nil, accept, cs.version)); err != nil {
+		return
+	}
+
+	stop := make(chan struct{})
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		bw := bufio.NewWriterSize(conn, 64<<10)
+		var seq uint64
+		for {
+			recs, err := sub.Next(stop)
+			if err != nil {
+				// A cursor error (e.g. the retained prefix truncated out
+				// from under a parked subscription) must sever the
+				// connection, or the ack reader — and the follower — would
+				// block on a silently dead stream.
+				_ = conn.Close()
+				return
+			}
+			blobs := make([][]byte, len(recs))
+			for i := range recs {
+				blobs[i] = recs[i].Marshal()
+			}
+			seq++
+			if err := wire.WriteFrame(bw, wire.EncodeReplRecords(seq, blobs)); err != nil {
+				_ = conn.Close() // unblock the ack reader
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				_ = conn.Close()
+				return
+			}
+		}
+	}()
+
+	for {
+		ackPayload, err := wire.ReadFrame(br)
+		if err != nil {
+			break
+		}
+		af, err := wire.DecodeFrameV3(ackPayload)
+		if err != nil || af.Kind != wire.FrameReplAck {
+			break
+		}
+		sub.UpdateAck(af.AppliedLSN, af.DurableLSN)
+	}
+	sub.Close() // release the retention pin before the streamer drains
+	close(stop)
+	_ = conn.Close()
+	<-streamDone
+}

@@ -1,0 +1,153 @@
+package server
+
+// Replication throughput datapoints.  Like TestNetworkThroughputDatapoint
+// these emit BENCH_JSON lines for the CI log and make no timing assertion —
+// the interesting quantities are the cost of gating commits on a replica
+// ack versus local fsync, and whether follower-served reads add capacity
+// without slowing the primary's write path.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"plp/client"
+	"plp/internal/repl"
+)
+
+// measureReplThroughput drives one pipelined connection (64 in flight) with
+// transactions from txnFor until the duration elapses and returns committed
+// transactions per second.  Errors are reported with t.Errorf so the helper
+// is safe to call from a secondary goroutine.
+func measureReplThroughput(t *testing.T, addr string, d time.Duration, txnFor func(i int) *client.Txn) float64 {
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Errorf("dial %s: %v", addr, err)
+		return 0
+	}
+	defer c.Close()
+	ctx := context.Background()
+	window := make(chan *client.Future, 64)
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	done, submitted := 0, 0
+	for time.Now().Before(deadline) {
+		for len(window) == cap(window) {
+			if _, err := (<-window).Wait(ctx); err != nil {
+				t.Errorf("measured txn: %v", err)
+				return 0
+			}
+			done++
+		}
+		window <- c.DoAsync(ctx, txnFor(submitted))
+		submitted++
+	}
+	for len(window) > 0 {
+		if _, err := (<-window).Wait(ctx); err != nil {
+			t.Errorf("measured txn: %v", err)
+			return 0
+		}
+		done++
+	}
+	return float64(done) / time.Since(start).Seconds()
+}
+
+// benchUpsert cycles writes over a bounded key range so both ack modes see
+// the same working set.
+func benchUpsert(i int) *client.Txn {
+	return client.NewTxn().Upsert("kv", client.Uint64Key(uint64(i%20_000+1)), []byte("repl-bench"))
+}
+
+// TestReplAckModesDatapoint measures pipelined write throughput on a durable
+// primary with a live follower, first with local-fsync commits and then with
+// the replica-acked gate installed, and emits the pair as a BENCH_JSON line.
+func TestReplAckModesDatapoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping throughput measurement in short mode")
+	}
+	pdir, fdir := t.TempDir(), t.TempDir()
+	pe, psrv, paddr := startReplServer(t, pdir)
+	prim := repl.NewPrimary(pe.DurableLog(), 1)
+	prim.SetAckTimeout(20 * time.Second)
+	psrv.SetReplPrimary(prim)
+
+	fe, fsrv, _ := startReplServer(t, fdir)
+	fsrv.SetFollowerMode(true)
+	f := startFollower(t, fdir, paddr, fe)
+	waitFor(t, "subscription", func() bool { return prim.NumFollowers() == 1 })
+
+	local := measureReplThroughput(t, paddr, 400*time.Millisecond, benchUpsert)
+	waitFor(t, "follower catch-up before acked run", func() bool { return caughtUp(pe, f) })
+
+	pe.SetCommitAckWaiter(prim.WaitReplicated)
+	acked := measureReplThroughput(t, paddr, 400*time.Millisecond, benchUpsert)
+
+	ratio := 0.0
+	if local > 0 {
+		ratio = acked / local
+	}
+	fmt.Printf("BENCH_JSON {\"benchmark\":\"repl_ack_modes\",\"local_fsync_txn_per_s\":%.0f,\"replica_acked_txn_per_s\":%.0f,\"acked_over_local\":%.2f}\n",
+		local, acked, ratio)
+}
+
+// TestReplReadScaleDatapoint measures the primary's write throughput alone
+// and then concurrently with a reader hammering the follower, and emits all
+// three rates.  The follower serving reads from replicated state should add
+// read capacity without slowing the primary's write path.
+func TestReplReadScaleDatapoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping throughput measurement in short mode")
+	}
+	pdir, fdir := t.TempDir(), t.TempDir()
+	pe, psrv, paddr := startReplServer(t, pdir)
+	prim := repl.NewPrimary(pe.DurableLog(), 1)
+	psrv.SetReplPrimary(prim)
+
+	fe, fsrv, faddr := startReplServer(t, fdir)
+	fsrv.SetFollowerMode(true)
+	f := startFollower(t, fdir, paddr, fe)
+	waitFor(t, "subscription", func() bool { return prim.NumFollowers() == 1 })
+
+	// Preload the read working set through the primary so the follower's
+	// reads all hit replicated records.
+	pc := dial(t, paddr)
+	ctx := context.Background()
+	window := make(chan *client.Future, 64)
+	for i := 0; i < 20_000; i++ {
+		for len(window) == cap(window) {
+			if _, err := (<-window).Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		window <- pc.DoAsync(ctx, benchUpsert(i))
+	}
+	for len(window) > 0 {
+		if _, err := (<-window).Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "preload catch-up", func() bool { return caughtUp(pe, f) })
+
+	writesAlone := measureReplThroughput(t, paddr, 400*time.Millisecond, benchUpsert)
+
+	var wg sync.WaitGroup
+	var followerReads float64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		followerReads = measureReplThroughput(t, faddr, 400*time.Millisecond, func(i int) *client.Txn {
+			return client.NewTxn().Get("kv", client.Uint64Key(uint64(i%20_000+1)))
+		})
+	}()
+	writesWithReads := measureReplThroughput(t, paddr, 400*time.Millisecond, benchUpsert)
+	wg.Wait()
+
+	slowdown := 0.0
+	if writesAlone > 0 {
+		slowdown = writesWithReads / writesAlone
+	}
+	fmt.Printf("BENCH_JSON {\"benchmark\":\"repl_read_scale\",\"primary_writes_alone_per_s\":%.0f,\"primary_writes_with_follower_reads_per_s\":%.0f,\"follower_reads_per_s\":%.0f,\"writes_with_over_alone\":%.2f}\n",
+		writesAlone, writesWithReads, followerReads, slowdown)
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"plp/internal/engine"
+	"plp/internal/repl"
 	"plp/plan"
 	"plp/wire"
 )
@@ -116,6 +117,11 @@ type Server struct {
 	token      atomic.Pointer[string]
 	roToken    atomic.Pointer[string]
 	sharding   atomic.Pointer[shardState]
+
+	replPrimary  atomic.Pointer[repl.Primary]
+	followerMode atomic.Bool
+	promote      atomic.Pointer[PromoteFunc]
+	replStatus   atomic.Pointer[ReplStatusFunc]
 }
 
 // New returns a server for the engine.
@@ -352,8 +358,23 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.handshakes.Add(1)
 		first = nil
 	}
+	if cs.version >= wire.V3 {
+		// A replication subscription announces itself as the first
+		// post-handshake frame; everything else enters the pipelined loop
+		// with the frame it already read.
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		if len(payload) > 8 && wire.FrameKind(payload[8]) == wire.FrameReplSubscribe {
+			s.serveReplication(conn, br, payload, cs)
+			return
+		}
+		s.servePipelined(conn, br, payload, cs)
+		return
+	}
 	if cs.version >= wire.V2 {
-		s.servePipelined(conn, br, cs)
+		s.servePipelined(conn, br, nil, cs)
 		return
 	}
 	s.serveSerial(conn, br, first, cs)
@@ -398,7 +419,7 @@ type workItem struct {
 // reader also intercepts cancel frames — they must not queue behind the very
 // requests they cancel — and flips the named request's flag, which the
 // executing transaction polls before every op.
-func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
+func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, first []byte, cs session) {
 	workers := s.ConnWorkers
 	if workers <= 0 {
 		workers = DefaultConnWorkers
@@ -467,10 +488,14 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
 		}()
 	}
 
+	payload := first
 	for {
-		payload, err := wire.ReadFrame(br)
-		if err != nil {
-			break
+		if payload == nil {
+			var err error
+			payload, err = wire.ReadFrame(br)
+			if err != nil {
+				break
+			}
 		}
 		if cs.version >= wire.V3 && len(payload) > 8 && wire.FrameKind(payload[8]) == wire.FrameCancel {
 			// A cancel names an in-flight request by ID.  One for a request
@@ -482,6 +507,7 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
 					flag.(*atomic.Bool).Store(true)
 				}
 			}
+			payload = nil
 			continue
 		}
 		item := workItem{payload: payload, canceled: &atomic.Bool{}}
@@ -489,6 +515,7 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, cs session) {
 			inflight.Store(id, item.canceled)
 		}
 		work <- item
+		payload = nil
 	}
 	close(work)
 	wg.Wait()
@@ -516,8 +543,14 @@ func (s *Server) handleFrame(sess *engine.Session, payload []byte, cs session, c
 		case wire.FrameShardMap:
 			return s.executeShardMap(f.ID)
 		case wire.FramePrepare:
+			if s.followerMode.Load() {
+				return &wire.Response{ID: f.ID, Err: wire.FollowerPrefix + ": prepare refused — follower nodes take no transaction branches"}
+			}
 			return s.executePrepare(sess, f, cs)
 		case wire.FrameDecide:
+			if s.followerMode.Load() {
+				return &wire.Response{ID: f.ID, Err: wire.FollowerPrefix + ": decide refused — follower nodes take no transaction branches"}
+			}
 			return s.executeDecide(f, cs)
 		default:
 			return s.execute(sess, f.Req, cs, canceled)
@@ -548,6 +581,11 @@ func (s *Server) executePlan(sess *engine.Session, id uint64, p *plan.Plan, cs s
 	resp := &wire.Response{ID: id}
 	if cs.readOnly && p.Writes() {
 		resp.Err = "read-only session: plan contains write ops"
+		s.aborted.Add(1)
+		return resp
+	}
+	if s.followerMode.Load() && p.Writes() {
+		resp.Err = wire.FollowerPrefix + ": plan contains write ops — this node replicates a primary (write there, or promote this node)"
 		s.aborted.Add(1)
 		return resp
 	}
@@ -610,6 +648,15 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session, ca
 		for _, st := range req.Statements {
 			if writesOp(st.Op) {
 				resp.Err = fmt.Sprintf("read-only session: %v refused", st.Op)
+				s.aborted.Add(1)
+				return resp
+			}
+		}
+	}
+	if s.followerMode.Load() {
+		for _, st := range req.Statements {
+			if writesOp(st.Op) {
+				resp.Err = fmt.Sprintf("%s: %v refused — this node replicates a primary (write there, or promote this node)", wire.FollowerPrefix, st.Op)
 				s.aborted.Add(1)
 				return resp
 			}
@@ -710,6 +757,18 @@ func (s *Server) executeControl(st wire.Statement, cs session) wire.StatementRes
 	}
 	if !cs.authed {
 		return wire.StatementResult{Err: "control requires an authenticated session (connect with the server's -token)"}
+	}
+	switch string(st.Key) {
+	case "promote":
+		return s.executePromote()
+	case "repl status":
+		return s.executeReplStatus()
+	}
+	if s.followerMode.Load() {
+		// A follower's log must stay a byte-identical prefix of the
+		// primary's, so every verb that could append locally (checkpoint,
+		// repartition triggers) is refused until promotion.
+		return wire.StatementResult{Err: fmt.Sprintf("%s: control verb %q refused — only \"promote\" and \"repl status\" run on a follower", wire.FollowerPrefix, st.Key)}
 	}
 	if string(st.Key) == "checkpoint" {
 		cp := s.checkpoint.Load()

@@ -230,6 +230,13 @@ type Manager struct {
 	cstats *cs.Stats
 	lazy   atomic.Bool
 
+	// ackWaiter, when set, extends the commit acknowledgement gate beyond
+	// local durability: Commit blocks until the waiter confirms the commit
+	// record's LSN (replica-acked mode waits for ≥ 1 follower's durable
+	// ack).  Installed via SetCommitAckWaiter; nil means local-fsync
+	// acknowledgement, today's default.
+	ackWaiter atomic.Pointer[func(wal.LSN) error]
+
 	// pool recycles finished Txn objects between requests: the object, its
 	// lockNames/undo slice capacity and its Breakdown all get reused, so the
 	// per-transaction hot path allocates nothing in steady state.  Only
@@ -298,6 +305,20 @@ func (m *Manager) SetLazyCommit(v bool) { m.lazy.Store(v) }
 
 // LazyCommit reports whether lazy commit is enabled.
 func (m *Manager) LazyCommit() bool { return m.lazy.Load() }
+
+// SetCommitAckWaiter installs (or clears, with nil) the extended commit
+// acknowledgement gate.  The waiter runs after the commit record is
+// locally durable and before Commit returns success; a non-nil error
+// propagates to the committer, who must NOT treat the transaction as
+// acknowledged-replicated (it IS durable locally).  Read-only commits skip
+// the waiter — they ship no record, so there is nothing to replicate.
+func (m *Manager) SetCommitAckWaiter(fn func(wal.LSN) error) {
+	if fn == nil {
+		m.ackWaiter.Store(nil)
+		return
+	}
+	m.ackWaiter.Store(&fn)
+}
 
 // Commit is the group-commit pipeline, split into the three steps of the
 // Aether scheme:
@@ -369,6 +390,18 @@ func (m *Manager) Commit(t *Txn) error {
 			// no longer be kept, so the caller must surface a failure.
 			m.committed.Add(1)
 			return ErrNotDurable
+		}
+	}
+	// Extended acknowledgement gate (replica-acked commit): the record is
+	// durable locally; hold the client's ack until the waiter confirms it
+	// reached a replica too.
+	if w := m.ackWaiter.Load(); w != nil {
+		ackStart := time.Now()
+		err := (*w)(lsn)
+		t.Breakdown.AddWait(WaitLog, time.Since(ackStart))
+		if err != nil {
+			m.committed.Add(1)
+			return err
 		}
 	}
 	m.committed.Add(1)

@@ -103,6 +103,16 @@ type Durable struct {
 
 	durable atomic.Uint64
 
+	// pinMu guards the retention pins (see Pin in repl.go).  A separate
+	// mutex so ack-driven pin updates never contend with the append path.
+	pinMu  sync.Mutex
+	pins   map[int]LSN
+	pinSeq int
+
+	// rotateHook, when set, is called with each closed segment (see
+	// SetRotateHook in repl.go).
+	rotateHook atomic.Pointer[func(path string, first, last LSN)]
+
 	flushReq chan struct{}
 	stop     chan struct{}
 	done     chan struct{}
@@ -406,6 +416,9 @@ func (d *Durable) flushOnce(forceSync bool) {
 			buf = buf[:0]
 			d.closedSegs = append(d.closedSegs, segmentInfo{path: d.segPath, first: d.segFirst, last: r.LSN})
 			_ = d.seg.Close()
+			if hook := d.rotateHook.Load(); hook != nil {
+				(*hook)(d.segPath, d.segFirst, r.LSN)
+			}
 			if err := d.openSegment(r.LSN); err != nil {
 				d.fail(err)
 				return
@@ -546,6 +559,9 @@ func (d *Durable) Truncate(upto LSN) int {
 	if dur := LSN(d.durable.Load()); upto > dur {
 		upto = dur
 	}
+	// Retention pins: never discard a record a live subscriber (or other
+	// pinned reader) still needs.
+	upto = d.retentionFloor(upto)
 
 	// Unlink whole segments whose every record precedes upto.
 	kept := d.closedSegs[:0]

@@ -1,0 +1,184 @@
+// Replication support on the durable log device: reading the stream a
+// primary ships to followers, appending a shipped stream on a follower, and
+// the retention machinery that keeps truncation from deleting a slow
+// reader's segments out from under it.
+//
+// The log IS the replication stream: a follower's log is a byte-identical
+// prefix of its primary's, so LSNs agree on both sides, resubscription is
+// "start from my durable LSN", and a promoted follower recovers with the
+// exact same torn-tail truncation code path as a restarted primary.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrLogTruncated is returned by ReadDurable when the requested start LSN
+// precedes the oldest retained record: the prefix a subscriber needs has
+// been truncated away, so it must be re-seeded (fresh copy) instead of
+// streamed to.
+var ErrLogTruncated = errors.New("wal: requested LSN already truncated")
+
+// OldestLSN returns the LSN of the oldest record still retained (equal to
+// CurrentLSN when the log is empty or fully truncated).  A subscriber whose
+// start LSN precedes this cannot be served by streaming.
+func (d *Durable) OldestLSN() LSN {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.mem) > 0 {
+		return d.mem[0].LSN
+	}
+	return d.next
+}
+
+// ReadDurable returns durable records starting exactly at from, bounded by
+// maxBytes of encoded record size (always at least one record).  A nil
+// result with a nil error means the reader is caught up: from is the
+// durable horizon.  from must be a record boundary — a follower's durable
+// LSN always is, because durability only ever advances whole records.
+func (d *Durable) ReadDurable(from LSN, maxBytes int) ([]Record, error) {
+	durable := LSN(d.durable.Load())
+	if from >= durable {
+		return nil, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.mem) == 0 || from < d.mem[0].LSN {
+		return nil, fmt.Errorf("%w: want %d, oldest retained %d", ErrLogTruncated, from, d.OldestLSNLocked())
+	}
+	i := sort.Search(len(d.mem), func(i int) bool { return d.mem[i].LSN >= from })
+	if i == len(d.mem) || d.mem[i].LSN != from {
+		return nil, fmt.Errorf("wal: LSN %d is not a record boundary", from)
+	}
+	var out []Record
+	bytes := 0
+	for ; i < len(d.mem); i++ {
+		r := d.mem[i]
+		if r.LSN >= durable {
+			break
+		}
+		if len(out) > 0 && bytes+r.encodedSize() > maxBytes {
+			break
+		}
+		out = append(out, r)
+		bytes += r.encodedSize()
+	}
+	return out, nil
+}
+
+// RecordsBetween counts retained records with from <= LSN < to (lag
+// reporting for replication status).
+func (d *Durable) RecordsBetween(from, to LSN) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	i := sort.Search(len(d.mem), func(i int) bool { return d.mem[i].LSN >= from })
+	j := sort.Search(len(d.mem), func(i int) bool { return d.mem[i].LSN >= to })
+	return j - i
+}
+
+// OldestLSNLocked is OldestLSN for callers already holding mu.
+func (d *Durable) OldestLSNLocked() LSN {
+	if len(d.mem) > 0 {
+		return d.mem[0].LSN
+	}
+	return d.next
+}
+
+// AppendShipped appends records shipped from a primary, keeping their
+// pre-assigned LSNs.  The batch must start exactly at the local append
+// horizon and be internally contiguous — a follower's log is a prefix of
+// its primary's, byte for byte, or it is corrupt.  The records become
+// durable through the same group-commit flush as local appends; the caller
+// flushes (or waits) before acknowledging its durable LSN upstream.
+func (d *Durable) AppendShipped(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var total uint64
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("wal: log closed")
+	}
+	want := d.next
+	for i := range recs {
+		if recs[i].LSN != want {
+			d.mu.Unlock()
+			return fmt.Errorf("wal: shipped record %d has LSN %d, want %d (stream not contiguous)", i, recs[i].LSN, want)
+		}
+		size := LSN(recs[i].encodedSize())
+		want += size
+		total += uint64(size)
+	}
+	d.tail = append(d.tail, recs...)
+	d.mem = append(d.mem, recs...)
+	d.next = want
+	d.mu.Unlock()
+
+	d.appends.Add(uint64(len(recs)))
+	d.bytes.Add(total)
+	d.kick()
+	return nil
+}
+
+// Pin registers a retention safe point at lsn: Truncate will not discard
+// any record at or above the lowest pinned LSN.  Returns a pin id for
+// UpdatePin/Unpin.  The replication streamer pins each subscriber's
+// position so a checkpoint-driven truncation cannot unlink a segment a
+// slow follower still needs.
+func (d *Durable) Pin(lsn LSN) int {
+	d.pinMu.Lock()
+	defer d.pinMu.Unlock()
+	if d.pins == nil {
+		d.pins = make(map[int]LSN)
+	}
+	d.pinSeq++
+	id := d.pinSeq
+	d.pins[id] = lsn
+	return id
+}
+
+// UpdatePin advances (or moves) an existing pin to lsn.
+func (d *Durable) UpdatePin(id int, lsn LSN) {
+	d.pinMu.Lock()
+	if _, ok := d.pins[id]; ok {
+		d.pins[id] = lsn
+	}
+	d.pinMu.Unlock()
+}
+
+// Unpin releases a retention pin.
+func (d *Durable) Unpin(id int) {
+	d.pinMu.Lock()
+	delete(d.pins, id)
+	d.pinMu.Unlock()
+}
+
+// retentionFloor returns the lowest pinned LSN, or max if nothing is
+// pinned.
+func (d *Durable) retentionFloor(max LSN) LSN {
+	d.pinMu.Lock()
+	defer d.pinMu.Unlock()
+	floor := max
+	for _, lsn := range d.pins {
+		if lsn < floor {
+			floor = lsn
+		}
+	}
+	return floor
+}
+
+// SetRotateHook installs a hook called whenever the active segment rotates:
+// the closed segment's path and its [first, last) LSN range.  The hook runs
+// on the flush path with the log's I/O lock held, so it must be quick and
+// must not call back into the log — copy the path elsewhere (log archival,
+// PITR) and return.  Pass nil to clear.
+func (d *Durable) SetRotateHook(fn func(path string, first, last LSN)) {
+	if fn == nil {
+		d.rotateHook.Store(nil)
+		return
+	}
+	d.rotateHook.Store(&fn)
+}

@@ -94,6 +94,11 @@ func (r *Record) encodedSize() int {
 	return 8 + 8 + 8 + 1 + 8 + 4 + len(r.Payload)
 }
 
+// EncodedSize returns the number of log bytes the record occupies; a
+// record's exclusive end LSN is r.LSN + EncodedSize().  Replication uses
+// it to advance stream cursors.
+func (r *Record) EncodedSize() int { return r.encodedSize() }
+
 // Marshal encodes the record (without its own LSN, which is implied by its
 // position in the log).
 func (r *Record) Marshal() []byte {

@@ -204,6 +204,37 @@
 // version bump moves ownership but not data; "plpctl shards" prints a
 // running daemon's map.
 //
+// # Replication
+//
+// A durable plpd can ship its write-ahead log to followers: the log IS the
+// replication stream, so a follower's log is a byte-identical prefix of
+// the primary's, LSNs agree on both sides, resubscription after a dropped
+// stream is "start from my durable LSN", and a promoted follower recovers
+// through the exact same torn-tail truncation path as a restarted primary.
+// A follower (plpd -follow <primary-addr>) subscribes over an ordinary
+// wire-v3 session (REPL-SUBSCRIBE / REPL-RECORDS / REPL-ACK frames),
+// persists each shipped batch before acking, and applies committed
+// transactions through the restart-recovery path — whole transactions
+// only, under a partition-worker quiesce, so its reads (gets, secondary
+// lookups, scans, read-only plans — writes are refused) are always
+// transaction-consistent.  Application never writes the follower's log:
+// even the page-split SMO records its own B+Trees would emit are
+// suppressed during replay, preserving the byte-identical prefix.
+// Retention pins trail each subscriber so checkpoint-driven log truncation
+// cannot unlink a segment a lagging follower still needs.
+//
+// Commit acknowledgement is local-fsync by default; replica-acked mode
+// (plpd -ack-mode replica) additionally holds each commit ack until a follower
+// reports the commit record durable, so an acknowledged write survives
+// primary loss.  Failover is manual and explicit: "plpctl promote" stops
+// the follower's stream, discards uncommitted in-flight buffers, bumps the
+// persisted replication epoch and the shard incarnation, and starts
+// accepting writes; the old primary's lineage is fenced — a stale node
+// re-subscribing with the old epoch is refused and must be re-seeded.
+// "plpctl repl status" prints either side's progress (epoch, durable/
+// applied LSNs, follower lag, replica-ack wait histogram), which also
+// feeds the plp_repl expvar.
+//
 // # Online dynamic repartitioning
 //
 // Physiological partitioning only stays latch-free under shifting workloads

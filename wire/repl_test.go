@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReplSubscribeRoundTrip(t *testing.T) {
+	payload := EncodeReplSubscribe(7, 12345, 3)
+	f, err := DecodeFrameV3(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != 7 || f.Kind != FrameReplSubscribe || f.StartLSN != 12345 || f.ReplEpoch != 3 {
+		t.Fatalf("decoded %+v", f)
+	}
+}
+
+func TestReplRecordsRoundTrip(t *testing.T) {
+	blobs := [][]byte{[]byte("rec-one"), {}, []byte("rec-three")}
+	payload := EncodeReplRecords(9, blobs)
+	f, err := DecodeFrameV3(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != 9 || f.Kind != FrameReplRecords || len(f.ReplRecords) != 3 {
+		t.Fatalf("decoded %+v", f)
+	}
+	for i := range blobs {
+		if !bytes.Equal(f.ReplRecords[i], blobs[i]) {
+			t.Fatalf("blob %d: %q != %q", i, f.ReplRecords[i], blobs[i])
+		}
+	}
+}
+
+func TestReplAckRoundTrip(t *testing.T) {
+	payload := EncodeReplAck(2, 100, 200)
+	f, err := DecodeFrameV3(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != 2 || f.Kind != FrameReplAck || f.AppliedLSN != 100 || f.DurableLSN != 200 {
+		t.Fatalf("decoded %+v", f)
+	}
+}
+
+func TestReplSubscribeAckRoundTrip(t *testing.T) {
+	blob := EncodeReplSubscribeAck(5, 9876)
+	epoch, durable, err := DecodeReplSubscribeAck(blob)
+	if err != nil || epoch != 5 || durable != 9876 {
+		t.Fatalf("epoch=%d durable=%d err=%v", epoch, durable, err)
+	}
+	if _, _, err := DecodeReplSubscribeAck(blob[:7]); err == nil {
+		t.Fatal("short subscribe ack accepted")
+	}
+}
+
+func TestReplRecordsHostileCount(t *testing.T) {
+	// Frame header (id + kind) then a blob count of ~4 billion.
+	payload := append(EncodeReplRecords(1, nil)[:9], 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeFrameV3(payload); err == nil {
+		t.Fatal("hostile record count accepted")
+	}
+}
+
+func TestReplRefusalPrefixes(t *testing.T) {
+	if !IsReplRefused(ReplRefusedPrefix+": stale epoch") || IsReplRefused("nope") {
+		t.Fatal("IsReplRefused misclassifies")
+	}
+	if !IsFollowerRefusal(FollowerPrefix+": writes refused") || IsFollowerRefusal("wrong shard") {
+		t.Fatal("IsFollowerRefusal misclassifies")
+	}
+}
+
+// FuzzDecodeReplFrame feeds hostile replication frames through the V3
+// decoder: it must never panic, never over-allocate on hostile counts, and
+// whatever it accepts must survive a re-encode/re-decode round trip.
+func FuzzDecodeReplFrame(f *testing.F) {
+	f.Add(EncodeReplSubscribe(1, 42, 0))
+	f.Add(EncodeReplSubscribe(2, 0, 7))
+	f.Add(EncodeReplRecords(3, [][]byte{[]byte("abc"), []byte("")}))
+	f.Add(EncodeReplAck(4, 10, 20))
+	// Hostile blob count.
+	f.Add(append(EncodeReplRecords(5, nil)[:9], 0xFF, 0xFF, 0xFF, 0xFF))
+	// Truncated subscribe.
+	f.Add(EncodeReplSubscribe(6, 1, 1)[:12])
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		fr, err := DecodeFrameV3(payload)
+		if err != nil {
+			return
+		}
+		var back *Frame
+		switch fr.Kind {
+		case FrameReplSubscribe:
+			back, err = DecodeFrameV3(EncodeReplSubscribe(fr.ID, fr.StartLSN, fr.ReplEpoch))
+		case FrameReplRecords:
+			back, err = DecodeFrameV3(EncodeReplRecords(fr.ID, fr.ReplRecords))
+		case FrameReplAck:
+			back, err = DecodeFrameV3(EncodeReplAck(fr.ID, fr.AppliedLSN, fr.DurableLSN))
+		default:
+			return // other frame kinds have their own fuzzers
+		}
+		if err != nil {
+			t.Fatalf("re-decode of accepted repl frame failed: %v", err)
+		}
+		if back.ID != fr.ID || back.Kind != fr.Kind ||
+			back.StartLSN != fr.StartLSN || back.ReplEpoch != fr.ReplEpoch ||
+			back.AppliedLSN != fr.AppliedLSN || back.DurableLSN != fr.DurableLSN ||
+			len(back.ReplRecords) != len(fr.ReplRecords) {
+			t.Fatalf("round trip changed the frame: %+v != %+v", back, fr)
+		}
+		for i := range fr.ReplRecords {
+			if !bytes.Equal(back.ReplRecords[i], fr.ReplRecords[i]) {
+				t.Fatalf("blob %d changed", i)
+			}
+		}
+	})
+}

@@ -597,6 +597,20 @@ type Frame struct {
 	// DecideMode is the decide verb (FrameDecide): DecideAbort,
 	// DecideCommit or DecideQuery.
 	DecideMode DecideMode
+	// StartLSN is the requested stream start (FrameReplSubscribe).
+	StartLSN uint64
+	// ReplEpoch is the follower's last-known replication epoch
+	// (FrameReplSubscribe; 0 = never followed).
+	ReplEpoch uint64
+	// ReplRecords holds the marshaled WAL record blobs of a
+	// FrameReplRecords batch (opaque to this package; aliases the frame
+	// buffer).
+	ReplRecords [][]byte
+	// AppliedLSN and DurableLSN are the follower's progress report
+	// (FrameReplAck).
+	AppliedLSN uint64
+	// DurableLSN is the follower's durable horizon (FrameReplAck).
+	DurableLSN uint64
 }
 
 // minEncodedOpBytes is the smallest possible encoded plan op; hostile
@@ -706,6 +720,8 @@ func DecodeFrameV3(buf []byte) (*Frame, error) {
 		return f, nil
 	case FrameShardMap, FramePrepare, FrameDecide:
 		return decodeShardFrame(f, r)
+	case FrameReplSubscribe, FrameReplRecords, FrameReplAck:
+		return decodeReplFrame(f, r)
 	default:
 		return nil, fmt.Errorf("%w: unknown frame kind %d", ErrBadOp, f.Kind)
 	}
