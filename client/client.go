@@ -71,6 +71,10 @@ var (
 	ErrClosed = errors.New("client: closed")
 	// ErrAborted is returned when the server aborted the transaction.
 	ErrAborted = errors.New("client: transaction aborted")
+	// ErrTransient wraps aborts the server tagged as timing-dependent
+	// (deadlock-avoidance lock timeouts): retrying the identical request
+	// has a fair chance of succeeding.  Test with IsTransient.
+	ErrTransient = errors.New("transient")
 	// ErrNotFound is returned by Get-style helpers when the key is missing.
 	ErrNotFound = errors.New("client: key not found")
 	// ErrAuth is returned by Dial when the server refused the token.
@@ -79,6 +83,12 @@ var (
 	// version than the session negotiated (e.g. Scan on a v1 session).
 	ErrVersion = errors.New("client: operation not supported by negotiated protocol version")
 )
+
+// IsTransient reports whether an error is an abort the server tagged as
+// transient (protocol v3 retry hints): the caller may retry the identical
+// request.  Aborts without a hint — pre-v3 servers — report false, so
+// callers treat them as permanent, the safe default.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
 
 // IsFollowerRefusal reports whether an error means the server is a
 // replication follower refusing a write, control verb or transaction
@@ -196,6 +206,9 @@ func (f *Future) Result() (*wire.Response, error) {
 		return nil, f.err
 	}
 	if !f.resp.Committed {
+		if f.resp.Retry == wire.RetryTransient {
+			return f.resp, fmt.Errorf("%w (%w): %s", ErrAborted, ErrTransient, f.resp.Err)
+		}
 		return f.resp, fmt.Errorf("%w: %s", ErrAborted, f.resp.Err)
 	}
 	return f.resp, nil
@@ -239,6 +252,7 @@ type Client struct {
 
 	mu      sync.Mutex
 	pending map[uint64]*Future
+	streams map[uint64]chan *wire.ScanChunk // open streaming scans by ID
 	nextID  uint64
 	closed  bool
 	broken  error // first transport error; poisons the client
@@ -285,6 +299,7 @@ func DialContext(ctx context.Context, addr string, opts *DialOptions) (*Client, 
 		writeCh:    make(chan []byte, 256),
 		writerQuit: make(chan struct{}),
 		pending:    make(map[uint64]*Future),
+		streams:    make(map[uint64]chan *wire.ScanChunk),
 		readerDone: make(chan struct{}),
 	}
 	if o.Version >= wire.V2 {
@@ -391,6 +406,35 @@ func (c *Client) readLoop() {
 			c.fail(err)
 			return
 		}
+		if wire.IsScanChunk(payload) {
+			// A streaming-scan chunk: route it to its stream's channel.
+			// ReadFrame allocated the payload fresh, so the decoded chunk
+			// may alias it.
+			chunk, err := wire.DecodeScanChunk(payload)
+			if err != nil {
+				c.fail(fmt.Errorf("client: bad scan chunk: %w", err))
+				return
+			}
+			c.mu.Lock()
+			ch := c.streams[chunk.ID]
+			overflow := false
+			if ch != nil {
+				select {
+				case ch <- chunk:
+				default:
+					overflow = true
+				}
+			}
+			c.mu.Unlock()
+			if overflow {
+				// The server overran the credit window it agreed to; the
+				// stream's framing can no longer be trusted.
+				c.fail(fmt.Errorf("client: scan stream %d overran its flow-control window", chunk.ID))
+				return
+			}
+			// A chunk without a stream belongs to an abandoned scan: drop it.
+			continue
+		}
 		resp, err := wire.DecodeResponseV(payload, c.version)
 		if err != nil {
 			c.fail(fmt.Errorf("client: bad response frame: %w", err))
@@ -422,11 +466,16 @@ func (c *Client) fail(err error) {
 	}
 	pend := c.pending
 	c.pending = make(map[uint64]*Future)
+	streams := c.streams
+	c.streams = make(map[uint64]chan *wire.ScanChunk)
 	c.mu.Unlock()
 	c.quitOnce.Do(func() { close(c.writerQuit) })
 	_ = c.conn.Close()
 	for _, f := range pend {
 		f.complete(nil, err)
+	}
+	for _, ch := range streams {
+		close(ch) // consumers read the nil chunk as a transport failure
 	}
 }
 

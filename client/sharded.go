@@ -320,7 +320,13 @@ func (s *Sharded) ScanContext(ctx context.Context, table string, lo, hi []byte, 
 		if err != nil {
 			return nil, fmt.Errorf("client: scan shard %d: %w", sh.ID, err)
 		}
-		entries, err := c.ScanContext(ctx, table, lo, hi, limit)
+		// Ask each shard only for what the global limit still allows:
+		// rows beyond it would be fetched, shipped, and then truncated.
+		remaining := limit
+		if limit > 0 {
+			remaining = limit - len(out)
+		}
+		entries, err := c.ScanContext(ctx, table, lo, hi, remaining)
 		if err != nil {
 			return nil, fmt.Errorf("client: scan shard %d: %w", sh.ID, err)
 		}

@@ -55,6 +55,10 @@ commands:
                                      secondary probe feeding a routed update,
                                      as ONE declarative plan / round trip
   scan   <table> <lo> <hi> [limit]   range scan [lo, hi) ("-" scans open-ended)
+  scanstream <table> <lo> <hi> [limit]
+                                     streaming scan: rows arrive in flow-controlled
+                                     chunks (-chunk rows per chunk; -eq N pushes an
+                                     int64-at-offset-0 equality filter to the server)
   bench  <table>                     run a small upsert/get load (-clients, -ops)
   shards                             print the server's shard map (sharded daemons)
   checkpoint                         take a checkpoint now (durable daemons)
@@ -77,6 +81,8 @@ func main() {
 		token   = flag.String("token", "", "authentication token (matches plpd -token)")
 		clients = flag.Int("clients", 4, "bench: concurrent connections")
 		ops     = flag.Int("ops", 10000, "bench: operations per connection")
+		chunk   = flag.Int("chunk", 0, "scanstream: rows per chunk (0 = server default)")
+		filtEq  = flag.String("eq", "", "scanstream: push down int64-at-offset-0 == N")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -162,6 +168,52 @@ func main() {
 			}
 		}
 		fmt.Printf("(%d records)\n", len(entries))
+	case "scanstream":
+		if len(args) != 3 && len(args) != 4 {
+			usage()
+		}
+		bound := func(s string) []byte {
+			if s == "-" {
+				return nil
+			}
+			return key(s)
+		}
+		opts := &client.ScanStreamOptions{ChunkEntries: *chunk}
+		if len(args) == 4 {
+			n, err := strconv.Atoi(args[3])
+			if err != nil || n < 0 {
+				fatalf("limit %q is not a non-negative integer", args[3])
+			}
+			opts.Limit = n
+		}
+		if *filtEq != "" {
+			v, err := strconv.ParseInt(*filtEq, 10, 64)
+			if err != nil {
+				fatalf("-eq %q is not an int64", *filtEq)
+			}
+			opts.Filter = plan.Int64Cmp(0, plan.CmpEq, v)
+		}
+		st, err := c.ScanStream(context.Background(), args[0], bound(args[1]), bound(args[2]), opts)
+		if err != nil {
+			fatalf("scanstream: %v", err)
+		}
+		defer st.Close()
+		n := 0
+		for st.Next() {
+			e := st.Entry()
+			if *raw {
+				fmt.Printf("%x\t%s\n", e.Key, e.Value)
+			} else if k, err := keys.DecodeUint64(e.Key); err == nil {
+				fmt.Printf("%d\t%s\n", k, e.Value)
+			} else {
+				fmt.Printf("%x\t%s\n", e.Key, e.Value)
+			}
+			n++
+		}
+		if err := st.Err(); err != nil {
+			fatalf("scanstream: %v", err)
+		}
+		fmt.Printf("(%d records)\n", n)
 	case "put":
 		need(args, 3)
 		if err := c.Upsert(args[0], key(args[1]), []byte(args[2])); err != nil {

@@ -203,6 +203,11 @@ type Engine struct {
 	// flips its suppression of structural records (see structuralLogGate).
 	treeLog   wal.Log
 	replaying atomic.Bool
+
+	// planShapes caches compiled plan shapes so repeated executions of the
+	// same plan structure skip validation and filter compilation (see
+	// plancache.go).
+	planShapes *planCache
 }
 
 // structuralLogGate is the log device handed to index components, which
@@ -291,6 +296,7 @@ func build(opts Options, csStats *cs.Stats, log wal.Log) *Engine {
 		tm:         tm,
 		cat:        catalog.New(csStats),
 		routing:    make(map[string]*routingTable),
+		planShapes: newPlanCache(),
 	}
 	e.treeLog = &structuralLogGate{Log: log, suppress: &e.replaying}
 	if opts.Design.Partitioned() {

@@ -79,7 +79,10 @@ func (s *Session) executeConventional(req *Request) (Result, error) {
 	ctx := &st.ctx
 	*ctx = Ctx{eng: e, tx: tx, sess: s, partition: -1}
 
-	for _, phase := range req.Phases {
+	for pi, phase := range req.Phases {
+		if req.Expand != nil && req.Expand[pi] != nil {
+			phase = append(append(make([]Action, 0, len(phase)), phase...), req.Expand[pi]()...)
+		}
 		for i := range phase {
 			if err := phase[i].Exec(ctx); err != nil {
 				_ = e.tm.Abort(tx)
@@ -211,6 +214,10 @@ func (st *execState) resetErrs(n int) {
 func (st *execState) analyze() (int, bool) {
 	e := st.e
 	pidx := -1
+	if st.req.Expand != nil {
+		// Dynamically expanded phases route at dispatch time, like KeyFn.
+		return 0, false
+	}
 	for _, phase := range st.req.Phases {
 		for i := range phase {
 			a := &phase[i]
@@ -374,8 +381,16 @@ func (s *Session) executePhased(st *execState, start time.Time) (Result, error) 
 	e := st.e
 	tx := st.tx
 	var abortErr error
-	for _, phase := range st.req.Phases {
-		if abortErr != nil || len(phase) == 0 {
+	for pi, phase := range st.req.Phases {
+		if abortErr != nil {
+			continue
+		}
+		if st.req.Expand != nil && st.req.Expand[pi] != nil {
+			if extra := st.req.Expand[pi](); len(extra) > 0 {
+				phase = append(append(make([]Action, 0, len(phase)+len(extra)), phase...), extra...)
+			}
+		}
+		if len(phase) == 0 {
 			continue
 		}
 		st.resetErrs(len(phase))

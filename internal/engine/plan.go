@@ -8,11 +8,13 @@ package engine
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"plp/internal/lock"
 	"plp/plan"
 )
 
@@ -28,6 +30,16 @@ const (
 // server's cancel frame, or a context cancellation in-process).
 var ErrPlanCanceled = errors.New("engine: plan canceled")
 
+// IsTransientAbort reports whether an execution error describes a
+// timing-dependent abort — one a client may retry verbatim with a fair
+// chance of success.  Today that is exactly the lock-wait timeout (the
+// deadlock-avoidance abort): a retry re-queues behind whichever transaction
+// won the conflict.  Cancellations, validation failures and data errors are
+// permanent — retrying the identical request reproduces them.
+func IsTransientAbort(err error) bool {
+	return errors.Is(err, lock.ErrTimeout)
+}
+
 // planScanState accumulates one Scan op's per-partition entries; the
 // compile finisher merges them into key order.  Fragments run concurrently
 // on different workers, so entries AND the first error are recorded under
@@ -38,10 +50,52 @@ type planScanState struct {
 	mu     sync.Mutex
 	ents   []plan.Entry
 	errMsg string
+	sorted bool
 }
 
 // fail records the first fragment error.
 func (st *planScanState) fail(msg string) {
+	st.mu.Lock()
+	if st.errMsg == "" {
+		st.errMsg = msg
+	}
+	st.mu.Unlock()
+}
+
+// final returns the scan's merged result: entries sorted into key order and
+// truncated to the limit, or the first fragment error.  The merge happens
+// once — callers before the finisher (a later phase fanning out over the
+// scan) and the finisher itself see the same slice.  Only call after the
+// scan's phase has completed (phases are barriers, so any later-phase
+// caller satisfies this).
+func (st *planScanState) final() ([]plan.Entry, string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.errMsg != "" {
+		return nil, st.errMsg
+	}
+	if !st.sorted {
+		sort.Slice(st.ents, func(i, j int) bool { return bytes.Compare(st.ents[i].Key, st.ents[j].Key) < 0 })
+		if len(st.ents) > st.limit {
+			st.ents = st.ents[:st.limit]
+		}
+		st.sorted = true
+	}
+	return st.ents, ""
+}
+
+// planEachState accumulates the per-entry outcomes of an op fanned out over
+// a scan (plan.Op.EachFrom).  Entry actions run concurrently on different
+// workers, so outcomes and the first error are recorded under the mutex.
+type planEachState struct {
+	idx    int            // flat op index
+	src    *planScanState // the scan whose entries this op fans out over
+	mu     sync.Mutex
+	ents   []plan.Entry
+	errMsg string
+}
+
+func (st *planEachState) fail(msg string) {
 	st.mu.Lock()
 	if st.errMsg == "" {
 		st.errMsg = msg
@@ -56,18 +110,28 @@ func (st *planScanState) fail(msg string) {
 // finish func must be called once Execute returns (committed or aborted):
 // it merges the per-partition scan fragments — entries or first error —
 // into the results slice, which the fragments never touch directly.
+//
+// Compilation consults the engine's plan-shape cache (plancache.go): a plan
+// structurally identical to one compiled before skips validation and filter
+// compilation, paying only the per-call action build.
 func (e *Engine) CompilePlan(p *plan.Plan, results []plan.Result, canceled func() bool) (*Request, func(), error) {
-	if err := p.Validate(); err != nil {
-		return nil, nil, err
-	}
 	if len(results) < p.NumOps() {
 		return nil, nil, fmt.Errorf("engine: results slice holds %d of %d ops", len(results), p.NumOps())
 	}
+	filters, err := e.planFilters(p)
+	if err != nil {
+		return nil, nil, err
+	}
 	req := &Request{Phases: make([][]Action, 0, len(p.Phases))}
 	var scans []*planScanState
+	var eaches []*planEachState
+	// scanByFlat maps a Scan op's flat index to its state, for EachFrom.
+	var scanByFlat map[int]*planScanState
 	flat := 0
 	for _, ph := range p.Phases {
 		actions := make([]Action, 0, len(ph))
+		var dyn []func(key []byte) Action // per-entry action makers for EachFrom ops
+		var dynStates []*planEachState
 		for oi := range ph {
 			op := ph[oi]
 			idx := flat
@@ -76,32 +140,182 @@ func (e *Engine) CompilePlan(p *plan.Plan, results []plan.Result, canceled func(
 				return nil, nil, fmt.Errorf("plan: op %d: %v", idx, err)
 			}
 			if op.Kind == plan.Scan {
-				acts, st, err := e.compilePlanScan(op, idx, results, canceled)
+				acts, st, err := e.compilePlanScan(op, idx, filters[idx], results, canceled)
 				if err != nil {
 					return nil, nil, err
 				}
 				actions = append(actions, acts...)
 				scans = append(scans, st)
+				if scanByFlat == nil {
+					scanByFlat = make(map[int]*planScanState)
+				}
+				scanByFlat[idx] = st
+				continue
+			}
+			if op.EachFrom != plan.NoBind {
+				src := scanByFlat[bindSource(op.EachFrom)]
+				if src == nil {
+					return nil, nil, fmt.Errorf("plan: op %d: fan-out source %d is not a compiled scan", idx, op.EachFrom-1)
+				}
+				st := &planEachState{idx: idx, src: src}
+				eaches = append(eaches, st)
+				dynStates = append(dynStates, st)
+				dyn = append(dyn, e.compilePlanEach(op, st, canceled))
 				continue
 			}
 			actions = append(actions, e.compilePlanOp(op, idx, results, canceled))
 		}
 		req.Phases = append(req.Phases, actions)
+		if len(dyn) > 0 {
+			if req.Expand == nil {
+				req.Expand = make([]func() []Action, len(p.Phases))
+			}
+			pi := len(req.Phases) - 1
+			req.Expand[pi] = expandEach(dyn, dynStates)
+		}
 	}
 	finish := func() {
 		for _, st := range scans {
-			if st.errMsg != "" {
-				results[st.idx] = plan.Result{Err: st.errMsg}
+			ents, errMsg := st.final()
+			if errMsg != "" {
+				results[st.idx] = plan.Result{Err: errMsg}
 				continue
 			}
-			sort.Slice(st.ents, func(i, j int) bool { return bytes.Compare(st.ents[i].Key, st.ents[j].Key) < 0 })
-			if len(st.ents) > st.limit {
-				st.ents = st.ents[:st.limit]
+			results[st.idx] = plan.Result{Found: len(ents) > 0, Entries: ents}
+		}
+		for _, st := range eaches {
+			st.mu.Lock()
+			if st.errMsg != "" {
+				results[st.idx] = plan.Result{Err: st.errMsg}
+			} else {
+				sort.Slice(st.ents, func(i, j int) bool { return bytes.Compare(st.ents[i].Key, st.ents[j].Key) < 0 })
+				results[st.idx] = plan.Result{Found: len(st.ents) > 0, Entries: st.ents}
 			}
-			results[st.idx] = plan.Result{Found: len(st.ents) > 0, Entries: st.ents}
+			st.mu.Unlock()
 		}
 	}
 	return req, finish, nil
+}
+
+// planFilters resolves the plan's compiled filters through the shape cache:
+// a hit rebinds the cached templates with this plan's arguments (no
+// validation passes, no compiles); a miss — or a fingerprint collision
+// surfacing as a rebind mismatch — runs the full Validate+Compile and
+// caches the argument-free templates.  The returned slice is indexed by
+// flat op index (nil for ops without a filter).
+func (e *Engine) planFilters(p *plan.Plan) ([]*plan.Filter, error) {
+	key := string(appendPlanShape(make([]byte, 0, 256), p))
+	if shape := e.planShapes.get(key); shape != nil {
+		filters, err := rebindShape(shape, p)
+		if err == nil {
+			planCacheHitCount.Add(1)
+			return filters, nil
+		}
+		// Collision or invalid per-call filter argument: take the cold path,
+		// which re-validates from scratch (and rejects truly invalid plans).
+	}
+	planCacheMissCount.Add(1)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	planCompileCount.Add(1)
+	filters := make([]*plan.Filter, p.NumOps())
+	templates := make([]*plan.Filter, p.NumOps())
+	flat := 0
+	for _, ph := range p.Phases {
+		for oi := range ph {
+			if f := ph[oi].Filter; f != nil {
+				compiled, err := f.Compile()
+				if err != nil {
+					return nil, fmt.Errorf("plan: op %d: %w", flat, err)
+				}
+				filters[flat] = compiled
+				templates[flat] = compiled.Template()
+			}
+			flat++
+		}
+	}
+	e.planShapes.put(key, &planShape{filters: templates})
+	return filters, nil
+}
+
+// rebindShape instantiates a cached shape's filter templates with the
+// plan's per-call filter arguments.
+func rebindShape(shape *planShape, p *plan.Plan) ([]*plan.Filter, error) {
+	if len(shape.filters) != p.NumOps() {
+		return nil, fmt.Errorf("plan: cached shape holds %d ops, plan has %d", len(shape.filters), p.NumOps())
+	}
+	filters := make([]*plan.Filter, p.NumOps())
+	flat := 0
+	for _, ph := range p.Phases {
+		for oi := range ph {
+			tmpl, pred := shape.filters[flat], ph[oi].Filter
+			if (tmpl == nil) != (pred == nil) {
+				return nil, fmt.Errorf("plan: cached shape filter mismatch at op %d", flat)
+			}
+			if tmpl != nil {
+				f, err := tmpl.Rebind(pred)
+				if err != nil {
+					return nil, err
+				}
+				filters[flat] = f
+			}
+			flat++
+		}
+	}
+	return filters, nil
+}
+
+// expandEach returns the phase expander materializing per-entry actions for
+// the phase's EachFrom ops.  It runs when the phase dispatches — the source
+// scans' phases have completed, so their entry lists are final — and emits
+// one action per scan entry, routed by the entry's key.
+func expandEach(dyn []func(key []byte) Action, states []*planEachState) func() []Action {
+	return func() []Action {
+		var acts []Action
+		for i := range dyn {
+			ents, errMsg := states[i].src.final()
+			if errMsg != "" {
+				// The source scan failed, so the transaction is already
+				// aborting; produce nothing for this op.
+				continue
+			}
+			for _, ent := range ents {
+				acts = append(acts, dyn[i](ent.Key))
+			}
+		}
+		return acts
+	}
+}
+
+// compilePlanEach returns the per-entry action maker for an op fanned out
+// over a scan (plan.Op.EachFrom).  The expander calls it once per scan
+// entry at phase-dispatch time; each action routes by the entry's key and
+// executes the op against it.  Validation restricts fan-out to
+// Update/Upsert/Delete/ReadModifyWrite without other bindings, so the op's
+// static Value/MutArg are the only value inputs.
+func (e *Engine) compilePlanEach(op plan.Op, st *planEachState, canceled func() bool) func(key []byte) Action {
+	return func(key []byte) Action {
+		return Action{
+			Table: op.Table,
+			Key:   key,
+			Exec: func(c *Ctx) error {
+				if canceled != nil && canceled() {
+					st.fail(ErrPlanCanceled.Error())
+					return ErrPlanCanceled
+				}
+				res, err := execPlanOp(c, op, key, op.Value)
+				if err != nil {
+					st.fail(err.Error())
+					return err
+				}
+				st.mu.Lock()
+				st.ents = append(st.ents, plan.Entry{Key: key, Value: res.Value})
+				st.mu.Unlock()
+				return nil
+			},
+		}
+	}
 }
 
 // bindSource resolves a 1-based binding to its flat source index.
@@ -250,6 +464,33 @@ func execReadModifyWrite(c *Ctx, op plan.Op, key, arg []byte) (plan.Result, erro
 		next = plan.Int64(old + delta)
 	case plan.MutAppend:
 		next = append(append([]byte(nil), cur...), arg...)
+	case plan.MutAddInt64At:
+		off, field, aerr := plan.DecodeFieldArg(arg)
+		if aerr != nil {
+			return plan.Result{}, fmt.Errorf("rmw: %v", aerr)
+		}
+		delta, derr := plan.DecodeInt64(field)
+		if derr != nil {
+			return plan.Result{}, fmt.Errorf("rmw: add-int64-at delta: %v", derr)
+		}
+		if !found || uint64(len(cur)) < uint64(off)+8 {
+			return plan.Result{}, fmt.Errorf("rmw: %s/%x: no int64 field at offset %d (record %d bytes)",
+				op.Table, key, off, len(cur))
+		}
+		next = append([]byte(nil), cur...)
+		old := int64(binary.BigEndian.Uint64(next[off:]))
+		binary.BigEndian.PutUint64(next[off:], uint64(old+delta))
+	case plan.MutSetFieldAt:
+		off, field, aerr := plan.DecodeFieldArg(arg)
+		if aerr != nil {
+			return plan.Result{}, fmt.Errorf("rmw: %v", aerr)
+		}
+		if !found || uint64(len(cur)) < uint64(off)+uint64(len(field)) {
+			return plan.Result{}, fmt.Errorf("rmw: %s/%x: no %d-byte field at offset %d (record %d bytes)",
+				op.Table, key, len(field), off, len(cur))
+		}
+		next = append([]byte(nil), cur...)
+		copy(next[off:], field)
 	default:
 		return plan.Result{}, fmt.Errorf("rmw: invalid mutation %d", uint8(op.Mut))
 	}
@@ -271,7 +512,12 @@ func execReadModifyWrite(c *Ctx, op plan.Op, key, arg []byte) (plan.Result, erro
 // which is what lets a plan phase mix scans with point reads.  Like
 // Engine.ScanRange, the limit applies per partition; the finisher sorts the
 // union and truncates to the globally smallest keys.
-func (e *Engine) compilePlanScan(op plan.Op, idx int, results []plan.Result, canceled func() bool) ([]Action, *planScanState, error) {
+//
+// flt, when non-nil, is the op's compiled predicate filter: it runs inside
+// the owning worker against each visited record, and only matching entries
+// are copied out or counted against the limit — the pushdown that keeps
+// non-matching rows off the action results entirely.
+func (e *Engine) compilePlanScan(op plan.Op, idx int, flt *plan.Filter, results []plan.Result, canceled func() bool) ([]Action, *planScanState, error) {
 	rt, ok := e.routing[op.Table]
 	if !ok {
 		return nil, nil, fmt.Errorf("plan: op %d: no routing table for %q", idx, op.Table)
@@ -315,6 +561,9 @@ func (e *Engine) compilePlanScan(op plan.Op, idx int, results []plan.Result, can
 				n := 0
 				var local []plan.Entry
 				err := c.ReadRange(op.Table, lo, hi, func(k, rec []byte) bool {
+					if flt != nil && !flt.Eval(k, rec) {
+						return true
+					}
 					local = append(local, plan.Entry{
 						Key:   append([]byte(nil), k...),
 						Value: append([]byte(nil), rec...),

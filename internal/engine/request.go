@@ -44,6 +44,17 @@ func (a *Action) routingKey() []byte {
 // Section 3.1).
 type Request struct {
 	Phases [][]Action
+
+	// Expand, when non-nil, is indexed like Phases: a non-nil entry is
+	// invoked when its phase is about to dispatch — every earlier phase
+	// has completed, so results they produced are visible — and returns
+	// actions appended to the phase's static ones.  This is how a plan op
+	// fanned out over a scan's result set (plan.Op.EachFrom) materializes:
+	// the entry list does not exist until the scan's phase has run, so the
+	// per-entry actions cannot be compiled statically.  Requests with
+	// expanders never take the single-site fast path (like KeyFn actions,
+	// their routing is only known at dispatch time).
+	Expand []func() []Action
 }
 
 // NewRequest builds a single-phase request.

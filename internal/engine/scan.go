@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"plp/internal/dora"
+	"plp/plan"
 )
 
 // ScanVisitor is called once per record during a parallel scan.  partition
@@ -169,6 +170,182 @@ func (it *scanItem) RunTask(worker *dora.Worker) {
 		return it.limit <= 0 || n < it.limit
 	})
 	it.total.Add(int64(n))
+}
+
+// Chunked-scan bounds.  A chunk visits at most scanChunkExamineBudget
+// records even when a selective filter matches few of them, so a single
+// chunk call bounds its occupancy of the owning worker regardless of
+// selectivity — low-selectivity streams may carry empty non-final chunks.
+const (
+	// DefaultScanChunkEntries is the per-chunk entry cap applied when the
+	// caller asks for none.
+	DefaultScanChunkEntries = 256
+	// MaxScanChunkEntries caps any chunk.
+	MaxScanChunkEntries    = 4096
+	scanChunkExamineBudget = 32768
+)
+
+// ScanChunkResult is one chunk of a cursor-driven streaming scan.
+type ScanChunkResult struct {
+	// Entries holds the chunk's matching records, in key order.
+	Entries []plan.Entry
+	// Next is the cursor for the following chunk; meaningless when Done.
+	Next []byte
+	// Done reports that the scan range is exhausted.
+	Done bool
+	// Scanned is the number of records examined, matching or not.
+	Scanned int
+}
+
+// ScanChunk runs one chunk of a streaming scan over [cursor, hi): it visits
+// records in key order on the worker owning the cursor's partition and
+// returns at most maxEntries entries matching flt (nil matches everything),
+// plus the cursor where the next chunk must resume.  A chunk never crosses
+// a partition boundary — the next chunk re-routes to the next owner — and
+// never examines more than scanChunkExamineBudget records, so each call
+// occupies its worker for a bounded slice of time no matter how selective
+// the filter is; callers must therefore treat an empty chunk with Done
+// unset as progress, not exhaustion.  A nil cursor starts at the beginning
+// of the range.  canceled, when non-nil, is polled during the scan; a true
+// return abandons the chunk with ErrPlanCanceled.
+//
+// Chunks run outside any transaction (like ScanRange): a stream observes
+// each record at most once per chunk but the table may change between
+// chunks, and records adjacent to a partition boundary that moves mid-
+// stream may be missed or seen twice — the same fuzziness ScanRange
+// documents for scans concurrent with repartitioning.
+func (e *Engine) ScanChunk(table string, cursor, hi []byte, flt *plan.Filter, maxEntries int, canceled func() bool) (ScanChunkResult, error) {
+	if _, err := e.Table(table); err != nil {
+		return ScanChunkResult{}, err
+	}
+	rt, ok := e.routing[table]
+	if !ok {
+		return ScanChunkResult{}, fmt.Errorf("engine: no routing table for %q", table)
+	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultScanChunkEntries
+	} else if maxEntries > MaxScanChunkEntries {
+		maxEntries = MaxScanChunkEntries
+	}
+	if cursor != nil && hi != nil && bytes.Compare(cursor, hi) >= 0 {
+		return ScanChunkResult{Done: true}, nil
+	}
+
+	if e.pool == nil {
+		// Conventional: the whole table is one "partition" scanned inline.
+		ctx := &Ctx{eng: e, partition: -1, loading: true}
+		return scanChunkRange(ctx, table, nil, nil, cursor, hi, flt, maxEntries, canceled)
+	}
+
+	// Route the chunk to the worker owning the cursor's partition.  The
+	// worker re-checks ownership before scanning: if a boundary moved while
+	// the task sat in its queue, it bounces the chunk back and the loop
+	// re-routes against the updated table.
+	for attempt := 0; attempt < 8; attempt++ {
+		it := &chunkItem{
+			e: e, rt: rt, table: table, part: rt.partitionFor(cursor),
+			cursor: cursor, hi: hi, flt: flt, max: maxEntries,
+			canceled: canceled, done: make(chan struct{}),
+		}
+		if err := e.pool.Worker(it.part).Submit(dora.Task{Run: it}); err != nil {
+			return ScanChunkResult{}, err
+		}
+		<-it.done
+		if it.moved {
+			continue
+		}
+		return it.res, it.err
+	}
+	return ScanChunkResult{}, fmt.Errorf("engine: scan chunk on %q kept losing its partition to rebalancing", table)
+}
+
+// chunkItem is one streaming-scan chunk dispatched to a partition worker.
+type chunkItem struct {
+	e          *Engine
+	rt         *routingTable
+	table      string
+	part       int
+	cursor, hi []byte
+	flt        *plan.Filter
+	max        int
+	canceled   func() bool
+	res        ScanChunkResult
+	err        error
+	moved      bool // ownership changed while queued; caller must re-route
+	done       chan struct{}
+}
+
+// RunTask scans the chunk on the owning worker.
+func (it *chunkItem) RunTask(worker *dora.Worker) {
+	defer close(it.done)
+	if it.rt.partitionFor(it.cursor) != it.part {
+		it.moved = true
+		return
+	}
+	plo, phi := it.rt.rangeOf(it.part)
+	ctx := &Ctx{eng: it.e, worker: worker, partition: worker.ID(), loading: true}
+	it.res, it.err = scanChunkRange(ctx, it.table, plo, phi, it.cursor, it.hi, it.flt, it.max, it.canceled)
+}
+
+// scanChunkRange scans one chunk within the partition range [plo, phi)
+// intersected with the request range [cursor, hi), computing the follow-up
+// cursor: the successor of the last examined key when the chunk filled its
+// entry or examine budget, the partition's upper bound when the partition
+// is exhausted but the range is not, or Done.
+func scanChunkRange(ctx *Ctx, table string, plo, phi, cursor, hi []byte, flt *plan.Filter, max int, canceled func() bool) (ScanChunkResult, error) {
+	var res ScanChunkResult
+	clo, chi, ok := clipRange(plo, phi, cursor, hi)
+	if !ok {
+		// The cursor's partition no longer intersects the range: the
+		// request's hi fell at or below the cursor, so the scan is done.
+		res.Done = true
+		return res, nil
+	}
+	var lastKey []byte
+	stopped, wasCanceled := false, false
+	err := ctx.ReadRange(table, clo, chi, func(k, rec []byte) bool {
+		if canceled != nil && canceled() {
+			wasCanceled = true
+			return false
+		}
+		res.Scanned++
+		lastKey = append(lastKey[:0], k...)
+		if flt == nil || flt.Eval(k, rec) {
+			res.Entries = append(res.Entries, plan.Entry{
+				Key:   append([]byte(nil), k...),
+				Value: append([]byte(nil), rec...),
+			})
+		}
+		if len(res.Entries) >= max || res.Scanned >= scanChunkExamineBudget {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return res, err
+	}
+	if wasCanceled {
+		return res, ErrPlanCanceled
+	}
+	if stopped {
+		// Resume at the smallest key above the last examined one.
+		res.Next = append(lastKey, 0)
+		return res, nil
+	}
+	switch {
+	case chi == nil:
+		// Open upper bound: nothing above this partition.
+		res.Done = true
+	case hi != nil && bytes.Compare(chi, hi) >= 0:
+		// The clip was the request's own upper bound.
+		res.Done = true
+	default:
+		// Partition exhausted; the next chunk starts at its upper bound,
+		// which the routing table maps to the next partition.
+		res.Next = append([]byte(nil), chi...)
+	}
+	return res, nil
 }
 
 // clipRange intersects the partition range [plo, phi) with the requested

@@ -16,6 +16,7 @@ import (
 	"plp/internal/engine"
 	"plp/internal/latch"
 	"plp/internal/txn"
+	"plp/plan"
 )
 
 // Workload is implemented by every benchmark workload (TATP, TPC-B, TPC-C
@@ -29,6 +30,16 @@ type Workload interface {
 	// concurrently from multiple client goroutines, each with its own
 	// rand.Rand.
 	NextRequest(rng *rand.Rand) *engine.Request
+}
+
+// PlanWorkload is implemented by workloads whose transactions can be
+// expressed as declarative plans — the closure-free path a client would
+// ship over the wire.  Set RunConfig.UsePlans to drive it.
+type PlanWorkload interface {
+	Workload
+	// NextPlan generates the next transaction as a plan.  A nil return
+	// means the configured mix has no plan equivalent.
+	NextPlan(rng *rand.Rand) *plan.Plan
 }
 
 // Verifier is implemented by workloads that can check database consistency
@@ -53,6 +64,10 @@ type RunConfig struct {
 	WarmupTxnsPerClient int
 	// Seed seeds the per-client random generators.
 	Seed int64
+	// UsePlans drives the workload through its declarative plan path
+	// (NextPlan + CompilePlan) instead of closure requests.  The workload
+	// must implement PlanWorkload.
+	UsePlans bool
 }
 
 func (c *RunConfig) normalize() {
@@ -133,6 +148,13 @@ func Run(e *engine.Engine, w Workload, cfg RunConfig) (Result, error) {
 
 // runClients performs one measured interval.
 func runClients(e *engine.Engine, w Workload, cfg RunConfig) (Result, error) {
+	var pw PlanWorkload
+	if cfg.UsePlans {
+		var ok bool
+		if pw, ok = w.(PlanWorkload); !ok {
+			return Result{}, fmt.Errorf("harness: UsePlans set but workload %s has no plan path", w.Name())
+		}
+	}
 	csBefore := e.CSStats().Snapshot()
 	latchBefore := e.LatchStats().Snapshot()
 	txBefore := e.TxnStats()
@@ -166,8 +188,25 @@ func runClients(e *engine.Engine, w Workload, cfg RunConfig) (Result, error) {
 				} else if executed >= cfg.TxnsPerClient {
 					return
 				}
-				req := w.NextRequest(rng)
-				res, err := sess.Execute(req)
+				var res engine.Result
+				var err error
+				if pw != nil {
+					p := pw.NextPlan(rng)
+					if p == nil {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("harness: %s returned no plan for its mix", w.Name()))
+						return
+					}
+					results := make([]plan.Result, p.NumOps())
+					req, finish, cerr := e.CompilePlan(p, results, nil)
+					if cerr != nil {
+						firstErr.CompareAndSwap(nil, cerr)
+						return
+					}
+					res, err = sess.Execute(req)
+					finish()
+				} else {
+					res, err = sess.Execute(w.NextRequest(rng))
+				}
 				executed++
 				if err != nil {
 					if errors.Is(err, engine.ErrAborted) {

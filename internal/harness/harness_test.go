@@ -9,6 +9,7 @@ import (
 	"plp/internal/catalog"
 	"plp/internal/engine"
 	"plp/internal/keyenc"
+	"plp/plan"
 )
 
 // kvWorkload is a minimal workload used to exercise the harness itself.
@@ -166,5 +167,33 @@ func TestRunTimelineSamplesAndEvent(t *testing.T) {
 	}
 	if total <= 0 {
 		t.Fatal("no throughput recorded")
+	}
+}
+
+// NextPlan gives kvWorkload a plan path: a read of one random key.
+func (w *kvWorkload) NextPlan(rng *rand.Rand) *plan.Plan {
+	id := uint64(1 + rng.Intn(w.rows))
+	return plan.New().Get("kv", keyenc.Uint64Key(id)).MustBuild()
+}
+
+func TestRunUsePlans(t *testing.T) {
+	e, w := newEngineAndWorkload(t, engine.PLPLeaf)
+	res, err := Run(e, w, RunConfig{Clients: 2, TxnsPerClient: 50, UsePlans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 100 {
+		t.Fatalf("committed=%d want 100", res.Committed)
+	}
+	if res.AvgLatency <= 0 {
+		t.Fatalf("latency accounting missing on the plan path: %+v", res)
+	}
+}
+
+func TestRunUsePlansRequiresPlanWorkload(t *testing.T) {
+	e := engine.New(engine.Options{Design: engine.Logical, Partitions: 2})
+	t.Cleanup(func() { _ = e.Close() })
+	if _, err := Run(e, &brokenWorkload{}, RunConfig{Clients: 1, TxnsPerClient: 1, UsePlans: true}); err == nil {
+		t.Fatal("UsePlans with a plan-less workload must fail the run")
 	}
 }

@@ -86,13 +86,15 @@ func TestPlanOverWire(t *testing.T) {
 }
 
 // countingProxy forwards bytes between a client and the server, counting
-// whole frames in each direction.
+// whole frames (and their payload bytes) in each direction.
 type countingProxy struct {
-	addr       string
-	toServer   atomic.Int64
-	toClient   atomic.Int64
-	ln         net.Listener
-	serverAddr string
+	addr          string
+	toServer      atomic.Int64
+	toClient      atomic.Int64
+	toServerBytes atomic.Int64
+	toClientBytes atomic.Int64
+	ln            net.Listener
+	serverAddr    string
 }
 
 func newCountingProxy(t *testing.T, serverAddr string) *countingProxy {
@@ -114,15 +116,15 @@ func newCountingProxy(t *testing.T, serverAddr string) *countingProxy {
 				_ = conn.Close()
 				return
 			}
-			go p.pump(conn, up, &p.toServer)
-			go p.pump(up, conn, &p.toClient)
+			go p.pump(conn, up, &p.toServer, &p.toServerBytes)
+			go p.pump(up, conn, &p.toClient, &p.toClientBytes)
 		}
 	}()
 	return p
 }
 
 // pump copies frames from src to dst, counting each one.
-func (p *countingProxy) pump(src, dst net.Conn, counter *atomic.Int64) {
+func (p *countingProxy) pump(src, dst net.Conn, counter, byteCounter *atomic.Int64) {
 	defer func() { _ = src.Close(); _ = dst.Close() }()
 	for {
 		var hdr [4]byte
@@ -135,6 +137,7 @@ func (p *countingProxy) pump(src, dst net.Conn, counter *atomic.Int64) {
 			return
 		}
 		counter.Add(1)
+		byteCounter.Add(int64(4 + len(payload)))
 		if _, err := dst.Write(hdr[:]); err != nil {
 			return
 		}

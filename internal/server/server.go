@@ -413,6 +413,15 @@ type workItem struct {
 	canceled *atomic.Bool
 }
 
+// outMsg is one frame bound for the writer goroutine: either a response to
+// encode, or a pre-encoded raw frame (streaming-scan chunks).  A raw frame
+// must be freshly allocated by the sender — the writer owns it after
+// hand-off.
+type outMsg struct {
+	resp *wire.Response
+	raw  []byte
+}
+
 // servePipelined is the v2+ loop: this goroutine reads and decodes frames, a
 // bounded executor pool runs each request on its own engine session, and a
 // writer goroutine sends responses in completion order.  On v3 sessions the
@@ -430,9 +439,11 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, first []byte, c
 	}
 
 	work := make(chan workItem, queue)
-	out := make(chan *wire.Response, queue)
+	out := make(chan outMsg, queue)
 	writerDone := make(chan struct{})
-	var inflight sync.Map // request ID -> *atomic.Bool (cancel flag)
+	connDone := make(chan struct{}) // closed when the reader loop exits
+	var inflight sync.Map           // request ID -> *atomic.Bool (cancel flag)
+	var scanFlows sync.Map          // request ID -> *scanFlow (open streams)
 
 	go func() {
 		defer close(writerDone)
@@ -450,12 +461,16 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, first []byte, c
 		// reply is encoded, so reuse is safe and steady-state encoding
 		// stops allocating per reply.
 		var encBuf []byte
-		for resp := range out {
+		for m := range out {
 			if broken {
 				continue // keep draining so executors never block on out
 			}
-			encBuf = wire.AppendResponseV(encBuf[:0], resp, cs.version)
-			if err := wire.WriteFrame(bw, encBuf); err != nil {
+			payload := m.raw
+			if payload == nil {
+				encBuf = wire.AppendResponseV(encBuf[:0], m.resp, cs.version)
+				payload = encBuf
+			}
+			if err := wire.WriteFrame(bw, payload); err != nil {
 				fail()
 				continue
 			}
@@ -475,7 +490,13 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, first []byte, c
 			sess := s.e.NewSession()
 			defer sess.Close()
 			for item := range work {
-				out <- s.handleFrame(sess, item.payload, cs, item.canceled)
+				if cs.version >= wire.V3 && len(item.payload) > 8 && wire.FrameKind(item.payload[8]) == wire.FrameScan {
+					// A streaming scan emits its chunks itself and holds
+					// this executor slot until the stream ends.
+					s.streamScan(item.payload, item.canceled, out, &scanFlows, connDone)
+				} else {
+					out <- outMsg{resp: s.handleFrame(sess, item.payload, cs, item.canceled)}
+				}
 				if id, ok := wire.RequestID(item.payload); ok {
 					// Delete exactly this request's flag.  A client reusing a
 					// request ID makes a plain Delete racy: the older
@@ -497,14 +518,26 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, first []byte, c
 				break
 			}
 		}
+		if cs.version >= wire.V3 && wire.IsScanAckFrame(payload) {
+			// Scan credits are intercepted like cancels: they regulate
+			// executors already running, so they must never queue behind
+			// the very streams they pace.
+			creditScan(&scanFlows, payload)
+			payload = nil
+			continue
+		}
 		if cs.version >= wire.V3 && len(payload) > 8 && wire.FrameKind(payload[8]) == wire.FrameCancel {
 			// A cancel names an in-flight request by ID.  One for a request
 			// already completed (or never seen) is stale and ignored; one
 			// for a request still queued or executing flips its flag, and
-			// the transaction aborts at the next op boundary.
+			// the transaction aborts at the next op boundary.  A canceled
+			// stream is also woken so a credit-stalled producer notices.
 			if id, ok := wire.RequestID(payload); ok {
 				if flag, ok := inflight.Load(id); ok {
 					flag.(*atomic.Bool).Store(true)
+				}
+				if fl, ok := scanFlows.Load(id); ok {
+					fl.(*scanFlow).wake()
 				}
 			}
 			payload = nil
@@ -517,6 +550,7 @@ func (s *Server) servePipelined(conn net.Conn, br *bufio.Reader, first []byte, c
 		work <- item
 		payload = nil
 	}
+	close(connDone) // unblock credit-stalled streams: their client is gone
 	close(work)
 	wg.Wait()
 	close(out)
@@ -536,10 +570,11 @@ func (s *Server) handleFrame(sess *engine.Session, payload []byte, cs session, c
 		switch f.Kind {
 		case wire.FramePlan:
 			return s.executePlan(sess, f.ID, f.Plan, cs, canceled)
-		case wire.FrameCancel:
-			// Cancels are intercepted by the reader; one reaching here came
-			// over a transport that should not produce it.
-			return &wire.Response{ID: f.ID, Err: "unexpected cancel frame"}
+		case wire.FrameCancel, wire.FrameScan, wire.FrameScanAck:
+			// Cancels, streaming scans and their acks are intercepted before
+			// handleFrame; one reaching here came over a transport that
+			// should not produce it (the serial v1 loop, a shard peer call).
+			return &wire.Response{ID: f.ID, Err: fmt.Sprintf("unexpected frame kind %d", f.Kind), Retry: wire.RetryPermanent}
 		case wire.FrameShardMap:
 			return s.executeShardMap(f.ID)
 		case wire.FramePrepare:
@@ -575,22 +610,40 @@ func writesOp(op wire.OpType) bool {
 	}
 }
 
+// classifyAbort translates an execution error into the V3 retry hint: lock
+// timeouts (deadlock-avoidance aborts) are transient, everything else —
+// cancels, validation, data errors — reproduces on retry.
+func classifyAbort(err error) wire.RetryHint {
+	if err == nil {
+		return wire.RetryUnknown
+	}
+	if engine.IsTransientAbort(err) {
+		return wire.RetryTransient
+	}
+	return wire.RetryPermanent
+}
+
 // executePlan runs one declarative plan frame as a single transaction.
 func (s *Server) executePlan(sess *engine.Session, id uint64, p *plan.Plan, cs session, canceled *atomic.Bool) *wire.Response {
 	s.requests.Add(1)
+	start := latPlan.sampleStart()
+	defer func() { latPlan.observe(start) }()
 	resp := &wire.Response{ID: id}
 	if cs.readOnly && p.Writes() {
 		resp.Err = "read-only session: plan contains write ops"
+		resp.Retry = wire.RetryPermanent
 		s.aborted.Add(1)
 		return resp
 	}
 	if s.followerMode.Load() && p.Writes() {
 		resp.Err = wire.FollowerPrefix + ": plan contains write ops — this node replicates a primary (write there, or promote this node)"
+		resp.Retry = wire.RetryPermanent
 		s.aborted.Add(1)
 		return resp
 	}
 	if canceled != nil && canceled.Load() {
 		resp.Err = engine.ErrPlanCanceled.Error()
+		resp.Retry = wire.RetryPermanent
 		s.aborted.Add(1)
 		return resp
 	}
@@ -602,6 +655,7 @@ func (s *Server) executePlan(sess *engine.Session, id uint64, p *plan.Plan, cs s
 	ereq, finish, err := s.e.CompilePlan(p, results, hook)
 	if err != nil {
 		resp.Err = err.Error()
+		resp.Retry = wire.RetryPermanent
 		s.aborted.Add(1)
 		return resp
 	}
@@ -610,6 +664,7 @@ func (s *Server) executePlan(sess *engine.Session, id uint64, p *plan.Plan, cs s
 	resp.Results = planResultsToWire(results)
 	if execErr != nil {
 		resp.Err = execErr.Error()
+		resp.Retry = classifyAbort(execErr)
 		s.aborted.Add(1)
 		return resp
 	}
@@ -638,6 +693,8 @@ func planResultsToWire(rs []plan.Result) []wire.StatementResult {
 // execute runs one wire request as a transaction.
 func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session, canceled *atomic.Bool) *wire.Response {
 	s.requests.Add(1)
+	start := latStatements.sampleStart()
+	defer func() { latStatements.observe(start) }()
 	resp := &wire.Response{ID: req.ID, Results: make([]wire.StatementResult, len(req.Statements))}
 	if len(req.Statements) == 0 {
 		resp.Committed = true
@@ -735,11 +792,13 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session, ca
 	ereq, err := s.buildRequest(req, resp.Results, canceled)
 	if err != nil {
 		resp.Err = err.Error()
+		resp.Retry = wire.RetryPermanent
 		s.aborted.Add(1)
 		return resp
 	}
 	if _, err := sess.Execute(ereq); err != nil {
 		resp.Err = err.Error()
+		resp.Retry = classifyAbort(err)
 		s.aborted.Add(1)
 		return resp
 	}
@@ -795,6 +854,8 @@ func (s *Server) executeControl(st wire.Statement, cs session) wire.StatementRes
 // executeScan runs one OpScan as a distributed partition scan (Section 3.3)
 // and returns the smallest `limit` records of [Key, KeyEnd) in key order.
 func (s *Server) executeScan(st wire.Statement) wire.StatementResult {
+	start := latScan.sampleStart()
+	defer func() { latScan.observe(start) }()
 	if st.Table == "" {
 		return wire.StatementResult{Err: "scan: missing table"}
 	}

@@ -16,6 +16,7 @@ import (
 	"plp/internal/catalog"
 	"plp/internal/engine"
 	"plp/internal/keyenc"
+	"plp/plan"
 )
 
 // Table names.
@@ -548,8 +549,50 @@ func (w *Workload) UpdateSubscriberData(rng *rand.Rand, sid uint64) *engine.Requ
 	})
 }
 
+// VLRLocationOffset is where the 4-byte big-endian VLR location sits in
+// the fixed subscriber row layout: sid (8) + bit fields (10) + hex fields
+// (10) + byte fields (10) + MSC location (4).
+const VLRLocationOffset = 42
+
+// GetSubscriberDataPlan is GetSubscriberData as a declarative plan: a
+// single closure-free Get, shippable over the wire with a cacheable shape.
+func (w *Workload) GetSubscriberDataPlan(sid uint64) *plan.Plan {
+	return plan.New().Get(TableSubscriber, SubscriberKey(sid)).MustBuild()
+}
+
+// UpdateLocationPlan is UpdateLocation as a declarative plan: phase 1
+// resolves the sub_nbr through the secondary index, phase 2 overwrites the
+// 4-byte VLR location field in place — no closures and no whole-row
+// shipping.
+func (w *Workload) UpdateLocationPlan(sid uint64, newLoc uint32) *plan.Plan {
+	var loc [4]byte
+	binary.BigEndian.PutUint32(loc[:], newLoc)
+	b := plan.New()
+	b.LookupSecondary(TableSubscriber, IndexSubNbr, SubNbrKey(SubNbrOf(sid)))
+	b.Then().SetField(TableSubscriber, SubscriberKey(sid), VLRLocationOffset, loc[:])
+	return b.MustBuild()
+}
+
+// NextPlan generates the mix's next transaction as a declarative plan.
+// Only the single-table mixes have plan equivalents so far; the others
+// return nil and the caller falls back to NextRequest.
+func (w *Workload) NextPlan(rng *rand.Rand) *plan.Plan {
+	switch w.cfg.Mix {
+	case MixGetSubscriberData:
+		return w.GetSubscriberDataPlan(w.randomSID(rng))
+	case MixBalanceProbe:
+		return w.GetSubscriberDataPlan(w.randomSID(rng))
+	case MixUpdateLocation:
+		sid := w.randomSID(rng)
+		return w.UpdateLocationPlan(sid, rng.Uint32())
+	default:
+		return nil
+	}
+}
+
 // UpdateLocation looks a subscriber up by sub_nbr through the secondary
-// index and updates its VLR location.
+// index and updates its VLR location.  UpdateLocationPlan is the
+// closure-free equivalent.
 func (w *Workload) UpdateLocation(rng *rand.Rand, sid uint64) *engine.Request {
 	subNbr := SubNbrOf(sid)
 	newLoc := rng.Uint32()

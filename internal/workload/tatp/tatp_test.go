@@ -193,3 +193,71 @@ func TestBoundariesCoverKeySpace(t *testing.T) {
 		t.Fatal("single partition should have no boundaries")
 	}
 }
+
+func TestUpdateLocationPlanPatchesOnlyVLR(t *testing.T) {
+	e, w := setupEngine(t, engine.PLPLeaf, 50)
+	sess := e.NewSession()
+	defer sess.Close()
+	l := e.NewLoader()
+	before, err := l.Read(TableSubscriber, SubscriberKey(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subBefore, _ := UnmarshalSubscriber(before)
+	want := subBefore.VLRLocation + 12345
+	if _, err := sess.ExecutePlan(w.UpdateLocationPlan(7, want)); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	after, err := l.Read(TableSubscriber, SubscriberKey(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subAfter, _ := UnmarshalSubscriber(after)
+	if subAfter.VLRLocation != want {
+		t.Fatalf("VLR location = %d, want %d", subAfter.VLRLocation, want)
+	}
+	// Everything except the 4-byte VLR field must be untouched.
+	subAfter.VLRLocation = subBefore.VLRLocation
+	if string(subAfter.Marshal()) != string(before) {
+		t.Fatal("plan modified bytes outside the VLR location field")
+	}
+}
+
+func TestGetSubscriberDataPlanFindsRow(t *testing.T) {
+	e, w := setupEngine(t, engine.Conventional, 50)
+	sess := e.NewSession()
+	defer sess.Close()
+	results, err := sess.ExecutePlan(w.GetSubscriberDataPlan(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Found {
+		t.Fatalf("expected one found result, got %+v", results)
+	}
+	sub, err := UnmarshalSubscriber(results[0].Value)
+	if err != nil || sub.SID != 9 {
+		t.Fatalf("wrong row back: %+v %v", sub, err)
+	}
+}
+
+func TestNextPlanCoversPlanMixes(t *testing.T) {
+	e, _ := setupEngine(t, engine.PLPRegular, 50)
+	rng := rand.New(rand.NewSource(5))
+	for _, mix := range []Mix{MixGetSubscriberData, MixBalanceProbe, MixUpdateLocation} {
+		w := New(Config{Subscribers: 50, Partitions: 4, Mix: mix})
+		sess := e.NewSession()
+		for i := 0; i < 20; i++ {
+			p := w.NextPlan(rng)
+			if p == nil {
+				t.Fatalf("mix %v: nil plan", mix)
+			}
+			if _, err := sess.ExecutePlan(p); err != nil && !errors.Is(err, engine.ErrAborted) {
+				t.Fatalf("mix %v: %v", mix, err)
+			}
+		}
+		sess.Close()
+	}
+	if w := New(Config{Subscribers: 50, Partitions: 4, Mix: MixStandard}); w.NextPlan(rng) != nil {
+		t.Fatal("standard mix should have no plan path yet")
+	}
+}

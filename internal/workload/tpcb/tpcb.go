@@ -14,6 +14,7 @@ import (
 	"plp/internal/catalog"
 	"plp/internal/engine"
 	"plp/internal/keyenc"
+	"plp/plan"
 )
 
 // Table names.
@@ -167,14 +168,26 @@ func (w *Workload) Load(e *engine.Engine) error {
 	return nil
 }
 
+// nextArgs draws one AccountUpdate's parameters.
+func (w *Workload) nextArgs(rng *rand.Rand) (accountID, tellerID, branchID, histID uint64, delta int64) {
+	accountID = 1 + uint64(rng.Int63n(int64(w.NumAccounts())))
+	branchID = 1 + (accountID-1)/uint64(w.cfg.AccountsPerBranch)
+	tellerID = (branchID-1)*TellersPerBranch + 1 + uint64(rng.Intn(TellersPerBranch))
+	delta = int64(rng.Intn(1999999) - 999999)
+	histID = uint64(rng.Int63())<<20 | uint64(rng.Int63n(1<<20))
+	return
+}
+
 // NextRequest generates one AccountUpdate transaction.
 func (w *Workload) NextRequest(rng *rand.Rand) *engine.Request {
-	accountID := 1 + uint64(rng.Int63n(int64(w.NumAccounts())))
-	branchID := 1 + (accountID-1)/uint64(w.cfg.AccountsPerBranch)
-	tellerID := (branchID-1)*TellersPerBranch + 1 + uint64(rng.Intn(TellersPerBranch))
-	delta := int64(rng.Intn(1999999) - 999999)
-	histID := uint64(rng.Int63())<<20 | uint64(rng.Int63n(1<<20))
+	accountID, tellerID, branchID, histID, delta := w.nextArgs(rng)
 	return w.AccountUpdate(accountID, tellerID, branchID, histID, delta)
+}
+
+// NextPlan generates one AccountUpdate as a declarative plan.
+func (w *Workload) NextPlan(rng *rand.Rand) *plan.Plan {
+	accountID, tellerID, branchID, histID, delta := w.nextArgs(rng)
+	return w.AccountUpdatePlan(accountID, tellerID, branchID, histID, delta)
 }
 
 // AccountUpdate is the TPC-B transaction: update the balances of one
@@ -207,6 +220,25 @@ func (w *Workload) AccountUpdate(accountID, tellerID, branchID, histID uint64, d
 			return c.Insert(TableHistory, historyKey(histID), marshalRow(hist))
 		}},
 	)
+}
+
+// balanceOffset is where the big-endian int64 balance sits in the fixed
+// row layout (after the 8-byte id).
+const balanceOffset = 8
+
+// AccountUpdatePlan is AccountUpdate as a declarative plan: three in-place
+// balance increments and the history insert, with no closures — the plan
+// can be shipped over the wire and its compiled shape cached server-side.
+// All four ops are one phase; they touch distinct keys, so the partitioned
+// designs still run them as parallel actions of one transaction.
+func (w *Workload) AccountUpdatePlan(accountID, tellerID, branchID, histID uint64, delta int64) *plan.Plan {
+	hist := row{ID: histID, Balance: delta}
+	return plan.New().
+		AddFieldInt64(TableAccount, accountKey(accountID), balanceOffset, delta).
+		AddFieldInt64(TableTeller, tellerKey(tellerID), balanceOffset, delta).
+		AddFieldInt64(TableBranch, branchKey(branchID), balanceOffset, delta).
+		Insert(TableHistory, historyKey(histID), marshalRow(hist)).
+		MustBuild()
 }
 
 // Verify checks the TPC-B consistency condition: the sum of account

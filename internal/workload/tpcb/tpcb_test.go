@@ -115,3 +115,75 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatal("NumAccounts wrong")
 	}
 }
+
+func TestAccountUpdatePlanMatchesClosure(t *testing.T) {
+	e, w := setup(t, engine.PLPLeaf)
+	sess := e.NewSession()
+	defer sess.Close()
+	// Apply the same transaction once through the closure path and once
+	// through the plan path; every touched balance must move by delta both
+	// times.
+	const delta = 777
+	if _, err := sess.Execute(w.AccountUpdate(3, 2, 1, 100, delta)); err != nil {
+		t.Fatalf("closure path: %v", err)
+	}
+	if _, err := sess.ExecutePlan(w.AccountUpdatePlan(3, 2, 1, 101, delta)); err != nil {
+		t.Fatalf("plan path: %v", err)
+	}
+	l := e.NewLoader()
+	for _, tc := range []struct {
+		table string
+		key   []byte
+	}{
+		{TableAccount, accountKey(3)},
+		{TableTeller, tellerKey(2)},
+		{TableBranch, branchKey(1)},
+	} {
+		rec, err := l.Read(tc.table, tc.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := unmarshalRow(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Balance != 2*delta {
+			t.Fatalf("%s balance = %d, want %d", tc.table, r.Balance, 2*delta)
+		}
+	}
+	if err := w.Verify(e); err != nil {
+		t.Fatalf("consistency: %v", err)
+	}
+}
+
+func TestPlanBalanceConservationAllDesigns(t *testing.T) {
+	for _, design := range engine.AllDesigns() {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			e, w := setup(t, design)
+			sess := e.NewSession()
+			defer sess.Close()
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 200; i++ {
+				if _, err := sess.ExecutePlan(w.NextPlan(rng)); err != nil && !errors.Is(err, engine.ErrAborted) {
+					t.Fatalf("txn %d: %v", i, err)
+				}
+			}
+			if err := w.Verify(e); err != nil {
+				t.Fatalf("consistency violated: %v", err)
+			}
+		})
+	}
+}
+
+func TestAccountUpdatePlanAbortsOnMissingAccount(t *testing.T) {
+	e, w := setup(t, engine.PLPLeaf)
+	sess := e.NewSession()
+	defer sess.Close()
+	if _, err := sess.ExecutePlan(w.AccountUpdatePlan(99999999, 1, 1, 12345, 100)); err == nil {
+		t.Fatal("expected abort for missing account")
+	}
+	if err := w.Verify(e); err != nil {
+		t.Fatalf("abort left the database inconsistent: %v", err)
+	}
+}

@@ -79,6 +79,22 @@ func (b *Builder) ValueFrom(r Ref) *Builder {
 	return b
 }
 
+// Where attaches a predicate to the scan just added: only rows passing the
+// filter are returned (and counted against the scan's limit).  The engine
+// pushes the predicate into the partition workers.
+func (b *Builder) Where(p *Predicate) *Builder {
+	b.last("Where").Filter = p
+	return b
+}
+
+// ForEach fans the op just added out over the entries of an earlier-phase
+// scan: it executes once per returned record, keyed by the record's key.
+// Valid for Update, Upsert, Delete and ReadModifyWrite.
+func (b *Builder) ForEach(scan Ref) *Builder {
+	b.last("ForEach").EachFrom = int32(scan)
+	return b
+}
+
 // Get appends a read of key.
 func (b *Builder) Get(table string, key []byte) *Builder {
 	return b.add(Op{Kind: Get, Table: table, Key: key})
@@ -142,6 +158,19 @@ func (b *Builder) Add(table string, key []byte, delta int64) *Builder {
 // account/teller/branch update (a missing row aborts).
 func (b *Builder) AddExisting(table string, key []byte, delta int64) *Builder {
 	return b.ReadModifyWrite(table, key, CondExists, nil, MutAddInt64, Int64(delta))
+}
+
+// AddFieldInt64 adds delta to the big-endian int64 field at offset inside
+// an existing fixed-layout record (a missing row aborts): the TPC-B
+// balance update without shipping the row.
+func (b *Builder) AddFieldInt64(table string, key []byte, offset uint32, delta int64) *Builder {
+	return b.ReadModifyWrite(table, key, CondExists, nil, MutAddInt64At, FieldArg(offset, Int64(delta)))
+}
+
+// SetField overwrites len(field) bytes at offset inside an existing
+// fixed-layout record (a missing row aborts): the TATP location update.
+func (b *Builder) SetField(table string, key []byte, offset uint32, field []byte) *Builder {
+	return b.ReadModifyWrite(table, key, CondExists, nil, MutSetFieldAt, FieldArg(offset, field))
 }
 
 // AppendBytes appends suffix to the record (missing counts as empty).

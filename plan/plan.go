@@ -181,6 +181,16 @@ const (
 	MutAddInt64
 	// MutAppend appends MutArg to the record (a missing record is empty).
 	MutAppend
+	// MutAddInt64At adds a delta to a big-endian int64 field inside a
+	// larger record: MutArg is FieldArg(offset, Int64(delta)).  The record
+	// must exist and reach offset+8 bytes.  This is what lets fixed-layout
+	// workload rows (TPC-B balances, TATP locations) take the declarative
+	// path without shipping whole records.
+	MutAddInt64At
+	// MutSetFieldAt overwrites a byte range inside a larger record: MutArg
+	// is FieldArg(offset, newBytes).  The record must exist and reach
+	// offset+len(newBytes) bytes.
+	MutSetFieldAt
 )
 
 // String returns the mutation mnemonic.
@@ -192,6 +202,10 @@ func (m Mut) String() string {
 		return "add-int64"
 	case MutAppend:
 		return "append"
+	case MutAddInt64At:
+		return "add-int64-at"
+	case MutSetFieldAt:
+		return "set-field-at"
 	default:
 		return fmt.Sprintf("mut(%d)", uint8(m))
 	}
@@ -238,6 +252,17 @@ type Op struct {
 	// KeyFrom) whose result Value supplies this op's Value — or, for
 	// ReadModifyWrite, its mutation argument MutArg.
 	ValueFrom int32
+	// EachFrom, when not NoBind, names an earlier-phase Scan op (1-based,
+	// like KeyFrom): this op executes once per entry the scan returned,
+	// keyed (and routed) by the entry's key — the read-filter-update
+	// fan-out.  Valid for Update, Upsert, Delete and ReadModifyWrite; the
+	// op's Result carries one Entries element per executed record.
+	EachFrom int32
+	// Filter, valid on Scan ops only, restricts the entries the scan
+	// returns to rows passing the predicate.  The engine compiles it into
+	// a closure-free evaluator that runs inside the partition workers, so
+	// non-matching rows are dropped where they live.
+	Filter *Predicate
 }
 
 // Plan is one transaction: phases of ops.  Ops within a phase are
@@ -303,7 +328,13 @@ func (p *Plan) Validate() error {
 				if op.Mut == MutAddInt64 && op.ValueFrom == NoBind && len(op.MutArg) != 8 {
 					return fmt.Errorf("plan: op %d: add-int64 delta must be 8 bytes (use plan.Int64)", flat)
 				}
-				if op.Mut > MutAppend {
+				if op.Mut == MutAddInt64At && op.ValueFrom == NoBind && len(op.MutArg) != 12 {
+					return fmt.Errorf("plan: op %d: add-int64-at needs a 12-byte offset+delta (use plan.FieldArg)", flat)
+				}
+				if op.Mut == MutSetFieldAt && op.ValueFrom == NoBind && len(op.MutArg) < 5 {
+					return fmt.Errorf("plan: op %d: set-field-at needs an offset and at least one byte (use plan.FieldArg)", flat)
+				}
+				if op.Mut > MutSetFieldAt {
 					return fmt.Errorf("plan: op %d: invalid mutation %d", flat, uint8(op.Mut))
 				}
 				if op.Cond > CondValueEquals {
@@ -312,6 +343,30 @@ func (p *Plan) Validate() error {
 			case Scan:
 				if op.KeyFrom != NoBind {
 					return fmt.Errorf("plan: op %d: scans cannot bind their key", flat)
+				}
+				if op.Filter != nil {
+					if err := op.Filter.Validate(); err != nil {
+						return fmt.Errorf("plan: op %d: %w", flat, err)
+					}
+				}
+			}
+			if op.Filter != nil && op.Kind != Scan {
+				return fmt.Errorf("plan: op %d (%v): filters are valid on scans only", flat, op.Kind)
+			}
+			if op.EachFrom != NoBind {
+				switch op.Kind {
+				case Update, Upsert, Delete, ReadModifyWrite:
+				default:
+					return fmt.Errorf("plan: op %d (%v): per-entry fan-out is valid for UPDATE/UPSERT/DELETE/RMW only", flat, op.Kind)
+				}
+				if op.KeyFrom != NoBind || op.ValueFrom != NoBind {
+					return fmt.Errorf("plan: op %d (%v): per-entry fan-out cannot combine with key/value bindings", flat, op.Kind)
+				}
+				if op.EachFrom < 0 || int(op.EachFrom-1) >= phaseStart {
+					return fmt.Errorf("plan: op %d (%v): fan-out over op %d, which is not in an earlier phase", flat, op.Kind, op.EachFrom-1)
+				}
+				if kinds[op.EachFrom-1] != Scan {
+					return fmt.Errorf("plan: op %d (%v): fan-out over op %d, which is not a scan", flat, op.Kind, op.EachFrom-1)
 				}
 			}
 			for _, bind := range [2]int32{op.KeyFrom, op.ValueFrom} {
@@ -322,14 +377,14 @@ func (p *Plan) Validate() error {
 					return fmt.Errorf("plan: op %d (%v): binding to op %d, which is not in an earlier phase", flat, op.Kind, bind-1)
 				}
 				// A Scan has no single result value to bind to (its output
-				// is the entry list, merged only after the transaction).
+				// is the entry list; fan out over it with EachFrom instead).
 				if kinds[bind-1] == Scan {
 					return fmt.Errorf("plan: op %d (%v): binding to op %d, which is a scan", flat, op.Kind, bind-1)
 				}
 			}
 			// Two phase-mates writing the same statically-known key would
 			// race (ops within a phase run in parallel).
-			if op.KeyFrom == NoBind && op.Kind != Scan {
+			if op.KeyFrom == NoBind && op.EachFrom == NoBind && op.Kind != Scan {
 				k := op.Table + "\x00" + op.Index + "\x00" + string(op.Key)
 				prev, dup := touched[k]
 				if dup && (op.Kind.Writes() || prev.Writes()) {
@@ -363,7 +418,9 @@ type Result struct {
 	// Value is the read result: the record for Get, the primary key for
 	// LookupSecondary, the new record for ReadModifyWrite.
 	Value []byte
-	// Entries holds a Scan's records in key order.
+	// Entries holds a Scan's records in key order — or, for an op fanned
+	// out with EachFrom, one element per executed record (Key is the
+	// record key; Value is the new record for RMW/Upsert/Update).
 	Entries []Entry
 	// Err is the op's error message when the op aborted the transaction
 	// (empty otherwise).
@@ -384,4 +441,24 @@ func DecodeInt64(b []byte) (int64, error) {
 		return 0, fmt.Errorf("plan: int64 record must be 8 bytes, got %d", len(b))
 	}
 	return int64(binary.BigEndian.Uint64(b)), nil
+}
+
+// FieldArg encodes the MutArg of the field mutations (MutAddInt64At,
+// MutSetFieldAt): a 4-byte big-endian record offset followed by the field
+// bytes (the 8-byte delta for MutAddInt64At, the replacement bytes for
+// MutSetFieldAt).
+func FieldArg(offset uint32, field []byte) []byte {
+	out := make([]byte, 4+len(field))
+	binary.BigEndian.PutUint32(out, offset)
+	copy(out[4:], field)
+	return out
+}
+
+// DecodeFieldArg splits a FieldArg back into offset and field bytes.  The
+// field aliases the argument.
+func DecodeFieldArg(arg []byte) (offset uint32, field []byte, err error) {
+	if len(arg) < 5 {
+		return 0, nil, fmt.Errorf("plan: field arg must be offset plus at least one byte, got %d", len(arg))
+	}
+	return binary.BigEndian.Uint32(arg), arg[4:], nil
 }

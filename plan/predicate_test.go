@@ -1,0 +1,295 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// naiveEval is an independent reference implementation of predicate
+// semantics: a direct recursive tree walk, deliberately sharing no code
+// with the compiled Filter.  The property test below checks the two agree
+// on random trees and random rows.
+func naiveEval(p *Predicate, key, val []byte) bool {
+	src := val
+	if p.OnKey {
+		src = key
+	}
+	extract := func() ([]byte, bool) {
+		if p.Int64 {
+			if int(p.Offset) > len(src) || len(src)-int(p.Offset) < 8 {
+				return nil, false
+			}
+			return src[p.Offset : p.Offset+8], true
+		}
+		if int(p.Offset) > len(src) {
+			return nil, false
+		}
+		if p.Length == 0 {
+			return src[p.Offset:], true
+		}
+		if int(p.Offset)+int(p.Length) > len(src) {
+			return nil, false
+		}
+		return src[p.Offset : p.Offset+p.Length], true
+	}
+	switch p.Kind {
+	case PredCmp:
+		f, ok := extract()
+		if !ok {
+			return false
+		}
+		var c int
+		if p.Int64 {
+			a := int64(binary.BigEndian.Uint64(f))
+			b := int64(binary.BigEndian.Uint64(p.Arg))
+			switch {
+			case a < b:
+				c = -1
+			case a > b:
+				c = 1
+			}
+		} else {
+			c = bytes.Compare(f, p.Arg)
+		}
+		switch p.Cmp {
+		case CmpEq:
+			return c == 0
+		case CmpNe:
+			return c != 0
+		case CmpLt:
+			return c < 0
+		case CmpLe:
+			return c <= 0
+		case CmpGt:
+			return c > 0
+		case CmpGe:
+			return c >= 0
+		}
+		return false
+	case PredPrefix:
+		f, ok := extract()
+		return ok && bytes.HasPrefix(f, p.Arg)
+	case PredAnd:
+		for _, k := range p.Kids {
+			if !naiveEval(k, key, val) {
+				return false
+			}
+		}
+		return true
+	case PredOr:
+		for _, k := range p.Kids {
+			if naiveEval(k, key, val) {
+				return true
+			}
+		}
+		return false
+	case PredNot:
+		return !naiveEval(p.Kids[0], key, val)
+	}
+	return false
+}
+
+// randPredicate generates a random valid predicate tree.
+func randPredicate(rng *rand.Rand, depth int) *Predicate {
+	kind := rng.Intn(5)
+	if depth >= 4 {
+		kind = rng.Intn(2) // leaves only
+	}
+	randArg := func(n int) []byte {
+		b := make([]byte, rng.Intn(n))
+		for i := range b {
+			b[i] = byte(rng.Intn(4)) // small alphabet: collisions matter
+		}
+		return b
+	}
+	switch kind {
+	case 0: // cmp
+		p := &Predicate{
+			Kind:   PredCmp,
+			Cmp:    CmpOp(1 + rng.Intn(int(maxCmpOp))),
+			OnKey:  rng.Intn(2) == 0,
+			Offset: uint32(rng.Intn(10)),
+		}
+		if rng.Intn(3) == 0 {
+			p.Int64 = true
+			p.Arg = Int64(int64(rng.Intn(16) - 8))
+		} else {
+			p.Length = uint32(rng.Intn(6)) // 0 = rest
+			p.Arg = randArg(6)
+		}
+		return p
+	case 1: // prefix
+		return &Predicate{
+			Kind:   PredPrefix,
+			OnKey:  rng.Intn(2) == 0,
+			Offset: uint32(rng.Intn(6)),
+			Length: uint32(rng.Intn(6)),
+			Arg:    randArg(4),
+		}
+	case 2, 3: // and/or
+		k := PredAnd
+		if kind == 3 {
+			k = PredOr
+		}
+		n := 1 + rng.Intn(3)
+		kids := make([]*Predicate, n)
+		for i := range kids {
+			kids[i] = randPredicate(rng, depth+1)
+		}
+		return &Predicate{Kind: k, Kids: kids}
+	default: // not
+		return &Predicate{Kind: PredNot, Kids: []*Predicate{randPredicate(rng, depth+1)}}
+	}
+}
+
+// TestFilterMatchesNaiveReference is the property test: compiled postfix
+// evaluation and the naive recursive reference must agree on random trees
+// over random rows, including short rows that miss fields.
+func TestFilterMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		p := randPredicate(rng, 0)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid predicate: %v", trial, err)
+		}
+		f, err := p.Compile()
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		for row := 0; row < 20; row++ {
+			key := make([]byte, rng.Intn(12))
+			val := make([]byte, rng.Intn(16))
+			for i := range key {
+				key[i] = byte(rng.Intn(4))
+			}
+			for i := range val {
+				val[i] = byte(rng.Intn(4))
+			}
+			want := naiveEval(p, key, val)
+			if got := f.Eval(key, val); got != want {
+				t.Fatalf("trial %d: compiled=%v naive=%v\npred=%+v\nkey=%x val=%x",
+					trial, got, want, p, key, val)
+			}
+		}
+	}
+}
+
+// TestPredicateEncodeDecodeRoundTrip checks the wire form reproduces the
+// tree exactly (including the compiled behaviour).
+func TestPredicateEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		p := randPredicate(rng, 0)
+		enc := AppendPredicate(nil, p)
+		got, rest, err := DecodePredicate(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("trial %d: %d trailing bytes", trial, len(rest))
+		}
+		if !predEqual(p, got) {
+			t.Fatalf("trial %d: roundtrip mismatch:\nin:  %+v\nout: %+v", trial, p, got)
+		}
+	}
+}
+
+func predEqual(a, b *Predicate) bool {
+	if a.Kind != b.Kind || a.Cmp != b.Cmp || a.OnKey != b.OnKey ||
+		a.Int64 != b.Int64 || a.Offset != b.Offset || a.Length != b.Length {
+		return false
+	}
+	// Encoding normalizes nil and empty args to absent.
+	if !bytes.Equal(a.Arg, b.Arg) {
+		return false
+	}
+	if len(a.Kids) != len(b.Kids) {
+		return false
+	}
+	for i := range a.Kids {
+		if !predEqual(a.Kids[i], b.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPredicateDecodeHostile checks the decoder's structural limits.
+func TestPredicateDecodeHostile(t *testing.T) {
+	// Claimed child count far beyond the buffer.
+	enc := []byte{byte(PredAnd), 0xff, 0xff}
+	if _, _, err := DecodePredicate(enc); err == nil {
+		t.Fatal("oversized child count decoded")
+	}
+	// Arg length beyond the buffer.
+	leaf := AppendPredicate(nil, ValueEq([]byte("x")))
+	binary.BigEndian.PutUint32(leaf[11:], 1<<30)
+	if _, _, err := DecodePredicate(leaf); err == nil {
+		t.Fatal("oversized arg length decoded")
+	}
+	// Deep nesting beyond MaxPredDepth.
+	deep := ValueEq(nil)
+	for i := 0; i < MaxPredDepth+2; i++ {
+		deep = Not(deep)
+	}
+	if _, _, err := DecodePredicate(AppendPredicate(nil, deep)); err == nil {
+		t.Fatal("over-deep tree decoded")
+	}
+	if err := deep.Validate(); err == nil {
+		t.Fatal("over-deep tree validated")
+	}
+	// Truncation at every prefix length must error, not panic.
+	full := AppendPredicate(nil, And(ValueEq([]byte("ab")), Not(KeyPrefix([]byte("k")))))
+	for i := 0; i < len(full); i++ {
+		if _, _, err := DecodePredicate(full[:i]); err == nil {
+			t.Fatalf("truncated encoding (%d/%d bytes) decoded", i, len(full))
+		}
+	}
+}
+
+// TestPredicateValidation covers op-level filter/fan-out validation.
+func TestPredicateValidation(t *testing.T) {
+	// Filter on a non-scan op is rejected.
+	p := &Plan{Phases: [][]Op{{{Kind: Get, Table: "t", Key: []byte("k"), Filter: ValueEq(nil)}}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("filter on GET validated")
+	}
+	// Fan-out over a non-scan is rejected.
+	p = &Plan{Phases: [][]Op{
+		{{Kind: Get, Table: "t", Key: []byte("k")}},
+		{{Kind: Delete, Table: "t", EachFrom: 1}},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("fan-out over GET validated")
+	}
+	// Fan-out over a same-phase scan is rejected.
+	p = &Plan{Phases: [][]Op{{
+		{Kind: Scan, Table: "t"},
+		{Kind: Delete, Table: "t", EachFrom: 1},
+	}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("same-phase fan-out validated")
+	}
+	// The valid shape: scan, then fan-out.
+	p = &Plan{Phases: [][]Op{
+		{{Kind: Scan, Table: "t", Filter: ValueEq([]byte("x"))}},
+		{{Kind: Delete, Table: "t", EachFrom: 1}},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid fan-out plan rejected: %v", err)
+	}
+	// Builder surface.
+	b := New()
+	scan := b.Scan("t", nil, nil, 10).Where(Int64Cmp(0, CmpGt, 5)).Ref()
+	b.Then().Add("t", nil, 1).ForEach(scan)
+	built, err := b.Build()
+	if err != nil {
+		t.Fatalf("builder fan-out plan: %v", err)
+	}
+	if !reflect.DeepEqual(built.Phases[1][0].EachFrom, int32(1)) {
+		t.Fatalf("ForEach did not bind: %+v", built.Phases[1][0])
+	}
+}

@@ -70,6 +70,39 @@
 // Client.DoPlan), and a context cancellation on a v3 session sends a wire
 // cancel frame that aborts the server-side transaction.
 //
+// # Query layer
+//
+// Scans carry typed predicate trees (package plan: FieldCmp / Int64Cmp /
+// KeyPrefix leaves under And/Or/Not) attached with Builder.Where.  The
+// engine compiles the tree once per plan into a closure-free instruction
+// program and evaluates it INSIDE each partition worker's scan task, so
+// filtering happens where the rows live: only passing rows are copied out,
+// counted against the limit, and — over the wire — shipped to the client.
+// At 1% selectivity the scan_pushdown CI datapoint measures both the
+// speedup and the bytes-on-wire reduction against client-side filtering.
+//
+// Over protocol v3 a scan can stream instead of materializing: the server
+// walks the partitions in key order and emits flow-controlled SCAN-CHUNK
+// frames (a per-stream credit window caps unacknowledged chunks, so a slow
+// consumer exerts backpressure instead of ballooning server memory), and
+// client.ScanStream exposes the arriving rows as an iterator whose context
+// cancellation sends a wire cancel that aborts the server-side scan
+// mid-stream.  The sharded routing client merges per-shard streams in key
+// order under one global limit, opening each shard's stream lazily so a
+// limit satisfied by early shards never contacts later ones.
+//
+// A plan op can also fan out over an earlier scan's results (ForEach):
+// update-where-style statements execute entirely server-side.  Because
+// plans carry data, not code, the server caches compiled plans by
+// structural shape — parameters (keys, bounds, deltas, predicate operands)
+// are excluded from the fingerprint and rebound per execution — so a
+// workload's steady state compiles nothing (the plp_plan_cache_hits /
+// plp_plan_compiles expvars and the plan_cache CI datapoint track this).
+// Aborted wire transactions carry a retry hint: client.IsTransient
+// distinguishes lock-timeout-style aborts worth retrying from permanent
+// ones, and the plp_latency expvar publishes sampled latency histograms
+// per operation kind (statements, plans, scans, scan-chunk emission).
+//
 // # Execution fast paths
 //
 // The paper's partitioned designs replace unscalable critical sections with
@@ -321,6 +354,25 @@ type PlanResult = plan.Result
 
 // NewPlan returns an empty declarative plan builder.
 func NewPlan() *PlanBuilder { return plan.New() }
+
+// Predicate is a typed filter tree attached to plan scans (see package
+// plan); the engine pushes it into the partition workers.
+type Predicate = plan.Predicate
+
+// CmpOp is a predicate comparison operator (plan.CmpEq, plan.CmpLt, ...).
+type CmpOp = plan.CmpOp
+
+// Predicate constructors, re-exported for convenience; the full set
+// (ValueCmp, KeyCmp, prefixes, Or, Not) lives in package plan.
+func FieldCmpPred(off, length uint32, op CmpOp, arg []byte) *Predicate {
+	return plan.FieldCmp(off, length, op, arg)
+}
+
+// Int64CmpPred compares the big-endian int64 at off against v.
+func Int64CmpPred(off uint32, op CmpOp, v int64) *Predicate { return plan.Int64Cmp(off, op, v) }
+
+// AndPred is the conjunction of the given predicates.
+func AndPred(kids ...*Predicate) *Predicate { return plan.And(kids...) }
 
 // TableDef describes a table to create.
 type TableDef = catalog.TableDef

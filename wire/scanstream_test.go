@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"plp/plan"
+)
+
+func TestScanRequestRoundTrip(t *testing.T) {
+	sc := &ScanRequest{
+		Table:        "accounts",
+		Lo:           []byte("a"),
+		Hi:           []byte("q"),
+		Limit:        100_000,
+		ChunkEntries: 512,
+		Window:       16,
+		Filter:       plan.And(plan.Int64Cmp(0, plan.CmpGt, 7), plan.KeyPrefix([]byte("a"))),
+	}
+	buf := EncodeScanRequest(99, sc)
+	f, err := DecodeFrameV3(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Kind != FrameScan || f.ID != 99 {
+		t.Fatalf("kind=%d id=%d", f.Kind, f.ID)
+	}
+	got := f.Scan
+	if got.Table != sc.Table || !bytes.Equal(got.Lo, sc.Lo) || !bytes.Equal(got.Hi, sc.Hi) ||
+		got.Limit != sc.Limit || got.ChunkEntries != sc.ChunkEntries || got.Window != sc.Window {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	if got.Filter == nil || got.Filter.Kind != plan.PredAnd || len(got.Filter.Kids) != 2 {
+		t.Fatalf("filter did not survive: %+v", got.Filter)
+	}
+
+	// Filterless scan.
+	f2, err := DecodeFrameV3(EncodeScanRequest(7, &ScanRequest{Table: "t"}))
+	if err != nil {
+		t.Fatalf("decode filterless: %v", err)
+	}
+	if f2.Scan.Filter != nil {
+		t.Fatalf("phantom filter: %+v", f2.Scan.Filter)
+	}
+}
+
+func TestScanAckRoundTrip(t *testing.T) {
+	buf := EncodeScanAck(42, 3)
+	if !IsScanAckFrame(buf) {
+		t.Fatal("IsScanAckFrame false on an ack")
+	}
+	if IsScanAckFrame(EncodeCancelRequest(42)) {
+		t.Fatal("IsScanAckFrame true on a cancel")
+	}
+	f, err := DecodeFrameV3(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Kind != FrameScanAck || f.ID != 42 || f.Credit != 3 {
+		t.Fatalf("kind=%d id=%d credit=%d", f.Kind, f.ID, f.Credit)
+	}
+}
+
+func TestScanChunkRoundTrip(t *testing.T) {
+	c := &ScanChunk{
+		ID:    7,
+		Final: true,
+		Err:   "boom",
+		Entries: []ScanEntry{
+			{Key: []byte("k1"), Value: []byte("v1")},
+			{Key: []byte("k2"), Value: nil},
+		},
+	}
+	buf := AppendScanChunk(nil, c)
+	if !IsScanChunk(buf) {
+		t.Fatal("IsScanChunk false on a chunk")
+	}
+	got, err := DecodeScanChunk(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.ID != c.ID || got.Final != c.Final || got.Err != c.Err || len(got.Entries) != 2 {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	for i := range c.Entries {
+		if !bytes.Equal(got.Entries[i].Key, c.Entries[i].Key) ||
+			!bytes.Equal(got.Entries[i].Value, c.Entries[i].Value) {
+			t.Fatalf("entry %d mismatch: %+v", i, got.Entries[i])
+		}
+	}
+	// A chunk must not be mistaken for a response or handshake.
+	if IsHelloAck(buf) || IsHello(buf) {
+		t.Fatal("chunk magic collides with handshake magic")
+	}
+}
+
+func TestScanChunkHostile(t *testing.T) {
+	// Entry count far beyond the payload must not allocate or decode.
+	c := AppendScanChunk(nil, &ScanChunk{ID: 1, Entries: []ScanEntry{{Key: []byte("k")}}})
+	countOff := 8 + 8 + 1 + 4 + 0 // magic, id, flags, empty err
+	binary.LittleEndian.PutUint32(c[countOff:], 1<<30)
+	if _, err := DecodeScanChunk(c); err == nil {
+		t.Fatal("hostile entry count decoded")
+	}
+	// Truncation at every prefix must error, not panic.
+	full := AppendScanChunk(nil, &ScanChunk{ID: 2, Final: true, Entries: []ScanEntry{
+		{Key: []byte("key"), Value: []byte("value")},
+	}})
+	for i := 8; i < len(full); i++ {
+		if _, err := DecodeScanChunk(full[:i]); err == nil {
+			t.Fatalf("truncated chunk (%d/%d bytes) decoded", i, len(full))
+		}
+	}
+	// Hostile scan-request filter bytes must error cleanly too.
+	req := EncodeScanRequest(1, &ScanRequest{Table: "t", Filter: plan.ValueEq([]byte("x"))})
+	for i := 9; i < len(req); i++ {
+		if _, err := DecodeFrameV3(req[:i]); err == nil {
+			t.Fatalf("truncated scan request (%d/%d bytes) decoded", i, len(req))
+		}
+	}
+}
+
+// FuzzDecodeScanChunk is the hostile-input fuzz target for SCAN-CHUNK
+// decoding: arbitrary bytes must never panic, and every successfully
+// decoded chunk must re-encode to an equivalent chunk.
+func FuzzDecodeScanChunk(f *testing.F) {
+	f.Add(AppendScanChunk(nil, &ScanChunk{ID: 1}))
+	f.Add(AppendScanChunk(nil, &ScanChunk{ID: 2, Final: true, Err: "x"}))
+	f.Add(AppendScanChunk(nil, &ScanChunk{ID: 3, Entries: []ScanEntry{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Value: []byte("2")},
+	}}))
+	big := make([]byte, 64)
+	f.Add(append(append([]byte{}, scanChunkMagic[:]...), big...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeScanChunk(data)
+		if err != nil {
+			return
+		}
+		re, err := DecodeScanChunk(AppendScanChunk(nil, c))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded chunk failed: %v", err)
+		}
+		if re.ID != c.ID || re.Final != c.Final || re.Err != c.Err || len(re.Entries) != len(c.Entries) {
+			t.Fatalf("re-encode mismatch: %+v vs %+v", c, re)
+		}
+	})
+}
+
+// FuzzDecodeScanFrame covers the FrameScan/FrameScanAck request bodies,
+// including embedded predicate trees.
+func FuzzDecodeScanFrame(f *testing.F) {
+	f.Add(EncodeScanRequest(1, &ScanRequest{Table: "t", Lo: []byte("a"), Hi: []byte("z")}))
+	f.Add(EncodeScanRequest(2, &ScanRequest{Table: "t", Filter: plan.Or(
+		plan.ValuePrefix([]byte("p")), plan.Not(plan.Int64Cmp(4, plan.CmpLe, -1)))}))
+	f.Add(EncodeScanAck(3, 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		f, err := DecodeFrameV3(data)
+		if err != nil {
+			return
+		}
+		if f.Kind == FrameScan && f.Scan != nil && f.Scan.Filter != nil {
+			// Whatever decoded must either validate or be rejected —
+			// Compile must not panic on it.
+			_, _ = f.Scan.Filter.Compile()
+		}
+	})
+}

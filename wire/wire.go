@@ -58,12 +58,15 @@
 // Kind 0 (statements) is the V2 statement body.  Kind 1 (plan) is a uint32
 // phase count, then per phase a uint32 op count and that many ops (kind
 // byte; table, index, key, value, key-end, cond-value, mut-arg all
-// length-prefixed; uint32 limit; cond and mut bytes; uint32 key-from and
-// value-from bindings).  Kind 2 (cancel) has no body: the frame's ID is the
-// ID of the request to cancel, and a cancel frame receives no response of
-// its own (the canceled request's response reports the abort).  V3
-// responses use the V2 encoding, with one result per plan op in flat phase
-// order.
+// length-prefixed; uint32 limit; cond and mut bytes; uint32 key-from,
+// value-from and each-from bindings; a length-prefixed predicate encoding,
+// empty when the op has no filter).  Kind 2 (cancel) has no body: the
+// frame's ID is the ID of the request to cancel, and a cancel frame
+// receives no response of its own (the canceled request's response reports
+// the abort).  Kinds 9 and 10 open and flow-control streaming scans (see
+// scanstream.go).  V3 responses use the V2 encoding plus a trailing
+// abort-classification byte (transient vs permanent, for client retry
+// policy), with one result per plan op in flat phase order.
 //
 // # Authentication
 //
@@ -271,6 +274,25 @@ type StatementResult struct {
 	Entries []ScanEntry
 }
 
+// RetryHint classifies an aborted transaction for the client's retry
+// policy, so clients need not string-match error messages.
+type RetryHint uint8
+
+// The retry hints.
+const (
+	// RetryUnknown carries no classification (committed responses, pre-V3
+	// servers).
+	RetryUnknown RetryHint = 0
+	// RetryTransient marks an abort caused by transient contention —
+	// deadlock-avoidance lock timeouts, cross-shard prepare conflicts —
+	// that a retry of the identical transaction may well commit.
+	RetryTransient RetryHint = 1
+	// RetryPermanent marks an abort that will repeat deterministically
+	// (validation failures, failed RMW conditions, missing tables):
+	// retrying the identical transaction is pointless.
+	RetryPermanent RetryHint = 2
+)
+
 // Response is the server's reply to one Request.
 type Response struct {
 	// ID echoes the request ID.
@@ -279,6 +301,9 @@ type Response struct {
 	Committed bool
 	// Err is the transaction-level error message (empty on commit).
 	Err string
+	// Retry classifies an abort as transient or permanent (V3; encoded as
+	// a trailing byte that pre-V3 decoders never read).
+	Retry RetryHint
 	// Results holds one entry per statement, in order.
 	Results []StatementResult
 }
@@ -611,12 +636,16 @@ type Frame struct {
 	AppliedLSN uint64
 	// DurableLSN is the follower's durable horizon (FrameReplAck).
 	DurableLSN uint64
+	// Scan is the streaming-scan request (FrameScan).
+	Scan *ScanRequest
+	// Credit is the number of chunk credits returned (FrameScanAck).
+	Credit uint32
 }
 
 // minEncodedOpBytes is the smallest possible encoded plan op; hostile
 // phase/op counts are clamped against it so they cannot force allocations
 // the payload could not physically hold.
-const minEncodedOpBytes = 43
+const minEncodedOpBytes = 51
 
 // EncodePlanRequest serializes a plan request payload (without the frame
 // header) at protocol version V3.
@@ -649,6 +678,12 @@ func EncodePlanRequest(id uint64, p *plan.Plan) []byte {
 			out = appendBytes(out, op.MutArg)
 			out = appendUint32(out, uint32(op.KeyFrom))
 			out = appendUint32(out, uint32(op.ValueFrom))
+			out = appendUint32(out, uint32(op.EachFrom))
+			if op.Filter != nil {
+				out = appendBytes(out, plan.AppendPredicate(nil, op.Filter))
+			} else {
+				out = appendUint32(out, 0)
+			}
 		}
 	}
 	return out
@@ -709,6 +744,17 @@ func DecodeFrameV3(buf []byte) (*Frame, error) {
 				op.MutArg = r.bytes()
 				op.KeyFrom = int32(r.uint32())
 				op.ValueFrom = int32(r.uint32())
+				op.EachFrom = int32(r.uint32())
+				if fb := r.bytes(); len(fb) > 0 && r.err == nil {
+					pred, rest, err := plan.DecodePredicate(fb)
+					if err != nil {
+						return nil, fmt.Errorf("wire: plan op filter: %w", err)
+					}
+					if len(rest) != 0 {
+						return nil, fmt.Errorf("wire: plan op filter: %d trailing bytes", len(rest))
+					}
+					op.Filter = pred
+				}
 				ops = append(ops, op)
 			}
 			p.Phases = append(p.Phases, ops)
@@ -722,6 +768,8 @@ func DecodeFrameV3(buf []byte) (*Frame, error) {
 		return decodeShardFrame(f, r)
 	case FrameReplSubscribe, FrameReplRecords, FrameReplAck:
 		return decodeReplFrame(f, r)
+	case FrameScan, FrameScanAck:
+		return decodeScanFrame(f, r)
 	default:
 		return nil, fmt.Errorf("%w: unknown frame kind %d", ErrBadOp, f.Kind)
 	}
@@ -742,7 +790,7 @@ func EncodeResponseV(resp *Response, version uint32) []byte {
 // allocates nothing once the buffer has grown to the session's working
 // size.
 func AppendResponseV(dst []byte, resp *Response, version uint32) []byte {
-	size := 8 + 1 + 4 + len(resp.Err) + 4
+	size := 8 + 1 + 4 + len(resp.Err) + 4 + 1
 	for _, res := range resp.Results {
 		size += 1 + 4 + len(res.Value) + 4 + len(res.Err)
 		if version >= V2 {
@@ -781,6 +829,10 @@ func AppendResponseV(dst []byte, resp *Response, version uint32) []byte {
 			}
 		}
 	}
+	// The retry hint trails the body: pre-V3 decoders stop before it.
+	if version >= V3 {
+		out = append(out, byte(resp.Retry))
+	}
 	return out
 }
 
@@ -818,6 +870,10 @@ func DecodeResponseV(buf []byte, version uint32) (*Response, error) {
 	}
 	if r.err != nil {
 		return nil, r.err
+	}
+	// The optional trailing retry hint (V3 servers always append it).
+	if version >= V3 && r.off < len(r.buf) {
+		resp.Retry = RetryHint(r.byteVal())
 	}
 	return resp, nil
 }
