@@ -53,8 +53,10 @@ package client
 import (
 	"bufio"
 	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -233,6 +235,46 @@ type DialOptions struct {
 	// Timeout bounds the TCP dial and the handshake round trip (0 means
 	// 10s).
 	Timeout time.Duration
+	// TLSConfig, when non-nil, wraps the connection in TLS before the
+	// protocol handshake (the server must listen with -tls-cert/-tls-key).
+	TLSConfig *tls.Config
+	// RetryPolicy, when non-nil, makes DoContext/DoPlanContext transparently
+	// retry transactions the server aborted with a transient hint
+	// (IsTransient): deadlock-avoidance timeouts that a re-run at a
+	// different instant usually dodges.  Only whole-transaction aborts are
+	// retried — the failed attempt committed nothing — never transport
+	// errors, whose outcome is unknown.
+	RetryPolicy *RetryPolicy
+}
+
+// RetryPolicy bounds the client's automatic retries of transient aborts.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (values < 2 disable retrying).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 2ms); each
+	// further retry doubles it, up to MaxDelay (default 100ms).  The actual
+	// sleep is uniformly jittered in [delay/2, delay) so colliding
+	// transactions don't re-collide in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// backoff returns the jittered sleep before retry attempt (1-based).
+func (p *RetryPolicy) backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 100 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // Client is a connection to a PLP server.
@@ -242,6 +284,7 @@ type Client struct {
 	version  uint32
 	authed   bool
 	readOnly bool
+	retry    *RetryPolicy
 
 	// Outgoing frames are handed to a writer goroutine that batches them
 	// into one buffered write, flushing when the queue drains — under
@@ -292,8 +335,26 @@ func DialContext(ctx context.Context, addr string, opts *DialOptions) (*Client, 
 	if err != nil {
 		return nil, err
 	}
+	if o.TLSConfig != nil {
+		cfg := o.TLSConfig
+		if cfg.ServerName == "" && !cfg.InsecureSkipVerify {
+			// Fill the verification name from the dial address so one
+			// config serves every member of a cluster.
+			if host, _, err := net.SplitHostPort(addr); err == nil {
+				cfg = cfg.Clone()
+				cfg.ServerName = host
+			}
+		}
+		tconn := tls.Client(conn, cfg)
+		if err := tconn.HandshakeContext(dctx); err != nil {
+			_ = conn.Close()
+			return nil, fmt.Errorf("client: tls: %w", err)
+		}
+		conn = tconn
+	}
 	c := &Client{
 		conn:       conn,
+		retry:      o.RetryPolicy,
 		br:         bufio.NewReaderSize(conn, 64<<10),
 		version:    wire.V1,
 		writeCh:    make(chan []byte, 256),
@@ -600,14 +661,48 @@ func (c *Client) cancelInFlight(f *Future) {
 // honouring the context.  The returned error is non-nil for transport
 // failures, cancellations, and aborted transactions (ErrAborted, with the
 // server's message appended).  On a v3 session a cancellation also sends a
-// cancel frame aborting the server-side transaction.
+// cancel frame aborting the server-side transaction.  With a RetryPolicy
+// installed, transient aborts are retried under jittered backoff before the
+// error surfaces.
 func (c *Client) DoContext(ctx context.Context, t *Txn) (*wire.Response, error) {
+	resp, err := c.doOnce(ctx, t)
+	for attempt := 1; c.shouldRetry(ctx, err, attempt); attempt++ {
+		if !c.backoffWait(ctx, attempt) {
+			break
+		}
+		resp, err = c.doOnce(ctx, t)
+	}
+	return resp, err
+}
+
+// doOnce is one submit/wait round of DoContext.
+func (c *Client) doOnce(ctx context.Context, t *Txn) (*wire.Response, error) {
 	f := c.DoAsync(ctx, t)
 	resp, err := f.Wait(ctx)
 	if err != nil && errors.Is(err, ctx.Err()) && ctx.Err() != nil {
 		c.cancelInFlight(f)
 	}
 	return resp, err
+}
+
+// shouldRetry reports whether the retry policy allows re-running a request
+// that failed with err on the given attempt (1-based count of completed
+// tries).
+func (c *Client) shouldRetry(ctx context.Context, err error, attempt int) bool {
+	return c.retry != nil && attempt < c.retry.MaxAttempts &&
+		IsTransient(err) && ctx.Err() == nil
+}
+
+// backoffWait sleeps the policy's jittered backoff, honouring the context.
+func (c *Client) backoffWait(ctx context.Context, attempt int) bool {
+	timer := time.NewTimer(c.retry.backoff(attempt))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Do executes the transaction with no deadline; see DoContext.
@@ -625,15 +720,27 @@ func NewPlan() *plan.Builder { return plan.New() }
 // Aborted plans return the results (whose Err fields name the failing ops)
 // together with ErrAborted.  Requires a v3 session (ErrVersion otherwise).
 func (c *Client) DoPlanContext(ctx context.Context, p *plan.Plan) ([]plan.Result, error) {
-	f := c.DoPlanAsync(ctx, p)
-	resp, err := f.Wait(ctx)
-	if err != nil && errors.Is(err, ctx.Err()) && ctx.Err() != nil {
-		c.cancelInFlight(f)
+	resp, err := c.doPlanOnce(ctx, p)
+	for attempt := 1; c.shouldRetry(ctx, err, attempt); attempt++ {
+		if !c.backoffWait(ctx, attempt) {
+			break
+		}
+		resp, err = c.doPlanOnce(ctx, p)
 	}
 	if resp == nil {
 		return nil, err
 	}
 	return planResultsFromWire(resp), err
+}
+
+// doPlanOnce is one submit/wait round of DoPlanContext.
+func (c *Client) doPlanOnce(ctx context.Context, p *plan.Plan) (*wire.Response, error) {
+	f := c.DoPlanAsync(ctx, p)
+	resp, err := f.Wait(ctx)
+	if err != nil && errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+		c.cancelInFlight(f)
+	}
+	return resp, err
 }
 
 // DoPlan executes a declarative plan with no deadline; see DoPlanContext.

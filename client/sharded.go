@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"plp/keys"
 	"plp/shard"
@@ -47,8 +48,19 @@ func (c *Client) ShardMap(ctx context.Context) (*shard.Map, error) {
 }
 
 // Sharded is a routing client over a sharded plpd cluster.
+//
+// When the map carries replica sets, read-only transactions rotate across a
+// shard's primary and followers (replica-aware routing) while writes always
+// target the primary.  A write that lands on a demoted ex-primary comes back
+// as a follower refusal carrying the refuser's current map; the router
+// adopts it and re-routes, so clients follow promotions with no operator
+// involvement.
 type Sharded struct {
 	opts DialOptions
+
+	// rr spreads read-only transactions across a shard's primary and
+	// replicas.
+	rr atomic.Uint64
 
 	mu    sync.Mutex
 	m     *shard.Map
@@ -90,13 +102,23 @@ func (s *Sharded) Map() *shard.Map {
 	return s.m
 }
 
-// Refresh fetches the shard map again through any reachable shard and
-// adopts it if newer.
+// Refresh fetches the shard map again through any reachable member —
+// primaries first, then replicas (a dead primary is exactly when the
+// replicas' copy matters) — and adopts it if newer.
 func (s *Sharded) Refresh(ctx context.Context) error {
 	m := s.Map()
-	var lastErr error = ErrNoShardMap
+	addrs := make([]string, 0, len(m.Shards))
 	for _, sh := range m.Shards {
-		c, err := s.clientFor(ctx, sh.Addr)
+		addrs = append(addrs, sh.Addr)
+	}
+	for _, sh := range m.Shards {
+		for _, r := range sh.Replicas {
+			addrs = append(addrs, r.Addr)
+		}
+	}
+	var lastErr error = ErrNoShardMap
+	for _, addr := range addrs {
+		c, err := s.clientFor(ctx, addr)
 		if err != nil {
 			lastErr = err
 			continue
@@ -196,25 +218,112 @@ func addrFor(m *shard.Map, t *Txn) string {
 	return m.Shards[0].Addr
 }
 
+// readOnly reports whether every statement of t reads (no writes, no
+// control verbs) — the transactions replica-aware routing may serve from a
+// follower.
+func (t *Txn) readOnly() bool {
+	if len(t.statements) == 0 {
+		return false
+	}
+	for _, st := range t.statements {
+		switch st.Op {
+		case wire.OpGet, wire.OpGetBySecondary, wire.OpScan, wire.OpPing:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// shardFor returns the shard a transaction routes to (see addrFor).
+func shardFor(m *shard.Map, t *Txn) shard.Shard {
+	for _, st := range t.statements {
+		if routeKeyed(st.Op) {
+			sh, _ := m.ByID(m.Owner(st.Key))
+			return sh
+		}
+	}
+	return m.Shards[0]
+}
+
+// readAddrFor rotates a read-only transaction across its shard's primary
+// and replicas.  turn selects the rotation slot; callers advance it per
+// request (round robin) and per retry (so a dead follower's slot is skipped
+// on the next attempt).
+func readAddrFor(m *shard.Map, t *Txn, turn uint64) string {
+	sh := shardFor(m, t)
+	n := uint64(len(sh.Replicas)) + 1
+	slot := turn % n
+	if slot == 0 {
+		return sh.Addr
+	}
+	return sh.Replicas[slot-1].Addr
+}
+
 // maxRouteAttempts bounds the refresh-and-forward loop: each wrong-shard
 // refusal or transport error consumes one attempt.
 const maxRouteAttempts = 4
 
+// refusalMap extracts the shard map a refusing server attached to its
+// response (nil when absent or unparseable).
+func refusalMap(resp *wire.Response) *shard.Map {
+	if resp == nil {
+		return nil
+	}
+	for _, r := range resp.Results {
+		if len(r.Value) == 0 {
+			continue
+		}
+		if m, err := shard.Parse(r.Value); err == nil {
+			return m
+		}
+	}
+	return nil
+}
+
 // DoContext routes and executes the transaction.  Wrong-shard refusals
 // adopt the refusing server's map and forward; transport errors redial.
+// Read-only transactions rotate across the owning shard's primary and
+// replicas; writes go to the primary, and a follower refusal (the primary
+// moved) adopts the refuser's map and follows the promotion.
 func (s *Sharded) DoContext(ctx context.Context, t *Txn) (*wire.Response, error) {
 	var lastErr error
+	readonly := t.readOnly()
+	turn := s.rr.Add(1)
 	for attempt := 0; attempt < maxRouteAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		addr := addrFor(s.Map(), t)
+		var addr string
+		if readonly {
+			// Advancing by attempt walks the rotation past members that just
+			// failed, ending back at the primary.
+			addr = readAddrFor(s.Map(), t, turn+uint64(attempt))
+		} else {
+			addr = addrFor(s.Map(), t)
+		}
 		c, err := s.clientFor(ctx, addr)
 		if err != nil {
+			// The member is unreachable — possibly a dead primary that has
+			// since been failed over.  Best-effort refresh through whoever
+			// still answers so the next attempt sees the promotion.
+			_ = s.Refresh(ctx)
 			lastErr = err
 			continue
 		}
 		resp, err := c.DoContext(ctx, t)
+		if err != nil && IsFollowerRefusal(err) && !readonly {
+			// The write landed on a follower: the primary moved under our
+			// map.  The refusal carries the refuser's current map — adopt it
+			// and re-route to the new primary.
+			if nm := refusalMap(resp); nm != nil {
+				s.adopt(nm)
+			} else if rerr := s.Refresh(ctx); rerr != nil {
+				return resp, fmt.Errorf("%v (map refresh failed: %w)", err, rerr)
+			}
+			lastErr = err
+			continue
+		}
 		if resp != nil && wire.IsWrongShard(resp.Err) {
 			// The refusal carries the server's current map: adopt it and
 			// re-route.  A parse failure falls back to an explicit fetch.
@@ -235,8 +344,11 @@ func (s *Sharded) DoContext(ctx context.Context, t *Txn) (*wire.Response, error)
 			// Transport failure: drop the poisoned connection and retry on a
 			// fresh one.  NOTE a request that died mid-flight may have
 			// executed; like any network client, the retry is at-least-once
-			// for non-idempotent writes.
+			// for non-idempotent writes.  The peer may also be gone for good
+			// (SIGKILLed primary), so refresh the map in case a failover
+			// re-homed the shard.
 			s.dropClient(addr, c)
+			_ = s.Refresh(ctx)
 			lastErr = err
 			continue
 		}

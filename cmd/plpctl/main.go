@@ -21,6 +21,8 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"flag"
 	"fmt"
 	"os"
@@ -69,7 +71,8 @@ commands:
   promote                            promote a follower to primary (failover)
 
 flags: -addr host:port, -raw (byte keys), -token <secret> (authenticate;
-       a read-only token scopes the session to reads)
+       a read-only token scopes the session to reads),
+       -tls-ca <pem> / -tls-skip-verify (dial a TLS-serving plpd)
 `)
 	os.Exit(2)
 }
@@ -83,6 +86,8 @@ func main() {
 		ops     = flag.Int("ops", 10000, "bench: operations per connection")
 		chunk   = flag.Int("chunk", 0, "scanstream: rows per chunk (0 = server default)")
 		filtEq  = flag.String("eq", "", "scanstream: push down int64-at-offset-0 == N")
+		tlsCA   = flag.String("tls-ca", "", "PEM CA bundle to verify a TLS-serving plpd")
+		tlsSkip = flag.Bool("tls-skip-verify", false, "dial TLS without verifying the server certificate (testing only)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -101,7 +106,24 @@ func main() {
 		return client.Uint64Key(v)
 	}
 
-	c, err := client.DialContext(context.Background(), *addr, &client.DialOptions{Token: *token})
+	var dialTLS *tls.Config
+	if *tlsCA != "" || *tlsSkip {
+		dialTLS = &tls.Config{InsecureSkipVerify: *tlsSkip}
+		if *tlsCA != "" {
+			pem, err := os.ReadFile(*tlsCA)
+			if err != nil {
+				fatalf("reading -tls-ca: %v", err)
+			}
+			pool := x509.NewCertPool()
+			if !pool.AppendCertsFromPEM(pem) {
+				fatalf("-tls-ca %s holds no usable certificates", *tlsCA)
+			}
+			dialTLS.RootCAs = pool
+		}
+	}
+	opts := &client.DialOptions{Token: *token, TLSConfig: dialTLS}
+
+	c, err := client.DialContext(context.Background(), *addr, opts)
 	if err != nil {
 		fatalf("dial %s: %v", *addr, err)
 	}
@@ -275,7 +297,7 @@ func main() {
 		fmt.Println("OK")
 	case "bench":
 		need(args, 1)
-		bench(*addr, args[0], *clients, *ops)
+		bench(*addr, args[0], *clients, *ops, opts)
 	case "shards":
 		need(args, 0)
 		m, err := c.ShardMap(context.Background())
@@ -347,7 +369,7 @@ func fatalf(format string, a ...any) {
 
 // bench runs a simple upsert+get load against the server and reports
 // throughput and mean latency.
-func bench(addr, table string, clients, ops int) {
+func bench(addr, table string, clients, ops int, opts *client.DialOptions) {
 	var committed, failed atomic.Uint64
 	var totalLatency atomic.Int64
 	var wg sync.WaitGroup
@@ -356,7 +378,7 @@ func bench(addr, table string, clients, ops int) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			c, err := client.Dial(addr)
+			c, err := client.DialContext(context.Background(), addr, opts)
 			if err != nil {
 				failed.Add(uint64(ops))
 				return

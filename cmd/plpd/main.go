@@ -35,6 +35,8 @@
 package main
 
 import (
+	"crypto/tls"
+	"crypto/x509"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -44,21 +46,46 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"plp/internal/balance"
 	"plp/internal/catalog"
+	"plp/internal/cluster"
 	"plp/internal/engine"
 	"plp/internal/keyenc"
 	"plp/internal/recovery"
 	"plp/internal/repartition"
 	"plp/internal/repl"
 	"plp/internal/server"
+	"plp/internal/txn"
 	"plp/shard"
 )
+
+// parseMembers parses the -cluster membership spec: comma-separated id@addr.
+func parseMembers(spec string) ([]cluster.Member, error) {
+	var out []cluster.Member
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idStr, addr, ok := strings.Cut(part, "@")
+		if !ok || addr == "" {
+			return nil, fmt.Errorf("bad -cluster entry %q (want id@addr)", part)
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -cluster member ID %q: %v", idStr, err)
+		}
+		out = append(out, cluster.Member{ID: id, Addr: addr})
+	}
+	return out, nil
+}
 
 // parseDesign maps a CLI name to an engine design.
 func parseDesign(name string) (engine.Design, error) {
@@ -101,6 +128,17 @@ func main() {
 		follow       = flag.String("follow", "", "run as a replication follower of this primary address: serve reads from replicated state, refuse writes until promoted (requires -data-dir)")
 		ackMode      = flag.String("ack-mode", "local", "commit acknowledgement mode: local (fsynced on this node) or replica (additionally on ≥1 follower's disk)")
 		ackTimeout   = flag.Duration("ack-timeout", 0, "replica-acked commit wait bound (0 uses the default; the commit is always durable locally when the wait times out)")
+		ackQuorum    = flag.Int("ack-quorum", 1, "with -ack-mode replica, how many distinct followers must hold a commit durably before it is acknowledged")
+		tlsCert      = flag.String("tls-cert", "", "PEM certificate chain for serving TLS on every listener (requires -tls-key)")
+		tlsKey       = flag.String("tls-key", "", "PEM private key for -tls-cert")
+		tlsCA        = flag.String("tls-ca", "", "PEM CA bundle used to verify the TLS servers this process dials (shard peers, replication primary, cluster probes)")
+		tlsInsecure  = flag.Bool("tls-skip-verify", false, "dial TLS without verifying the server certificate (testing only)")
+		peerTimeout  = flag.Duration("peer-timeout", 0, "shard-to-shard peer call deadline (0 uses the 3s default)")
+		janitorEvery = flag.Duration("janitor-every", 0, "in-doubt transaction janitor pass interval on sharded daemons (0 uses the 250ms default)")
+		clusterSpec  = flag.String("cluster", "", "replication group membership for lease-based auto-failover, as comma-separated id@addr entries (e.g. 1@db1:7070,2@db2:7070,3@db3:7070)")
+		nodeID       = flag.Int("node-id", 0, "this process's member ID within -cluster")
+		leaseTimeout = flag.Duration("lease", 0, "how long a clustered follower tolerates a silent primary before probing for failover (0 uses the 3s default)")
+		advertise    = flag.String("advertise", "", "address peers and clients reach this process at (defaults to the -cluster entry for -node-id); a promoted primary installs it in the shard map")
 	)
 	flag.Parse()
 
@@ -113,6 +151,69 @@ func main() {
 	if *ackMode == "replica" && (*dataDir == "" || *lazyCommit) {
 		fmt.Fprintln(os.Stderr, "-ack-mode replica requires durable commits (-data-dir, without -lazy-commit)")
 		os.Exit(2)
+	}
+	if *ackQuorum < 1 {
+		fmt.Fprintln(os.Stderr, "-ack-quorum must be at least 1")
+		os.Exit(2)
+	}
+
+	// TLS: -tls-cert/-tls-key terminate TLS on the listener; -tls-ca (or
+	// -tls-skip-verify) builds the client-side config used wherever this
+	// process dials a peer daemon.
+	var serverTLS, dialTLS *tls.Config
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fmt.Fprintln(os.Stderr, "-tls-cert and -tls-key must be set together")
+		os.Exit(2)
+	}
+	if *tlsCert != "" {
+		cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading TLS key pair: %v\n", err)
+			os.Exit(2)
+		}
+		serverTLS = &tls.Config{Certificates: []tls.Certificate{cert}}
+	}
+	if *tlsCA != "" || *tlsInsecure {
+		dialTLS = &tls.Config{InsecureSkipVerify: *tlsInsecure}
+		if *tlsCA != "" {
+			pem, err := os.ReadFile(*tlsCA)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reading -tls-ca: %v\n", err)
+				os.Exit(2)
+			}
+			pool := x509.NewCertPool()
+			if !pool.AppendCertsFromPEM(pem) {
+				fmt.Fprintf(os.Stderr, "-tls-ca %s holds no usable certificates\n", *tlsCA)
+				os.Exit(2)
+			}
+			dialTLS.RootCAs = pool
+		}
+	}
+
+	var members []cluster.Member
+	if *clusterSpec != "" {
+		var err error
+		if members, err = parseMembers(*clusterSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "-cluster requires -data-dir (failover needs a durable log)")
+			os.Exit(2)
+		}
+		found := false
+		for _, m := range members {
+			if m.ID == *nodeID {
+				found = true
+				if *advertise == "" {
+					*advertise = m.Addr
+				}
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "-cluster has no entry for -node-id %d\n", *nodeID)
+			os.Exit(2)
+		}
 	}
 	if *follow != "" {
 		if *dataDir == "" {
@@ -235,12 +336,25 @@ func main() {
 	srv := server.New(e)
 	srv.SetAuthToken(*token)
 	srv.SetReadOnlyToken(*roToken)
+	srv.TLSConfig = serverTLS
+	srv.PeerTLSConfig = dialTLS
+	srv.PeerCallTimeout = *peerTimeout
+	srv.JanitorPeriod = *janitorEvery
 
 	// Replication role.  Every durable daemon is a primary lineage — it
 	// accepts follower subscriptions whether or not one ever connects —
-	// unless -follow makes it a read-only follower of another primary.
-	var curPrimary atomic.Pointer[repl.Primary]
-	var follower *repl.Follower
+	// unless -follow makes it a read-only follower of another primary.  The
+	// role is dynamic: `plpctl promote` (or the failover monitor) turns a
+	// follower into the primary, and a fenced ex-primary demotes back into a
+	// follower, re-seeding over the stream if its log diverged.
+	var (
+		roleMu      sync.Mutex // serializes promote/demote transitions
+		curPrimary  atomic.Pointer[repl.Primary]
+		curFollower atomic.Pointer[repl.Follower]
+		clusterNode *cluster.Node
+		promote     func() (string, error)
+		demote      func(primaryAddr string) error
+	)
 	var replSnapshot func() any
 	if *dataDir != "" {
 		installPrimary := func(epoch uint64) *repl.Primary {
@@ -251,9 +365,82 @@ func main() {
 			curPrimary.Store(p)
 			srv.SetReplPrimary(p)
 			if *ackMode == "replica" {
+				p.SetAckQuorum(*ackQuorum)
 				e.SetCommitAckWaiter(p.WaitReplicated)
 			}
 			return p
+		}
+		// A follower's Stop is terminal, so every stint as a follower gets a
+		// fresh instance; construction re-analyzes the local log, which is
+		// exactly what a demoted ex-primary needs before subscribing.
+		newFollower := func(primaryAddr string) (*repl.Follower, error) {
+			return repl.NewFollower(repl.FollowerOptions{
+				Primary:   primaryAddr,
+				Token:     *token,
+				Dir:       *dataDir,
+				Log:       e.DurableLog(),
+				Apply:     e.ApplyReplicated,
+				Reseed:    e.ResetForSeed,
+				TLSConfig: dialTLS,
+				Logf:      func(format string, args ...any) { fmt.Printf("plpd: "+format+"\n", args...) },
+			})
+		}
+		promote = func() (string, error) {
+			roleMu.Lock()
+			defer roleMu.Unlock()
+			f := curFollower.Load()
+			if f == nil {
+				return "", errors.New("promote: not a follower")
+			}
+			epoch, err := f.Promote()
+			if err != nil {
+				return "", err
+			}
+			curFollower.Store(nil)
+			// Fence the old lineage at the shard layer too: a stale
+			// primary restarting on its own data dir keeps its old
+			// incarnation, and peers refuse its gids.
+			if st, ok, rerr := shard.ReadState(*dataDir); rerr == nil && ok {
+				st.Incarnation++
+				if werr := shard.WriteState(*dataDir, st); werr != nil {
+					return "", fmt.Errorf("promote: bumping shard incarnation: %w", werr)
+				}
+			}
+			installPrimary(epoch)
+			srv.SetFollowerMode(false)
+			// Re-home the shard onto this process so routers (and writers
+			// bounced by the demoted ex-primary) follow the promotion.
+			if m := srv.ShardMap(); m != nil && *advertise != "" {
+				nm := m.Clone()
+				if perr := nm.Promote(*shardID, *advertise); perr == nil {
+					if uerr := srv.UpdateShardMap(nm); uerr != nil {
+						fmt.Printf("plpd: promote: shard map update: %v\n", uerr)
+					}
+				}
+			}
+			fmt.Printf("plpd: promoted to primary at replication epoch %d\n", epoch)
+			return fmt.Sprintf("promoted: replication epoch %d, accepting writes\n", epoch), nil
+		}
+		demote = func(primaryAddr string) error {
+			roleMu.Lock()
+			defer roleMu.Unlock()
+			if curFollower.Load() != nil {
+				return nil // already a follower
+			}
+			// Stop accepting writes first: anything committed after the
+			// fence would be lost when the follower re-seeds.
+			srv.SetFollowerMode(true)
+			e.SetCommitAckWaiter(nil)
+			srv.SetReplPrimary(nil)
+			curPrimary.Store(nil)
+			f, err := newFollower(primaryAddr)
+			if err != nil {
+				return fmt.Errorf("demote: %w", err)
+			}
+			curFollower.Store(f)
+			f.Start()
+			fmt.Printf("plpd: demoted to follower of %s\n", primaryAddr)
+			return nil
 		}
 		if *follow == "" {
 			epoch, ok, err := repl.ReadEpoch(*dataDir)
@@ -270,56 +457,52 @@ func main() {
 			}
 			installPrimary(epoch)
 		} else {
-			f, err := repl.NewFollower(repl.FollowerOptions{
-				Primary: *follow,
-				Token:   *token,
-				Dir:     *dataDir,
-				Log:     e.DurableLog(),
-				Apply:   e.ApplyReplicated,
-				Logf:    func(format string, args ...any) { fmt.Printf("plpd: "+format+"\n", args...) },
-			})
+			f, err := newFollower(*follow)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "follower: %v\n", err)
 				os.Exit(1)
 			}
-			follower = f
+			curFollower.Store(f)
 			srv.SetFollowerMode(true)
-			srv.SetPromoteHandler(func() (string, error) {
-				epoch, err := f.Promote()
-				if err != nil {
-					return "", err
-				}
-				// Fence the old lineage at the shard layer too: a stale
-				// primary restarting on its own data dir keeps its old
-				// incarnation, and peers refuse its gids.
-				if st, ok, rerr := shard.ReadState(*dataDir); rerr == nil && ok {
-					st.Incarnation++
-					if werr := shard.WriteState(*dataDir, st); werr != nil {
-						return "", fmt.Errorf("promote: bumping shard incarnation: %w", werr)
-					}
-				}
-				installPrimary(epoch)
-				srv.SetFollowerMode(false)
-				fmt.Printf("plpd: promoted to primary at replication epoch %d\n", epoch)
-				return fmt.Sprintf("promoted: replication epoch %d, accepting writes\n", epoch), nil
-			})
 			f.Start()
-			defer f.Stop()
 		}
+		srv.SetPromoteHandler(promote)
+		defer func() {
+			if f := curFollower.Load(); f != nil {
+				f.Stop()
+			}
+		}()
 		replSnapshot = func() any {
 			st := struct {
-				Role     string
-				AckMode  string
-				Primary  *repl.PrimaryStatus      `json:",omitempty"`
-				Follower *repl.FollowerNodeStatus `json:",omitempty"`
+				Role           string
+				AckMode        string
+				AckQuorum      int                      `json:",omitempty"`
+				Primary        *repl.PrimaryStatus      `json:",omitempty"`
+				Follower       *repl.FollowerNodeStatus `json:",omitempty"`
+				Cluster        *cluster.NodeStatus      `json:",omitempty"`
+				LocalAckWait   *txn.AckWaitHist         `json:",omitempty"`
+				ReplicaAckWait *txn.AckWaitHist         `json:",omitempty"`
 			}{Role: "primary", AckMode: *ackMode}
-			if srv.FollowerMode() && follower != nil {
+			if f := curFollower.Load(); srv.FollowerMode() && f != nil {
 				st.Role = "follower"
-				fs := follower.Status()
+				fs := f.Status()
 				st.Follower = &fs
 			} else if p := curPrimary.Load(); p != nil {
 				ps := p.Status()
 				st.Primary = &ps
+				st.AckQuorum = p.AckQuorum()
+			}
+			if local, replica := e.AckWaitHistograms(); local.Count > 0 || replica.Count > 0 {
+				if local.Count > 0 {
+					st.LocalAckWait = &local
+				}
+				if replica.Count > 0 {
+					st.ReplicaAckWait = &replica
+				}
+			}
+			if clusterNode != nil {
+				cs := clusterNode.Status()
+				st.Cluster = &cs
 			}
 			return st
 		}
@@ -336,6 +519,50 @@ func main() {
 			fmt.Fprintf(os.Stderr, "shard config: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if len(members) > 0 {
+		// Lease-based auto-failover: the monitor watches the primary through
+		// the replication stream's implicit lease and drives the same
+		// promote/demote transitions an operator would.
+		cn, err := cluster.New(cluster.Config{
+			Self:         *nodeID,
+			Members:      members,
+			Token:        *token,
+			TLS:          dialTLS,
+			LeaseTimeout: *leaseTimeout,
+			Logf:         func(format string, args ...any) { fmt.Printf("plpd: "+format+"\n", args...) },
+			IsPrimary:    func() bool { return !srv.FollowerMode() },
+			Epoch: func() uint64 {
+				if f := curFollower.Load(); f != nil {
+					return f.Epoch()
+				}
+				if p := curPrimary.Load(); p != nil {
+					return p.Epoch()
+				}
+				return 0
+			},
+			DurableLSN: func() uint64 { return uint64(e.DurableLog().DurableLSN()) },
+			SinceContact: func() time.Duration {
+				if f := curFollower.Load(); f != nil {
+					return f.SinceContact()
+				}
+				return 0
+			},
+			Promote: func() error { _, err := promote(); return err },
+			Repoint: func(addr string) {
+				if f := curFollower.Load(); f != nil {
+					f.SetPrimary(addr)
+				}
+			},
+			Demote: demote,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster: %v\n", err)
+			os.Exit(1)
+		}
+		clusterNode = cn
+		cn.Start()
+		defer cn.Stop()
 	}
 	srv.SetCheckpointHandler(func() (string, error) {
 		// Checkpoints need a transactionally quiet instant; on a busy
@@ -407,8 +634,14 @@ func main() {
 		if *follow != "" {
 			durability += ", following " + *follow
 		} else if *ackMode == "replica" {
-			durability += ", replica-acked commits"
+			durability += fmt.Sprintf(", replica-acked commits (quorum %d)", *ackQuorum)
 		}
+		if len(members) > 0 {
+			durability += fmt.Sprintf(", failover cluster of %d (member %d)", len(members), *nodeID)
+		}
+	}
+	if serverTLS != nil {
+		durability += ", TLS"
 	}
 	if shardMap != nil {
 		durability += fmt.Sprintf(", shard %d of map version %d", *shardID, shardMap.Version)

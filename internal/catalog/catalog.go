@@ -158,6 +158,57 @@ func (c *Catalog) CreateTable(def TableDef, res Resources) (*Table, error) {
 	return tbl, nil
 }
 
+// ResetStorage replaces every table's storage objects with freshly created,
+// empty ones — same object IDs, same partition boundaries as the live trees
+// carry right now (rebalancing may have moved them off the definition), so
+// routing tables layered above stay valid without change.  The *Table
+// pointers survive; only the structures beneath them are swapped, which
+// keeps references held by engines and sessions working.  The old pages
+// remain allocated in the buffer pool: one superseded copy per reset, the
+// accepted cost of rebuilding in place (snapshot re-seed).  The caller must
+// exclude all concurrent access for the duration.
+func (c *Catalog) ResetStorage(res Resources) error {
+	if res.BufferPool == nil {
+		return ErrNilResources
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cfg := mrbtree.Config{
+		Latched:         res.IndexLatched,
+		MaxSlotsPerNode: res.MaxSlotsPerNode,
+		CSStats:         res.CSStats,
+		Log:             res.Log,
+	}
+	for _, tbl := range c.tables {
+		primary, err := mrbtree.Create(res.BufferPool, tbl.ID, cfg, tbl.Primary.Boundaries()...)
+		if err != nil {
+			return fmt.Errorf("catalog: resetting %s primary: %w", tbl.Def.Name, err)
+		}
+		heapFile := tbl.Heap
+		if !tbl.Def.Clustered {
+			heapFile = heap.New(tbl.ID+1, res.BufferPool, res.HeapMode, res.CSStats)
+		}
+		secs := make(map[string]*mrbtree.Tree, len(tbl.Secondaries))
+		for i, sec := range tbl.Def.Secondaries {
+			secCfg := cfg
+			old, ok := tbl.Secondaries[sec.Name]
+			if !ok {
+				return fmt.Errorf("%w: %s.%s", ErrNoSuchIndex, tbl.Def.Name, sec.Name)
+			}
+			if !sec.PartitionAligned {
+				secCfg.Latched = true
+			}
+			idx, err := mrbtree.Create(res.BufferPool, tbl.ID+2+uint32(i), secCfg, old.Boundaries()...)
+			if err != nil {
+				return fmt.Errorf("catalog: resetting %s.%s: %w", tbl.Def.Name, sec.Name, err)
+			}
+			secs[sec.Name] = idx
+		}
+		tbl.Primary, tbl.Heap, tbl.Secondaries = primary, heapFile, secs
+	}
+	return nil
+}
+
 // Table returns the named table.
 func (c *Catalog) Table(name string) (*Table, error) {
 	c.mu.RLock()

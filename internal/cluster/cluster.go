@@ -1,0 +1,319 @@
+// Package cluster adds lease-based automatic failover on top of the
+// replication layer: each plpd in a replication group runs a Node that
+// watches the primary's liveness and, when the primary goes silent, elects
+// and promotes a replacement with no operator involvement.
+//
+// The lease is implicit in the replication stream.  A primary sends
+// something on every subscription at least once per heartbeat interval
+// (records when the log moves, heartbeat frames when it is idle), so "time
+// since the last frame" is a lease the follower refreshes for free.  When
+// it expires (Config.LeaseTimeout), the follower probes every configured
+// member over the ordinary client protocol ("repl status"):
+//
+//   - A reachable primary with an epoch at least the follower's own means
+//     the follower merely lost its stream (or a failover already happened
+//     elsewhere): it repoints its subscription to that address.
+//   - No reachable primary starts an election among the reachable
+//     followers.  The winner is deterministic — highest durable LSN, lowest
+//     member ID to break ties — and needs no extra round: every prober
+//     computes the same winner from the same probes, and only the winner
+//     acts (it promotes itself through the usual epoch bump).  Losers just
+//     keep probing and find the new primary on a later pass.
+//
+// A primary runs the same loop in reverse: seeing another primary with a
+// HIGHER epoch means it was failed over while partitioned or down, so it
+// demotes itself to follower of the winner and re-seeds from its stream
+// (the snapshot re-seed path makes rejoining its old, diverged log safe).
+//
+// Elections can race only in one direction: two nodes promote when probes
+// disagree about reachability.  The epoch fence resolves it — both
+// primaries see each other on later probes, and whichever holds the lower
+// epoch demotes.
+package cluster
+
+import (
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plp/client"
+)
+
+// Member is one plpd process of the replication group.
+type Member struct {
+	// ID orders members for election tie-breaks; unique, lower wins.
+	ID int
+	// Addr is the member's plpd listen address.
+	Addr string
+}
+
+// Config wires a Node to its process's replication role.  The function
+// hooks decouple the package from plpd's role plumbing (and make the loop
+// testable without processes).
+type Config struct {
+	// Self is this process's member ID; Members lists the whole group
+	// (including self).
+	Self    int
+	Members []Member
+
+	// Token and TLS configure the probe connections (same credentials as
+	// ordinary clients).
+	Token string
+	TLS   *tls.Config
+
+	// LeaseTimeout is how long the primary may stay silent before a
+	// follower declares it dead (default 3s; keep it a few heartbeat
+	// intervals wide).  ProbeInterval is the loop cadence (default
+	// LeaseTimeout/3).  DialTimeout bounds one probe (default
+	// ProbeInterval).
+	LeaseTimeout  time.Duration
+	ProbeInterval time.Duration
+	DialTimeout   time.Duration
+
+	Logf func(format string, args ...any)
+
+	// IsPrimary reports the node's current role.  Epoch and DurableLSN
+	// report its replication epoch and durable log horizon.  SinceContact
+	// is the follower's time since the last stream frame (the lease clock);
+	// it is only consulted while IsPrimary() is false.
+	IsPrimary    func() bool
+	Epoch        func() uint64
+	DurableLSN   func() uint64
+	SinceContact func() time.Duration
+
+	// Promote self-promotes a follower (epoch bump + accept writes).
+	// Repoint re-aims the follower's subscription at a new primary.
+	// Demote turns a primary into a follower of addr.
+	Promote func() error
+	Repoint func(addr string)
+	Demote  func(addr string) error
+}
+
+// Candidate is one member's election credentials.
+type Candidate struct {
+	ID         int
+	DurableLSN uint64
+}
+
+// Elect returns the deterministic election winner: the candidate with the
+// highest durable LSN, lowest ID on ties.  ok is false for an empty slate.
+func Elect(cands []Candidate) (id int, ok bool) {
+	if len(cands) == 0 {
+		return 0, false
+	}
+	win := cands[0]
+	for _, c := range cands[1:] {
+		if c.DurableLSN > win.DurableLSN || (c.DurableLSN == win.DurableLSN && c.ID < win.ID) {
+			win = c
+		}
+	}
+	return win.ID, true
+}
+
+// probeStatus is the slice of plpd's "repl status" JSON the failover logic
+// reads; unknown fields are ignored.
+type probeStatus struct {
+	Role    string
+	Primary *struct {
+		Epoch      uint64
+		DurableLSN uint64
+	}
+	Follower *struct {
+		Primary    string
+		Epoch      uint64
+		DurableLSN uint64
+	}
+}
+
+// Node is the failover monitor of one cluster member.
+type Node struct {
+	cfg Config
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+
+	promotions atomic.Uint64
+	demotions  atomic.Uint64
+	repoints   atomic.Uint64
+}
+
+// New validates cfg, fills its defaults and returns an unstarted Node.
+func New(cfg Config) (*Node, error) {
+	if cfg.IsPrimary == nil || cfg.Epoch == nil || cfg.DurableLSN == nil ||
+		cfg.SinceContact == nil || cfg.Promote == nil || cfg.Repoint == nil || cfg.Demote == nil {
+		return nil, fmt.Errorf("cluster: every role hook must be set")
+	}
+	self := false
+	for _, m := range cfg.Members {
+		if m.ID == cfg.Self {
+			self = true
+		}
+	}
+	if !self {
+		return nil, fmt.Errorf("cluster: members list has no self (id %d)", cfg.Self)
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 3 * time.Second
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = cfg.LeaseTimeout / 3
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = cfg.ProbeInterval
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Node{cfg: cfg, stopCh: make(chan struct{}), done: make(chan struct{})}, nil
+}
+
+// Start launches the probe loop.
+func (n *Node) Start() {
+	go n.run()
+}
+
+// Stop terminates the probe loop and waits for it to exit.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	<-n.done
+}
+
+// NodeStatus counts the role transitions this node has driven.
+type NodeStatus struct {
+	Promotions uint64
+	Demotions  uint64
+	Repoints   uint64
+}
+
+// Status returns the node's transition counters.
+func (n *Node) Status() NodeStatus {
+	return NodeStatus{
+		Promotions: n.promotions.Load(),
+		Demotions:  n.demotions.Load(),
+		Repoints:   n.repoints.Load(),
+	}
+}
+
+func (n *Node) run() {
+	defer close(n.done)
+	tick := time.NewTicker(n.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-tick.C:
+		}
+		if n.cfg.IsPrimary() {
+			n.primaryPass()
+		} else {
+			n.followerPass()
+		}
+	}
+}
+
+// probe fetches one member's replication status.
+func (n *Node) probe(m Member) (*probeStatus, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.DialTimeout)
+	defer cancel()
+	c, err := client.DialContext(ctx, m.Addr, &client.DialOptions{
+		Token:     n.cfg.Token,
+		Timeout:   n.cfg.DialTimeout,
+		TLSConfig: n.cfg.TLS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	out, err := c.ControlContext(ctx, "repl status", "")
+	if err != nil {
+		return nil, err
+	}
+	var st probeStatus
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		return nil, fmt.Errorf("cluster: %s repl status: %w", m.Addr, err)
+	}
+	return &st, nil
+}
+
+// peers returns every member but self.
+func (n *Node) peers() []Member {
+	out := make([]Member, 0, len(n.cfg.Members)-1)
+	for _, m := range n.cfg.Members {
+		if m.ID != n.cfg.Self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// followerPass checks the lease and, once it expires, finds or elects a
+// primary.
+func (n *Node) followerPass() {
+	if n.cfg.SinceContact() < n.cfg.LeaseTimeout {
+		return
+	}
+	selfEpoch := n.cfg.Epoch()
+	cands := []Candidate{{ID: n.cfg.Self, DurableLSN: n.cfg.DurableLSN()}}
+	for _, m := range n.peers() {
+		st, err := n.probe(m)
+		if err != nil {
+			continue
+		}
+		if st.Role == "primary" && st.Primary != nil {
+			if st.Primary.Epoch >= selfEpoch {
+				// The primary is alive (only our stream died) or a failover
+				// already happened: follow it.  A lower-epoch "primary" is a
+				// fenced straggler about to demote — not a leader.
+				n.cfg.Logf("cluster: lease expired; following primary %s (epoch %d)", m.Addr, st.Primary.Epoch)
+				n.repoints.Add(1)
+				n.cfg.Repoint(m.Addr)
+				return
+			}
+			continue
+		}
+		if st.Role == "follower" && st.Follower != nil {
+			cands = append(cands, Candidate{ID: m.ID, DurableLSN: st.Follower.DurableLSN})
+		}
+	}
+	winner, ok := Elect(cands)
+	if !ok || winner != n.cfg.Self {
+		// A peer wins: it runs the same computation and promotes itself; we
+		// find it as a primary on a later pass.
+		return
+	}
+	n.cfg.Logf("cluster: lease expired, no primary reachable; self-promoting (member %d, durable %d, %d candidates)",
+		n.cfg.Self, n.cfg.DurableLSN(), len(cands))
+	if err := n.cfg.Promote(); err != nil {
+		n.cfg.Logf("cluster: self-promotion failed: %v", err)
+		return
+	}
+	n.promotions.Add(1)
+}
+
+// primaryPass looks for a primary with a higher epoch — the fence that
+// means this node was failed over — and demotes into its following.
+func (n *Node) primaryPass() {
+	selfEpoch := n.cfg.Epoch()
+	for _, m := range n.peers() {
+		st, err := n.probe(m)
+		if err != nil || st.Role != "primary" || st.Primary == nil {
+			continue
+		}
+		if st.Primary.Epoch > selfEpoch {
+			n.cfg.Logf("cluster: fenced by primary %s (epoch %d > %d); demoting to follower",
+				m.Addr, st.Primary.Epoch, selfEpoch)
+			if err := n.cfg.Demote(m.Addr); err != nil {
+				n.cfg.Logf("cluster: demotion failed: %v", err)
+				return
+			}
+			n.demotions.Add(1)
+			return
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plp/internal/engine"
+	"plp/internal/server"
+)
+
+func TestElect(t *testing.T) {
+	if _, ok := Elect(nil); ok {
+		t.Fatal("empty slate elected someone")
+	}
+	if id, ok := Elect([]Candidate{{ID: 3, DurableLSN: 10}}); !ok || id != 3 {
+		t.Fatalf("single candidate: id=%d ok=%v", id, ok)
+	}
+	// Highest durable LSN wins regardless of ID order.
+	if id, _ := Elect([]Candidate{{ID: 1, DurableLSN: 5}, {ID: 9, DurableLSN: 50}, {ID: 2, DurableLSN: 20}}); id != 9 {
+		t.Fatalf("highest-LSN winner: id=%d", id)
+	}
+	// Ties break to the lowest ID, in any input order.
+	if id, _ := Elect([]Candidate{{ID: 7, DurableLSN: 50}, {ID: 2, DurableLSN: 50}, {ID: 5, DurableLSN: 50}}); id != 2 {
+		t.Fatalf("tie-break winner: id=%d", id)
+	}
+	if id, _ := Elect([]Candidate{{ID: 2, DurableLSN: 50}, {ID: 7, DurableLSN: 50}}); id != 2 {
+		t.Fatalf("tie-break (sorted input) winner: id=%d", id)
+	}
+}
+
+// testHooks builds a hook set whose transitions record into counters.
+type testHooks struct {
+	isPrimary atomic.Bool
+	epoch     atomic.Uint64
+	durable   atomic.Uint64
+	contact   atomic.Int64 // nanoseconds since last frame
+
+	promoted  atomic.Uint64
+	demotedTo atomic.Pointer[string]
+	repointed atomic.Pointer[string]
+}
+
+func (h *testHooks) config() Config {
+	return Config{
+		IsPrimary:    func() bool { return h.isPrimary.Load() },
+		Epoch:        func() uint64 { return h.epoch.Load() },
+		DurableLSN:   func() uint64 { return h.durable.Load() },
+		SinceContact: func() time.Duration { return time.Duration(h.contact.Load()) },
+		Promote: func() error {
+			h.promoted.Add(1)
+			h.isPrimary.Store(true)
+			h.epoch.Add(1)
+			return nil
+		},
+		Repoint: func(addr string) { h.repointed.Store(&addr) },
+		Demote: func(addr string) error {
+			h.demotedTo.Store(&addr)
+			h.isPrimary.Store(false)
+			return nil
+		},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	h := &testHooks{}
+	cfg := h.config()
+	cfg.Self = 1
+	cfg.Members = []Member{{ID: 1, Addr: "x"}}
+	cfg.Promote = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("missing hook accepted")
+	}
+	cfg = h.config()
+	cfg.Self = 2
+	cfg.Members = []Member{{ID: 1, Addr: "x"}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("self absent from members accepted")
+	}
+	cfg = h.config()
+	cfg.Self = 1
+	cfg.Members = []Member{{ID: 1, Addr: "x"}}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.cfg.LeaseTimeout != 3*time.Second || n.cfg.ProbeInterval != time.Second {
+		t.Fatalf("defaults: lease=%v probe=%v", n.cfg.LeaseTimeout, n.cfg.ProbeInterval)
+	}
+}
+
+// statusServer serves a canned "repl status" JSON over the real wire
+// protocol, the way plpd answers cluster probes.
+func statusServer(t *testing.T, st probeStatus) string {
+	t.Helper()
+	e, err := engine.Open(engine.Options{Design: engine.PLPLeaf, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(e)
+	srv.SetReplStatusHandler(func() (string, error) {
+		buf, err := json.Marshal(st)
+		if err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = e.Close()
+	})
+	return addr
+}
+
+func primaryStatus(epoch, lsn uint64) probeStatus {
+	return probeStatus{Role: "primary", Primary: &struct {
+		Epoch      uint64
+		DurableLSN uint64
+	}{Epoch: epoch, DurableLSN: lsn}}
+}
+
+func followerStatus(primary string, epoch, lsn uint64) probeStatus {
+	return probeStatus{Role: "follower", Follower: &struct {
+		Primary    string
+		Epoch      uint64
+		DurableLSN uint64
+	}{Primary: primary, Epoch: epoch, DurableLSN: lsn}}
+}
+
+// newTestNode builds an unstarted Node over the hooks and members; passes
+// run one loop iteration by hand via followerPass/primaryPass.
+func newTestNode(t *testing.T, h *testHooks, members []Member) *Node {
+	t.Helper()
+	cfg := h.config()
+	cfg.Self = 1
+	cfg.Members = members
+	cfg.LeaseTimeout = 200 * time.Millisecond
+	cfg.DialTimeout = 2 * time.Second
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFollowerPassRepointsToLiveHigherEpochPrimary(t *testing.T) {
+	h := &testHooks{}
+	h.epoch.Store(3)
+	h.contact.Store(int64(time.Hour)) // lease long expired
+	paddr := statusServer(t, primaryStatus(5, 100))
+	n := newTestNode(t, h, []Member{{ID: 1, Addr: "self"}, {ID: 2, Addr: paddr}})
+
+	n.followerPass()
+	got := h.repointed.Load()
+	if got == nil || *got != paddr {
+		t.Fatalf("repoint: %v", got)
+	}
+	if h.promoted.Load() != 0 {
+		t.Fatal("promoted despite a reachable primary")
+	}
+}
+
+func TestFollowerPassIgnoresFencedLowerEpochPrimary(t *testing.T) {
+	// A reachable "primary" with a LOWER epoch is a fenced straggler: the
+	// follower must not repoint to it.  With no follower peers either, the
+	// election has one candidate — self — and self-promotes.
+	h := &testHooks{}
+	h.epoch.Store(9)
+	h.durable.Store(50)
+	h.contact.Store(int64(time.Hour))
+	paddr := statusServer(t, primaryStatus(2, 1000))
+	n := newTestNode(t, h, []Member{{ID: 1, Addr: "self"}, {ID: 2, Addr: paddr}})
+
+	n.followerPass()
+	if h.repointed.Load() != nil {
+		t.Fatal("repointed to a fenced straggler")
+	}
+	if h.promoted.Load() != 1 {
+		t.Fatal("did not self-promote with no live primary")
+	}
+}
+
+func TestFollowerPassElectionLoserWaits(t *testing.T) {
+	// A peer follower with a longer durable log must win; we do nothing.
+	h := &testHooks{}
+	h.epoch.Store(4)
+	h.durable.Store(10)
+	h.contact.Store(int64(time.Hour))
+	faddr := statusServer(t, followerStatus("dead:1", 4, 99))
+	n := newTestNode(t, h, []Member{{ID: 1, Addr: "self"}, {ID: 2, Addr: faddr}})
+
+	n.followerPass()
+	if h.promoted.Load() != 0 || h.repointed.Load() != nil {
+		t.Fatalf("loser acted: promotions=%d", h.promoted.Load())
+	}
+	if n.Status().Promotions != 0 {
+		t.Fatal("status counted a promotion")
+	}
+}
+
+func TestFollowerPassElectionWinnerPromotes(t *testing.T) {
+	h := &testHooks{}
+	h.epoch.Store(4)
+	h.durable.Store(100)
+	h.contact.Store(int64(time.Hour))
+	faddr := statusServer(t, followerStatus("dead:1", 4, 99))
+	n := newTestNode(t, h, []Member{{ID: 1, Addr: "self"}, {ID: 2, Addr: faddr}})
+
+	n.followerPass()
+	if h.promoted.Load() != 1 {
+		t.Fatal("winner did not promote")
+	}
+}
+
+func TestFollowerPassLeaseValidNoProbes(t *testing.T) {
+	h := &testHooks{}
+	h.contact.Store(0) // fresh contact: lease held
+	// Unreachable peer address: if the pass probed, it would stall; mostly
+	// this asserts no transition happens while the lease is valid.
+	n := newTestNode(t, h, []Member{{ID: 1, Addr: "self"}, {ID: 2, Addr: "127.0.0.1:1"}})
+	n.followerPass()
+	if h.promoted.Load() != 0 || h.repointed.Load() != nil {
+		t.Fatal("acted while the lease was valid")
+	}
+}
+
+func TestPrimaryPassDemotesWhenFenced(t *testing.T) {
+	h := &testHooks{}
+	h.isPrimary.Store(true)
+	h.epoch.Store(3)
+	paddr := statusServer(t, primaryStatus(7, 500))
+	n := newTestNode(t, h, []Member{{ID: 1, Addr: "self"}, {ID: 2, Addr: paddr}})
+
+	n.primaryPass()
+	got := h.demotedTo.Load()
+	if got == nil || *got != paddr {
+		t.Fatalf("demote: %v", got)
+	}
+	if h.isPrimary.Load() {
+		t.Fatal("still primary after fencing")
+	}
+}
+
+func TestPrimaryPassKeepsRoleAgainstEqualOrLowerEpochs(t *testing.T) {
+	h := &testHooks{}
+	h.isPrimary.Store(true)
+	h.epoch.Store(7)
+	paddr := statusServer(t, primaryStatus(7, 500))
+	n := newTestNode(t, h, []Member{{ID: 1, Addr: "self"}, {ID: 2, Addr: paddr}})
+
+	n.primaryPass()
+	if h.demotedTo.Load() != nil {
+		t.Fatal("demoted by an equal-epoch peer")
+	}
+}
+
+func TestNodeStartStop(t *testing.T) {
+	h := &testHooks{}
+	h.isPrimary.Store(true)
+	cfg := h.config()
+	cfg.Self = 1
+	cfg.Members = []Member{{ID: 1, Addr: "self"}}
+	cfg.LeaseTimeout = 30 * time.Millisecond
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	time.Sleep(50 * time.Millisecond)
+	n.Stop()
+	n.Stop() // idempotent
+}

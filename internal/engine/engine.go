@@ -364,6 +364,12 @@ func (e *Engine) Log() wal.Log { return e.log }
 // TxnStats returns commit/abort counters.
 func (e *Engine) TxnStats() txn.Stats { return e.tm.Stats() }
 
+// AckWaitHistograms returns the commit acknowledgement wait distributions:
+// local group-commit fsync waits and extended replica/quorum-ack waits.
+func (e *Engine) AckWaitHistograms() (local, replica txn.AckWaitHist) {
+	return e.tm.AckWaitHistograms()
+}
+
 // ActiveTxns returns the number of in-flight transactions.  Checkpointing
 // requires a transactionally quiet system and uses this to check.
 func (e *Engine) ActiveTxns() int { return e.tm.NumActive() }

@@ -6,6 +6,11 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
+	"time"
+
+	"plp/internal/catalog"
 	"plp/internal/recovery"
 	"plp/internal/wal"
 )
@@ -30,6 +35,67 @@ func (e *Engine) ApplyReplicated(ops []recovery.Op) error {
 		return err
 	}
 	return applyErr
+}
+
+// ResetForSeed empties the engine for a snapshot re-seed: every table's
+// storage is recreated blank (same IDs, same live partition boundaries, so
+// routing tables stay valid), in-doubt 2PC state is dropped, and the durable
+// log restarts at start — the primary's oldest retained LSN.  The stream
+// that follows replays a complete checkpoint image plus the log tail, which
+// the ordinary applier path turns back into a faithful replica.
+//
+// The reset runs under quiesce and refuses while transactions are active
+// (a follower being re-seeded serves no writes, so only read-only sessions
+// can race; they drain within the retry window).  Structural logging is
+// suppressed throughout: the rebuilt trees' splits must not reach the local
+// log, which becomes a byte-identical prefix of the primary's.
+func (e *Engine) ResetForSeed(start wal.LSN) error {
+	d := e.DurableLog()
+	if d == nil {
+		return errors.New("engine: re-seed requires a durable log")
+	}
+	e.replaying.Store(true)
+	defer e.replaying.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var busy bool
+		var resetErr error
+		err := e.Quiesce(func() {
+			if e.tm.NumActive() > 0 {
+				busy = true
+				return
+			}
+			resetErr = e.cat.ResetStorage(catalog.Resources{
+				BufferPool:      e.bp,
+				Log:             e.treeLog,
+				CSStats:         e.csStats,
+				IndexLatched:    e.indexLatched(),
+				HeapMode:        e.heapMode(),
+				MaxSlotsPerNode: e.opts.MaxSlotsPerNode,
+			})
+			if resetErr != nil {
+				return
+			}
+			e.twopcMu.Lock()
+			e.inDoubt = nil
+			e.decided = nil
+			e.twopcMu.Unlock()
+		})
+		if err != nil {
+			return err
+		}
+		if resetErr != nil {
+			return resetErr
+		}
+		if !busy {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("engine: re-seed timed out waiting for %d active txns", e.tm.NumActive())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return d.ResetForSeed(start)
 }
 
 // SetCommitAckWaiter installs (or clears) the extended commit

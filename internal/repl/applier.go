@@ -16,13 +16,16 @@ import (
 // arrives.  Uncommitted transactions are never applied, so follower reads
 // only ever see transaction-consistent state.
 //
-// Records the stream carries that are not row modifications (checkpoints,
-// structure modifications, repartition markers, coordinator decide
-// records) are skipped: they describe the primary's physical organization,
-// and the follower rebuilds its own from the logical operations.  A
-// prepared branch (2PC participant on the primary) stays buffered until
-// its own commit or abort record arrives — the participant's decide
-// outcome always reaches the log as one of the two.
+// Checkpoint chunk records apply as idempotent upserts at their log
+// position: a no-op for an in-sync follower (its state already equals the
+// quiesced snapshot) and the snapshot itself for a follower being
+// re-seeded from the retained log prefix.  Other non-modification records
+// (SMO, repartition markers, coordinator decide records) are skipped: they
+// describe the primary's physical organization, and the follower rebuilds
+// its own from the logical operations.  A prepared branch (2PC participant
+// on the primary) stays buffered until its own commit or abort record
+// arrives — the participant's decide outcome always reaches the log as one
+// of the two.
 type Applier struct {
 	apply func(ops []recovery.Op) error
 
@@ -113,9 +116,40 @@ func (a *Applier) Feed(recs []wal.Record) error {
 			a.mu.Lock()
 			a.prepared[r.Txn] = string(r.Payload)
 			a.mu.Unlock()
+		case wal.RecCheckpoint:
+			// A checkpoint chunk is a snapshot of committed rows captured
+			// under quiesce at this log position — on an in-sync follower the
+			// follower's state already equals it, so the upserts are no-ops;
+			// on a (re-)seeding follower the chunks ARE the snapshot it is
+			// rebuilding from.  Applying them unconditionally at their log
+			// position keeps both cases on one code path and makes a
+			// restart in the middle of a re-seed resume correctly from the
+			// local durable horizon.  Meta/end markers carry no row data.
+			chunk, ok, err := logrec.DecodeCheckpointChunk(r.Payload)
+			if err != nil {
+				return fmt.Errorf("repl: checkpoint chunk at %d: %w", r.LSN, err)
+			}
+			if !ok {
+				a.mu.Lock()
+				a.skipped++
+				a.mu.Unlock()
+				continue
+			}
+			for i := range chunk.Keys {
+				batch = append(batch, recovery.Op{
+					LSN:  r.LSN,
+					Type: wal.RecInsert,
+					Mod: logrec.Modification{
+						Table: chunk.Table,
+						Index: chunk.Index,
+						Key:   chunk.Keys[i],
+						After: chunk.Values[i],
+					},
+				})
+			}
 		default:
-			// Checkpoint chunks/meta, SMO, repartition, decide: physical or
-			// coordinator-side records; nothing to apply.
+			// SMO, repartition, decide: physical or coordinator-side
+			// records; nothing to apply.
 			a.mu.Lock()
 			a.skipped++
 			a.mu.Unlock()
@@ -152,6 +186,7 @@ func (a *Applier) SetAppliedLSN(lsn wal.LSN) {
 	a.applied = lsn
 	a.mu.Unlock()
 }
+
 
 // Discard drops every pending (uncommitted) transaction buffer.  Promotion
 // calls it: an uncommitted transaction's fate now belongs to ordinary

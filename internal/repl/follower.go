@@ -2,6 +2,7 @@ package repl
 
 import (
 	"bufio"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -41,6 +42,14 @@ type FollowerOptions struct {
 	// Apply commits a replicated transaction's operations into the live
 	// engine (engine.ApplyReplicated).
 	Apply func(ops []recovery.Op) error
+	// Reseed, when set, discards the follower's local state — engine
+	// contents and the local log — and restarts the log at start, so an
+	// incoming SEED stream rebuilds the replica from scratch
+	// (engine.ResetForSeed).  A primary offering a seed to a follower
+	// without it is a hard error: the follower cannot follow that lineage.
+	Reseed func(start wal.LSN) error
+	// TLSConfig, when set, wraps the replication connection in TLS.
+	TLSConfig *tls.Config
 	// RetryInterval overrides the reconnect pacing (tests).
 	RetryInterval time.Duration
 	// Logf, when set, receives connection lifecycle messages.
@@ -62,11 +71,13 @@ type Follower struct {
 	done    chan struct{}
 	started atomic.Bool
 
-	connected atomic.Bool
-	refused   atomic.Bool
-	lastErr   atomic.Pointer[string]
-	batches   atomic.Uint64
-	records   atomic.Uint64
+	connected   atomic.Bool
+	refused     atomic.Bool
+	lastErr     atomic.Pointer[string]
+	batches     atomic.Uint64
+	records     atomic.Uint64
+	reseeds     atomic.Uint64
+	lastContact atomic.Int64 // unixnano of the last frame from the primary
 }
 
 // NewFollower builds a follower over an engine that has already completed
@@ -106,6 +117,41 @@ func NewFollower(o FollowerOptions) (*Follower, error) {
 // Epoch returns the follower's current replication epoch (0 until it first
 // adopts a primary's).
 func (f *Follower) Epoch() uint64 { return f.epoch.Load() }
+
+// PrimaryAddr returns the address currently being followed.
+func (f *Follower) PrimaryAddr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.o.Primary
+}
+
+// SetPrimary repoints the follower at a new primary address (failover
+// chasing a promotion).  Any live stream is severed so the next connect
+// attempt goes to the new address.
+func (f *Follower) SetPrimary(addr string) {
+	f.mu.Lock()
+	if f.o.Primary == addr {
+		f.mu.Unlock()
+		return
+	}
+	f.o.Primary = addr
+	conn := f.conn
+	f.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// SinceContact returns how long ago the last frame arrived from the
+// primary (a very large duration before first contact).  The cluster lease
+// monitor reads it: heartbeats refresh it even when no records flow.
+func (f *Follower) SinceContact() time.Duration {
+	at := f.lastContact.Load()
+	if at == 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	return time.Since(time.Unix(0, at))
+}
 
 // Start launches the replication loop.
 func (f *Follower) Start() {
@@ -160,7 +206,7 @@ func (f *Follower) run() {
 		f.connected.Store(false)
 		if err != nil {
 			f.setErr(err)
-			f.logf("repl: stream to %s: %v", f.o.Primary, err)
+			f.logf("repl: stream to %s: %v", f.PrimaryAddr(), err)
 		}
 		f.refused.Store(refused)
 		wait := f.o.RetryInterval
@@ -178,9 +224,23 @@ func (f *Follower) run() {
 // streamOnce runs one connect → subscribe → receive cycle.  refused=true
 // means the primary explicitly rejected the subscription (retry slowly).
 func (f *Follower) streamOnce() (refused bool, err error) {
-	conn, err := net.DialTimeout("tcp", f.o.Primary, dialTimeout)
+	primary := f.PrimaryAddr()
+	nc, err := net.DialTimeout("tcp", primary, dialTimeout)
 	if err != nil {
 		return false, err
+	}
+	var conn net.Conn = nc
+	if f.o.TLSConfig != nil {
+		cfg := f.o.TLSConfig
+		if cfg.ServerName == "" && !cfg.InsecureSkipVerify {
+			// The primary address changes across repoints; derive the
+			// verification name from wherever we are dialing now.
+			if host, _, herr := net.SplitHostPort(primary); herr == nil {
+				cfg = cfg.Clone()
+				cfg.ServerName = host
+			}
+		}
+		conn = tls.Client(nc, cfg)
 	}
 	f.mu.Lock()
 	select {
@@ -250,7 +310,15 @@ func (f *Follower) streamOnce() (refused bool, err error) {
 	if err != nil {
 		return false, fmt.Errorf("repl: subscribe ack: %w", err)
 	}
-	if cur := f.epoch.Load(); cur == 0 {
+	seeded := wire.ReplSubscribeAckSeeded(resp.Results[0].Value)
+	if seeded {
+		// The primary is replacing this node's history wholesale; the first
+		// stream frame (SEED-BEGIN) carries the new start.  Epoch adoption
+		// happens after the local reset succeeds.
+		if f.o.Reseed == nil {
+			return true, errors.New("repl: primary requires a re-seed but no reseed hook is configured")
+		}
+	} else if cur := f.epoch.Load(); cur == 0 {
 		f.epoch.Store(primaryEpoch)
 		if f.o.Dir != "" {
 			if werr := WriteEpoch(f.o.Dir, primaryEpoch); werr != nil {
@@ -261,12 +329,44 @@ func (f *Follower) streamOnce() (refused bool, err error) {
 		return true, fmt.Errorf("repl: primary epoch changed mid-lineage: have %d, got %d", cur, primaryEpoch)
 	}
 
+	if seeded {
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return false, err
+		}
+		fr, err := wire.DecodeFrameV3(payload)
+		if err != nil {
+			return false, err
+		}
+		if fr.Kind != wire.FrameReplSeedBegin {
+			return false, fmt.Errorf("repl: expected SEED-BEGIN, got frame kind %d", fr.Kind)
+		}
+		seedStart := wal.LSN(fr.SeedStart)
+		f.logf("repl: re-seeding from %s: restart at LSN %d, seed target %d (epoch %d)", primary, fr.SeedStart, fr.SeedTarget, primaryEpoch)
+		if err := f.o.Reseed(seedStart); err != nil {
+			return false, fmt.Errorf("repl: local reset for seed: %w", err)
+		}
+		f.applier.Discard()
+		f.applier.SetAppliedLSN(seedStart)
+		f.epoch.Store(primaryEpoch)
+		if f.o.Dir != "" {
+			if werr := WriteEpoch(f.o.Dir, primaryEpoch); werr != nil {
+				return false, fmt.Errorf("repl: persisting seeded epoch: %w", werr)
+			}
+		}
+		f.reseeds.Add(1)
+		start = seedStart
+	}
+
 	_ = conn.SetDeadline(time.Time{})
 	f.connected.Store(true)
 	f.setErr(nil)
-	f.logf("repl: following %s from LSN %d (epoch %d)", f.o.Primary, start, primaryEpoch)
+	f.lastContact.Store(time.Now().UnixNano())
+	f.logf("repl: following %s from LSN %d (epoch %d)", primary, start, f.epoch.Load())
 
-	// Receive loop: persist, apply, ack.
+	// Receive loop: persist, apply, ack.  Heartbeats and SEED-END markers
+	// are acked too — the ack doubles as the lease refresh on the primary's
+	// side of the connection.
 	var ackSeq uint64
 	for {
 		payload, err := wire.ReadFrame(br)
@@ -277,26 +377,34 @@ func (f *Follower) streamOnce() (refused bool, err error) {
 		if err != nil {
 			return false, err
 		}
-		if fr.Kind != wire.FrameReplRecords {
+		f.lastContact.Store(time.Now().UnixNano())
+		switch fr.Kind {
+		case wire.FrameReplRecords:
+			recs := make([]wal.Record, 0, len(fr.ReplRecords))
+			for _, blob := range fr.ReplRecords {
+				rec, err := wal.UnmarshalRecord(blob)
+				if err != nil {
+					return false, fmt.Errorf("repl: corrupt shipped record: %w", err)
+				}
+				recs = append(recs, rec)
+			}
+			if err := f.o.Log.AppendShipped(recs); err != nil {
+				return false, err
+			}
+			f.o.Log.Flush(f.o.Log.CurrentLSN())
+			if err := f.applier.Feed(recs); err != nil {
+				return false, err
+			}
+			f.batches.Add(1)
+			f.records.Add(uint64(len(recs)))
+		case wire.FrameReplHeartbeat:
+			// Nothing to persist; fall through to the ack, which refreshes
+			// the primary's view of this follower.
+		case wire.FrameReplSeedEnd:
+			f.logf("repl: seed from %s complete at LSN %d", primary, f.o.Log.DurableLSN())
+		default:
 			return false, fmt.Errorf("repl: unexpected frame kind %d on stream", fr.Kind)
 		}
-		recs := make([]wal.Record, 0, len(fr.ReplRecords))
-		for _, blob := range fr.ReplRecords {
-			rec, err := wal.UnmarshalRecord(blob)
-			if err != nil {
-				return false, fmt.Errorf("repl: corrupt shipped record: %w", err)
-			}
-			recs = append(recs, rec)
-		}
-		if err := f.o.Log.AppendShipped(recs); err != nil {
-			return false, err
-		}
-		f.o.Log.Flush(f.o.Log.CurrentLSN())
-		if err := f.applier.Feed(recs); err != nil {
-			return false, err
-		}
-		f.batches.Add(1)
-		f.records.Add(uint64(len(recs)))
 		ackSeq++
 		ackPayload := wire.EncodeReplAck(ackSeq, uint64(f.applier.AppliedLSN()), uint64(f.o.Log.DurableLSN()))
 		if err := wire.WriteFrame(conn, ackPayload); err != nil {
@@ -333,20 +441,29 @@ type FollowerNodeStatus struct {
 	DurableLSN uint64
 	Batches    uint64
 	Records    uint64
-	Applier    ApplierStatus
+	Reseeds    uint64
+	// SinceContactMS is the time since the last frame from the primary, in
+	// milliseconds (-1 before first contact).
+	SinceContactMS int64
+	Applier        ApplierStatus
 }
 
 // Status returns a snapshot of follower progress.
 func (f *Follower) Status() FollowerNodeStatus {
 	st := FollowerNodeStatus{
-		Primary:    f.o.Primary,
-		Epoch:      f.epoch.Load(),
-		Connected:  f.connected.Load(),
-		Refused:    f.refused.Load(),
-		DurableLSN: uint64(f.o.Log.DurableLSN()),
-		Batches:    f.batches.Load(),
-		Records:    f.records.Load(),
-		Applier:    f.applier.Status(),
+		Primary:        f.PrimaryAddr(),
+		Epoch:          f.epoch.Load(),
+		Connected:      f.connected.Load(),
+		Refused:        f.refused.Load(),
+		DurableLSN:     uint64(f.o.Log.DurableLSN()),
+		Batches:        f.batches.Load(),
+		Records:        f.records.Load(),
+		Reseeds:        f.reseeds.Load(),
+		SinceContactMS: -1,
+		Applier:        f.applier.Status(),
+	}
+	if f.lastContact.Load() != 0 {
+		st.SinceContactMS = f.SinceContact().Milliseconds()
 	}
 	if msg := f.lastErr.Load(); msg != nil {
 		st.LastError = *msg

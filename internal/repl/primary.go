@@ -31,7 +31,7 @@ var ErrSubscriptionClosed = fmt.Errorf("repl: subscription closed")
 
 // ErrNoFollower is wrapped by WaitReplicated timeouts.  The commit it
 // reports on IS durable locally — only its replication is unconfirmed.
-var ErrNoFollower = fmt.Errorf("repl: commit not acknowledged by any follower")
+var ErrNoFollower = fmt.Errorf("repl: commit not acknowledged by enough followers")
 
 // Primary is the primary-side replication hub: it tracks subscribed
 // followers, hands each one a cursor over the durable log, and implements
@@ -42,11 +42,18 @@ type Primary struct {
 	batchBytes int
 	ackTimeout time.Duration
 
-	mu       sync.Mutex
-	cond     *sync.Cond // broadcast whenever any follower's ack advances
-	subs     map[int]*Subscription
-	seq      int
-	maxAcked uint64 // highest durable LSN acked by any follower, monotonic
+	mu     sync.Mutex
+	cond   *sync.Cond // broadcast whenever any follower's ack advances
+	subs   map[int]*Subscription
+	seq    int
+	quorum int // k in k-of-n replica acks (distinct subscribers)
+	// maxAcked is the highest durable LSN acked by any follower;
+	// quorumAcked is the highest LSN acked by ≥ quorum distinct
+	// subscribers.  Both are monotonic: a departing follower never takes
+	// back an acknowledgement it already gave, so guarantees reported to
+	// committers cannot regress when the population shrinks.
+	maxAcked    uint64
+	quorumAcked uint64
 
 	ackWaits    atomic.Uint64
 	ackTimeouts atomic.Uint64
@@ -62,6 +69,7 @@ func NewPrimary(log *wal.Durable, epoch uint64) *Primary {
 		epoch:      epoch,
 		batchBytes: DefaultBatchBytes,
 		ackTimeout: DefaultAckTimeout,
+		quorum:     1,
 		subs:       make(map[int]*Subscription),
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -77,6 +85,26 @@ func (p *Primary) DurableLSN() wal.LSN { return p.log.DurableLSN() }
 // SetAckTimeout overrides the replica-ack wait bound (testing and tuning).
 func (p *Primary) SetAckTimeout(d time.Duration) { p.ackTimeout = d }
 
+// SetAckQuorum sets k for k-of-n replica-acked commit: WaitReplicated
+// returns once k distinct subscribers have a commit durable.  k < 1 is
+// clamped to 1 (the PR 7 any-one-follower behaviour).
+func (p *Primary) SetAckQuorum(k int) {
+	if k < 1 {
+		k = 1
+	}
+	p.mu.Lock()
+	p.quorum = k
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// AckQuorum returns the configured k.
+func (p *Primary) AckQuorum() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quorum
+}
+
 // Subscription is one follower's stream state: a cursor over the primary's
 // log, a retention pin that trails the follower's acks, and the follower's
 // reported progress.
@@ -89,9 +117,22 @@ type Subscription struct {
 	cursor wal.LSN // next LSN to ship (streamer goroutine only)
 	pin    int
 
+	// seed marks a subscription accepted via re-seed: the stream restarts
+	// at seedStart (the oldest retained LSN) and every record below
+	// seedTarget belongs to the seed phase.
+	seed       bool
+	seedStart  wal.LSN
+	seedTarget wal.LSN
+
 	acked   atomic.Uint64 // follower's durable LSN
 	applied atomic.Uint64 // follower's applied LSN
 	closed  atomic.Bool
+}
+
+// Seeding reports whether this subscription re-seeds the follower, and the
+// seed phase bounds when it does.
+func (s *Subscription) Seeding() (start, target wal.LSN, ok bool) {
+	return s.seedStart, s.seedTarget, s.seed
 }
 
 // Subscribe validates and registers a follower.  start is the LSN the
@@ -111,7 +152,37 @@ func (p *Primary) Subscribe(start wal.LSN, followerEpoch uint64, remote string) 
 		return nil, fmt.Errorf("%s: start LSN %d precedes oldest retained %d; re-seed required",
 			wire.ReplRefusedPrefix, start, oldest)
 	}
+	return p.register(start, remote, false), nil
+}
+
+// SubscribeOrSeed registers a follower like Subscribe, but converts every
+// refusal Subscribe would issue — stale epoch lineage, diverged (ahead)
+// log, or a start LSN older than the retained prefix — into a seed
+// subscription: the stream restarts at the oldest retained LSN, the
+// records up to the durable horizon captured here form the seed phase, and
+// the follower is expected to discard its local state before applying
+// them.  Sequential replay of the retained prefix always reconstructs a
+// faithful replica because truncation only ever advances to a checkpoint's
+// BeginLSN: the prefix starts with a complete checkpoint image, and the
+// log records after it replay in causal order.
+func (p *Primary) SubscribeOrSeed(start wal.LSN, followerEpoch uint64, remote string) (*Subscription, error) {
+	if s, err := p.Subscribe(start, followerEpoch, remote); err == nil {
+		return s, nil
+	}
+	return p.register(p.log.OldestLSN(), remote, true), nil
+}
+
+// register builds and registers a subscription starting (and pinned) at
+// start.  Seed subscriptions capture the durable horizon as the seed
+// target; a target at or below start (empty retained log) means the seed
+// phase is empty and SEED-END follows SEED-BEGIN immediately.
+func (p *Primary) register(start wal.LSN, remote string, seed bool) *Subscription {
 	s := &Subscription{p: p, remote: remote, since: time.Now(), start: start, cursor: start}
+	if seed {
+		s.seed = true
+		s.seedStart = start
+		s.seedTarget = p.log.DurableLSN()
+	}
 	s.acked.Store(uint64(start))
 	s.applied.Store(uint64(start))
 	s.pin = p.log.Pin(start)
@@ -120,7 +191,7 @@ func (p *Primary) Subscribe(start wal.LSN, followerEpoch uint64, remote string) 
 	s.id = p.seq
 	p.subs[s.id] = s
 	p.mu.Unlock()
-	return s, nil
+	return s
 }
 
 // Next blocks until at least one durable record past the cursor exists,
@@ -174,7 +245,8 @@ func (s *Subscription) Next(stop <-chan struct{}) ([]wal.Record, error) {
 }
 
 // UpdateAck records the follower's progress report, advances its retention
-// pin, and wakes replica-acked committers.
+// pin, recomputes the quorum watermark, and wakes replica-acked
+// committers.
 func (s *Subscription) UpdateAck(applied, durable uint64) {
 	s.applied.Store(applied)
 	s.acked.Store(durable)
@@ -184,8 +256,41 @@ func (s *Subscription) UpdateAck(applied, durable uint64) {
 	if durable > p.maxAcked {
 		p.maxAcked = durable
 	}
+	// Quorum watermark: the k-th highest durable LSN among live
+	// subscribers.  Only ever raised — a follower that later disappears
+	// does not retract the stable copies it reported, so commits already
+	// acknowledged at quorum stay acknowledged.
+	if q := p.kthAckedLocked(); q > p.quorumAcked {
+		p.quorumAcked = q
+	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
+}
+
+// kthAckedLocked returns the quorum-th highest acked LSN among the live
+// subscriptions (0 when fewer than quorum subscribers exist).  Caller
+// holds p.mu.
+func (p *Primary) kthAckedLocked() uint64 {
+	if len(p.subs) < p.quorum {
+		return 0
+	}
+	acked := make([]uint64, 0, len(p.subs))
+	for _, s := range p.subs {
+		acked = append(acked, s.acked.Load())
+	}
+	// Selection by repeated max is fine: follower counts are single-digit.
+	var kth uint64
+	for i := 0; i < p.quorum; i++ {
+		hi, at := uint64(0), 0
+		for j, a := range acked {
+			if a >= hi {
+				hi, at = a, j
+			}
+		}
+		kth = hi
+		acked = append(acked[:at], acked[at+1:]...)
+	}
+	return kth
 }
 
 // Close deregisters the subscription and releases its retention pin.  Safe
@@ -202,10 +307,10 @@ func (s *Subscription) Close() {
 	s.p.mu.Unlock()
 }
 
-// WaitReplicated blocks until at least one follower's durable LSN covers
-// the record appended at lsn, or the ack timeout elapses.  It is the
-// replica-acked commit hook installed on txn.Manager: a nil return means
-// the commit record is on stable storage on ≥ 1 follower.
+// WaitReplicated blocks until the configured quorum of distinct followers
+// have the record appended at lsn on stable storage, or the ack timeout
+// elapses.  It is the replica-acked commit hook installed on txn.Manager:
+// a nil return means the commit record is durable on ≥ quorum followers.
 func (p *Primary) WaitReplicated(lsn wal.LSN) error {
 	p.ackWaits.Add(1)
 	begin := time.Now()
@@ -218,11 +323,12 @@ func (p *Primary) WaitReplicated(lsn wal.LSN) error {
 	defer timer.Stop()
 
 	p.mu.Lock()
-	for p.maxAcked <= uint64(lsn) {
+	for p.quorumAcked <= uint64(lsn) {
 		if time.Now().After(deadline) {
+			quorum := p.quorum
 			p.mu.Unlock()
 			p.ackTimeouts.Add(1)
-			return fmt.Errorf("%w within %v (commit IS durable locally; replication unconfirmed)", ErrNoFollower, p.ackTimeout)
+			return fmt.Errorf("%w: quorum %d not reached within %v (commit IS durable locally; replication unconfirmed)", ErrNoFollower, quorum, p.ackTimeout)
 		}
 		p.cond.Wait()
 	}
@@ -249,6 +355,8 @@ type FollowerStatus struct {
 	AckedLSN   uint64
 	LagBytes   uint64
 	LagRecords int
+	// Seeding reports a subscriber still inside its snapshot re-seed phase.
+	Seeding bool
 }
 
 // PrimaryStatus is the hub snapshot feeding expvar and `plpctl repl
@@ -257,6 +365,8 @@ type PrimaryStatus struct {
 	Epoch       uint64
 	DurableLSN  uint64
 	OldestLSN   uint64
+	AckQuorum   int
+	QuorumAcked uint64
 	Followers   []FollowerStatus
 	AckWaits    uint64
 	AckTimeouts uint64
@@ -276,6 +386,8 @@ func (p *Primary) Status() PrimaryStatus {
 		AckTimeouts: p.ackTimeouts.Load(),
 	}
 	p.mu.Lock()
+	st.AckQuorum = p.quorum
+	st.QuorumAcked = p.quorumAcked
 	for _, s := range p.subs {
 		acked := s.acked.Load()
 		f := FollowerStatus{
@@ -285,6 +397,7 @@ func (p *Primary) Status() PrimaryStatus {
 			StartLSN:   uint64(s.start),
 			AppliedLSN: s.applied.Load(),
 			AckedLSN:   acked,
+			Seeding:    s.seed && wal.LSN(s.applied.Load()) < s.seedTarget,
 		}
 		if durable > acked {
 			f.LagBytes = durable - acked

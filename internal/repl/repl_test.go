@@ -178,6 +178,63 @@ func TestWaitReplicated(t *testing.T) {
 	}
 }
 
+func TestWaitReplicatedQuorum(t *testing.T) {
+	log := newLog(t)
+	lsn := appendTxn(t, log, 1, "a", "1")
+	p := NewPrimary(log, 1)
+	p.SetAckQuorum(2)
+	p.SetAckTimeout(100 * time.Millisecond)
+
+	s1, err := p.Subscribe(1, 0, "f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s1.UpdateAck(uint64(log.DurableLSN()), uint64(log.DurableLSN()))
+
+	// One fully-acked follower cannot satisfy k=2.
+	if err := p.WaitReplicated(lsn); !errors.Is(err, ErrNoFollower) {
+		t.Fatalf("k=2 wait with one follower: err=%v", err)
+	}
+
+	// A second subscriber that has not acked past the commit still leaves
+	// the quorum watermark below it.
+	s2, err := p.Subscribe(1, 0, "f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WaitReplicated(lsn); !errors.Is(err, ErrNoFollower) {
+		t.Fatalf("k=2 wait with one lagging follower: err=%v", err)
+	}
+
+	p.SetAckTimeout(2 * time.Second)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var waitErr error
+	go func() {
+		defer wg.Done()
+		waitErr = p.WaitReplicated(lsn)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s2.UpdateAck(uint64(log.DurableLSN()), uint64(log.DurableLSN()))
+	wg.Wait()
+	if waitErr != nil {
+		t.Fatalf("k=2 wait with both acked: %v", waitErr)
+	}
+
+	st := p.Status()
+	if st.AckQuorum != 2 || st.QuorumAcked <= uint64(lsn) {
+		t.Fatalf("status after quorum ack: %+v", st)
+	}
+
+	// The watermark is monotonic: a departing follower never retracts an
+	// acknowledgement already given.
+	s2.Close()
+	if err := p.WaitReplicated(lsn); err != nil {
+		t.Fatalf("wait after acked follower left: %v", err)
+	}
+}
+
 func mod(key, value string) logrec.Modification {
 	return logrec.Modification{Table: "kv", Key: []byte(key), After: []byte(value)}
 }

@@ -19,21 +19,27 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
 
 	"plp/client"
 	"plp/internal/catalog"
+	"plp/internal/cluster"
 	"plp/internal/engine"
 	"plp/internal/keyenc"
+	"plp/internal/recovery"
 	"plp/internal/repl"
 	"plp/shard"
 	"plp/wire"
@@ -49,15 +55,28 @@ const (
 	crashEnvPeer  = "PLP_CRASH_SHARD_PEER"
 	crashEnvPoint = "PLP_CRASH_POINT"
 	// crashEnvRepl selects a replication child: "primary" runs a
-	// replica-acked primary, "follow=<addr>" runs a promotable follower.
+	// replica-acked primary, "primary-local" a primary with local-fsync
+	// commits, "follow=<addr>" a promotable follower, and "cluster" a full
+	// auto-failover node configured by the crashEnvNode/Members/Follow/Map
+	// variables below.
 	crashEnvRepl = "PLP_CRASH_REPL"
+	// Cluster-child configuration: the fixed listen address, this member's
+	// ID, the comma-separated id@addr membership, the initial primary to
+	// follow (empty starts as primary), and the encoded shard map to serve.
+	crashEnvAddr    = "PLP_CRASH_ADDR"
+	crashEnvNode    = "PLP_CRASH_NODE"
+	crashEnvMembers = "PLP_CRASH_MEMBERS"
+	crashEnvFollow  = "PLP_CRASH_FOLLOW"
+	crashEnvMap     = "PLP_CRASH_SHARD_MAP"
 )
 
 func TestMain(m *testing.M) {
 	if dir := os.Getenv(crashEnvDir); dir != "" {
 		if peer := os.Getenv(crashEnvPeer); peer != "" {
 			runShardCoordServer(dir, peer, os.Getenv(crashEnvPoint))
-		} else if mode := os.Getenv(crashEnvRepl); mode != "" {
+		} else if mode := os.Getenv(crashEnvRepl); mode == "cluster" {
+			runClusterChild(dir)
+		} else if mode != "" {
 			runReplChild(dir, mode)
 		} else {
 			runCrashServer(dir)
@@ -162,18 +181,22 @@ func runReplChild(dir, mode string) {
 		os.Exit(1)
 	}
 	srv := New(e)
+	var curP *repl.Primary
+	var curF *repl.Follower
 	if target, ok := strings.CutPrefix(mode, "follow="); ok {
 		f, err := repl.NewFollower(repl.FollowerOptions{
 			Primary:       target,
 			Dir:           dir,
 			Log:           e.DurableLog(),
 			Apply:         e.ApplyReplicated,
+			Reseed:        e.ResetForSeed,
 			RetryInterval: 50 * time.Millisecond,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "repl child: follower: %v\n", err)
 			os.Exit(1)
 		}
+		curF = f
 		srv.SetFollowerMode(true)
 		srv.SetPromoteHandler(func() (string, error) {
 			epoch, err := f.Promote()
@@ -201,14 +224,274 @@ func runReplChild(dir, mode string) {
 		p := repl.NewPrimary(e.DurableLog(), epoch)
 		p.SetAckTimeout(15 * time.Second) // cover the follower child's startup
 		srv.SetReplPrimary(p)
-		e.SetCommitAckWaiter(p.WaitReplicated)
+		curP = p
+		if mode != "primary-local" {
+			e.SetCommitAckWaiter(p.WaitReplicated)
+		}
+		// On-demand checkpoint with truncation, so tests can shrink the
+		// retained log prefix and force snapshot re-seeds.
+		srv.SetCheckpointHandler(func() (string, error) {
+			var st recovery.CheckpointStats
+			var err error
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				st, err = e.Checkpoint()
+				if !errors.Is(err, recovery.ErrActiveTxns) || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if err != nil {
+				return "", err
+			}
+			dropped := e.Log().Truncate(st.BeginLSN)
+			return fmt.Sprintf("checkpoint: %d log records reclaimed\n", dropped), nil
+		})
 	}
+	srv.SetReplStatusHandler(func() (string, error) {
+		st := struct {
+			Role     string
+			Primary  *repl.PrimaryStatus      `json:",omitempty"`
+			Follower *repl.FollowerNodeStatus `json:",omitempty"`
+		}{Role: "primary"}
+		if curF != nil {
+			st.Role = "follower"
+			fs := curF.Status()
+			st.Follower = &fs
+		} else if curP != nil {
+			ps := curP.Status()
+			st.Primary = &ps
+		}
+		buf, err := json.Marshal(st)
+		if err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "repl child: listen: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("CRASHSRV_ADDR %s\n", addr)
+	_ = srv.Serve()
+}
+
+// runClusterChild is the auto-failover child: the in-process equivalent of
+// `plpd -data-dir dir -cluster ... -node-id N [-follow addr] -shard-map m`.
+// It wires the same dynamic role transitions plpd wires — a promote that
+// re-homes the shard map onto this node, a demote that tears the primary
+// role down and subscribes (re-seeding if diverged) — and runs a
+// cluster.Node over them, so a SIGKILLed primary is replaced with no
+// operator involvement.
+func runClusterChild(dir string) {
+	listenAddr := os.Getenv(crashEnvAddr)
+	selfID, err := strconv.Atoi(os.Getenv(crashEnvNode))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster child: node id: %v\n", err)
+		os.Exit(1)
+	}
+	var members []cluster.Member
+	for _, part := range strings.Split(os.Getenv(crashEnvMembers), ",") {
+		idStr, maddr, ok := strings.Cut(part, "@")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cluster child: bad member %q\n", part)
+			os.Exit(1)
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster child: bad member id %q\n", idStr)
+			os.Exit(1)
+		}
+		members = append(members, cluster.Member{ID: id, Addr: maddr})
+	}
+	follow := os.Getenv(crashEnvFollow)
+
+	e, err := engine.Open(engine.Options{Design: engine.PLPLeaf, Partitions: 4, DataDir: dir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster child: open: %v\n", err)
+		os.Exit(1)
+	}
+	boundaries := [][]byte{keyenc.Uint64Key(250_000), keyenc.Uint64Key(500_000), keyenc.Uint64Key(750_000)}
+	if _, err := e.CreateTable(catalog.TableDef{Name: "kv", Boundaries: boundaries}); err != nil {
+		fmt.Fprintf(os.Stderr, "cluster child: create table: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := e.Recover(); err != nil {
+		fmt.Fprintf(os.Stderr, "cluster child: recover: %v\n", err)
+		os.Exit(1)
+	}
+	srv := New(e)
+	srv.ReplHeartbeat = 200 * time.Millisecond
+
+	var roleMu sync.Mutex
+	var curPrimary atomic.Pointer[repl.Primary]
+	var curFollower atomic.Pointer[repl.Follower]
+	installPrimary := func(epoch uint64) {
+		p := repl.NewPrimary(e.DurableLog(), epoch)
+		p.SetAckTimeout(5 * time.Second)
+		curPrimary.Store(p)
+		srv.SetReplPrimary(p)
+		e.SetCommitAckWaiter(p.WaitReplicated)
+	}
+	newFollower := func(primaryAddr string) (*repl.Follower, error) {
+		return repl.NewFollower(repl.FollowerOptions{
+			Primary:       primaryAddr,
+			Dir:           dir,
+			Log:           e.DurableLog(),
+			Apply:         e.ApplyReplicated,
+			Reseed:        e.ResetForSeed,
+			RetryInterval: 50 * time.Millisecond,
+		})
+	}
+	promote := func() error {
+		roleMu.Lock()
+		defer roleMu.Unlock()
+		f := curFollower.Load()
+		if f == nil {
+			return errors.New("promote: not a follower")
+		}
+		epoch, err := f.Promote()
+		if err != nil {
+			return err
+		}
+		curFollower.Store(nil)
+		installPrimary(epoch)
+		srv.SetFollowerMode(false)
+		if m := srv.ShardMap(); m != nil {
+			nm := m.Clone()
+			if err := nm.Promote(0, listenAddr); err == nil {
+				_ = srv.UpdateShardMap(nm)
+			}
+		}
+		fmt.Printf("cluster child %d: promoted at epoch %d\n", selfID, epoch)
+		return nil
+	}
+	demote := func(primaryAddr string) error {
+		roleMu.Lock()
+		defer roleMu.Unlock()
+		if curFollower.Load() != nil {
+			return nil
+		}
+		srv.SetFollowerMode(true)
+		e.SetCommitAckWaiter(nil)
+		srv.SetReplPrimary(nil)
+		curPrimary.Store(nil)
+		f, err := newFollower(primaryAddr)
+		if err != nil {
+			return err
+		}
+		curFollower.Store(f)
+		f.Start()
+		fmt.Printf("cluster child %d: demoted to follower of %s\n", selfID, primaryAddr)
+		return nil
+	}
+	if follow == "" {
+		epoch, ok, err := repl.ReadEpoch(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster child: epoch: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			epoch = 1
+			if err := repl.WriteEpoch(dir, epoch); err != nil {
+				fmt.Fprintf(os.Stderr, "cluster child: epoch: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		installPrimary(epoch)
+	} else {
+		f, err := newFollower(follow)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster child: follower: %v\n", err)
+			os.Exit(1)
+		}
+		curFollower.Store(f)
+		srv.SetFollowerMode(true)
+		f.Start()
+	}
+	srv.SetPromoteHandler(func() (string, error) {
+		if err := promote(); err != nil {
+			return "", err
+		}
+		return "promoted\n", nil
+	})
+	srv.SetReplStatusHandler(func() (string, error) {
+		st := struct {
+			Role     string
+			Primary  *repl.PrimaryStatus      `json:",omitempty"`
+			Follower *repl.FollowerNodeStatus `json:",omitempty"`
+		}{Role: "primary"}
+		if f := curFollower.Load(); srv.FollowerMode() && f != nil {
+			st.Role = "follower"
+			fs := f.Status()
+			st.Follower = &fs
+		} else if p := curPrimary.Load(); p != nil {
+			ps := p.Status()
+			st.Primary = &ps
+		}
+		buf, err := json.Marshal(st)
+		if err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	})
+	if mapText := os.Getenv(crashEnvMap); mapText != "" {
+		m, err := shard.Parse([]byte(mapText))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster child: shard map: %v\n", err)
+			os.Exit(1)
+		}
+		if err := srv.SetShardConfig(m, 0, "", 0); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster child: shard config: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	cn, err := cluster.New(cluster.Config{
+		Self:          selfID,
+		Members:       members,
+		LeaseTimeout:  time.Second,
+		ProbeInterval: 250 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(fmt.Sprintf("cluster child %d: ", selfID)+format+"\n", args...)
+		},
+		IsPrimary: func() bool { return !srv.FollowerMode() },
+		Epoch: func() uint64 {
+			if f := curFollower.Load(); f != nil {
+				return f.Epoch()
+			}
+			if p := curPrimary.Load(); p != nil {
+				return p.Epoch()
+			}
+			return 0
+		},
+		DurableLSN: func() uint64 { return uint64(e.DurableLog().DurableLSN()) },
+		SinceContact: func() time.Duration {
+			if f := curFollower.Load(); f != nil {
+				return f.SinceContact()
+			}
+			return 0
+		},
+		Promote: promote,
+		Repoint: func(addr string) {
+			if f := curFollower.Load(); f != nil {
+				f.SetPrimary(addr)
+			}
+		},
+		Demote: demote,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster child: cluster: %v\n", err)
+		os.Exit(1)
+	}
+	cn.Start()
+
+	bound, err := srv.Listen(listenAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster child: listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("CRASHSRV_ADDR %s\n", bound)
 	_ = srv.Serve()
 }
 
@@ -660,8 +943,11 @@ func TestReplFailoverSIGKILL(t *testing.T) {
 		t.Fatalf("post-promote write: %v", err)
 	}
 
-	// (d) The dead primary's lineage is fenced: a subscriber presenting the
-	// old epoch is refused by the promoted node's incarnation check.
+	// (d) The dead primary's lineage is fenced but not stranded: a
+	// subscriber presenting the old epoch is accepted as a SEED
+	// subscription — the promoted node streams a snapshot plus tail under
+	// its own epoch instead of refusing, which is how a revived old
+	// primary rejoins as a follower.
 	staleEpoch, ok, err := repl.ReadEpoch(pdir)
 	if err != nil || !ok {
 		t.Fatalf("old primary's epoch: %v ok=%v", err, ok)
@@ -689,9 +975,437 @@ func TestReplFailoverSIGKILL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !wire.IsReplRefused(resp.Err) || !strings.Contains(resp.Err, "epoch") {
-		t.Fatalf("stale-lineage subscribe was not refused: %q", resp.Err)
+	if resp.Err != "" || len(resp.Results) != 1 {
+		t.Fatalf("stale-lineage subscribe was not seed-accepted: %+v", resp)
+	}
+	if !wire.ReplSubscribeAckSeeded(resp.Results[0].Value) {
+		t.Fatalf("stale-lineage subscribe accepted without the seed marker")
+	}
+	newEpoch, _, err := wire.DecodeReplSubscribeAck(resp.Results[0].Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newEpoch == staleEpoch {
+		t.Fatalf("seed ack still carries the fenced epoch %d", staleEpoch)
 	}
 	t.Logf("failover test: %d acked singles, %d pairs sent, %d survivors, %d acked pairs, %d torn",
 		acked, sent, survivors, len(ackedPairs), torn)
+}
+
+// reservePorts grabs n distinct loopback addresses and releases them, so a
+// cluster's membership can be fixed before any member starts.  The usual
+// bind-after-close race is harmless here: nothing else on the host races
+// for the ports during the test.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+// replProbe is the slice of the repl-child "repl status" JSON the parent
+// tests read; field names mirror repl.PrimaryStatus / FollowerNodeStatus.
+type replProbe struct {
+	Role    string
+	Primary *struct {
+		Epoch      uint64
+		DurableLSN uint64
+		OldestLSN  uint64
+		Followers  []struct {
+			AppliedLSN uint64
+			AckedLSN   uint64
+			Seeding    bool
+		}
+	}
+	Follower *struct {
+		Primary    string
+		Epoch      uint64
+		Connected  bool
+		DurableLSN uint64
+		Reseeds    uint64
+		Applier    struct {
+			AppliedLSN uint64
+		}
+	}
+}
+
+// probeRepl fetches one node's replication status over a fresh connection
+// (the node under test may have been restarted since the last probe).
+func probeRepl(addr string) (*replProbe, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c, err := client.DialContext(ctx, addr, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	out, err := c.ControlContext(ctx, "repl status", "")
+	if err != nil {
+		return nil, err
+	}
+	var st replProbe
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// waitProbe polls a node's replication status until cond holds.
+func waitProbe(t *testing.T, what, addr string, timeout time.Duration, cond func(*replProbe) bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if st, err := probeRepl(addr); err == nil && cond(st) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s on %s", what, addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// primaryDurable samples a primary's durable LSN, the catch-up target for
+// its followers once writes stop.
+func primaryDurable(t *testing.T, addr string) uint64 {
+	t.Helper()
+	st, err := probeRepl(addr)
+	if err != nil || st.Primary == nil {
+		t.Fatalf("primary status on %s: %v (%+v)", addr, err, st)
+	}
+	return st.Primary.DurableLSN
+}
+
+// caughtUpTo builds a waitProbe condition: the follower is connected and
+// both its durable log and its applier have reached the target LSN.
+func caughtUpTo(target uint64) func(*replProbe) bool {
+	return func(st *replProbe) bool {
+		return st.Follower != nil && st.Follower.Connected &&
+			st.Follower.DurableLSN >= target && st.Follower.Applier.AppliedLSN >= target
+	}
+}
+
+// scanDigest streams a node's entire kv table and folds every key and value
+// into one hash, so replicas can be compared for byte-identical readable
+// state without holding the data set in memory.
+func scanDigest(t *testing.T, addr string) (int, uint64) {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.ScanStream(context.Background(), "kv", nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	h := fnv.New64a()
+	n := 0
+	for st.Next() {
+		e := st.Entry()
+		_, _ = h.Write(e.Key)
+		_, _ = h.Write(e.Value)
+		n++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return n, h.Sum64()
+}
+
+// TestReplClusterAutoFailoverSIGKILL is the zero-intervention failover
+// test: a three-node cluster loses its primary to SIGKILL and recovers
+// with NO operator action — no `plpctl promote`, no shard-map edit.  The
+// surviving followers detect the expired lease, elect the best candidate,
+// self-promote through epoch fencing, re-home the shard map, and the
+// sharded client follows the promotion on its own.  The revived old
+// primary demotes itself and re-seeds from the new lineage.
+func TestReplClusterAutoFailoverSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-kill integration test in short mode")
+	}
+	addrs := reservePorts(t, 3)
+	a1, a2, a3 := addrs[0], addrs[1], addrs[2]
+	membership := fmt.Sprintf("1@%s,2@%s,3@%s", a1, a2, a3)
+	initMap := &shard.Map{Version: 1, Shards: []shard.Shard{{
+		ID: 0, Addr: a1,
+		Replicas: []shard.Replica{{ID: 2, Addr: a2}, {ID: 3, Addr: a3}},
+	}}}
+	mapText := string(initMap.Encode())
+	env := func(id int, addr, follow string) []string {
+		return []string{
+			crashEnvRepl + "=cluster",
+			crashEnvAddr + "=" + addr,
+			crashEnvNode + "=" + strconv.Itoa(id),
+			crashEnvMembers + "=" + membership,
+			crashEnvFollow + "=" + follow,
+			crashEnvMap + "=" + mapText,
+		}
+	}
+	reap := func(cmd *exec.Cmd) func() {
+		return func() {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}
+	d1, d2, d3 := t.TempDir(), t.TempDir(), t.TempDir()
+	cmd1, _ := startCrashServer(t, d1, env(1, a1, "")...)
+	cmd2, _ := startCrashServer(t, d2, env(2, a2, a1)...)
+	cmd3, _ := startCrashServer(t, d3, env(3, a3, a1)...)
+	t.Cleanup(reap(cmd2))
+	t.Cleanup(reap(cmd3))
+
+	waitProbe(t, "both followers subscribed", a1, 30*time.Second, func(st *replProbe) bool {
+		return st.Role == "primary" && st.Primary != nil && len(st.Primary.Followers) == 2
+	})
+
+	ctx := context.Background()
+	sc, err := client.DialSharded(ctx, []string{a1, a2, a3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	// Phase 1: replica-acked commits through the router.  Each ack means
+	// the commit record is fsynced on at least one follower, so all of
+	// these must survive losing the primary outright.
+	const acked = 120
+	for i := uint64(1); i <= acked; i++ {
+		if err := sc.Upsert("kv", client.Uint64Key(i), []byte(fmt.Sprintf("acked-%d", i))); err != nil {
+			t.Fatalf("replica-acked upsert %d: %v", i, err)
+		}
+	}
+
+	// SIGKILL the primary and do nothing else.
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd1.Wait()
+
+	// Exactly one follower self-promotes; the other repoints to it.
+	var newPrimary string
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st2, err2 := probeRepl(a2)
+		st3, err3 := probeRepl(a3)
+		if err2 == nil && err3 == nil {
+			if st2.Role == "primary" && st3.Role == "follower" &&
+				st3.Follower.Primary == a2 && st3.Follower.Connected {
+				newPrimary = a2
+				break
+			}
+			if st3.Role == "primary" && st2.Role == "follower" &&
+				st2.Follower.Primary == a3 && st2.Follower.Connected {
+				newPrimary = a3
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged on a new primary: a2=%+v (%v) a3=%+v (%v)", st2, err2, st3, err3)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Logf("auto-failover: %s self-promoted", newPrimary)
+
+	// The router follows the promotion with no manual refresh: writes that
+	// land on the dead or demoted member trigger a map refresh and retry.
+	waitFor(t, "router write after failover", func() bool {
+		return sc.Upsert("kv", client.Uint64Key(900_001), []byte("post-failover")) == nil
+	})
+	if got := sc.Map().Shards[0].Addr; got != newPrimary {
+		t.Fatalf("router map shard 0 primary = %s, want %s", got, newPrimary)
+	}
+
+	// (a) Every replica-acked commit survived the failover and is readable
+	// through the router (reads rotate across the shard's live members).
+	for i := uint64(1); i <= acked; i++ {
+		got, err := sc.Get("kv", client.Uint64Key(i))
+		if err != nil {
+			t.Fatalf("acked key %d lost in auto-failover: %v", i, err)
+		}
+		if want := fmt.Sprintf("acked-%d", i); string(got) != want {
+			t.Fatalf("acked key %d = %q, want %q", i, got, want)
+		}
+	}
+
+	// (b) Restart the old primary on its own data dir.  It wakes up
+	// believing it is a primary at the fenced epoch; the failover monitor
+	// must demote it and re-seed it from the new lineage unattended.
+	cmd1b, _ := startCrashServer(t, d1, env(1, a1, "")...)
+	t.Cleanup(reap(cmd1b))
+	waitProbe(t, "old primary demoted", a1, 60*time.Second, func(st *replProbe) bool {
+		return st.Role == "follower" && st.Follower != nil &&
+			st.Follower.Connected && st.Follower.Primary == newPrimary
+	})
+	waitProbe(t, "old primary caught up", a1, 30*time.Second, caughtUpTo(primaryDurable(t, newPrimary)))
+
+	// The demoted node serves the failover-era write from replicated state
+	// and refuses writes of its own.
+	c1, err := client.Dial(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	got, err := c1.Get("kv", client.Uint64Key(900_001))
+	if err != nil || string(got) != "post-failover" {
+		t.Fatalf("demoted old primary's view of the failover-era write: %q, %v", got, err)
+	}
+	if err := c1.Upsert("kv", client.Uint64Key(900_002), []byte("x")); !client.IsFollowerRefusal(err) {
+		t.Fatalf("write on demoted old primary: %v", err)
+	}
+}
+
+// TestReplReseedChaosSIGKILL drives the snapshot re-seed path through a
+// three-node chain under repeated SIGKILLs: a follower is killed in the
+// middle of receiving its seed snapshot and again in the middle of the
+// live stream, restarting on the same half-written directory each time,
+// while a second follower joins fresh.  Everyone must converge to a
+// byte-identical readable state.
+func TestReplReseedChaosSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-kill integration test in short mode")
+	}
+	pdir, f1dir, f2dir := t.TempDir(), t.TempDir(), t.TempDir()
+	pcmd, paddr := startCrashServer(t, pdir, crashEnvRepl+"=primary-local")
+	t.Cleanup(func() {
+		_ = pcmd.Process.Kill()
+		_, _ = pcmd.Process.Wait()
+	})
+
+	pc, err := client.Dial(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	// Preload a working set big enough that streaming its snapshot takes
+	// real time, then checkpoint and truncate the log: a fresh follower's
+	// start LSN now precedes the oldest retained record, so it CANNOT
+	// catch up from the log — it must take the snapshot re-seed path.
+	ctx := context.Background()
+	const preload = 40_000
+	val := []byte(strings.Repeat("s", 64))
+	window := make(chan *client.Future, 64)
+	drain := func(n int) {
+		for len(window) > n {
+			resp, err := (<-window).Wait(ctx)
+			if err != nil || !resp.Committed {
+				t.Fatalf("preload commit: %v (%+v)", err, resp)
+			}
+		}
+	}
+	for i := uint64(1); i <= preload; i++ {
+		drain(cap(window) - 1)
+		window <- pc.DoAsync(ctx, client.NewTxn().Upsert("kv", client.Uint64Key(i), val))
+	}
+	drain(0)
+	if _, err := pc.Control("checkpoint", ""); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	waitProbe(t, "log truncation", paddr, 15*time.Second, func(st *replProbe) bool {
+		return st.Primary != nil && st.Primary.OldestLSN > 1
+	})
+
+	// Follower 1 joins from scratch and starts seeding.  Kill it while the
+	// primary still reports the subscriber inside its seed phase.
+	f1cmd, _ := startCrashServer(t, f1dir, crashEnvRepl+"=follow="+paddr)
+	sawSeeding := false
+	seedDeadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(seedDeadline) && !sawSeeding {
+		st, err := probeRepl(paddr)
+		if err == nil && st.Primary != nil {
+			for _, f := range st.Primary.Followers {
+				if f.Seeding {
+					sawSeeding = true
+				}
+			}
+			if !sawSeeding && len(st.Primary.Followers) > 0 {
+				// Subscribed and already past the seed: too late to catch
+				// the window, kill anyway — the restart still has to
+				// resubscribe over a partial local state.
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = f1cmd.Process.Kill()
+	_, _ = f1cmd.Process.Wait()
+	t.Logf("reseed chaos: follower 1 killed mid-seed=%v", sawSeeding)
+
+	// Restart it on the same directory: recovery replays whatever fraction
+	// of the seed got durable (checkpoint chunks apply as idempotent
+	// upserts, so a torn seed is safe), and the next subscription resumes
+	// — finishing the seed or streaming the tail.
+	f1cmd2, f1addr := startCrashServer(t, f1dir, crashEnvRepl+"=follow="+paddr)
+	waitProbe(t, "follower 1 rejoin after mid-seed kill", f1addr, 60*time.Second,
+		caughtUpTo(primaryDurable(t, paddr)))
+
+	// Follower 2 joins fresh as the third node of the chain; it must seed
+	// too (the log prefix is still truncated).
+	f2cmd, f2addr := startCrashServer(t, f2dir, crashEnvRepl+"=follow="+paddr)
+	t.Cleanup(func() {
+		_ = f2cmd.Process.Kill()
+		_, _ = f2cmd.Process.Wait()
+	})
+
+	// Live-stream phase: writes flow while follower 1 is killed again —
+	// mid-stream this time — and restarted on the same directory.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wc, err := client.Dial(paddr)
+		if err != nil {
+			return
+		}
+		defer wc.Close()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = wc.Upsert("kv", client.Uint64Key(500_000+i%5_000), []byte(fmt.Sprintf("live-%d", i)))
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	_ = f1cmd2.Process.Kill()
+	_, _ = f1cmd2.Process.Wait()
+	time.Sleep(200 * time.Millisecond)
+	f1cmd3, f1addr3 := startCrashServer(t, f1dir, crashEnvRepl+"=follow="+paddr)
+	t.Cleanup(func() {
+		_ = f1cmd3.Process.Kill()
+		_, _ = f1cmd3.Process.Wait()
+	})
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Both followers converge to the primary's final durable horizon...
+	target := primaryDurable(t, paddr)
+	waitProbe(t, "follower 1 converged", f1addr3, 60*time.Second, caughtUpTo(target))
+	waitProbe(t, "follower 2 converged", f2addr, 60*time.Second, caughtUpTo(target))
+
+	// ...and read back byte-identical state.
+	pn, ph := scanDigest(t, paddr)
+	for _, fa := range []string{f1addr3, f2addr} {
+		fn, fh := scanDigest(t, fa)
+		if fn != pn || fh != ph {
+			t.Fatalf("replica %s diverged: %d keys digest %x vs primary %d keys digest %x", fa, fn, fh, pn, ph)
+		}
+	}
+	t.Logf("reseed chaos: %d keys, digest %x identical across 3 nodes", pn, ph)
 }

@@ -9,11 +9,24 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"time"
 
 	"plp/internal/repl"
 	"plp/internal/wal"
 	"plp/wire"
 )
+
+// DefaultReplHeartbeat is the idle-stream heartbeat interval (see
+// Server.ReplHeartbeat).
+const DefaultReplHeartbeat = time.Second
+
+// replHeartbeat returns the configured heartbeat interval.
+func (s *Server) replHeartbeat() time.Duration {
+	if s.ReplHeartbeat > 0 {
+		return s.ReplHeartbeat
+	}
+	return DefaultReplHeartbeat
+}
 
 // PromoteFunc serves the "promote" control verb on a follower: sever the
 // stream, fence the old primary's lineage, start accepting writes, and
@@ -118,15 +131,20 @@ func (s *Server) serveReplication(conn net.Conn, br *bufio.Reader, payload []byt
 		refuse(wire.ReplRefusedPrefix + ": this server does not accept replication subscriptions (no durable log, or follower not yet promoted)")
 		return
 	}
-	sub, err := p.Subscribe(wal.LSN(f.StartLSN), f.ReplEpoch, conn.RemoteAddr().String())
+	sub, err := p.SubscribeOrSeed(wal.LSN(f.StartLSN), f.ReplEpoch, conn.RemoteAddr().String())
 	if err != nil {
 		refuse(err.Error())
 		return
 	}
 	defer sub.Close()
 
+	seedStart, seedTarget, seeding := sub.Seeding()
+	ackBlob := wire.EncodeReplSubscribeAck(p.Epoch(), uint64(p.DurableLSN()))
+	if seeding {
+		ackBlob = wire.EncodeReplSubscribeAckSeed(p.Epoch(), uint64(p.DurableLSN()))
+	}
 	accept := &wire.Response{ID: id, Committed: true, Results: []wire.StatementResult{{
-		Found: true, Value: wire.EncodeReplSubscribeAck(p.Epoch(), uint64(p.DurableLSN())),
+		Found: true, Value: ackBlob,
 	}}}
 	if err := wire.WriteFrame(conn, wire.AppendResponseV(nil, accept, cs.version)); err != nil {
 		return
@@ -138,28 +156,92 @@ func (s *Server) serveReplication(conn net.Conn, br *bufio.Reader, payload []byt
 		defer close(streamDone)
 		bw := bufio.NewWriterSize(conn, 64<<10)
 		var seq uint64
-		for {
-			recs, err := sub.Next(stop)
-			if err != nil {
-				// A cursor error (e.g. the retained prefix truncated out
-				// from under a parked subscription) must sever the
-				// connection, or the ack reader — and the follower — would
-				// block on a silently dead stream.
-				_ = conn.Close()
-				return
-			}
-			blobs := make([][]byte, len(recs))
-			for i := range recs {
-				blobs[i] = recs[i].Marshal()
-			}
-			seq++
-			if err := wire.WriteFrame(bw, wire.EncodeReplRecords(seq, blobs)); err != nil {
+		send := func(payload []byte) bool {
+			if err := wire.WriteFrame(bw, payload); err != nil {
 				_ = conn.Close() // unblock the ack reader
-				return
+				return false
 			}
 			if err := bw.Flush(); err != nil {
 				_ = conn.Close()
+				return false
+			}
+			return true
+		}
+		if seeding {
+			seq++
+			if !send(wire.EncodeReplSeedBegin(seq, uint64(seedStart), uint64(seedTarget))) {
 				return
+			}
+			if seedTarget <= seedStart {
+				// Empty retained log: nothing to seed, the follower just
+				// adopts the primary's lineage and streams from here.
+				seeding = false
+				seq++
+				if !send(wire.EncodeReplSeedEnd(seq)) {
+					return
+				}
+			}
+		}
+		// Next blocks until durable records exist, so it runs in its own
+		// pump goroutine: the select below keeps heartbeats flowing while
+		// the log is idle.  At most one pump lingers in WaitDurable after
+		// stop, like Next's own helper.
+		type batch struct {
+			recs []wal.Record
+			err  error
+		}
+		batches := make(chan batch)
+		go func() {
+			for {
+				recs, err := sub.Next(stop)
+				select {
+				case batches <- batch{recs, err}:
+					if err != nil {
+						return
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+		hb := time.NewTicker(s.replHeartbeat())
+		defer hb.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-hb.C:
+				seq++
+				if !send(wire.EncodeReplHeartbeat(seq)) {
+					return
+				}
+			case b := <-batches:
+				if b.err != nil {
+					// A cursor error (e.g. the retained prefix truncated out
+					// from under a parked subscription) must sever the
+					// connection, or the ack reader — and the follower —
+					// would block on a silently dead stream.
+					_ = conn.Close()
+					return
+				}
+				blobs := make([][]byte, len(b.recs))
+				for i := range b.recs {
+					blobs[i] = b.recs[i].Marshal()
+				}
+				seq++
+				if !send(wire.EncodeReplRecords(seq, blobs)) {
+					return
+				}
+				if seeding && len(b.recs) > 0 {
+					last := b.recs[len(b.recs)-1]
+					if last.LSN+wal.LSN(last.EncodedSize()) >= seedTarget {
+						seeding = false
+						seq++
+						if !send(wire.EncodeReplSeedEnd(seq)) {
+							return
+						}
+					}
+				}
 			}
 		}
 	}()

@@ -92,6 +92,46 @@ func TestReplAckModesDatapoint(t *testing.T) {
 		local, acked, ratio)
 }
 
+// TestReplQuorumAcksDatapoint measures replica-acked write throughput on a
+// primary with two followers at ack quorum k=1 and again at k=2, and emits
+// the pair.  The k-of-n gate waits for the k-th highest follower ack, so
+// k=2 tracks the SLOWER of the two replicas — the datapoint shows what the
+// extra fault tolerance costs on the commit path.
+func TestReplQuorumAcksDatapoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping throughput measurement in short mode")
+	}
+	pdir, f1dir, f2dir := t.TempDir(), t.TempDir(), t.TempDir()
+	pe, psrv, paddr := startReplServer(t, pdir)
+	prim := repl.NewPrimary(pe.DurableLog(), 1)
+	prim.SetAckTimeout(20 * time.Second)
+	psrv.SetReplPrimary(prim)
+
+	f1e, f1srv, _ := startReplServer(t, f1dir)
+	f1srv.SetFollowerMode(true)
+	f1 := startFollower(t, f1dir, paddr, f1e)
+	f2e, f2srv, _ := startReplServer(t, f2dir)
+	f2srv.SetFollowerMode(true)
+	f2 := startFollower(t, f2dir, paddr, f2e)
+	waitFor(t, "both subscriptions", func() bool { return prim.NumFollowers() == 2 })
+
+	pe.SetCommitAckWaiter(prim.WaitReplicated)
+	k1 := measureReplThroughput(t, paddr, 400*time.Millisecond, benchUpsert)
+	waitFor(t, "follower catch-up before k=2 run", func() bool {
+		return caughtUp(pe, f1) && caughtUp(pe, f2)
+	})
+
+	prim.SetAckQuorum(2)
+	k2 := measureReplThroughput(t, paddr, 400*time.Millisecond, benchUpsert)
+
+	ratio := 0.0
+	if k1 > 0 {
+		ratio = k2 / k1
+	}
+	fmt.Printf("BENCH_JSON {\"benchmark\":\"repl_quorum_acks\",\"k1_txn_per_s\":%.0f,\"k2_txn_per_s\":%.0f,\"k2_over_k1\":%.2f}\n",
+		k1, k2, ratio)
+}
+
 // TestReplReadScaleDatapoint measures the primary's write throughput alone
 // and then concurrently with a reader hammering the follower, and emits all
 // three rates.  The follower serving reads from replicated state should add

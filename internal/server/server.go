@@ -23,6 +23,7 @@ import (
 	"bufio"
 	"bytes"
 	"crypto/subtle"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -98,6 +99,26 @@ type Server struct {
 	// defaults).  Set them before Serve.
 	ConnWorkers int
 	ConnQueue   int
+
+	// TLSConfig, when set, wraps the listener in TLS.  Set before Listen.
+	TLSConfig *tls.Config
+
+	// PeerTLSConfig, when set, wraps the peer connections this server dials
+	// (shard prepares, decides, janitor queries) in TLS — the client-side
+	// counterpart of the peers' TLSConfig.  Set before SetShardConfig.
+	PeerTLSConfig *tls.Config
+
+	// PeerCallTimeout and JanitorPeriod override the shard-peer call
+	// deadline (default 3s) and the 2PC janitor's resolution interval
+	// (default 250ms); chaos tests tighten them, high-latency links loosen
+	// them.  Set before SetShardConfig.
+	PeerCallTimeout time.Duration
+	JanitorPeriod   time.Duration
+
+	// ReplHeartbeat overrides the idle-stream heartbeat interval on
+	// replication connections (default 1s): followers lease the primary's
+	// liveness off frame arrival.  Set before Serve.
+	ReplHeartbeat time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -197,6 +218,9 @@ func (s *Server) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
+	}
+	if s.TLSConfig != nil {
+		ln = tls.NewListener(ln, s.TLSConfig)
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -599,6 +623,20 @@ func (s *Server) handleFrame(sess *engine.Session, payload []byte, cs session, c
 	return s.execute(sess, req, cs, canceled)
 }
 
+// followerRefusal fills resp with a follower-mode write refusal.  When the
+// node knows a shard map it rides along in the results — after a failover
+// the ex-primary's refusals carry the post-promotion replica sets, so a
+// routing client adopts the new primary from the refusal itself instead of
+// hunting for a member that will answer a refresh.
+func (s *Server) followerRefusal(resp *wire.Response, msg string) *wire.Response {
+	resp.Err = msg
+	if m := s.ShardMap(); m != nil {
+		resp.Results = []wire.StatementResult{{Value: m.Encode()}}
+	}
+	s.aborted.Add(1)
+	return resp
+}
+
 // writesOp reports whether a flat statement op modifies the database.
 func writesOp(op wire.OpType) bool {
 	switch op {
@@ -636,10 +674,8 @@ func (s *Server) executePlan(sess *engine.Session, id uint64, p *plan.Plan, cs s
 		return resp
 	}
 	if s.followerMode.Load() && p.Writes() {
-		resp.Err = wire.FollowerPrefix + ": plan contains write ops — this node replicates a primary (write there, or promote this node)"
 		resp.Retry = wire.RetryPermanent
-		s.aborted.Add(1)
-		return resp
+		return s.followerRefusal(resp, wire.FollowerPrefix+": plan contains write ops — this node replicates a primary (write there, or promote this node)")
 	}
 	if canceled != nil && canceled.Load() {
 		resp.Err = engine.ErrPlanCanceled.Error()
@@ -713,9 +749,7 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session, ca
 	if s.followerMode.Load() {
 		for _, st := range req.Statements {
 			if writesOp(st.Op) {
-				resp.Err = fmt.Sprintf("%s: %v refused — this node replicates a primary (write there, or promote this node)", wire.FollowerPrefix, st.Op)
-				s.aborted.Add(1)
-				return resp
+				return s.followerRefusal(resp, fmt.Sprintf("%s: %v refused — this node replicates a primary (write there, or promote this node)", wire.FollowerPrefix, st.Op))
 			}
 		}
 	}

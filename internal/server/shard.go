@@ -37,6 +37,7 @@ package server
 
 import (
 	"bufio"
+	"crypto/tls"
 	"fmt"
 	"net"
 	"strconv"
@@ -53,17 +54,35 @@ import (
 
 // Janitor cadence: how often in-doubt branches are re-examined, and how
 // long a branch must have been in doubt before its coordinator is chased
-// (a live coordinator normally decides within milliseconds).
+// (a live coordinator normally decides within milliseconds).  The period
+// and the peer-call deadline are defaults, overridable per server
+// (Server.JanitorPeriod / Server.PeerCallTimeout).
 const (
-	janitorPeriod   = 250 * time.Millisecond
-	inDoubtPatience = time.Second
+	defaultJanitorPeriod = 250 * time.Millisecond
+	inDoubtPatience      = time.Second
 )
 
-// peerCallTimeout bounds one shard-to-shard round trip (including the
-// handshake of a fresh dial).  Calls on a peer are mutex-serialized, so
+// defaultPeerCallTimeout bounds one shard-to-shard round trip (including
+// the handshake of a fresh dial).  Calls on a peer are mutex-serialized, so
 // without it a hung participant would wedge both the coordinator path and
 // the janitor behind the same connection forever.
-const peerCallTimeout = 3 * time.Second
+const defaultPeerCallTimeout = 3 * time.Second
+
+// peerCallTimeout returns the configured shard-peer call deadline.
+func (s *Server) peerCallTimeout() time.Duration {
+	if s.PeerCallTimeout > 0 {
+		return s.PeerCallTimeout
+	}
+	return defaultPeerCallTimeout
+}
+
+// janitorPeriod returns the configured janitor interval.
+func (s *Server) janitorPeriod() time.Duration {
+	if s.JanitorPeriod > 0 {
+		return s.JanitorPeriod
+	}
+	return defaultJanitorPeriod
+}
 
 // testHook, when non-nil, runs at named points of the coordinator path
 // ("coord-prepared" after every branch voted yes, "coord-decided" after the
@@ -83,11 +102,13 @@ var logDecision = (*engine.Engine).LogDecision
 
 // shardState is the server's sharding configuration and runtime state.
 type shardState struct {
-	self  int
-	token string
-	epoch uint64 // gid epoch: unique per coordinator incarnation
-	m     atomic.Pointer[shard.Map]
-	seq   atomic.Uint64 // gid sequence for transactions coordinated here
+	self        int
+	token       string
+	epoch       uint64 // gid epoch: unique per coordinator incarnation
+	callTimeout time.Duration
+	tlsConf     *tls.Config // client-side TLS for peer dials
+	m           atomic.Pointer[shard.Map]
+	seq         atomic.Uint64 // gid sequence for transactions coordinated here
 
 	// peers caches one connection per remote shard (shard ID -> *peerConn).
 	peers sync.Map
@@ -131,7 +152,12 @@ func (s *Server) SetShardConfig(m *shard.Map, selfID int, token string, epoch ui
 	if epoch == 0 {
 		epoch = uint64(time.Now().UnixNano())
 	}
-	ss := &shardState{self: selfID, token: token, epoch: epoch, stopCh: make(chan struct{})}
+	ss := &shardState{
+		self: selfID, token: token, epoch: epoch,
+		callTimeout: s.peerCallTimeout(),
+		tlsConf:     s.PeerTLSConfig,
+		stopCh:      make(chan struct{}),
+	}
 	ss.m.Store(m.Clone())
 	s.sharding.Store(ss)
 	go s.janitor(ss)
@@ -501,7 +527,7 @@ func (s *Server) executeDecide(f *wire.Frame, cs session) *wire.Response {
 // durably decided; no decision means presumed abort.  Gids this node is
 // itself coordinating right now are skipped (their protocol is in flight).
 func (s *Server) janitor(ss *shardState) {
-	tick := time.NewTicker(janitorPeriod)
+	tick := time.NewTicker(s.janitorPeriod())
 	defer tick.Stop()
 	for {
 		select {
@@ -563,7 +589,7 @@ func (ss *shardState) peer(m *shard.Map, shardID int) (*peerConn, error) {
 			pc.close()
 		}
 	}
-	pc := &peerConn{addr: addr, token: ss.token}
+	pc := &peerConn{addr: addr, token: ss.token, callTimeout: ss.callTimeout, tlsConf: ss.tlsConf}
 	if v, loaded := ss.peers.LoadOrStore(shardID, pc); loaded {
 		return v.(*peerConn), nil
 	}
@@ -577,13 +603,24 @@ func (ss *shardState) peer(m *shard.Map, shardID int) (*peerConn, error) {
 // closes the connection and the next call redials, so a restarted peer is
 // picked up transparently.
 type peerConn struct {
-	addr  string
-	token string
+	addr        string
+	token       string
+	callTimeout time.Duration
+	tlsConf     *tls.Config
 
 	mu     sync.Mutex
 	conn   net.Conn
 	br     *bufio.Reader
 	nextID uint64
+}
+
+// deadline returns the per-call deadline (defaulted when the conn was built
+// outside shardState, e.g. in tests).
+func (p *peerConn) deadline() time.Duration {
+	if p.callTimeout > 0 {
+		return p.callTimeout
+	}
+	return defaultPeerCallTimeout
 }
 
 func (p *peerConn) close() {
@@ -606,9 +643,21 @@ func (p *peerConn) dial() error {
 	if err != nil {
 		return err
 	}
+	if p.tlsConf != nil {
+		cfg := p.tlsConf
+		if cfg.ServerName == "" && !cfg.InsecureSkipVerify {
+			if host, _, herr := net.SplitHostPort(p.addr); herr == nil {
+				cfg = cfg.Clone()
+				cfg.ServerName = host
+			}
+		}
+		// The TLS handshake runs lazily on first write, under the same
+		// deadline as the wire handshake below.
+		conn = tls.Client(conn, cfg)
+	}
 	// The handshake runs under the same deadline as the call that needs it;
 	// a peer that accepts but never answers must not block forever.
-	_ = conn.SetDeadline(time.Now().Add(peerCallTimeout))
+	_ = conn.SetDeadline(time.Now().Add(p.deadline()))
 	hello := &wire.Hello{MaxVersion: wire.V3}
 	if p.token != "" {
 		hello.Token = []byte(p.token)
@@ -658,7 +707,7 @@ func (p *peerConn) call(payload []byte) (*wire.Response, error) {
 	}
 	// Per-call deadline: a hung peer fails the call (and resets the
 	// connection) instead of wedging every caller serialized behind p.mu.
-	if err := p.conn.SetDeadline(time.Now().Add(peerCallTimeout)); err != nil {
+	if err := p.conn.SetDeadline(time.Now().Add(p.deadline())); err != nil {
 		p.reset()
 		return nil, err
 	}

@@ -407,7 +407,7 @@ func TestDecisionFlushFailureLeavesInDoubt(t *testing.T) {
 
 	// Even once the branch is older than the janitor's patience, chasing
 	// the coordinator keeps it prepared instead of aborting it.
-	time.Sleep(inDoubtPatience + 3*janitorPeriod)
+	time.Sleep(inDoubtPatience + 3*defaultJanitorPeriod)
 	if gids := nodes[1].e.PreparedGIDs(0); len(gids) != 1 || gids[0] != gid {
 		t.Fatalf("janitor resolved the undecidable branch: %v", gids)
 	}
@@ -449,8 +449,8 @@ func TestPeerCallTimesOutOnHungPeer(t *testing.T) {
 	if _, err := pc.call(wire.EncodeDecideRequest(0, "s0-1-1", wire.DecideQuery)); err == nil {
 		t.Fatal("call to a hung peer succeeded")
 	}
-	if elapsed := time.Since(start); elapsed > peerCallTimeout+2*time.Second {
-		t.Fatalf("call took %v, deadline %v never fired", elapsed, peerCallTimeout)
+	if elapsed := time.Since(start); elapsed > defaultPeerCallTimeout+2*time.Second {
+		t.Fatalf("call took %v, deadline %v never fired", elapsed, defaultPeerCallTimeout)
 	}
 	if pc.conn != nil {
 		t.Fatal("timed-out call left the dead connection cached")

@@ -255,6 +255,11 @@ type Manager struct {
 
 	committed atomic.Uint64
 	aborted   atomic.Uint64
+
+	// localAck/replicaAck record how long writer commits wait at each
+	// acknowledgement gate (see hist.go).
+	localAck   ackHist
+	replicaAck ackHist
 }
 
 // preparedTxn is a local branch blocked in the in-doubt window.
@@ -384,7 +389,9 @@ func (m *Manager) Commit(t *Txn) error {
 	if !m.lazy.Load() {
 		logStart := time.Now()
 		durable := m.log.WaitDurable(lsn)
-		t.Breakdown.AddWait(WaitLog, time.Since(logStart))
+		waited := time.Since(logStart)
+		t.Breakdown.AddWait(WaitLog, waited)
+		m.localAck.observe(waited)
 		if durable <= lsn {
 			// The log closed under us: "acknowledged means durable" can
 			// no longer be kept, so the caller must surface a failure.
@@ -398,7 +405,9 @@ func (m *Manager) Commit(t *Txn) error {
 	if w := m.ackWaiter.Load(); w != nil {
 		ackStart := time.Now()
 		err := (*w)(lsn)
-		t.Breakdown.AddWait(WaitLog, time.Since(ackStart))
+		waited := time.Since(ackStart)
+		t.Breakdown.AddWait(WaitLog, waited)
+		m.replicaAck.observe(waited)
 		if err != nil {
 			m.committed.Add(1)
 			return err

@@ -12,6 +12,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 )
 
@@ -120,6 +121,48 @@ func (d *Durable) AppendShipped(recs []Record) error {
 	d.appends.Add(uint64(len(recs)))
 	d.bytes.Add(total)
 	d.kick()
+	return nil
+}
+
+// ResetForSeed discards the entire local log — memory cache, unflushed
+// tail, and every on-disk segment — and restarts the append horizon at
+// start, the first LSN of an incoming seed stream.  A follower too far
+// behind (or on a diverged lineage) calls this before applying SEED
+// frames: its history is being replaced wholesale, so nothing local is
+// worth keeping.  The caller must have quiesced its own appenders and hold
+// no WaitDurable parkers above start (the repl follower flushes
+// synchronously before acking, so its durable horizon equals its append
+// horizon whenever a re-seed begins).
+func (d *Durable) ResetForSeed(start LSN) error {
+	d.ioMu.Lock()
+	defer d.ioMu.Unlock()
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("wal: log closed")
+	}
+	d.tail = nil
+	d.mem = nil
+	d.next = start
+	d.mu.Unlock()
+
+	if d.seg != nil {
+		_ = d.seg.Close()
+		_ = os.Remove(d.segPath)
+		d.seg = nil
+	}
+	for _, s := range d.closedSegs {
+		_ = os.Remove(s.path)
+	}
+	d.closedSegs = nil
+	if err := d.openSegment(start); err != nil {
+		return err
+	}
+	d.durable.Store(uint64(start))
+	d.mu.Lock()
+	d.cond.Broadcast()
+	d.mu.Unlock()
 	return nil
 }
 

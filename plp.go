@@ -257,16 +257,41 @@
 // cannot unlink a segment a lagging follower still needs.
 //
 // Commit acknowledgement is local-fsync by default; replica-acked mode
-// (plpd -ack-mode replica) additionally holds each commit ack until a follower
-// reports the commit record durable, so an acknowledged write survives
-// primary loss.  Failover is manual and explicit: "plpctl promote" stops
-// the follower's stream, discards uncommitted in-flight buffers, bumps the
-// persisted replication epoch and the shard incarnation, and starts
-// accepting writes; the old primary's lineage is fenced — a stale node
-// re-subscribing with the old epoch is refused and must be re-seeded.
-// "plpctl repl status" prints either side's progress (epoch, durable/
-// applied LSNs, follower lag, replica-ack wait histogram), which also
-// feeds the plp_repl expvar.
+// (plpd -ack-mode replica) additionally holds each commit ack until the
+// commit record is durable on k distinct followers (plpd -ack-quorum k,
+// default 1) — the gate tracks the k-th highest follower ack as a
+// monotonic watermark, so an acknowledged write survives losing any k-1
+// replicas plus the primary.  A subscriber that cannot catch up from the
+// retained log — its start LSN precedes the truncation horizon, or its
+// epoch belongs to a fenced lineage — is no longer refused: the primary
+// converts the subscription into a snapshot re-seed, streaming a
+// transactionally consistent checkpoint image plus the log tail over the
+// same wire-v3 session (SEED frames).  The follower resets its data
+// directory, installs the image, adopts the primary's epoch and resumes an
+// ordinary subscription; seed chunks apply as idempotent upserts, so a
+// follower SIGKILLed mid-seed restarts and simply resumes.
+//
+// Failover can be manual ("plpctl promote" stops the follower's stream,
+// discards uncommitted in-flight buffers, bumps the persisted replication
+// epoch and the shard incarnation, and starts accepting writes) or
+// automatic: plpd -cluster id@addr,... -node-id N runs a lease-based
+// monitor on every member.  Followers treat the replication stream's
+// heartbeats as a primary lease (-lease, default 3s); when it expires they
+// probe the membership, and a deterministic election — highest durable
+// LSN, lowest id on ties — picks exactly one candidate to self-promote
+// through the same epoch fencing, re-homing the shard map's primary onto
+// itself.  A fenced old primary that comes back discovers the
+// higher-epoch primary, demotes itself to follower and re-seeds from the
+// new lineage, with no operator involvement end to end.  The shard map
+// carries per-shard replica sets ("replica <shard> <id> <addr>" lines), so
+// client.DialSharded load-balances read-only transactions across live
+// followers, routes writes to the primary, and follows promotions by
+// adopting the re-homed map attached to refusals (or refreshed after a
+// dead peer).  "plpctl repl status" prints either side's progress (epoch,
+// durable/applied LSNs, follower lag and seed phase, per-mode ack-wait
+// histograms), which also feeds the plp_repl expvar; client and
+// replication connections speak TLS with plpd -tls-cert/-tls-key and
+// client DialOptions.TLSConfig / plpctl -tls-ca.
 //
 // # Online dynamic repartitioning
 //

@@ -44,6 +44,18 @@ type Shard struct {
 	// last shard means the range is open-ended.  The lower bound is the
 	// previous shard's End (nil on the first shard).
 	End []byte
+	// Replicas lists the shard's followers.  Addr remains the primary —
+	// the only address that accepts writes; replicas serve reads and stand
+	// by for promotion.  May be empty (unreplicated shard).
+	Replicas []Replica
+}
+
+// Replica is one follower of a shard's primary.
+type Replica struct {
+	// ID identifies the replica within its shard (unique per shard).
+	ID int
+	// Addr is the follower's plpd listen address ("host:port").
+	Addr string
 }
 
 // Map is a versioned assignment of the keyspace to shards.
@@ -70,6 +82,16 @@ func (m *Map) Validate() error {
 			return fmt.Errorf("shard: duplicate shard id %d", s.ID)
 		}
 		seen[s.ID] = struct{}{}
+		rseen := make(map[int]struct{}, len(s.Replicas))
+		for _, r := range s.Replicas {
+			if r.Addr == "" {
+				return fmt.Errorf("shard: shard %d replica %d has no address", s.ID, r.ID)
+			}
+			if _, dup := rseen[r.ID]; dup {
+				return fmt.Errorf("shard: shard %d has duplicate replica id %d", s.ID, r.ID)
+			}
+			rseen[r.ID] = struct{}{}
+		}
 		last := i == len(m.Shards)-1
 		if last {
 			if s.End != nil {
@@ -129,6 +151,44 @@ func (m *Map) Range(id int) (lo, hi []byte, ok bool) {
 	return nil, nil, false
 }
 
+// ReplicaAddrs returns the follower addresses of the shard with the given
+// ID (nil when the shard is absent or unreplicated).
+func (m *Map) ReplicaAddrs(id int) []string {
+	s, ok := m.ByID(id)
+	if !ok || len(s.Replicas) == 0 {
+		return nil
+	}
+	out := make([]string, len(s.Replicas))
+	for i, r := range s.Replicas {
+		out[i] = r.Addr
+	}
+	return out
+}
+
+// Promote rewrites the map for a failover in shard shardID: the replica at
+// addr becomes the shard's primary, the old primary takes the promoted
+// replica's slot (so a revived old primary re-seeds as a follower), and the
+// version is bumped so the new map wins everywhere it propagates.  It is a
+// no-op error if addr is not one of the shard's replicas.
+func (m *Map) Promote(shardID int, addr string) error {
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		if s.ID != shardID {
+			continue
+		}
+		for j := range s.Replicas {
+			if s.Replicas[j].Addr != addr {
+				continue
+			}
+			s.Addr, s.Replicas[j].Addr = s.Replicas[j].Addr, s.Addr
+			m.Version++
+			return nil
+		}
+		return fmt.Errorf("shard: %s is not a replica of shard %d", addr, shardID)
+	}
+	return fmt.Errorf("shard: no shard %d", shardID)
+}
+
 // Clone returns a deep copy of the map.
 func (m *Map) Clone() *Map {
 	out := &Map{Version: m.Version, Shards: make([]Shard, len(m.Shards))}
@@ -136,6 +196,9 @@ func (m *Map) Clone() *Map {
 		out.Shards[i] = Shard{ID: s.ID, Addr: s.Addr}
 		if s.End != nil {
 			out.Shards[i].End = append([]byte(nil), s.End...)
+		}
+		if len(s.Replicas) > 0 {
+			out.Shards[i].Replicas = append([]Replica(nil), s.Replicas...)
 		}
 	}
 	return out
@@ -184,11 +247,16 @@ func parseBound(s string) ([]byte, error) {
 // Each shard line is "shard <id> <addr> <end>"; <end> is the exclusive
 // upper bound of the shard's range ("-" on the last, open-ended shard;
 // plain decimals are uint64 keys, 0x-prefixed hex is raw key bytes).
+// A "replica <shard-id> <replica-id> <addr>" line attaches a follower to a
+// previously declared shard.
 func (m *Map) Encode() []byte {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "version %d\n", m.Version)
 	for _, s := range m.Shards {
 		fmt.Fprintf(&b, "shard %d %s %s\n", s.ID, s.Addr, encodeBound(s.End))
+		for _, r := range s.Replicas {
+			fmt.Fprintf(&b, "replica %d %d %s\n", s.ID, r.ID, r.Addr)
+		}
 	}
 	return b.Bytes()
 }
@@ -231,6 +299,29 @@ func Parse(data []byte) (*Map, error) {
 				return nil, fmt.Errorf("shard: line %d: %v", line, err)
 			}
 			m.Shards = append(m.Shards, Shard{ID: id, Addr: fields[2], End: end})
+		case "replica":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("shard: line %d: want 'replica <shard-id> <replica-id> <addr>'", line)
+			}
+			sid, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("shard: line %d: bad shard id: %v", line, err)
+			}
+			rid, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("shard: line %d: bad replica id: %v", line, err)
+			}
+			placed := false
+			for i := range m.Shards {
+				if m.Shards[i].ID == sid {
+					m.Shards[i].Replicas = append(m.Shards[i].Replicas, Replica{ID: rid, Addr: fields[3]})
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("shard: line %d: replica references undeclared shard %d", line, sid)
+			}
 		default:
 			return nil, fmt.Errorf("shard: line %d: unknown directive %q", line, fields[0])
 		}

@@ -31,6 +31,24 @@ const (
 	FrameReplAck FrameKind = 8
 )
 
+// The V3 seed/heartbeat frame kinds (9 and 10 belong to the scan stream).
+const (
+	// FrameReplSeedBegin opens a snapshot re-seed: the stream that follows
+	// starts at SeedStart (the oldest retained LSN on the primary) instead
+	// of the LSN the follower asked for, and every record up to SeedTarget
+	// belongs to the seed phase.  The follower must discard its local state
+	// before applying (primary → follower).
+	FrameReplSeedBegin FrameKind = 11
+	// FrameReplSeedEnd marks the end of the seed phase: the follower's
+	// rebuilt state is now a faithful replica and ordinary streaming
+	// resumes on the same connection (primary → follower).
+	FrameReplSeedEnd FrameKind = 12
+	// FrameReplHeartbeat is an empty keep-alive the primary sends when it
+	// has nothing to stream, so followers can lease the primary's liveness
+	// off the replication connection (primary → follower).
+	FrameReplHeartbeat FrameKind = 13
+)
+
 // ReplRefusedPrefix starts every subscription-refusal error message (stale
 // epoch, truncated start LSN, no replication configured).
 const ReplRefusedPrefix = "repl refused"
@@ -88,12 +106,53 @@ func EncodeReplAck(id uint64, applied, durable uint64) []byte {
 	return appendUint64(out, durable)
 }
 
+// EncodeReplSeedBegin serializes a SEED-BEGIN payload: the LSN the seed
+// stream starts at (the primary's oldest retained record) and the durable
+// horizon captured when the seed was accepted — everything below it arrives
+// during the seed phase.
+func EncodeReplSeedBegin(id uint64, seedStart, seedTarget uint64) []byte {
+	out := appendUint64(make([]byte, 0, 8+1+8+8), id)
+	out = append(out, byte(FrameReplSeedBegin))
+	out = appendUint64(out, seedStart)
+	return appendUint64(out, seedTarget)
+}
+
+// EncodeReplSeedEnd serializes a SEED-END payload.
+func EncodeReplSeedEnd(id uint64) []byte {
+	out := appendUint64(make([]byte, 0, 9), id)
+	return append(out, byte(FrameReplSeedEnd))
+}
+
+// EncodeReplHeartbeat serializes an empty keep-alive frame.
+func EncodeReplHeartbeat(id uint64) []byte {
+	out := appendUint64(make([]byte, 0, 9), id)
+	return append(out, byte(FrameReplHeartbeat))
+}
+
 // EncodeReplSubscribeAck builds the subscribe-ack blob carried in the
 // accepting response's first result Value: the primary's replication epoch
 // and its current durable LSN.
 func EncodeReplSubscribeAck(epoch, durableLSN uint64) []byte {
 	out := appendUint64(make([]byte, 0, 16), epoch)
 	return appendUint64(out, durableLSN)
+}
+
+// EncodeReplSubscribeAckSeed builds a subscribe-ack blob with the seed
+// marker set: the primary accepted the subscription but will re-seed the
+// follower (first stream frame is SEED-BEGIN).  Old followers ignore the
+// trailing byte — DecodeReplSubscribeAck tolerates it — and then fail on
+// the unknown SEED-BEGIN frame kind, which is the correct hard stop for a
+// mixed-version pair.
+func EncodeReplSubscribeAckSeed(epoch, durableLSN uint64) []byte {
+	out := appendUint64(make([]byte, 0, 17), epoch)
+	out = appendUint64(out, durableLSN)
+	return append(out, 1)
+}
+
+// ReplSubscribeAckSeeded reports whether a subscribe-ack blob carries the
+// seed marker.
+func ReplSubscribeAckSeeded(buf []byte) bool {
+	return len(buf) > 16 && buf[16] == 1
 }
 
 // DecodeReplSubscribeAck parses a subscribe-ack blob.
@@ -141,6 +200,15 @@ func decodeReplFrame(f *Frame, r *reader) (*Frame, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
+		return f, nil
+	case FrameReplSeedBegin:
+		f.SeedStart = r.uint64()
+		f.SeedTarget = r.uint64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		return f, nil
+	case FrameReplSeedEnd, FrameReplHeartbeat:
 		return f, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown repl frame kind %d", ErrBadOp, f.Kind)

@@ -636,6 +636,13 @@ type Frame struct {
 	AppliedLSN uint64
 	// DurableLSN is the follower's durable horizon (FrameReplAck).
 	DurableLSN uint64
+	// SeedStart and SeedTarget bound a snapshot re-seed
+	// (FrameReplSeedBegin): the stream restarts at SeedStart and the seed
+	// phase covers every record below SeedTarget.
+	SeedStart uint64
+	// SeedTarget is the durable horizon the seed phase runs to
+	// (FrameReplSeedBegin).
+	SeedTarget uint64
 	// Scan is the streaming-scan request (FrameScan).
 	Scan *ScanRequest
 	// Credit is the number of chunk credits returned (FrameScanAck).
@@ -766,7 +773,8 @@ func DecodeFrameV3(buf []byte) (*Frame, error) {
 		return f, nil
 	case FrameShardMap, FramePrepare, FrameDecide:
 		return decodeShardFrame(f, r)
-	case FrameReplSubscribe, FrameReplRecords, FrameReplAck:
+	case FrameReplSubscribe, FrameReplRecords, FrameReplAck,
+		FrameReplSeedBegin, FrameReplSeedEnd, FrameReplHeartbeat:
 		return decodeReplFrame(f, r)
 	case FrameScan, FrameScanAck:
 		return decodeScanFrame(f, r)
