@@ -312,7 +312,18 @@ func (s *Sharded) DoContext(ctx context.Context, t *Txn) (*wire.Response, error)
 			continue
 		}
 		resp, err := c.DoContext(ctx, t)
-		if err != nil && IsFollowerRefusal(err) && !readonly {
+		if err != nil && IsFollowerRefusal(err) {
+			if readonly {
+				// A follower refused a read — it is mid re-seed and its
+				// engine is not yet consistent.  Rotate to the next member;
+				// adopt any map the refusal carries in case the topology
+				// moved too.
+				if nm := refusalMap(resp); nm != nil {
+					s.adopt(nm)
+				}
+				lastErr = err
+				continue
+			}
 			// The write landed on a follower: the primary moved under our
 			// map.  The refusal carries the refuser's current map — adopt it
 			// and re-route to the new primary.

@@ -467,6 +467,10 @@ func main() {
 			f.Start()
 		}
 		srv.SetPromoteHandler(promote)
+		srv.SetSeedingFunc(func() bool {
+			f := curFollower.Load()
+			return f != nil && f.Seeding()
+		})
 		defer func() {
 			if f := curFollower.Load(); f != nil {
 				f.Stop()

@@ -260,11 +260,13 @@ func (n *Node) followerPass() {
 	}
 	selfEpoch := n.cfg.Epoch()
 	cands := []Candidate{{ID: n.cfg.Self, DurableLSN: n.cfg.DurableLSN()}}
+	reachable := 1 // self
 	for _, m := range n.peers() {
 		st, err := n.probe(m)
 		if err != nil {
 			continue
 		}
+		reachable++
 		if st.Role == "primary" && st.Primary != nil {
 			if st.Primary.Epoch >= selfEpoch {
 				// The primary is alive (only our stream died) or a failover
@@ -280,6 +282,14 @@ func (n *Node) followerPass() {
 		if st.Role == "follower" && st.Follower != nil {
 			cands = append(cands, Candidate{ID: m.ID, DurableLSN: st.Follower.DurableLSN})
 		}
+	}
+	if reachable*2 <= len(n.cfg.Members) {
+		// Minority visibility: this node may be the partitioned side while
+		// the majority elects (or keeps) a primary it cannot see.  Electing
+		// here would split the brain, so wait for the partition to heal.
+		n.cfg.Logf("cluster: lease expired but only %d/%d members reachable; deferring election to the majority side",
+			reachable, len(n.cfg.Members))
+		return
 	}
 	winner, ok := Elect(cands)
 	if !ok || winner != n.cfg.Self {

@@ -218,6 +218,40 @@ func TestFollowerPassElectionWinnerPromotes(t *testing.T) {
 	}
 }
 
+func TestFollowerPassMinorityVisibilityDefersElection(t *testing.T) {
+	// An isolated follower (lease expired, no peer reachable) sees a slate
+	// of one — itself.  Electing on minority visibility would split the
+	// brain when the majority side keeps (or elects) a primary this node
+	// cannot see, so the pass must defer, not promote.
+	h := &testHooks{}
+	h.epoch.Store(4)
+	h.durable.Store(100)
+	h.contact.Store(int64(time.Hour))
+	n := newTestNode(t, h, []Member{
+		{ID: 1, Addr: "self"},
+		{ID: 2, Addr: "127.0.0.1:1"}, // unreachable
+		{ID: 3, Addr: "127.0.0.1:1"}, // unreachable
+	})
+
+	n.followerPass()
+	if h.promoted.Load() != 0 {
+		t.Fatal("self-promoted with only minority visibility")
+	}
+
+	// Reaching one peer restores the majority (2 of 3) and the election
+	// proceeds: self wins on the longer durable log.
+	faddr := statusServer(t, followerStatus("dead:1", 4, 99))
+	n2 := newTestNode(t, h, []Member{
+		{ID: 1, Addr: "self"},
+		{ID: 2, Addr: faddr},
+		{ID: 3, Addr: "127.0.0.1:1"}, // still unreachable
+	})
+	n2.followerPass()
+	if h.promoted.Load() != 1 {
+		t.Fatal("majority visibility did not elect")
+	}
+}
+
 func TestFollowerPassLeaseValidNoProbes(t *testing.T) {
 	h := &testHooks{}
 	h.contact.Store(0) // fresh contact: lease held

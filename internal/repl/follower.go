@@ -36,6 +36,11 @@ type FollowerOptions struct {
 	Token string
 	// Dir is the data directory holding repl.state.
 	Dir string
+	// NodeID is this follower's stable identity, sent with every
+	// subscription so the primary's replica-ack quorum counts physical
+	// nodes, not connections, and a reconnect evicts the node's half-open
+	// previous subscription.  Defaults to Dir.
+	NodeID string
 	// Log is the follower's local durable log; shipped records are
 	// appended to it verbatim.
 	Log *wal.Durable
@@ -78,6 +83,12 @@ type Follower struct {
 	records     atomic.Uint64
 	reseeds     atomic.Uint64
 	lastContact atomic.Int64 // unixnano of the last frame from the primary
+
+	// seedTarget is non-zero while a re-seed is incomplete: the local
+	// engine was wiped and has not yet re-applied every record below the
+	// target, so its state is NOT a consistent replica and must not serve
+	// reads.  Persisted (seed.state) so a crash mid-seed resumes refusing.
+	seedTarget atomic.Uint64
 }
 
 // NewFollower builds a follower over an engine that has already completed
@@ -92,6 +103,9 @@ func NewFollower(o FollowerOptions) (*Follower, error) {
 	if o.RetryInterval <= 0 {
 		o.RetryInterval = DefaultRetryInterval
 	}
+	if o.NodeID == "" {
+		o.NodeID = o.Dir
+	}
 	f := &Follower{
 		o:       o,
 		applier: NewApplier(o.Apply),
@@ -104,6 +118,13 @@ func NewFollower(o FollowerOptions) (*Follower, error) {
 			return nil, err
 		}
 		f.epoch.Store(epoch)
+		target, ok, err := ReadSeedTarget(o.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			f.seedTarget.Store(target)
+		}
 	}
 	an, err := recovery.Analyze(o.Log)
 	if err != nil {
@@ -139,6 +160,28 @@ func (f *Follower) SetPrimary(addr string) {
 	f.mu.Unlock()
 	if conn != nil {
 		_ = conn.Close()
+	}
+}
+
+// Seeding reports whether the follower is inside an incomplete re-seed:
+// its engine was wiped and has not yet re-applied the seed phase, so its
+// state is not a consistent replica.  The serving layer refuses reads
+// while this is true, so clients fall through to a healthy member.
+func (f *Follower) Seeding() bool {
+	target := f.seedTarget.Load()
+	return target != 0 && uint64(f.applier.AppliedLSN()) < target
+}
+
+// clearSeeding marks the re-seed complete and removes the persisted
+// marker.
+func (f *Follower) clearSeeding() {
+	if f.seedTarget.Swap(0) == 0 {
+		return
+	}
+	if f.o.Dir != "" {
+		if err := ClearSeedTarget(f.o.Dir); err != nil {
+			f.logf("repl: clearing seed marker: %v", err)
+		}
 	}
 }
 
@@ -289,7 +332,7 @@ func (f *Follower) streamOnce() (refused bool, err error) {
 
 	// Subscribe from the local durable horizon.
 	start := f.o.Log.DurableLSN()
-	if err := wire.WriteFrame(conn, wire.EncodeReplSubscribe(1, uint64(start), f.epoch.Load())); err != nil {
+	if err := wire.WriteFrame(conn, wire.EncodeReplSubscribe(1, uint64(start), f.epoch.Load(), f.o.NodeID)); err != nil {
 		return false, err
 	}
 	payload, err = wire.ReadFrame(br)
@@ -318,6 +361,13 @@ func (f *Follower) streamOnce() (refused bool, err error) {
 		if f.o.Reseed == nil {
 			return true, errors.New("repl: primary requires a re-seed but no reseed hook is configured")
 		}
+		// Never accept a seed from an older lineage: a fenced ex-primary
+		// that still thinks it leads would wipe this node's newer committed
+		// history.  (The primary-side epoch check refuses this too; this is
+		// the follower's own fence.)
+		if cur := f.epoch.Load(); primaryEpoch < cur {
+			return true, fmt.Errorf("repl: refusing seed from stale primary (its epoch %d < local %d)", primaryEpoch, cur)
+		}
 	} else if cur := f.epoch.Load(); cur == 0 {
 		f.epoch.Store(primaryEpoch)
 		if f.o.Dir != "" {
@@ -343,6 +393,16 @@ func (f *Follower) streamOnce() (refused bool, err error) {
 		}
 		seedStart := wal.LSN(fr.SeedStart)
 		f.logf("repl: re-seeding from %s: restart at LSN %d, seed target %d (epoch %d)", primary, fr.SeedStart, fr.SeedTarget, primaryEpoch)
+		// Mark the seed incomplete BEFORE wiping anything: from the first
+		// destroyed byte until the seed phase has fully re-applied, this
+		// node's state is not a replica and reads must be refused — across
+		// stream reconnects and process restarts (hence the on-disk marker).
+		if f.o.Dir != "" {
+			if werr := WriteSeedTarget(f.o.Dir, fr.SeedTarget); werr != nil {
+				return false, fmt.Errorf("repl: persisting seed marker: %w", werr)
+			}
+		}
+		f.seedTarget.Store(fr.SeedTarget)
 		if err := f.o.Reseed(seedStart); err != nil {
 			return false, fmt.Errorf("repl: local reset for seed: %w", err)
 		}
@@ -397,10 +457,18 @@ func (f *Follower) streamOnce() (refused bool, err error) {
 			}
 			f.batches.Add(1)
 			f.records.Add(uint64(len(recs)))
+			// A seed interrupted mid-stream resumes as an ordinary
+			// subscription (no second SEED-END), so completion is also
+			// detected by the applied horizon crossing the recorded target.
+			if t := f.seedTarget.Load(); t != 0 && uint64(f.applier.AppliedLSN()) >= t {
+				f.clearSeeding()
+				f.logf("repl: seed from %s complete at LSN %d", primary, f.o.Log.DurableLSN())
+			}
 		case wire.FrameReplHeartbeat:
 			// Nothing to persist; fall through to the ack, which refreshes
 			// the primary's view of this follower.
 		case wire.FrameReplSeedEnd:
+			f.clearSeeding()
 			f.logf("repl: seed from %s complete at LSN %d", primary, f.o.Log.DurableLSN())
 		default:
 			return false, fmt.Errorf("repl: unexpected frame kind %d on stream", fr.Kind)
@@ -442,6 +510,9 @@ type FollowerNodeStatus struct {
 	Batches    uint64
 	Records    uint64
 	Reseeds    uint64
+	// Seeding reports an incomplete re-seed: the local state is not a
+	// consistent replica and reads are being refused.
+	Seeding bool
 	// SinceContactMS is the time since the last frame from the primary, in
 	// milliseconds (-1 before first contact).
 	SinceContactMS int64
@@ -459,6 +530,7 @@ func (f *Follower) Status() FollowerNodeStatus {
 		Batches:        f.batches.Load(),
 		Records:        f.records.Load(),
 		Reseeds:        f.reseeds.Load(),
+		Seeding:        f.Seeding(),
 		SinceContactMS: -1,
 		Applier:        f.applier.Status(),
 	}

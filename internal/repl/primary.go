@@ -111,6 +111,7 @@ func (p *Primary) AckQuorum() int {
 type Subscription struct {
 	p      *Primary
 	id     int
+	node   string // stable follower identity ("" from pre-node subscribers)
 	remote string
 	since  time.Time
 	start  wal.LSN
@@ -137,9 +138,10 @@ func (s *Subscription) Seeding() (start, target wal.LSN, ok bool) {
 
 // Subscribe validates and registers a follower.  start is the LSN the
 // stream must begin at (the follower's durable horizon); followerEpoch is
-// the epoch the follower last followed (0 = fresh, adopts ours).  Refusals
+// the epoch the follower last followed (0 = fresh, adopts ours); node is
+// the follower's stable identity ("" from pre-node subscribers).  Refusals
 // carry the wire.ReplRefusedPrefix so they travel as-is in a response Err.
-func (p *Primary) Subscribe(start wal.LSN, followerEpoch uint64, remote string) (*Subscription, error) {
+func (p *Primary) Subscribe(start wal.LSN, followerEpoch uint64, node, remote string) (*Subscription, error) {
 	if followerEpoch != 0 && followerEpoch != p.epoch {
 		return nil, fmt.Errorf("%s: replication epoch mismatch: subscriber at %d, primary at %d (stale lineage; re-seed required)",
 			wire.ReplRefusedPrefix, followerEpoch, p.epoch)
@@ -152,32 +154,46 @@ func (p *Primary) Subscribe(start wal.LSN, followerEpoch uint64, remote string) 
 		return nil, fmt.Errorf("%s: start LSN %d precedes oldest retained %d; re-seed required",
 			wire.ReplRefusedPrefix, start, oldest)
 	}
-	return p.register(start, remote, false), nil
+	return p.register(start, node, remote, false), nil
 }
 
-// SubscribeOrSeed registers a follower like Subscribe, but converts every
-// refusal Subscribe would issue — stale epoch lineage, diverged (ahead)
-// log, or a start LSN older than the retained prefix — into a seed
-// subscription: the stream restarts at the oldest retained LSN, the
-// records up to the durable horizon captured here form the seed phase, and
-// the follower is expected to discard its local state before applying
-// them.  Sequential replay of the retained prefix always reconstructs a
-// faithful replica because truncation only ever advances to a checkpoint's
-// BeginLSN: the prefix starts with a complete checkpoint image, and the
-// log records after it replay in causal order.
-func (p *Primary) SubscribeOrSeed(start wal.LSN, followerEpoch uint64, remote string) (*Subscription, error) {
-	if s, err := p.Subscribe(start, followerEpoch, remote); err == nil {
+// SubscribeOrSeed registers a follower like Subscribe, but converts the
+// refusals that mean the subscriber is BEHIND this lineage — a stale
+// (lower) epoch, a diverged (ahead-of-durable) same-epoch log, or a start
+// LSN older than the retained prefix — into a seed subscription: the
+// stream restarts at the oldest retained LSN, the records up to the
+// durable horizon captured here form the seed phase, and the follower is
+// expected to discard its local state before applying them.  Sequential
+// replay of the retained prefix always reconstructs a faithful replica
+// because truncation only ever advances to a checkpoint's BeginLSN: the
+// prefix starts with a complete checkpoint image, and the log records
+// after it replay in causal order.
+//
+// A subscriber reporting a NEWER epoch is still refused outright: it
+// followed a lineage that fenced this primary, so this node is the stale
+// one — seeding (wiping) the up-to-date follower would destroy the newer
+// lineage's committed data.  The refusal tells this node to demote, not
+// the follower to reset.
+func (p *Primary) SubscribeOrSeed(start wal.LSN, followerEpoch uint64, node, remote string) (*Subscription, error) {
+	if followerEpoch > p.epoch {
+		return nil, fmt.Errorf("%s: subscriber epoch %d is newer than this primary's %d; this node is the fenced lineage and must not seed",
+			wire.ReplRefusedPrefix, followerEpoch, p.epoch)
+	}
+	if s, err := p.Subscribe(start, followerEpoch, node, remote); err == nil {
 		return s, nil
 	}
-	return p.register(p.log.OldestLSN(), remote, true), nil
+	return p.register(p.log.OldestLSN(), node, remote, true), nil
 }
 
 // register builds and registers a subscription starting (and pinned) at
 // start.  Seed subscriptions capture the durable horizon as the seed
 // target; a target at or below start (empty retained log) means the seed
-// phase is empty and SEED-END follows SEED-BEGIN immediately.
-func (p *Primary) register(start wal.LSN, remote string, seed bool) *Subscription {
-	s := &Subscription{p: p, remote: remote, since: time.Now(), start: start, cursor: start}
+// phase is empty and SEED-END follows SEED-BEGIN immediately.  A
+// resubscription from an already-subscribed node evicts the node's
+// previous subscription (a crash or partition can leave it half-open for
+// a TCP timeout), so one physical node never holds two live entries.
+func (p *Primary) register(start wal.LSN, node, remote string, seed bool) *Subscription {
+	s := &Subscription{p: p, node: node, remote: remote, since: time.Now(), start: start, cursor: start}
 	if seed {
 		s.seed = true
 		s.seedStart = start
@@ -186,11 +202,26 @@ func (p *Primary) register(start wal.LSN, remote string, seed bool) *Subscriptio
 	s.acked.Store(uint64(start))
 	s.applied.Store(uint64(start))
 	s.pin = p.log.Pin(start)
+	var evicted *Subscription
 	p.mu.Lock()
+	if node != "" {
+		for _, old := range p.subs {
+			if old.node == node {
+				evicted = old
+				break
+			}
+		}
+	}
 	p.seq++
 	s.id = p.seq
 	p.subs[s.id] = s
 	p.mu.Unlock()
+	if evicted != nil {
+		// Close outside p.mu (Close re-locks it).  The evicted streamer's
+		// next cursor read fails with ErrSubscriptionClosed, severing the
+		// stale connection.
+		evicted.Close()
+	}
 	return s
 }
 
@@ -268,15 +299,29 @@ func (s *Subscription) UpdateAck(applied, durable uint64) {
 }
 
 // kthAckedLocked returns the quorum-th highest acked LSN among the live
-// subscriptions (0 when fewer than quorum subscribers exist).  Caller
-// holds p.mu.
+// follower NODES (0 when fewer than quorum nodes exist).  Subscriptions
+// sharing a node identity collapse to that node's best ack — registration
+// evicts same-node duplicates, but until the eviction lands two live subs
+// for one node must not count as two stable copies.  Pre-node subscribers
+// (empty identity) each count as their own node.  Caller holds p.mu.
 func (p *Primary) kthAckedLocked() uint64 {
-	if len(p.subs) < p.quorum {
-		return 0
-	}
 	acked := make([]uint64, 0, len(p.subs))
+	byNode := make(map[string]int, len(p.subs))
 	for _, s := range p.subs {
-		acked = append(acked, s.acked.Load())
+		a := s.acked.Load()
+		if s.node != "" {
+			if i, ok := byNode[s.node]; ok {
+				if a > acked[i] {
+					acked[i] = a
+				}
+				continue
+			}
+			byNode[s.node] = len(acked)
+		}
+		acked = append(acked, a)
+	}
+	if len(acked) < p.quorum {
+		return 0
 	}
 	// Selection by repeated max is fine: follower counts are single-digit.
 	var kth uint64
@@ -348,6 +393,7 @@ func (p *Primary) WaitReplicated(lsn wal.LSN) error {
 // FollowerStatus is one follower's progress snapshot.
 type FollowerStatus struct {
 	ID         int
+	Node       string `json:",omitempty"`
 	Remote     string
 	Since      time.Time
 	StartLSN   uint64
@@ -392,6 +438,7 @@ func (p *Primary) Status() PrimaryStatus {
 		acked := s.acked.Load()
 		f := FollowerStatus{
 			ID:         s.id,
+			Node:       s.node,
 			Remote:     s.remote,
 			Since:      s.since,
 			StartLSN:   uint64(s.start),

@@ -37,14 +37,14 @@ func TestSubscribeEpochRules(t *testing.T) {
 	p := NewPrimary(log, 7)
 
 	// Fresh follower (epoch 0) accepted.
-	s, err := p.Subscribe(1, 0, "f1")
+	s, err := p.Subscribe(1, 0, "n1", "f1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
 
 	// Same-epoch follower accepted.
-	s, err = p.Subscribe(1, 7, "f2")
+	s, err = p.Subscribe(1, 7, "n2", "f2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,15 +52,15 @@ func TestSubscribeEpochRules(t *testing.T) {
 
 	// Stale lineage (any other epoch) refused — this is the promoted
 	// primary refusing a reconnecting stale primary.
-	if _, err := p.Subscribe(1, 6, "stale"); err == nil || !wire.IsReplRefused(err.Error()) {
+	if _, err := p.Subscribe(1, 6, "n3", "stale"); err == nil || !wire.IsReplRefused(err.Error()) {
 		t.Fatalf("stale epoch subscribe: err=%v", err)
 	}
-	if _, err := p.Subscribe(1, 8, "future"); err == nil || !wire.IsReplRefused(err.Error()) {
+	if _, err := p.Subscribe(1, 8, "n4", "future"); err == nil || !wire.IsReplRefused(err.Error()) {
 		t.Fatalf("future epoch subscribe: err=%v", err)
 	}
 
 	// A subscriber claiming a log longer than ours has diverged.
-	if _, err := p.Subscribe(log.DurableLSN()+1000, 7, "ahead"); err == nil || !wire.IsReplRefused(err.Error()) {
+	if _, err := p.Subscribe(log.DurableLSN()+1000, 7, "n5", "ahead"); err == nil || !wire.IsReplRefused(err.Error()) {
 		t.Fatalf("ahead-of-primary subscribe: err=%v", err)
 	}
 }
@@ -72,11 +72,11 @@ func TestSubscribeBelowRetentionRefused(t *testing.T) {
 	}
 	log.Truncate(log.DurableLSN())
 	p := NewPrimary(log, 1)
-	if _, err := p.Subscribe(1, 0, "lagging"); err == nil || !wire.IsReplRefused(err.Error()) {
+	if _, err := p.Subscribe(1, 0, "n1", "lagging"); err == nil || !wire.IsReplRefused(err.Error()) {
 		t.Fatalf("truncated-away subscribe: err=%v", err)
 	}
 	// From the oldest retained LSN it works.
-	s, err := p.Subscribe(log.OldestLSN(), 0, "ok")
+	s, err := p.Subscribe(log.OldestLSN(), 0, "n2", "ok")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestSubscriptionStreamsAndPins(t *testing.T) {
 	log := newLog(t)
 	appendTxn(t, log, 1, "a", "1")
 	p := NewPrimary(log, 1)
-	s, err := p.Subscribe(1, 0, "f")
+	s, err := p.Subscribe(1, 0, "n1", "f")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestWaitReplicated(t *testing.T) {
 		t.Fatalf("no-follower wait: err=%v", err)
 	}
 
-	s, err := p.Subscribe(1, 0, "f")
+	s, err := p.Subscribe(1, 0, "n1", "f")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestWaitReplicatedQuorum(t *testing.T) {
 	p.SetAckQuorum(2)
 	p.SetAckTimeout(100 * time.Millisecond)
 
-	s1, err := p.Subscribe(1, 0, "f1")
+	s1, err := p.Subscribe(1, 0, "n1", "f1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestWaitReplicatedQuorum(t *testing.T) {
 
 	// A second subscriber that has not acked past the commit still leaves
 	// the quorum watermark below it.
-	s2, err := p.Subscribe(1, 0, "f2")
+	s2, err := p.Subscribe(1, 0, "n2", "f2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,6 +232,125 @@ func TestWaitReplicatedQuorum(t *testing.T) {
 	s2.Close()
 	if err := p.WaitReplicated(lsn); err != nil {
 		t.Fatalf("wait after acked follower left: %v", err)
+	}
+}
+
+func TestSubscribeOrSeedEpochDirection(t *testing.T) {
+	log := newLog(t)
+	appendTxn(t, log, 1, "a", "1")
+	p := NewPrimary(log, 3)
+
+	// A behind-lineage subscriber (lower epoch) is seed-accepted.
+	s, err := p.SubscribeOrSeed(1, 2, "behind", "r1")
+	if err != nil {
+		t.Fatalf("lower-epoch subscriber not seed-accepted: %v", err)
+	}
+	if _, _, seeding := s.Seeding(); !seeding {
+		t.Fatal("lower-epoch subscriber accepted without the seed phase")
+	}
+	s.Close()
+
+	// A NEWER-epoch subscriber means this primary is the fenced lineage:
+	// seeding would wipe the up-to-date node, so it must be refused.
+	if _, err := p.SubscribeOrSeed(1, 4, "newer", "r2"); err == nil || !wire.IsReplRefused(err.Error()) {
+		t.Fatalf("newer-epoch subscriber was not refused: err=%v", err)
+	}
+	if n := p.NumFollowers(); n != 0 {
+		t.Fatalf("refused subscriber left %d registrations", n)
+	}
+}
+
+func TestSameNodeResubscriptionEvicts(t *testing.T) {
+	log := newLog(t)
+	appendTxn(t, log, 1, "a", "1")
+	p := NewPrimary(log, 1)
+
+	s1, err := p.Subscribe(1, 0, "n1", "old-conn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The node reconnects (half-open TCP left s1 dangling): the new
+	// registration evicts the old one.
+	s2, err := p.Subscribe(1, 0, "n1", "new-conn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := p.NumFollowers(); n != 1 {
+		t.Fatalf("same-node resubscription left %d live subscriptions", n)
+	}
+	if _, err := s1.Next(nil); !errors.Is(err, ErrSubscriptionClosed) {
+		t.Fatalf("evicted subscription still streams: err=%v", err)
+	}
+}
+
+func TestKthAckedGroupsByNode(t *testing.T) {
+	log := newLog(t)
+	appendTxn(t, log, 1, "a", "1")
+	p := NewPrimary(log, 1)
+	p.quorum = 2
+
+	// Two subscriptions sharing one node identity — the transient window
+	// before a same-node eviction lands — must count as ONE stable copy.
+	a := &Subscription{p: p, node: "n1"}
+	a.acked.Store(100)
+	b := &Subscription{p: p, node: "n1"}
+	b.acked.Store(90)
+	p.subs[1], p.subs[2] = a, b
+	if got := p.kthAckedLocked(); got != 0 {
+		t.Fatalf("duplicate-node subs counted toward quorum: kth=%d", got)
+	}
+
+	// A second distinct node completes the quorum at ITS ack, not the
+	// duplicate's.
+	c := &Subscription{p: p, node: "n2"}
+	c.acked.Store(80)
+	p.subs[3] = c
+	if got := p.kthAckedLocked(); got != 80 {
+		t.Fatalf("quorum watermark with nodes n1@100,n2@80: kth=%d, want 80", got)
+	}
+
+	// Pre-node subscribers (empty identity) still count individually.
+	d := &Subscription{p: p}
+	d.acked.Store(95)
+	p.subs[4] = d
+	if got := p.kthAckedLocked(); got != 95 {
+		t.Fatalf("quorum watermark with n1@100,n2@80,anon@95: kth=%d, want 95", got)
+	}
+}
+
+func TestSeedMarkerPersistence(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadSeedTarget(dir); ok || err != nil {
+		t.Fatalf("fresh dir has a seed marker: ok=%v err=%v", ok, err)
+	}
+	if err := WriteSeedTarget(dir, 777); err != nil {
+		t.Fatal(err)
+	}
+	target, ok, err := ReadSeedTarget(dir)
+	if err != nil || !ok || target != 777 {
+		t.Fatalf("seed marker round-trip: target=%d ok=%v err=%v", target, ok, err)
+	}
+
+	// A follower constructed over a dir carrying the marker — a crash mid
+	// re-seed — starts out refusing reads.
+	f, err := NewFollower(FollowerOptions{
+		Dir:   dir,
+		Log:   newLog(t),
+		Apply: func(ops []recovery.Op) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Seeding() {
+		t.Fatal("restarted mid-seed follower does not report Seeding")
+	}
+	f.clearSeeding()
+	if f.Seeding() {
+		t.Fatal("still Seeding after clear")
+	}
+	if _, ok, _ := ReadSeedTarget(dir); ok {
+		t.Fatal("seed marker survived clearSeeding")
 	}
 }
 

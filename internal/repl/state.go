@@ -65,3 +65,46 @@ func WriteEpoch(dir string, epoch uint64) error {
 	}
 	return os.Rename(tmp, filepath.Join(dir, StateFile))
 }
+
+// SeedFile marks an in-progress snapshot re-seed: it records the LSN the
+// seed phase must reach before the local state is a consistent replica
+// again.  It is written before the local wipe and removed only once the
+// seed completes, so a follower that crashes mid-seed keeps refusing
+// reads after restart.
+const SeedFile = "seed.state"
+
+// ReadSeedTarget loads the in-progress seed target recorded in dir.
+// Returns ok=false (no error) when no seed is in progress.
+func ReadSeedTarget(dir string) (uint64, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, SeedFile))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	target, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("repl: corrupt seed marker: %v", err)
+	}
+	return target, true, nil
+}
+
+// WriteSeedTarget persists the seed-in-progress marker atomically.
+func WriteSeedTarget(dir string, target uint64) error {
+	tmp := filepath.Join(dir, SeedFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("%d\n", target)), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, SeedFile))
+}
+
+// ClearSeedTarget removes the seed-in-progress marker; clearing an absent
+// marker is not an error.
+func ClearSeedTarget(dir string) error {
+	err := os.Remove(filepath.Join(dir, SeedFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -416,6 +416,10 @@ func runClusterChild(dir string) {
 		}
 		return "promoted\n", nil
 	})
+	srv.SetSeedingFunc(func() bool {
+		f := curFollower.Load()
+		return f != nil && f.Seeding()
+	})
 	srv.SetReplStatusHandler(func() (string, error) {
 		st := struct {
 			Role     string
@@ -964,7 +968,7 @@ func TestReplFailoverSIGKILL(t *testing.T) {
 	if _, err := wire.ReadFrame(br); err != nil {
 		t.Fatal(err)
 	}
-	if err := wire.WriteFrame(conn, wire.EncodeReplSubscribe(1, 1, staleEpoch)); err != nil {
+	if err := wire.WriteFrame(conn, wire.EncodeReplSubscribe(1, 1, staleEpoch, "stale-lineage")); err != nil {
 		t.Fatal(err)
 	}
 	payload, err := wire.ReadFrame(br)

@@ -38,9 +38,17 @@ type PromoteFunc func() (string, error)
 type ReplStatusFunc func() (string, error)
 
 // SetReplPrimary installs (or, with nil, removes) the replication hub that
-// accepts follower subscriptions on this server.
+// accepts follower subscriptions on this server.  Changing the hub is a
+// role transition, so every live subscriber stream is severed: the
+// followers reconnect, resubscribe, and discover the node's new role
+// instead of leasing liveness off heartbeats from a frozen log.
 func (s *Server) SetReplPrimary(p *repl.Primary) {
 	s.replPrimary.Store(p)
+	s.replConnsMu.Lock()
+	for c := range s.replConns {
+		_ = c.Close()
+	}
+	s.replConnsMu.Unlock()
 }
 
 // ReplPrimary returns the installed replication hub, or nil.
@@ -57,6 +65,26 @@ func (s *Server) SetFollowerMode(on bool) {
 
 // FollowerMode reports the server's follower stance.
 func (s *Server) FollowerMode() bool { return s.followerMode.Load() }
+
+// SetSeedingFunc installs (or, with nil, removes) the callback reporting
+// whether this follower is inside an incomplete snapshot re-seed.  While
+// it reports true the server refuses data reads too — the engine was
+// wiped and only partially rebuilt, so serving from it would return "not
+// found" for committed rows — and routing clients fall through to the
+// primary or a healthy replica.
+func (s *Server) SetSeedingFunc(fn func() bool) {
+	if fn == nil {
+		s.seedingFn.Store(nil)
+		return
+	}
+	s.seedingFn.Store(&fn)
+}
+
+// seeding reports whether an incomplete re-seed makes local reads unsafe.
+func (s *Server) seeding() bool {
+	fn := s.seedingFn.Load()
+	return fn != nil && (*fn)()
+}
 
 // SetPromoteHandler installs (or, with nil, removes) the function behind
 // the "promote" control verb.
@@ -131,12 +159,28 @@ func (s *Server) serveReplication(conn net.Conn, br *bufio.Reader, payload []byt
 		refuse(wire.ReplRefusedPrefix + ": this server does not accept replication subscriptions (no durable log, or follower not yet promoted)")
 		return
 	}
-	sub, err := p.SubscribeOrSeed(wal.LSN(f.StartLSN), f.ReplEpoch, conn.RemoteAddr().String())
+	sub, err := p.SubscribeOrSeed(wal.LSN(f.StartLSN), f.ReplEpoch, f.ReplNode, conn.RemoteAddr().String())
 	if err != nil {
 		refuse(err.Error())
 		return
 	}
 	defer sub.Close()
+
+	// Track the stream so a promote/demote transition can sever it (see
+	// SetReplPrimary).
+	s.replConnsMu.Lock()
+	s.replConns[conn] = struct{}{}
+	s.replConnsMu.Unlock()
+	defer func() {
+		s.replConnsMu.Lock()
+		delete(s.replConns, conn)
+		s.replConnsMu.Unlock()
+	}()
+	if s.replPrimary.Load() != p {
+		// The role flipped between subscribing and registering the conn;
+		// the sweep in SetReplPrimary may have missed this stream.
+		return
+	}
 
 	seedStart, seedTarget, seeding := sub.Seeding()
 	ackBlob := wire.EncodeReplSubscribeAck(p.Epoch(), uint64(p.DurableLSN()))

@@ -143,11 +143,19 @@ type Server struct {
 	followerMode atomic.Bool
 	promote      atomic.Pointer[PromoteFunc]
 	replStatus   atomic.Pointer[ReplStatusFunc]
+	seedingFn    atomic.Pointer[func() bool]
+
+	// replConns tracks the live replication-subscriber connections so a
+	// role transition (promote/demote) can sever them: a follower left
+	// subscribed to a demoted ex-primary would otherwise have its lease
+	// refreshed forever by heartbeats from a frozen log.
+	replConnsMu sync.Mutex
+	replConns   map[net.Conn]struct{}
 }
 
 // New returns a server for the engine.
 func New(e *engine.Engine) *Server {
-	return &Server{e: e, conns: make(map[net.Conn]struct{})}
+	return &Server{e: e, conns: make(map[net.Conn]struct{}), replConns: make(map[net.Conn]struct{})}
 }
 
 // SetControlHandler installs (or, with nil, removes) the handler behind the
@@ -677,6 +685,10 @@ func (s *Server) executePlan(sess *engine.Session, id uint64, p *plan.Plan, cs s
 		resp.Retry = wire.RetryPermanent
 		return s.followerRefusal(resp, wire.FollowerPrefix+": plan contains write ops — this node replicates a primary (write there, or promote this node)")
 	}
+	if s.followerMode.Load() && s.seeding() {
+		resp.Retry = wire.RetryPermanent
+		return s.followerRefusal(resp, wire.FollowerPrefix+": plan refused — this follower is mid re-seed and not yet a consistent replica (read another member)")
+	}
 	if canceled != nil && canceled.Load() {
 		resp.Err = engine.ErrPlanCanceled.Error()
 		resp.Retry = wire.RetryPermanent
@@ -750,6 +762,17 @@ func (s *Server) execute(sess *engine.Session, req *wire.Request, cs session, ca
 		for _, st := range req.Statements {
 			if writesOp(st.Op) {
 				return s.followerRefusal(resp, fmt.Sprintf("%s: %v refused — this node replicates a primary (write there, or promote this node)", wire.FollowerPrefix, st.Op))
+			}
+		}
+		if s.seeding() {
+			// Mid re-seed the engine was wiped and only partially rebuilt:
+			// a read here could report "not found" for committed rows.
+			// Pings and control verbs (probes, "repl status", "promote")
+			// must keep working so the cluster can manage the node.
+			for _, st := range req.Statements {
+				if st.Op != wire.OpPing && st.Op != wire.OpControl {
+					return s.followerRefusal(resp, fmt.Sprintf("%s: %v refused — this follower is mid re-seed and not yet a consistent replica (read another member)", wire.FollowerPrefix, st.Op))
+				}
 			}
 		}
 	}

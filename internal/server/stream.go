@@ -82,6 +82,11 @@ func (s *Server) streamScan(payload []byte, canceled *atomic.Bool, out chan<- ou
 		emitFinal("scan: missing table")
 		return
 	}
+	if s.followerMode.Load() && s.seeding() {
+		s.aborted.Add(1)
+		emitFinal(wire.FollowerPrefix + ": scan refused — this follower is mid re-seed and not yet a consistent replica (read another member)")
+		return
+	}
 	var flt *plan.Filter
 	if sc.Filter != nil {
 		if flt, err = sc.Filter.Compile(); err != nil {

@@ -69,13 +69,17 @@ func IsFollowerRefusal(msg string) bool {
 }
 
 // EncodeReplSubscribe serializes a REPL-SUBSCRIBE payload: the LSN the
-// stream should start at and the follower's last-known replication epoch
-// (0 when it has never followed anyone).
-func EncodeReplSubscribe(id uint64, startLSN, epoch uint64) []byte {
-	out := appendUint64(make([]byte, 0, 8+1+8+8), id)
+// stream should start at, the follower's last-known replication epoch
+// (0 when it has never followed anyone), and the follower's stable node
+// identity.  The node string keys the primary's per-node replica-ack
+// accounting: a reconnecting follower evicts its own half-open previous
+// subscription instead of counting twice toward the quorum.
+func EncodeReplSubscribe(id uint64, startLSN, epoch uint64, node string) []byte {
+	out := appendUint64(make([]byte, 0, 8+1+8+8+4+len(node)), id)
 	out = append(out, byte(FrameReplSubscribe))
 	out = appendUint64(out, startLSN)
-	return appendUint64(out, epoch)
+	out = appendUint64(out, epoch)
+	return appendBytes(out, []byte(node))
 }
 
 // EncodeReplRecords serializes a REPL-RECORDS payload from marshaled
@@ -173,6 +177,11 @@ func decodeReplFrame(f *Frame, r *reader) (*Frame, error) {
 	case FrameReplSubscribe:
 		f.StartLSN = r.uint64()
 		f.ReplEpoch = r.uint64()
+		if r.off < len(r.buf) {
+			// The node identity was appended in a later wire revision;
+			// frames from pre-node subscribers simply end here.
+			f.ReplNode = r.str()
+		}
 		if r.err != nil {
 			return nil, r.err
 		}

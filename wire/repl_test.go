@@ -6,13 +6,22 @@ import (
 )
 
 func TestReplSubscribeRoundTrip(t *testing.T) {
-	payload := EncodeReplSubscribe(7, 12345, 3)
+	payload := EncodeReplSubscribe(7, 12345, 3, "node-a")
 	f, err := DecodeFrameV3(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.ID != 7 || f.Kind != FrameReplSubscribe || f.StartLSN != 12345 || f.ReplEpoch != 3 {
+	if f.ID != 7 || f.Kind != FrameReplSubscribe || f.StartLSN != 12345 || f.ReplEpoch != 3 || f.ReplNode != "node-a" {
 		t.Fatalf("decoded %+v", f)
+	}
+	// Pre-node subscribe frames (no trailing node field) still decode.
+	legacy := payload[:8+1+8+8]
+	f, err = DecodeFrameV3(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.StartLSN != 12345 || f.ReplEpoch != 3 || f.ReplNode != "" {
+		t.Fatalf("legacy decode %+v", f)
 	}
 }
 
@@ -76,14 +85,14 @@ func TestReplRefusalPrefixes(t *testing.T) {
 // decoder: it must never panic, never over-allocate on hostile counts, and
 // whatever it accepts must survive a re-encode/re-decode round trip.
 func FuzzDecodeReplFrame(f *testing.F) {
-	f.Add(EncodeReplSubscribe(1, 42, 0))
-	f.Add(EncodeReplSubscribe(2, 0, 7))
+	f.Add(EncodeReplSubscribe(1, 42, 0, ""))
+	f.Add(EncodeReplSubscribe(2, 0, 7, "node-2"))
 	f.Add(EncodeReplRecords(3, [][]byte{[]byte("abc"), []byte("")}))
 	f.Add(EncodeReplAck(4, 10, 20))
 	// Hostile blob count.
 	f.Add(append(EncodeReplRecords(5, nil)[:9], 0xFF, 0xFF, 0xFF, 0xFF))
 	// Truncated subscribe.
-	f.Add(EncodeReplSubscribe(6, 1, 1)[:12])
+	f.Add(EncodeReplSubscribe(6, 1, 1, "n")[:12])
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		fr, err := DecodeFrameV3(payload)
 		if err != nil {
@@ -92,7 +101,7 @@ func FuzzDecodeReplFrame(f *testing.F) {
 		var back *Frame
 		switch fr.Kind {
 		case FrameReplSubscribe:
-			back, err = DecodeFrameV3(EncodeReplSubscribe(fr.ID, fr.StartLSN, fr.ReplEpoch))
+			back, err = DecodeFrameV3(EncodeReplSubscribe(fr.ID, fr.StartLSN, fr.ReplEpoch, fr.ReplNode))
 		case FrameReplRecords:
 			back, err = DecodeFrameV3(EncodeReplRecords(fr.ID, fr.ReplRecords))
 		case FrameReplAck:
@@ -105,6 +114,7 @@ func FuzzDecodeReplFrame(f *testing.F) {
 		}
 		if back.ID != fr.ID || back.Kind != fr.Kind ||
 			back.StartLSN != fr.StartLSN || back.ReplEpoch != fr.ReplEpoch ||
+			back.ReplNode != fr.ReplNode ||
 			back.AppliedLSN != fr.AppliedLSN || back.DurableLSN != fr.DurableLSN ||
 			len(back.ReplRecords) != len(fr.ReplRecords) {
 			t.Fatalf("round trip changed the frame: %+v != %+v", back, fr)

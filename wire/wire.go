@@ -627,6 +627,11 @@ type Frame struct {
 	// ReplEpoch is the follower's last-known replication epoch
 	// (FrameReplSubscribe; 0 = never followed).
 	ReplEpoch uint64
+	// ReplNode is the subscriber's stable node identity
+	// (FrameReplSubscribe; "" from pre-node subscribers).  The primary
+	// counts replica-ack quorums per node, not per connection, and evicts a
+	// node's previous subscription when it resubscribes.
+	ReplNode string
 	// ReplRecords holds the marshaled WAL record blobs of a
 	// FrameReplRecords batch (opaque to this package; aliases the frame
 	// buffer).
